@@ -1,0 +1,43 @@
+//! Criterion wrapper around the Fig. 4 experiment (Quadro M4000,
+//! Thrust vs. Modern GPU, random vs. worst-case): measures the simulated
+//! sort at a fixed size per (config, workload) cell and prints the
+//! modelled slowdown. Run the `fig4` binary for the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wcms_bench::experiment::measure;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::{sort_with_report, SortParams};
+use wcms_workloads::WorkloadSpec;
+
+fn bench_fig4(c: &mut Criterion) {
+    let device = DeviceSpec::quadro_m4000();
+    let mut group = c.benchmark_group("fig4_m4000");
+    group.sample_size(10);
+    for (label, params) in [
+        ("thrust_e15_b512", SortParams::thrust(&device)),
+        ("mgpu_e15_b128", SortParams::mgpu(&device)),
+    ] {
+        let n = params.block_elems() * 4;
+        for (wl, spec) in [
+            ("random", WorkloadSpec::RandomPermutation { seed: 1 }),
+            ("worst", WorkloadSpec::WorstCase),
+        ] {
+            let input = spec.generate(n, params.w, params.e, params.b);
+            group.bench_with_input(BenchmarkId::new(label, wl), &input, |bencher, input| {
+                bencher.iter(|| sort_with_report(black_box(input), &params));
+            });
+            // Print the modelled figure value alongside the wall-clock.
+            let m = measure(&device, &params, spec, n, 1);
+            eprintln!(
+                "fig4 {label}/{wl}: modelled {:.1} ME/s, beta2 {:.2}",
+                m.throughput / 1e6,
+                m.beta2
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

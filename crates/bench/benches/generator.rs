@@ -1,0 +1,45 @@
+//! Microbenchmarks of the adversarial generator itself: warp-assignment
+//! construction and full-permutation building. The paper's construction
+//! is `O(N log(N/bE))` per input; these benches pin that behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wcms_core::{construct, evaluate, WorstCaseBuilder};
+
+fn bench_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_warp_assignment");
+    for e in [7usize, 15, 17, 31] {
+        group.bench_with_input(BenchmarkId::from_parameter(e), &e, |bencher, &e| {
+            bencher.iter(|| construct(black_box(32), black_box(e)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_warp_assignment");
+    for e in [15usize, 17] {
+        let asg = construct(32, e);
+        group.bench_with_input(BenchmarkId::from_parameter(e), &asg, |bencher, asg| {
+            bencher.iter(|| evaluate(black_box(asg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_input(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_worst_case_input");
+    group.sample_size(10);
+    let builder = WorstCaseBuilder::new(32, 15, 512);
+    for doublings in [2u32, 5] {
+        let n = builder.block_elems() << doublings;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| builder.build(black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construct, bench_evaluate, bench_build_input);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks of the GPU Merge Path primitives: the diagonal
+//! (mutual) binary search and the partitioned CPU merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use wcms_mergepath::cpu::{merge_partitioned, merge_ref};
+use wcms_mergepath::merge_path;
+
+fn sorted_lists(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+    let mut b: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    (a, b)
+}
+
+fn bench_diagonal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_path_search");
+    for n in [1usize << 10, 1 << 16, 1 << 20] {
+        let (a, b) = sorted_lists(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            bencher.iter(|| merge_path(black_box(n), a.len(), b.len(), |i| a[i], |j| b[j]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioned_merge");
+    group.sample_size(20);
+    let n = 1usize << 18;
+    let (a, b) = sorted_lists(n, 2);
+    group.throughput(Throughput::Elements(2 * n as u64));
+    for parts in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |bencher, &parts| {
+            bencher.iter(|| merge_partitioned(black_box(&a), black_box(&b), parts));
+        });
+    }
+    group.bench_function("reference", |bencher| {
+        bencher.iter(|| merge_ref(black_box(&a), black_box(&b)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagonal, bench_partitioned_merge);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+use wcms_mergesort::*;
+use wcms_workloads::WorkloadSpec;
+fn main() {
+    let p = SortParams::new(32, 15, 64);
+    let n = p.block_elems() * 8;
+    let input = WorkloadSpec::RandomPermutation { seed: 1 }.generate(n, p.w, p.e, p.b);
+    let (_, r) = sort_with_report(&input, &p);
+    println!("n={n} be={} blocks={} rounds={}", p.block_elems(), p.blocks_for(n), r.rounds.len());
+    println!(
+        "base: sectors={} accesses={} requests={}",
+        r.base.global.sectors, r.base.global.accesses, r.base.global.requests
+    );
+    for (i, rd) in r.rounds.iter().enumerate() {
+        println!(
+            "round {i}: sectors={} accesses={} blocks={}",
+            rd.global.sectors, rd.global.accesses, rd.blocks
+        );
+    }
+    println!("total sectors={}", r.total().global.sectors);
+}

@@ -1,0 +1,60 @@
+//! The price of conflict-freedom (§I): compare the pairwise merge sort
+//! against a data-oblivious bitonic network on random and worst-case
+//! inputs. Bitonic's conflicts cannot be influenced by any input — but
+//! it pays Θ(log N) extra passes. This quantifies the paper's remark
+//! that conflict-free algorithms "come at a price of … more overall
+//! work".
+//!
+//! Usage: `compare_sorts [--quick]`
+
+use wcms_bench::experiment::model_time;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::bitonic::bitonic_sort_with_report;
+use wcms_mergesort::{sort_with_report, SortParams, SortReport};
+use wcms_workloads::random::random_permutation;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let device = DeviceSpec::quadro_m4000();
+    // Power-of-two tile so both sorts accept the same sizes. With a
+    // power-of-two E, the pairwise sort's worst case is *sorted order*
+    // itself (§III: gcd(w, E) = E) — no constructed permutation needed.
+    let params = SortParams::new(32, 16, 128); // bE = 2048
+    let doublings = if quick { 3..=6 } else { 3..=9 };
+    let worst_input = |n: usize| -> Vec<u32> { (0..n as u32).collect() };
+
+    println!("device = {}, pairwise E=16/b=128 vs bitonic (same tile)", device.name);
+    println!("(worst input for E = 16 is sorted order: gcd(w, E) = E, Fig. 1's case)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16} {:>16}",
+        "N", "pairwise rnd", "pairwise worst", "bitonic rnd", "bitonic worst"
+    );
+    println!("{:>10} {:>16} {:>16} {:>16} {:>16}", "", "(ms)", "(ms)", "(ms)", "(ms)");
+    for d in doublings {
+        let n = params.block_elems() << d;
+        let random = random_permutation(n, 17);
+        let worst = worst_input(n);
+        let time = |report: &SortReport| model_time(&device, &params, report) * 1e3;
+
+        let (_, pr) = sort_with_report(&random, &params);
+        let (_, pw) = sort_with_report(&worst, &params);
+        let (_, br) = bitonic_sort_with_report(&random, &params);
+        let (_, bw) = bitonic_sort_with_report(&worst, &params);
+        println!(
+            "{n:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
+            time(&pr),
+            time(&pw),
+            time(&br),
+            time(&bw)
+        );
+        assert_eq!(
+            br.total().shared,
+            bw.total().shared,
+            "bitonic conflicts must be input-independent"
+        );
+    }
+    println!();
+    println!("bitonic's two columns are identical (data-oblivious: immune to the");
+    println!("adversary) but both sit above the pairwise random column — the log N");
+    println!("extra passes the paper's intro calls the price of conflict-freedom.");
+}

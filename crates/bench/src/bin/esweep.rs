@@ -1,0 +1,49 @@
+//! Sweep the tuning parameter `E` end-to-end — the §III-C trade-off
+//! quantified: small `E` caps the adversary at `E² ≤ w²/4` conflicts but
+//! multiplies partitioning work (more merge-path searches per element);
+//! large `E` approaches `w²/2` worst-case conflicts. The sweep measures,
+//! for each co-prime `E`, random vs. worst-case modelled throughput on
+//! the simulated device, exposing where the libraries' `E = 15/17`
+//! choices sit.
+//!
+//! Usage: `esweep [--quick] [--rtx]`
+
+use wcms_bench::experiment::measure;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::SortParams;
+use wcms_workloads::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let device = if args.iter().any(|a| a == "--rtx") {
+        DeviceSpec::rtx_2080_ti()
+    } else {
+        DeviceSpec::quadro_m4000()
+    };
+    let doublings = if quick { 4 } else { 6 };
+    let b = 128usize;
+
+    println!("device = {}, b = {b}, N = bE·2^{doublings}", device.name);
+    println!(
+        "{:>4} {:>10} {:>14} {:>14} {:>10} {:>12}",
+        "E", "N", "random ME/s", "worst ME/s", "slowdown", "worst beta2"
+    );
+    for e in (3..32).step_by(2) {
+        let params = SortParams::new(32, e, b);
+        let n = params.block_elems() << doublings;
+        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2);
+        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1);
+        println!(
+            "{e:>4} {n:>10} {:>14.1} {:>14.1} {:>9.1}% {:>12.2}",
+            random.throughput / 1e6,
+            worst.throughput / 1e6,
+            (random.throughput / worst.throughput - 1.0) * 100.0,
+            worst.beta2
+        );
+    }
+    println!();
+    println!("Reading (§III-C): worst-case beta2 tracks E (small case exactly E, large");
+    println!("case the Theorem 9 fraction); random throughput peaks at mid-range E where");
+    println!("partitioning work and per-round conflicts balance — the libraries' E=15/17.");
+}

@@ -1,0 +1,40 @@
+//! Regenerate Figure 4: throughput vs. N on the (simulated) Quadro
+//! M4000 — Thrust (E=15, b=512) and Modern GPU (E=15, b=128), random vs.
+//! constructed worst-case inputs.
+//!
+//! Usage: `fig4 [--quick|--standard|--full] [--markdown]`
+
+use wcms_bench::experiment::SweepConfig;
+use wcms_bench::figures::fig4;
+use wcms_bench::series::{to_csv, to_markdown};
+use wcms_bench::summary::slowdown_table;
+
+fn sweep_from_args() -> (SweepConfig, bool) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = if args.iter().any(|a| a == "--quick") {
+        SweepConfig::quick()
+    } else if args.iter().any(|a| a == "--full") {
+        SweepConfig::full()
+    } else {
+        SweepConfig::standard()
+    };
+    (sweep, args.iter().any(|a| a == "--markdown"))
+}
+
+fn main() {
+    let (sweep, markdown) = sweep_from_args();
+    eprintln!("# Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation");
+    let series = fig4(&sweep);
+    if markdown {
+        println!("{}", to_markdown(&series, |m| m.throughput / 1e6, "ME/s"));
+    } else {
+        println!("{}", to_csv(&series, |m| m.throughput / 1e6));
+    }
+    eprintln!("# slowdown of worst-case vs. random (paper: Thrust peak 50.49%, avg 43.53%; MGPU peak 33.82%, avg 27.3%)");
+    for (label, s) in slowdown_table(&series) {
+        eprintln!(
+            "#   {label}: peak {:.2}% at N = {}, average {:.2}%",
+            s.peak_percent, s.peak_n, s.average_percent
+        );
+    }
+}

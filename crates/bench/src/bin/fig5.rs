@@ -1,0 +1,46 @@
+//! Regenerate Figure 5: throughput vs. N on the (simulated) RTX 2080 Ti —
+//! Thrust (left) and Modern GPU (right), each with E=15/b=512 and
+//! E=17/b=256, random vs. constructed worst-case inputs.
+//!
+//! Usage: `fig5 [--quick|--standard|--full] [--markdown]`
+
+use wcms_bench::experiment::SweepConfig;
+use wcms_bench::figures::{fig5_mgpu, fig5_thrust};
+use wcms_bench::series::{to_csv, to_markdown};
+use wcms_bench::summary::slowdown_table;
+
+fn sweep_from_args() -> (SweepConfig, bool) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = if args.iter().any(|a| a == "--quick") {
+        SweepConfig::quick()
+    } else if args.iter().any(|a| a == "--full") {
+        SweepConfig::full()
+    } else {
+        SweepConfig::standard()
+    };
+    (sweep, args.iter().any(|a| a == "--markdown"))
+}
+
+fn main() {
+    let (sweep, markdown) = sweep_from_args();
+    for (panel, series) in [
+        ("Thrust (left panel)", fig5_thrust(&sweep)),
+        ("Modern GPU (right panel)", fig5_mgpu(&sweep)),
+    ] {
+        eprintln!("# Fig. 5 — RTX 2080 Ti, {panel}");
+        if markdown {
+            println!("{}", to_markdown(&series, |m| m.throughput / 1e6, "ME/s"));
+        } else {
+            println!("{}", to_csv(&series, |m| m.throughput / 1e6));
+        }
+        eprintln!("# slowdown of worst-case vs. random");
+        eprintln!("#   (paper: Thrust E15 peak 42.43% avg 33.31%; E17 peak 22.94% avg 16.54%;");
+        eprintln!("#          MGPU  E15 peak 42.62% avg 35.25%; E17 peak 20.34% avg 12.97%)");
+        for (label, s) in slowdown_table(&series) {
+            eprintln!(
+                "#   {label}: peak {:.2}% at N = {}, average {:.2}%",
+                s.peak_percent, s.peak_n, s.average_percent
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerate Figure 6: runtime per element and bank conflicts per
+//! element vs. N for Thrust on the (simulated) RTX 2080 Ti, worst-case
+//! inputs, both parameter sets. The paper's point: the conflict curve
+//! predicts the runtime curve, and both grow logarithmically with N.
+//!
+//! Usage: `fig6 [--quick|--standard|--full]`
+
+use wcms_bench::experiment::SweepConfig;
+use wcms_bench::figures::fig6;
+use wcms_bench::series::to_csv;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = if args.iter().any(|a| a == "--quick") {
+        SweepConfig::quick()
+    } else if args.iter().any(|a| a == "--full") {
+        SweepConfig::full()
+    } else {
+        SweepConfig::standard()
+    };
+
+    let series = fig6(&sweep);
+    eprintln!("# Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs");
+    eprintln!("# runtime per element (ns/element, modelled):");
+    println!("{}", to_csv(&series, |m| m.ms_per_element * 1e6));
+    eprintln!("# bank conflicts per element (extra cycles/element, measured):");
+    println!("{}", to_csv(&series, |m| m.conflicts_per_element));
+
+    // The correlation the paper highlights: per series, the rank order of
+    // sizes by conflicts matches the rank order by runtime.
+    for s in &series {
+        let mut by_conflicts: Vec<usize> = (0..s.points.len()).collect();
+        by_conflicts.sort_by(|&a, &b| {
+            s.points[a].conflicts_per_element.total_cmp(&s.points[b].conflicts_per_element)
+        });
+        let mut by_runtime: Vec<usize> = (0..s.points.len()).collect();
+        by_runtime
+            .sort_by(|&a, &b| s.points[a].ms_per_element.total_cmp(&s.points[b].ms_per_element));
+        eprintln!(
+            "# {}: conflict/runtime rank agreement = {}",
+            s.label,
+            if by_conflicts == by_runtime { "exact" } else { "partial" }
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The §IV-B inline statistics in one table: per device / library /
+//! parameter set, the peak and average worst-case slowdown — plus the
+//! Karsin β₁/β₂ averages on random inputs and their growth with
+//! inversions (`--beta`).
+//!
+//! Usage: `summary [--quick|--standard|--full] [--beta]`
+
+use wcms_bench::experiment::{measure, SweepConfig};
+use wcms_bench::figures::{fig4, fig5_mgpu, fig5_thrust};
+use wcms_bench::summary::slowdown_table;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::SortParams;
+use wcms_workloads::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = if args.iter().any(|a| a == "--quick") {
+        SweepConfig::quick()
+    } else if args.iter().any(|a| a == "--full") {
+        SweepConfig::full()
+    } else {
+        SweepConfig::standard()
+    };
+
+    if args.iter().any(|a| a == "--beta") {
+        beta_report(&sweep);
+        return;
+    }
+
+    println!(
+        "| device | configuration | peak slowdown | at N | avg slowdown | paper peak | paper avg |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let paper = [
+        (
+            "Quadro M4000",
+            vec![("Thrust E=15 b=512", 50.49, 43.53), ("ModernGPU E=15 b=128", 33.82, 27.3)],
+        ),
+        (
+            "RTX 2080 Ti",
+            vec![("Thrust E=15 b=512", 42.43, 33.31), ("Thrust E=17 b=256", 22.94, 16.54)],
+        ),
+        (
+            "RTX 2080 Ti",
+            vec![("ModernGPU E=15 b=512", 42.62, 35.25), ("ModernGPU E=17 b=256", 20.34, 12.97)],
+        ),
+    ];
+    for ((device, paper_rows), series) in
+        paper.into_iter().zip([fig4(&sweep), fig5_thrust(&sweep), fig5_mgpu(&sweep)])
+    {
+        for ((label, s), (_, peak, avg)) in slowdown_table(&series).into_iter().zip(paper_rows) {
+            println!(
+                "| {device} | {label} | {:.2}% | {} | {:.2}% | {peak}% | {avg}% |",
+                s.peak_percent, s.peak_n, s.average_percent
+            );
+        }
+    }
+}
+
+/// β₁/β₂ on random inputs (Karsin et al. report β₁ = 3.1, β₂ = 2.2 for
+/// Modern GPU) and their growth with inversion count.
+fn beta_report(sweep: &SweepConfig) {
+    let device = DeviceSpec::quadro_m4000();
+    let params = SortParams::mgpu(&device);
+    let n = params.block_elems() << sweep.max_doublings.min(6);
+
+    println!("| workload | inversions-ish | beta1 | beta2 |");
+    println!("|---|---|---|---|");
+    let workloads = [
+        ("sorted", WorkloadSpec::Sorted),
+        ("1e2 swaps", WorkloadSpec::KSwaps { swaps: 100, seed: 7 }),
+        ("1e4 swaps", WorkloadSpec::KSwaps { swaps: 10_000, seed: 7 }),
+        ("random", WorkloadSpec::RandomPermutation { seed: 7 }),
+        ("reverse", WorkloadSpec::Reverse),
+        ("worst-case", WorkloadSpec::WorstCase),
+    ];
+    for (label, spec) in workloads {
+        let m = measure(&device, &params, spec, n, sweep.runs);
+        println!("| {label} | n={n} | {:.2} | {:.2} |", m.beta1, m.beta2);
+    }
+    println!();
+    println!("(Karsin et al., ICS 2018: beta1 = 3.1, beta2 = 2.2 on random inputs for Modern GPU;");
+    println!(" both grow with the number of inversions — compare the swap rows.)");
+}

@@ -1,0 +1,185 @@
+//! The measurement core: one `(device, params, workload, N)` point.
+//!
+//! A measurement runs the full simulated sort, takes the *measured*
+//! conflict and traffic counters, and converts them to modelled time via
+//! the documented cost model. Random workloads are averaged over several
+//! seeded runs, mirroring the paper's 10-run averages (and, unlike most
+//! GPU papers — as §II-C complains — we also keep the spread).
+
+use serde::{Deserialize, Serialize};
+use wcms_dmm::stats::Summary;
+use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
+use wcms_mergesort::{sort_with_report, SortParams, SortReport};
+use wcms_workloads::WorkloadSpec;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Input size.
+    pub n: usize,
+    /// Modelled throughput, elements/second (mean over runs).
+    pub throughput: f64,
+    /// Modelled runtime, milliseconds (mean over runs).
+    pub ms: f64,
+    /// Spread of the modelled throughput over runs.
+    pub throughput_spread: Summary,
+    /// Mean merge-phase conflict degree of the global rounds (Karsin β₂).
+    pub beta2: f64,
+    /// Mean partition-phase conflict degree of the global rounds (β₁).
+    pub beta1: f64,
+    /// Bank-conflict extra cycles per element (Fig. 6 right axis).
+    pub conflicts_per_element: f64,
+    /// Modelled milliseconds per element (Fig. 6 left axis).
+    pub ms_per_element: f64,
+}
+
+/// Sweep configuration shared by the figure runners.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Smallest size as `bE · 2^min_doublings`.
+    pub min_doublings: u32,
+    /// Largest size as `bE · 2^max_doublings`.
+    pub max_doublings: u32,
+    /// Runs to average for seeded workloads (the paper uses 10).
+    pub runs: u64,
+}
+
+impl SweepConfig {
+    /// Quick sweep for CI / smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { min_doublings: 1, max_doublings: 5, runs: 2 }
+    }
+
+    /// The default figure sweep.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { min_doublings: 1, max_doublings: 8, runs: 3 }
+    }
+
+    /// Large sweep approaching the paper's sizes (minutes of CPU time).
+    #[must_use]
+    pub fn full() -> Self {
+        Self { min_doublings: 1, max_doublings: 11, runs: 3 }
+    }
+
+    /// The sizes of this sweep for a given parameter set.
+    #[must_use]
+    pub fn sizes(&self, params: &SortParams) -> Vec<usize> {
+        (self.min_doublings..=self.max_doublings).map(|m| params.block_elems() << m).collect()
+    }
+}
+
+/// Convert a sort report into modelled time on `device`.
+#[must_use]
+pub fn model_time(device: &DeviceSpec, params: &SortParams, report: &SortReport) -> f64 {
+    let occ = Occupancy::compute(device, params.b, params.shared_bytes())
+        .expect("parameters must fit the device");
+    let model = CostModel::default();
+    let t = model.estimate(device, &occ, &report.kernel_counters(), report.blocks_launched());
+    t.total_s
+}
+
+/// Measure one point, averaging seeded workloads over `runs` runs.
+#[must_use]
+pub fn measure(
+    device: &DeviceSpec,
+    params: &SortParams,
+    spec: WorkloadSpec,
+    n: usize,
+    runs: u64,
+) -> Measurement {
+    let runs = runs.max(1);
+    let mut times = Vec::with_capacity(runs as usize);
+    let mut beta1 = Vec::new();
+    let mut beta2 = Vec::new();
+    let mut cpe = Vec::new();
+    for run in 0..runs {
+        let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b);
+        let (out, report) = sort_with_report(&input, params);
+        debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        times.push(model_time(device, params, &report));
+        beta1.push(report.global_beta1().unwrap_or(1.0));
+        beta2.push(report.global_beta2().unwrap_or(1.0));
+        cpe.push(report.conflicts_per_element());
+        // Deterministic classes need only one run.
+        if matches!(
+            spec,
+            WorkloadSpec::Sorted
+                | WorkloadSpec::Reverse
+                | WorkloadSpec::WorstCase
+                | WorkloadSpec::ConflictHeavy { .. }
+                | WorkloadSpec::Sawtooth { .. }
+        ) {
+            break;
+        }
+    }
+    let throughputs: Vec<f64> = times.iter().map(|t| n as f64 / t).collect();
+    let spread = Summary::of(&throughputs).expect("at least one run");
+    let mean_time = times.iter().sum::<f64>() / times.len() as f64;
+    Measurement {
+        n,
+        throughput: spread.mean,
+        ms: mean_time * 1e3,
+        throughput_spread: spread,
+        beta1: beta1.iter().sum::<f64>() / beta1.len() as f64,
+        beta2: beta2.iter().sum::<f64>() / beta2.len() as f64,
+        conflicts_per_element: cpe.iter().sum::<f64>() / cpe.len() as f64,
+        ms_per_element: mean_time * 1e3 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (DeviceSpec, SortParams) {
+        (DeviceSpec::test_device(), SortParams::new(32, 7, 64))
+    }
+
+    #[test]
+    fn measure_random_point() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 4;
+        let m = measure(&d, &p, WorkloadSpec::RandomPermutation { seed: 1 }, n, 2);
+        assert_eq!(m.n, n);
+        assert!(m.throughput > 0.0);
+        assert!(m.ms > 0.0);
+        assert!(m.beta2 >= 1.0);
+        assert_eq!(m.throughput_spread.n, 2);
+    }
+
+    #[test]
+    fn worst_case_slower_than_random() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 8;
+        let worst = measure(&d, &p, WorkloadSpec::WorstCase, n, 1);
+        let random = measure(&d, &p, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2);
+        assert!(
+            worst.throughput < random.throughput,
+            "worst {} !< random {}",
+            worst.throughput,
+            random.throughput
+        );
+        assert!(worst.beta2 > random.beta2);
+    }
+
+    #[test]
+    fn deterministic_specs_run_once() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 2;
+        let m = measure(&d, &p, WorkloadSpec::Sorted, n, 5);
+        assert_eq!(m.throughput_spread.n, 1);
+    }
+
+    #[test]
+    fn sweep_sizes_double() {
+        let p = SortParams::new(32, 7, 64);
+        let sizes = SweepConfig::quick().sizes(&p);
+        assert_eq!(sizes.len(), 5);
+        for w in sizes.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert!(p.valid_len(sizes[0]));
+    }
+}

@@ -1,0 +1,177 @@
+//! The figure runners: each reproduces one figure of §IV as a set of
+//! labelled series over a doubling size grid.
+
+use rayon::prelude::*;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::params::SortVariant;
+use wcms_mergesort::SortParams;
+use wcms_workloads::WorkloadSpec;
+
+use crate::experiment::{measure, SweepConfig};
+use crate::series::Series;
+
+/// A library/parameter configuration under test.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Legend prefix, e.g. `"Thrust"`.
+    pub label: String,
+    /// Tuning parameters.
+    pub params: SortParams,
+}
+
+/// Sweep `configs × {random, worst-case}` on `device`. Returns one series
+/// per (config, workload), worst-case first per config — the layout of
+/// Figures 4 and 5.
+#[must_use]
+pub fn throughput_figure(
+    device: &DeviceSpec,
+    configs: &[Config],
+    sweep: &SweepConfig,
+) -> Vec<Series> {
+    let mut jobs = Vec::new();
+    for cfg in configs {
+        for (wl_label, spec) in [
+            ("worst-case", WorkloadSpec::WorstCase),
+            ("random", WorkloadSpec::RandomPermutation { seed: 0xC0FFEE }),
+        ] {
+            for n in sweep.sizes(&cfg.params) {
+                jobs.push((cfg.clone(), wl_label, spec, n));
+            }
+        }
+    }
+    // Points are independent; parallelise the whole grid. (The sort
+    // itself also parallelises over blocks, but the small-N points leave
+    // cores idle without this outer level.)
+    let measured: Vec<_> = jobs
+        .par_iter()
+        .map(|(cfg, wl, spec, n)| {
+            let m = measure(device, &cfg.params, *spec, *n, sweep.runs);
+            (cfg.label.clone(), cfg.params, *wl, m)
+        })
+        .collect();
+
+    let mut out: Vec<Series> = Vec::new();
+    for cfg in configs {
+        for wl in ["worst-case", "random"] {
+            let points: Vec<_> = measured
+                .iter()
+                .filter(|(l, p, w, _)| *l == cfg.label && *p == cfg.params && *w == wl)
+                .map(|(_, _, _, m)| m.clone())
+                .collect();
+            out.push(Series {
+                label: format!("{} E={} b={} {}", cfg.label, cfg.params.e, cfg.params.b, wl),
+                points,
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 4: Quadro M4000 — Thrust (E=15, b=512) and Modern GPU
+/// (E=15, b=128), random vs. worst-case throughput.
+#[must_use]
+pub fn fig4(sweep: &SweepConfig) -> Vec<Series> {
+    let device = DeviceSpec::quadro_m4000();
+    let configs = [
+        Config { label: "Thrust".into(), params: SortParams::thrust(&device) },
+        Config { label: "ModernGPU".into(), params: SortParams::mgpu(&device) },
+    ];
+    throughput_figure(&device, &configs, sweep)
+}
+
+/// Fig. 5 (left): RTX 2080 Ti, Thrust with both parameter sets.
+#[must_use]
+pub fn fig5_thrust(sweep: &SweepConfig) -> Vec<Series> {
+    let device = DeviceSpec::rtx_2080_ti();
+    let configs = [
+        Config { label: "Thrust".into(), params: SortParams::thrust_e15_b512(&device) },
+        Config { label: "Thrust".into(), params: SortParams::thrust(&device) },
+    ];
+    throughput_figure(&device, &configs, sweep)
+}
+
+/// Fig. 5 (right): RTX 2080 Ti, Modern GPU with both parameter sets.
+#[must_use]
+pub fn fig5_mgpu(sweep: &SweepConfig) -> Vec<Series> {
+    let device = DeviceSpec::rtx_2080_ti();
+    let configs = [
+        Config {
+            label: "ModernGPU".into(),
+            params: SortParams::new(32, 15, 512).with_variant(SortVariant::ModernGpu),
+        },
+        Config {
+            label: "ModernGPU".into(),
+            params: SortParams::new(32, 17, 256).with_variant(SortVariant::ModernGpu),
+        },
+    ];
+    throughput_figure(&device, &configs, sweep)
+}
+
+/// Fig. 6: RTX 2080 Ti, Thrust, worst-case inputs — runtime per element
+/// and bank conflicts per element for both parameter sets. Returns the
+/// four series in the paper's order: (ms/elem E15, ms/elem E17,
+/// conflicts/elem E15, conflicts/elem E17) — project with
+/// `m.ms_per_element` / `m.conflicts_per_element`.
+#[must_use]
+pub fn fig6(sweep: &SweepConfig) -> Vec<Series> {
+    let device = DeviceSpec::rtx_2080_ti();
+    let configs = [
+        Config { label: "Thrust".into(), params: SortParams::new(32, 15, 512) },
+        Config { label: "Thrust".into(), params: SortParams::new(32, 17, 256) },
+    ];
+    let mut out = Vec::new();
+    for cfg in &configs {
+        let points: Vec<_> = sweep
+            .sizes(&cfg.params)
+            .into_par_iter()
+            .map(|n| measure(&device, &cfg.params, WorkloadSpec::WorstCase, n, 1))
+            .collect();
+        out.push(Series {
+            label: format!("{} E={} b={} worst-case", cfg.label, cfg.params.e, cfg.params.b),
+            points,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_figure_layout() {
+        let device = DeviceSpec::test_device();
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64) }];
+        let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
+        let series = throughput_figure(&device, &configs, &sweep);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].label.contains("worst-case"));
+        assert!(series[1].label.contains("random"));
+        assert_eq!(series[0].points.len(), 2);
+        // Same grid.
+        assert_eq!(series[0].points[0].n, series[1].points[0].n);
+    }
+
+    #[test]
+    fn worst_case_series_is_slower_pointwise() {
+        let device = DeviceSpec::test_device();
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64) }];
+        let sweep = SweepConfig { min_doublings: 2, max_doublings: 3, runs: 1 };
+        let series = throughput_figure(&device, &configs, &sweep);
+        for (w, r) in series[0].points.iter().zip(&series[1].points) {
+            assert!(w.throughput < r.throughput, "n={}", w.n);
+        }
+    }
+
+    #[test]
+    fn fig6_series_shapes() {
+        let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
+        let series = fig6(&sweep);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            // Conflicts per element grow with N (log growth, Fig. 6).
+            assert!(s.points[1].conflicts_per_element >= s.points[0].conflicts_per_element);
+        }
+    }
+}

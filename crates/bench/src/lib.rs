@@ -1,0 +1,29 @@
+//! # `wcms-bench` — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation (§IV) on the
+//! simulated GPUs:
+//!
+//! * **Fig. 4** — throughput vs. `N` on the Quadro M4000, Thrust
+//!   (`E=15, b=512`) and Modern GPU (`E=15, b=128`), random vs.
+//!   constructed worst case;
+//! * **Fig. 5** — throughput vs. `N` on the RTX 2080 Ti for both
+//!   parameter sets (`E=15/b=512`, `E=17/b=256`) and both libraries;
+//! * **Fig. 6** — runtime per element and bank conflicts per element vs.
+//!   `N` (Thrust, RTX 2080 Ti, both parameter sets, worst-case inputs);
+//! * **summary** — the peak/average slowdown statistics quoted inline in
+//!   §IV-B, plus the Karsin β₁/β₂ averages.
+//!
+//! Binaries `fig4`, `fig5`, `fig6`, `summary` print the series as CSV or
+//! markdown; Criterion benches cover the generator, Merge Path, and the
+//! simulator itself.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod figures;
+pub mod series;
+pub mod summary;
+
+pub use experiment::{measure, Measurement, SweepConfig};
+pub use series::{Series, SeriesPoint};

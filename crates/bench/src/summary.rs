@@ -1,0 +1,111 @@
+//! The inline statistics of §IV-B: peak and average slowdown of the
+//! constructed worst case vs. random inputs, and the Karsin β averages.
+
+use wcms_dmm::stats::slowdown_percent;
+
+use crate::series::Series;
+
+/// Peak and average slowdown of a (worst-case, random) series pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// Largest per-size slowdown, percent.
+    pub peak_percent: f64,
+    /// Input size at the peak.
+    pub peak_n: usize,
+    /// Mean slowdown across the sweep, percent.
+    pub average_percent: f64,
+}
+
+/// Compute slowdown statistics from a worst-case series and a random
+/// series on the same size grid.
+///
+/// # Panics
+///
+/// Panics if the grids differ or are empty.
+#[must_use]
+pub fn slowdown(worst: &Series, random: &Series) -> Slowdown {
+    assert_eq!(worst.points.len(), random.points.len(), "size grids differ");
+    assert!(!worst.points.is_empty(), "empty series");
+    let mut peak = f64::NEG_INFINITY;
+    let mut peak_n = 0usize;
+    let mut sum = 0.0;
+    for (w, r) in worst.points.iter().zip(&random.points) {
+        assert_eq!(w.n, r.n, "size grids differ");
+        let s = slowdown_percent(r.throughput, w.throughput);
+        if s > peak {
+            peak = s;
+            peak_n = w.n;
+        }
+        sum += s;
+    }
+    Slowdown { peak_percent: peak, peak_n, average_percent: sum / worst.points.len() as f64 }
+}
+
+/// Pair up `throughput_figure` output (worst-case series at even indices,
+/// random at the following odd index) into `(label, Slowdown)` rows.
+#[must_use]
+pub fn slowdown_table(series: &[Series]) -> Vec<(String, Slowdown)> {
+    series
+        .chunks(2)
+        .filter(|pair| pair.len() == 2)
+        .map(|pair| {
+            let label = pair[0].label.trim_end_matches(" worst-case").to_string();
+            (label, slowdown(&pair[0], &pair[1]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Measurement;
+    use wcms_dmm::stats::Summary;
+
+    fn meas(n: usize, thr: f64) -> Measurement {
+        Measurement {
+            n,
+            throughput: thr,
+            ms: 1.0,
+            throughput_spread: Summary::of(&[thr]).unwrap(),
+            beta1: 1.0,
+            beta2: 1.0,
+            conflicts_per_element: 0.0,
+            ms_per_element: 0.0,
+        }
+    }
+
+    fn series(label: &str, thrs: &[(usize, f64)]) -> Series {
+        Series { label: label.into(), points: thrs.iter().map(|&(n, t)| meas(n, t)).collect() }
+    }
+
+    #[test]
+    fn slowdown_peak_and_average() {
+        let worst = series("x worst-case", &[(100, 1.0), (200, 1.0)]);
+        let random = series("x random", &[(100, 1.5), (200, 2.0)]);
+        let s = slowdown(&worst, &random);
+        assert!((s.peak_percent - 100.0).abs() < 1e-9);
+        assert_eq!(s.peak_n, 200);
+        assert!((s.average_percent - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_pairs_series() {
+        let all = vec![
+            series("A worst-case", &[(100, 1.0)]),
+            series("A random", &[(100, 2.0)]),
+            series("B worst-case", &[(100, 4.0)]),
+            series("B random", &[(100, 5.0)]),
+        ];
+        let table = slowdown_table(&all);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].0, "A");
+        assert!((table[0].1.peak_percent - 100.0).abs() < 1e-9);
+        assert!((table[1].1.peak_percent - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "grids differ")]
+    fn mismatched_grids_rejected() {
+        let _ = slowdown(&series("w", &[(100, 1.0)]), &series("r", &[(100, 1.0), (200, 1.0)]));
+    }
+}

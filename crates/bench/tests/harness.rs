@@ -1,0 +1,78 @@
+//! Integration tests of the figure harness at quick scale: layout,
+//! determinism and the orderings the paper's figures rely on.
+
+use wcms_bench::experiment::{measure, SweepConfig};
+use wcms_bench::figures::{throughput_figure, Config};
+use wcms_bench::series::to_csv;
+use wcms_bench::summary::slowdown_table;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::SortParams;
+use wcms_workloads::WorkloadSpec;
+
+fn tiny_sweep() -> SweepConfig {
+    SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 }
+}
+
+#[test]
+fn figure_runner_produces_paired_series_with_positive_slowdowns() {
+    let device = DeviceSpec::quadro_m4000();
+    let configs = [
+        Config { label: "Thrust".into(), params: SortParams::new(32, 15, 128) },
+        Config { label: "Mini".into(), params: SortParams::new(32, 7, 64) },
+    ];
+    let series = throughput_figure(&device, &configs, &tiny_sweep());
+    assert_eq!(series.len(), 4);
+    let table = slowdown_table(&series);
+    assert_eq!(table.len(), 2);
+    for (label, s) in &table {
+        assert!(
+            s.average_percent > 0.0,
+            "{label}: worst case must average slower, got {}",
+            s.average_percent
+        );
+        assert!(s.peak_percent >= s.average_percent);
+    }
+    // Larger N (more rounds) peaks the slowdown at the top of the sweep.
+    assert_eq!(table[0].1.peak_n, configs[0].params.block_elems() << 3);
+}
+
+#[test]
+fn csv_output_covers_every_point() {
+    let device = DeviceSpec::test_device();
+    let configs = [Config { label: "T".into(), params: SortParams::new(32, 5, 64) }];
+    let series = throughput_figure(&device, &configs, &tiny_sweep());
+    let csv = to_csv(&series, |m| m.throughput);
+    // Header + 2 series × 3 sizes.
+    assert_eq!(csv.lines().count(), 1 + 2 * 3);
+    assert!(csv.starts_with("series,n,value\n"));
+}
+
+#[test]
+fn measurements_are_deterministic() {
+    let device = DeviceSpec::rtx_2080_ti();
+    let params = SortParams::new(32, 7, 64);
+    let n = params.block_elems() * 4;
+    for spec in
+        [WorkloadSpec::WorstCase, WorkloadSpec::RandomPermutation { seed: 9 }, WorkloadSpec::Sorted]
+    {
+        let a = measure(&device, &params, spec, n, 2);
+        let b = measure(&device, &params, spec, n, 2);
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits(), "{}", spec.label());
+        assert_eq!(a.beta2.to_bits(), b.beta2.to_bits(), "{}", spec.label());
+    }
+}
+
+#[test]
+fn beta_ordering_matches_theory_at_figure_level() {
+    let device = DeviceSpec::quadro_m4000();
+    let params = SortParams::new(32, 15, 64);
+    let n = params.block_elems() * 4;
+    let sorted = measure(&device, &params, WorkloadSpec::Sorted, n, 1);
+    let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 1 }, n, 1);
+    let heavy = measure(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1);
+    let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1);
+    assert!(sorted.beta2 <= random.beta2);
+    assert!(random.beta2 < heavy.beta2, "stride heuristic must beat random in beta2");
+    assert!(heavy.beta2 < worst.beta2);
+    assert!((worst.beta2 - 15.0).abs() < 1e-9);
+}

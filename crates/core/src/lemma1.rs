@@ -1,0 +1,96 @@
+//! Lemma 1: the pigeonhole worst case for any warp access.
+//!
+//! A warp of `w` threads reading `w` distinct addresses out of `k`
+//! consecutive ones can always be forced into a
+//! `min{⌈k/w⌉, w}`-way bank conflict — the trivial upper bound whose
+//! *achievability inside the merge sort's access pattern* is the paper's
+//! main theorem. Here we provide the bound, an explicit witness address
+//! set, and (in tests) machine verification that the witness achieves it.
+
+/// The Lemma 1 bound: the worst-case serialization degree of `w` distinct
+/// addresses within `k` consecutive addresses over `w` banks.
+#[must_use]
+pub fn lemma1_bound(k: usize, w: usize) -> usize {
+    assert!(w > 0, "need at least one bank");
+    if k == 0 {
+        return 0;
+    }
+    k.div_ceil(w).min(w)
+}
+
+/// A witness: `w` distinct addresses in `[0, k)` whose parallel access
+/// serializes into [`lemma1_bound`] cycles. Requires `k ≥ w` so that `w`
+/// distinct addresses exist.
+///
+/// The first `min{⌈k/w⌉, w}` addresses all lie in bank 0 (stride-`w`
+/// multiples); the remainder spread across distinct other banks.
+///
+/// # Panics
+///
+/// Panics if `k < w` or `w == 0`.
+#[must_use]
+pub fn lemma1_witness(k: usize, w: usize) -> Vec<usize> {
+    assert!(w > 0, "need at least one bank");
+    assert!(k >= w, "need at least w consecutive addresses for w distinct ones");
+    let m = lemma1_bound(k, w);
+    let mut addrs = Vec::with_capacity(w);
+    // m addresses in bank 0: 0, w, 2w, … — all < k because (m−1)·w < k.
+    for i in 0..m {
+        addrs.push(i * w);
+    }
+    // Remaining lanes on distinct non-zero banks of the first row.
+    for bank in 1..=(w - m) {
+        addrs.push(bank);
+    }
+    addrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcms_dmm::{BankModel, ConflictCounter, WarpStep};
+
+    #[test]
+    fn bound_values() {
+        assert_eq!(lemma1_bound(32, 32), 1);
+        assert_eq!(lemma1_bound(33, 32), 2);
+        assert_eq!(lemma1_bound(32 * 15, 32), 15);
+        assert_eq!(lemma1_bound(32 * 32, 32), 32);
+        assert_eq!(lemma1_bound(usize::MAX, 32), 32); // capped at w
+        assert_eq!(lemma1_bound(0, 32), 0);
+    }
+
+    #[test]
+    fn witness_achieves_bound() {
+        for w in [8usize, 16, 32] {
+            for k in [w, w + 1, 2 * w, 5 * w + 3, w * w, 2 * w * w] {
+                let addrs = lemma1_witness(k, w);
+                assert_eq!(addrs.len(), w);
+                assert!(addrs.iter().all(|&a| a < k), "k={k} w={w}");
+                let mut sorted = addrs.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), w, "addresses must be distinct, k={k} w={w}");
+
+                let mut c = ConflictCounter::new(BankModel::new(w));
+                let s = c.count(&WarpStep::all_read(&addrs));
+                assert_eq!(s.degree, lemma1_bound(k, w), "k={k} w={w}");
+            }
+        }
+    }
+
+    /// The merge sort case the paper cares about: a warp's wE-element
+    /// window gives k = wE, so the bound is exactly E.
+    #[test]
+    fn merge_sort_window_bound_is_e() {
+        for e in [7usize, 9, 15, 17, 31] {
+            assert_eq!(lemma1_bound(32 * e, 32), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least w")]
+    fn witness_needs_k_at_least_w() {
+        let _ = lemma1_witness(31, 32);
+    }
+}

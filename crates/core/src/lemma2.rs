@@ -1,0 +1,235 @@
+//! The three alignment strategies of Lemma 2, as explicit composable
+//! steps: **front-to-back**, **back-to-front**, and **outside-in**.
+//!
+//! Lemma 2 is stated over a *state*: how many elements of each list sit
+//! before (`α↑`, `β↑`) and after (`α↓`, `β↓`) the `E` consecutive banks,
+//! with `m` full columns of each list remaining. Each strategy aligns one
+//! column of each list per application and recurses on `m − 1`:
+//!
+//! * *front-to-back* consumes the leading misalignment of both lists with
+//!   filler threads, then takes each list's first full column;
+//! * *back-to-front* is the mirror image on the trailing misalignment;
+//! * *outside-in* mixes one front column of one list with one back column
+//!   of the other.
+//!
+//! [`construct_small_e`](crate::small_e::construct_small_e) executes the
+//! same invariants as one fused greedy loop; this module exposes the
+//! strategies individually so each of Lemma 2's case conditions can be
+//! tested in isolation, and provides [`AlignmentState`] to drive them.
+
+use crate::assignment::{ScanFirst, ThreadAssign};
+
+/// The Lemma 2 state for one list: elements consumed so far (`pos`) and
+/// the list's total length (whole columns of width `w`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListState {
+    /// Elements consumed from the front.
+    pub pos: usize,
+    /// Total list length (a multiple of `w`).
+    pub len: usize,
+}
+
+impl ListState {
+    /// Leading misalignment `α↑`/`β↑`: padding elements before the next
+    /// window column (0 when sitting exactly on a column start).
+    #[must_use]
+    pub fn leading(&self, w: usize) -> usize {
+        let r = self.pos % w;
+        if r == 0 {
+            0
+        } else {
+            (w - r).min(self.len - self.pos)
+        }
+    }
+
+    /// Elements remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+}
+
+/// Mutable alignment state over both lists of a warp (small-`E` layout:
+/// window = banks `[0, E)`, padding = banks `[E, w)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentState {
+    /// Warp width / bank count.
+    pub w: usize,
+    /// Elements per thread.
+    pub e: usize,
+    /// The `A` list.
+    pub a: ListState,
+    /// The `B` list.
+    pub b: ListState,
+    /// Threads emitted so far.
+    pub threads: Vec<ThreadAssign>,
+}
+
+impl AlignmentState {
+    /// Fresh state for lists of `cols_a`/`cols_b` full columns.
+    #[must_use]
+    pub fn new(w: usize, e: usize, cols_a: usize, cols_b: usize) -> Self {
+        Self {
+            w,
+            e,
+            a: ListState { pos: 0, len: cols_a * w },
+            b: ListState { pos: 0, len: cols_b * w },
+            threads: Vec::new(),
+        }
+    }
+
+    /// Lemma 2's precondition at the front: `α↑ + β↑ ≥ E` — enough
+    /// combined padding for a filler thread (trivially true when either
+    /// list sits on a column start with `w − E ≥ E` padding upcoming).
+    #[must_use]
+    pub fn front_precondition(&self) -> bool {
+        let (la, lb) = (self.a.leading(self.w), self.b.leading(self.w));
+        la + lb >= self.e || la == 0 || lb == 0
+    }
+
+    /// Emit filler threads consuming exactly the leading padding of both
+    /// lists (smaller side first), until one list sits on a column start.
+    /// Returns the number of filler threads emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padding cannot be packed into whole `E`-element
+    /// threads without touching a window column — i.e. the Lemma 2
+    /// invariant is violated.
+    pub fn consume_leading(&mut self) -> usize {
+        let mut emitted = 0;
+        while self.a.leading(self.w) != 0 && self.b.leading(self.w) != 0 {
+            let (la, lb) = (self.a.leading(self.w), self.b.leading(self.w));
+            assert!(la + lb >= self.e, "Lemma 2 invariant: alpha+beta >= E");
+            let a_first = la <= lb;
+            let mut need = self.e;
+            let (ta, tb) = if a_first {
+                let ta = need.min(la);
+                need -= ta;
+                let tb = need.min(lb);
+                need -= tb;
+                (ta, tb)
+            } else {
+                let tb = need.min(lb);
+                need -= tb;
+                let ta = need.min(la);
+                need -= ta;
+                (ta, tb)
+            };
+            assert_eq!(need, 0, "filler thread could not be filled from padding");
+            self.a.pos += ta;
+            self.b.pos += tb;
+            self.threads.push(ThreadAssign {
+                a: ta,
+                b: tb,
+                first: if a_first { ScanFirst::A } else { ScanFirst::B },
+            });
+            emitted += 1;
+        }
+        emitted
+    }
+
+    /// *Front-to-back* step: clear leading padding, then align the first
+    /// available column (preferring the list already at a column start).
+    /// Returns `true` if a column was aligned.
+    pub fn front_to_back(&mut self) -> bool {
+        self.consume_leading();
+        let take_a = self.a.leading(self.w) == 0 && self.a.remaining() >= self.e;
+        let take_b = self.b.leading(self.w) == 0 && self.b.remaining() >= self.e;
+        if take_a {
+            self.a.pos += self.e;
+            self.threads.push(ThreadAssign { a: self.e, b: 0, first: ScanFirst::A });
+            true
+        } else if take_b {
+            self.b.pos += self.e;
+            self.threads.push(ThreadAssign { a: 0, b: self.e, first: ScanFirst::B });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drive *front-to-back* to completion: align as many columns as the
+    /// lists hold, then mop up trailing padding with fillers. Returns the
+    /// number of aligned columns.
+    pub fn run_front_to_back(&mut self) -> usize {
+        let mut aligned = 0;
+        while self.front_to_back() {
+            aligned += 1;
+        }
+        // Trailing padding (if any list still has elements, they are all
+        // padding of consumed columns' tails).
+        while self.a.remaining() + self.b.remaining() > 0 {
+            let need = self.e;
+            let ta = need.min(self.a.remaining());
+            let tb = (need - ta).min(self.b.remaining());
+            assert_eq!(ta + tb, need, "trailing padding must fill whole threads");
+            self.a.pos += ta;
+            self.b.pos += tb;
+            self.threads.push(ThreadAssign { a: ta, b: tb, first: ScanFirst::A });
+        }
+        aligned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::WarpAssignment;
+    use crate::evaluate::evaluate;
+
+    #[test]
+    fn leading_misalignment_arithmetic() {
+        let s = ListState { pos: 0, len: 32 };
+        assert_eq!(s.leading(16), 0);
+        let s = ListState { pos: 7, len: 32 };
+        assert_eq!(s.leading(16), 9);
+        let s = ListState { pos: 16, len: 32 };
+        assert_eq!(s.leading(16), 0);
+        // Tail-clamped.
+        let s = ListState { pos: 30, len: 32 };
+        assert_eq!(s.leading(16), 2);
+    }
+
+    #[test]
+    fn front_to_back_aligns_all_columns_w16_e7() {
+        // The Theorem 3 shares: (E+1)/2 = 4 columns of A, 3 of B.
+        let mut st = AlignmentState::new(16, 7, 4, 3);
+        let aligned = st.run_front_to_back();
+        assert_eq!(aligned, 7, "all E columns must align");
+        assert_eq!(st.threads.len(), 16, "exactly w threads");
+        let asg = WarpAssignment { w: 16, e: 7, window_start: 0, threads: st.threads };
+        asg.validate_paper_shares().unwrap();
+        assert_eq!(evaluate(&asg).aligned, 49, "E² aligned");
+    }
+
+    #[test]
+    fn front_to_back_matches_greedy_for_all_small_e() {
+        for w in [8usize, 16, 32, 64] {
+            for e in crate::small_e::small_e_values(w) {
+                let mut st = AlignmentState::new(w, e, e.div_ceil(2), (e - 1) / 2);
+                let aligned = st.run_front_to_back();
+                assert_eq!(aligned, e, "w={w} E={e}");
+                assert_eq!(st.threads.len(), w, "w={w} E={e}");
+                let asg = WarpAssignment { w, e, window_start: 0, threads: st.threads };
+                assert_eq!(evaluate(&asg).aligned, e * e, "w={w} E={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn precondition_detects_both_lists_on_boundary() {
+        let st = AlignmentState::new(16, 7, 2, 1);
+        assert!(st.front_precondition());
+    }
+
+    #[test]
+    fn consume_leading_stops_on_column_start() {
+        let mut st = AlignmentState::new(16, 7, 4, 3);
+        assert!(st.front_to_back()); // aligns A col 0; A now mid-padding
+        assert!(st.front_to_back()); // aligns B col 0 (B still at start)
+                                     // Now both mid-padding: fillers run until one hits a boundary.
+        st.consume_leading();
+        assert!(st.a.leading(16) == 0 || st.b.leading(16) == 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! # `wcms-core` — constructive worst-case inputs for GPU merge sort
+//!
+//! The primary contribution of Berney & Sitchinava (IPDPS 2020),
+//! implemented in full: for every `E < w` co-prime with the warp width
+//! `w`, construct an input permutation on which every warp of the GPU
+//! pairwise merge sort degenerates to `⌈w/E⌉`-way effective parallelism
+//! through shared-memory bank conflicts.
+//!
+//! * [`numtheory`] — gcd/inverse/congruence facts (Facts 5–6, Lemma 4);
+//! * [`assignment`] — per-warp thread shares, the constructions' output;
+//! * [`small_e`] — the `E < w/2` construction (Lemma 2 / Theorem 3,
+//!   `E²` aligned elements);
+//! * [`sequence`] — the `xᵢ/yᵢ` congruence sequences and the `S`, `T`
+//!   tuple sequences (Lemmas 7–8);
+//! * [`large_e`] — the `w/2 < E < w` construction (Theorem 9);
+//! * [`sorted_case`] — the `gcd(w, E) = d > 1` analysis where sorted
+//!   order itself aligns every `d`-th column (Fig. 1);
+//! * [`mod@evaluate`] — exact DMM evaluation of an assignment's merging
+//!   stage;
+//! * [`scan_order`] — per-thread scan-order selection;
+//! * [`lemma1`] — the pigeonhole worst-case bound and its witness;
+//! * [`lemma2`] — the front-to-back / back-to-front / outside-in
+//!   alignment strategies as explicit composable steps;
+//! * [`builder`] — the *unmerge* composition turning per-round warp
+//!   assignments into a full `N`-element input permutation;
+//! * [`family`] — an iterator over the worst-case permutation family
+//!   (Conclusion, point 2);
+//! * [`expected`] — Monte-Carlo estimation of the expected conflict
+//!   degree on random interleavings (the open problem's empirical side);
+//! * [`conflict_heavy`] — a Karsin-style heuristic baseline adversary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod builder;
+pub mod conflict_heavy;
+pub mod evaluate;
+pub mod expected;
+pub mod family;
+pub mod large_e;
+pub mod lemma1;
+pub mod lemma2;
+pub mod numtheory;
+pub mod scan_order;
+pub mod sequence;
+pub mod small_e;
+pub mod sorted_case;
+
+pub use assignment::{ScanFirst, ThreadAssign, WarpAssignment};
+pub use builder::WorstCaseBuilder;
+pub use evaluate::{access_matrix, evaluate, WarpEval};
+pub use family::WorstCaseFamily;
+pub use large_e::construct_large_e;
+pub use small_e::construct_small_e;
+
+/// Construct the worst-case warp assignment for any odd `E` co-prime with
+/// `w` (`3 ≤ E < w`, `E ≠ w/2`): dispatches to the small- or large-`E`
+/// construction.
+///
+/// ```
+/// use wcms_core::{construct, evaluate, theorem_aligned_count};
+///
+/// // Thrust's E = 15 on 32 banks: all E² = 225 window elements align,
+/// // so every merge step is a 15-way bank conflict.
+/// let asg = construct(32, 15);
+/// let ev = evaluate(&asg);
+/// assert_eq!(ev.aligned, 225);
+/// assert_eq!(ev.aligned, theorem_aligned_count(32, 15));
+/// assert!(ev.degrees.iter().all(|&d| d >= 15));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `E` is even, `E < 3`, or `E ≥ w`.
+#[must_use]
+pub fn construct(w: usize, e: usize) -> WarpAssignment {
+    if small_e::is_small_e(w, e) {
+        construct_small_e(w, e)
+    } else if large_e::is_large_e(w, e) {
+        construct_large_e(w, e)
+    } else {
+        panic!("no worst-case construction for w={w}, E={e} (need odd 3 <= E < w)")
+    }
+}
+
+/// The aligned-element count the paper proves for `(w, E)`:
+/// `E²` for small `E` (Theorem 3) and
+/// `(E² + E + 2Er − r² − r)/2` with `r = w − E` for large `E`
+/// (Theorem 9).
+#[must_use]
+pub fn theorem_aligned_count(w: usize, e: usize) -> usize {
+    if small_e::is_small_e(w, e) {
+        e * e
+    } else if large_e::is_large_e(w, e) {
+        let r = w - e;
+        (e * e + e + 2 * e * r - r * r - r) / 2
+    } else {
+        panic!("no theorem bound for w={w}, E={e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_dispatches() {
+        assert_eq!(construct(32, 7).window_start, 0);
+        assert_eq!(construct(32, 17).window_start, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "no worst-case construction")]
+    fn construct_rejects_even() {
+        let _ = construct(32, 6);
+    }
+
+    #[test]
+    fn theorem_counts_at_the_papers_corner_cases() {
+        // §III-B: for E = w/2 + 1 (r = E − 2) the bound is E² − 1.
+        let w = 32;
+        let e = 17;
+        assert_eq!(theorem_aligned_count(w, e), e * e - 1);
+        // For E = w − 1 (r = 1) the bound is E²/2 + 3E/2 − 1
+        // (paper: ½E² + 3/2·E − 1).
+        let e = 31;
+        assert_eq!(theorem_aligned_count(w, e), (e * e + 3 * e) / 2 - 1);
+    }
+}

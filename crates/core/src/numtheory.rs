@@ -1,0 +1,134 @@
+//! Elementary number theory used by the constructions (the paper's
+//! Facts 5–6 and Lemma 4).
+
+/// Greatest common divisor (Euclid). `gcd(0, 0) = 0` by convention.
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+#[must_use]
+pub fn egcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        (a.abs(), a.signum(), 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Modular inverse of `a` modulo `m` (Fact 6: exists and is unique iff
+/// `gcd(a, m) = 1`). Returns `None` otherwise.
+#[must_use]
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (g, x, _) = egcd((a % m) as i64, m as i64);
+    (g == 1).then(|| x.rem_euclid(m as i64) as u64)
+}
+
+/// Solve the linear congruence `a·x ≡ b (mod m)` for `gcd(a, m) = 1`
+/// (Fact 5: exactly one solution in `Z_m`). Returns `None` if `a` and `m`
+/// are not co-prime.
+#[must_use]
+pub fn solve_linear_congruence(a: u64, b: u64, m: u64) -> Option<u64> {
+    mod_inverse(a, m).map(|inv| (inv % m) * (b % m) % m)
+}
+
+/// Lemma 4 of the paper: for `w` a power of two and odd `E` with
+/// `w/2 < E < w`, the remainder `r = w − E` is odd and co-prime with `E`.
+/// This checker is used by tests and as a precondition assert.
+#[must_use]
+pub fn lemma4_holds(w: u64, e: u64) -> bool {
+    if !w.is_power_of_two() || e.is_multiple_of(2) || e <= w / 2 || e >= w {
+        return false;
+    }
+    let r = w - e;
+    r % 2 == 1 && gcd(e, r) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(32, 15), 1);
+    }
+
+    #[test]
+    fn egcd_bezout_identity() {
+        for (a, b) in [(240i64, 46), (17, 5), (6, 9), (1, 1), (13, 13)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(a * x + b * y, g, "a={a} b={b}");
+            assert_eq!(g, gcd(a as u64, b as u64) as i64);
+        }
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        for m in [3u64, 5, 7, 9, 15, 17, 31, 32] {
+            for a in 1..m {
+                match mod_inverse(a, m) {
+                    Some(inv) => {
+                        assert_eq!(gcd(a, m), 1);
+                        assert_eq!(a * inv % m, 1, "a={a} m={m}");
+                        assert!(inv < m);
+                    }
+                    None => assert_ne!(gcd(a, m), 1, "a={a} m={m}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_degenerate_moduli() {
+        assert_eq!(mod_inverse(3, 0), None);
+        assert_eq!(mod_inverse(3, 1), Some(0));
+    }
+
+    #[test]
+    fn linear_congruence_unique_solution() {
+        // Fact 5 on E = 9, r = 7: each b has exactly one solution.
+        let (e, r) = (9u64, 7u64);
+        for b in 0..e {
+            let x = solve_linear_congruence(r, b, e).unwrap();
+            assert_eq!(r * x % e, b);
+        }
+        // Non-co-prime has no (general) unique solution.
+        assert_eq!(solve_linear_congruence(6, 1, 9), None);
+    }
+
+    #[test]
+    fn lemma4_all_large_odd_e() {
+        for w in [16u64, 32, 64, 128] {
+            for e in (w / 2 + 1)..w {
+                if e % 2 == 1 {
+                    assert!(lemma4_holds(w, e), "w={w} e={e}");
+                    assert_eq!(gcd(e, w - e), 1, "co-primality w={w} e={e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_rejects_out_of_range() {
+        assert!(!lemma4_holds(32, 15)); // small E
+        assert!(!lemma4_holds(32, 32)); // E = w
+        assert!(!lemma4_holds(32, 18)); // even E
+        assert!(!lemma4_holds(30, 17)); // w not a power of two
+    }
+}

@@ -1,0 +1,220 @@
+//! The congruence sequences of §III-B (Lemmas 7 and 8) and the tuple
+//! sequences `S` and `T` that drive the large-`E` construction.
+//!
+//! For `r = w − E` (odd and co-prime with `E` by Lemma 4), define for
+//! `i = 1, …, E−1`:
+//!
+//! ```text
+//! xᵢ = i(E − r) mod E ≡ −ir (mod E)      yᵢ = ir mod E
+//! ```
+//!
+//! Lemma 7: `xᵢ + yᵢ = E`, all `xᵢ` (and all `yᵢ`) are distinct, and
+//! `xᵢ = y_{E−i}`. Lemma 8: consecutive sums `xᵢ + y_{i+1}` equal `r`
+//! when `xᵢ < r` and `w` when `xᵢ > r`, with exactly `r − 1` sums of `r`
+//! and `E − r − 1` sums of `w`.
+//!
+//! `S` alternates the pair order, and `T` inserts `(E, 0)` / `(0, E)`
+//! full-column tuples after every group summing to `r` — producing `w`
+//! tuples whose `a`-components sum to `(E+1)/2·w` and `b`-components to
+//! `(E−1)/2·w`.
+
+/// The `xᵢ` sequence: `x[i] = −(i+1)·r mod E` for `i = 0 … E−2`
+/// (0-indexed storage of the paper's `i = 1 … E−1`).
+#[must_use]
+pub fn x_sequence(e: usize, r: usize) -> Vec<usize> {
+    (1..e).map(|i| (i * (e - r % e)) % e).collect()
+}
+
+/// The `yᵢ` sequence: `y[i] = (i+1)·r mod E`.
+#[must_use]
+pub fn y_sequence(e: usize, r: usize) -> Vec<usize> {
+    (1..e).map(|i| (i * r) % e).collect()
+}
+
+/// The sequence `S` of §III-B: pairs `(aᵢ, bᵢ)` for `i = 1 … E−1` where
+/// even `i` takes `(xᵢ, yᵢ)` and odd `i` takes `(yᵢ, xᵢ)`.
+#[must_use]
+pub fn s_sequence(e: usize, r: usize) -> Vec<(usize, usize)> {
+    let xs = x_sequence(e, r);
+    let ys = y_sequence(e, r);
+    (1..e)
+        .map(|i| {
+            let (x, y) = (xs[i - 1], ys[i - 1]);
+            if i % 2 == 0 {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        })
+        .collect()
+}
+
+/// The sequence `T`: `S` with full-column tuples inserted per the three
+/// rules of §III-B. Has exactly `w = E + r` tuples.
+#[must_use]
+pub fn t_sequence(e: usize, r: usize) -> Vec<(usize, usize)> {
+    let xs = x_sequence(e, r);
+    let ys = y_sequence(e, r);
+    let s = s_sequence(e, r);
+    let mut t = Vec::with_capacity(e + r);
+    for (idx, &pair) in s.iter().enumerate() {
+        let i = idx + 1; // the paper's 1-based index
+        t.push(pair);
+        // Rule 1: (E, 0) after (a₁, b₁) and after (a_{E−1}, b_{E−1}).
+        // (At the tail, rule 1's tuple precedes a possible rule-3 tuple —
+        // matching the thread order of the paper's Fig. 3 right.)
+        if i == 1 || i == e - 1 {
+            t.push((e, 0));
+        }
+        // Rules 2–3: after pair i ≥ 2, if x_{i−1} + yᵢ = r, insert a full
+        // column — in A (E, 0) after odd i, in B (0, E) after even i.
+        if i >= 2 && xs[i - 2] + ys[i - 1] == r {
+            if i % 2 == 1 {
+                t.push((e, 0));
+            } else {
+                t.push((0, e));
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numtheory::gcd;
+
+    fn large_configs() -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for w in [8usize, 16, 32, 64, 128] {
+            for e in (w / 2 + 1..w).step_by(2) {
+                out.push((w, e));
+            }
+        }
+        out
+    }
+
+    /// Lemma 7.1: xᵢ + yᵢ = E for every i.
+    #[test]
+    fn lemma7_1_sums_to_e() {
+        for (w, e) in large_configs() {
+            let r = w - e;
+            let xs = x_sequence(e, r);
+            let ys = y_sequence(e, r);
+            for i in 0..e - 1 {
+                assert_eq!(xs[i] + ys[i], e, "w={w} e={e} i={}", i + 1);
+            }
+        }
+    }
+
+    /// Lemma 7.2: all xᵢ distinct, all yᵢ distinct (and none zero).
+    #[test]
+    fn lemma7_2_distinct() {
+        for (w, e) in large_configs() {
+            let r = w - e;
+            for seq in [x_sequence(e, r), y_sequence(e, r)] {
+                let mut sorted = seq.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), e - 1, "w={w} e={e}");
+                assert!(!seq.contains(&0), "w={w} e={e}");
+            }
+        }
+    }
+
+    /// Lemma 7.3: xᵢ = y_{E−i}.
+    #[test]
+    fn lemma7_3_reflection() {
+        for (w, e) in large_configs() {
+            let r = w - e;
+            let xs = x_sequence(e, r);
+            let ys = y_sequence(e, r);
+            for i in 1..e {
+                assert_eq!(xs[i - 1], ys[e - i - 1], "w={w} e={e} i={i}");
+            }
+        }
+    }
+
+    /// Lemma 8.3: xᵢ + y_{i+1} is r when xᵢ < r and w when xᵢ > r; and
+    /// xᵢ = r never occurs for i = 1 … E−2 (x_{E−1} = r is the endpoint).
+    #[test]
+    fn lemma8_consecutive_sums() {
+        for (w, e) in large_configs() {
+            let r = w - e;
+            let xs = x_sequence(e, r);
+            let ys = y_sequence(e, r);
+            let mut sums_r = 0usize;
+            let mut sums_w = 0usize;
+            for i in 1..e - 1 {
+                let x = xs[i - 1];
+                let sum = x + ys[i];
+                assert_ne!(x, r, "w={w} e={e} i={i}");
+                if x < r {
+                    assert_eq!(sum, r, "w={w} e={e} i={i}");
+                    sums_r += 1;
+                } else {
+                    assert_eq!(sum, w, "w={w} e={e} i={i}");
+                    sums_w += 1;
+                }
+            }
+            // Exactly r−1 sums of r and E−r−1 sums of w (§III-B).
+            assert_eq!(sums_r, r - 1, "w={w} e={e}");
+            assert_eq!(sums_w, e - r - 1, "w={w} e={e}");
+            assert_eq!(xs[e - 2], r, "x_{{E-1}} = r, w={w} e={e}");
+        }
+    }
+
+    /// S has E−1 pairs, each summing to E.
+    #[test]
+    fn s_sequence_shape() {
+        for (w, e) in large_configs() {
+            let r = w - e;
+            let s = s_sequence(e, r);
+            assert_eq!(s.len(), e - 1);
+            for &(a, b) in &s {
+                assert_eq!(a + b, e, "w={w} e={e}");
+            }
+            // (a₁, b₁) = (y₁, x₁) = (r, E−r).
+            assert_eq!(s[0], (r, e - r));
+            // (a_{E−1}, b_{E−1}) = (x_{E−1}, y_{E−1}) = (r, E−r).
+            assert_eq!(s[e - 2], (r, e - r));
+        }
+    }
+
+    /// Theorem 9's bookkeeping: T has w = E + r tuples (r+1 insertions),
+    /// with the paper's list shares.
+    #[test]
+    fn t_sequence_shape_and_shares() {
+        for (w, e) in large_configs() {
+            let r = w - e;
+            let t = t_sequence(e, r);
+            assert_eq!(t.len(), w, "w={w} e={e}");
+            let full_a = t.iter().filter(|&&p| p == (e, 0)).count();
+            let full_b = t.iter().filter(|&&p| p == (0, e)).count();
+            assert_eq!(full_a + full_b, r + 1, "insertions w={w} e={e}");
+            let share_a: usize = t.iter().map(|p| p.0).sum();
+            let share_b: usize = t.iter().map(|p| p.1).sum();
+            assert_eq!(share_a, e.div_ceil(2) * w, "A share w={w} e={e}");
+            assert_eq!(share_b, (e - 1) / 2 * w, "B share w={w} e={e}");
+        }
+    }
+
+    #[test]
+    fn sequences_respect_coprimality_assumption() {
+        for (w, e) in large_configs() {
+            assert_eq!(gcd(e as u64, (w - e) as u64), 1, "w={w} e={e}");
+        }
+    }
+
+    /// Worked example from the paper's Fig. 3 right: w = 16, E = 9, r = 7.
+    #[test]
+    fn example_w16_e9() {
+        let (e, r) = (9usize, 7usize);
+        assert_eq!(y_sequence(e, r), vec![7, 5, 3, 1, 8, 6, 4, 2]);
+        assert_eq!(x_sequence(e, r), vec![2, 4, 6, 8, 1, 3, 5, 7]);
+        let t = t_sequence(e, r);
+        assert_eq!(t.len(), 16);
+        let share_a: usize = t.iter().map(|p| p.0).sum();
+        assert_eq!(share_a, 5 * 16);
+    }
+}

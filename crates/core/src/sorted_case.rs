@@ -1,0 +1,86 @@
+//! The `d = gcd(w, E) > 1` case (§III, "Considered values of E"): with
+//! data in sorted order, every `(w/d)`-th thread's chunk is aligned, so
+//! sorted order *itself* aligns `d·E` elements — and when `E` is a power
+//! of two (`d = E`), sorted order is already the worst-case input.
+
+use crate::assignment::{ScanFirst, ThreadAssign, WarpAssignment};
+use crate::numtheory::gcd;
+
+/// The warp assignment a *sorted* input induces on a warp whose whole
+/// window comes from one list: thread `i` scans elements
+/// `[iE, (i+1)E)` of `A`.
+#[must_use]
+pub fn sorted_warp(w: usize, e: usize) -> WarpAssignment {
+    WarpAssignment {
+        w,
+        e,
+        window_start: 0,
+        threads: vec![ThreadAssign { a: e, b: 0, first: ScanFirst::A }; w],
+    }
+}
+
+/// Aligned elements of [`sorted_warp`]: `gcd(w, E) · E` (Fig. 1's
+/// observation — the `d` threads whose chunk starts on bank 0 are fully
+/// aligned).
+#[must_use]
+pub fn sorted_aligned_count(w: usize, e: usize) -> usize {
+    gcd(w as u64, e as u64) as usize * e
+}
+
+/// Per-step serialization degree of [`sorted_warp`]: every step, the `w`
+/// threads spread over `w/d` banks, `d` per bank.
+#[must_use]
+pub fn sorted_step_degree(w: usize, e: usize) -> usize {
+    gcd(w as u64, e as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+
+    /// Fig. 1 of the paper: w = 16, E = 12, gcd = 4 — every 4th chunk
+    /// aligned, 4-way conflicts every step.
+    #[test]
+    fn fig1_w16_e12() {
+        let asg = sorted_warp(16, 12);
+        let ev = evaluate(&asg);
+        assert_eq!(ev.aligned, sorted_aligned_count(16, 12));
+        assert_eq!(ev.aligned, 4 * 12);
+        assert_eq!(ev.degrees, vec![4; 12]);
+    }
+
+    /// Power-of-two E: sorted order is the worst case — E-way conflicts
+    /// in every step, E² aligned (matching Theorem 3's count).
+    #[test]
+    fn power_of_two_e_sorted_is_worst_case() {
+        for (w, e) in [(32usize, 8usize), (32, 16), (16, 4), (64, 32)] {
+            let ev = evaluate(&sorted_warp(w, e));
+            assert_eq!(ev.aligned, e * e, "w={w} E={e}");
+            assert_eq!(ev.degrees, vec![e; e], "w={w} E={e}");
+        }
+    }
+
+    /// Co-prime E: sorted order is conflict-free (d = 1) — exactly why
+    /// the paper must construct a non-trivial permutation for odd E.
+    #[test]
+    fn coprime_e_sorted_is_conflict_free() {
+        for (w, e) in [(32usize, 15usize), (32, 17), (32, 7), (16, 9)] {
+            let ev = evaluate(&sorted_warp(w, e));
+            assert_eq!(ev.degrees, vec![1; e], "w={w} E={e}");
+            assert_eq!(ev.totals.extra_cycles, 0, "w={w} E={e}");
+            assert_eq!(ev.aligned, e, "only the bank-0 chunk aligns, w={w} E={e}");
+        }
+    }
+
+    #[test]
+    fn analytic_formulas_match_evaluation() {
+        for w in [8usize, 16, 32, 64] {
+            for e in 1..w {
+                let ev = evaluate(&sorted_warp(w, e));
+                assert_eq!(ev.aligned, sorted_aligned_count(w, e), "w={w} E={e}");
+                assert_eq!(ev.degrees, vec![sorted_step_degree(w, e); e], "w={w} E={e}");
+            }
+        }
+    }
+}

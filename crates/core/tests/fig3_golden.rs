@@ -1,0 +1,74 @@
+//! Golden tests: the rendered access matrices of the paper's Figure 3
+//! match the published depictions on every *window* bank — the rows that
+//! define the construction. The paper marks the remaining (gray/filler)
+//! elements as free to "perform an arbitrary scan", so filler banks are
+//! checked structurally (all classified filler), not symbol-for-symbol.
+
+use wcms_core::construct;
+use wcms_core::evaluate::{access_matrix, evaluate};
+
+/// Extract the thread labels of one bank row, in address order.
+fn row_threads(render: &str, bank: usize) -> Vec<usize> {
+    let line = render.lines().nth(bank).expect("bank row");
+    let (_, cells) = line.split_once(':').expect("bank prefix");
+    cells
+        .split_whitespace()
+        .map(|c| c.trim_end_matches(['=', '!', '.']).parse().expect("thread id"))
+        .collect()
+}
+
+#[test]
+fn fig3_left_w16_e7_window_rows_match_paper() {
+    let asg = construct(16, 7);
+    let render = access_matrix(&asg).render();
+    // Paper Fig. 3 left, banks 0–6 (the E window banks; columns are A's
+    // four full columns followed by B's three).
+    let expected: [&[usize]; 7] = [
+        &[0, 4, 8, 13, 1, 6, 11],
+        &[0, 4, 8, 13, 1, 6, 11],
+        &[0, 4, 8, 13, 1, 6, 11],
+        &[0, 4, 8, 13, 1, 6, 11],
+        &[0, 4, 8, 13, 1, 6, 11],
+        &[0, 4, 8, 13, 1, 6, 11],
+        &[0, 4, 8, 13, 1, 6, 11],
+    ];
+    for (bank, want) in expected.iter().enumerate() {
+        assert_eq!(&row_threads(&render, bank), want, "bank {bank}");
+    }
+    // Every marker in the window rows is `=` (aligned).
+    for line in render.lines().take(7) {
+        assert!(!line.contains('!') && !line.contains('.'), "{line}");
+    }
+    assert_eq!(evaluate(&asg).aligned, 49);
+}
+
+#[test]
+fn fig3_right_w16_e9_window_rows_match_paper() {
+    let asg = construct(16, 9);
+    let render = access_matrix(&asg).render();
+    // Paper Fig. 3 right, banks 7–15 (the window is the *last* 9 banks).
+    let expected: [&[usize]; 9] = [
+        &[1, 5, 6, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+        &[1, 5, 8, 12, 14, 3, 7, 10, 15],
+    ];
+    for (i, want) in expected.iter().enumerate() {
+        assert_eq!(&row_threads(&render, 7 + i), want, "bank {}", 7 + i);
+    }
+    assert_eq!(evaluate(&asg).aligned, 80);
+}
+
+#[test]
+fn fig3_right_padding_rows_match_paper() {
+    // The first padding rows of the right subfigure are also published
+    // (banks 0–6 hold the S-pairs' padding chunks); check bank 0, which
+    // the paper prints as A: 0 2 6 9 13, B: 0 4 8 11.
+    let render = access_matrix(&construct(16, 9)).render();
+    assert_eq!(row_threads(&render, 0), vec![0, 2, 6, 9, 13, 0, 4, 8, 11]);
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the worst-case constructions and the input
+//! builder.
+
+use proptest::prelude::*;
+use wcms_core::evaluate::{address_sequences, evaluate};
+use wcms_core::large_e::large_e_values;
+use wcms_core::numtheory::{gcd, mod_inverse};
+use wcms_core::small_e::small_e_values;
+use wcms_core::{construct, theorem_aligned_count, WorstCaseBuilder};
+
+fn arb_config() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![Just(8usize), Just(16), Just(32), Just(64)].prop_flat_map(|w| {
+        let es: Vec<usize> = small_e_values(w).into_iter().chain(large_e_values(w)).collect();
+        (Just(w), proptest::sample::select(es))
+    })
+}
+
+proptest! {
+    /// Structure of every construction: w threads, paper shares, and
+    /// aligned count exactly the theorem value, within window capacity.
+    #[test]
+    fn construction_structure((w, e) in arb_config()) {
+        let asg = construct(w, e);
+        prop_assert!(asg.validate_paper_shares().is_ok());
+        let ev = evaluate(&asg);
+        prop_assert_eq!(ev.aligned, theorem_aligned_count(w, e));
+        prop_assert!(ev.aligned <= e * e);
+        // Each step serializes at least ⌈aligned/E⌉-ways on the window bank.
+        prop_assert!(ev.totals.max_degree >= ev.aligned / e);
+    }
+
+    /// Address sequences are exactly the per-thread scans: each thread
+    /// touches E addresses, chunk-contiguous per list, disjoint across
+    /// threads.
+    #[test]
+    fn address_sequences_partition_the_window((w, e) in arb_config()) {
+        let asg = construct(w, e);
+        let seqs = address_sequences(&asg);
+        prop_assert_eq!(seqs.len(), w);
+        let mut all: Vec<usize> = seqs.iter().flatten().copied().collect();
+        prop_assert_eq!(all.len(), w * e);
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), w * e, "threads must touch disjoint addresses");
+    }
+
+    /// The builder always emits a permutation, for any valid geometry.
+    #[test]
+    fn builder_emits_permutations(
+        (w, e) in arb_config(),
+        warps in 2usize..5,
+        doublings in 0u32..4,
+        seed in proptest::option::of(0u64..1000),
+    ) {
+        let b = (warps.next_power_of_two().max(2)) * w;
+        let builder = WorstCaseBuilder::new(w, e, b);
+        let n = builder.block_elems() << doublings;
+        let input = match seed {
+            None => builder.build(n),
+            Some(s) => builder.build_family_member(n, s),
+        };
+        prop_assert_eq!(input.len(), n);
+        let mut sorted = input;
+        sorted.sort_unstable();
+        prop_assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    /// build_partial interpolates: k = 0 is sorted, k = rounds equals the
+    /// sorted-base build, and every k yields a permutation.
+    #[test]
+    fn partial_builds_are_permutations((w, e) in arb_config(), k in 0usize..5) {
+        let b = 2 * w;
+        let builder = WorstCaseBuilder::new(w, e, b);
+        let n = builder.block_elems() * 8;
+        let input = builder.build_partial(n, k);
+        let mut sorted = input.clone();
+        sorted.sort_unstable();
+        prop_assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as u32));
+        if k == 0 {
+            prop_assert!(input.windows(2).all(|w| w[0] < w[1]));
+        }
+        if k >= 3 {
+            prop_assert_eq!(input, builder.build_sorted_base(n));
+        }
+    }
+
+    /// Number theory: modular inverses invert, and Lemma 4's co-primality
+    /// holds for every large-E configuration.
+    #[test]
+    fn numtheory_roundtrips(a in 1u64..500, m in 2u64..500) {
+        match mod_inverse(a, m) {
+            Some(inv) => {
+                prop_assert_eq!(gcd(a, m), 1);
+                prop_assert_eq!((a % m) * inv % m, 1);
+            }
+            None => prop_assert!(gcd(a, m) != 1),
+        }
+    }
+}

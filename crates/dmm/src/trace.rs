@@ -1,0 +1,163 @@
+//! Optional step-by-step access traces.
+//!
+//! A [`Trace`] records every [`crate::WarpStep`] a warp issued,
+//! together with the conflict metrics of each step. Traces power the
+//! figure renderings and the fine-grained assertions in the test suite;
+//! they are disabled in large sweeps (recording is opt-in) so the hot path
+//! stays allocation-light.
+
+use crate::access::{Access, WarpStep};
+use crate::conflict::StepConflicts;
+
+/// One recorded step.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// The per-lane requests of the step.
+    pub lanes: Vec<Option<Access>>,
+    /// Conflict metrics computed when the step was issued.
+    pub conflicts: StepConflicts,
+}
+
+/// A sequence of recorded steps.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    steps: Vec<StepRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A recording trace.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self { steps: Vec::new(), enabled: true }
+    }
+
+    /// A disabled trace: [`Trace::record`] is a no-op.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { steps: Vec::new(), enabled: false }
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a step (no-op when disabled).
+    pub fn record(&mut self, step: &WarpStep, conflicts: StepConflicts) {
+        if self.enabled {
+            self.steps.push(StepRecord { lanes: step.lanes().to_vec(), conflicts });
+        }
+    }
+
+    /// Recorded steps.
+    #[must_use]
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Degrees of all recorded steps, in order.
+    #[must_use]
+    pub fn degrees(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.conflicts.degree).collect()
+    }
+
+    /// Drop all recorded steps, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Histogram of step degrees: entry `d` counts steps that serialized
+    /// into exactly `d` cycles (entry 0 unused; the vector is as long as
+    /// the largest degree observed).
+    #[must_use]
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max = self.steps.iter().map(|s| s.conflicts.degree).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for s in &self.steps {
+            hist[s.conflicts.degree] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::ConflictCounter;
+    use crate::BankModel;
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut c = ConflictCounter::new(BankModel::new(8));
+        let mut t = Trace::enabled();
+        let step = WarpStep::all_read(&[0, 8, 1]);
+        let s = c.count(&step);
+        t.record(&step, s);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.degrees(), vec![2]);
+        assert_eq!(t.steps()[0].lanes.len(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_is_noop() {
+        let mut t = Trace::disabled();
+        let step = WarpStep::all_read(&[0]);
+        t.record(
+            &step,
+            StepConflicts {
+                degree: 1,
+                conflicting_accesses: 0,
+                crew_violations: 0,
+                active_lanes: 1,
+            },
+        );
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn degree_histogram_counts_steps() {
+        let mut c = ConflictCounter::new(BankModel::new(8));
+        let mut t = Trace::enabled();
+        for addrs in [vec![0usize, 8], vec![1, 2], vec![3, 11]] {
+            let step = WarpStep::all_read(&addrs);
+            let s = c.count(&step);
+            t.record(&step, s);
+        }
+        // Two 2-way-conflict steps, one conflict-free step.
+        assert_eq!(t.degree_histogram(), vec![0, 1, 2]);
+        assert_eq!(Trace::enabled().degree_histogram(), vec![0]);
+    }
+
+    #[test]
+    fn clear_keeps_enabled() {
+        let mut t = Trace::enabled();
+        let step = WarpStep::all_read(&[0]);
+        t.record(
+            &step,
+            StepConflicts {
+                degree: 1,
+                conflicting_accesses: 0,
+                crew_violations: 0,
+                active_lanes: 1,
+            },
+        );
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+}

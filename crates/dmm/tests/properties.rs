@@ -1,0 +1,87 @@
+//! Property-based tests of the DMM conflict accounting.
+
+use proptest::prelude::*;
+use wcms_dmm::{BankModel, ConflictCounter, ConflictTotals, WarpStep};
+
+fn arb_addrs() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    // (bank count, addresses)
+    (prop_oneof![Just(8usize), Just(16), Just(32)], proptest::collection::vec(0usize..4096, 1..64))
+        .prop_map(|(w, addrs)| (w, addrs))
+}
+
+proptest! {
+    /// degree is bounded by the number of distinct addresses and by the
+    /// active lane count, and is at least ⌈distinct/w⌉ (pigeonhole).
+    #[test]
+    fn degree_bounds((w, addrs) in arb_addrs()) {
+        let mut c = ConflictCounter::new(BankModel::new(w));
+        let s = c.count(&WarpStep::all_read(&addrs));
+        let mut distinct = addrs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(s.degree >= 1);
+        prop_assert!(s.degree <= distinct.len());
+        prop_assert!(s.degree <= addrs.len());
+        prop_assert!(s.degree >= distinct.len().div_ceil(w));
+        prop_assert_eq!(s.active_lanes, addrs.len());
+        prop_assert_eq!(s.crew_violations, 0, "reads never violate CREW");
+    }
+
+    /// Reads are broadcast: duplicating lanes never changes the degree.
+    #[test]
+    fn broadcast_invariance((w, addrs) in arb_addrs()) {
+        let mut c = ConflictCounter::new(BankModel::new(w));
+        let base = c.analyze(&WarpStep::all_read(&addrs));
+        let doubled: Vec<usize> = addrs.iter().chain(addrs.iter()).copied().collect();
+        let dup = c.analyze(&WarpStep::all_read(&doubled));
+        prop_assert_eq!(base.degree, dup.degree);
+        prop_assert_eq!(base.conflicting_accesses, dup.conflicting_accesses);
+    }
+
+    /// A uniform shift by a multiple of w maps every address to the same
+    /// bank: conflict metrics are invariant.
+    #[test]
+    fn shift_by_w_invariance((w, addrs) in arb_addrs(), k in 0usize..8) {
+        let mut c = ConflictCounter::new(BankModel::new(w));
+        let base = c.analyze(&WarpStep::all_read(&addrs));
+        let shifted: Vec<usize> = addrs.iter().map(|a| a + k * w).collect();
+        let s = c.analyze(&WarpStep::all_read(&shifted));
+        prop_assert_eq!(base.degree, s.degree);
+        prop_assert_eq!(base.conflicting_accesses, s.conflicting_accesses);
+    }
+
+    /// Totals reduce associatively: counting steps in one counter equals
+    /// merging two counters that split the steps.
+    #[test]
+    fn totals_merge_is_concat((w, addrs) in arb_addrs(), split in 0usize..64) {
+        let steps: Vec<WarpStep> =
+            addrs.chunks(4).map(WarpStep::all_read).collect();
+        let split = split % (steps.len() + 1);
+
+        let mut all = ConflictCounter::new(BankModel::new(w));
+        for s in &steps {
+            all.count(s);
+        }
+        let mut left = ConflictCounter::new(BankModel::new(w));
+        let mut right = ConflictCounter::new(BankModel::new(w));
+        for (i, s) in steps.iter().enumerate() {
+            if i < split { left.count(s); } else { right.count(s); }
+        }
+        let mut merged: ConflictTotals = left.totals();
+        merged.merge(&right.totals());
+        prop_assert_eq!(merged, all.totals());
+    }
+
+    /// conflicting_accesses is consistent with degree: zero iff degree
+    /// ≤ 1, and at least degree when ≥ 2.
+    #[test]
+    fn conflicting_accesses_consistency((w, addrs) in arb_addrs()) {
+        let mut c = ConflictCounter::new(BankModel::new(w));
+        let s = c.analyze(&WarpStep::all_read(&addrs));
+        if s.degree <= 1 {
+            prop_assert_eq!(s.conflicting_accesses, 0);
+        } else {
+            prop_assert!(s.conflicting_accesses >= s.degree);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Counter bundles aggregated across kernels and merge rounds.
+
+use wcms_dmm::ConflictTotals;
+
+use crate::gmem::GlobalTotals;
+
+/// All traffic of one kernel launch (or any additive unit of work).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KernelCounters {
+    /// Shared-memory conflict totals.
+    pub shared: ConflictTotals,
+    /// Global-memory traffic totals.
+    pub global: GlobalTotals,
+}
+
+impl KernelCounters {
+    /// Merge counters from an independent kernel (parallel-reducible).
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.shared.merge(&other.shared);
+        self.global.merge(&other.global);
+    }
+}
+
+/// Counters of a full sort: the base-case kernel plus each global merge
+/// round.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SortCounters {
+    /// The base-case (block sort) kernel.
+    pub base: KernelCounters,
+    /// One entry per global merge round, in execution order.
+    pub rounds: Vec<KernelCounters>,
+}
+
+impl SortCounters {
+    /// Sum of the base case and all rounds.
+    #[must_use]
+    pub fn aggregate(&self) -> KernelCounters {
+        let mut total = self.base;
+        for r in &self.rounds {
+            total.merge(r);
+        }
+        total
+    }
+
+    /// Number of global merge rounds performed.
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total bank-conflict *cycles* per element for an `n`-element sort
+    /// (the y-axis of the paper's Fig. 6, up to the profiler's unit).
+    #[must_use]
+    pub fn conflict_cycles_per_element(&self, n: usize) -> f64 {
+        assert!(n > 0);
+        self.aggregate().shared.extra_cycles as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared(cycles: usize, steps: usize) -> ConflictTotals {
+        ConflictTotals { steps, cycles, extra_cycles: cycles - steps, ..Default::default() }
+    }
+
+    #[test]
+    fn kernel_merge_adds_fields() {
+        let mut a = KernelCounters {
+            shared: shared(10, 5),
+            global: GlobalTotals { requests: 1, sectors: 4, accesses: 32 },
+        };
+        let b = KernelCounters {
+            shared: shared(4, 4),
+            global: GlobalTotals { requests: 2, sectors: 8, accesses: 64 },
+        };
+        a.merge(&b);
+        assert_eq!(a.shared.cycles, 14);
+        assert_eq!(a.shared.steps, 9);
+        assert_eq!(a.global.sectors, 12);
+    }
+
+    #[test]
+    fn sort_aggregate_includes_base_and_rounds() {
+        let k = |c| KernelCounters { shared: shared(c, 1), ..Default::default() };
+        let s = SortCounters { base: k(3), rounds: vec![k(5), k(7)] };
+        assert_eq!(s.aggregate().shared.cycles, 15);
+        assert_eq!(s.num_rounds(), 2);
+    }
+
+    #[test]
+    fn conflicts_per_element() {
+        let s = SortCounters {
+            base: KernelCounters { shared: shared(300, 100), ..Default::default() },
+            rounds: vec![],
+        };
+        assert!((s.conflict_cycles_per_element(100) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,331 @@
+//! Global (device) memory with a sector-based coalescing model.
+//!
+//! Since compute capability 5.x, an Nvidia L1TEX global access is broken
+//! into 32-byte *sectors*; a warp's 32 requests cost as many transactions
+//! as distinct sectors they touch. Fully coalesced word accesses by a warp
+//! (lane `i` → word `base + i`) touch `32·4 / 32 = 4` sectors; a strided or
+//! scattered pattern touches up to 32.
+//!
+//! The counter tracks *requests* (warp-level instructions), *sectors*
+//! (transactions — the `A_g` unit of Karsin et al. up to a constant), and
+//! raw *word accesses*. Word size is taken as 4 bytes (the paper sorts
+//! 4-byte integers).
+
+/// Running totals of global-memory traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GlobalTotals {
+    /// Warp-level access instructions issued.
+    pub requests: usize,
+    /// 32-byte sectors transferred.
+    pub sectors: usize,
+    /// Individual word accesses.
+    pub accesses: usize,
+}
+
+impl GlobalTotals {
+    /// Merge totals from an independent kernel (associative/commutative).
+    pub fn merge(&mut self, other: &GlobalTotals) {
+        self.requests += other.requests;
+        self.sectors += other.sectors;
+        self.accesses += other.accesses;
+    }
+
+    /// Bytes transferred (sectors × 32).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.sectors * 32
+    }
+
+    /// Average sectors per request (4 = perfectly coalesced 4-byte words,
+    /// 32 = fully scattered). `None` before any request.
+    #[must_use]
+    pub fn sectors_per_request(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.sectors as f64 / self.requests as f64)
+    }
+}
+
+/// Traffic of a warp-granular coalesced transfer of `count` contiguous
+/// 4-byte words starting at word `offset`, issued by lanes of width
+/// `warp`. Standalone so that parallel per-block simulations can account
+/// traffic without sharing a [`GlobalMemory`].
+#[must_use]
+pub fn tile_traffic(offset: usize, count: usize, warp: usize) -> GlobalTotals {
+    tile_traffic_words(offset, count, warp, 4)
+}
+
+/// As [`tile_traffic`] for keys of `word_bytes` bytes (8-byte keys touch
+/// twice the sectors of 4-byte keys).
+///
+/// # Panics
+///
+/// Panics if `word_bytes` is 0 or exceeds the 32-byte sector.
+#[must_use]
+pub fn tile_traffic_words(
+    offset: usize,
+    count: usize,
+    warp: usize,
+    word_bytes: usize,
+) -> GlobalTotals {
+    assert!((1..=32).contains(&word_bytes), "word must fit a sector");
+    let words_per_sector = 32 / word_bytes;
+    let mut totals = GlobalTotals { requests: 0, sectors: 0, accesses: count };
+    let mut pos = 0usize;
+    while pos < count {
+        let lanes = (count - pos).min(warp);
+        let first = (offset + pos) / words_per_sector;
+        let last = (offset + pos + lanes - 1) / words_per_sector;
+        totals.requests += 1;
+        totals.sectors += last - first + 1;
+        pos += lanes;
+    }
+    totals
+}
+
+/// Traffic of one scalar (single-lane) word access.
+#[must_use]
+pub fn scalar_traffic() -> GlobalTotals {
+    GlobalTotals { requests: 1, sectors: 1, accesses: 1 }
+}
+
+/// Device memory with coalescing-aware accounting.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory<T> {
+    data: Vec<T>,
+    totals: GlobalTotals,
+    word_bytes: usize,
+    sector_bytes: usize,
+    scratch: Vec<usize>,
+}
+
+impl<T: Copy> GlobalMemory<T> {
+    /// Wrap `data` as device memory (4-byte words, 32-byte sectors).
+    #[must_use]
+    pub fn new(data: Vec<T>) -> Self {
+        Self {
+            data,
+            totals: GlobalTotals::default(),
+            word_bytes: 4,
+            sector_bytes: 32,
+            scratch: Vec::with_capacity(64),
+        }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Uncounted view (verification / host side).
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume, returning the underlying buffer.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+
+    fn charge(&mut self, addrs: impl Iterator<Item = usize>) {
+        self.scratch.clear();
+        let words_per_sector = self.sector_bytes / self.word_bytes;
+        self.scratch.extend(addrs.map(|a| a / words_per_sector));
+        if self.scratch.is_empty() {
+            return;
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        self.totals.requests += 1;
+        self.totals.sectors += self.scratch.len();
+    }
+
+    /// One warp read: lane `i` reads word `addrs[i]` into `out[i]`.
+    pub fn read_warp(&mut self, addrs: &[Option<usize>], out: &mut [Option<T>]) {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        let mut n = 0usize;
+        for (lane, addr) in addrs.iter().enumerate() {
+            out[lane] = addr.map(|a| self.data[a]);
+            n += usize::from(addr.is_some());
+        }
+        self.totals.accesses += n;
+        self.charge(addrs.iter().flatten().copied());
+    }
+
+    /// One warp write: lane `i` writes `writes[i] = (addr, value)`.
+    pub fn write_warp(&mut self, writes: &[Option<(usize, T)>]) {
+        let mut n = 0usize;
+        for w in writes.iter().flatten() {
+            self.data[w.0] = w.1;
+            n += 1;
+        }
+        self.totals.accesses += n;
+        self.charge(writes.iter().flatten().map(|w| w.0));
+    }
+
+    /// Coalesced tile load: a block of `threads` lanes reads
+    /// `src[offset .. offset + count]` with the canonical round-robin
+    /// pattern (lane `i` of pass `k` reads word `offset + k·threads + i`),
+    /// charging one request per warp pass. Returns the words read.
+    pub fn read_tile(
+        &mut self,
+        offset: usize,
+        count: usize,
+        threads: usize,
+        warp: usize,
+    ) -> Vec<T> {
+        let out = self.data[offset..offset + count].to_vec();
+        self.totals.accesses += count;
+        // Charge warp-granular requests without materialising lane vectors.
+        let mut pos = 0usize;
+        while pos < count {
+            let lanes = (count - pos).min(warp.min(threads));
+            self.charge(offset + pos..offset + pos + lanes);
+            pos += lanes;
+        }
+        out
+    }
+
+    /// Coalesced tile store: inverse of [`GlobalMemory::read_tile`].
+    pub fn write_tile(&mut self, offset: usize, values: &[T], threads: usize, warp: usize) {
+        self.data[offset..offset + values.len()].copy_from_slice(values);
+        self.totals.accesses += values.len();
+        let count = values.len();
+        let mut pos = 0usize;
+        while pos < count {
+            let lanes = (count - pos).min(warp.min(threads));
+            self.charge(offset + pos..offset + pos + lanes);
+            pos += lanes;
+        }
+    }
+
+    /// A single-thread scalar read (binary-search probes during the
+    /// block-partitioning stage): one request, one sector.
+    #[must_use]
+    pub fn read_scalar(&mut self, addr: usize) -> T {
+        self.totals.accesses += 1;
+        self.charge(std::iter::once(addr));
+        self.data[addr]
+    }
+
+    /// Traffic totals.
+    #[must_use]
+    pub fn totals(&self) -> GlobalTotals {
+        self.totals
+    }
+
+    /// Reset counters, keeping the data.
+    pub fn reset_counters(&mut self) {
+        self.totals = GlobalTotals::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_warp_read_is_four_sectors() {
+        let mut g = GlobalMemory::new((0u32..1024).collect());
+        let addrs: Vec<Option<usize>> = (0..32).map(Some).collect();
+        let mut out = vec![None; 32];
+        g.read_warp(&addrs, &mut out);
+        assert_eq!(g.totals().requests, 1);
+        // 32 contiguous 4-byte words = 128 bytes = 4 sectors.
+        assert_eq!(g.totals().sectors, 4);
+        assert_eq!(out[31], Some(31));
+    }
+
+    #[test]
+    fn strided_warp_read_is_32_sectors() {
+        let mut g = GlobalMemory::new(vec![0u32; 32 * 64]);
+        let addrs: Vec<Option<usize>> = (0..32).map(|i| Some(i * 64)).collect();
+        let mut out = vec![None; 32];
+        g.read_warp(&addrs, &mut out);
+        assert_eq!(g.totals().sectors, 32);
+        assert_eq!(g.totals().sectors_per_request(), Some(32.0));
+    }
+
+    #[test]
+    fn broadcast_read_is_one_sector() {
+        let mut g = GlobalMemory::new(vec![7u32; 64]);
+        let addrs: Vec<Option<usize>> = (0..32).map(|_| Some(5)).collect();
+        let mut out = vec![None; 32];
+        g.read_warp(&addrs, &mut out);
+        assert_eq!(g.totals().sectors, 1);
+    }
+
+    #[test]
+    fn write_warp_updates_data() {
+        let mut g = GlobalMemory::new(vec![0u32; 64]);
+        g.write_warp(&[Some((0, 1u32)), Some((1, 2)), None]);
+        assert_eq!(g.as_slice()[..2], [1, 2]);
+        assert_eq!(g.totals().accesses, 2);
+    }
+
+    #[test]
+    fn tile_roundtrip_counts_warp_requests() {
+        let mut g = GlobalMemory::new((0u32..256).collect());
+        let tile = g.read_tile(64, 128, 128, 32);
+        assert_eq!(tile.len(), 128);
+        assert_eq!(tile[0], 64);
+        // 128 words in 32-lane passes = 4 requests, each 4 sectors.
+        assert_eq!(g.totals().requests, 4);
+        assert_eq!(g.totals().sectors, 16);
+
+        g.write_tile(0, &tile, 128, 32);
+        assert_eq!(g.as_slice()[0], 64);
+        assert_eq!(g.totals().requests, 8);
+    }
+
+    #[test]
+    fn scalar_read_is_one_sector() {
+        let mut g = GlobalMemory::new((0u32..64).collect());
+        assert_eq!(g.read_scalar(10), 10);
+        assert_eq!(g.totals().requests, 1);
+        assert_eq!(g.totals().sectors, 1);
+    }
+
+    #[test]
+    fn tile_traffic_matches_global_memory() {
+        let mut g = GlobalMemory::new((0u32..4096).collect());
+        for (offset, count) in [(0usize, 128usize), (64, 128), (5, 100), (7, 31), (0, 1)] {
+            g.reset_counters();
+            let _ = g.read_tile(offset, count, 256, 32);
+            assert_eq!(
+                g.totals(),
+                tile_traffic(offset, count, 32),
+                "offset={offset} count={count}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_traffic_is_one_sector() {
+        assert_eq!(scalar_traffic(), GlobalTotals { requests: 1, sectors: 1, accesses: 1 });
+    }
+
+    #[test]
+    fn totals_merge() {
+        let mut a = GlobalTotals { requests: 1, sectors: 4, accesses: 32 };
+        a.merge(&GlobalTotals { requests: 2, sectors: 8, accesses: 64 });
+        assert_eq!(a, GlobalTotals { requests: 3, sectors: 12, accesses: 96 });
+        assert_eq!(a.bytes(), 12 * 32);
+    }
+
+    #[test]
+    fn reset_keeps_data() {
+        let mut g = GlobalMemory::new(vec![3u32; 8]);
+        let _ = g.read_scalar(0);
+        g.reset_counters();
+        assert_eq!(g.totals(), GlobalTotals::default());
+        assert_eq!(g.as_slice()[0], 3);
+    }
+}

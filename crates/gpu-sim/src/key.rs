@@ -1,0 +1,119 @@
+//! Key types the simulated sort can handle.
+//!
+//! The paper's experiments use 4-byte integers; real Thrust sorts any
+//! comparable type. [`GpuKey`] captures what the simulator needs: a
+//! total order, a word width for traffic accounting, and a monotone
+//! embedding of the adversary's `u32` ranks so that worst-case
+//! permutations carry over to every key type unchanged (the construction
+//! only constrains the *order* of elements, never their values).
+//!
+//! Bank model for wide keys: an 8-byte key occupies one *logical* bank
+//! slot (addr mod w), matching Kepler's 8-byte bank mode; on newer
+//! architectures a 64-bit access is two 32-bit phases with the same
+//! per-phase conflict structure, so the degree accounting is identical
+//! up to a constant factor of 2 that the cost model absorbs in
+//! `WORD_BYTES`.
+
+/// A sortable key the simulator can move through its memory system.
+pub trait GpuKey: Copy + Ord + Default + Send + Sync + 'static {
+    /// Bytes per key in device memory (drives sector accounting).
+    const WORD_BYTES: usize;
+
+    /// Monotone embedding of a rank `0 ≤ r < 2³²` into the key space:
+    /// `r < s` must imply `from_rank(r) < from_rank(s)`.
+    fn from_rank(rank: u32) -> Self;
+
+    /// The largest key value (the padding sentinel for ragged sizes).
+    fn max_value() -> Self;
+}
+
+impl GpuKey for u32 {
+    #[inline]
+    fn max_value() -> Self {
+        u32::MAX
+    }
+
+    const WORD_BYTES: usize = 4;
+
+    #[inline]
+    fn from_rank(rank: u32) -> Self {
+        rank
+    }
+}
+
+impl GpuKey for u64 {
+    #[inline]
+    fn max_value() -> Self {
+        u64::MAX
+    }
+
+    const WORD_BYTES: usize = 8;
+
+    #[inline]
+    fn from_rank(rank: u32) -> Self {
+        // Spread ranks across the full 64-bit range (order-preserving).
+        u64::from(rank) << 20
+    }
+}
+
+impl GpuKey for i32 {
+    #[inline]
+    fn max_value() -> Self {
+        i32::MAX
+    }
+
+    const WORD_BYTES: usize = 4;
+
+    #[inline]
+    fn from_rank(rank: u32) -> Self {
+        // Map 0..2³² monotonically onto i32::MIN..=i32::MAX.
+        (rank ^ 0x8000_0000) as i32
+    }
+}
+
+impl GpuKey for i64 {
+    #[inline]
+    fn max_value() -> Self {
+        i64::MAX
+    }
+
+    const WORD_BYTES: usize = 8;
+
+    #[inline]
+    fn from_rank(rank: u32) -> Self {
+        i64::from(rank) - (1i64 << 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_monotone<K: GpuKey>() {
+        let samples = [0u32, 1, 2, 100, 65_535, 1 << 20, u32::MAX / 2, u32::MAX - 1, u32::MAX];
+        for w in samples.windows(2) {
+            assert!(K::from_rank(w[0]) < K::from_rank(w[1]), "ranks {} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn embeddings_are_monotone() {
+        check_monotone::<u32>();
+        check_monotone::<u64>();
+        check_monotone::<i32>();
+        check_monotone::<i64>();
+    }
+
+    #[test]
+    fn signed_embedding_covers_negative_half() {
+        assert_eq!(<i32 as GpuKey>::from_rank(0), i32::MIN);
+        assert_eq!(<i32 as GpuKey>::from_rank(u32::MAX), i32::MAX);
+        assert!(<i64 as GpuKey>::from_rank(0) < 0);
+    }
+
+    #[test]
+    fn word_bytes() {
+        assert_eq!(<u32 as GpuKey>::WORD_BYTES, 4);
+        assert_eq!(<u64 as GpuKey>::WORD_BYTES, 8);
+    }
+}

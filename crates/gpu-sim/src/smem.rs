@@ -1,0 +1,265 @@
+//! Banked shared memory with per-step conflict accounting.
+//!
+//! A [`SharedMemory`] models one thread block's shared-memory tile: a flat
+//! array of words whose bank layout follows the DMM mapping (`addr mod w`).
+//! Kernels drive it one warp step at a time; each step is analysed by a
+//! [`wcms_dmm::ConflictCounter`] and optionally recorded
+//! into a [`wcms_dmm::Trace`].
+//!
+//! Warps of one block are independent in the merge sort (each works on its
+//! own `wE`-element slice), so the block simulation issues their steps
+//! sequentially into the same tile; totals are additive.
+
+use wcms_dmm::{
+    pad_address, Access, BankModel, ConflictCounter, ConflictTotals, StepConflicts, Trace, WarpStep,
+};
+
+/// A shared-memory tile with conflict accounting.
+///
+/// With [`SharedMemory::new_padded`], addresses presented to the tile
+/// stay *logical* (contiguous), but the conflict counter sees the
+/// physical addresses of the Dotsenko padding layout — the standard
+/// mitigation that trades `1/w` extra shared memory for conflict
+/// freedom on columnar access patterns.
+#[derive(Debug, Clone)]
+pub struct SharedMemory<T> {
+    data: Vec<T>,
+    counter: ConflictCounter,
+    trace: Trace,
+    step: WarpStep,
+    padded: bool,
+}
+
+impl<T: Copy + Default> SharedMemory<T> {
+    /// A zeroed tile of `words` words on the given bank model.
+    #[must_use]
+    pub fn new(model: BankModel, words: usize) -> Self {
+        Self {
+            data: vec![T::default(); words],
+            counter: ConflictCounter::new(model),
+            trace: Trace::disabled(),
+            step: WarpStep::idle(model.banks()),
+            padded: false,
+        }
+    }
+
+    /// A tile whose *physical* layout pads one word per `w` logical
+    /// words. Callers keep using logical addresses.
+    #[must_use]
+    pub fn new_padded(model: BankModel, words: usize) -> Self {
+        Self { padded: true, ..Self::new(model, words) }
+    }
+
+    /// True if the tile uses the padded layout.
+    #[must_use]
+    pub fn is_padded(&self) -> bool {
+        self.padded
+    }
+
+    #[inline]
+    fn physical(&self, addr: usize) -> usize {
+        if self.padded {
+            pad_address(addr, self.counter.model().banks())
+        } else {
+            addr
+        }
+    }
+
+    /// Enable step tracing (for figure rendering / fine-grained tests).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Size of the tile in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tile has zero words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bank model.
+    #[must_use]
+    pub fn model(&self) -> BankModel {
+        self.counter.model()
+    }
+
+    /// Uncounted bulk initialisation (simulator setup, not kernel work).
+    pub fn fill_from(&mut self, src: &[T]) {
+        self.data[..src.len()].copy_from_slice(src);
+    }
+
+    /// Uncounted read-only view (simulator introspection).
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// One warp read step: lane `i` reads `addrs[i]` (or idles on `None`);
+    /// values are written into `out[i]`. Returns the step's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address is out of bounds or `out` is shorter than
+    /// `addrs`.
+    pub fn read_step(&mut self, addrs: &[Option<usize>], out: &mut [Option<T>]) -> StepConflicts {
+        assert!(out.len() >= addrs.len(), "output buffer too small");
+        self.step.clear();
+        if self.step.width() < addrs.len() {
+            self.step = WarpStep::idle(addrs.len());
+        }
+        for (lane, addr) in addrs.iter().enumerate() {
+            out[lane] = None;
+            if let Some(a) = *addr {
+                self.step.set(lane, Access::read(self.physical(a)));
+                out[lane] = Some(self.data[a]);
+            }
+        }
+        let s = self.counter.count(&self.step);
+        self.trace.record(&self.step, s);
+        s
+    }
+
+    /// One warp write step: lane `i` writes `writes[i] = (addr, value)`.
+    /// Returns the step's metrics (including CREW violations).
+    pub fn write_step(&mut self, writes: &[Option<(usize, T)>]) -> StepConflicts {
+        self.step.clear();
+        if self.step.width() < writes.len() {
+            self.step = WarpStep::idle(writes.len());
+        }
+        for (lane, w) in writes.iter().enumerate() {
+            if let Some((a, v)) = *w {
+                self.step.set(lane, Access::write(self.physical(a)));
+                self.data[a] = v;
+            }
+        }
+        let s = self.counter.count(&self.step);
+        self.trace.record(&self.step, s);
+        s
+    }
+
+    /// Running conflict totals of this tile.
+    #[must_use]
+    pub fn totals(&self) -> ConflictTotals {
+        self.counter.totals()
+    }
+
+    /// Return the running totals and reset them (the trace is kept).
+    /// Lets a kernel attribute each phase's accesses to its own bucket.
+    pub fn drain_totals(&mut self) -> ConflictTotals {
+        let t = self.counter.totals();
+        self.counter.reset();
+        t
+    }
+
+    /// Reset counters and trace, keeping the data.
+    pub fn reset_counters(&mut self) {
+        self.counter.reset();
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smem(words: usize) -> SharedMemory<u32> {
+        SharedMemory::new(BankModel::gpu32(), words)
+    }
+
+    #[test]
+    fn read_step_returns_values_and_counts() {
+        let mut m = smem(64);
+        m.fill_from(&(0..64).map(|x| x * 10).collect::<Vec<u32>>());
+        let addrs: Vec<Option<usize>> = vec![Some(0), Some(32), None, Some(3)];
+        let mut out = vec![None; 4];
+        let s = m.read_step(&addrs, &mut out);
+        assert_eq!(out, vec![Some(0), Some(320), None, Some(30)]);
+        // 0 and 32 share bank 0 → 2-way conflict.
+        assert_eq!(s.degree, 2);
+        assert_eq!(s.active_lanes, 3);
+        assert_eq!(m.totals().steps, 1);
+    }
+
+    #[test]
+    fn write_step_stores_values() {
+        let mut m = smem(64);
+        let s = m.write_step(&[Some((5, 7u32)), Some((6, 8)), None]);
+        assert_eq!(m.as_slice()[5], 7);
+        assert_eq!(m.as_slice()[6], 8);
+        assert_eq!(s.degree, 1);
+        assert_eq!(s.crew_violations, 0);
+    }
+
+    #[test]
+    fn crew_violation_detected_on_write_race() {
+        let mut m = smem(8);
+        let s = m.write_step(&[Some((3, 1u32)), Some((3, 2))]);
+        assert_eq!(s.crew_violations, 1);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut m = smem(64);
+        m.enable_trace();
+        let mut out = vec![None; 2];
+        m.read_step(&[Some(0), Some(1)], &mut out);
+        m.read_step(&[Some(2), None], &mut out);
+        assert_eq!(m.trace().len(), 2);
+        assert_eq!(m.trace().degrees(), vec![1, 1]);
+    }
+
+    #[test]
+    fn reset_counters_keeps_data() {
+        let mut m = smem(8);
+        m.fill_from(&[9u32; 8]);
+        let mut out = vec![None; 1];
+        m.read_step(&[Some(0)], &mut out);
+        m.reset_counters();
+        assert_eq!(m.totals(), ConflictTotals::default());
+        assert_eq!(m.as_slice()[0], 9);
+    }
+
+    #[test]
+    fn padded_tile_defeats_columnar_conflicts() {
+        // Four lanes reading one logical bank column: flat layout → 4-way
+        // conflict; padded layout → conflict-free.
+        let addrs: Vec<Option<usize>> = (0..4).map(|i| Some(i * 32)).collect();
+        let mut out = vec![None; 4];
+
+        let mut flat = smem(256);
+        assert_eq!(flat.read_step(&addrs, &mut out).degree, 4);
+
+        let mut padded = SharedMemory::<u32>::new_padded(BankModel::gpu32(), 256);
+        assert!(padded.is_padded());
+        assert_eq!(padded.read_step(&addrs, &mut out).degree, 1);
+    }
+
+    #[test]
+    fn padded_tile_keeps_logical_data() {
+        let mut m = SharedMemory::<u32>::new_padded(BankModel::gpu32(), 64);
+        m.write_step(&[Some((33, 7u32))]);
+        let mut out = vec![None; 1];
+        m.read_step(&[Some(33)], &mut out);
+        assert_eq!(out[0], Some(7));
+        assert_eq!(m.as_slice()[33], 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut m = smem(4);
+        let mut out = vec![None; 1];
+        m.read_step(&[Some(4)], &mut out);
+    }
+}

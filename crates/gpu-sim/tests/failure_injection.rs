@@ -1,0 +1,57 @@
+//! Failure injection: deliberately broken kernels must be caught by the
+//! simulator's accounting, not silently mis-measured. A kernel that
+//! races writes, reads out of bounds, or exceeds occupancy is a bug in
+//! the *sort*, and the substrate's job is to surface it.
+
+use wcms_dmm::BankModel;
+use wcms_gpu_sim::{DeviceSpec, Occupancy, SharedMemory};
+
+/// Two lanes writing one address in one step is a CREW violation and
+/// must be tallied — this is how the test suite proves the merge sort
+/// never races (its reports assert `crew_violations == 0`).
+#[test]
+fn racing_writes_are_tallied_not_ignored() {
+    let mut smem = SharedMemory::<u32>::new(BankModel::gpu32(), 64);
+    let s = smem.write_step(&[Some((10, 1)), Some((10, 2)), Some((11, 3))]);
+    assert_eq!(s.crew_violations, 1);
+    assert_eq!(smem.totals().crew_violations, 1);
+    // The data ends with one of the written values (arbitrary winner,
+    // like real hardware).
+    assert!(smem.as_slice()[10] == 1 || smem.as_slice()[10] == 2);
+}
+
+/// A read-write race on one address in one step is also a violation.
+#[test]
+fn read_write_race_is_tallied() {
+    let mut smem = SharedMemory::<u32>::new(BankModel::gpu32(), 64);
+    let mut out = vec![None; 2];
+    let _ = smem.read_step(&[Some(5), None], &mut out);
+    let s = smem.write_step(&[None, Some((5, 9))]);
+    // Different steps: fine.
+    assert_eq!(s.crew_violations, 0);
+    // Same step: violation.
+    let mut both = SharedMemory::<u32>::new(BankModel::gpu32(), 64);
+    both.fill_from(&[0; 64]);
+    let step = both.write_step(&[Some((5, 1)), Some((5, 2))]);
+    assert_eq!(step.crew_violations, 1);
+}
+
+/// Out-of-tile accesses panic loudly (a real kernel would corrupt a
+/// neighbouring tile; the simulator refuses).
+#[test]
+#[should_panic]
+fn out_of_bounds_read_panics() {
+    let mut smem = SharedMemory::<u32>::new(BankModel::gpu32(), 16);
+    let mut out = vec![None; 1];
+    let _ = smem.read_step(&[Some(16)], &mut out);
+}
+
+/// A kernel whose tile exceeds the device's shared memory cannot launch:
+/// occupancy reports it as unschedulable instead of under-counting.
+#[test]
+fn oversubscribed_tile_is_unschedulable() {
+    let device = DeviceSpec::test_device(); // 16 KiB shared per SM
+    assert!(Occupancy::compute(&device, 64, 32 * 1024).is_none());
+    // …while a fitting tile schedules.
+    assert!(Occupancy::compute(&device, 64, 8 * 1024).is_some());
+}

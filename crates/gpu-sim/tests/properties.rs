@@ -1,0 +1,81 @@
+//! Property-based tests of the simulator substrate: coalescing
+//! arithmetic, occupancy monotonicity and cost-model sanity.
+
+use proptest::prelude::*;
+use wcms_dmm::ConflictTotals;
+use wcms_gpu_sim::{
+    tile_traffic, CostModel, DeviceSpec, GlobalMemory, GlobalTotals, KernelCounters, Occupancy,
+};
+
+proptest! {
+    /// Sector counts of a contiguous transfer are within one sector of
+    /// the ideal `count/8` per warp pass, and grow monotonically in
+    /// count.
+    #[test]
+    fn tile_traffic_bounds(offset in 0usize..512, count in 1usize..4096) {
+        let t = tile_traffic(offset, count, 32);
+        let ideal = count.div_ceil(8);
+        prop_assert!(t.sectors >= ideal);
+        prop_assert!(t.sectors <= ideal + t.requests, "one extra sector per misaligned request");
+        prop_assert_eq!(t.accesses, count);
+        prop_assert_eq!(t.requests, count.div_ceil(32));
+
+        let bigger = tile_traffic(offset, count + 32, 32);
+        prop_assert!(bigger.sectors >= t.sectors);
+    }
+
+    /// tile_traffic agrees with a live GlobalMemory read of the same
+    /// shape.
+    #[test]
+    fn tile_traffic_matches_memory(offset in 0usize..128, count in 1usize..512) {
+        let mut g = GlobalMemory::new(vec![0u32; offset + count]);
+        let _ = g.read_tile(offset, count, 1024, 32);
+        prop_assert_eq!(g.totals(), tile_traffic(offset, count, 32));
+    }
+
+    /// Scattered reads cost at least as many sectors as coalesced reads
+    /// of the same count.
+    #[test]
+    fn scatter_never_cheaper(addrs in proptest::collection::vec(0usize..2048, 1..32)) {
+        let mut g = GlobalMemory::new(vec![0u32; 2048]);
+        let lanes: Vec<Option<usize>> = addrs.iter().copied().map(Some).collect();
+        let mut out = vec![None; lanes.len()];
+        g.read_warp(&lanes, &mut out);
+        let scattered = g.totals().sectors;
+        let coalesced = tile_traffic(0, addrs.len(), 32).sectors;
+        prop_assert!(scattered + 1 >= coalesced);
+    }
+
+    /// Occupancy is monotone: more shared memory per block never
+    /// increases resident blocks.
+    #[test]
+    fn occupancy_monotone_in_shared(bytes in 1usize..65536, extra in 0usize..32768) {
+        let d = DeviceSpec::rtx_2080_ti();
+        let small = Occupancy::compute(&d, 256, bytes);
+        let large = Occupancy::compute(&d, 256, bytes + extra);
+        match (small, large) {
+            (Some(s), Some(l)) => prop_assert!(l.blocks_per_sm <= s.blocks_per_sm),
+            (None, Some(_)) => prop_assert!(false, "larger footprint fits but smaller does not"),
+            _ => {}
+        }
+    }
+
+    /// Cost model is monotone in both counter dimensions and never
+    /// returns a non-positive time.
+    #[test]
+    fn cost_monotone(cycles in 1usize..10_000_000, sectors in 1usize..10_000_000) {
+        let d = DeviceSpec::quadro_m4000();
+        let occ = Occupancy::compute(&d, 512, 30720).unwrap();
+        let m = CostModel::default();
+        let counters = |c: usize, s: usize| KernelCounters {
+            shared: ConflictTotals { steps: c, cycles: c, ..Default::default() },
+            global: GlobalTotals { requests: s.div_ceil(4), sectors: s, accesses: s * 8 },
+        };
+        let base = m.estimate(&d, &occ, &counters(cycles, sectors), 10);
+        prop_assert!(base.total_s > 0.0);
+        let more_shared = m.estimate(&d, &occ, &counters(cycles * 2, sectors), 10);
+        let more_global = m.estimate(&d, &occ, &counters(cycles, sectors * 2), 10);
+        prop_assert!(more_shared.total_s >= base.total_s);
+        prop_assert!(more_global.total_s >= base.total_s);
+    }
+}

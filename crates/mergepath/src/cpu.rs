@@ -1,0 +1,130 @@
+//! CPU reference implementations: plain stable merge, a Merge-Path-driven
+//! partitioned merge, and a reference merge sort. Used as oracles by the
+//! simulator tests and by the harness to verify sorted output.
+
+use crate::partition::partition_even;
+use crate::serial::{merge_emit, MergeSource};
+
+/// Plain stable two-list merge (ties from `a` first).
+#[must_use]
+pub fn merge_ref<K: Ord + Copy>(a: &[K], b: &[K]) -> Vec<K> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge via Merge Path partitioning into `parts` independent windows —
+/// the data-parallel structure GPU Merge Path uses, executed sequentially.
+/// Must produce exactly [`merge_ref`]'s output for any `parts ≥ 1`.
+#[must_use]
+pub fn merge_partitioned<K: Ord + Copy>(a: &[K], b: &[K], parts: usize) -> Vec<K> {
+    let n = a.len() + b.len();
+    let coranks = partition_even(a.len(), b.len(), parts, |i| a[i], |j| b[j]);
+    let mut out = vec![None; n];
+    for (p, w) in coranks.windows(2).enumerate() {
+        let start = w[0];
+        let count = w[1].diagonal() - w[0].diagonal();
+        let chunk = n.div_ceil(parts);
+        debug_assert_eq!(w[0].diagonal(), (p * chunk).min(n));
+        merge_emit(
+            start.a,
+            start.b,
+            a.len(),
+            b.len(),
+            count,
+            |i| a[i],
+            |j| b[j],
+            |r, s, idx| {
+                let v = match s {
+                    MergeSource::A => a[idx],
+                    MergeSource::B => b[idx],
+                };
+                out[w[0].diagonal() + r] = Some(v);
+            },
+        );
+    }
+    out.into_iter().map(|v| v.expect("every rank written exactly once")).collect()
+}
+
+/// Reference bottom-up pairwise merge sort (the algorithm's semantics,
+/// without any GPU structure). Stable.
+#[must_use]
+pub fn mergesort_ref<K: Ord + Copy>(input: &[K]) -> Vec<K> {
+    let n = input.len();
+    if n <= 1 {
+        return input.to_vec();
+    }
+    let mut cur = input.to_vec();
+    let mut width = 1usize;
+    while width < n {
+        let mut next = Vec::with_capacity(n);
+        let mut lo = 0usize;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            next.extend(merge_ref(&cur[lo..mid], &cur[mid..hi]));
+            lo = hi;
+        }
+        cur = next;
+        width *= 2;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_ref_basic() {
+        assert_eq!(merge_ref(&[1u32, 4], &[2u32, 3]), vec![1, 2, 3, 4]);
+        assert_eq!(merge_ref::<u32>(&[], &[]), Vec::<u32>::new());
+        assert_eq!(merge_ref(&[5u32], &[]), vec![5]);
+    }
+
+    #[test]
+    fn partitioned_merge_matches_reference() {
+        let a: Vec<u32> = (0..100).map(|x| x * 3 % 97).collect::<Vec<_>>();
+        let mut a = a;
+        a.sort_unstable();
+        let mut b: Vec<u32> = (0..77).map(|x| (x * 7 + 1) % 89).collect();
+        b.sort_unstable();
+        let want = merge_ref(&a, &b);
+        for parts in [1, 2, 3, 7, 16, 177, 200] {
+            assert_eq!(merge_partitioned(&a, &b, parts), want, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn partitioned_merge_with_duplicates() {
+        let a = vec![2u32; 31];
+        let b = vec![2u32; 17];
+        assert_eq!(merge_partitioned(&a, &b, 6), merge_ref(&a, &b));
+    }
+
+    #[test]
+    fn mergesort_ref_sorts() {
+        let input: Vec<u32> = (0..257).map(|x| (x * 131 + 7) % 263).collect();
+        let mut want = input.clone();
+        want.sort_unstable();
+        assert_eq!(mergesort_ref(&input), want);
+    }
+
+    #[test]
+    fn mergesort_ref_edge_cases() {
+        assert_eq!(mergesort_ref::<u32>(&[]), Vec::<u32>::new());
+        assert_eq!(mergesort_ref(&[9u32]), vec![9]);
+        assert_eq!(mergesort_ref(&[2u32, 1]), vec![1, 2]);
+    }
+}

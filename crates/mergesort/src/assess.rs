@@ -1,0 +1,117 @@
+//! Assess how adversarial an arbitrary input is for a given tuning —
+//! the downstream-facing question the paper raises ("the possible
+//! variance in runtime is quite significant", Conclusion pt. 4): given a
+//! workload, how close to the worst case does it sit?
+
+use serde::{Deserialize, Serialize};
+
+use crate::driver::sort_padded;
+use crate::params::SortParams;
+
+/// Verdict classes for an assessed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictSeverity {
+    /// Merging-stage conflicts at or below typical random inputs
+    /// (`β₂ ≤ 4`).
+    Benign,
+    /// Noticeably above random but far from the bound (`4 < β₂ ≤ E/2`).
+    Elevated,
+    /// Within a factor two of the provable worst case (`β₂ > E/2`).
+    NearWorstCase,
+}
+
+/// Assessment of one input under one tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputAssessment {
+    /// Mean merging-stage conflict degree over the global rounds.
+    pub beta2: f64,
+    /// Mean partitioning-stage conflict degree.
+    pub beta1: f64,
+    /// `β₂` as a fraction of the provable maximum `E`.
+    pub worst_case_fraction: f64,
+    /// Bank-conflict extra cycles per element.
+    pub conflicts_per_element: f64,
+    /// Classification.
+    pub severity: ConflictSeverity,
+}
+
+/// Run `input` through the simulated sort (padding to a valid size if
+/// needed) and report its conflict profile. `O(N log N)` simulation —
+/// intended for offline workload triage, not a production fast path.
+#[must_use]
+pub fn assess_input<K: wcms_gpu_sim::GpuKey>(input: &[K], params: &SortParams) -> InputAssessment {
+    let (_, report) = sort_padded(input, params);
+    let beta2 = report.global_beta2().unwrap_or(1.0);
+    let beta1 = report.global_beta1().unwrap_or(1.0);
+    let e = params.e as f64;
+    let severity = if beta2 <= 4.0 {
+        ConflictSeverity::Benign
+    } else if beta2 <= e / 2.0 {
+        ConflictSeverity::Elevated
+    } else {
+        ConflictSeverity::NearWorstCase
+    };
+    InputAssessment {
+        beta2,
+        beta1,
+        worst_case_fraction: beta2 / e,
+        conflicts_per_element: report.conflicts_per_element(),
+        severity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SortParams {
+        SortParams::new(32, 15, 64)
+    }
+
+    #[test]
+    fn random_is_benign() {
+        let p = params();
+        let n = p.block_elems() * 8;
+        // Deterministic pseudo-random permutation.
+        let input: Vec<u32> = {
+            let mut xs: Vec<u32> = (0..n as u32).collect();
+            let mut s = 0x1234_5678u64;
+            for i in (1..xs.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                xs.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            xs
+        };
+        let a = assess_input(&input, &p);
+        assert_eq!(a.severity, ConflictSeverity::Benign, "beta2 = {}", a.beta2);
+        assert!(a.worst_case_fraction < 0.35);
+    }
+
+    #[test]
+    fn sorted_is_benign() {
+        let p = params();
+        let n = p.block_elems() * 4;
+        let sorted: Vec<u32> = (0..n as u32).collect();
+        let a = assess_input(&sorted, &p);
+        assert_eq!(a.severity, ConflictSeverity::Benign);
+        assert!((a.beta2 - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn constructed_input_is_near_worst_case() {
+        let p = params();
+        let n = p.block_elems() * 8;
+        let input = wcms_core::WorstCaseBuilder::new(p.w, p.e, p.b).build(n);
+        let a = assess_input(&input, &p);
+        assert_eq!(a.severity, ConflictSeverity::NearWorstCase);
+        assert!((a.worst_case_fraction - 1.0).abs() < 1e-9, "fraction = {}", a.worst_case_fraction);
+    }
+
+    #[test]
+    fn ragged_sizes_are_padded() {
+        let p = params();
+        let input: Vec<u32> = (0..1000u32).rev().collect();
+        let a = assess_input(&input, &p);
+        assert!(a.beta2 >= 1.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! A global pairwise merge round (§II-A): `2ⁱ` thread blocks cooperate to
+//! merge a pair of `2^{i−1}·bE`-element sorted lists.
+//!
+//! Each block:
+//! 1. finds the start of its `bE`-element quantile in the two lists via a
+//!    *mutual binary search in global memory* (charged as scalar global
+//!    reads — the block-partitioning stage);
+//! 2. loads its two sub-ranges into the shared tile (`A` at offset 0, `B`
+//!    right after — the layout the worst-case construction aligns to);
+//! 3. runs one round of GPU Merge Path in shared memory: per-thread
+//!    mutual binary search (`β₁` phase) and an `E`-element sequential
+//!    merge (`β₂` phase — the access pattern the paper attacks);
+//! 4. stages the merged tile and stores it back coalesced.
+
+use wcms_dmm::BankModel;
+use wcms_gpu_sim::{scalar_traffic, tile_traffic_words, GpuKey, SharedMemory};
+use wcms_mergepath::diagonal::{merge_path, merge_path_trace};
+use wcms_mergepath::serial::{merge_emit, MergeSource};
+
+use crate::instrument::RoundCounters;
+use crate::params::SortParams;
+use crate::warp_exec::{coalesced_fill, lockstep_reads, lockstep_writes};
+
+/// Merge the quantile of one thread block.
+///
+/// `a` and `b` are the pair's sorted lists; `a_offset`/`b_offset` their
+/// global word offsets (for sector accounting); `block_index` selects the
+/// `bE`-element output window `[block_index·bE, (block_index+1)·bE)` of
+/// the merged pair.
+///
+/// `precomputed` carries the block's `(ca_start, ca_end)` co-ranks when a
+/// separate partition kernel already found them (the Modern GPU
+/// structure, see [`partition_pass`]); `None` makes the block search its
+/// own start diagonal in global memory (the fused Thrust structure).
+///
+/// Returns the merged `bE` elements and the block's counters.
+pub fn merge_block<K: GpuKey>(
+    a: &[K],
+    b: &[K],
+    a_offset: usize,
+    b_offset: usize,
+    block_index: usize,
+    params: &SortParams,
+    precomputed: Option<(usize, usize)>,
+) -> (Vec<K>, RoundCounters) {
+    let be = params.block_elems();
+    let (w, e) = (params.w, params.e);
+    let mut counters = RoundCounters { blocks: 1, ..Default::default() };
+
+    // --- Stage 1: block partition in global memory.
+    let diag_start = block_index * be;
+    let diag_end = diag_start + be;
+    let (ca_start, ca_end) = match precomputed {
+        Some((start, end)) => {
+            // Fetch the co-rank pair written by the partition kernel.
+            counters.global.merge(&scalar_traffic());
+            counters.global.merge(&scalar_traffic());
+            (start, end)
+        }
+        None => {
+            let (start, probes) =
+                merge_path_trace(diag_start, a.len(), b.len(), |i| a[i], |j| b[j]);
+            for _ in probes {
+                // One A-probe and one B-probe per iteration, each a
+                // scalar read.
+                counters.global.merge(&scalar_traffic());
+                counters.global.merge(&scalar_traffic());
+            }
+            // The end co-rank comes from the neighbouring block's search
+            // (broadcast through shared memory); not charged twice.
+            let end = merge_path(diag_end, a.len(), b.len(), |i| a[i], |j| b[j]);
+            (start, end)
+        }
+    };
+    let (cb_start, cb_end) = (diag_start - ca_start, diag_end - ca_end);
+
+    let a_part = &a[ca_start..ca_end];
+    let b_part = &b[cb_start..cb_end];
+    let la = a_part.len();
+
+    // --- Stage 2: tile load (A at 0, B at la).
+    counters.global.merge(&tile_traffic_words(a_offset + ca_start, la, w, K::WORD_BYTES));
+    counters.global.merge(&tile_traffic_words(b_offset + cb_start, b_part.len(), w, K::WORD_BYTES));
+    let mut smem = if params.smem_padding {
+        SharedMemory::<K>::new_padded(BankModel::new(w), be)
+    } else {
+        SharedMemory::<K>::new(BankModel::new(w), be)
+    };
+    coalesced_fill(&mut smem, 0, a_part, params.b, w);
+    coalesced_fill(&mut smem, la, b_part, params.b, w);
+    counters.shared.transfer.merge(&smem.drain_totals());
+
+    // --- Stage 3: GPU Merge Path within the tile.
+    let mut probe_seqs: Vec<Vec<usize>> = Vec::with_capacity(params.b);
+    let mut merge_seqs: Vec<Vec<usize>> = Vec::with_capacity(params.b);
+    let mut write_addrs: Vec<Vec<usize>> = Vec::with_capacity(params.b);
+    for t in 0..params.b {
+        let diag = t * e;
+        let (corank, probes) =
+            merge_path_trace(diag, a_part.len(), b_part.len(), |i| a_part[i], |j| b_part[j]);
+        let mut pseq = Vec::with_capacity(probes.len() * 2);
+        for (ai, bi) in probes {
+            pseq.push(ai);
+            pseq.push(la + bi);
+        }
+        probe_seqs.push(pseq);
+
+        let (a0, b0) = (corank, diag - corank);
+        let mut mseq = Vec::with_capacity(e);
+        merge_emit(
+            a0,
+            b0,
+            a_part.len(),
+            b_part.len(),
+            e,
+            |i| a_part[i],
+            |j| b_part[j],
+            |_, src, idx| {
+                mseq.push(match src {
+                    MergeSource::A => idx,
+                    MergeSource::B => la + idx,
+                });
+            },
+        );
+        merge_seqs.push(mseq);
+        write_addrs.push((diag..diag + e).collect());
+    }
+
+    let _ = lockstep_reads(&mut smem, &probe_seqs, w);
+    counters.shared.partition.merge(&smem.drain_totals());
+
+    let merged_vals = lockstep_reads(&mut smem, &merge_seqs, w);
+    counters.shared.merge.merge(&smem.drain_totals());
+
+    // --- Stage 4: stage merged results and store coalesced.
+    lockstep_writes(&mut smem, &write_addrs, &merged_vals, w);
+    counters.shared.transfer.merge(&smem.drain_totals());
+    counters.global.merge(&tile_traffic_words(a_offset + diag_start, be, w, K::WORD_BYTES));
+
+    (smem.as_slice().to_vec(), counters)
+}
+
+/// The Modern GPU partition kernel: one mutual binary search per merge
+/// block, the co-rank written to a partition array in global memory.
+/// Returns each block's `(ca_start, ca_end)` and the kernel's counters
+/// (probe reads + one array write per diagonal, plus the launch cost of
+/// `⌈blocks/b⌉` partition thread blocks).
+pub fn partition_pass<K: GpuKey>(
+    a: &[K],
+    b: &[K],
+    num_blocks: usize,
+    params: &SortParams,
+) -> (Vec<(usize, usize)>, RoundCounters) {
+    let be = params.block_elems();
+    let mut counters = RoundCounters {
+        // The searches are packed one-per-thread into partition blocks.
+        blocks: (num_blocks + 1).div_ceil(params.b),
+        ..Default::default()
+    };
+    // Diagonals 0, bE, 2bE, …, num_blocks·bE (the last one closes the
+    // final block's window).
+    let mut coranks = Vec::with_capacity(num_blocks + 1);
+    for j in 0..=num_blocks {
+        let (c, probes) = merge_path_trace(j * be, a.len(), b.len(), |i| a[i], |x| b[x]);
+        for _ in probes {
+            counters.global.merge(&scalar_traffic());
+            counters.global.merge(&scalar_traffic());
+        }
+        // Store the co-rank to the partition array.
+        counters.global.merge(&scalar_traffic());
+        coranks.push(c);
+    }
+    let pairs = coranks.windows(2).map(|w| (w[0], w[1])).collect();
+    (pairs, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcms_mergepath::cpu::merge_ref;
+
+    fn params() -> SortParams {
+        SortParams::new(8, 3, 16) // bE = 48
+    }
+
+    #[test]
+    fn merges_one_block_pair() {
+        let p = params();
+        // Two sorted lists of bE/2 = 24 elements each → one block.
+        let a: Vec<u32> = (0..24).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..24).map(|x| x * 2 + 1).collect();
+        let (out, c) = merge_block(&a, &b, 0, 24, 0, &p, None);
+        assert_eq!(out, merge_ref(&a, &b));
+        assert!(c.shared.merge.steps > 0);
+        assert_eq!(c.shared.combined().crew_violations, 0);
+    }
+
+    #[test]
+    fn multi_block_pair_covers_whole_merge() {
+        let p = params();
+        let be = p.block_elems();
+        // Lists of 2·bE merged by 4 blocks.
+        let a: Vec<u32> = (0..2 * be as u32).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..2 * be as u32).map(|x| x * 2 + 1).collect();
+        let want = merge_ref(&a, &b);
+        let mut got = Vec::new();
+        for j in 0..4 {
+            let (chunk, _) = merge_block(&a, &b, 0, a.len(), j, &p, None);
+            got.extend(chunk);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skewed_lists_still_merge() {
+        let p = params();
+        let be = p.block_elems();
+        // All of a precedes all of b.
+        let a: Vec<u32> = (0..be as u32).collect();
+        let b: Vec<u32> = (be as u32..2 * be as u32).collect();
+        let mut got = Vec::new();
+        for j in 0..2 {
+            let (chunk, _) = merge_block(&a, &b, 0, a.len(), j, &p, None);
+            got.extend(chunk);
+        }
+        assert_eq!(got, merge_ref(&a, &b));
+    }
+
+    #[test]
+    fn duplicates_merge_stably_by_list() {
+        let p = params();
+        let be = p.block_elems();
+        let a = vec![5u32; be / 2];
+        let b = vec![5u32; be / 2];
+        let (out, _) = merge_block(&a, &b, 0, be / 2, 0, &p, None);
+        assert_eq!(out, vec![5u32; be]);
+    }
+
+    #[test]
+    fn partition_stage_charges_global_scalars() {
+        let p = params();
+        let be = p.block_elems();
+        let a: Vec<u32> = (0..be as u32).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..be as u32).map(|x| x * 2 + 1).collect();
+        // Block 1's start diagonal needs a real binary search.
+        let (_, c) = merge_block(&a, &b, 0, a.len(), 1, &p, None);
+        assert!(c.global.requests > 0);
+        // Tile load (bE) + store (bE) + search probes.
+        assert!(c.global.accesses >= 2 * be);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `wcms-mergesort` — the GPU pairwise merge sort, simulated
+//!
+//! A faithful re-implementation of the Thrust / Modern GPU pairwise merge
+//! sort (§II-A of the paper) executing on the simulated GPU of
+//! [`wcms_gpu_sim`], with every shared-memory access charged its DMM
+//! serialization cost and every global access its coalescing cost.
+//!
+//! Structure (all parameters per [`params::SortParams`]):
+//!
+//! 1. **Base case** ([`blocksort`]) — each thread block sorts `bE`
+//!    elements in shared memory: per-thread odd–even register sort
+//!    ([`network`]), then `log₂ b` in-block Merge Path rounds.
+//! 2. **Global rounds** ([`globalmerge`]) — `⌈log₂ N/(bE)⌉` pairwise
+//!    rounds; in round `i`, `2ⁱ` blocks cooperate per pair, each finding
+//!    its `bE` quantile by mutual binary search in global memory and
+//!    merging it in shared memory.
+//!
+//! [`driver::sort_with_report`] runs the whole pipeline (Rayon-parallel
+//! across blocks, deterministically reduced) and returns a
+//! [`instrument::SortReport`] with per-round, per-phase conflict counts —
+//! the quantities behind every figure in the paper's evaluation.
+//! [`assess::assess_input`] turns that into a one-call verdict on how
+//! adversarial an arbitrary workload is for a tuning.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod assess;
+pub mod bitonic;
+pub mod blocksort;
+pub mod driver;
+pub mod globalmerge;
+pub mod instrument;
+pub mod network;
+pub mod params;
+pub mod verify;
+
+mod warp_exec;
+
+pub use assess::{assess_input, ConflictSeverity, InputAssessment};
+pub use bitonic::bitonic_sort_with_report;
+pub use driver::{sort, sort_padded, sort_with_report};
+pub use instrument::{PhaseTotals, RoundCounters, SortReport};
+pub use params::SortParams;

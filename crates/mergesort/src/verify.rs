@@ -1,0 +1,57 @@
+//! Output verification helpers used by tests and the harness.
+
+/// True if `xs` is non-decreasing.
+#[must_use]
+pub fn is_sorted<K: Ord>(xs: &[K]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// True if `out` is a permutation of `input` (multiset equality).
+#[must_use]
+pub fn is_permutation_of<K: Ord + Copy>(input: &[K], out: &[K]) -> bool {
+    if input.len() != out.len() {
+        return false;
+    }
+    let mut a = input.to_vec();
+    let mut b = out.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+/// Assert `out` is the sorted permutation of `input`, with a useful
+/// message on failure.
+///
+/// # Panics
+///
+/// Panics if the check fails.
+pub fn assert_sorted_output<K: Ord + Copy>(input: &[K], out: &[K]) {
+    assert!(is_sorted(out), "output is not sorted");
+    assert!(is_permutation_of(input, out), "output is not a permutation of the input");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_cases() {
+        assert!(is_sorted::<u32>(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+
+    #[test]
+    fn permutation_cases() {
+        assert!(is_permutation_of(&[3, 1, 2], &[1, 2, 3]));
+        assert!(!is_permutation_of(&[1, 2], &[1, 1]));
+        assert!(!is_permutation_of(&[1], &[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn assert_catches_unsorted() {
+        assert_sorted_output(&[1, 2], &[2, 1]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Warp-lockstep execution helpers shared by the base-case and
+//! global-merge kernels.
+//!
+//! Each helper takes per-thread address sequences for one thread block
+//! and replays them warp by warp, step by step, against the simulated
+//! shared memory — charging exactly the per-step serialization the DMM
+//! model prescribes. Sequences may have unequal lengths (binary searches
+//! converge at different iterations); exhausted lanes idle.
+
+use wcms_gpu_sim::SharedMemory;
+
+/// Replay per-thread *read* sequences: `seqs[t][j]` is the tile address
+/// thread `t` reads at its step `j`. Returns the values read, in the same
+/// shape.
+pub(crate) fn lockstep_reads<K: Copy + Default>(
+    smem: &mut SharedMemory<K>,
+    seqs: &[Vec<usize>],
+    warp: usize,
+) -> Vec<Vec<K>> {
+    let mut out: Vec<Vec<K>> = seqs.iter().map(|s| Vec::with_capacity(s.len())).collect();
+    let mut addrs: Vec<Option<usize>> = vec![None; warp];
+    let mut vals: Vec<Option<K>> = vec![None; warp];
+    for (chunk_idx, warp_threads) in seqs.chunks(warp).enumerate() {
+        let base = chunk_idx * warp;
+        let lanes = warp_threads.len();
+        let steps = warp_threads.iter().map(Vec::len).max().unwrap_or(0);
+        for j in 0..steps {
+            for (lane, seq) in warp_threads.iter().enumerate() {
+                addrs[lane] = seq.get(j).copied();
+            }
+            smem.read_step(&addrs[..lanes], &mut vals);
+            for lane in 0..lanes {
+                if let Some(v) = vals[lane] {
+                    out[base + lane].push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replay per-thread *write* sequences: thread `t` writes value
+/// `vals[t][j]` to address `addrs[t][j]` at step `j`.
+pub(crate) fn lockstep_writes<K: Copy + Default>(
+    smem: &mut SharedMemory<K>,
+    addrs: &[Vec<usize>],
+    vals: &[Vec<K>],
+    warp: usize,
+) {
+    debug_assert_eq!(addrs.len(), vals.len());
+    let mut writes: Vec<Option<(usize, K)>> = vec![None; warp];
+    for (warp_addrs, warp_vals) in addrs.chunks(warp).zip(vals.chunks(warp)) {
+        let steps = warp_addrs.iter().map(Vec::len).max().unwrap_or(0);
+        #[allow(clippy::needless_range_loop)] // j indexes two parallel slices
+        for j in 0..steps {
+            for lane in 0..warp_addrs.len() {
+                writes[lane] = warp_addrs[lane].get(j).map(|&a| (a, warp_vals[lane][j]));
+            }
+            writes[warp_addrs.len()..].iter_mut().for_each(|w| *w = None);
+            smem.write_step(&writes[..warp_addrs.len().max(1)]);
+        }
+    }
+}
+
+/// Coalesced block transfer into shared memory: `b` threads write the
+/// `values` round-robin (pass `k`, warp `v`, lane `l` → tile offset
+/// `dst + k·b + v·w + l`). The canonical conflict-free tile fill.
+pub(crate) fn coalesced_fill<K: Copy + Default>(
+    smem: &mut SharedMemory<K>,
+    dst: usize,
+    values: &[K],
+    block_threads: usize,
+    warp: usize,
+) {
+    let mut writes: Vec<Option<(usize, K)>> = vec![None; warp];
+    let mut pos = 0usize;
+    while pos < values.len() {
+        let lanes = (values.len() - pos).min(warp.min(block_threads));
+        for l in 0..lanes {
+            writes[l] = Some((dst + pos + l, values[pos + l]));
+        }
+        writes[lanes..].iter_mut().for_each(|w| *w = None);
+        smem.write_step(&writes[..lanes]);
+        pos += lanes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcms_dmm::BankModel;
+
+    fn smem(words: usize) -> SharedMemory<u32> {
+        let mut m = SharedMemory::new(BankModel::new(4), words);
+        m.fill_from(&(0..words as u32).map(|x| x * 10).collect::<Vec<_>>());
+        m
+    }
+
+    #[test]
+    fn lockstep_reads_route_values_to_threads() {
+        let mut m = smem(16);
+        // 6 threads over warps of 4; ragged lengths.
+        let seqs = vec![vec![0, 1], vec![4], vec![8, 9], vec![12], vec![2, 3], vec![6]];
+        let out = lockstep_reads(&mut m, &seqs, 4);
+        assert_eq!(out[0], vec![0, 10]);
+        assert_eq!(out[1], vec![40]);
+        assert_eq!(out[2], vec![80, 90]);
+        assert_eq!(out[4], vec![20, 30]);
+        assert_eq!(out[5], vec![60]);
+        // Steps: warp 0 issues 2 steps, warp 1 issues 2 steps.
+        assert_eq!(m.totals().steps, 4);
+    }
+
+    #[test]
+    fn lockstep_reads_count_conflicts() {
+        let mut m = smem(16);
+        // Two lanes in bank 0 (addresses 0 and 4 on 4 banks) every step.
+        let seqs = vec![vec![0], vec![4], vec![1], vec![2]];
+        let _ = lockstep_reads(&mut m, &seqs, 4);
+        assert_eq!(m.totals().cycles, 2);
+        assert_eq!(m.totals().max_degree, 2);
+    }
+
+    #[test]
+    fn lockstep_writes_store_values() {
+        let mut m = smem(8);
+        let addrs = vec![vec![0usize, 1], vec![2]];
+        let vals = vec![vec![100u32, 101], vec![102]];
+        lockstep_writes(&mut m, &addrs, &vals, 4);
+        assert_eq!(&m.as_slice()[..3], &[100, 101, 102]);
+    }
+
+    #[test]
+    fn coalesced_fill_is_conflict_free() {
+        let mut m = smem(16);
+        let vals: Vec<u32> = (0..16).collect();
+        coalesced_fill(&mut m, 0, &vals, 8, 4);
+        assert_eq!(m.as_slice(), vals.as_slice());
+        assert_eq!(m.totals().extra_cycles, 0, "contiguous fill must not conflict");
+        assert_eq!(m.totals().steps, 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! The adversarial generators of [`wcms_core`] exposed as workloads.
+//!
+//! These wrap [`WorstCaseBuilder`] with size handling: the merge-sort
+//! structure needs `n = bE·2^m`, so arbitrary sizes are padded up to the
+//! next valid length (padding keys are the largest values, so they sink
+//! to the tail and leave every adversarial round's structure intact for
+//! the original prefix).
+
+use wcms_core::WorstCaseBuilder;
+
+/// Map a rank permutation (what the builders emit) into any
+/// [`GpuKey`](wcms_gpu_sim::GpuKey) space, order-preserving — the
+/// worst-case conflict structure depends only on relative order, so the
+/// mapped input attacks the sort identically for every key type.
+#[must_use]
+pub fn as_keys<K: wcms_gpu_sim::GpuKey>(ranks: &[u32]) -> Vec<K> {
+    ranks.iter().map(|&r| K::from_rank(r)).collect()
+}
+
+/// The paper's worst-case permutation for sort parameters `(w, E, b)`;
+/// `n` must be a valid length (`bE·2^m`).
+#[must_use]
+pub fn worst_case(w: usize, e: usize, b: usize, n: usize) -> Vec<u32> {
+    WorstCaseBuilder::new(w, e, b).build(n)
+}
+
+/// Worst-case permutation for any `n`: builds at the next valid length
+/// and truncates the *values* back to `0 … n−1` (keeping relative order
+/// of survivors — the resulting prefix permutation preserves each round's
+/// interleaving for the surviving elements).
+#[must_use]
+pub fn worst_case_padded(w: usize, e: usize, b: usize, n: usize) -> Vec<u32> {
+    let builder = WorstCaseBuilder::new(w, e, b);
+    if builder.valid_len(n) {
+        return builder.build(n);
+    }
+    let full = builder.build(builder.next_valid_len(n));
+    full.into_iter().filter(|&v| (v as usize) < n).collect()
+}
+
+/// A member of the worst-case *family* (Conclusion point 2).
+#[must_use]
+pub fn worst_case_family(w: usize, e: usize, b: usize, n: usize, seed: u64) -> Vec<u32> {
+    WorstCaseBuilder::new(w, e, b).build_family_member(n, seed)
+}
+
+/// Karsin-style conflict-heavy baseline input.
+#[must_use]
+pub fn conflict_heavy(w: usize, e: usize, b: usize, n: usize, stride: usize) -> Vec<u32> {
+    WorstCaseBuilder::conflict_heavy(w, e, b, stride).build(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_permutation() {
+        let n = 16 * 3 * 16 * 4; // w=16,E=3,b=16 → bE=48, ×4 blocks… n = 3072
+        let xs = worst_case(16, 3, 32, 3 * 32 * 8);
+        let mut s = xs.clone();
+        s.sort_unstable();
+        assert!(s.iter().enumerate().all(|(i, &v)| v == i as u32));
+        let _ = n;
+    }
+
+    #[test]
+    fn padded_handles_arbitrary_sizes() {
+        let (w, e, b) = (16, 3, 32);
+        let n = 1000; // not bE·2^m (bE = 96)
+        let xs = worst_case_padded(w, e, b, n);
+        assert_eq!(xs.len(), n);
+        let mut s = xs.clone();
+        s.sort_unstable();
+        assert!(s.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn padded_passthrough_on_valid_sizes() {
+        let (w, e, b) = (16, 3, 32);
+        let n = 96 * 4;
+        assert_eq!(worst_case_padded(w, e, b, n), worst_case(w, e, b, n));
+    }
+
+    #[test]
+    fn family_members_are_distinct() {
+        let n = 96 * 4;
+        assert_ne!(worst_case_family(16, 3, 32, n, 1), worst_case_family(16, 3, 32, n, 2));
+    }
+
+    #[test]
+    fn as_keys_preserves_order() {
+        let ranks = vec![5u32, 0, 3, 1];
+        let wide: Vec<u64> = as_keys(&ranks);
+        let narrow: Vec<i32> = as_keys(&ranks);
+        for i in 0..ranks.len() {
+            for j in 0..ranks.len() {
+                assert_eq!(ranks[i] < ranks[j], wide[i] < wide[j]);
+                assert_eq!(ranks[i] < ranks[j], narrow[i] < narrow[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_heavy_is_permutation() {
+        let xs = conflict_heavy(16, 3, 32, 96 * 8, 2);
+        let mut s = xs.clone();
+        s.sort_unstable();
+        assert!(s.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+}

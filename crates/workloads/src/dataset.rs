@@ -1,0 +1,115 @@
+//! Saving and loading key datasets.
+//!
+//! A tiny self-describing binary format (magic, version, key count,
+//! little-endian `u32` keys) so that expensive adversarial inputs can be
+//! generated once and replayed — e.g. to hand a constructed permutation
+//! to an external CUDA harness on a real GPU.
+
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"WCMSKEYS";
+const VERSION: u32 = 1;
+
+/// Serialize `keys` into `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_keys<W: Write>(mut w: W, keys: &[u32]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(keys.len() as u64).to_le_bytes())?;
+    // Chunked conversion keeps peak memory at 64 KiB regardless of N.
+    let mut buf = Vec::with_capacity(16384 * 4);
+    for chunk in keys.chunks(16384) {
+        buf.clear();
+        for k in chunk {
+            buf.extend_from_slice(&k.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserialize keys produced by [`write_keys`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version/length, and propagates
+/// I/O errors.
+pub fn read_keys<R: Read>(mut r: R) -> io::Result<Vec<u32>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a wcms key file"));
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let len = u64::from_le_bytes(len8) as usize;
+
+    let mut keys = Vec::with_capacity(len.min(1 << 24));
+    let mut buf = vec![0u8; 16384 * 4];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(16384);
+        let bytes = &mut buf[..take * 4];
+        r.read_exact(bytes)?;
+        keys.extend(bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+        remaining -= take;
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for keys in [vec![], vec![7u32], (0..100_000u32).rev().collect::<Vec<_>>()] {
+            let mut buf = Vec::new();
+            write_keys(&mut buf, &keys).unwrap();
+            assert_eq!(read_keys(buf.as_slice()).unwrap(), keys);
+        }
+    }
+
+    #[test]
+    fn header_size_is_fixed() {
+        let mut buf = Vec::new();
+        write_keys(&mut buf, &[1, 2, 3]).unwrap();
+        assert_eq!(buf.len(), 8 + 4 + 8 + 12);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_keys(&b"NOTAKEYF\x01\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_keys(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        write_keys(&mut buf, &[1u32, 2, 3]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_keys(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Export a constructed worst-case permutation to a key file, for use
+//! with an external harness (e.g. a CUDA program sorting it with the real
+//! Thrust on a physical GPU), and read it back.
+//!
+//! Run with: `cargo run --release --example export_input [E b doublings]`
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use wcms::adversary::WorstCaseBuilder;
+use wcms::workloads::dataset::{read_keys, write_keys};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let e = args.first().copied().unwrap_or(15);
+    let b = args.get(1).copied().unwrap_or(512);
+    let doublings = args.get(2).copied().unwrap_or(6) as u32;
+
+    let builder = WorstCaseBuilder::new(32, e, b);
+    let n = builder.block_elems() << doublings;
+    println!("building worst-case input: w=32, E={e}, b={b}, N={n}");
+    let keys = builder.build(n);
+
+    let path = std::env::temp_dir().join(format!("wcms_worst_e{e}_b{b}_n{n}.keys"));
+    write_keys(BufWriter::new(File::create(&path)?), &keys)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("wrote {} ({bytes} bytes)", path.display());
+
+    let back = read_keys(File::open(&path)?)?;
+    assert_eq!(back, keys, "round trip must be lossless");
+    println!("round-trip verified: {} keys", back.len());
+    println!("\nfeed this file to a CUDA harness calling thrust::sort to observe");
+    println!("the slowdown on physical hardware (the paper's Figs. 4-5).");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Audit a spectrum of inputs for conflict severity — the library's
+//! answer to "should I care about the worst case?" (paper Conclusion):
+//! how far from the provable maximum do realistic workloads sit, and how
+//! easy is it to construct one that reaches it?
+//!
+//! Run with: `cargo run --release --example input_auditor`
+
+use wcms::adversary::WorstCaseBuilder;
+use wcms::mergesort::{assess_input, SortParams};
+use wcms::workloads::dist::{few_distinct, sawtooth};
+use wcms::workloads::nearly::k_swaps;
+use wcms::workloads::random::random_permutation;
+use wcms::workloads::sorted::{reverse_sorted, sorted};
+
+fn main() {
+    let params = SortParams::new(32, 15, 128);
+    let n = params.block_elems() * 16;
+    let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
+
+    println!("tuning: w=32, E=15, b=128; N={n}; provable worst case beta2 = 15\n");
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>14} {:>16}",
+        "input", "beta1", "beta2", "of worst", "conf/elem", "severity"
+    );
+
+    let inputs: Vec<(&str, Vec<u32>)> = vec![
+        ("sorted", sorted(n)),
+        ("reverse", reverse_sorted(n)),
+        ("100 swaps", k_swaps(n, 100, 1)),
+        ("10k swaps", k_swaps(n, 10_000, 1)),
+        ("random", random_permutation(n, 1)),
+        ("8 distinct keys", few_distinct(n, 8, 1)),
+        ("sawtooth(16)", sawtooth(n, 16)),
+        (
+            "conflict-heavy",
+            WorstCaseBuilder::conflict_heavy(params.w, params.e, params.b, 8).build(n),
+        ),
+        ("half-adversarial", builder.build_partial(n, 2)),
+        ("constructed worst", builder.build(n)),
+    ];
+    for (label, input) in inputs {
+        let a = assess_input(&input, &params);
+        println!(
+            "{label:<22} {:>8.2} {:>8.2} {:>9.0}% {:>14.3} {:>16?}",
+            a.beta1,
+            a.beta2,
+            a.worst_case_fraction * 100.0,
+            a.conflicts_per_element,
+            a.severity
+        );
+    }
+    println!("\nOnly the constructed permutation reaches the bound; everything a user");
+    println!("is likely to feed the sort stays benign — which is exactly the paper's");
+    println!("point about worst-case variance hiding behind random-input benchmarks.");
+}
