@@ -15,20 +15,20 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_m4000");
     group.sample_size(10);
     for (label, params) in [
-        ("thrust_e15_b512", SortParams::thrust(&device)),
-        ("mgpu_e15_b128", SortParams::mgpu(&device)),
+        ("thrust_e15_b512", SortParams::thrust(&device).unwrap()),
+        ("mgpu_e15_b128", SortParams::mgpu(&device).unwrap()),
     ] {
         let n = params.block_elems() * 4;
         for (wl, spec) in [
             ("random", WorkloadSpec::RandomPermutation { seed: 1 }),
             ("worst", WorkloadSpec::WorstCase),
         ] {
-            let input = spec.generate(n, params.w, params.e, params.b);
+            let input = spec.generate(n, params.w, params.e, params.b).unwrap();
             group.bench_with_input(BenchmarkId::new(label, wl), &input, |bencher, input| {
                 bencher.iter(|| sort_with_report(black_box(input), &params));
             });
             // Print the modelled figure value alongside the wall-clock.
-            let m = measure(&device, &params, spec, n, 1);
+            let m = measure(&device, &params, spec, n, 1).unwrap();
             eprintln!(
                 "fig4 {label}/{wl}: modelled {:.1} ME/s, beta2 {:.2}",
                 m.throughput / 1e6,

@@ -14,19 +14,19 @@ fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_rtx2080ti");
     group.sample_size(10);
     for (label, params) in [
-        ("e15_b512", SortParams::thrust_e15_b512(&device)),
-        ("e17_b256", SortParams::thrust(&device)),
+        ("e15_b512", SortParams::thrust_e15_b512(&device).unwrap()),
+        ("e17_b256", SortParams::thrust(&device).unwrap()),
     ] {
         let n = params.block_elems() * 4;
         for (wl, spec) in [
             ("random", WorkloadSpec::RandomPermutation { seed: 1 }),
             ("worst", WorkloadSpec::WorstCase),
         ] {
-            let input = spec.generate(n, params.w, params.e, params.b);
+            let input = spec.generate(n, params.w, params.e, params.b).unwrap();
             group.bench_with_input(BenchmarkId::new(label, wl), &input, |bencher, input| {
                 bencher.iter(|| sort_with_report(black_box(input), &params));
             });
-            let m = measure(&device, &params, spec, n, 1);
+            let m = measure(&device, &params, spec, n, 1).unwrap();
             eprintln!(
                 "fig5 {label}/{wl}: modelled {:.1} ME/s, beta2 {:.2}",
                 m.throughput / 1e6,

@@ -9,18 +9,18 @@ use wcms_core::WorstCaseBuilder;
 use wcms_mergesort::{sort_with_report, SortParams};
 
 fn bench_fig6(c: &mut Criterion) {
-    let params = SortParams::new(32, 17, 256);
-    let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
+    let params = SortParams::new(32, 17, 256).unwrap();
+    let builder = WorstCaseBuilder::new(params.w, params.e, params.b).unwrap();
     let mut group = c.benchmark_group("fig6_conflicts_per_element");
     group.sample_size(10);
     for doublings in [1u32, 3] {
         let n = params.block_elems() << doublings;
-        let input = builder.build(n);
+        let input = builder.build(n).unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &input, |bencher, input| {
             bencher.iter(|| sort_with_report(black_box(input), &params));
         });
-        let (_, report) = sort_with_report(&input, &params);
+        let (_, report) = sort_with_report(&input, &params).unwrap();
         eprintln!(
             "fig6 n={n}: conflicts/element {:.3} (global rounds: {})",
             report.conflicts_per_element(),

@@ -19,7 +19,7 @@ fn bench_construct(c: &mut Criterion) {
 fn bench_evaluate(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluate_warp_assignment");
     for e in [15usize, 17] {
-        let asg = construct(32, e);
+        let asg = construct(32, e).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(e), &asg, |bencher, asg| {
             bencher.iter(|| evaluate(black_box(asg)));
         });
@@ -30,7 +30,7 @@ fn bench_evaluate(c: &mut Criterion) {
 fn bench_build_input(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_worst_case_input");
     group.sample_size(10);
-    let builder = WorstCaseBuilder::new(32, 15, 512);
+    let builder = WorstCaseBuilder::new(32, 15, 512).unwrap();
     for doublings in [2u32, 5] {
         let n = builder.block_elems() << doublings;
         group.throughput(Throughput::Elements(n as u64));

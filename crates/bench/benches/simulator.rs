@@ -26,11 +26,11 @@ fn bench_conflict_counter(c: &mut Criterion) {
 fn bench_simulated_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulated_sort");
     group.sample_size(10);
-    let params = SortParams::new(32, 15, 128);
+    let params = SortParams::new(32, 15, 128).unwrap();
     let n = params.block_elems() * 8;
     group.throughput(Throughput::Elements(n as u64));
     let random = random_permutation(n, 5);
-    let worst = WorstCaseBuilder::new(params.w, params.e, params.b).build(n);
+    let worst = WorstCaseBuilder::new(params.w, params.e, params.b).unwrap().build(n).unwrap();
     for (label, input) in [("random", &random), ("worst", &worst)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), input, |bencher, input| {
             bencher.iter(|| sort_with_report(black_box(input), &params));

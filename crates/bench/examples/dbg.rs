@@ -1,10 +1,11 @@
+use wcms_error::WcmsError;
 use wcms_mergesort::*;
 use wcms_workloads::WorkloadSpec;
-fn main() {
-    let p = SortParams::new(32, 15, 64);
+fn main() -> Result<(), WcmsError> {
+    let p = SortParams::new(32, 15, 64)?;
     let n = p.block_elems() * 8;
-    let input = WorkloadSpec::RandomPermutation { seed: 1 }.generate(n, p.w, p.e, p.b);
-    let (_, r) = sort_with_report(&input, &p);
+    let input = WorkloadSpec::RandomPermutation { seed: 1 }.generate(n, p.w, p.e, p.b)?;
+    let (_, r) = sort_with_report(&input, &p)?;
     println!("n={n} be={} blocks={} rounds={}", p.block_elems(), p.blocks_for(n), r.rounds.len());
     println!(
         "base: sectors={} accesses={} requests={}",
@@ -17,4 +18,5 @@ fn main() {
         );
     }
     println!("total sectors={}", r.total().global.sectors);
+    Ok(())
 }

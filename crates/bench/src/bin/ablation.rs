@@ -11,29 +11,42 @@
 //!
 //! Usage: `ablation [--quick]`
 
+use std::process::ExitCode;
+
 use wcms_bench::experiment::model_time;
 use wcms_core::{WorstCaseBuilder, WorstCaseFamily};
+use wcms_error::WcmsError;
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
 use wcms_mergesort::{sort_with_report, SortParams, SortReport};
 use wcms_workloads::random::random_permutation;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), WcmsError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let device = DeviceSpec::quadro_m4000();
-    let params = SortParams::new(32, 15, 128);
+    let params = SortParams::new(32, 15, 128)?;
     let doublings = if quick { 4 } else { 6 };
     let n = params.block_elems() << doublings;
-    let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
+    let builder = WorstCaseBuilder::new(params.w, params.e, params.b)?;
 
-    let report_of = |input: &[u32]| -> SortReport {
-        let (out, report) = sort_with_report(input, &params);
+    let report_of = |input: &[u32]| -> Result<SortReport, WcmsError> {
+        let (out, report) = sort_with_report(input, &params)?;
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
-        report
+        Ok(report)
     };
     let time_of = |report: &SortReport| model_time(&device, &params, report);
 
-    let random_report = report_of(&random_permutation(n, 11));
-    let random_t = time_of(&random_report);
+    let random_report = report_of(&random_permutation(n, 11))?;
+    let random_t = time_of(&random_report)?;
     println!(
         "device={}, E={}, b={}, N={n}, random baseline {:.3} ms\n",
         device.name,
@@ -46,8 +59,8 @@ fn main() {
     println!("## adversarial rounds dial (of {} global rounds)", params.global_rounds(n));
     println!("{:>8} {:>12} {:>12} {:>10}", "rounds", "beta2", "time (ms)", "slowdown");
     for k in 0..=params.global_rounds(n) {
-        let r = report_of(&builder.build_partial(n, k));
-        let t = time_of(&r);
+        let r = report_of(&builder.build_partial(n, k)?)?;
+        let t = time_of(&r)?;
         println!(
             "{k:>8} {:>12.2} {:>12.3} {:>9.1}%",
             r.global_beta2().unwrap_or(1.0),
@@ -58,10 +71,10 @@ fn main() {
 
     // --- 2. Family variance.
     println!("\n## worst-case family variance (5 members)");
-    let times: Vec<f64> = WorstCaseFamily::new(params.w, params.e, params.b, n, 100)
+    let times: Vec<f64> = WorstCaseFamily::new(params.w, params.e, params.b, n, 100)?
         .take(5)
-        .map(|m| time_of(&report_of(&m)))
-        .collect();
+        .map(|m| time_of(&report_of(&m)?))
+        .collect::<Result<_, _>>()?;
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let spread = times.iter().map(|t| (t / mean - 1.0).abs()).fold(0.0, f64::max);
     println!(
@@ -73,24 +86,24 @@ fn main() {
     // --- 3. Base-block order.
     println!("\n## base-block order");
     for (label, input) in [
-        ("shuffled base (default)", builder.build(n)),
-        ("ascending base", builder.build_sorted_base(n)),
+        ("shuffled base (default)", builder.build(n)?),
+        ("ascending base", builder.build_sorted_base(n)?),
     ] {
-        let r = report_of(&input);
+        let r = report_of(&input)?;
         println!(
             "{label:>26}: base-case shared cycles {:>10}, global-round beta2 {:.2}, time {:.3} ms",
             r.base.shared.combined().cycles,
             r.global_beta2().unwrap_or(1.0),
-            time_of(&r) * 1e3
+            time_of(&r)? * 1e3
         );
     }
 
     // --- 3b. Shared-memory padding (the Dotsenko mitigation).
     println!("\n## shared-memory padding mitigation");
-    let padded_params = SortParams::new(params.w, params.e, params.b).with_padding();
-    let worst_input = builder.build(n);
+    let padded_params = SortParams::new(params.w, params.e, params.b)?.with_padding();
+    let worst_input = builder.build(n)?;
     for (label, p) in [("flat tiles", &params), ("padded tiles", &padded_params)] {
-        let (out, r) = sort_with_report(&worst_input, p);
+        let (out, r) = sort_with_report(&worst_input, p)?;
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
         println!(
             "{label:>14}: beta2 {:.2}, conflicts/elem {:.3}, tile {} B",
@@ -102,8 +115,8 @@ fn main() {
 
     // --- 4. Cost-model overlap knob.
     println!("\n## cost-model overlap sensitivity");
-    let worst_report = report_of(&builder.build(n));
-    let occ = Occupancy::compute(&device, params.b, params.shared_bytes()).unwrap();
+    let worst_report = report_of(&builder.build(n)?)?;
+    let occ = Occupancy::compute(&device, params.b, params.shared_bytes())?;
     println!("{:>8} {:>14} {:>14} {:>10}", "overlap", "random (ms)", "worst (ms)", "slowdown");
     for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let model = CostModel { overlap, ..CostModel::default() };
@@ -118,4 +131,5 @@ fn main() {
             (tw / tr - 1.0) * 100.0
         );
     }
+    Ok(())
 }

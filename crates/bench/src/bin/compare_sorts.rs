@@ -7,19 +7,32 @@
 //!
 //! Usage: `compare_sorts [--quick]`
 
+use std::process::ExitCode;
+
 use wcms_bench::experiment::model_time;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::bitonic::bitonic_sort_with_report;
 use wcms_mergesort::{sort_with_report, SortParams, SortReport};
 use wcms_workloads::random::random_permutation;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("compare_sorts: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), WcmsError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let device = DeviceSpec::quadro_m4000();
     // Power-of-two tile so both sorts accept the same sizes. With a
     // power-of-two E, the pairwise sort's worst case is *sorted order*
     // itself (§III: gcd(w, E) = E) — no constructed permutation needed.
-    let params = SortParams::new(32, 16, 128); // bE = 2048
+    let params = SortParams::new(32, 16, 128)?; // bE = 2048
     let doublings = if quick { 3..=6 } else { 3..=9 };
     let worst_input = |n: usize| -> Vec<u32> { (0..n as u32).collect() };
 
@@ -34,18 +47,20 @@ fn main() {
         let n = params.block_elems() << d;
         let random = random_permutation(n, 17);
         let worst = worst_input(n);
-        let time = |report: &SortReport| model_time(&device, &params, report) * 1e3;
+        let time = |report: &SortReport| -> Result<f64, WcmsError> {
+            Ok(model_time(&device, &params, report)? * 1e3)
+        };
 
-        let (_, pr) = sort_with_report(&random, &params);
-        let (_, pw) = sort_with_report(&worst, &params);
-        let (_, br) = bitonic_sort_with_report(&random, &params);
-        let (_, bw) = bitonic_sort_with_report(&worst, &params);
+        let (_, pr) = sort_with_report(&random, &params)?;
+        let (_, pw) = sort_with_report(&worst, &params)?;
+        let (_, br) = bitonic_sort_with_report(&random, &params)?;
+        let (_, bw) = bitonic_sort_with_report(&worst, &params)?;
         println!(
             "{n:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
-            time(&pr),
-            time(&pw),
-            time(&br),
-            time(&bw)
+            time(&pr)?,
+            time(&pw)?,
+            time(&br)?,
+            time(&bw)?
         );
         assert_eq!(
             br.total().shared,
@@ -57,4 +72,5 @@ fn main() {
     println!("bitonic's two columns are identical (data-oblivious: immune to the");
     println!("adversary) but both sit above the pairwise random column — the log N");
     println!("extra passes the paper's intro calls the price of conflict-freedom.");
+    Ok(())
 }

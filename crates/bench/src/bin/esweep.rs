@@ -8,12 +8,25 @@
 //!
 //! Usage: `esweep [--quick] [--rtx]`
 
+use std::process::ExitCode;
+
 use wcms_bench::experiment::measure;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("esweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), WcmsError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let device = if args.iter().any(|a| a == "--rtx") {
@@ -30,10 +43,10 @@ fn main() {
         "E", "N", "random ME/s", "worst ME/s", "slowdown", "worst beta2"
     );
     for e in (3..32).step_by(2) {
-        let params = SortParams::new(32, e, b);
+        let params = SortParams::new(32, e, b)?;
         let n = params.block_elems() << doublings;
-        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2);
-        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1);
+        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2)?;
+        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1)?;
         println!(
             "{e:>4} {n:>10} {:>14.1} {:>14.1} {:>9.1}% {:>12.2}",
             random.throughput / 1e6,
@@ -46,4 +59,5 @@ fn main() {
     println!("Reading (§III-C): worst-case beta2 tracks E (small case exactly E, large");
     println!("case the Theorem 9 fraction); random throughput peaks at mid-range E where");
     println!("partitioning work and per-round conflicts balance — the libraries' E=15/17.");
+    Ok(())
 }

@@ -2,39 +2,46 @@
 //! M4000 — Thrust (E=15, b=512) and Modern GPU (E=15, b=128), random vs.
 //! constructed worst-case inputs.
 //!
-//! Usage: `fig4 [--quick|--standard|--full] [--markdown]`
+//! Usage: `fig4 [--quick|--standard|--full] [--markdown]
+//!              [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
-use wcms_bench::experiment::SweepConfig;
+use std::process::ExitCode;
+
+use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::figures::fig4;
-use wcms_bench::series::{to_csv, to_markdown};
 use wcms_bench::summary::slowdown_table;
 
-fn sweep_from_args() -> (SweepConfig, bool) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sweep = if args.iter().any(|a| a == "--quick") {
-        SweepConfig::quick()
-    } else if args.iter().any(|a| a == "--full") {
-        SweepConfig::full()
-    } else {
-        SweepConfig::standard()
+fn main() -> ExitCode {
+    let args = match figure_args_from_env("fig4") {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fig4: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    (sweep, args.iter().any(|a| a == "--markdown"))
-}
-
-fn main() {
-    let (sweep, markdown) = sweep_from_args();
     eprintln!("# Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation");
-    let series = fig4(&sweep);
-    if markdown {
-        println!("{}", to_markdown(&series, |m| m.throughput / 1e6, "ME/s"));
+    let report = match fig4(&args.sweep, &args.resilience) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig4: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.markdown {
+        println!("{}", report.markdown(|m| m.throughput / 1e6, "ME/s"));
     } else {
-        println!("{}", to_csv(&series, |m| m.throughput / 1e6));
+        println!("{}", report.csv(|m| m.throughput / 1e6));
     }
     eprintln!("# slowdown of worst-case vs. random (paper: Thrust peak 50.49%, avg 43.53%; MGPU peak 33.82%, avg 27.3%)");
-    for (label, s) in slowdown_table(&series) {
+    for (label, s) in slowdown_table(&report.series) {
         eprintln!(
             "#   {label}: peak {:.2}% at N = {}, average {:.2}%",
             s.peak_percent, s.peak_n, s.average_percent
         );
     }
+    if !report.skipped.is_empty() {
+        eprintln!("# {} cell(s) skipped — see the # gap lines above", report.skipped.len());
+    }
+    ExitCode::SUCCESS
 }

@@ -2,45 +2,53 @@
 //! Thrust (left) and Modern GPU (right), each with E=15/b=512 and
 //! E=17/b=256, random vs. constructed worst-case inputs.
 //!
-//! Usage: `fig5 [--quick|--standard|--full] [--markdown]`
+//! Usage: `fig5 [--quick|--standard|--full] [--markdown]
+//!              [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
-use wcms_bench::experiment::SweepConfig;
+use std::process::ExitCode;
+
+use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::figures::{fig5_mgpu, fig5_thrust};
-use wcms_bench::series::{to_csv, to_markdown};
 use wcms_bench::summary::slowdown_table;
 
-fn sweep_from_args() -> (SweepConfig, bool) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sweep = if args.iter().any(|a| a == "--quick") {
-        SweepConfig::quick()
-    } else if args.iter().any(|a| a == "--full") {
-        SweepConfig::full()
-    } else {
-        SweepConfig::standard()
+fn main() -> ExitCode {
+    let args = match figure_args_from_env("fig5") {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fig5: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    (sweep, args.iter().any(|a| a == "--markdown"))
-}
-
-fn main() {
-    let (sweep, markdown) = sweep_from_args();
-    for (panel, series) in [
-        ("Thrust (left panel)", fig5_thrust(&sweep)),
-        ("Modern GPU (right panel)", fig5_mgpu(&sweep)),
+    for (panel, run) in [
+        ("Thrust (left panel)", fig5_thrust(&args.sweep, &args.resilience)),
+        ("Modern GPU (right panel)", fig5_mgpu(&args.sweep, &args.resilience)),
     ] {
+        let report = match run {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fig5: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         eprintln!("# Fig. 5 — RTX 2080 Ti, {panel}");
-        if markdown {
-            println!("{}", to_markdown(&series, |m| m.throughput / 1e6, "ME/s"));
+        if args.markdown {
+            println!("{}", report.markdown(|m| m.throughput / 1e6, "ME/s"));
         } else {
-            println!("{}", to_csv(&series, |m| m.throughput / 1e6));
+            println!("{}", report.csv(|m| m.throughput / 1e6));
         }
         eprintln!("# slowdown of worst-case vs. random");
         eprintln!("#   (paper: Thrust E15 peak 42.43% avg 33.31%; E17 peak 22.94% avg 16.54%;");
         eprintln!("#          MGPU  E15 peak 42.62% avg 35.25%; E17 peak 20.34% avg 12.97%)");
-        for (label, s) in slowdown_table(&series) {
+        for (label, s) in slowdown_table(&report.series) {
             eprintln!(
                 "#   {label}: peak {:.2}% at N = {}, average {:.2}%",
                 s.peak_percent, s.peak_n, s.average_percent
             );
         }
+        if !report.skipped.is_empty() {
+            eprintln!("# {} cell(s) skipped — see the # gap lines above", report.skipped.len());
+        }
     }
+    ExitCode::SUCCESS
 }

@@ -3,32 +3,39 @@
 //! inputs, both parameter sets. The paper's point: the conflict curve
 //! predicts the runtime curve, and both grow logarithmically with N.
 //!
-//! Usage: `fig6 [--quick|--standard|--full]`
+//! Usage: `fig6 [--quick|--standard|--full]
+//!              [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
-use wcms_bench::experiment::SweepConfig;
+use std::process::ExitCode;
+
+use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::figures::fig6;
-use wcms_bench::series::to_csv;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sweep = if args.iter().any(|a| a == "--quick") {
-        SweepConfig::quick()
-    } else if args.iter().any(|a| a == "--full") {
-        SweepConfig::full()
-    } else {
-        SweepConfig::standard()
+fn main() -> ExitCode {
+    let args = match figure_args_from_env("fig6") {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-
-    let series = fig6(&sweep);
+    let report = match fig6(&args.sweep, &args.resilience) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!("# Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs");
     eprintln!("# runtime per element (ns/element, modelled):");
-    println!("{}", to_csv(&series, |m| m.ms_per_element * 1e6));
+    println!("{}", report.csv(|m| m.ms_per_element * 1e6));
     eprintln!("# bank conflicts per element (extra cycles/element, measured):");
-    println!("{}", to_csv(&series, |m| m.conflicts_per_element));
+    println!("{}", report.csv(|m| m.conflicts_per_element));
 
     // The correlation the paper highlights: per series, the rank order of
     // sizes by conflicts matches the rank order by runtime.
-    for s in &series {
+    for s in &report.series {
         let mut by_conflicts: Vec<usize> = (0..s.points.len()).collect();
         by_conflicts.sort_by(|&a, &b| {
             s.points[a].conflicts_per_element.total_cmp(&s.points[b].conflicts_per_element)
@@ -42,4 +49,8 @@ fn main() {
             if by_conflicts == by_runtime { "exact" } else { "partial" }
         );
     }
+    if !report.skipped.is_empty() {
+        eprintln!("# {} cell(s) skipped — see the # gap lines above", report.skipped.len());
+    }
+    ExitCode::SUCCESS
 }

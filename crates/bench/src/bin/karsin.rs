@@ -10,15 +10,28 @@
 //!
 //! Usage: `karsin [--quick]`
 
+use std::process::ExitCode;
+
 use wcms_bench::experiment::measure;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("karsin: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), WcmsError> {
     let quick = std::env::args().any(|a| a == "--quick");
     let device = DeviceSpec::gtx_770();
-    let params = SortParams::new(32, 15, 128);
+    let params = SortParams::new(32, 15, 128)?;
     let doublings = if quick { 2..=5 } else { 2..=8 };
 
     println!("device = {} (cc 3.0, Karsin et al.'s testbed), E=15, b=128", device.name);
@@ -28,9 +41,9 @@ fn main() {
     );
     for d in doublings {
         let n = params.block_elems() << d;
-        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 5 }, n, 2);
-        let heavy = measure(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1);
-        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1);
+        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 5 }, n, 2)?;
+        let heavy = measure(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1)?;
+        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1)?;
         println!(
             "{n:>10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>11.1}% {:>11.1}%",
             random.beta1,
@@ -51,4 +64,5 @@ fn main() {
     println!("the net slowdown can even be negative. Hand-crafted adversaries without");
     println!("analysis can misfire; the constructive input (wst b2 = E) degrades with");
     println!("a guarantee, which is exactly the gap the paper closes.");
+    Ok(())
 }

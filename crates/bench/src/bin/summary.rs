@@ -3,28 +3,37 @@
 //! Karsin β₁/β₂ averages on random inputs and their growth with
 //! inversions (`--beta`).
 //!
-//! Usage: `summary [--quick|--standard|--full] [--beta]`
+//! Usage: `summary [--quick|--standard|--full] [--beta]
+//!                 [--resume] [--timeout <secs>] [--retries <k>]
+//!                 [--checkpoint-dir <dir>] [--no-checkpoint]`
 
+use std::process::ExitCode;
+
+use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::experiment::{measure, SweepConfig};
 use wcms_bench::figures::{fig4, fig5_mgpu, fig5_thrust};
+use wcms_bench::resilient::SkippedCell;
 use wcms_bench::summary::slowdown_table;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sweep = if args.iter().any(|a| a == "--quick") {
-        SweepConfig::quick()
-    } else if args.iter().any(|a| a == "--full") {
-        SweepConfig::full()
-    } else {
-        SweepConfig::standard()
-    };
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("summary: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
-    if args.iter().any(|a| a == "--beta") {
-        beta_report(&sweep);
-        return;
+fn run() -> Result<(), WcmsError> {
+    let args = figure_args_from_env("summary")?;
+
+    if std::env::args().any(|a| a == "--beta") {
+        return beta_report(&args.sweep);
     }
 
     println!(
@@ -45,23 +54,34 @@ fn main() {
             vec![("ModernGPU E=15 b=512", 42.62, 35.25), ("ModernGPU E=17 b=256", 20.34, 12.97)],
         ),
     ];
-    for ((device, paper_rows), series) in
-        paper.into_iter().zip([fig4(&sweep), fig5_thrust(&sweep), fig5_mgpu(&sweep)])
-    {
-        for ((label, s), (_, peak, avg)) in slowdown_table(&series).into_iter().zip(paper_rows) {
+    let reports = [
+        fig4(&args.sweep, &args.resilience)?,
+        fig5_thrust(&args.sweep, &args.resilience)?,
+        fig5_mgpu(&args.sweep, &args.resilience)?,
+    ];
+    let skipped: Vec<SkippedCell> =
+        reports.iter().flat_map(|r| r.skipped.iter().cloned()).collect();
+    for ((device, paper_rows), report) in paper.into_iter().zip(reports) {
+        for ((label, s), (_, peak, avg)) in
+            slowdown_table(&report.series).into_iter().zip(paper_rows)
+        {
             println!(
                 "| {device} | {label} | {:.2}% | {} | {:.2}% | {peak}% | {avg}% |",
                 s.peak_percent, s.peak_n, s.average_percent
             );
         }
     }
+    for gap in &skipped {
+        println!("# gap,{},{},attempts={},{}", gap.series, gap.n, gap.attempts, gap.reason);
+    }
+    Ok(())
 }
 
 /// β₁/β₂ on random inputs (Karsin et al. report β₁ = 3.1, β₂ = 2.2 for
 /// Modern GPU) and their growth with inversion count.
-fn beta_report(sweep: &SweepConfig) {
+fn beta_report(sweep: &SweepConfig) -> Result<(), WcmsError> {
     let device = DeviceSpec::quadro_m4000();
-    let params = SortParams::mgpu(&device);
+    let params = SortParams::mgpu(&device)?;
     let n = params.block_elems() << sweep.max_doublings.min(6);
 
     println!("| workload | inversions-ish | beta1 | beta2 |");
@@ -75,10 +95,11 @@ fn beta_report(sweep: &SweepConfig) {
         ("worst-case", WorkloadSpec::WorstCase),
     ];
     for (label, spec) in workloads {
-        let m = measure(&device, &params, spec, n, sweep.runs);
+        let m = measure(&device, &params, spec, n, sweep.runs)?;
         println!("| {label} | n={n} | {:.2} | {:.2} |", m.beta1, m.beta2);
     }
     println!();
     println!("(Karsin et al., ICS 2018: beta1 = 3.1, beta2 = 2.2 on random inputs for Modern GPU;");
     println!(" both grow with the number of inversions — compare the swap rows.)");
+    Ok(())
 }

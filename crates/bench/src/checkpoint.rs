@@ -1,0 +1,436 @@
+//! Per-cell sweep checkpoints.
+//!
+//! Every measured cell of a figure sweep can be persisted as one small
+//! JSON file under `results/.checkpoint/<figure>/`, so an interrupted
+//! sweep (OOM kill, ^C, node preemption) resumes from the completed
+//! cells instead of starting over. Files are written atomically
+//! (temp file + rename) so a kill mid-write never leaves a torn
+//! checkpoint — a torn temp file is simply ignored on resume.
+//!
+//! The JSON codec is hand-rolled and deliberately tiny: it covers
+//! exactly the [`CellResult`] shape, with `f64` round-tripping through
+//! Rust's shortest-representation formatting.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use wcms_dmm::stats::Summary;
+use wcms_error::WcmsError;
+
+use crate::experiment::Measurement;
+
+/// The persisted outcome of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// The cell measured successfully.
+    Done(Measurement),
+    /// The cell was abandoned (timeout or repeated failure) — the sweep
+    /// reports a gap instead of a value.
+    Skipped {
+        /// Why the cell was abandoned (a rendered [`WcmsError`]).
+        reason: String,
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+/// A directory of per-cell checkpoint files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WcmsError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Remove every checkpoint in the directory (a fresh, non-resumed
+    /// run must not reuse cells from an older configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] on filesystem failures.
+    pub fn clear(&self) -> Result<(), WcmsError> {
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json" || e == "tmp") {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The directory backing this store.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, cell: &str) -> PathBuf {
+        self.dir.join(format!("{}.json", sanitize(cell)))
+    }
+
+    /// Load a cell's checkpoint, if a well-formed one exists. Torn or
+    /// unparsable files are treated as absent (the cell re-runs), not as
+    /// errors — resumption must survive whatever a kill left behind.
+    #[must_use]
+    pub fn load(&self, cell: &str) -> Option<CellResult> {
+        let text = fs::read_to_string(self.cell_path(cell)).ok()?;
+        decode(&text)
+    }
+
+    /// Persist a cell's result atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] on filesystem failures.
+    pub fn store(&self, cell: &str, result: &CellResult) -> Result<(), WcmsError> {
+        let path = self.cell_path(cell);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(encode(result).as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+}
+
+/// Map a cell name to a filesystem-safe stem.
+fn sanitize(cell: &str) -> String {
+    cell.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+// --- JSON codec -----------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`CellResult`] as one line of JSON.
+#[must_use]
+pub fn encode(result: &CellResult) -> String {
+    match result {
+        CellResult::Done(m) => {
+            let s = &m.throughput_spread;
+            format!(
+                concat!(
+                    "{{\"status\":\"done\",\"n\":{},\"throughput\":{},\"ms\":{},",
+                    "\"spread\":{{\"n\":{},\"mean\":{},\"min\":{},\"max\":{},\"stddev\":{}}},",
+                    "\"beta1\":{},\"beta2\":{},\"conflicts_per_element\":{},",
+                    "\"ms_per_element\":{}}}"
+                ),
+                m.n,
+                m.throughput,
+                m.ms,
+                s.n,
+                s.mean,
+                s.min,
+                s.max,
+                s.stddev,
+                m.beta1,
+                m.beta2,
+                m.conflicts_per_element,
+                m.ms_per_element,
+            )
+        }
+        CellResult::Skipped { reason, attempts } => {
+            format!(
+                "{{\"status\":\"skipped\",\"reason\":\"{}\",\"attempts\":{attempts}}}",
+                escape(reason)
+            )
+        }
+    }
+}
+
+/// Parse the output of [`encode`]. Returns `None` for anything torn or
+/// malformed — resumption treats that as "cell not measured yet".
+#[must_use]
+pub fn decode(text: &str) -> Option<CellResult> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None; // trailing garbage: treat as torn
+    }
+    let obj = v.as_object()?;
+    match obj.get_str("status")? {
+        "done" => {
+            let spread = obj.get("spread")?.as_object()?;
+            Some(CellResult::Done(Measurement {
+                n: obj.get_num("n")? as usize,
+                throughput: obj.get_num("throughput")?,
+                ms: obj.get_num("ms")?,
+                throughput_spread: Summary {
+                    n: spread.get_num("n")? as usize,
+                    mean: spread.get_num("mean")?,
+                    min: spread.get_num("min")?,
+                    max: spread.get_num("max")?,
+                    stddev: spread.get_num("stddev")?,
+                },
+                beta1: obj.get_num("beta1")?,
+                beta2: obj.get_num("beta2")?,
+                conflicts_per_element: obj.get_num("conflicts_per_element")?,
+                ms_per_element: obj.get_num("ms_per_element")?,
+            }))
+        }
+        "skipped" => Some(CellResult::Skipped {
+            reason: obj.get_str("reason")?.to_string(),
+            attempts: obj.get_num("attempts")? as usize,
+        }),
+        _ => None,
+    }
+}
+
+enum Value {
+    Num(f64),
+    Str(String),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+trait ObjExt {
+    fn get(&self, key: &str) -> Option<&Value>;
+    fn get_num(&self, key: &str) -> Option<f64>;
+    fn get_str(&self, key: &str) -> Option<&str>;
+}
+
+impl ObjExt for Vec<(String, Value)> {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    fn get_num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+    fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        self.skip_ws();
+        match self.bytes.get(self.pos)? {
+            b'{' => self.object(),
+            b'"' => Some(Value::Str(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<Value> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Some(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Value::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return None;
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                &b => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise.
+                    let start = self.pos;
+                    let len = utf8_len(b);
+                    let chunk = self.bytes.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok().map(Value::Num)
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas() -> Measurement {
+        Measurement {
+            n: 3072,
+            throughput: 1.25e8,
+            ms: 0.024576,
+            throughput_spread: Summary { n: 2, mean: 1.25e8, min: 1.2e8, max: 1.3e8, stddev: 7e6 },
+            beta1: 3.0999999999999996,
+            beta2: 15.0,
+            conflicts_per_element: 0.875,
+            ms_per_element: 8e-6,
+        }
+    }
+
+    #[test]
+    fn done_roundtrips_bit_exact() {
+        let r = CellResult::Done(meas());
+        assert_eq!(decode(&encode(&r)), Some(r));
+    }
+
+    #[test]
+    fn skipped_roundtrips_with_escapes() {
+        let r = CellResult::Skipped {
+            reason: "cell \"fig4/wc\" timed out\nafter 3 s".into(),
+            attempts: 3,
+        };
+        assert_eq!(decode(&encode(&r)), Some(r));
+    }
+
+    #[test]
+    fn torn_files_read_as_absent() {
+        let full = encode(&CellResult::Done(meas()));
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            assert_eq!(decode(&full[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(decode(&format!("{full}garbage")), None);
+        assert_eq!(decode(""), None);
+    }
+
+    #[test]
+    fn store_load_clear() {
+        let dir = std::env::temp_dir().join(format!("wcms-ckpt-{}", std::process::id()));
+        let store = CheckpointStore::open(&dir).unwrap();
+        let cell = "fig4/Thrust E=15 b=512 worst-case/3072";
+        assert_eq!(store.load(cell), None);
+        let r = CellResult::Done(meas());
+        store.store(cell, &r).unwrap();
+        assert_eq!(store.load(cell), Some(r));
+        // A second store overwrites atomically.
+        let skip = CellResult::Skipped { reason: "x".into(), attempts: 1 };
+        store.store(cell, &skip).unwrap();
+        assert_eq!(store.load(cell), Some(skip));
+        store.clear().unwrap();
+        assert_eq!(store.load(cell), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cell_names_sanitize_to_distinct_files() {
+        assert_ne!(sanitize("a/b=1 c"), sanitize("a/b=2 c"));
+        assert!(sanitize("fig4/Thrust E=15 b=512/3072")
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_'));
+    }
+}

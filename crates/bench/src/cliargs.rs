@@ -1,0 +1,172 @@
+//! Shared command-line parsing for the figure binaries.
+//!
+//! Every figure runner accepts the same resilience surface:
+//!
+//! ```text
+//! [--quick|--standard|--full]   sweep size (default --standard)
+//! [--markdown]                  markdown tables instead of CSV
+//! [--resume]                    reuse checkpointed cells from a prior run
+//! [--timeout <secs>]            per-cell wall-clock budget
+//! [--retries <k>]               extra attempts per failed/timed-out cell
+//! [--checkpoint-dir <dir>]      override results/.checkpoint/<figure>
+//! [--no-checkpoint]             disable checkpointing entirely
+//! ```
+//!
+//! Checkpoints are written on every run (they are tiny), so `--resume`
+//! on the next invocation picks up whatever a killed sweep finished.
+//! Without `--resume` the figure's checkpoint directory is cleared
+//! first — stale cells from an older configuration must not leak in.
+
+use std::time::Duration;
+
+use wcms_error::WcmsError;
+
+use crate::checkpoint::CheckpointStore;
+use crate::experiment::SweepConfig;
+use crate::resilient::ResilienceConfig;
+
+/// Parsed figure-binary arguments.
+#[derive(Debug, Clone)]
+pub struct FigureArgs {
+    /// Sweep grid.
+    pub sweep: SweepConfig,
+    /// Render markdown instead of CSV.
+    pub markdown: bool,
+    /// Resilience policy (timeout/retries/checkpoint).
+    pub resilience: ResilienceConfig,
+}
+
+/// Parse `args` (without the program name) for the figure `figure`.
+///
+/// # Errors
+///
+/// Returns [`WcmsError::DatasetCorrupt`]-style argument errors? No —
+/// argument errors are reported as `Io(InvalidInput)` with the message,
+/// and checkpoint-directory failures as their underlying I/O error.
+pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, WcmsError> {
+    let bad =
+        |msg: String| WcmsError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg));
+    let sweep = if args.iter().any(|a| a == "--quick") {
+        SweepConfig::quick()
+    } else if args.iter().any(|a| a == "--full") {
+        SweepConfig::full()
+    } else {
+        SweepConfig::standard()
+    };
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+
+    let mut resilience = ResilienceConfig::none();
+    if let Some(secs) = value_of("--timeout") {
+        let secs: f64 = secs.parse().map_err(|_| bad(format!("--timeout {secs}: not a number")))?;
+        if secs.is_nan() || secs <= 0.0 {
+            return Err(bad(format!("--timeout {secs}: must be positive")));
+        }
+        resilience.timeout = Some(Duration::from_secs_f64(secs));
+        resilience.backoff = Duration::from_millis(100);
+    }
+    if let Some(k) = value_of("--retries") {
+        resilience.retries = k.parse().map_err(|_| bad(format!("--retries {k}: not a count")))?;
+        if resilience.backoff.is_zero() {
+            resilience.backoff = Duration::from_millis(100);
+        }
+    }
+
+    let resume = args.iter().any(|a| a == "--resume");
+    if !args.iter().any(|a| a == "--no-checkpoint") {
+        let dir = value_of("--checkpoint-dir")
+            .map(String::from)
+            .unwrap_or_else(|| format!("results/.checkpoint/{figure}"));
+        let store = CheckpointStore::open(dir)?;
+        if !resume {
+            store.clear()?;
+        }
+        resilience.checkpoint = Some(store);
+    }
+
+    Ok(FigureArgs { sweep, markdown: args.iter().any(|a| a == "--markdown"), resilience })
+}
+
+/// [`parse_figure_args`] over the process arguments.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_figure_args`].
+pub fn figure_args_from_env(figure: &str) -> Result<FigureArgs, WcmsError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_figure_args(figure, &args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_standard_and_checkpointed() {
+        let dir = std::env::temp_dir().join(format!("wcms-cli-{}", std::process::id()));
+        let a =
+            parse_figure_args("figX", &strs(&["--checkpoint-dir", dir.to_str().unwrap()])).unwrap();
+        assert_eq!(a.sweep.max_doublings, SweepConfig::standard().max_doublings);
+        assert!(!a.markdown);
+        assert!(a.resilience.timeout.is_none());
+        assert!(a.resilience.checkpoint.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeout_and_retries_parse() {
+        let a = parse_figure_args(
+            "figX",
+            &strs(&["--quick", "--no-checkpoint", "--timeout", "2.5", "--retries", "4"]),
+        )
+        .unwrap();
+        assert_eq!(a.resilience.timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(a.resilience.retries, 4);
+        assert!(a.resilience.checkpoint.is_none());
+    }
+
+    #[test]
+    fn bad_timeout_is_a_typed_error() {
+        let err = parse_figure_args("figX", &strs(&["--no-checkpoint", "--timeout", "soon"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("--timeout"), "{err}");
+        let err =
+            parse_figure_args("figX", &strs(&["--no-checkpoint", "--timeout", "-1"])).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn resume_keeps_existing_cells() {
+        let dir = std::env::temp_dir().join(format!("wcms-cli-res-{}", std::process::id()));
+        let store = CheckpointStore::open(&dir).unwrap();
+        store
+            .store(
+                "cell",
+                &crate::checkpoint::CellResult::Skipped { reason: "x".into(), attempts: 1 },
+            )
+            .unwrap();
+        // Fresh run clears...
+        let _ =
+            parse_figure_args("figX", &strs(&["--checkpoint-dir", dir.to_str().unwrap()])).unwrap();
+        assert_eq!(store.load("cell"), None);
+        // ...resumed run keeps.
+        store
+            .store(
+                "cell",
+                &crate::checkpoint::CellResult::Skipped { reason: "x".into(), attempts: 1 },
+            )
+            .unwrap();
+        let _ = parse_figure_args(
+            "figX",
+            &strs(&["--resume", "--checkpoint-dir", dir.to_str().unwrap()]),
+        )
+        .unwrap();
+        assert!(store.load("cell").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

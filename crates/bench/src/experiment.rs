@@ -8,12 +8,13 @@
 
 use serde::{Deserialize, Serialize};
 use wcms_dmm::stats::Summary;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
 use wcms_mergesort::{sort_with_report, SortParams, SortReport};
 use wcms_workloads::WorkloadSpec;
 
 /// One measured point of a sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// Input size.
     pub n: usize,
@@ -71,34 +72,59 @@ impl SweepConfig {
 }
 
 /// Convert a sort report into modelled time on `device`.
-#[must_use]
-pub fn model_time(device: &DeviceSpec, params: &SortParams, report: &SortReport) -> f64 {
-    let occ = Occupancy::compute(device, params.b, params.shared_bytes())
-        .expect("parameters must fit the device");
+///
+/// # Errors
+///
+/// Returns [`WcmsError::OccupancyMisfit`] / [`WcmsError::SharedMemOverflow`]
+/// naming the `(E, b, device)` triple when the tuning cannot launch on
+/// the device.
+pub fn model_time(
+    device: &DeviceSpec,
+    params: &SortParams,
+    report: &SortReport,
+) -> Result<f64, WcmsError> {
+    let occ = Occupancy::compute(device, params.b, params.shared_bytes()).map_err(|e| match e {
+        // The occupancy layer knows b and the tile, not the tuning; add
+        // E so a sweep log names the full (E, b, device) cell.
+        WcmsError::OccupancyMisfit { device, block_threads, shared_bytes, reason } => {
+            WcmsError::OccupancyMisfit {
+                device,
+                block_threads,
+                shared_bytes,
+                reason: format!("E={}: {reason}", params.e),
+            }
+        }
+        other => other,
+    })?;
     let model = CostModel::default();
     let t = model.estimate(device, &occ, &report.kernel_counters(), report.blocks_launched());
-    t.total_s
+    Ok(t.total_s)
 }
 
 /// Measure one point, averaging seeded workloads over `runs` runs.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates generator errors (bad `(w, E, b, n)`), kernel-detected
+/// corruption from the simulated sort, and occupancy misfits from the
+/// cost model.
 pub fn measure(
     device: &DeviceSpec,
     params: &SortParams,
     spec: WorkloadSpec,
     n: usize,
     runs: u64,
-) -> Measurement {
+) -> Result<Measurement, WcmsError> {
     let runs = runs.max(1);
     let mut times = Vec::with_capacity(runs as usize);
     let mut beta1 = Vec::new();
     let mut beta2 = Vec::new();
     let mut cpe = Vec::new();
     for run in 0..runs {
-        let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b);
-        let (out, report) = sort_with_report(&input, params);
+        let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b)?;
+        let (out, report) = sort_with_report(&input, params)?;
         debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
-        times.push(model_time(device, params, &report));
+        times.push(model_time(device, params, &report)?);
         beta1.push(report.global_beta1().unwrap_or(1.0));
         beta2.push(report.global_beta2().unwrap_or(1.0));
         cpe.push(report.conflicts_per_element());
@@ -115,9 +141,10 @@ pub fn measure(
         }
     }
     let throughputs: Vec<f64> = times.iter().map(|t| n as f64 / t).collect();
-    let spread = Summary::of(&throughputs).expect("at least one run");
+    // `runs` is clamped to ≥ 1 above, so the sample is never empty.
+    let spread = Summary::of(&throughputs).ok_or(WcmsError::ZeroParam { name: "runs" })?;
     let mean_time = times.iter().sum::<f64>() / times.len() as f64;
-    Measurement {
+    Ok(Measurement {
         n,
         throughput: spread.mean,
         ms: mean_time * 1e3,
@@ -126,7 +153,7 @@ pub fn measure(
         beta2: beta2.iter().sum::<f64>() / beta2.len() as f64,
         conflicts_per_element: cpe.iter().sum::<f64>() / cpe.len() as f64,
         ms_per_element: mean_time * 1e3 / n as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -134,14 +161,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> (DeviceSpec, SortParams) {
-        (DeviceSpec::test_device(), SortParams::new(32, 7, 64))
+        (DeviceSpec::test_device(), SortParams::new(32, 7, 64).unwrap())
     }
 
     #[test]
     fn measure_random_point() {
         let (d, p) = tiny();
         let n = p.block_elems() * 4;
-        let m = measure(&d, &p, WorkloadSpec::RandomPermutation { seed: 1 }, n, 2);
+        let m = measure(&d, &p, WorkloadSpec::RandomPermutation { seed: 1 }, n, 2).unwrap();
         assert_eq!(m.n, n);
         assert!(m.throughput > 0.0);
         assert!(m.ms > 0.0);
@@ -153,8 +180,8 @@ mod tests {
     fn worst_case_slower_than_random() {
         let (d, p) = tiny();
         let n = p.block_elems() * 8;
-        let worst = measure(&d, &p, WorkloadSpec::WorstCase, n, 1);
-        let random = measure(&d, &p, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2);
+        let worst = measure(&d, &p, WorkloadSpec::WorstCase, n, 1).unwrap();
+        let random = measure(&d, &p, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2).unwrap();
         assert!(
             worst.throughput < random.throughput,
             "worst {} !< random {}",
@@ -168,13 +195,13 @@ mod tests {
     fn deterministic_specs_run_once() {
         let (d, p) = tiny();
         let n = p.block_elems() * 2;
-        let m = measure(&d, &p, WorkloadSpec::Sorted, n, 5);
+        let m = measure(&d, &p, WorkloadSpec::Sorted, n, 5).unwrap();
         assert_eq!(m.throughput_spread.n, 1);
     }
 
     #[test]
     fn sweep_sizes_double() {
-        let p = SortParams::new(32, 7, 64);
+        let p = SortParams::new(32, 7, 64).unwrap();
         let sizes = SweepConfig::quick().sizes(&p);
         assert_eq!(sizes.len(), 5);
         for w in sizes.windows(2) {

@@ -1,13 +1,23 @@
 //! The figure runners: each reproduces one figure of §IV as a set of
 //! labelled series over a doubling size grid.
+//!
+//! Every cell runs through the resilience layer
+//! ([`crate::resilient::run_cell`]): with [`ResilienceConfig::none`]
+//! that is a plain call, while the figure binaries pass timeouts,
+//! retries and a checkpoint store so interrupted sweeps resume and
+//! pathological cells degrade to explicit gaps instead of killing the
+//! whole figure.
 
 use rayon::prelude::*;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::params::SortVariant;
 use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
+use crate::checkpoint::CellResult;
 use crate::experiment::{measure, SweepConfig};
+use crate::resilient::{run_cell, ResilienceConfig, SkippedCell, SweepReport};
 use crate::series::Series;
 
 /// A library/parameter configuration under test.
@@ -19,119 +29,162 @@ pub struct Config {
     pub params: SortParams,
 }
 
+fn series_label(cfg: &Config, wl: &str) -> String {
+    format!("{} E={} b={} {}", cfg.label, cfg.params.e, cfg.params.b, wl)
+}
+
+/// Run one grid of `(series label, spec, params, n)` jobs under the
+/// resilience policy and fold the outcomes into series + gaps.
+fn run_grid(
+    figure: &str,
+    device: &DeviceSpec,
+    jobs: Vec<(String, SortParams, WorkloadSpec, usize)>,
+    runs: u64,
+    resilience: &ResilienceConfig,
+    series_order: &[String],
+) -> SweepReport {
+    // Cells are independent; parallelise the whole grid. (The sort
+    // itself also parallelises over blocks, but the small-N points leave
+    // cores idle without this outer level.)
+    let outcomes: Vec<(String, usize, CellResult)> = jobs
+        .into_par_iter()
+        .map(|(label, params, spec, n)| {
+            let cell = format!("{figure}/{label}/{n}");
+            let dev = device.clone();
+            let outcome =
+                run_cell(&cell, resilience, move || measure(&dev, &params, spec, n, runs));
+            (label, n, outcome)
+        })
+        .collect();
+
+    let mut report = SweepReport::default();
+    for wanted in series_order {
+        let mut points = Vec::new();
+        for (label, n, outcome) in &outcomes {
+            if label != wanted {
+                continue;
+            }
+            match outcome {
+                CellResult::Done(m) => points.push(m.clone()),
+                CellResult::Skipped { reason, attempts } => report.skipped.push(SkippedCell {
+                    series: label.clone(),
+                    n: *n,
+                    reason: reason.clone(),
+                    attempts: *attempts,
+                }),
+            }
+        }
+        report.series.push(Series { label: wanted.clone(), points });
+    }
+    report
+}
+
 /// Sweep `configs × {random, worst-case}` on `device`. Returns one series
 /// per (config, workload), worst-case first per config — the layout of
-/// Figures 4 and 5.
+/// Figures 4 and 5. Failed cells become [`SweepReport::skipped`] gaps.
 #[must_use]
 pub fn throughput_figure(
+    figure: &str,
     device: &DeviceSpec,
     configs: &[Config],
     sweep: &SweepConfig,
-) -> Vec<Series> {
+    resilience: &ResilienceConfig,
+) -> SweepReport {
     let mut jobs = Vec::new();
+    let mut order = Vec::new();
     for cfg in configs {
         for (wl_label, spec) in [
             ("worst-case", WorkloadSpec::WorstCase),
             ("random", WorkloadSpec::RandomPermutation { seed: 0xC0FFEE }),
         ] {
+            order.push(series_label(cfg, wl_label));
             for n in sweep.sizes(&cfg.params) {
-                jobs.push((cfg.clone(), wl_label, spec, n));
+                jobs.push((series_label(cfg, wl_label), cfg.params, spec, n));
             }
         }
     }
-    // Points are independent; parallelise the whole grid. (The sort
-    // itself also parallelises over blocks, but the small-N points leave
-    // cores idle without this outer level.)
-    let measured: Vec<_> = jobs
-        .par_iter()
-        .map(|(cfg, wl, spec, n)| {
-            let m = measure(device, &cfg.params, *spec, *n, sweep.runs);
-            (cfg.label.clone(), cfg.params, *wl, m)
-        })
-        .collect();
-
-    let mut out: Vec<Series> = Vec::new();
-    for cfg in configs {
-        for wl in ["worst-case", "random"] {
-            let points: Vec<_> = measured
-                .iter()
-                .filter(|(l, p, w, _)| *l == cfg.label && *p == cfg.params && *w == wl)
-                .map(|(_, _, _, m)| m.clone())
-                .collect();
-            out.push(Series {
-                label: format!("{} E={} b={} {}", cfg.label, cfg.params.e, cfg.params.b, wl),
-                points,
-            });
-        }
-    }
-    out
+    run_grid(figure, device, jobs, sweep.runs, resilience, &order)
 }
 
 /// Fig. 4: Quadro M4000 — Thrust (E=15, b=512) and Modern GPU
 /// (E=15, b=128), random vs. worst-case throughput.
-#[must_use]
-pub fn fig4(sweep: &SweepConfig) -> Vec<Series> {
+///
+/// # Errors
+///
+/// Returns the parameter-validation error if a library preset does not
+/// fit the device (individual cell failures become gaps instead).
+pub fn fig4(sweep: &SweepConfig, resilience: &ResilienceConfig) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::quadro_m4000();
     let configs = [
-        Config { label: "Thrust".into(), params: SortParams::thrust(&device) },
-        Config { label: "ModernGPU".into(), params: SortParams::mgpu(&device) },
+        Config { label: "Thrust".into(), params: SortParams::thrust(&device)? },
+        Config { label: "ModernGPU".into(), params: SortParams::mgpu(&device)? },
     ];
-    throughput_figure(&device, &configs, sweep)
+    Ok(throughput_figure("fig4", &device, &configs, sweep, resilience))
 }
 
 /// Fig. 5 (left): RTX 2080 Ti, Thrust with both parameter sets.
-#[must_use]
-pub fn fig5_thrust(sweep: &SweepConfig) -> Vec<Series> {
+///
+/// # Errors
+///
+/// Same conditions as [`fig4`].
+pub fn fig5_thrust(
+    sweep: &SweepConfig,
+    resilience: &ResilienceConfig,
+) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
-        Config { label: "Thrust".into(), params: SortParams::thrust_e15_b512(&device) },
-        Config { label: "Thrust".into(), params: SortParams::thrust(&device) },
+        Config { label: "Thrust".into(), params: SortParams::thrust_e15_b512(&device)? },
+        Config { label: "Thrust".into(), params: SortParams::thrust(&device)? },
     ];
-    throughput_figure(&device, &configs, sweep)
+    Ok(throughput_figure("fig5-thrust", &device, &configs, sweep, resilience))
 }
 
 /// Fig. 5 (right): RTX 2080 Ti, Modern GPU with both parameter sets.
-#[must_use]
-pub fn fig5_mgpu(sweep: &SweepConfig) -> Vec<Series> {
+///
+/// # Errors
+///
+/// Same conditions as [`fig4`].
+pub fn fig5_mgpu(
+    sweep: &SweepConfig,
+    resilience: &ResilienceConfig,
+) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
         Config {
             label: "ModernGPU".into(),
-            params: SortParams::new(32, 15, 512).with_variant(SortVariant::ModernGpu),
+            params: SortParams::new(32, 15, 512)?.with_variant(SortVariant::ModernGpu),
         },
         Config {
             label: "ModernGPU".into(),
-            params: SortParams::new(32, 17, 256).with_variant(SortVariant::ModernGpu),
+            params: SortParams::new(32, 17, 256)?.with_variant(SortVariant::ModernGpu),
         },
     ];
-    throughput_figure(&device, &configs, sweep)
+    Ok(throughput_figure("fig5-mgpu", &device, &configs, sweep, resilience))
 }
 
 /// Fig. 6: RTX 2080 Ti, Thrust, worst-case inputs — runtime per element
 /// and bank conflicts per element for both parameter sets. Returns the
-/// four series in the paper's order: (ms/elem E15, ms/elem E17,
-/// conflicts/elem E15, conflicts/elem E17) — project with
-/// `m.ms_per_element` / `m.conflicts_per_element`.
-#[must_use]
-pub fn fig6(sweep: &SweepConfig) -> Vec<Series> {
+/// series in the paper's order — project with `m.ms_per_element` /
+/// `m.conflicts_per_element`.
+///
+/// # Errors
+///
+/// Same conditions as [`fig4`].
+pub fn fig6(sweep: &SweepConfig, resilience: &ResilienceConfig) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
-        Config { label: "Thrust".into(), params: SortParams::new(32, 15, 512) },
-        Config { label: "Thrust".into(), params: SortParams::new(32, 17, 256) },
+        Config { label: "Thrust".into(), params: SortParams::new(32, 15, 512)? },
+        Config { label: "Thrust".into(), params: SortParams::new(32, 17, 256)? },
     ];
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
+    let mut order = Vec::new();
     for cfg in &configs {
-        let points: Vec<_> = sweep
-            .sizes(&cfg.params)
-            .into_par_iter()
-            .map(|n| measure(&device, &cfg.params, WorkloadSpec::WorstCase, n, 1))
-            .collect();
-        out.push(Series {
-            label: format!("{} E={} b={} worst-case", cfg.label, cfg.params.e, cfg.params.b),
-            points,
-        });
+        order.push(series_label(cfg, "worst-case"));
+        for n in sweep.sizes(&cfg.params) {
+            jobs.push((series_label(cfg, "worst-case"), cfg.params, WorkloadSpec::WorstCase, n));
+        }
     }
-    out
+    Ok(run_grid("fig6", &device, jobs, 1, resilience, &order))
 }
 
 #[cfg(test)]
@@ -141,9 +194,11 @@ mod tests {
     #[test]
     fn throughput_figure_layout() {
         let device = DeviceSpec::test_device();
-        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64) }];
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
         let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let series = throughput_figure(&device, &configs, &sweep);
+        let report = throughput_figure("t", &device, &configs, &sweep, &ResilienceConfig::none());
+        assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+        let series = &report.series;
         assert_eq!(series.len(), 2);
         assert!(series[0].label.contains("worst-case"));
         assert!(series[1].label.contains("random"));
@@ -155,10 +210,10 @@ mod tests {
     #[test]
     fn worst_case_series_is_slower_pointwise() {
         let device = DeviceSpec::test_device();
-        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64) }];
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
         let sweep = SweepConfig { min_doublings: 2, max_doublings: 3, runs: 1 };
-        let series = throughput_figure(&device, &configs, &sweep);
-        for (w, r) in series[0].points.iter().zip(&series[1].points) {
+        let report = throughput_figure("t", &device, &configs, &sweep, &ResilienceConfig::none());
+        for (w, r) in report.series[0].points.iter().zip(&report.series[1].points) {
             assert!(w.throughput < r.throughput, "n={}", w.n);
         }
     }
@@ -166,12 +221,29 @@ mod tests {
     #[test]
     fn fig6_series_shapes() {
         let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let series = fig6(&sweep);
-        assert_eq!(series.len(), 2);
-        for s in &series {
+        let report = fig6(&sweep, &ResilienceConfig::none()).unwrap();
+        assert_eq!(report.series.len(), 2);
+        for s in &report.series {
             assert_eq!(s.points.len(), 2);
             // Conflicts per element grow with N (log growth, Fig. 6).
             assert!(s.points[1].conflicts_per_element >= s.points[0].conflicts_per_element);
         }
+    }
+
+    /// An impossible device geometry skips every cell of the affected
+    /// series (with the occupancy reason) instead of panicking — and the
+    /// series still appears, empty, so downstream layout is stable.
+    #[test]
+    fn misfit_config_degrades_to_gaps() {
+        let device = DeviceSpec::test_device();
+        let tiny_smem = DeviceSpec { shared_mem_per_sm: 64, ..device.clone() };
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
+        let sweep = SweepConfig { min_doublings: 1, max_doublings: 1, runs: 1 };
+        let report =
+            throughput_figure("t", &tiny_smem, &configs, &sweep, &ResilienceConfig::none());
+        assert_eq!(report.series.len(), 2);
+        assert!(report.series.iter().all(|s| s.points.is_empty()));
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report.skipped[0].reason.contains("shared-memory"), "{:?}", report.skipped);
     }
 }

@@ -20,10 +20,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
+pub mod cliargs;
 pub mod experiment;
 pub mod figures;
+pub mod resilient;
 pub mod series;
 pub mod summary;
 
+pub use checkpoint::{CellResult, CheckpointStore};
+pub use cliargs::{figure_args_from_env, FigureArgs};
 pub use experiment::{measure, Measurement, SweepConfig};
+pub use resilient::{run_cell, ResilienceConfig, SkippedCell, SweepReport};
 pub use series::{Series, SeriesPoint};

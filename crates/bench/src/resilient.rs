@@ -1,0 +1,308 @@
+//! Fault-tolerant sweep execution: per-cell wall-clock budgets, bounded
+//! retry with backoff, skip-and-report, and checkpoint/resume.
+//!
+//! Long sweeps die for boring reasons — one pathological cell hangs, a
+//! node gets preempted, a kernel rejects a corrupted input. The figure
+//! runners route every cell through [`run_cell`], which turns all of
+//! those into one of two durable outcomes: a [`CellResult::Done`]
+//! measurement or a [`CellResult::Skipped`] gap with the reason
+//! attached. Either outcome is checkpointed, so a re-run with `--resume`
+//! replays finished cells from disk and only computes what is missing.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use wcms_error::WcmsError;
+
+use crate::checkpoint::{CellResult, CheckpointStore};
+use crate::experiment::Measurement;
+use crate::series::Series;
+
+/// Retry/timeout/checkpoint policy for a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Wall-clock budget per cell attempt. `None` runs the cell inline
+    /// with no budget (and no extra thread).
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first failure/timeout.
+    pub retries: usize,
+    /// Base backoff between attempts (attempt `k` waits `k × backoff`).
+    pub backoff: Duration,
+    /// Checkpoint store for resume; `None` disables persistence.
+    pub checkpoint: Option<CheckpointStore>,
+}
+
+impl ResilienceConfig {
+    /// No timeout, no retries, no checkpointing — the plain sweep.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A typical resilient profile: per-cell budget with two retries
+    /// and linear backoff starting at 100 ms.
+    #[must_use]
+    pub fn with_timeout(budget: Duration) -> Self {
+        Self {
+            timeout: Some(budget),
+            retries: 2,
+            backoff: Duration::from_millis(100),
+            checkpoint: None,
+        }
+    }
+}
+
+/// A cell the sweep gave up on — rendered as an explicit gap marker so
+/// downstream plots/diffs can tell "missing" from "never attempted".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCell {
+    /// Series label the cell belongs to.
+    pub series: String,
+    /// Input size of the cell.
+    pub n: usize,
+    /// Why it was skipped (rendered error).
+    pub reason: String,
+    /// Attempts made.
+    pub attempts: usize,
+}
+
+/// A figure sweep's output: the measured series plus the cells that
+/// were skipped.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Measured series (points only for cells that completed).
+    pub series: Vec<Series>,
+    /// Explicit gaps.
+    pub skipped: Vec<SkippedCell>,
+}
+
+impl SweepReport {
+    /// Long-form CSV of the series plus one `# gap,...` comment line per
+    /// skipped cell, so an interrupted-then-resumed sweep and a clean
+    /// sweep produce byte-identical files when they measured the same
+    /// cells.
+    #[must_use]
+    pub fn csv<F: Fn(&Measurement) -> f64 + Copy>(&self, f: F) -> String {
+        let mut out = crate::series::to_csv(&self.series, f);
+        for gap in &self.skipped {
+            out.push_str(&format!(
+                "# gap,{},{},attempts={},{}\n",
+                gap.series,
+                gap.n,
+                gap.attempts,
+                gap.reason.replace('\n', " ")
+            ));
+        }
+        out
+    }
+
+    /// Markdown rendering with a trailing gap table when cells were
+    /// skipped.
+    #[must_use]
+    pub fn markdown<F: Fn(&Measurement) -> f64 + Copy>(&self, f: F, unit: &str) -> String {
+        let mut out = crate::series::to_markdown(&self.series, f, unit);
+        if !self.skipped.is_empty() {
+            out.push_str(
+                "**skipped cells**\n\n| series | N | attempts | reason |\n|---|---|---|---|\n",
+            );
+            for gap in &self.skipped {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    gap.series,
+                    gap.n,
+                    gap.attempts,
+                    gap.reason.replace('\n', " ")
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Run one sweep cell under the resilience policy.
+///
+/// Checkpointed cells return instantly. Otherwise the cell runs up to
+/// `1 + retries` times; each attempt is bounded by `timeout` when one is
+/// set (the attempt runs on a helper thread — on timeout the thread is
+/// abandoned, exactly as a harness kill would abandon the process). The
+/// final outcome is checkpointed before returning.
+pub fn run_cell<F>(cell: &str, cfg: &ResilienceConfig, f: F) -> CellResult
+where
+    F: Fn() -> Result<Measurement, WcmsError> + Clone + Send + 'static,
+{
+    if let Some(store) = &cfg.checkpoint {
+        if let Some(cached) = store.load(cell) {
+            return cached;
+        }
+    }
+    let attempts = 1 + cfg.retries;
+    let mut last_reason = String::new();
+    for attempt in 1..=attempts {
+        if attempt > 1 && !cfg.backoff.is_zero() {
+            thread::sleep(cfg.backoff * (attempt - 1) as u32);
+        }
+        let outcome = match cfg.timeout {
+            None => f(),
+            Some(budget) => run_with_budget(cell, f.clone(), budget, attempt),
+        };
+        match outcome {
+            Ok(m) => {
+                let result = CellResult::Done(m);
+                persist(cfg, cell, &result);
+                return result;
+            }
+            Err(e) => last_reason = e.to_string(),
+        }
+    }
+    let result = CellResult::Skipped { reason: last_reason, attempts };
+    persist(cfg, cell, &result);
+    result
+}
+
+fn persist(cfg: &ResilienceConfig, cell: &str, result: &CellResult) {
+    if let Some(store) = &cfg.checkpoint {
+        if let Err(e) = store.store(cell, result) {
+            // A failed checkpoint write must not fail the sweep; the
+            // cell simply re-runs on resume.
+            eprintln!("# checkpoint write failed for {cell}: {e}");
+        }
+    }
+}
+
+fn run_with_budget<F>(
+    cell: &str,
+    f: F,
+    budget: Duration,
+    attempt: usize,
+) -> Result<Measurement, WcmsError>
+where
+    F: Fn() -> Result<Measurement, WcmsError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        // The receiver may be gone after a timeout; that is fine.
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(budget) {
+        Ok(result) => result,
+        Err(_) => Err(WcmsError::SweepTimeout {
+            cell: cell.to_string(),
+            budget_secs: budget.as_secs_f64(),
+            attempts: attempt,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use wcms_dmm::stats::Summary;
+
+    fn meas(n: usize) -> Measurement {
+        Measurement {
+            n,
+            throughput: 1.0,
+            ms: 1.0,
+            throughput_spread: Summary::of(&[1.0]).unwrap(),
+            beta1: 1.0,
+            beta2: 1.0,
+            conflicts_per_element: 0.0,
+            ms_per_element: 1.0,
+        }
+    }
+
+    #[test]
+    fn ok_cell_passes_through() {
+        let r = run_cell("c", &ResilienceConfig::none(), || Ok(meas(8)));
+        assert_eq!(r, CellResult::Done(meas(8)));
+    }
+
+    #[test]
+    fn failing_cell_skips_with_reason_after_retries() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let cfg = ResilienceConfig { retries: 2, ..ResilienceConfig::none() };
+        let r = run_cell("c", &cfg, move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Err(WcmsError::ZeroParam { name: "w" })
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        match r {
+            CellResult::Skipped { reason, attempts } => {
+                assert_eq!(attempts, 3);
+                assert!(reason.contains("w"), "{reason}");
+            }
+            CellResult::Done(_) => panic!("must skip"),
+        }
+    }
+
+    #[test]
+    fn flaky_cell_recovers_on_retry() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let cfg = ResilienceConfig { retries: 2, ..ResilienceConfig::none() };
+        let r = run_cell("c", &cfg, move || {
+            if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(WcmsError::ZeroParam { name: "w" })
+            } else {
+                Ok(meas(4))
+            }
+        });
+        assert_eq!(r, CellResult::Done(meas(4)));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn hung_cell_times_out() {
+        let cfg = ResilienceConfig {
+            timeout: Some(Duration::from_millis(30)),
+            retries: 1,
+            backoff: Duration::ZERO,
+            checkpoint: None,
+        };
+        let r = run_cell("slow-cell", &cfg, || {
+            thread::sleep(Duration::from_secs(60));
+            Ok(meas(1))
+        });
+        match r {
+            CellResult::Skipped { reason, attempts } => {
+                assert_eq!(attempts, 2);
+                assert!(reason.contains("slow-cell"), "{reason}");
+            }
+            CellResult::Done(_) => panic!("must time out"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_cell_short_circuits() {
+        let dir = std::env::temp_dir().join(format!("wcms-res-{}", std::process::id()));
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.clear().unwrap();
+        let cfg = ResilienceConfig { checkpoint: Some(store), ..ResilienceConfig::none() };
+        let r1 = run_cell("cell-a", &cfg, || Ok(meas(16)));
+        // Second run would fail if actually executed — it must come from
+        // the checkpoint instead.
+        let r2 = run_cell("cell-a", &cfg, || Err(WcmsError::ZeroParam { name: "E" }));
+        assert_eq!(r1, r2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_csv_includes_gap_markers() {
+        let report = SweepReport {
+            series: vec![Series { label: "s".into(), points: vec![meas(8)] }],
+            skipped: vec![SkippedCell {
+                series: "s".into(),
+                n: 16,
+                reason: "cell timed\nout".into(),
+                attempts: 3,
+            }],
+        };
+        let csv = report.csv(|m| m.throughput);
+        assert!(csv.contains("s,8,"), "{csv}");
+        assert!(csv.contains("# gap,s,16,attempts=3,cell timed out"), "{csv}");
+    }
+}

@@ -17,40 +17,43 @@ pub struct Slowdown {
 }
 
 /// Compute slowdown statistics from a worst-case series and a random
-/// series on the same size grid.
-///
-/// # Panics
-///
-/// Panics if the grids differ or are empty.
+/// series. Points are paired by `n`, so a resilient sweep with gaps in
+/// either series still yields statistics over the sizes both measured.
+/// Returns `None` when no size was measured in both series.
 #[must_use]
-pub fn slowdown(worst: &Series, random: &Series) -> Slowdown {
-    assert_eq!(worst.points.len(), random.points.len(), "size grids differ");
-    assert!(!worst.points.is_empty(), "empty series");
+pub fn slowdown(worst: &Series, random: &Series) -> Option<Slowdown> {
     let mut peak = f64::NEG_INFINITY;
     let mut peak_n = 0usize;
     let mut sum = 0.0;
-    for (w, r) in worst.points.iter().zip(&random.points) {
-        assert_eq!(w.n, r.n, "size grids differ");
+    let mut count = 0usize;
+    for w in &worst.points {
+        let Some(r) = random.points.iter().find(|r| r.n == w.n) else { continue };
         let s = slowdown_percent(r.throughput, w.throughput);
         if s > peak {
             peak = s;
             peak_n = w.n;
         }
         sum += s;
+        count += 1;
     }
-    Slowdown { peak_percent: peak, peak_n, average_percent: sum / worst.points.len() as f64 }
+    (count > 0).then(|| Slowdown {
+        peak_percent: peak,
+        peak_n,
+        average_percent: sum / count as f64,
+    })
 }
 
 /// Pair up `throughput_figure` output (worst-case series at even indices,
 /// random at the following odd index) into `(label, Slowdown)` rows.
+/// Pairs with no common measured size are dropped.
 #[must_use]
 pub fn slowdown_table(series: &[Series]) -> Vec<(String, Slowdown)> {
     series
         .chunks(2)
         .filter(|pair| pair.len() == 2)
-        .map(|pair| {
+        .filter_map(|pair| {
             let label = pair[0].label.trim_end_matches(" worst-case").to_string();
-            (label, slowdown(&pair[0], &pair[1]))
+            Some((label, slowdown(&pair[0], &pair[1])?))
         })
         .collect()
 }
@@ -82,7 +85,7 @@ mod tests {
     fn slowdown_peak_and_average() {
         let worst = series("x worst-case", &[(100, 1.0), (200, 1.0)]);
         let random = series("x random", &[(100, 1.5), (200, 2.0)]);
-        let s = slowdown(&worst, &random);
+        let s = slowdown(&worst, &random).unwrap();
         assert!((s.peak_percent - 100.0).abs() < 1e-9);
         assert_eq!(s.peak_n, 200);
         assert!((s.average_percent - 75.0).abs() < 1e-9);
@@ -104,8 +107,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "grids differ")]
-    fn mismatched_grids_rejected() {
-        let _ = slowdown(&series("w", &[(100, 1.0)]), &series("r", &[(100, 1.0), (200, 1.0)]));
+    fn mismatched_grids_pair_by_n() {
+        // A gap in one series drops that size from the statistics rather
+        // than panicking (resilient sweeps produce ragged grids).
+        let s =
+            slowdown(&series("w", &[(100, 1.0)]), &series("r", &[(100, 2.0), (200, 9.0)])).unwrap();
+        assert!((s.peak_percent - 100.0).abs() < 1e-9);
+        assert_eq!(s.peak_n, 100);
+        // No common size → no statistics.
+        assert!(slowdown(&series("w", &[(300, 1.0)]), &series("r", &[(100, 2.0)])).is_none());
     }
 }

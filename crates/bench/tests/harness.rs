@@ -3,6 +3,7 @@
 
 use wcms_bench::experiment::{measure, SweepConfig};
 use wcms_bench::figures::{throughput_figure, Config};
+use wcms_bench::resilient::ResilienceConfig;
 use wcms_bench::series::to_csv;
 use wcms_bench::summary::slowdown_table;
 use wcms_gpu_sim::DeviceSpec;
@@ -17,12 +18,14 @@ fn tiny_sweep() -> SweepConfig {
 fn figure_runner_produces_paired_series_with_positive_slowdowns() {
     let device = DeviceSpec::quadro_m4000();
     let configs = [
-        Config { label: "Thrust".into(), params: SortParams::new(32, 15, 128) },
-        Config { label: "Mini".into(), params: SortParams::new(32, 7, 64) },
+        Config { label: "Thrust".into(), params: SortParams::new(32, 15, 128).unwrap() },
+        Config { label: "Mini".into(), params: SortParams::new(32, 7, 64).unwrap() },
     ];
-    let series = throughput_figure(&device, &configs, &tiny_sweep());
-    assert_eq!(series.len(), 4);
-    let table = slowdown_table(&series);
+    let report =
+        throughput_figure("t", &device, &configs, &tiny_sweep(), &ResilienceConfig::none());
+    assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+    assert_eq!(report.series.len(), 4);
+    let table = slowdown_table(&report.series);
     assert_eq!(table.len(), 2);
     for (label, s) in &table {
         assert!(
@@ -39,9 +42,10 @@ fn figure_runner_produces_paired_series_with_positive_slowdowns() {
 #[test]
 fn csv_output_covers_every_point() {
     let device = DeviceSpec::test_device();
-    let configs = [Config { label: "T".into(), params: SortParams::new(32, 5, 64) }];
-    let series = throughput_figure(&device, &configs, &tiny_sweep());
-    let csv = to_csv(&series, |m| m.throughput);
+    let configs = [Config { label: "T".into(), params: SortParams::new(32, 5, 64).unwrap() }];
+    let report =
+        throughput_figure("t", &device, &configs, &tiny_sweep(), &ResilienceConfig::none());
+    let csv = to_csv(&report.series, |m| m.throughput);
     // Header + 2 series × 3 sizes.
     assert_eq!(csv.lines().count(), 1 + 2 * 3);
     assert!(csv.starts_with("series,n,value\n"));
@@ -50,13 +54,13 @@ fn csv_output_covers_every_point() {
 #[test]
 fn measurements_are_deterministic() {
     let device = DeviceSpec::rtx_2080_ti();
-    let params = SortParams::new(32, 7, 64);
+    let params = SortParams::new(32, 7, 64).unwrap();
     let n = params.block_elems() * 4;
     for spec in
         [WorkloadSpec::WorstCase, WorkloadSpec::RandomPermutation { seed: 9 }, WorkloadSpec::Sorted]
     {
-        let a = measure(&device, &params, spec, n, 2);
-        let b = measure(&device, &params, spec, n, 2);
+        let a = measure(&device, &params, spec, n, 2).unwrap();
+        let b = measure(&device, &params, spec, n, 2).unwrap();
         assert_eq!(a.throughput.to_bits(), b.throughput.to_bits(), "{}", spec.label());
         assert_eq!(a.beta2.to_bits(), b.beta2.to_bits(), "{}", spec.label());
     }
@@ -65,12 +69,13 @@ fn measurements_are_deterministic() {
 #[test]
 fn beta_ordering_matches_theory_at_figure_level() {
     let device = DeviceSpec::quadro_m4000();
-    let params = SortParams::new(32, 15, 64);
+    let params = SortParams::new(32, 15, 64).unwrap();
     let n = params.block_elems() * 4;
-    let sorted = measure(&device, &params, WorkloadSpec::Sorted, n, 1);
-    let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 1 }, n, 1);
-    let heavy = measure(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1);
-    let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1);
+    let sorted = measure(&device, &params, WorkloadSpec::Sorted, n, 1).unwrap();
+    let random =
+        measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 1 }, n, 1).unwrap();
+    let heavy = measure(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1).unwrap();
+    let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1).unwrap();
     assert!(sorted.beta2 <= random.beta2);
     assert!(random.beta2 < heavy.beta2, "stride heuristic must beat random in beta2");
     assert!(heavy.beta2 < worst.beta2);

@@ -11,6 +11,7 @@
 //! through [`crate::builder`], the actual input permutation.
 
 use serde::{Deserialize, Serialize};
+use wcms_error::WcmsError;
 
 /// Which list a thread scans first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -102,17 +103,19 @@ impl WarpAssignment {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`WcmsError::InvalidAssignment`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), WcmsError> {
+        let fail = |reason: String| Err(WcmsError::InvalidAssignment { reason });
         if self.threads.len() != self.w {
-            return Err(format!("expected {} threads, found {}", self.w, self.threads.len()));
+            return fail(format!("expected {} threads, found {}", self.w, self.threads.len()));
         }
         if self.window_start >= self.w {
-            return Err(format!("window start {} out of {} banks", self.window_start, self.w));
+            return fail(format!("window start {} out of {} banks", self.window_start, self.w));
         }
         for (i, t) in self.threads.iter().enumerate() {
             if t.total() != self.e {
-                return Err(format!(
+                return fail(format!(
                     "thread {i} merges {} elements, expected E={}",
                     t.total(),
                     self.e
@@ -120,7 +123,7 @@ impl WarpAssignment {
             }
         }
         if self.share_a() + self.share_b() != self.w * self.e {
-            return Err("shares do not cover the warp's wE elements".into());
+            return fail("shares do not cover the warp's wE elements".into());
         }
         Ok(())
     }
@@ -131,17 +134,19 @@ impl WarpAssignment {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated invariant.
-    pub fn validate_paper_shares(&self) -> Result<(), String> {
+    /// Returns [`WcmsError::InvalidAssignment`] describing the violated
+    /// invariant.
+    pub fn validate_paper_shares(&self) -> Result<(), WcmsError> {
         self.validate()?;
+        let fail = |reason: String| Err(WcmsError::InvalidAssignment { reason });
         if self.e.is_multiple_of(2) {
-            return Err("paper shares require odd E".into());
+            return fail("paper shares require odd E".into());
         }
         let hi = self.e.div_ceil(2) * self.w;
         let lo = (self.e - 1) / 2 * self.w;
         let (sa, sb) = (self.share_a(), self.share_b());
         if (sa, sb) != (hi, lo) && (sa, sb) != (lo, hi) {
-            return Err(format!(
+            return fail(format!(
                 "shares ({sa}, {sb}) are not the paper's ({hi}, {lo}) in either order"
             ));
         }
@@ -195,14 +200,14 @@ mod tests {
     fn validate_rejects_wrong_thread_count() {
         let mut asg = sorted_assignment(32, 15);
         asg.threads.pop();
-        assert!(asg.validate().unwrap_err().contains("32 threads"));
+        assert!(asg.validate().unwrap_err().to_string().contains("32 threads"));
     }
 
     #[test]
     fn validate_rejects_wrong_thread_total() {
         let mut asg = sorted_assignment(8, 5);
         asg.threads[3].a = 4; // total 4 ≠ 5
-        assert!(asg.validate().unwrap_err().contains("thread 3"));
+        assert!(asg.validate().unwrap_err().to_string().contains("thread 3"));
     }
 
     #[test]

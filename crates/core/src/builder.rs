@@ -22,6 +22,8 @@
 //! Path partitioning recovers exactly these splits, so the warp-level
 //! access pattern at every global round is exactly the constructed one.
 
+use wcms_error::WcmsError;
+
 use crate::assignment::{ScanFirst, WarpAssignment};
 use crate::conflict_heavy::conflict_heavy_warp;
 use crate::construct;
@@ -32,13 +34,14 @@ use crate::construct;
 /// ```
 /// use wcms_core::WorstCaseBuilder;
 ///
-/// let builder = WorstCaseBuilder::new(32, 15, 512);
+/// let builder = WorstCaseBuilder::new(32, 15, 512)?;
 /// let n = builder.block_elems() * 4; // sizes must be bE·2^m
-/// let input = builder.build(n);
+/// let input = builder.build(n)?;
 /// // A permutation of 0..n, adversarial at every global merge round.
 /// let mut sorted = input.clone();
 /// sorted.sort_unstable();
 /// assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as u32));
+/// # Ok::<(), wcms_core::WcmsError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct WorstCaseBuilder {
@@ -55,15 +58,28 @@ impl WorstCaseBuilder {
     /// its mirror image). `b` must be a power of two with at least two
     /// warps, and the block's shares must balance to `bE/2` per list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the geometry or the shares are inconsistent.
-    #[must_use]
-    pub fn from_assignment(b: usize, l_asg: &WarpAssignment) -> Self {
+    /// Returns [`WcmsError::InvalidBlock`] when the geometry is
+    /// inconsistent and [`WcmsError::InvalidAssignment`] when the
+    /// assignment or its shares are.
+    pub fn from_assignment(b: usize, l_asg: &WarpAssignment) -> Result<Self, WcmsError> {
         let (w, e) = (l_asg.w, l_asg.e);
-        assert!(b.is_power_of_two(), "b must be a power of two");
-        assert!(b >= 2 * w, "need at least two warps per block (b >= 2w)");
-        l_asg.validate().expect("invalid L assignment");
+        if !b.is_power_of_two() {
+            return Err(WcmsError::InvalidBlock {
+                b,
+                w,
+                reason: "b must be a power of two".into(),
+            });
+        }
+        if b < 2 * w {
+            return Err(WcmsError::InvalidBlock {
+                b,
+                w,
+                reason: "need at least two warps per block (b >= 2w)".into(),
+            });
+        }
+        l_asg.validate()?;
         let r_asg = l_asg.swapped();
 
         let warps = b / w;
@@ -81,22 +97,38 @@ impl WorstCaseBuilder {
             }
         }
         let to_a = pattern.iter().filter(|&&x| x).count();
-        assert_eq!(to_a, b * e / 2, "block shares must balance to bE/2 per list");
-        Self { w, e, b, pattern }
+        if to_a != b * e / 2 {
+            return Err(WcmsError::InvalidAssignment {
+                reason: format!(
+                    "block shares must balance to bE/2 = {} per list, found {to_a}",
+                    b * e / 2
+                ),
+            });
+        }
+        Ok(Self { w, e, b, pattern })
     }
 
     /// The paper's worst-case builder for co-prime odd `3 ≤ E < w`.
-    #[must_use]
-    pub fn new(w: usize, e: usize, b: usize) -> Self {
-        Self::from_assignment(b, &construct(w, e))
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::NonCoprime`] when no construction covers
+    /// `(w, E)` and [`WcmsError::InvalidBlock`] when `b` is inconsistent.
+    pub fn new(w: usize, e: usize, b: usize) -> Result<Self, WcmsError> {
+        Self::from_assignment(b, &construct(w, e)?)
     }
 
     /// A Karsin-style conflict-heavy baseline builder
     /// (see [`crate::conflict_heavy`]): every thread takes `stride`
     /// elements from one list (power-of-two strides collide
     /// `gcd(w, stride)`-ways), the rest from the other.
-    #[must_use]
-    pub fn conflict_heavy(w: usize, e: usize, b: usize, stride: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::InvalidBlock`] or
+    /// [`WcmsError::InvalidAssignment`] when the geometry is
+    /// inconsistent.
+    pub fn conflict_heavy(w: usize, e: usize, b: usize, stride: usize) -> Result<Self, WcmsError> {
         Self::from_assignment(b, &conflict_heavy_warp(w, e, stride))
     }
 
@@ -146,28 +178,33 @@ impl WorstCaseBuilder {
     /// inputs — leaving the global rounds' conflicts as the only
     /// difference, as in the paper's comparison.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is not a [valid length](Self::valid_len) or exceeds
-    /// `u32` range.
-    #[must_use]
-    pub fn build(&self, n: usize) -> Vec<u32> {
+    /// Returns [`WcmsError::InvalidLength`] if `n` is not a
+    /// [valid length](Self::valid_len) or exceeds `u32` range.
+    pub fn build(&self, n: usize) -> Result<Vec<u32>, WcmsError> {
         self.build_inner(n, Some(0), usize::MAX)
     }
 
     /// As [`WorstCaseBuilder::build`], but with every base block emitted
     /// in ascending order — a conflict-free base case. Useful for
     /// isolating the global rounds in analyses.
-    #[must_use]
-    pub fn build_sorted_base(&self, n: usize) -> Vec<u32> {
+    ///
+    /// # Errors
+    ///
+    /// As [`WorstCaseBuilder::build`].
+    pub fn build_sorted_base(&self, n: usize) -> Result<Vec<u32>, WcmsError> {
         self.build_inner(n, None, usize::MAX)
     }
 
     /// The *family* variant (paper Conclusion, point 2): same conflict
     /// behaviour at every global round, but each base block's internal
     /// order is shuffled by `seed`, yielding distinct permutations.
-    #[must_use]
-    pub fn build_family_member(&self, n: usize, seed: u64) -> Vec<u32> {
+    ///
+    /// # Errors
+    ///
+    /// As [`WorstCaseBuilder::build`].
+    pub fn build_family_member(&self, n: usize, seed: u64) -> Result<Vec<u32>, WcmsError> {
         self.build_inner(n, Some(seed), usize::MAX)
     }
 
@@ -176,14 +213,27 @@ impl WorstCaseBuilder {
     /// interleaving; earlier rounds split sorted (conflict-light). Base
     /// blocks are emitted ascending, so with 0 adversarial rounds this
     /// degenerates to a fully sorted array.
-    #[must_use]
-    pub fn build_partial(&self, n: usize, adversarial_rounds: usize) -> Vec<u32> {
+    ///
+    /// # Errors
+    ///
+    /// As [`WorstCaseBuilder::build`].
+    pub fn build_partial(
+        &self,
+        n: usize,
+        adversarial_rounds: usize,
+    ) -> Result<Vec<u32>, WcmsError> {
         self.build_inner(n, None, adversarial_rounds)
     }
 
-    fn build_inner(&self, n: usize, seed: Option<u64>, adversarial_rounds: usize) -> Vec<u32> {
-        assert!(self.valid_len(n), "n = {n} is not bE·2^m for bE = {}", self.block_elems());
-        assert!(n <= u32::MAX as usize, "keys are u32");
+    fn build_inner(
+        &self,
+        n: usize,
+        seed: Option<u64>,
+        adversarial_rounds: usize,
+    ) -> Result<Vec<u32>, WcmsError> {
+        if !self.valid_len(n) || n > u32::MAX as usize {
+            return Err(WcmsError::InvalidLength { n, block_elems: self.block_elems() });
+        }
         let be = self.block_elems();
         let rounds = (n / be).trailing_zeros() as usize;
 
@@ -218,7 +268,7 @@ impl WorstCaseBuilder {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Split a merged segment into its two input lists.
@@ -267,14 +317,14 @@ mod tests {
 
     fn tiny_builder() -> WorstCaseBuilder {
         // w = 8, E = 3, b = 16 → block of 48 elements, 2 warps.
-        WorstCaseBuilder::new(8, 3, 16)
+        WorstCaseBuilder::new(8, 3, 16).unwrap()
     }
 
     #[test]
     fn build_is_a_permutation() {
         let builder = tiny_builder();
         let n = builder.block_elems() * 8;
-        let input = builder.build(n);
+        let input = builder.build(n).unwrap();
         assert_eq!(input.len(), n);
         let mut sorted = input.clone();
         sorted.sort_unstable();
@@ -286,12 +336,12 @@ mod tests {
         let builder = tiny_builder();
         let n = builder.block_elems();
         // No global rounds: with a sorted base, the input is ascending.
-        let input = builder.build_sorted_base(n);
+        let input = builder.build_sorted_base(n).unwrap();
         assert!(input.windows(2).all(|w| w[0] < w[1]));
         // The default build shuffles base blocks deterministically.
-        let shuffled = builder.build(n);
+        let shuffled = builder.build(n).unwrap();
         assert!(!shuffled.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(builder.build(n), shuffled);
+        assert_eq!(builder.build(n).unwrap(), shuffled);
     }
 
     #[test]
@@ -328,8 +378,8 @@ mod tests {
     fn family_members_differ_but_are_permutations() {
         let builder = tiny_builder();
         let n = builder.block_elems() * 4;
-        let m0 = builder.build_family_member(n, 1);
-        let m1 = builder.build_family_member(n, 2);
+        let m0 = builder.build_family_member(n, 1).unwrap();
+        let m1 = builder.build_family_member(n, 2).unwrap();
         assert_ne!(m0, m1);
         for m in [&m0, &m1] {
             let mut s = (*m).clone();
@@ -342,7 +392,7 @@ mod tests {
     fn partial_zero_rounds_is_sorted() {
         let builder = tiny_builder();
         let n = builder.block_elems() * 4;
-        let input = builder.build_partial(n, 0);
+        let input = builder.build_partial(n, 0).unwrap();
         assert!(input.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -350,36 +400,36 @@ mod tests {
     fn partial_full_rounds_equals_sorted_base_build() {
         let builder = tiny_builder();
         let n = builder.block_elems() * 4;
-        assert_eq!(builder.build_partial(n, 2), builder.build_sorted_base(n));
-        assert_eq!(builder.build_partial(n, 99), builder.build_sorted_base(n));
+        assert_eq!(builder.build_partial(n, 2).unwrap(), builder.build_sorted_base(n).unwrap());
+        assert_eq!(builder.build_partial(n, 99).unwrap(), builder.build_sorted_base(n).unwrap());
     }
 
     #[test]
     fn conflict_heavy_builder_builds_permutations() {
-        let builder = WorstCaseBuilder::conflict_heavy(8, 3, 16, 2);
+        let builder = WorstCaseBuilder::conflict_heavy(8, 3, 16, 2).unwrap();
         let n = builder.block_elems() * 4;
-        let input = builder.build(n);
+        let input = builder.build(n).unwrap();
         let mut s = input.clone();
         s.sort_unstable();
         assert!(s.iter().enumerate().all(|(i, &v)| v == i as u32));
     }
 
     #[test]
-    #[should_panic(expected = "not bE")]
     fn build_rejects_bad_length() {
         let builder = tiny_builder();
-        let _ = builder.build(builder.block_elems() * 3);
+        let err = builder.build(builder.block_elems() * 3).unwrap_err();
+        assert!(matches!(err, wcms_error::WcmsError::InvalidLength { .. }), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "b >= 2w")]
     fn rejects_single_warp_blocks() {
-        let _ = WorstCaseBuilder::new(8, 3, 8);
+        let err = WorstCaseBuilder::new(8, 3, 8).unwrap_err();
+        assert!(err.to_string().contains("b >= 2w"), "{err}");
     }
 
     #[test]
     fn pattern_length_is_block_elems() {
-        let builder = WorstCaseBuilder::new(32, 15, 128);
+        let builder = WorstCaseBuilder::new(32, 15, 128).unwrap();
         assert_eq!(builder.pattern.len(), 128 * 15);
         assert_eq!(builder.block_elems(), 1920);
     }

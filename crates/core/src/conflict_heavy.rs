@@ -56,12 +56,12 @@ mod tests {
         for e in [7usize, 15, 17] {
             let w = 32;
             let s = default_stride(w, e);
-            let sorted = evaluate(&sorted_warp(w, e)).cycles();
-            let heavy = evaluate(&conflict_heavy_warp(w, e, s)).cycles();
-            let worst = evaluate(&construct(w, e)).cycles();
+            let sorted = evaluate(&sorted_warp(w, e)).unwrap().cycles();
+            let heavy = evaluate(&conflict_heavy_warp(w, e, s)).unwrap().cycles();
+            let worst = evaluate(&construct(w, e).unwrap()).unwrap().cycles();
             assert!(heavy > sorted, "E={e}: heavy {heavy} <= sorted {sorted}");
             assert!(worst > heavy, "E={e}: construction {worst} <= heavy {heavy}");
-            assert!(worst >= theorem_aligned_count(w, e), "E={e}");
+            assert!(worst >= theorem_aligned_count(w, e).unwrap(), "E={e}");
         }
     }
 
@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn stride_steps_collide_gcd_ways() {
         let (w, e, s) = (32usize, 15usize, 8usize);
-        let ev = evaluate(&conflict_heavy_warp(w, e, s));
+        let ev = evaluate(&conflict_heavy_warp(w, e, s)).unwrap();
         let expected = gcd(w as u64, s as u64) as usize;
         for (j, &d) in ev.degrees.iter().take(s).enumerate() {
             assert_eq!(d, expected, "step {j}");

@@ -67,12 +67,12 @@ pub fn address_sequences(asg: &WarpAssignment) -> Vec<Vec<usize>> {
 
 /// Evaluate the warp's merging stage.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the assignment fails [`WarpAssignment::validate`].
-#[must_use]
-pub fn evaluate(asg: &WarpAssignment) -> WarpEval {
-    asg.validate().unwrap_or_else(|e| panic!("invalid assignment: {e}"));
+/// Returns [`wcms_error::WcmsError::InvalidAssignment`] if the
+/// assignment fails [`WarpAssignment::validate`].
+pub fn evaluate(asg: &WarpAssignment) -> Result<WarpEval, wcms_error::WcmsError> {
+    asg.validate()?;
     let model = BankModel::new(asg.w);
     let mut counter = ConflictCounter::new(model);
     let seqs = address_sequences(asg);
@@ -94,7 +94,7 @@ pub fn evaluate(asg: &WarpAssignment) -> WarpEval {
         window_multiplicity.push(mult);
         aligned += mult;
     }
-    WarpEval { aligned, degrees, window_multiplicity, totals: counter.totals() }
+    Ok(WarpEval { aligned, degrees, window_multiplicity, totals: counter.totals() })
 }
 
 /// Build the Figure 1/3-style matrix: every element of the warp's window,
@@ -147,7 +147,7 @@ mod tests {
             window_start: 0,
             threads: vec![ThreadAssign { a: 4, b: 0, first: ScanFirst::A }; 4],
         };
-        let ev = evaluate(&asg);
+        let ev = evaluate(&asg).unwrap();
         assert_eq!(ev.degrees, vec![4; 4]);
         assert_eq!(ev.window_multiplicity, vec![4; 4]);
         assert_eq!(ev.aligned, 16);
@@ -166,7 +166,7 @@ mod tests {
             window_start: 0,
             threads: vec![ThreadAssign { a: 3, b: 0, first: ScanFirst::A }; 4],
         };
-        let ev = evaluate(&asg);
+        let ev = evaluate(&asg).unwrap();
         assert_eq!(ev.degrees, vec![1; 3]);
         assert_eq!(ev.totals.extra_cycles, 0);
     }
@@ -203,7 +203,7 @@ mod tests {
                 ThreadAssign { a: 0, b: 2, first: ScanFirst::B },
             ],
         };
-        let ev = evaluate(&asg);
+        let ev = evaluate(&asg).unwrap();
         // Threads 0/1 read A banks (0,1) and (2,3); threads 2/3 read B
         // banks (0,1), (2,3). Step 0: banks {0,2,0,2} → window bank 0
         // multiplicity 2.
@@ -234,7 +234,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid assignment")]
     fn evaluate_rejects_invalid() {
         let asg = WarpAssignment {
             w: 2,
@@ -242,6 +241,7 @@ mod tests {
             window_start: 0,
             threads: vec![ThreadAssign { a: 1, b: 1, first: ScanFirst::A }; 2],
         };
-        let _ = evaluate(&asg);
+        let err = evaluate(&asg).unwrap_err();
+        assert!(matches!(err, wcms_error::WcmsError::InvalidAssignment { .. }), "{err}");
     }
 }

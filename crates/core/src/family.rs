@@ -9,6 +9,7 @@
 //! `family_members_share_global_beta2` integration test).
 
 use crate::builder::WorstCaseBuilder;
+use wcms_error::WcmsError;
 
 /// Iterator over distinct worst-case permutations.
 #[derive(Debug, Clone)]
@@ -22,14 +23,17 @@ impl WorstCaseFamily {
     /// Family for sort parameters `(w, E, b)` at size `n` (`bE·2^m`),
     /// starting from `seed`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the geometry is invalid or `n` is not a valid length.
-    #[must_use]
-    pub fn new(w: usize, e: usize, b: usize, n: usize, seed: u64) -> Self {
-        let builder = WorstCaseBuilder::new(w, e, b);
-        assert!(builder.valid_len(n), "n = {n} is not bE·2^m");
-        Self { builder, n, next_seed: seed }
+    /// Returns [`WcmsError::NonCoprime`] / [`WcmsError::InvalidBlock`]
+    /// for bad geometry and [`WcmsError::InvalidLength`] if `n` is not
+    /// `bE·2^m`.
+    pub fn new(w: usize, e: usize, b: usize, n: usize, seed: u64) -> Result<Self, WcmsError> {
+        let builder = WorstCaseBuilder::new(w, e, b)?;
+        if !builder.valid_len(n) {
+            return Err(WcmsError::InvalidLength { n, block_elems: builder.block_elems() });
+        }
+        Ok(Self { builder, n, next_seed: seed })
     }
 
     /// The shared builder (for inspecting geometry).
@@ -43,7 +47,7 @@ impl Iterator for WorstCaseFamily {
     type Item = Vec<u32>;
 
     fn next(&mut self) -> Option<Vec<u32>> {
-        let member = self.builder.build_family_member(self.n, self.next_seed);
+        let member = self.builder.build_family_member(self.n, self.next_seed).ok()?;
         self.next_seed = self.next_seed.wrapping_add(1);
         Some(member)
     }
@@ -55,7 +59,7 @@ mod tests {
 
     #[test]
     fn members_are_distinct_permutations() {
-        let mut family = WorstCaseFamily::new(8, 3, 16, 48 * 4, 0);
+        let mut family = WorstCaseFamily::new(8, 3, 16, 48 * 4, 0).unwrap();
         let a = family.next().unwrap();
         let b = family.next().unwrap();
         let c = family.next().unwrap();
@@ -70,16 +74,16 @@ mod tests {
 
     #[test]
     fn family_is_infinite_and_seeded() {
-        let family = WorstCaseFamily::new(8, 3, 16, 48, 7);
+        let family = WorstCaseFamily::new(8, 3, 16, 48, 7).unwrap();
         assert_eq!(family.take(10).count(), 10);
-        let a: Vec<_> = WorstCaseFamily::new(8, 3, 16, 48, 7).take(3).collect();
-        let b: Vec<_> = WorstCaseFamily::new(8, 3, 16, 48, 7).take(3).collect();
+        let a: Vec<_> = WorstCaseFamily::new(8, 3, 16, 48, 7).unwrap().take(3).collect();
+        let b: Vec<_> = WorstCaseFamily::new(8, 3, 16, 48, 7).unwrap().take(3).collect();
         assert_eq!(a, b, "same seed, same members");
     }
 
     #[test]
-    #[should_panic(expected = "bE")]
     fn invalid_length_rejected() {
-        let _ = WorstCaseFamily::new(8, 3, 16, 50, 0);
+        let err = WorstCaseFamily::new(8, 3, 16, 50, 0).unwrap_err();
+        assert!(matches!(err, WcmsError::InvalidLength { n: 50, .. }), "{err}");
     }
 }

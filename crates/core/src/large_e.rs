@@ -65,8 +65,8 @@ mod tests {
             for e in large_e_values(w) {
                 let asg = construct_large_e(w, e);
                 asg.validate_paper_shares().unwrap_or_else(|err| panic!("w={w} E={e}: {err}"));
-                let ev = evaluate(&asg);
-                let bound = theorem_aligned_count(w, e);
+                let ev = evaluate(&asg).unwrap();
+                let bound = theorem_aligned_count(w, e).unwrap();
                 assert_eq!(ev.aligned, bound, "aligned count w={w} E={e}");
                 assert!(ev.aligned <= e * e, "w={w} E={e}: aligned beyond window capacity");
                 // Θ(E²) loss of parallelism: at least bound cycles.
@@ -79,8 +79,8 @@ mod tests {
     /// ½(81 + 9 + 126 − 49 − 7) = 80 aligned elements.
     #[test]
     fn fig3_large_w16_e9() {
-        assert_eq!(theorem_aligned_count(16, 9), 80);
-        let ev = evaluate(&construct_large_e(16, 9));
+        assert_eq!(theorem_aligned_count(16, 9).unwrap(), 80);
+        let ev = evaluate(&construct_large_e(16, 9)).unwrap();
         assert!(ev.aligned >= 80, "aligned {}", ev.aligned);
     }
 
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn swapped_warp_same_alignment() {
         let asg = construct_large_e(32, 19);
-        assert_eq!(evaluate(&asg).aligned, evaluate(&asg.swapped()).aligned);
+        assert_eq!(evaluate(&asg).unwrap().aligned, evaluate(&asg.swapped()).unwrap().aligned);
     }
 
     #[test]

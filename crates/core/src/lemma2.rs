@@ -200,7 +200,7 @@ mod tests {
         assert_eq!(st.threads.len(), 16, "exactly w threads");
         let asg = WarpAssignment { w: 16, e: 7, window_start: 0, threads: st.threads };
         asg.validate_paper_shares().unwrap();
-        assert_eq!(evaluate(&asg).aligned, 49, "E² aligned");
+        assert_eq!(evaluate(&asg).unwrap().aligned, 49, "E² aligned");
     }
 
     #[test]
@@ -212,7 +212,7 @@ mod tests {
                 assert_eq!(aligned, e, "w={w} E={e}");
                 assert_eq!(st.threads.len(), w, "w={w} E={e}");
                 let asg = WarpAssignment { w, e, window_start: 0, threads: st.threads };
-                assert_eq!(evaluate(&asg).aligned, e * e, "w={w} E={e}");
+                assert_eq!(evaluate(&asg).unwrap().aligned, e * e, "w={w} E={e}");
             }
         }
     }

@@ -53,6 +53,7 @@ pub use evaluate::{access_matrix, evaluate, WarpEval};
 pub use family::WorstCaseFamily;
 pub use large_e::construct_large_e;
 pub use small_e::construct_small_e;
+pub use wcms_error::WcmsError;
 
 /// Construct the worst-case warp assignment for any odd `E` co-prime with
 /// `w` (`3 ≤ E < w`, `E ≠ w/2`): dispatches to the small- or large-`E`
@@ -63,24 +64,25 @@ pub use small_e::construct_small_e;
 ///
 /// // Thrust's E = 15 on 32 banks: all E² = 225 window elements align,
 /// // so every merge step is a 15-way bank conflict.
-/// let asg = construct(32, 15);
-/// let ev = evaluate(&asg);
+/// let asg = construct(32, 15)?;
+/// let ev = evaluate(&asg)?;
 /// assert_eq!(ev.aligned, 225);
-/// assert_eq!(ev.aligned, theorem_aligned_count(32, 15));
+/// assert_eq!(ev.aligned, theorem_aligned_count(32, 15)?);
 /// assert!(ev.degrees.iter().all(|&d| d >= 15));
+/// # Ok::<(), wcms_core::WcmsError>(())
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `E` is even, `E < 3`, or `E ≥ w`.
-#[must_use]
-pub fn construct(w: usize, e: usize) -> WarpAssignment {
+/// Returns [`WcmsError::NonCoprime`] if `E` is even, `E < 3`, or
+/// `E ≥ w` — no worst-case construction exists for such parameters.
+pub fn construct(w: usize, e: usize) -> Result<WarpAssignment, WcmsError> {
     if small_e::is_small_e(w, e) {
-        construct_small_e(w, e)
+        Ok(construct_small_e(w, e))
     } else if large_e::is_large_e(w, e) {
-        construct_large_e(w, e)
+        Ok(construct_large_e(w, e))
     } else {
-        panic!("no worst-case construction for w={w}, E={e} (need odd 3 <= E < w)")
+        Err(WcmsError::NonCoprime { w, e })
     }
 }
 
@@ -88,15 +90,19 @@ pub fn construct(w: usize, e: usize) -> WarpAssignment {
 /// `E²` for small `E` (Theorem 3) and
 /// `(E² + E + 2Er − r² − r)/2` with `r = w − E` for large `E`
 /// (Theorem 9).
-#[must_use]
-pub fn theorem_aligned_count(w: usize, e: usize) -> usize {
+///
+/// # Errors
+///
+/// Returns [`WcmsError::NonCoprime`] if neither theorem covers
+/// `(w, E)`.
+pub fn theorem_aligned_count(w: usize, e: usize) -> Result<usize, WcmsError> {
     if small_e::is_small_e(w, e) {
-        e * e
+        Ok(e * e)
     } else if large_e::is_large_e(w, e) {
         let r = w - e;
-        (e * e + e + 2 * e * r - r * r - r) / 2
+        Ok((e * e + e + 2 * e * r - r * r - r) / 2)
     } else {
-        panic!("no theorem bound for w={w}, E={e}")
+        Err(WcmsError::NonCoprime { w, e })
     }
 }
 
@@ -106,14 +112,16 @@ mod tests {
 
     #[test]
     fn construct_dispatches() {
-        assert_eq!(construct(32, 7).window_start, 0);
-        assert_eq!(construct(32, 17).window_start, 15);
+        assert_eq!(construct(32, 7).unwrap().window_start, 0);
+        assert_eq!(construct(32, 17).unwrap().window_start, 15);
     }
 
     #[test]
-    #[should_panic(expected = "no worst-case construction")]
     fn construct_rejects_even() {
-        let _ = construct(32, 6);
+        let err = construct(32, 6).unwrap_err();
+        assert!(matches!(err, WcmsError::NonCoprime { w: 32, e: 6 }), "{err}");
+        assert!(construct(32, 32).is_err());
+        assert!(construct(32, 1).is_err());
     }
 
     #[test]
@@ -121,10 +129,11 @@ mod tests {
         // §III-B: for E = w/2 + 1 (r = E − 2) the bound is E² − 1.
         let w = 32;
         let e = 17;
-        assert_eq!(theorem_aligned_count(w, e), e * e - 1);
+        assert_eq!(theorem_aligned_count(w, e).unwrap(), e * e - 1);
         // For E = w − 1 (r = 1) the bound is E²/2 + 3E/2 − 1
         // (paper: ½E² + 3/2·E − 1).
         let e = 31;
-        assert_eq!(theorem_aligned_count(w, e), (e * e + 3 * e) / 2 - 1);
+        assert_eq!(theorem_aligned_count(w, e).unwrap(), (e * e + 3 * e) / 2 - 1);
+        assert!(theorem_aligned_count(32, 6).is_err());
     }
 }

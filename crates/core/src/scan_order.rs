@@ -96,7 +96,7 @@ mod tests {
             ],
         };
         let total = optimize_scan_order(&mut asg);
-        assert_eq!(total, evaluate(&asg).aligned);
+        assert_eq!(total, evaluate(&asg).unwrap().aligned);
     }
 
     #[test]
@@ -112,9 +112,9 @@ mod tests {
                 ThreadAssign { a: 1, b: 2, first: ScanFirst::A },
             ],
         };
-        let before = evaluate(&asg).aligned;
+        let before = evaluate(&asg).unwrap().aligned;
         let after = optimize_scan_order(&mut asg);
         assert!(after >= before);
-        assert_eq!(after, evaluate(&asg).aligned);
+        assert_eq!(after, evaluate(&asg).unwrap().aligned);
     }
 }

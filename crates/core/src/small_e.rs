@@ -129,7 +129,7 @@ mod tests {
             for e in small_e_values(w) {
                 let asg = construct_small_e(w, e);
                 asg.validate_paper_shares().unwrap_or_else(|err| panic!("w={w} E={e}: {err}"));
-                let ev = evaluate(&asg);
+                let ev = evaluate(&asg).unwrap();
                 assert_eq!(ev.aligned, e * e, "aligned count w={w} E={e}");
                 assert_eq!(
                     ev.window_multiplicity,
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn fig3_small_w16_e7() {
         let asg = construct_small_e(16, 7);
-        let ev = evaluate(&asg);
+        let ev = evaluate(&asg).unwrap();
         assert_eq!(ev.aligned, 49);
         // Effective parallelism drops to ⌈w/E⌉: the merging stage costs
         // at least E per step instead of 1.
@@ -164,8 +164,8 @@ mod tests {
     #[test]
     fn swapped_warp_same_alignment() {
         let asg = construct_small_e(32, 11);
-        let ev_l = evaluate(&asg);
-        let ev_r = evaluate(&asg.swapped());
+        let ev_l = evaluate(&asg).unwrap();
+        let ev_r = evaluate(&asg.swapped()).unwrap();
         assert_eq!(ev_l.aligned, ev_r.aligned);
     }
 

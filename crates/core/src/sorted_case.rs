@@ -44,7 +44,7 @@ mod tests {
     #[test]
     fn fig1_w16_e12() {
         let asg = sorted_warp(16, 12);
-        let ev = evaluate(&asg);
+        let ev = evaluate(&asg).unwrap();
         assert_eq!(ev.aligned, sorted_aligned_count(16, 12));
         assert_eq!(ev.aligned, 4 * 12);
         assert_eq!(ev.degrees, vec![4; 12]);
@@ -55,7 +55,7 @@ mod tests {
     #[test]
     fn power_of_two_e_sorted_is_worst_case() {
         for (w, e) in [(32usize, 8usize), (32, 16), (16, 4), (64, 32)] {
-            let ev = evaluate(&sorted_warp(w, e));
+            let ev = evaluate(&sorted_warp(w, e)).unwrap();
             assert_eq!(ev.aligned, e * e, "w={w} E={e}");
             assert_eq!(ev.degrees, vec![e; e], "w={w} E={e}");
         }
@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn coprime_e_sorted_is_conflict_free() {
         for (w, e) in [(32usize, 15usize), (32, 17), (32, 7), (16, 9)] {
-            let ev = evaluate(&sorted_warp(w, e));
+            let ev = evaluate(&sorted_warp(w, e)).unwrap();
             assert_eq!(ev.degrees, vec![1; e], "w={w} E={e}");
             assert_eq!(ev.totals.extra_cycles, 0, "w={w} E={e}");
             assert_eq!(ev.aligned, e, "only the bank-0 chunk aligns, w={w} E={e}");
@@ -77,7 +77,7 @@ mod tests {
     fn analytic_formulas_match_evaluation() {
         for w in [8usize, 16, 32, 64] {
             for e in 1..w {
-                let ev = evaluate(&sorted_warp(w, e));
+                let ev = evaluate(&sorted_warp(w, e)).unwrap();
                 assert_eq!(ev.aligned, sorted_aligned_count(w, e), "w={w} E={e}");
                 assert_eq!(ev.degrees, vec![sorted_step_degree(w, e); e], "w={w} E={e}");
             }

@@ -19,7 +19,7 @@ fn row_threads(render: &str, bank: usize) -> Vec<usize> {
 
 #[test]
 fn fig3_left_w16_e7_window_rows_match_paper() {
-    let asg = construct(16, 7);
+    let asg = construct(16, 7).unwrap();
     let render = access_matrix(&asg).render();
     // Paper Fig. 3 left, banks 0–6 (the E window banks; columns are A's
     // four full columns followed by B's three).
@@ -39,12 +39,12 @@ fn fig3_left_w16_e7_window_rows_match_paper() {
     for line in render.lines().take(7) {
         assert!(!line.contains('!') && !line.contains('.'), "{line}");
     }
-    assert_eq!(evaluate(&asg).aligned, 49);
+    assert_eq!(evaluate(&asg).unwrap().aligned, 49);
 }
 
 #[test]
 fn fig3_right_w16_e9_window_rows_match_paper() {
-    let asg = construct(16, 9);
+    let asg = construct(16, 9).unwrap();
     let render = access_matrix(&asg).render();
     // Paper Fig. 3 right, banks 7–15 (the window is the *last* 9 banks).
     let expected: [&[usize]; 9] = [
@@ -61,7 +61,7 @@ fn fig3_right_w16_e9_window_rows_match_paper() {
     for (i, want) in expected.iter().enumerate() {
         assert_eq!(&row_threads(&render, 7 + i), want, "bank {}", 7 + i);
     }
-    assert_eq!(evaluate(&asg).aligned, 80);
+    assert_eq!(evaluate(&asg).unwrap().aligned, 80);
 }
 
 #[test]
@@ -69,6 +69,6 @@ fn fig3_right_padding_rows_match_paper() {
     // The first padding rows of the right subfigure are also published
     // (banks 0–6 hold the S-pairs' padding chunks); check bank 0, which
     // the paper prints as A: 0 2 6 9 13, B: 0 4 8 11.
-    let render = access_matrix(&construct(16, 9)).render();
+    let render = access_matrix(&construct(16, 9).unwrap()).render();
     assert_eq!(row_threads(&render, 0), vec![0, 2, 6, 9, 13, 0, 4, 8, 11]);
 }

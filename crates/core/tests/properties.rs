@@ -20,10 +20,10 @@ proptest! {
     /// aligned count exactly the theorem value, within window capacity.
     #[test]
     fn construction_structure((w, e) in arb_config()) {
-        let asg = construct(w, e);
+        let asg = construct(w, e).unwrap();
         prop_assert!(asg.validate_paper_shares().is_ok());
-        let ev = evaluate(&asg);
-        prop_assert_eq!(ev.aligned, theorem_aligned_count(w, e));
+        let ev = evaluate(&asg).unwrap();
+        prop_assert_eq!(ev.aligned, theorem_aligned_count(w, e).unwrap());
         prop_assert!(ev.aligned <= e * e);
         // Each step serializes at least ⌈aligned/E⌉-ways on the window bank.
         prop_assert!(ev.totals.max_degree >= ev.aligned / e);
@@ -34,7 +34,7 @@ proptest! {
     /// threads.
     #[test]
     fn address_sequences_partition_the_window((w, e) in arb_config()) {
-        let asg = construct(w, e);
+        let asg = construct(w, e).unwrap();
         let seqs = address_sequences(&asg);
         prop_assert_eq!(seqs.len(), w);
         let mut all: Vec<usize> = seqs.iter().flatten().copied().collect();
@@ -53,11 +53,11 @@ proptest! {
         seed in proptest::option::of(0u64..1000),
     ) {
         let b = (warps.next_power_of_two().max(2)) * w;
-        let builder = WorstCaseBuilder::new(w, e, b);
+        let builder = WorstCaseBuilder::new(w, e, b).unwrap();
         let n = builder.block_elems() << doublings;
         let input = match seed {
-            None => builder.build(n),
-            Some(s) => builder.build_family_member(n, s),
+            None => builder.build(n).unwrap(),
+            Some(s) => builder.build_family_member(n, s).unwrap(),
         };
         prop_assert_eq!(input.len(), n);
         let mut sorted = input;
@@ -70,9 +70,9 @@ proptest! {
     #[test]
     fn partial_builds_are_permutations((w, e) in arb_config(), k in 0usize..5) {
         let b = 2 * w;
-        let builder = WorstCaseBuilder::new(w, e, b);
+        let builder = WorstCaseBuilder::new(w, e, b).unwrap();
         let n = builder.block_elems() * 8;
-        let input = builder.build_partial(n, k);
+        let input = builder.build_partial(n, k).unwrap();
         let mut sorted = input.clone();
         sorted.sort_unstable();
         prop_assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as u32));
@@ -80,7 +80,7 @@ proptest! {
             prop_assert!(input.windows(2).all(|w| w[0] < w[1]));
         }
         if k >= 3 {
-            prop_assert_eq!(input, builder.build_sorted_base(n));
+            prop_assert_eq!(input, builder.build_sorted_base(n).unwrap());
         }
     }
 
@@ -95,5 +95,31 @@ proptest! {
             }
             None => prop_assert!(gcd(a, m) != 1),
         }
+    }
+}
+
+proptest! {
+    /// No-panic surface: every (w, E, b) combination — co-prime or not,
+    /// zero or not, absurd or not — yields a typed verdict from the
+    /// builder, never a panic. The error taxonomy's core guarantee.
+    #[test]
+    fn arbitrary_configs_never_panic(w in 0usize..96, e in 0usize..96, b in 0usize..1024) {
+        if let Ok(builder) = WorstCaseBuilder::new(w, e, b) {
+            // A config the builder accepts must actually build.
+            let n = builder.block_elems() * 2;
+            let built = builder.build(n);
+            prop_assert!(built.is_ok(), "accepted config (w={w}, E={e}, b={b}) failed: {built:?}");
+        }
+        // Err is equally fine — the property is the absence of panics.
+        let _ = construct(w, e);
+        let _ = theorem_aligned_count(w, e);
+    }
+
+    /// Invalid lengths get a typed error from an otherwise valid builder.
+    #[test]
+    fn invalid_lengths_are_typed_errors(extra in 1usize..47) {
+        let builder = WorstCaseBuilder::new(8, 3, 16).unwrap();
+        let n = builder.block_elems() * 2 + extra; // never bE·2^m
+        prop_assert!(builder.build(n).is_err());
     }
 }

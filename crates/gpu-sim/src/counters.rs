@@ -57,6 +57,49 @@ impl SortCounters {
     }
 }
 
+/// Bookkeeping of injected faults and the recovery work they triggered.
+///
+/// Maintained by whichever driver wires a
+/// [`crate::fault::FaultInjector`] through a kernel pipeline (the
+/// resilient sort driver in `wcms-mergesort`); parallel-reducible like
+/// every other counter bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultCounters {
+    /// Tile bit-flip faults that fired.
+    pub tile_faults: usize,
+    /// Individual bits flipped across all tile faults.
+    pub bits_flipped: usize,
+    /// Co-rank corruption faults that fired.
+    pub corank_faults: usize,
+    /// Faults *detected* — by a typed kernel error or a failed
+    /// round-level sortedness/permutation check. Can be lower than the
+    /// injected total: a flip in data no block reads is harmless.
+    pub detected: usize,
+    /// Retries performed after a detection.
+    pub retries: usize,
+    /// Work units degraded to the CPU reference path after the retry
+    /// budget ran out.
+    pub cpu_fallbacks: usize,
+}
+
+impl FaultCounters {
+    /// Fold in the counters of an independent work unit.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.tile_faults += other.tile_faults;
+        self.bits_flipped += other.bits_flipped;
+        self.corank_faults += other.corank_faults;
+        self.detected += other.detected;
+        self.retries += other.retries;
+        self.cpu_fallbacks += other.cpu_fallbacks;
+    }
+
+    /// True if any fault fired (whether or not it was detected).
+    #[must_use]
+    pub fn any_injected(&self) -> bool {
+        self.tile_faults > 0 || self.corank_faults > 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

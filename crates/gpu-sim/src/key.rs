@@ -25,6 +25,16 @@ pub trait GpuKey: Copy + Ord + Default + Send + Sync + 'static {
 
     /// The largest key value (the padding sentinel for ragged sizes).
     fn max_value() -> Self;
+
+    /// The key's raw bit pattern, right-aligned in a `u64` (only the low
+    /// `8 · WORD_BYTES` bits are meaningful). Used for order-independent
+    /// fingerprints and single-event-upset simulation — it carries *no*
+    /// ordering semantics.
+    fn to_bits(self) -> u64;
+
+    /// Inverse of [`GpuKey::to_bits`]: `from_bits(k.to_bits()) == k` for
+    /// every key `k` (bits above `8 · WORD_BYTES` are ignored).
+    fn from_bits(bits: u64) -> Self;
 }
 
 impl GpuKey for u32 {
@@ -38,6 +48,16 @@ impl GpuKey for u32 {
     #[inline]
     fn from_rank(rank: u32) -> Self {
         rank
+    }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        u64::from(self)
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32
     }
 }
 
@@ -54,6 +74,16 @@ impl GpuKey for u64 {
         // Spread ranks across the full 64-bit range (order-preserving).
         u64::from(rank) << 20
     }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
 }
 
 impl GpuKey for i32 {
@@ -69,6 +99,16 @@ impl GpuKey for i32 {
         // Map 0..2³² monotonically onto i32::MIN..=i32::MAX.
         (rank ^ 0x8000_0000) as i32
     }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        u64::from(self as u32)
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u32 as i32
+    }
 }
 
 impl GpuKey for i64 {
@@ -82,6 +122,16 @@ impl GpuKey for i64 {
     #[inline]
     fn from_rank(rank: u32) -> Self {
         i64::from(rank) - (1i64 << 31)
+    }
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as i64
     }
 }
 

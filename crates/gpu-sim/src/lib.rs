@@ -22,6 +22,8 @@
 //!   counters into estimated runtime; used only for figure *shapes*,
 //!   never for the conflict counts themselves.
 //! * [`counters`] — per-kernel and per-sort counter bundles.
+//! * [`fault`] — deterministic (seeded) fault injection: tile bit-flips,
+//!   co-rank corruption and dataset truncation for resilience testing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,14 +31,16 @@
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod gmem;
 pub mod key;
 pub mod occupancy;
 pub mod smem;
 
 pub use cost::{CostModel, TimeBreakdown};
-pub use counters::{KernelCounters, SortCounters};
+pub use counters::{FaultCounters, KernelCounters, SortCounters};
 pub use device::DeviceSpec;
+pub use fault::{FaultConfig, FaultInjector};
 pub use gmem::{scalar_traffic, tile_traffic, tile_traffic_words, GlobalMemory, GlobalTotals};
 pub use key::GpuKey;
 pub use occupancy::Occupancy;

@@ -10,6 +10,7 @@
 //! arithmetic for any device.
 
 use crate::device::DeviceSpec;
+use wcms_error::WcmsError;
 
 /// Resident-block and occupancy figures for one kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -28,30 +29,52 @@ impl Occupancy {
     /// Occupancy of a kernel using `block_threads` threads and
     /// `shared_bytes` of shared memory per block on `device`.
     ///
-    /// Returns `None` if even a single block does not fit (shared memory
-    /// exceeded or block larger than the thread ceiling).
-    ///
     /// ```
     /// use wcms_gpu_sim::{DeviceSpec, Occupancy};
     ///
     /// // The paper's §IV-A arithmetic: E=17, b=256 on the RTX 2080 Ti
     /// // needs 17 KiB per block → 3 resident blocks → 75% occupancy.
     /// let device = DeviceSpec::rtx_2080_ti();
-    /// let occ = Occupancy::compute(&device, 256, 17 * 1024).unwrap();
+    /// let occ = Occupancy::compute(&device, 256, 17 * 1024)?;
     /// assert_eq!(occ.blocks_per_sm, 3);
     /// assert_eq!(occ.fraction, 0.75);
+    /// # Ok::<(), wcms_error::WcmsError>(())
     /// ```
-    #[must_use]
-    pub fn compute(device: &DeviceSpec, block_threads: usize, shared_bytes: usize) -> Option<Self> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::SharedMemOverflow`] if one block's tile
+    /// alone exceeds the SM's shared memory, and
+    /// [`WcmsError::OccupancyMisfit`] (naming the device and the
+    /// `(block_threads, shared_bytes)` request) if even a single block
+    /// cannot be resident for any other reason.
+    pub fn compute(
+        device: &DeviceSpec,
+        block_threads: usize,
+        shared_bytes: usize,
+    ) -> Result<Self, WcmsError> {
+        let misfit = |reason: &str| WcmsError::OccupancyMisfit {
+            device: device.name.to_string(),
+            block_threads,
+            shared_bytes,
+            reason: reason.to_string(),
+        };
         if block_threads == 0 {
-            return None;
+            return Err(misfit("block must have at least one thread"));
+        }
+        if shared_bytes > device.shared_mem_per_sm {
+            return Err(WcmsError::SharedMemOverflow {
+                required: shared_bytes,
+                available: device.shared_mem_per_sm,
+                device: device.name.to_string(),
+            });
         }
         let by_threads = device.max_threads_per_sm / block_threads;
         let by_smem = device.shared_mem_per_sm.checked_div(shared_bytes).unwrap_or(usize::MAX);
         let by_blocks = device.max_blocks_per_sm;
         let blocks = by_threads.min(by_smem).min(by_blocks);
         if blocks == 0 {
-            return None;
+            return Err(misfit("block exceeds the resident-thread ceiling"));
         }
         let limiter = if blocks == by_smem && by_smem <= by_threads && by_smem <= by_blocks {
             "shared-memory"
@@ -61,7 +84,7 @@ impl Occupancy {
             "blocks"
         };
         let threads = blocks * block_threads;
-        Some(Self {
+        Ok(Self {
             blocks_per_sm: blocks,
             threads_per_sm: threads,
             fraction: threads as f64 / device.max_threads_per_sm as f64,
@@ -143,9 +166,12 @@ mod tests {
     #[test]
     fn oversize_block_does_not_fit() {
         let d = DeviceSpec::rtx_2080_ti();
-        assert!(Occupancy::compute(&d, 2048, 0).is_none());
-        assert!(Occupancy::compute(&d, 256, 128 * 1024).is_none());
-        assert!(Occupancy::compute(&d, 0, 0).is_none());
+        let err = Occupancy::compute(&d, 2048, 0).unwrap_err();
+        assert!(matches!(err, WcmsError::OccupancyMisfit { block_threads: 2048, .. }), "{err}");
+        assert!(err.to_string().contains(d.name), "{err}");
+        let err = Occupancy::compute(&d, 256, 128 * 1024).unwrap_err();
+        assert!(matches!(err, WcmsError::SharedMemOverflow { .. }), "{err}");
+        assert!(Occupancy::compute(&d, 0, 0).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use wcms_dmm::{
     pad_address, Access, BankModel, ConflictCounter, ConflictTotals, StepConflicts, Trace, WarpStep,
 };
+use wcms_error::WcmsError;
 
 /// A shared-memory tile with conflict accounting.
 ///
@@ -108,11 +109,20 @@ impl<T: Copy + Default> SharedMemory<T> {
     /// One warp read step: lane `i` reads `addrs[i]` (or idles on `None`);
     /// values are written into `out[i]`. Returns the step's metrics.
     ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::SmemOutOfBounds`] if any lane addresses past
+    /// the tile (a corrupted co-rank or offset).
+    ///
     /// # Panics
     ///
-    /// Panics if an address is out of bounds or `out` is shorter than
-    /// `addrs`.
-    pub fn read_step(&mut self, addrs: &[Option<usize>], out: &mut [Option<T>]) -> StepConflicts {
+    /// Panics if `out` is shorter than `addrs` (a programming error, not
+    /// a data condition).
+    pub fn read_step(
+        &mut self,
+        addrs: &[Option<usize>],
+        out: &mut [Option<T>],
+    ) -> Result<StepConflicts, WcmsError> {
         assert!(out.len() >= addrs.len(), "output buffer too small");
         self.step.clear();
         if self.step.width() < addrs.len() {
@@ -121,18 +131,46 @@ impl<T: Copy + Default> SharedMemory<T> {
         for (lane, addr) in addrs.iter().enumerate() {
             out[lane] = None;
             if let Some(a) = *addr {
+                let Some(&v) = self.data.get(a) else {
+                    return Err(WcmsError::SmemOutOfBounds { address: a, words: self.data.len() });
+                };
                 self.step.set(lane, Access::read(self.physical(a)));
-                out[lane] = Some(self.data[a]);
+                out[lane] = Some(v);
             }
         }
         let s = self.counter.count(&self.step);
         self.trace.record(&self.step, s);
-        s
+        Ok(s)
     }
 
     /// One warp write step: lane `i` writes `writes[i] = (addr, value)`.
-    /// Returns the step's metrics (including CREW violations).
-    pub fn write_step(&mut self, writes: &[Option<(usize, T)>]) -> StepConflicts {
+    /// Returns the step's metrics.
+    ///
+    /// The tile enforces the DMM's CREW discipline: the machine is
+    /// concurrent-read, *exclusive*-write, and the merge kernels never
+    /// legitimately double-write an address within one step, so a
+    /// collision is always corruption (e.g. an injected co-rank fault).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::CrewViolation`] if two lanes write the same
+    /// address in this step (nothing is stored), or
+    /// [`WcmsError::SmemOutOfBounds`] if a lane addresses past the tile.
+    pub fn write_step(
+        &mut self,
+        writes: &[Option<(usize, T)>],
+    ) -> Result<StepConflicts, WcmsError> {
+        let step_index = self.counter.totals().steps;
+        for (i, w) in writes.iter().enumerate() {
+            if let Some((a, _)) = *w {
+                if a >= self.data.len() {
+                    return Err(WcmsError::SmemOutOfBounds { address: a, words: self.data.len() });
+                }
+                if writes[..i].iter().flatten().any(|&(prev, _)| prev == a) {
+                    return Err(WcmsError::CrewViolation { step: step_index, address: a });
+                }
+            }
+        }
         self.step.clear();
         if self.step.width() < writes.len() {
             self.step = WarpStep::idle(writes.len());
@@ -145,7 +183,7 @@ impl<T: Copy + Default> SharedMemory<T> {
         }
         let s = self.counter.count(&self.step);
         self.trace.record(&self.step, s);
-        s
+        Ok(s)
     }
 
     /// Running conflict totals of this tile.
@@ -183,7 +221,7 @@ mod tests {
         m.fill_from(&(0..64).map(|x| x * 10).collect::<Vec<u32>>());
         let addrs: Vec<Option<usize>> = vec![Some(0), Some(32), None, Some(3)];
         let mut out = vec![None; 4];
-        let s = m.read_step(&addrs, &mut out);
+        let s = m.read_step(&addrs, &mut out).unwrap();
         assert_eq!(out, vec![Some(0), Some(320), None, Some(30)]);
         // 0 and 32 share bank 0 → 2-way conflict.
         assert_eq!(s.degree, 2);
@@ -194,7 +232,7 @@ mod tests {
     #[test]
     fn write_step_stores_values() {
         let mut m = smem(64);
-        let s = m.write_step(&[Some((5, 7u32)), Some((6, 8)), None]);
+        let s = m.write_step(&[Some((5, 7u32)), Some((6, 8)), None]).unwrap();
         assert_eq!(m.as_slice()[5], 7);
         assert_eq!(m.as_slice()[6], 8);
         assert_eq!(s.degree, 1);
@@ -204,8 +242,10 @@ mod tests {
     #[test]
     fn crew_violation_detected_on_write_race() {
         let mut m = smem(8);
-        let s = m.write_step(&[Some((3, 1u32)), Some((3, 2))]);
-        assert_eq!(s.crew_violations, 1);
+        let err = m.write_step(&[Some((3, 1u32)), Some((3, 2))]).unwrap_err();
+        assert!(matches!(err, WcmsError::CrewViolation { address: 3, .. }), "{err}");
+        // Nothing was stored: the tile is untouched.
+        assert_eq!(m.as_slice()[3], 0);
     }
 
     #[test]
@@ -213,8 +253,8 @@ mod tests {
         let mut m = smem(64);
         m.enable_trace();
         let mut out = vec![None; 2];
-        m.read_step(&[Some(0), Some(1)], &mut out);
-        m.read_step(&[Some(2), None], &mut out);
+        m.read_step(&[Some(0), Some(1)], &mut out).unwrap();
+        m.read_step(&[Some(2), None], &mut out).unwrap();
         assert_eq!(m.trace().len(), 2);
         assert_eq!(m.trace().degrees(), vec![1, 1]);
     }
@@ -224,7 +264,7 @@ mod tests {
         let mut m = smem(8);
         m.fill_from(&[9u32; 8]);
         let mut out = vec![None; 1];
-        m.read_step(&[Some(0)], &mut out);
+        m.read_step(&[Some(0)], &mut out).unwrap();
         m.reset_counters();
         assert_eq!(m.totals(), ConflictTotals::default());
         assert_eq!(m.as_slice()[0], 9);
@@ -238,28 +278,30 @@ mod tests {
         let mut out = vec![None; 4];
 
         let mut flat = smem(256);
-        assert_eq!(flat.read_step(&addrs, &mut out).degree, 4);
+        assert_eq!(flat.read_step(&addrs, &mut out).unwrap().degree, 4);
 
         let mut padded = SharedMemory::<u32>::new_padded(BankModel::gpu32(), 256);
         assert!(padded.is_padded());
-        assert_eq!(padded.read_step(&addrs, &mut out).degree, 1);
+        assert_eq!(padded.read_step(&addrs, &mut out).unwrap().degree, 1);
     }
 
     #[test]
     fn padded_tile_keeps_logical_data() {
         let mut m = SharedMemory::<u32>::new_padded(BankModel::gpu32(), 64);
-        m.write_step(&[Some((33, 7u32))]);
+        m.write_step(&[Some((33, 7u32))]).unwrap();
         let mut out = vec![None; 1];
-        m.read_step(&[Some(33)], &mut out);
+        m.read_step(&[Some(33)], &mut out).unwrap();
         assert_eq!(out[0], Some(7));
         assert_eq!(m.as_slice()[33], 7);
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_bounds_read_panics() {
+    fn out_of_bounds_read_is_typed() {
         let mut m = smem(4);
         let mut out = vec![None; 1];
-        m.read_step(&[Some(4)], &mut out);
+        let err = m.read_step(&[Some(4)], &mut out).unwrap_err();
+        assert!(matches!(err, WcmsError::SmemOutOfBounds { address: 4, words: 4 }), "{err}");
+        let err = m.write_step(&[Some((9, 1u32))]).unwrap_err();
+        assert!(matches!(err, WcmsError::SmemOutOfBounds { address: 9, .. }), "{err}");
     }
 }

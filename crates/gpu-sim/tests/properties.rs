@@ -54,8 +54,8 @@ proptest! {
         let small = Occupancy::compute(&d, 256, bytes);
         let large = Occupancy::compute(&d, 256, bytes + extra);
         match (small, large) {
-            (Some(s), Some(l)) => prop_assert!(l.blocks_per_sm <= s.blocks_per_sm),
-            (None, Some(_)) => prop_assert!(false, "larger footprint fits but smaller does not"),
+            (Ok(s), Ok(l)) => prop_assert!(l.blocks_per_sm <= s.blocks_per_sm),
+            (Err(_), Ok(_)) => prop_assert!(false, "larger footprint fits but smaller does not"),
             _ => {}
         }
     }

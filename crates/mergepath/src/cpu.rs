@@ -31,12 +31,15 @@ pub fn merge_ref<K: Ord + Copy>(a: &[K], b: &[K]) -> Vec<K> {
 pub fn merge_partitioned<K: Ord + Copy>(a: &[K], b: &[K], parts: usize) -> Vec<K> {
     let n = a.len() + b.len();
     let coranks = partition_even(a.len(), b.len(), parts, |i| a[i], |j| b[j]);
-    let mut out = vec![None; n];
+    // Parts cover consecutive diagonals in order and each part emits its
+    // ranks in order, so the merged output can be appended directly.
+    let mut out = Vec::with_capacity(n);
     for (p, w) in coranks.windows(2).enumerate() {
         let start = w[0];
         let count = w[1].diagonal() - w[0].diagonal();
         let chunk = n.div_ceil(parts);
         debug_assert_eq!(w[0].diagonal(), (p * chunk).min(n));
+        debug_assert_eq!(out.len(), w[0].diagonal());
         merge_emit(
             start.a,
             start.b,
@@ -45,16 +48,17 @@ pub fn merge_partitioned<K: Ord + Copy>(a: &[K], b: &[K], parts: usize) -> Vec<K
             count,
             |i| a[i],
             |j| b[j],
-            |r, s, idx| {
+            |_r, s, idx| {
                 let v = match s {
                     MergeSource::A => a[idx],
                     MergeSource::B => b[idx],
                 };
-                out[w[0].diagonal() + r] = Some(v);
+                out.push(v);
             },
         );
     }
-    out.into_iter().map(|v| v.expect("every rank written exactly once")).collect()
+    debug_assert_eq!(out.len(), n, "every rank emitted exactly once");
+    out
 }
 
 /// Reference bottom-up pairwise merge sort (the algorithm's semantics,

@@ -29,5 +29,5 @@ pub mod partition;
 pub mod serial;
 
 pub use diagonal::{merge_path, merge_path_counted};
-pub use partition::{partition_even, validate_corank, Corank};
+pub use partition::{partition_even, require_valid_corank, validate_corank, Corank};
 pub use serial::{merge_emit, MergeSource};

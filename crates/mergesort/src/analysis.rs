@@ -58,12 +58,12 @@ mod tests {
     /// with the round count log(N/bE).
     #[test]
     fn shared_work_scales_like_karsin_as() {
-        let p = SortParams::new(32, 7, 64);
-        let builder = WorstCaseBuilder::new(32, 7, 64);
+        let p = SortParams::new(32, 7, 64).unwrap();
+        let builder = WorstCaseBuilder::new(32, 7, 64).unwrap();
         let mut per_round_per_elem = Vec::new();
         for doublings in [2u32, 3, 4, 5] {
             let n = p.block_elems() << doublings;
-            let (_, report) = sort_with_report(&builder.build(n), &p);
+            let (_, report) = sort_with_report(&builder.build(n).unwrap(), &p).unwrap();
             let cycles = measured_global_shared_cycles(&report);
             per_round_per_elem.push(cycles as f64 / (n as f64 * report.rounds.len() as f64));
         }
@@ -79,7 +79,7 @@ mod tests {
     /// they grow with.
     #[test]
     fn closed_forms_are_monotone() {
-        let p = SortParams::new(32, 15, 512);
+        let p = SortParams::new(32, 15, 512).unwrap();
         let cores = 1664;
         let n0 = p.block_elems() * 16;
         assert!(karsin_global_accesses(n0 * 2, &p, cores) > karsin_global_accesses(n0, &p, cores));
@@ -98,7 +98,7 @@ mod tests {
     /// vanish.
     #[test]
     fn single_block_has_no_round_terms() {
-        let p = SortParams::new(32, 15, 512);
+        let p = SortParams::new(32, 15, 512).unwrap();
         assert_eq!(karsin_global_accesses(p.block_elems(), &p, 1664), 0.0);
         assert_eq!(karsin_shared_accesses(p.block_elems(), &p, 1664, 3.1, 2.2), 0.0);
     }
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn merging_dominates_partitioning_for_library_tunings() {
         for (e, b) in [(15usize, 512usize), (17, 256), (15, 128)] {
-            let p = SortParams::new(32, e, b);
+            let p = SortParams::new(32, e, b).unwrap();
             let log_be = (p.block_elems() as f64).log2();
             assert!(
                 e as f64 >= log_be,

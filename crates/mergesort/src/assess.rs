@@ -38,9 +38,16 @@ pub struct InputAssessment {
 /// Run `input` through the simulated sort (padding to a valid size if
 /// needed) and report its conflict profile. `O(N log N)` simulation —
 /// intended for offline workload triage, not a production fast path.
-#[must_use]
-pub fn assess_input<K: wcms_gpu_sim::GpuKey>(input: &[K], params: &SortParams) -> InputAssessment {
-    let (_, report) = sort_padded(input, params);
+///
+/// # Errors
+///
+/// Propagates kernel-detected corruption from the underlying simulated
+/// sort.
+pub fn assess_input<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+) -> Result<InputAssessment, wcms_error::WcmsError> {
+    let (_, report) = sort_padded(input, params)?;
     let beta2 = report.global_beta2().unwrap_or(1.0);
     let beta1 = report.global_beta1().unwrap_or(1.0);
     let e = params.e as f64;
@@ -51,13 +58,13 @@ pub fn assess_input<K: wcms_gpu_sim::GpuKey>(input: &[K], params: &SortParams) -
     } else {
         ConflictSeverity::NearWorstCase
     };
-    InputAssessment {
+    Ok(InputAssessment {
         beta2,
         beta1,
         worst_case_fraction: beta2 / e,
         conflicts_per_element: report.conflicts_per_element(),
         severity,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -65,7 +72,7 @@ mod tests {
     use super::*;
 
     fn params() -> SortParams {
-        SortParams::new(32, 15, 64)
+        SortParams::new(32, 15, 64).unwrap()
     }
 
     #[test]
@@ -82,7 +89,7 @@ mod tests {
             }
             xs
         };
-        let a = assess_input(&input, &p);
+        let a = assess_input(&input, &p).unwrap();
         assert_eq!(a.severity, ConflictSeverity::Benign, "beta2 = {}", a.beta2);
         assert!(a.worst_case_fraction < 0.35);
     }
@@ -92,7 +99,7 @@ mod tests {
         let p = params();
         let n = p.block_elems() * 4;
         let sorted: Vec<u32> = (0..n as u32).collect();
-        let a = assess_input(&sorted, &p);
+        let a = assess_input(&sorted, &p).unwrap();
         assert_eq!(a.severity, ConflictSeverity::Benign);
         assert!((a.beta2 - 1.0).abs() < 0.2);
     }
@@ -101,8 +108,8 @@ mod tests {
     fn constructed_input_is_near_worst_case() {
         let p = params();
         let n = p.block_elems() * 8;
-        let input = wcms_core::WorstCaseBuilder::new(p.w, p.e, p.b).build(n);
-        let a = assess_input(&input, &p);
+        let input = wcms_core::WorstCaseBuilder::new(p.w, p.e, p.b).unwrap().build(n).unwrap();
+        let a = assess_input(&input, &p).unwrap();
         assert_eq!(a.severity, ConflictSeverity::NearWorstCase);
         assert!((a.worst_case_fraction - 1.0).abs() < 1e-9, "fraction = {}", a.worst_case_fraction);
     }
@@ -111,7 +118,7 @@ mod tests {
     fn ragged_sizes_are_padded() {
         let p = params();
         let input: Vec<u32> = (0..1000u32).rev().collect();
-        let a = assess_input(&input, &p);
+        let a = assess_input(&input, &p).unwrap();
         assert!(a.beta2 >= 1.0);
     }
 }

@@ -16,6 +16,7 @@
 //! pass).
 
 use wcms_dmm::BankModel;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::{tile_traffic_words, GpuKey, SharedMemory};
 
 use crate::instrument::{RoundCounters, SortReport};
@@ -27,19 +28,19 @@ use crate::params::SortParams;
 /// shared-memory (in-tile) stages and whose `rounds` hold one entry per
 /// global stage group.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `input.len()` is not a power of two or smaller than one
-/// tile.
-#[must_use]
+/// Returns [`WcmsError::InvalidLength`] if `input.len()` is not a power
+/// of two (the bitonic network's structural requirement).
 pub fn bitonic_sort_with_report<K: GpuKey>(
     input: &[K],
     params: &SortParams,
-) -> (Vec<K>, SortReport) {
+) -> Result<(Vec<K>, SortReport), WcmsError> {
     let n = input.len();
-    assert!(n.is_power_of_two(), "bitonic needs a power-of-two size");
+    if !n.is_power_of_two() {
+        return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
+    }
     let tile = params.block_elems().next_power_of_two().min(n);
-    assert!(n >= tile, "input smaller than one tile");
 
     let mut data = input.to_vec();
     let mut base = RoundCounters::default();
@@ -56,7 +57,7 @@ pub fn bitonic_sort_with_report<K: GpuKey>(
             if stride * 2 <= tile {
                 // All remaining strides of this phase fit in a tile: run
                 // them fused in shared memory, one tile per block.
-                run_shared_stages(&mut data, k, j, tile, params, &mut base);
+                run_shared_stages(&mut data, k, j, tile, params, &mut base)?;
                 j = 0;
             } else {
                 run_global_stage(&mut data, k, stride, params, &mut global_stage);
@@ -70,7 +71,7 @@ pub fn bitonic_sort_with_report<K: GpuKey>(
     }
 
     let report = SortReport { params: *params, n, base, rounds };
-    (data, report)
+    Ok((data, report))
 }
 
 /// Direction of the compare-exchange for element `i` in phase `k`.
@@ -87,7 +88,7 @@ fn run_shared_stages<K: GpuKey>(
     tile: usize,
     params: &SortParams,
     counters: &mut RoundCounters,
-) {
+) -> Result<(), WcmsError> {
     let w = params.w;
     for (block, chunk) in data.chunks_mut(tile).enumerate() {
         counters.blocks += 1;
@@ -99,13 +100,14 @@ fn run_shared_stages<K: GpuKey>(
         let mut jj = j;
         while jj > 0 {
             let stride = 1usize << (jj - 1);
-            compare_exchange_stage(&mut smem, base_index, tile, stride, k, w);
+            compare_exchange_stage(&mut smem, base_index, tile, stride, k, w)?;
             jj -= 1;
         }
         counters.shared.merge.merge(&smem.drain_totals());
         chunk.copy_from_slice(smem.as_slice());
         counters.global.merge(&tile_traffic_words(block * tile, tile, w, K::WORD_BYTES));
     }
+    Ok(())
 }
 
 /// One in-tile compare-exchange stage: `tile/2` threads, each reading its
@@ -118,7 +120,7 @@ fn compare_exchange_stage<K: GpuKey>(
     stride: usize,
     k: usize,
     w: usize,
-) {
+) -> Result<(), WcmsError> {
     let pairs = tile / 2;
     let mut lo_addr: Vec<Option<usize>> = vec![None; w];
     let mut hi_addr: Vec<Option<usize>> = vec![None; w];
@@ -140,20 +142,23 @@ fn compare_exchange_stage<K: GpuKey>(
         }
         lo_addr[lanes..].iter_mut().for_each(|a| *a = None);
         hi_addr[lanes..].iter_mut().for_each(|a| *a = None);
-        smem.read_step(&lo_addr[..lanes], &mut lo_val);
-        smem.read_step(&hi_addr[..lanes], &mut hi_val);
+        smem.read_step(&lo_addr[..lanes], &mut lo_val)?;
+        smem.read_step(&hi_addr[..lanes], &mut hi_val)?;
         for l in 0..lanes {
-            let (ia, ib) = (lo_addr[l].unwrap(), hi_addr[l].unwrap());
-            let (a, b) = (lo_val[l].unwrap(), hi_val[l].unwrap());
+            // Lanes 0..lanes were all assigned addresses above, so the
+            // reads are present by construction.
+            let (Some(ia), Some(ib)) = (lo_addr[l], hi_addr[l]) else { continue };
+            let (Some(a), Some(b)) = (lo_val[l], hi_val[l]) else { continue };
             let up = ascending(base_index + ia, k);
             let (x, y) = if (a <= b) == up { (a, b) } else { (b, a) };
             writes_lo[l] = Some((ia, x));
             writes_hi[l] = Some((ib, y));
         }
-        smem.write_step(&writes_lo[..lanes]);
-        smem.write_step(&writes_hi[..lanes]);
+        smem.write_step(&writes_lo[..lanes])?;
+        smem.write_step(&writes_hi[..lanes])?;
         t += lanes;
     }
+    Ok(())
 }
 
 /// One global-memory stage: coalesced passes over the pairs.
@@ -185,7 +190,7 @@ mod tests {
     use super::*;
 
     fn params() -> SortParams {
-        SortParams::new(8, 4, 16) // tile = 64, power of two
+        SortParams::new(8, 4, 16).unwrap() // tile = 64, power of two
     }
 
     #[test]
@@ -200,7 +205,7 @@ mod tests {
         ] {
             let mut want = input.clone();
             want.sort_unstable();
-            let (out, report) = bitonic_sort_with_report(&input, &p);
+            let (out, report) = bitonic_sort_with_report(&input, &p).unwrap();
             assert_eq!(out, want);
             assert_eq!(report.total().shared.combined().crew_violations, 0);
         }
@@ -215,9 +220,9 @@ mod tests {
         let sorted: Vec<u32> = (0..n as u32).collect();
         let reversed: Vec<u32> = (0..n as u32).rev().collect();
         let scrambled: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(101) % 509).collect();
-        let (_, r1) = bitonic_sort_with_report(&sorted, &p);
-        let (_, r2) = bitonic_sort_with_report(&reversed, &p);
-        let (_, r3) = bitonic_sort_with_report(&scrambled, &p);
+        let (_, r1) = bitonic_sort_with_report(&sorted, &p).unwrap();
+        let (_, r2) = bitonic_sort_with_report(&reversed, &p).unwrap();
+        let (_, r3) = bitonic_sort_with_report(&scrambled, &p).unwrap();
         assert_eq!(r1.total().shared, r2.total().shared);
         assert_eq!(r1.total().shared, r3.total().shared);
         assert_eq!(r1.total().global, r2.total().global);
@@ -227,12 +232,12 @@ mod tests {
     /// pairwise merge sort's on equal input (the Θ(log²) factor).
     #[test]
     fn pays_more_accesses_than_merge_sort() {
-        let p = SortParams::new(8, 4, 16);
+        let p = SortParams::new(8, 4, 16).unwrap();
         let n = p.block_elems().next_power_of_two() * 16; // 1024
         let input: Vec<u32> = (0..n as u32).rev().collect();
-        let (_, bitonic) = bitonic_sort_with_report(&input, &p);
+        let (_, bitonic) = bitonic_sort_with_report(&input, &p).unwrap();
         // Merge sort with comparable tile: E=4 gives bE=64 as well.
-        let (_, pairwise) = crate::driver::sort_with_report(&input, &p);
+        let (_, pairwise) = crate::driver::sort_with_report(&input, &p).unwrap();
         assert!(
             bitonic.total().shared.combined().accesses
                 > pairwise.total().shared.combined().accesses,
@@ -243,8 +248,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power-of-two")]
     fn rejects_non_power_of_two() {
-        let _ = bitonic_sort_with_report(&[1, 2, 3], &params());
+        let err = bitonic_sort_with_report(&[1, 2, 3], &params()).unwrap_err();
+        assert!(matches!(err, WcmsError::InvalidLength { n: 3, .. }), "{err}");
     }
 }

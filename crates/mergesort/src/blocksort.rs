@@ -13,6 +13,7 @@
 //!    phase), all in shared memory with full conflict accounting.
 
 use wcms_dmm::BankModel;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::{tile_traffic_words, GpuKey, SharedMemory};
 use wcms_mergepath::diagonal::merge_path_trace;
 use wcms_mergepath::serial::{merge_emit, MergeSource};
@@ -26,16 +27,20 @@ use crate::warp_exec::{coalesced_fill, lockstep_reads, lockstep_writes};
 /// `global_offset` is the block's word offset in device memory (for exact
 /// sector accounting of the tile load/store).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `input.len() != params.block_elems()`.
+/// Returns [`WcmsError::InvalidLength`] if `input.len()` is not exactly
+/// `bE`, and propagates the tile's typed errors (CREW violations,
+/// out-of-bounds addresses) from the simulated kernel.
 pub fn block_sort<K: GpuKey>(
     input: &[K],
     global_offset: usize,
     params: &SortParams,
-) -> (Vec<K>, RoundCounters) {
+) -> Result<(Vec<K>, RoundCounters), WcmsError> {
     let be = params.block_elems();
-    assert_eq!(input.len(), be, "base case needs exactly bE elements");
+    if input.len() != be {
+        return Err(WcmsError::InvalidLength { n: input.len(), block_elems: be });
+    }
     let (w, e, b) = (params.w, params.e, params.b);
 
     let mut counters = RoundCounters { blocks: 1, ..Default::default() };
@@ -47,26 +52,26 @@ pub fn block_sort<K: GpuKey>(
 
     // --- Tile load: global (coalesced) → shared (round-robin).
     counters.global.merge(&tile_traffic_words(global_offset, be, w, K::WORD_BYTES));
-    coalesced_fill(&mut smem, 0, input, b, w);
+    coalesced_fill(&mut smem, 0, input, b, w)?;
 
     // --- Register sort: thread t reads tile[tE .. tE+E] (lockstep strided
     // reads), odd–even sorts in registers, writes back.
     let read_seqs: Vec<Vec<usize>> = (0..b).map(|t| (t * e..(t + 1) * e).collect()).collect();
-    let mut regs = lockstep_reads(&mut smem, &read_seqs, w);
+    let mut regs = lockstep_reads(&mut smem, &read_seqs, w)?;
     for r in &mut regs {
         counters.comparators += odd_even_sort(r);
     }
-    lockstep_writes(&mut smem, &read_seqs, &regs, w);
+    lockstep_writes(&mut smem, &read_seqs, &regs, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
 
     // --- In-block pairwise merge rounds.
     for round in 1..=params.block_rounds() {
-        merge_round_in_block(&mut smem, round, params, &mut counters);
+        merge_round_in_block(&mut smem, round, params, &mut counters)?;
     }
 
     // --- Store: shared → global (coalesced).
     counters.global.merge(&tile_traffic_words(global_offset, be, w, K::WORD_BYTES));
-    (smem.as_slice().to_vec(), counters)
+    Ok((smem.as_slice().to_vec(), counters))
 }
 
 /// One in-block merge round: `2^round` threads per pair of
@@ -76,7 +81,7 @@ fn merge_round_in_block<K: GpuKey>(
     round: usize,
     params: &SortParams,
     counters: &mut RoundCounters,
-) {
+) -> Result<(), WcmsError> {
     let (w, e, b) = (params.w, params.e, params.b);
     let threads_per_pair = 1usize << round;
     let half = (threads_per_pair / 2) * e;
@@ -129,14 +134,15 @@ fn merge_round_in_block<K: GpuKey>(
         write_addrs.push((pair_base + diag..pair_base + diag + e).collect());
     }
 
-    let _ = lockstep_reads(smem, &probe_seqs, w);
+    let _ = lockstep_reads(smem, &probe_seqs, w)?;
     counters.shared.partition.merge(&smem.drain_totals());
 
-    let merged_vals = lockstep_reads(smem, &merge_seqs, w);
+    let merged_vals = lockstep_reads(smem, &merge_seqs, w)?;
     counters.shared.merge.merge(&smem.drain_totals());
 
-    lockstep_writes(smem, &write_addrs, &merged_vals, w);
+    lockstep_writes(smem, &write_addrs, &merged_vals, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -144,7 +150,7 @@ mod tests {
     use super::*;
 
     fn params() -> SortParams {
-        SortParams::new(8, 3, 16) // bE = 48, tiny for tests
+        SortParams::new(8, 3, 16).unwrap() // bE = 48, tiny for tests
     }
 
     #[test]
@@ -153,7 +159,7 @@ mod tests {
         let input: Vec<u32> = (0..p.block_elems() as u32).map(|i| (i * 29 + 5) % 48).collect();
         let mut want = input.clone();
         want.sort_unstable();
-        let (out, counters) = block_sort(&input, 0, &p);
+        let (out, counters) = block_sort(&input, 0, &p).unwrap();
         assert_eq!(out, want);
         assert_eq!(counters.blocks, 1);
         assert!(counters.comparators > 0);
@@ -169,7 +175,7 @@ mod tests {
         ] {
             let mut want = input.clone();
             want.sort_unstable();
-            let (out, _) = block_sort(&input, 0, &p);
+            let (out, _) = block_sort(&input, 0, &p).unwrap();
             assert_eq!(out, want);
         }
     }
@@ -178,7 +184,7 @@ mod tests {
     fn charges_all_phases() {
         let p = params();
         let input: Vec<u32> = (0..p.block_elems() as u32).rev().collect();
-        let (_, c) = block_sort(&input, 0, &p);
+        let (_, c) = block_sort(&input, 0, &p).unwrap();
         assert!(c.shared.transfer.steps > 0, "transfer phase untouched");
         assert!(c.shared.partition.steps > 0, "partition phase untouched");
         assert!(c.shared.merge.steps > 0, "merge phase untouched");
@@ -193,7 +199,7 @@ mod tests {
         // threads: log2(b) rounds × (b/w) warps × E steps.
         let p = params();
         let input: Vec<u32> = (0..p.block_elems() as u32).rev().collect();
-        let (_, c) = block_sort(&input, 0, &p);
+        let (_, c) = block_sort(&input, 0, &p).unwrap();
         let expected = p.block_rounds() * p.warps_per_block() * p.e;
         assert_eq!(c.shared.merge.steps, expected);
     }
@@ -202,14 +208,14 @@ mod tests {
     fn global_traffic_uses_offset() {
         let p = params();
         let input: Vec<u32> = (0..p.block_elems() as u32).collect();
-        let (_, c0) = block_sort(&input, 0, &p);
-        let (_, c1) = block_sort(&input, 4, &p); // misaligned by half a sector
+        let (_, c0) = block_sort(&input, 0, &p).unwrap();
+        let (_, c1) = block_sort(&input, 4, &p).unwrap(); // misaligned by half a sector
         assert!(c1.global.sectors >= c0.global.sectors);
     }
 
     #[test]
-    #[should_panic(expected = "exactly bE")]
     fn rejects_wrong_size() {
-        let _ = block_sort(&[1, 2, 3], 0, &params());
+        let err = block_sort(&[1, 2, 3], 0, &params()).unwrap_err();
+        assert!(matches!(err, WcmsError::InvalidLength { n: 3, .. }), "{err}");
     }
 }

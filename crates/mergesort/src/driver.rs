@@ -8,11 +8,17 @@
 //! bit-identical to the sequential order.
 
 use rayon::prelude::*;
+use wcms_error::WcmsError;
+use wcms_gpu_sim::fault::FaultInjector;
+use wcms_gpu_sim::FaultCounters;
+use wcms_mergepath::cpu::merge_ref;
+use wcms_mergepath::diagonal::merge_path;
 
 use crate::blocksort::block_sort;
 use crate::globalmerge::{merge_block, partition_pass};
 use crate::instrument::{RoundCounters, SortReport};
 use crate::params::{SortParams, SortVariant};
+use crate::verify::{check_round_output, multiset_hash};
 
 /// Sort `input` on the simulated GPU and return the sorted output with
 /// the full instrumentation report.
@@ -20,25 +26,28 @@ use crate::params::{SortParams, SortVariant};
 /// ```
 /// use wcms_mergesort::{sort_with_report, SortParams};
 ///
-/// let params = SortParams::new(8, 3, 16); // tiny tile for the example
+/// let params = SortParams::new(8, 3, 16)?; // tiny tile for the example
 /// let n = params.block_elems() * 4;
 /// let input: Vec<u32> = (0..n as u32).rev().collect();
-/// let (sorted, report) = sort_with_report(&input, &params);
+/// let (sorted, report) = sort_with_report(&input, &params)?;
 /// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
 /// assert_eq!(report.rounds.len(), 2); // log2(4) global merge rounds
+/// # Ok::<(), wcms_error::WcmsError>(())
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `input.len()` is not `bE·2^m`
-/// (see [`SortParams::valid_len`]).
-#[must_use]
+/// Returns [`WcmsError::InvalidLength`] if `input.len()` is not `bE·2^m`
+/// (see [`SortParams::valid_len`]), and propagates any kernel-detected
+/// corruption (CREW violations, out-of-bounds tiles, bad co-ranks).
 pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
     input: &[K],
     params: &SortParams,
-) -> (Vec<K>, SortReport) {
+) -> Result<(Vec<K>, SortReport), WcmsError> {
     let n = input.len();
-    assert!(params.valid_len(n), "n = {n} is not bE·2^m for bE = {}", params.block_elems());
+    if !params.valid_len(n) {
+        return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
+    }
     let be = params.block_elems();
 
     // --- Base case: every block sorts its tile.
@@ -46,7 +55,7 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
         .par_chunks(be)
         .enumerate()
         .map(|(j, chunk)| block_sort(chunk, j * be, params))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let mut base = RoundCounters::default();
     let mut cur = Vec::with_capacity(n);
     for (chunk, c) in block_results {
@@ -95,7 +104,7 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
                 let pre = partitions.as_ref().map(|(coranks, _)| coranks[pair][j]);
                 merge_block(a, b, pair_base, pair_base + list_len, j, params, pre)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let mut round_counters = partitions.map(|(_, c)| c).unwrap_or_default();
         let mut next = Vec::with_capacity(n);
@@ -108,32 +117,343 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
     }
 
     let report = SortReport { params: *params, n, base, rounds };
-    (cur, report)
+    Ok((cur, report))
 }
 
 /// Sort without keeping the report (convenience for tests/examples).
-#[must_use]
-pub fn sort<K: wcms_gpu_sim::GpuKey>(input: &[K], params: &SortParams) -> Vec<K> {
-    sort_with_report(input, params).0
+///
+/// # Errors
+///
+/// Same conditions as [`sort_with_report`].
+pub fn sort<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+) -> Result<Vec<K>, WcmsError> {
+    Ok(sort_with_report(input, params)?.0)
 }
 
 /// Sort an arbitrary-length input by padding with max-value sentinels up
 /// to the next valid length and truncating afterwards. The reported `n`
 /// is the padded length.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates kernel-detected corruption from [`sort_with_report`]
+/// (the length itself is always made valid by padding).
 pub fn sort_padded<K: wcms_gpu_sim::GpuKey>(
     input: &[K],
     params: &SortParams,
-) -> (Vec<K>, SortReport) {
+) -> Result<(Vec<K>, SortReport), WcmsError> {
     if params.valid_len(input.len()) {
         return sort_with_report(input, params);
     }
     let target = params.next_valid_len(input.len());
     let mut padded = input.to_vec();
     padded.resize(target, K::max_value());
-    let (mut out, report) = sort_with_report(&padded, params);
+    let (mut out, report) = sort_with_report(&padded, params)?;
     out.truncate(input.len());
-    (out, report)
+    Ok((out, report))
+}
+
+/// How the resilient driver reacts to detected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries per work unit after the first failed attempt (each retry
+    /// restarts from the unit's immutable, checkpointed input).
+    pub max_retries: usize,
+    /// After the retry budget: recompute the unit on the trusted CPU
+    /// reference path (`true`), or give up with
+    /// [`WcmsError::FaultUnrecoverable`] (`false`).
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_retries: 2, cpu_fallback: true }
+    }
+}
+
+/// What happened fault-wise during one resilient sort.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Injection and recovery totals.
+    pub counters: FaultCounters,
+    /// Work units that fell back to the CPU reference path, as
+    /// `(round, unit)` — unit is the block index in round 0 (base case)
+    /// and the pair index in global merge rounds.
+    pub degraded: Vec<(usize, usize)>,
+}
+
+impl FaultReport {
+    /// True if no fault fired and no recovery work happened — the
+    /// GPU-side counters then match a plain [`sort_with_report`] run
+    /// bit-for-bit.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.counters == FaultCounters::default() && self.degraded.is_empty()
+    }
+
+    fn absorb(&mut self, other: &FaultReport) {
+        self.counters.merge(&other.counters);
+        self.degraded.extend_from_slice(&other.degraded);
+    }
+}
+
+/// [`sort_with_report`] hardened against transient faults: every kernel
+/// runs under a [`FaultInjector`] and every work unit's output is
+/// checked (sortedness + multiset fingerprint against its immutable
+/// input) before it is accepted.
+///
+/// Detection and recovery per work unit — a thread block in the base
+/// case, a merged pair in a global round:
+///
+/// 1. a typed kernel error (CREW violation, out-of-bounds tile, invalid
+///    co-rank) or a failed [`check_round_output`] marks the attempt bad;
+/// 2. the unit retries from its checkpointed input up to
+///    [`RecoveryPolicy::max_retries`] times — transient faults (keyed by
+///    attempt) clear, hard faults do not;
+/// 3. on exhaustion the unit degrades to the trusted CPU reference path
+///    (`sort_unstable` / [`merge_ref`]) and is recorded in the
+///    [`FaultReport`], or fails with [`WcmsError::FaultUnrecoverable`]
+///    if `cpu_fallback` is off.
+///
+/// The [`SortReport`] counts only the *accepted* GPU work (a degraded
+/// unit contributes no GPU counters); wasted attempts show up in the
+/// [`FaultReport`] instead. With [`FaultInjector::disabled`] the output
+/// and report are bit-identical to [`sort_with_report`] and the fault
+/// report is [`FaultReport::clean`].
+///
+/// ```
+/// use wcms_gpu_sim::fault::{FaultConfig, FaultInjector};
+/// use wcms_mergesort::{sort_resilient, RecoveryPolicy, SortParams};
+///
+/// let params = SortParams::new(8, 3, 16)?;
+/// let input: Vec<u32> = (0..params.block_elems() as u32 * 8).rev().collect();
+/// let inj = FaultInjector::new(FaultConfig {
+///     seed: 7,
+///     tile_bitflip_rate: 0.5,
+///     ..FaultConfig::default()
+/// });
+/// let (out, _report, faults) =
+///     sort_resilient(&input, &params, &inj, &RecoveryPolicy::default())?;
+/// assert!(out.windows(2).all(|w| w[0] <= w[1]));
+/// assert!(faults.counters.detected >= 1); // faults fired and were caught
+/// # Ok::<(), wcms_error::WcmsError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`WcmsError::InvalidLength`] for a non-`bE·2^m` input, and
+/// [`WcmsError::FaultUnrecoverable`] when a unit exhausts its retries
+/// with CPU fallback disabled. With `cpu_fallback` on, injected faults
+/// never surface as errors — only as entries in the [`FaultReport`].
+pub fn sort_resilient<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+    let n = input.len();
+    if !params.valid_len(n) {
+        return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
+    }
+    let be = params.block_elems();
+    let mut fault = FaultReport::default();
+
+    // --- Base case: block-granular retry, round index 0.
+    let block_results: Vec<(Vec<K>, RoundCounters, FaultReport)> = input
+        .par_chunks(be)
+        .enumerate()
+        .map(|(j, chunk)| resilient_base_block(chunk, j, params, injector, policy))
+        .collect::<Result<_, _>>()?;
+    let mut base = RoundCounters::default();
+    let mut cur = Vec::with_capacity(n);
+    for (chunk, c, f) in block_results {
+        base.absorb(&c);
+        fault.absorb(&f);
+        cur.extend(chunk);
+    }
+
+    // --- Global merge rounds: pair-granular retry (the pair is the
+    // smallest unit whose output multiset is known in advance).
+    let mut rounds = Vec::with_capacity(params.global_rounds(n));
+    for round in 1..=params.global_rounds(n) {
+        let list_len = be << (round - 1);
+        let pair_len = 2 * list_len;
+
+        let pair_results: Vec<(Vec<K>, RoundCounters, FaultReport)> = cur
+            .par_chunks(pair_len)
+            .enumerate()
+            .map(|(pair, pair_input)| {
+                resilient_merge_pair(pair_input, list_len, pair, round, params, injector, policy)
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut round_counters = RoundCounters::default();
+        let mut next = Vec::with_capacity(n);
+        for (chunk, c, f) in pair_results {
+            round_counters.absorb(&c);
+            fault.absorb(&f);
+            next.extend(chunk);
+        }
+        rounds.push(round_counters);
+        cur = next;
+    }
+
+    let report = SortReport { params: *params, n, base, rounds };
+    Ok((cur, report, fault))
+}
+
+/// One base-case block under injection: sort the chunk, check the
+/// output, retry from the immutable `chunk` on detection.
+fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
+    chunk: &[K],
+    j: usize,
+    params: &SortParams,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
+    let be = params.block_elems();
+    let expect_hash = multiset_hash(chunk);
+    let mut f = FaultReport::default();
+
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            f.counters.retries += 1;
+        }
+        // Inject: bit-flips in the keys this block loads into its tile.
+        let result = if injector.tile_fault_at(0, j, attempt) {
+            let mut tile = chunk.to_vec();
+            f.counters.tile_faults += 1;
+            f.counters.bits_flipped += injector.flip_tile_bits(&mut tile, 0, j, attempt);
+            block_sort(&tile, j * be, params)
+        } else {
+            block_sort(chunk, j * be, params)
+        };
+        match result {
+            Ok((out, c)) => {
+                if check_round_output(&out, chunk.len(), expect_hash, 0, j).is_ok() {
+                    return Ok((out, c, f));
+                }
+                f.counters.detected += 1;
+            }
+            Err(_kernel_fault) => f.counters.detected += 1,
+        }
+    }
+
+    if !policy.cpu_fallback {
+        return Err(WcmsError::FaultUnrecoverable {
+            round: 0,
+            block: j,
+            retries: policy.max_retries,
+        });
+    }
+    f.counters.cpu_fallbacks += 1;
+    f.degraded.push((0, j));
+    let mut out = chunk.to_vec();
+    out.sort_unstable();
+    Ok((out, RoundCounters::default(), f))
+}
+
+/// One merged pair of one global round under injection: run every block
+/// of the pair, check the assembled pair output, retry the whole pair
+/// from the immutable round input on detection.
+fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
+    pair_input: &[K],
+    list_len: usize,
+    pair: usize,
+    round: usize,
+    params: &SortParams,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
+    let be = params.block_elems();
+    let pair_len = pair_input.len();
+    let blocks_per_pair = pair_len / be;
+    let a = &pair_input[..list_len];
+    let b = &pair_input[list_len..];
+    let pair_base = pair * pair_len;
+    let expect_hash = multiset_hash(pair_input);
+    let mut f = FaultReport::default();
+
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            f.counters.retries += 1;
+        }
+        // The Modern GPU partition kernel reruns with the rest of the
+        // attempt (its co-ranks are inputs to every merge block).
+        let partitions = (params.variant == SortVariant::ModernGpu)
+            .then(|| partition_pass(a, b, blocks_per_pair, params));
+        let mut counters = partitions.as_ref().map(|(_, c)| *c).unwrap_or_default();
+        let mut out = Vec::with_capacity(pair_len);
+        let mut kernel_fault = false;
+
+        for j in 0..blocks_per_pair {
+            let block = pair * blocks_per_pair + j; // kernel-wide block id
+            let mut pre = partitions.as_ref().map(|(coranks, _)| coranks[j]);
+
+            // Inject: corrupt the block's co-rank pair (models a faulty
+            // partition kernel or a torn read of the partition array).
+            if injector.corank_fault_at(round, block, attempt) {
+                let correct = pre.unwrap_or_else(|| {
+                    let diag = j * be;
+                    (
+                        merge_path(diag, a.len(), b.len(), |i| a[i], |x| b[x]),
+                        merge_path(diag + be, a.len(), b.len(), |i| a[i], |x| b[x]),
+                    )
+                });
+                pre = Some(injector.corrupt_corank(correct, round, block, attempt));
+                f.counters.corank_faults += 1;
+            }
+
+            // Inject: bit-flips in the pair data this block reads.
+            let result = if injector.tile_fault_at(round, block, attempt) {
+                let mut tile = pair_input.to_vec();
+                f.counters.tile_faults += 1;
+                f.counters.bits_flipped +=
+                    injector.flip_tile_bits(&mut tile, round, block, attempt);
+                let (ta, tb) = tile.split_at(list_len);
+                merge_block(ta, tb, pair_base, pair_base + list_len, j, params, pre)
+            } else {
+                merge_block(a, b, pair_base, pair_base + list_len, j, params, pre)
+            };
+            match result {
+                Ok((chunk, c)) => {
+                    counters.absorb(&c);
+                    out.extend(chunk);
+                }
+                Err(
+                    WcmsError::PartitionValidation { .. }
+                    | WcmsError::SmemOutOfBounds { .. }
+                    | WcmsError::CrewViolation { .. }
+                    | WcmsError::CorruptOutput { .. },
+                ) => {
+                    f.counters.detected += 1;
+                    kernel_fault = true;
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        if !kernel_fault {
+            if check_round_output(&out, pair_len, expect_hash, round, pair).is_ok() {
+                return Ok((out, counters, f));
+            }
+            f.counters.detected += 1;
+        }
+    }
+
+    if !policy.cpu_fallback {
+        return Err(WcmsError::FaultUnrecoverable {
+            round,
+            block: pair,
+            retries: policy.max_retries,
+        });
+    }
+    f.counters.cpu_fallbacks += 1;
+    f.degraded.push((round, pair));
+    Ok((merge_ref(a, b), RoundCounters::default(), f))
 }
 
 #[cfg(test)]
@@ -141,13 +461,13 @@ mod tests {
     use super::*;
 
     fn params() -> SortParams {
-        SortParams::new(8, 3, 16) // bE = 48
+        SortParams::new(8, 3, 16).unwrap() // bE = 48
     }
 
     fn check_sorts(input: &[u32], p: &SortParams) {
         let mut want = input.to_vec();
         want.sort_unstable();
-        let (out, report) = sort_with_report(input, p);
+        let (out, report) = sort_with_report(input, p).unwrap();
         assert_eq!(out, want);
         assert_eq!(report.n, input.len());
         assert_eq!(report.total().shared.combined().crew_violations, 0);
@@ -167,7 +487,7 @@ mod tests {
         let input: Vec<u32> =
             (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761) % 10_007).collect();
         check_sorts(&input, &p);
-        let (_, report) = sort_with_report(&input, &p);
+        let (_, report) = sort_with_report(&input, &p).unwrap();
         assert_eq!(report.rounds.len(), 3);
         assert_eq!(report.base.blocks, 8);
         assert!(report.rounds.iter().all(|r| r.blocks == 8));
@@ -192,8 +512,8 @@ mod tests {
         let p = params();
         let n = p.block_elems() * 4;
         let input: Vec<u32> = (0..n as u32).map(|i| (i * 31) % 257).collect();
-        let (_, r1) = sort_with_report(&input, &p);
-        let (_, r2) = sort_with_report(&input, &p);
+        let (_, r1) = sort_with_report(&input, &p).unwrap();
+        let (_, r2) = sort_with_report(&input, &p).unwrap();
         assert_eq!(r1, r2, "Rayon reduction must be deterministic");
     }
 
@@ -201,7 +521,7 @@ mod tests {
     fn padded_sort_handles_ragged_sizes() {
         let p = params();
         let input: Vec<u32> = (0..100u32).rev().collect();
-        let (out, report) = sort_padded(&input, &p);
+        let (out, report) = sort_padded(&input, &p).unwrap();
         let mut want = input.clone();
         want.sort_unstable();
         assert_eq!(out, want);
@@ -209,9 +529,142 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bE·2^m")]
     fn rejects_invalid_length() {
-        let _ = sort_with_report(&[1, 2, 3], &params());
+        let err = sort_with_report(&[1u32, 2, 3], &params()).unwrap_err();
+        assert!(matches!(err, WcmsError::InvalidLength { n: 3, .. }), "{err}");
+    }
+
+    use wcms_gpu_sim::fault::FaultConfig;
+
+    fn faulty(seed: u64, tile: f64, corank: f64) -> FaultInjector {
+        FaultInjector::new(FaultConfig {
+            seed,
+            tile_bitflip_rate: tile,
+            corank_rate: corank,
+            ..FaultConfig::default()
+        })
+    }
+
+    /// The acceptance property of the fault subsystem: with the injector
+    /// disabled, output AND counters are bit-identical to the plain
+    /// driver, and the fault report is clean.
+    #[test]
+    fn disabled_injector_is_bit_identical_to_plain_driver() {
+        for p in [params(), params().with_variant(SortVariant::ModernGpu)] {
+            let n = p.block_elems() * 8;
+            let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+            let (plain_out, plain_rep) = sort_with_report(&input, &p).unwrap();
+            let (out, rep, faults) =
+                sort_resilient(&input, &p, &FaultInjector::disabled(), &RecoveryPolicy::default())
+                    .unwrap();
+            assert_eq!(out, plain_out);
+            assert_eq!(rep, plain_rep, "counters must match bit-for-bit");
+            assert!(faults.clean(), "{faults:?}");
+        }
+    }
+
+    /// Transient faults at moderate rates: the output is still the exact
+    /// sorted permutation (zero silent corruption), faults are detected,
+    /// and retries recover without exhausting the budget.
+    #[test]
+    fn recovers_from_transient_faults() {
+        let p = params();
+        let n = p.block_elems() * 8;
+        let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(48_271) % 9973).collect();
+        let mut want = input.clone();
+        want.sort_unstable();
+        let inj = faulty(7, 0.3, 0.3);
+        let (out, _, faults) = sort_resilient(
+            &input,
+            &p,
+            &inj,
+            &RecoveryPolicy { max_retries: 6, cpu_fallback: true },
+        )
+        .unwrap();
+        assert_eq!(out, want);
+        assert!(faults.counters.any_injected(), "rates of 0.3 must fire somewhere");
+        assert!(faults.counters.detected > 0);
+        assert!(faults.counters.retries > 0);
+    }
+
+    /// A hard fault (rate 1.0) defeats every retry; the driver degrades
+    /// the affected units to the CPU path and still returns the exact
+    /// sorted permutation.
+    #[test]
+    fn hard_faults_degrade_to_cpu_and_stay_correct() {
+        let p = params();
+        let n = p.block_elems() * 4;
+        let input: Vec<u32> = (0..n as u32).rev().collect();
+        let mut want = input.clone();
+        want.sort_unstable();
+        let inj = faulty(3, 1.0, 0.0);
+        let policy = RecoveryPolicy { max_retries: 2, cpu_fallback: true };
+        let (out, rep, faults) = sort_resilient(&input, &p, &inj, &policy).unwrap();
+        assert_eq!(out, want);
+        // A base block reads its whole chunk, so its flip is always
+        // consumed: all 4 base blocks must degrade. (A merge-round flip
+        // can land in pair data outside the block's window — injected
+        // but harmless — so pairs may legitimately recover.)
+        for j in 0..4 {
+            assert!(faults.degraded.contains(&(0, j)), "{faults:?}");
+        }
+        assert!(faults.counters.cpu_fallbacks >= 4);
+        // Degraded units contribute no GPU counters.
+        assert_eq!(rep.base.blocks, 0);
+        // Every degraded unit burned its full retry budget first.
+        assert!(faults.counters.retries >= faults.counters.cpu_fallbacks * policy.max_retries);
+    }
+
+    /// With CPU fallback disabled, a hard fault surfaces as the typed
+    /// unrecoverable error instead of bad data.
+    #[test]
+    fn hard_fault_without_fallback_is_a_typed_error() {
+        let p = params();
+        let input: Vec<u32> = (0..p.block_elems() as u32 * 2).rev().collect();
+        let inj = faulty(3, 1.0, 0.0);
+        let err = sort_resilient(
+            &input,
+            &p,
+            &inj,
+            &RecoveryPolicy { max_retries: 1, cpu_fallback: false },
+        )
+        .unwrap_err();
+        assert!(matches!(err, WcmsError::FaultUnrecoverable { round: 0, retries: 1, .. }), "{err}");
+    }
+
+    /// Co-rank corruption — whether it trips the kernel's structural
+    /// validation or survives to the round check — never corrupts the
+    /// output, on both kernel structures.
+    #[test]
+    fn corank_corruption_is_always_caught() {
+        for p in [params(), params().with_variant(SortVariant::ModernGpu)] {
+            let n = p.block_elems() * 8;
+            let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(31) % 4096).collect();
+            let mut want = input.clone();
+            want.sort_unstable();
+            for seed in 0..4 {
+                let inj = faulty(seed, 0.0, 0.5);
+                let (out, _, faults) =
+                    sort_resilient(&input, &p, &inj, &RecoveryPolicy::default()).unwrap();
+                assert_eq!(out, want, "seed {seed}");
+                assert!(faults.counters.corank_faults > 0, "seed {seed} fired nothing");
+            }
+        }
+    }
+
+    /// Same seed ⇒ same injected faults ⇒ same fault report, end to end.
+    #[test]
+    fn fault_runs_replay_deterministically() {
+        let p = params();
+        let n = p.block_elems() * 8;
+        let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(7) % 512).collect();
+        let inj = faulty(99, 0.4, 0.4);
+        let policy = RecoveryPolicy::default();
+        let (out1, rep1, f1) = sort_resilient(&input, &p, &inj, &policy).unwrap();
+        let (out2, rep2, f2) = sort_resilient(&input, &p, &inj, &policy).unwrap();
+        assert_eq!(out1, out2);
+        assert_eq!(rep1, rep2);
+        assert_eq!(f1, f2);
     }
 
     /// The Modern GPU variant sorts identically but pays for its separate
@@ -223,8 +676,8 @@ mod tests {
         let n = thrust.block_elems() * 8;
         let input: Vec<u32> = (0..n as u32).rev().collect();
 
-        let (out_t, rep_t) = sort_with_report(&input, &thrust);
-        let (out_m, rep_m) = sort_with_report(&input, &mgpu);
+        let (out_t, rep_t) = sort_with_report(&input, &thrust).unwrap();
+        let (out_m, rep_m) = sort_with_report(&input, &mgpu).unwrap();
         assert_eq!(out_t, out_m, "variants must agree on the output");
         // Shared-memory conflicts are identical: the tile work is the same.
         assert_eq!(

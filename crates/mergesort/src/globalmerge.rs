@@ -13,6 +13,7 @@
 //! 4. stages the merged tile and stores it back coalesced.
 
 use wcms_dmm::BankModel;
+use wcms_error::WcmsError;
 use wcms_gpu_sim::{scalar_traffic, tile_traffic_words, GpuKey, SharedMemory};
 use wcms_mergepath::diagonal::{merge_path, merge_path_trace};
 use wcms_mergepath::serial::{merge_emit, MergeSource};
@@ -34,6 +35,13 @@ use crate::warp_exec::{coalesced_fill, lockstep_reads, lockstep_writes};
 /// own start diagonal in global memory (the fused Thrust structure).
 ///
 /// Returns the merged `bE` elements and the block's counters.
+///
+/// # Errors
+///
+/// Propagates the tile's typed errors: a corrupted co-rank (e.g. from a
+/// faulty partition kernel) surfaces as [`WcmsError::SmemOutOfBounds`]
+/// or [`WcmsError::CrewViolation`] rather than silently corrupting the
+/// output window.
 pub fn merge_block<K: GpuKey>(
     a: &[K],
     b: &[K],
@@ -42,7 +50,7 @@ pub fn merge_block<K: GpuKey>(
     block_index: usize,
     params: &SortParams,
     precomputed: Option<(usize, usize)>,
-) -> (Vec<K>, RoundCounters) {
+) -> Result<(Vec<K>, RoundCounters), WcmsError> {
     let be = params.block_elems();
     let (w, e) = (params.w, params.e);
     let mut counters = RoundCounters { blocks: 1, ..Default::default() };
@@ -72,6 +80,22 @@ pub fn merge_block<K: GpuKey>(
             (start, end)
         }
     };
+    // A corrupted co-rank pair (fault injection, flaky partition kernel)
+    // must surface as a typed error, never as a slice panic.
+    if ca_start > ca_end
+        || ca_end > a.len()
+        || ca_start > diag_start
+        || ca_end > diag_end
+        || diag_start - ca_start > b.len()
+        || diag_end - ca_end > b.len()
+        || diag_start - ca_start > diag_end - ca_end
+    {
+        return Err(WcmsError::PartitionValidation {
+            round: 0,
+            block: block_index,
+            corank: (ca_start, ca_end),
+        });
+    }
     let (cb_start, cb_end) = (diag_start - ca_start, diag_end - ca_end);
 
     let a_part = &a[ca_start..ca_end];
@@ -86,8 +110,8 @@ pub fn merge_block<K: GpuKey>(
     } else {
         SharedMemory::<K>::new(BankModel::new(w), be)
     };
-    coalesced_fill(&mut smem, 0, a_part, params.b, w);
-    coalesced_fill(&mut smem, la, b_part, params.b, w);
+    coalesced_fill(&mut smem, 0, a_part, params.b, w)?;
+    coalesced_fill(&mut smem, la, b_part, params.b, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
 
     // --- Stage 3: GPU Merge Path within the tile.
@@ -126,18 +150,18 @@ pub fn merge_block<K: GpuKey>(
         write_addrs.push((diag..diag + e).collect());
     }
 
-    let _ = lockstep_reads(&mut smem, &probe_seqs, w);
+    let _ = lockstep_reads(&mut smem, &probe_seqs, w)?;
     counters.shared.partition.merge(&smem.drain_totals());
 
-    let merged_vals = lockstep_reads(&mut smem, &merge_seqs, w);
+    let merged_vals = lockstep_reads(&mut smem, &merge_seqs, w)?;
     counters.shared.merge.merge(&smem.drain_totals());
 
     // --- Stage 4: stage merged results and store coalesced.
-    lockstep_writes(&mut smem, &write_addrs, &merged_vals, w);
+    lockstep_writes(&mut smem, &write_addrs, &merged_vals, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
     counters.global.merge(&tile_traffic_words(a_offset + diag_start, be, w, K::WORD_BYTES));
 
-    (smem.as_slice().to_vec(), counters)
+    Ok((smem.as_slice().to_vec(), counters))
 }
 
 /// The Modern GPU partition kernel: one mutual binary search per merge
@@ -180,7 +204,7 @@ mod tests {
     use wcms_mergepath::cpu::merge_ref;
 
     fn params() -> SortParams {
-        SortParams::new(8, 3, 16) // bE = 48
+        SortParams::new(8, 3, 16).unwrap() // bE = 48
     }
 
     #[test]
@@ -189,7 +213,7 @@ mod tests {
         // Two sorted lists of bE/2 = 24 elements each → one block.
         let a: Vec<u32> = (0..24).map(|x| x * 2).collect();
         let b: Vec<u32> = (0..24).map(|x| x * 2 + 1).collect();
-        let (out, c) = merge_block(&a, &b, 0, 24, 0, &p, None);
+        let (out, c) = merge_block(&a, &b, 0, 24, 0, &p, None).unwrap();
         assert_eq!(out, merge_ref(&a, &b));
         assert!(c.shared.merge.steps > 0);
         assert_eq!(c.shared.combined().crew_violations, 0);
@@ -205,7 +229,7 @@ mod tests {
         let want = merge_ref(&a, &b);
         let mut got = Vec::new();
         for j in 0..4 {
-            let (chunk, _) = merge_block(&a, &b, 0, a.len(), j, &p, None);
+            let (chunk, _) = merge_block(&a, &b, 0, a.len(), j, &p, None).unwrap();
             got.extend(chunk);
         }
         assert_eq!(got, want);
@@ -220,7 +244,7 @@ mod tests {
         let b: Vec<u32> = (be as u32..2 * be as u32).collect();
         let mut got = Vec::new();
         for j in 0..2 {
-            let (chunk, _) = merge_block(&a, &b, 0, a.len(), j, &p, None);
+            let (chunk, _) = merge_block(&a, &b, 0, a.len(), j, &p, None).unwrap();
             got.extend(chunk);
         }
         assert_eq!(got, merge_ref(&a, &b));
@@ -232,7 +256,7 @@ mod tests {
         let be = p.block_elems();
         let a = vec![5u32; be / 2];
         let b = vec![5u32; be / 2];
-        let (out, _) = merge_block(&a, &b, 0, be / 2, 0, &p, None);
+        let (out, _) = merge_block(&a, &b, 0, be / 2, 0, &p, None).unwrap();
         assert_eq!(out, vec![5u32; be]);
     }
 
@@ -243,7 +267,7 @@ mod tests {
         let a: Vec<u32> = (0..be as u32).map(|x| x * 2).collect();
         let b: Vec<u32> = (0..be as u32).map(|x| x * 2 + 1).collect();
         // Block 1's start diagonal needs a real binary search.
-        let (_, c) = merge_block(&a, &b, 0, a.len(), 1, &p, None);
+        let (_, c) = merge_block(&a, &b, 0, a.len(), 1, &p, None).unwrap();
         assert!(c.global.requests > 0);
         // Tile load (bE) + store (bE) + search probes.
         assert!(c.global.accesses >= 2 * be);

@@ -175,7 +175,7 @@ mod tests {
             comparators: 0,
         };
         let report = SortReport {
-            params: SortParams::new(32, 15, 512),
+            params: SortParams::new(32, 15, 512).unwrap(),
             n: 7680,
             base: mk(5),
             rounds: vec![mk(7), mk(9)],

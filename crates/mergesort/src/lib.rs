@@ -21,6 +21,12 @@
 //! the quantities behind every figure in the paper's evaluation.
 //! [`assess::assess_input`] turns that into a one-call verdict on how
 //! adversarial an arbitrary workload is for a tuning.
+//!
+//! [`driver::sort_resilient`] runs the same pipeline under a seeded
+//! [`wcms_gpu_sim::fault::FaultInjector`] with per-round corruption
+//! checks ([`verify::check_round_output`]), bounded retry from each
+//! unit's immutable input, and CPU-reference degradation — transient
+//! faults are detected and recovered, never silently propagated.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +46,8 @@ mod warp_exec;
 
 pub use assess::{assess_input, ConflictSeverity, InputAssessment};
 pub use bitonic::bitonic_sort_with_report;
-pub use driver::{sort, sort_padded, sort_with_report};
+pub use driver::{
+    sort, sort_padded, sort_resilient, sort_with_report, FaultReport, RecoveryPolicy,
+};
 pub use instrument::{PhaseTotals, RoundCounters, SortReport};
 pub use params::SortParams;

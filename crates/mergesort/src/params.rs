@@ -2,6 +2,7 @@
 //! paper's experiments use (§IV-A).
 
 use serde::{Deserialize, Serialize};
+use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 
 /// Which library's kernel structure to model.
@@ -40,15 +41,33 @@ pub struct SortParams {
 impl SortParams {
     /// New parameter set.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `b` is not a power of two, `b < 2w`, or `e == 0`.
-    #[must_use]
-    pub fn new(w: usize, e: usize, b: usize) -> Self {
-        assert!(w > 0 && e > 0, "w and E must be positive");
-        assert!(b.is_power_of_two(), "b must be a power of two");
-        assert!(b >= 2 * w, "need at least two warps per block");
-        Self { w, e, b, variant: SortVariant::Thrust, smem_padding: false }
+    /// Returns [`WcmsError::ZeroParam`] if `w` or `E` is zero and
+    /// [`WcmsError::InvalidBlock`] if `b` is not a power of two or
+    /// `b < 2w`.
+    pub fn new(w: usize, e: usize, b: usize) -> Result<Self, WcmsError> {
+        if w == 0 {
+            return Err(WcmsError::ZeroParam { name: "w" });
+        }
+        if e == 0 {
+            return Err(WcmsError::ZeroParam { name: "E" });
+        }
+        if !b.is_power_of_two() {
+            return Err(WcmsError::InvalidBlock {
+                b,
+                w,
+                reason: "b must be a power of two".into(),
+            });
+        }
+        if b < 2 * w {
+            return Err(WcmsError::InvalidBlock {
+                b,
+                w,
+                reason: "need at least two warps per block (b >= 2w)".into(),
+            });
+        }
+        Ok(Self { w, e, b, variant: SortVariant::Thrust, smem_padding: false })
     }
 
     /// The same tuning with padded shared-memory tiles.
@@ -69,8 +88,12 @@ impl SortParams {
     /// capability 5.2 (Quadro M4000); the library leaves Turing (7.5)
     /// undefined and falls back to the cc 6.0 defaults `E = 17, b = 256`
     /// (§IV-A).
-    #[must_use]
-    pub fn thrust(device: &DeviceSpec) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::InvalidBlock`] if the library tuning does
+    /// not fit the device's warp width.
+    pub fn thrust(device: &DeviceSpec) -> Result<Self, WcmsError> {
         match device.compute_capability {
             (5, _) => Self::new(device.warp_size, 15, 512),
             _ => Self::new(device.warp_size, 17, 256),
@@ -79,19 +102,29 @@ impl SortParams {
 
     /// The override the paper additionally benchmarks on the RTX 2080 Ti:
     /// Thrust's Maxwell tuning `E = 15, b = 512`.
-    #[must_use]
-    pub fn thrust_e15_b512(device: &DeviceSpec) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::InvalidBlock`] if the tuning does not fit
+    /// the device's warp width.
+    pub fn thrust_e15_b512(device: &DeviceSpec) -> Result<Self, WcmsError> {
         Self::new(device.warp_size, 15, 512)
     }
 
     /// Modern GPU's parameters: `E = 15, b = 128` for the Quadro M4000;
     /// undefined for Turing, where the paper runs the same two sets as
     /// Thrust (§IV-A).
-    #[must_use]
-    pub fn mgpu(device: &DeviceSpec) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::InvalidBlock`] if the library tuning does
+    /// not fit the device's warp width.
+    pub fn mgpu(device: &DeviceSpec) -> Result<Self, WcmsError> {
         match device.compute_capability {
-            (5, _) => Self::new(device.warp_size, 15, 128).with_variant(SortVariant::ModernGpu),
-            _ => Self::new(device.warp_size, 17, 256).with_variant(SortVariant::ModernGpu),
+            (5, _) => {
+                Ok(Self::new(device.warp_size, 15, 128)?.with_variant(SortVariant::ModernGpu))
+            }
+            _ => Ok(Self::new(device.warp_size, 17, 256)?.with_variant(SortVariant::ModernGpu)),
         }
     }
 
@@ -162,32 +195,35 @@ mod tests {
 
     #[test]
     fn thrust_table_matches_paper() {
-        let p = SortParams::thrust(&DeviceSpec::quadro_m4000());
+        let p = SortParams::thrust(&DeviceSpec::quadro_m4000()).unwrap();
         assert_eq!((p.e, p.b), (15, 512));
-        let p = SortParams::thrust(&DeviceSpec::rtx_2080_ti());
+        let p = SortParams::thrust(&DeviceSpec::rtx_2080_ti()).unwrap();
         assert_eq!((p.e, p.b), (17, 256));
-        let p = SortParams::thrust_e15_b512(&DeviceSpec::rtx_2080_ti());
+        let p = SortParams::thrust_e15_b512(&DeviceSpec::rtx_2080_ti()).unwrap();
         assert_eq!((p.e, p.b), (15, 512));
     }
 
     #[test]
     fn mgpu_table_matches_paper() {
-        let p = SortParams::mgpu(&DeviceSpec::quadro_m4000());
+        let p = SortParams::mgpu(&DeviceSpec::quadro_m4000()).unwrap();
         assert_eq!((p.e, p.b), (15, 128));
         assert_eq!(p.variant, SortVariant::ModernGpu);
-        assert_eq!(SortParams::thrust(&DeviceSpec::quadro_m4000()).variant, SortVariant::Thrust);
+        assert_eq!(
+            SortParams::thrust(&DeviceSpec::quadro_m4000()).unwrap().variant,
+            SortVariant::Thrust
+        );
     }
 
     #[test]
     fn shared_bytes_match_papers_arithmetic() {
         // §IV-A: E=17,b=256 → 17 KiB; E=15,b=512 → 30 KiB.
-        assert_eq!(SortParams::new(32, 17, 256).shared_bytes(), 17 * 1024);
-        assert_eq!(SortParams::new(32, 15, 512).shared_bytes(), 30 * 1024);
+        assert_eq!(SortParams::new(32, 17, 256).unwrap().shared_bytes(), 17 * 1024);
+        assert_eq!(SortParams::new(32, 15, 512).unwrap().shared_bytes(), 30 * 1024);
     }
 
     #[test]
     fn length_arithmetic() {
-        let p = SortParams::new(32, 15, 512);
+        let p = SortParams::new(32, 15, 512).unwrap();
         let be = 7680;
         assert_eq!(p.block_elems(), be);
         assert!(p.valid_len(be));
@@ -204,14 +240,24 @@ mod tests {
 
     #[test]
     fn block_rounds_is_log_b() {
-        assert_eq!(SortParams::new(32, 15, 512).block_rounds(), 9);
-        assert_eq!(SortParams::new(32, 17, 256).block_rounds(), 8);
-        assert_eq!(SortParams::new(32, 15, 128).block_rounds(), 7);
+        assert_eq!(SortParams::new(32, 15, 512).unwrap().block_rounds(), 9);
+        assert_eq!(SortParams::new(32, 17, 256).unwrap().block_rounds(), 8);
+        assert_eq!(SortParams::new(32, 15, 128).unwrap().block_rounds(), 7);
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn rejects_non_pow2_b() {
-        let _ = SortParams::new(32, 15, 384);
+    fn rejects_bad_geometry() {
+        let err = SortParams::new(32, 15, 384).unwrap_err();
+        assert!(matches!(err, WcmsError::InvalidBlock { b: 384, .. }), "{err}");
+        let err = SortParams::new(32, 15, 32).unwrap_err();
+        assert!(err.to_string().contains("b >= 2w"), "{err}");
+        assert!(matches!(
+            SortParams::new(32, 0, 512).unwrap_err(),
+            WcmsError::ZeroParam { name: "E" }
+        ));
+        assert!(matches!(
+            SortParams::new(0, 15, 512).unwrap_err(),
+            WcmsError::ZeroParam { name: "w" }
+        ));
     }
 }

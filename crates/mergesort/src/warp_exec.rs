@@ -7,16 +7,17 @@
 //! model prescribes. Sequences may have unequal lengths (binary searches
 //! converge at different iterations); exhausted lanes idle.
 
+use wcms_error::WcmsError;
 use wcms_gpu_sim::SharedMemory;
 
 /// Replay per-thread *read* sequences: `seqs[t][j]` is the tile address
 /// thread `t` reads at its step `j`. Returns the values read, in the same
-/// shape.
+/// shape. Propagates the tile's typed errors (out-of-bounds addresses).
 pub(crate) fn lockstep_reads<K: Copy + Default>(
     smem: &mut SharedMemory<K>,
     seqs: &[Vec<usize>],
     warp: usize,
-) -> Vec<Vec<K>> {
+) -> Result<Vec<Vec<K>>, WcmsError> {
     let mut out: Vec<Vec<K>> = seqs.iter().map(|s| Vec::with_capacity(s.len())).collect();
     let mut addrs: Vec<Option<usize>> = vec![None; warp];
     let mut vals: Vec<Option<K>> = vec![None; warp];
@@ -28,7 +29,7 @@ pub(crate) fn lockstep_reads<K: Copy + Default>(
             for (lane, seq) in warp_threads.iter().enumerate() {
                 addrs[lane] = seq.get(j).copied();
             }
-            smem.read_step(&addrs[..lanes], &mut vals);
+            smem.read_step(&addrs[..lanes], &mut vals)?;
             for lane in 0..lanes {
                 if let Some(v) = vals[lane] {
                     out[base + lane].push(v);
@@ -36,17 +37,18 @@ pub(crate) fn lockstep_reads<K: Copy + Default>(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Replay per-thread *write* sequences: thread `t` writes value
-/// `vals[t][j]` to address `addrs[t][j]` at step `j`.
+/// `vals[t][j]` to address `addrs[t][j]` at step `j`. Propagates the
+/// tile's typed errors (CREW violations, out-of-bounds addresses).
 pub(crate) fn lockstep_writes<K: Copy + Default>(
     smem: &mut SharedMemory<K>,
     addrs: &[Vec<usize>],
     vals: &[Vec<K>],
     warp: usize,
-) {
+) -> Result<(), WcmsError> {
     debug_assert_eq!(addrs.len(), vals.len());
     let mut writes: Vec<Option<(usize, K)>> = vec![None; warp];
     for (warp_addrs, warp_vals) in addrs.chunks(warp).zip(vals.chunks(warp)) {
@@ -57,9 +59,10 @@ pub(crate) fn lockstep_writes<K: Copy + Default>(
                 writes[lane] = warp_addrs[lane].get(j).map(|&a| (a, warp_vals[lane][j]));
             }
             writes[warp_addrs.len()..].iter_mut().for_each(|w| *w = None);
-            smem.write_step(&writes[..warp_addrs.len().max(1)]);
+            smem.write_step(&writes[..warp_addrs.len().max(1)])?;
         }
     }
+    Ok(())
 }
 
 /// Coalesced block transfer into shared memory: `b` threads write the
@@ -71,7 +74,7 @@ pub(crate) fn coalesced_fill<K: Copy + Default>(
     values: &[K],
     block_threads: usize,
     warp: usize,
-) {
+) -> Result<(), WcmsError> {
     let mut writes: Vec<Option<(usize, K)>> = vec![None; warp];
     let mut pos = 0usize;
     while pos < values.len() {
@@ -80,9 +83,10 @@ pub(crate) fn coalesced_fill<K: Copy + Default>(
             writes[l] = Some((dst + pos + l, values[pos + l]));
         }
         writes[lanes..].iter_mut().for_each(|w| *w = None);
-        smem.write_step(&writes[..lanes]);
+        smem.write_step(&writes[..lanes])?;
         pos += lanes;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -101,7 +105,7 @@ mod tests {
         let mut m = smem(16);
         // 6 threads over warps of 4; ragged lengths.
         let seqs = vec![vec![0, 1], vec![4], vec![8, 9], vec![12], vec![2, 3], vec![6]];
-        let out = lockstep_reads(&mut m, &seqs, 4);
+        let out = lockstep_reads(&mut m, &seqs, 4).unwrap();
         assert_eq!(out[0], vec![0, 10]);
         assert_eq!(out[1], vec![40]);
         assert_eq!(out[2], vec![80, 90]);
@@ -116,7 +120,7 @@ mod tests {
         let mut m = smem(16);
         // Two lanes in bank 0 (addresses 0 and 4 on 4 banks) every step.
         let seqs = vec![vec![0], vec![4], vec![1], vec![2]];
-        let _ = lockstep_reads(&mut m, &seqs, 4);
+        let _ = lockstep_reads(&mut m, &seqs, 4).unwrap();
         assert_eq!(m.totals().cycles, 2);
         assert_eq!(m.totals().max_degree, 2);
     }
@@ -126,7 +130,7 @@ mod tests {
         let mut m = smem(8);
         let addrs = vec![vec![0usize, 1], vec![2]];
         let vals = vec![vec![100u32, 101], vec![102]];
-        lockstep_writes(&mut m, &addrs, &vals, 4);
+        lockstep_writes(&mut m, &addrs, &vals, 4).unwrap();
         assert_eq!(&m.as_slice()[..3], &[100, 101, 102]);
     }
 
@@ -134,7 +138,7 @@ mod tests {
     fn coalesced_fill_is_conflict_free() {
         let mut m = smem(16);
         let vals: Vec<u32> = (0..16).collect();
-        coalesced_fill(&mut m, 0, &vals, 8, 4);
+        coalesced_fill(&mut m, 0, &vals, 8, 4).unwrap();
         assert_eq!(m.as_slice(), vals.as_slice());
         assert_eq!(m.totals().extra_cycles, 0, "contiguous fill must not conflict");
         assert_eq!(m.totals().steps, 4);

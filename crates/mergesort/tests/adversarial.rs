@@ -8,7 +8,7 @@ use wcms_mergesort::{sort_with_report, SortParams};
 use wcms_workloads::random::random_permutation;
 
 fn beta2_of(input: &[u32], p: &SortParams) -> f64 {
-    let (out, report) = sort_with_report(input, p);
+    let (out, report) = sort_with_report(input, p).unwrap();
     assert!(out.windows(2).all(|w| w[0] <= w[1]), "sort must still sort");
     report.global_beta2().expect("has global rounds")
 }
@@ -18,9 +18,9 @@ fn beta2_of(input: &[u32], p: &SortParams) -> f64 {
 #[test]
 fn worst_case_reaches_beta2_e_small() {
     for (w, e, b) in [(32usize, 7usize, 64usize), (16, 5, 32), (8, 3, 16)] {
-        let p = SortParams::new(w, e, b);
+        let p = SortParams::new(w, e, b).unwrap();
         let n = p.block_elems() * 8;
-        let input = WorstCaseBuilder::new(w, e, b).build(n);
+        let input = WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap();
         let beta2 = beta2_of(&input, &p);
         assert!((beta2 - e as f64).abs() < 1e-9, "w={w} E={e}: expected beta2 = E, got {beta2}");
     }
@@ -31,11 +31,11 @@ fn worst_case_reaches_beta2_e_small() {
 #[test]
 fn worst_case_reaches_theorem9_beta2_large() {
     for (w, e, b) in [(32usize, 17usize, 64usize), (16, 9, 32)] {
-        let p = SortParams::new(w, e, b);
+        let p = SortParams::new(w, e, b).unwrap();
         let n = p.block_elems() * 8;
-        let input = WorstCaseBuilder::new(w, e, b).build(n);
+        let input = WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap();
         let beta2 = beta2_of(&input, &p);
-        let floor = wcms_core::theorem_aligned_count(w, e) as f64 / e as f64;
+        let floor = wcms_core::theorem_aligned_count(w, e).unwrap() as f64 / e as f64;
         assert!(
             beta2 >= floor && beta2 <= e as f64 + 1e-9,
             "w={w} E={e}: beta2 = {beta2}, theorem floor {floor}"
@@ -48,9 +48,9 @@ fn worst_case_reaches_theorem9_beta2_large() {
 #[test]
 fn random_beta2_is_small() {
     let (w, e, b) = (32usize, 15usize, 64usize);
-    let p = SortParams::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
     let n = p.block_elems() * 8;
-    let worst = beta2_of(&WorstCaseBuilder::new(w, e, b).build(n), &p);
+    let worst = beta2_of(&WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap(), &p);
     let random = beta2_of(&random_permutation(n, 42), &p);
     assert!(random < 6.0, "random beta2 unexpectedly high: {random}");
     assert!(worst > 2.0 * random, "worst {worst} not well above random {random}");
@@ -61,12 +61,12 @@ fn random_beta2_is_small() {
 #[test]
 fn family_members_share_global_beta2() {
     let (w, e, b) = (16usize, 5usize, 32usize);
-    let p = SortParams::new(w, e, b);
-    let builder = WorstCaseBuilder::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
+    let builder = WorstCaseBuilder::new(w, e, b).unwrap();
     let n = p.block_elems() * 4;
-    let reference = beta2_of(&builder.build(n), &p);
+    let reference = beta2_of(&builder.build(n).unwrap(), &p);
     for seed in [1u64, 7, 99] {
-        let member = beta2_of(&builder.build_family_member(n, seed), &p);
+        let member = beta2_of(&builder.build_family_member(n, seed).unwrap(), &p);
         assert!((member - reference).abs() < 1e-9, "seed {seed}: {member} vs {reference}");
     }
 }
@@ -76,13 +76,13 @@ fn family_members_share_global_beta2() {
 #[test]
 fn partial_adversarial_rounds_scale_conflicts() {
     let (w, e, b) = (16usize, 5usize, 32usize);
-    let p = SortParams::new(w, e, b);
-    let builder = WorstCaseBuilder::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
+    let builder = WorstCaseBuilder::new(w, e, b).unwrap();
     let n = p.block_elems() * 8; // 3 global rounds
     let mut last = 0usize;
     for k in 0..=3usize {
-        let input = builder.build_partial(n, k);
-        let (_, report) = sort_with_report(&input, &p);
+        let input = builder.build_partial(n, k).unwrap();
+        let (_, report) = sort_with_report(&input, &p).unwrap();
         let cycles: usize = report.rounds.iter().map(|r| r.shared.merge.cycles).sum();
         assert!(cycles >= last, "k={k}: cycles {cycles} < previous {last}");
         last = cycles;
@@ -94,10 +94,11 @@ fn partial_adversarial_rounds_scale_conflicts() {
 #[test]
 fn conflict_heavy_is_intermediate() {
     let (w, e, b) = (32usize, 15usize, 64usize);
-    let p = SortParams::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
     let n = p.block_elems() * 8;
-    let worst = beta2_of(&WorstCaseBuilder::new(w, e, b).build(n), &p);
-    let heavy = beta2_of(&WorstCaseBuilder::conflict_heavy(w, e, b, 8).build(n), &p);
+    let worst = beta2_of(&WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap(), &p);
+    let heavy =
+        beta2_of(&WorstCaseBuilder::conflict_heavy(w, e, b, 8).unwrap().build(n).unwrap(), &p);
     assert!(heavy < worst, "heuristic {heavy} must stay below the construction {worst}");
 }
 
@@ -105,7 +106,7 @@ fn conflict_heavy_is_intermediate() {
 #[test]
 fn sorted_input_is_conflict_light() {
     let (w, e, b) = (32usize, 15usize, 64usize);
-    let p = SortParams::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
     let n = p.block_elems() * 8;
     let sorted: Vec<u32> = (0..n as u32).collect();
     let beta2 = beta2_of(&sorted, &p);
@@ -119,7 +120,7 @@ fn sorted_input_is_conflict_light() {
 #[test]
 fn power_of_two_e_sorted_input_is_worst_case() {
     let (w, e, b) = (32usize, 16usize, 64usize);
-    let p = SortParams::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
     let n = p.block_elems() * 8;
     let sorted: Vec<u32> = (0..n as u32).collect();
     let beta2 = beta2_of(&sorted, &p);
@@ -128,7 +129,7 @@ fn power_of_two_e_sorted_input_is_worst_case() {
         "sorted input with E = {e} should give beta2 = E, got {beta2}"
     );
     // And the general gcd case: E = 12 → gcd(32, 12) = 4-way conflicts.
-    let p = SortParams::new(w, 12, 64);
+    let p = SortParams::new(w, 12, 64).unwrap();
     let n = p.block_elems() * 8;
     let sorted: Vec<u32> = (0..n as u32).collect();
     let beta2 = beta2_of(&sorted, &p);
@@ -140,22 +141,22 @@ fn power_of_two_e_sorted_input_is_worst_case() {
 #[test]
 fn worst_case_carries_to_wide_and_signed_keys() {
     let (w, e, b) = (32usize, 7usize, 64usize);
-    let p = SortParams::new(w, e, b);
+    let p = SortParams::new(w, e, b).unwrap();
     let n = p.block_elems() * 4;
-    let ranks = WorstCaseBuilder::new(w, e, b).build(n);
+    let ranks = WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap();
 
     let as_u64: Vec<u64> = ranks.iter().map(|&r| wcms_gpu_sim::GpuKey::from_rank(r)).collect();
-    let (out64, rep64) = sort_with_report(&as_u64, &p);
+    let (out64, rep64) = sort_with_report(&as_u64, &p).unwrap();
     assert!(out64.windows(2).all(|x| x[0] <= x[1]));
     assert!((rep64.global_beta2().unwrap() - e as f64).abs() < 1e-9);
 
     let as_i32: Vec<i32> = ranks.iter().map(|&r| wcms_gpu_sim::GpuKey::from_rank(r)).collect();
-    let (out32, rep32) = sort_with_report(&as_i32, &p);
+    let (out32, rep32) = sort_with_report(&as_i32, &p).unwrap();
     assert!(out32.windows(2).all(|x| x[0] <= x[1]));
     assert!((rep32.global_beta2().unwrap() - e as f64).abs() < 1e-9);
 
     // Wider keys cost proportionally more global sectors.
-    let (_, rep_u32) = sort_with_report(&ranks, &p);
+    let (_, rep_u32) = sort_with_report(&ranks, &p).unwrap();
     assert!(rep64.total().global.sectors > rep_u32.total().global.sectors);
 }
 
@@ -166,10 +167,10 @@ fn worst_case_carries_to_wide_and_signed_keys() {
 #[test]
 fn smem_padding_defeats_the_construction() {
     let (w, e, b) = (32usize, 15usize, 64usize);
-    let flat = SortParams::new(w, e, b);
-    let padded = SortParams::new(w, e, b).with_padding();
+    let flat = SortParams::new(w, e, b).unwrap();
+    let padded = SortParams::new(w, e, b).unwrap().with_padding();
     let n = flat.block_elems() * 8;
-    let input = WorstCaseBuilder::new(w, e, b).build(n);
+    let input = WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap();
 
     let attacked = beta2_of(&input, &flat);
     let mitigated = beta2_of(&input, &padded);

@@ -8,7 +8,7 @@ use wcms_mergesort::params::SortVariant;
 use wcms_mergesort::{sort_with_report, SortParams};
 
 fn tiny_params() -> SortParams {
-    SortParams::new(8, 3, 16) // bE = 48
+    SortParams::new(8, 3, 16).unwrap() // bE = 48
 }
 
 proptest! {
@@ -34,7 +34,7 @@ proptest! {
             .collect();
         let mut want = input.clone();
         want.sort_unstable();
-        let (out, report) = sort_with_report(&input, &p);
+        let (out, report) = sort_with_report(&input, &p).unwrap();
         prop_assert_eq!(out, want);
         prop_assert_eq!(report.total().shared.combined().crew_violations, 0);
         prop_assert_eq!(report.rounds.len(), doublings as usize);
@@ -50,7 +50,7 @@ proptest! {
             let x = (i as u64).wrapping_mul(seed.wrapping_mul(2) + 1) % 9973;
             x as u32
         }).collect();
-        let (_, report) = sort_with_report(&input, &p);
+        let (_, report) = sort_with_report(&input, &p).unwrap();
         let total = report.total().shared.combined();
         prop_assert!(total.cycles >= total.steps);
         prop_assert!(total.accesses >= total.steps);
@@ -65,14 +65,14 @@ proptest! {
     /// the data.
     #[test]
     fn bitonic_sorts_and_is_oblivious(seed in 0u64..200, log_n in 7u32..10) {
-        let p = SortParams::new(8, 4, 16); // tile 64 (power of two)
+        let p = SortParams::new(8, 4, 16).unwrap(); // tile 64 (power of two)
         let n = 1usize << log_n;
         let a: Vec<u32> = (0..n).map(|i| ((i as u64 * (2 * seed + 1)) % 4096) as u32).collect();
         let b: Vec<u32> = (0..n as u32).rev().collect();
         let mut want = a.clone();
         want.sort_unstable();
-        let (out_a, rep_a) = bitonic_sort_with_report(&a, &p);
-        let (_, rep_b) = bitonic_sort_with_report(&b, &p);
+        let (out_a, rep_a) = bitonic_sort_with_report(&a, &p).unwrap();
+        let (_, rep_b) = bitonic_sort_with_report(&b, &p).unwrap();
         prop_assert_eq!(out_a, want);
         prop_assert_eq!(rep_a.total().shared, rep_b.total().shared);
     }
@@ -90,8 +90,8 @@ proptest! {
             .iter()
             .map(|&k| <u64 as wcms_gpu_sim::GpuKey>::from_rank(k))
             .collect();
-        let (out32, r32) = sort_with_report(&narrow, &p);
-        let (out64, r64) = sort_with_report(&wide, &p);
+        let (out32, r32) = sort_with_report(&narrow, &p).unwrap();
+        let (out64, r64) = sort_with_report(&wide, &p).unwrap();
         let mapped: Vec<u64> = out32
             .iter()
             .map(|&k| <u64 as wcms_gpu_sim::GpuKey>::from_rank(k))
@@ -101,5 +101,80 @@ proptest! {
         prop_assert_eq!(r32.total().shared, r64.total().shared);
         // Wider keys ⇒ more global sectors.
         prop_assert!(r64.total().global.sectors > r32.total().global.sectors);
+    }
+}
+
+mod fault_resilience {
+    use super::*;
+    use wcms_gpu_sim::fault::{FaultConfig, FaultInjector};
+    use wcms_mergesort::{sort_resilient, RecoveryPolicy};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Zero silent corruption: under arbitrary seeds and fault rates
+        /// (including hard faults at rate 1.0), on both kernel
+        /// structures, the resilient sort returns the exact sorted
+        /// permutation — faults land in the report, never in the data.
+        #[test]
+        fn resilient_sort_never_corrupts(
+            seed in 0u64..1000,
+            tile_pct in 0u32..=100,
+            corank_pct in 0u32..=100,
+            doublings in 0u32..4,
+            mgpu in proptest::bool::ANY,
+        ) {
+            let p = if mgpu {
+                tiny_params().with_variant(SortVariant::ModernGpu)
+            } else {
+                tiny_params()
+            };
+            let n = p.block_elems() << doublings;
+            let input: Vec<u32> = (0..n)
+                .map(|i| (i as u32).wrapping_mul(2_654_435_761).rotate_left(seed as u32 % 32))
+                .collect();
+            let mut want = input.clone();
+            want.sort_unstable();
+            let inj = FaultInjector::new(FaultConfig {
+                seed,
+                tile_bitflip_rate: f64::from(tile_pct) / 100.0,
+                corank_rate: f64::from(corank_pct) / 100.0,
+                ..FaultConfig::default()
+            });
+            let (out, report, faults) =
+                sort_resilient(&input, &p, &inj, &RecoveryPolicy::default()).unwrap();
+            prop_assert_eq!(out, want);
+            prop_assert_eq!(report.n, n);
+            // Recovery bookkeeping is internally consistent.
+            prop_assert!(faults.counters.cpu_fallbacks == faults.degraded.len());
+            if !inj.is_enabled() {
+                prop_assert!(faults.clean());
+            }
+        }
+
+        /// The injector-disabled determinism property over arbitrary
+        /// inputs: resilient and plain drivers agree bit-for-bit on
+        /// output and counters.
+        #[test]
+        fn disabled_injector_matches_plain_driver(
+            seed in 0u64..500,
+            doublings in 0u32..3,
+        ) {
+            let p = tiny_params();
+            let n = p.block_elems() << doublings;
+            let input: Vec<u32> =
+                (0..n).map(|i| ((i as u64 * (2 * seed + 1)) % 8191) as u32).collect();
+            let (plain_out, plain_rep) = sort_with_report(&input, &p).unwrap();
+            let (out, rep, faults) = sort_resilient(
+                &input,
+                &p,
+                &FaultInjector::disabled(),
+                &RecoveryPolicy::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(out, plain_out);
+            prop_assert_eq!(rep, plain_rep);
+            prop_assert!(faults.clean());
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! the original prefix).
 
 use wcms_core::WorstCaseBuilder;
+use wcms_error::WcmsError;
 
 /// Map a rank permutation (what the builders emit) into any
 /// [`GpuKey`](wcms_gpu_sim::GpuKey) space, order-preserving — the
@@ -19,35 +20,61 @@ pub fn as_keys<K: wcms_gpu_sim::GpuKey>(ranks: &[u32]) -> Vec<K> {
 
 /// The paper's worst-case permutation for sort parameters `(w, E, b)`;
 /// `n` must be a valid length (`bE·2^m`).
-#[must_use]
-pub fn worst_case(w: usize, e: usize, b: usize, n: usize) -> Vec<u32> {
-    WorstCaseBuilder::new(w, e, b).build(n)
+///
+/// # Errors
+///
+/// Returns [`WcmsError::NonCoprime`] / [`WcmsError::InvalidBlock`] for
+/// parameters with no construction, [`WcmsError::InvalidLength`] when
+/// `n` is not `bE·2^m`.
+pub fn worst_case(w: usize, e: usize, b: usize, n: usize) -> Result<Vec<u32>, WcmsError> {
+    WorstCaseBuilder::new(w, e, b)?.build(n)
 }
 
 /// Worst-case permutation for any `n`: builds at the next valid length
 /// and truncates the *values* back to `0 … n−1` (keeping relative order
 /// of survivors — the resulting prefix permutation preserves each round's
 /// interleaving for the surviving elements).
-#[must_use]
-pub fn worst_case_padded(w: usize, e: usize, b: usize, n: usize) -> Vec<u32> {
-    let builder = WorstCaseBuilder::new(w, e, b);
+/// # Errors
+///
+/// Returns [`WcmsError::NonCoprime`] / [`WcmsError::InvalidBlock`] for
+/// parameters with no construction (any `n` works — that is the point).
+pub fn worst_case_padded(w: usize, e: usize, b: usize, n: usize) -> Result<Vec<u32>, WcmsError> {
+    let builder = WorstCaseBuilder::new(w, e, b)?;
     if builder.valid_len(n) {
         return builder.build(n);
     }
-    let full = builder.build(builder.next_valid_len(n));
-    full.into_iter().filter(|&v| (v as usize) < n).collect()
+    let full = builder.build(builder.next_valid_len(n))?;
+    Ok(full.into_iter().filter(|&v| (v as usize) < n).collect())
 }
 
 /// A member of the worst-case *family* (Conclusion point 2).
-#[must_use]
-pub fn worst_case_family(w: usize, e: usize, b: usize, n: usize, seed: u64) -> Vec<u32> {
-    WorstCaseBuilder::new(w, e, b).build_family_member(n, seed)
+///
+/// # Errors
+///
+/// Same conditions as [`worst_case`].
+pub fn worst_case_family(
+    w: usize,
+    e: usize,
+    b: usize,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<u32>, WcmsError> {
+    WorstCaseBuilder::new(w, e, b)?.build_family_member(n, seed)
 }
 
 /// Karsin-style conflict-heavy baseline input.
-#[must_use]
-pub fn conflict_heavy(w: usize, e: usize, b: usize, n: usize, stride: usize) -> Vec<u32> {
-    WorstCaseBuilder::conflict_heavy(w, e, b, stride).build(n)
+///
+/// # Errors
+///
+/// Same conditions as [`worst_case`].
+pub fn conflict_heavy(
+    w: usize,
+    e: usize,
+    b: usize,
+    n: usize,
+    stride: usize,
+) -> Result<Vec<u32>, WcmsError> {
+    WorstCaseBuilder::conflict_heavy(w, e, b, stride)?.build(n)
 }
 
 #[cfg(test)]
@@ -57,7 +84,7 @@ mod tests {
     #[test]
     fn worst_case_is_permutation() {
         let n = 16 * 3 * 16 * 4; // w=16,E=3,b=16 → bE=48, ×4 blocks… n = 3072
-        let xs = worst_case(16, 3, 32, 3 * 32 * 8);
+        let xs = worst_case(16, 3, 32, 3 * 32 * 8).unwrap();
         let mut s = xs.clone();
         s.sort_unstable();
         assert!(s.iter().enumerate().all(|(i, &v)| v == i as u32));
@@ -68,7 +95,7 @@ mod tests {
     fn padded_handles_arbitrary_sizes() {
         let (w, e, b) = (16, 3, 32);
         let n = 1000; // not bE·2^m (bE = 96)
-        let xs = worst_case_padded(w, e, b, n);
+        let xs = worst_case_padded(w, e, b, n).unwrap();
         assert_eq!(xs.len(), n);
         let mut s = xs.clone();
         s.sort_unstable();
@@ -79,13 +106,16 @@ mod tests {
     fn padded_passthrough_on_valid_sizes() {
         let (w, e, b) = (16, 3, 32);
         let n = 96 * 4;
-        assert_eq!(worst_case_padded(w, e, b, n), worst_case(w, e, b, n));
+        assert_eq!(worst_case_padded(w, e, b, n).unwrap(), worst_case(w, e, b, n).unwrap());
     }
 
     #[test]
     fn family_members_are_distinct() {
         let n = 96 * 4;
-        assert_ne!(worst_case_family(16, 3, 32, n, 1), worst_case_family(16, 3, 32, n, 2));
+        assert_ne!(
+            worst_case_family(16, 3, 32, n, 1).unwrap(),
+            worst_case_family(16, 3, 32, n, 2).unwrap()
+        );
     }
 
     #[test]
@@ -103,7 +133,7 @@ mod tests {
 
     #[test]
     fn conflict_heavy_is_permutation() {
-        let xs = conflict_heavy(16, 3, 32, 96 * 8, 2);
+        let xs = conflict_heavy(16, 3, 32, 96 * 8, 2).unwrap();
         let mut s = xs.clone();
         s.sort_unstable();
         assert!(s.iter().enumerate().all(|(i, &v)| v == i as u32));

@@ -1,72 +1,149 @@
 //! Saving and loading key datasets.
 //!
-//! A tiny self-describing binary format (magic, version, key count,
-//! little-endian `u32` keys) so that expensive adversarial inputs can be
-//! generated once and replayed — e.g. to hand a constructed permutation
-//! to an external CUDA harness on a real GPU.
+//! A self-describing binary format so that expensive adversarial inputs
+//! can be generated once and replayed — e.g. to hand a constructed
+//! permutation to an external CUDA harness on a real GPU.
+//!
+//! Version 2 layout (all little-endian):
+//!
+//! ```text
+//! magic    8 B   "WCMSKEYS"
+//! version  4 B   2
+//! width    4 B   key width in bytes (4 for u32 keys)
+//! count    8 B   number of keys
+//! payload  count × width bytes
+//! checksum 8 B   FNV-1a 64 over the payload bytes
+//! ```
+//!
+//! Version 1 files (no width field, no checksum) remain readable. The
+//! decoder is strict: wrong magic, unsupported version, wrong key
+//! width, truncated payload, trailing bytes and checksum mismatches all
+//! surface as [`WcmsError::DatasetCorrupt`] — a fault-injection target
+//! as much as a file format.
 
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 8] = b"WCMSKEYS";
-const VERSION: u32 = 1;
+use wcms_error::WcmsError;
 
-/// Serialize `keys` into `w`.
+const MAGIC: &[u8; 8] = b"WCMSKEYS";
+const VERSION: u32 = 2;
+const KEY_WIDTH: u32 = 4;
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty to catch the
+/// bit-flips and truncations the fault injector produces.
+fn fnv1a(bytes: &[u8], state: u64) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Serialize `keys` into `w` (version-2 format, with checksum).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_keys<W: Write>(mut w: W, keys: &[u32]) -> io::Result<()> {
+pub fn write_keys<W: Write>(mut w: W, keys: &[u32]) -> Result<(), WcmsError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&KEY_WIDTH.to_le_bytes())?;
     w.write_all(&(keys.len() as u64).to_le_bytes())?;
     // Chunked conversion keeps peak memory at 64 KiB regardless of N.
     let mut buf = Vec::with_capacity(16384 * 4);
+    let mut checksum = FNV_OFFSET;
     for chunk in keys.chunks(16384) {
         buf.clear();
         for k in chunk {
             buf.extend_from_slice(&k.to_le_bytes());
         }
+        checksum = fnv1a(&buf, checksum);
         w.write_all(&buf)?;
     }
+    w.write_all(&checksum.to_le_bytes())?;
     Ok(())
 }
 
-/// Deserialize keys produced by [`write_keys`].
+fn corrupt(reason: impl Into<String>) -> WcmsError {
+    WcmsError::DatasetCorrupt { reason: reason.into() }
+}
+
+/// `read_exact` whose premature EOF is *corruption* (a truncated file),
+/// not a generic I/O failure.
+fn read_exact_or_corrupt<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), WcmsError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            corrupt(format!("truncated {what}"))
+        } else {
+            WcmsError::Io(e)
+        }
+    })
+}
+
+/// Deserialize keys produced by [`write_keys`] (either format version).
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic/version/length, and propagates
-/// I/O errors.
-pub fn read_keys<R: Read>(mut r: R) -> io::Result<Vec<u32>> {
+/// Returns [`WcmsError::DatasetCorrupt`] on a bad magic, unsupported
+/// version, wrong key width, truncated payload, trailing bytes or
+/// checksum mismatch; non-EOF reader failures surface as
+/// [`WcmsError::Io`].
+pub fn read_keys<R: Read>(mut r: R) -> Result<Vec<u32>, WcmsError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_exact_or_corrupt(&mut r, &mut magic, "header")?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a wcms key file"));
+        return Err(corrupt("not a wcms key file"));
     }
     let mut word = [0u8; 4];
-    r.read_exact(&mut word)?;
+    read_exact_or_corrupt(&mut r, &mut word, "header")?;
     let version = u32::from_le_bytes(word);
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported version {version}"),
-        ));
+    if version != 1 && version != VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    if version == VERSION {
+        read_exact_or_corrupt(&mut r, &mut word, "header")?;
+        let width = u32::from_le_bytes(word);
+        if width != KEY_WIDTH {
+            return Err(corrupt(format!("key width {width} B, expected {KEY_WIDTH} B")));
+        }
     }
     let mut len8 = [0u8; 8];
-    r.read_exact(&mut len8)?;
+    read_exact_or_corrupt(&mut r, &mut len8, "header")?;
     let len = u64::from_le_bytes(len8) as usize;
 
     let mut keys = Vec::with_capacity(len.min(1 << 24));
     let mut buf = vec![0u8; 16384 * 4];
     let mut remaining = len;
+    let mut checksum = FNV_OFFSET;
     while remaining > 0 {
         let take = remaining.min(16384);
         let bytes = &mut buf[..take * 4];
-        r.read_exact(bytes)?;
+        read_exact_or_corrupt(&mut r, bytes, "payload")?;
+        checksum = fnv1a(bytes, checksum);
         keys.extend(bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])));
         remaining -= take;
     }
-    Ok(keys)
+    if version == VERSION {
+        let mut sum8 = [0u8; 8];
+        read_exact_or_corrupt(&mut r, &mut sum8, "checksum")?;
+        let stored = u64::from_le_bytes(sum8);
+        if stored != checksum {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {checksum:#018x}"
+            )));
+        }
+    }
+    // A valid file ends exactly here: anything more means the count
+    // field undersells the payload (an oversized / spliced file).
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(keys),
+        Ok(_) => Err(corrupt("trailing bytes after payload")),
+        Err(e) => Err(WcmsError::Io(e)),
+    }
 }
 
 #[cfg(test)]
@@ -86,13 +163,14 @@ mod tests {
     fn header_size_is_fixed() {
         let mut buf = Vec::new();
         write_keys(&mut buf, &[1, 2, 3]).unwrap();
-        assert_eq!(buf.len(), 8 + 4 + 8 + 12);
+        // magic + version + width + count + payload + checksum
+        assert_eq!(buf.len(), 8 + 4 + 4 + 8 + 12 + 8);
     }
 
     #[test]
     fn rejects_bad_magic() {
         let err = read_keys(&b"NOTAKEYF\x01\x00\x00\x00"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, WcmsError::DatasetCorrupt { .. }), "{err}");
     }
 
     #[test]
@@ -102,14 +180,58 @@ mod tests {
         buf.extend_from_slice(&99u32.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         let err = read_keys(buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_key_width() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&8u32.to_le_bytes()); // u64 keys: unsupported
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_keys(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("key width 8"), "{err}");
     }
 
     #[test]
     fn rejects_truncated_payload() {
         let mut buf = Vec::new();
         write_keys(&mut buf, &[1u32, 2, 3]).unwrap();
-        buf.truncate(buf.len() - 2);
-        assert!(read_keys(buf.as_slice()).is_err());
+        buf.truncate(buf.len() - 10); // into the payload
+        let err = read_keys(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, WcmsError::DatasetCorrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut buf = Vec::new();
+        write_keys(&mut buf, &[1u32, 2, 3]).unwrap();
+        buf.push(0);
+        let err = read_keys(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn detects_payload_bit_flip() {
+        let mut buf = Vec::new();
+        write_keys(&mut buf, &(0..64u32).collect::<Vec<_>>()).unwrap();
+        buf[8 + 4 + 4 + 8 + 17] ^= 0x40; // flip one payload bit
+        let err = read_keys(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn reads_legacy_v1_files() {
+        // v1: magic + version + count + payload, no width, no checksum.
+        let keys = [9u32, 8, 7];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        for k in keys {
+            buf.extend_from_slice(&k.to_le_bytes());
+        }
+        assert_eq!(read_keys(buf.as_slice()).unwrap(), keys);
     }
 }

@@ -77,9 +77,20 @@ impl WorkloadSpec {
     /// Generate `n` keys for a sort parameterized by `(w, E, b)` (only
     /// the adversarial classes use the parameters). Adversarial classes
     /// require `n = bE·2^m`.
-    #[must_use]
-    pub fn generate(&self, n: usize, w: usize, e: usize, b: usize) -> Vec<u32> {
-        match *self {
+    ///
+    /// # Errors
+    ///
+    /// The adversarial classes reject parameters with no construction
+    /// and lengths that are not `bE·2^m` (see
+    /// [`adversarial::worst_case`]); the oblivious classes never fail.
+    pub fn generate(
+        &self,
+        n: usize,
+        w: usize,
+        e: usize,
+        b: usize,
+    ) -> Result<Vec<u32>, wcms_error::WcmsError> {
+        Ok(match *self {
             WorkloadSpec::Random { seed } => random::uniform_u32(n, seed),
             WorkloadSpec::RandomPermutation { seed } => random::random_permutation(n, seed),
             WorkloadSpec::Sorted => sorted::sorted(n),
@@ -87,14 +98,14 @@ impl WorkloadSpec {
             WorkloadSpec::KSwaps { swaps, seed } => nearly::k_swaps(n, swaps, seed),
             WorkloadSpec::FewDistinct { distinct, seed } => dist::few_distinct(n, distinct, seed),
             WorkloadSpec::Sawtooth { teeth } => dist::sawtooth(n, teeth),
-            WorkloadSpec::WorstCase => adversarial::worst_case(w, e, b, n),
+            WorkloadSpec::WorstCase => adversarial::worst_case(w, e, b, n)?,
             WorkloadSpec::WorstCaseFamily { seed } => {
-                adversarial::worst_case_family(w, e, b, n, seed)
+                adversarial::worst_case_family(w, e, b, n, seed)?
             }
             WorkloadSpec::ConflictHeavy { stride } => {
-                adversarial::conflict_heavy(w, e, b, n, stride)
+                adversarial::conflict_heavy(w, e, b, n, stride)?
             }
-        }
+        })
     }
 
     /// Reseeded variant for multi-run averaging (non-random classes are
@@ -140,9 +151,13 @@ mod tests {
     #[test]
     fn generate_matches_class() {
         let n = 16 * 3 * 32 * 2; // valid for (w=16, E=3, b=32)
-        assert!(WorkloadSpec::Sorted.generate(n, 16, 3, 32).windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(WorkloadSpec::Reverse.generate(5, 16, 3, 32), vec![4, 3, 2, 1, 0]);
-        let wc = WorkloadSpec::WorstCase.generate(n, 16, 3, 32);
+        assert!(WorkloadSpec::Sorted
+            .generate(n, 16, 3, 32)
+            .unwrap()
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+        assert_eq!(WorkloadSpec::Reverse.generate(5, 16, 3, 32).unwrap(), vec![4, 3, 2, 1, 0]);
+        let wc = WorkloadSpec::WorstCase.generate(n, 16, 3, 32).unwrap();
         assert_eq!(wc.len(), n);
     }
 

@@ -9,9 +9,10 @@
 use wcms::adversary::evaluate::{access_matrix, evaluate};
 use wcms::adversary::sorted_case::sorted_warp;
 use wcms::adversary::{construct, theorem_aligned_count, WarpAssignment};
+use wcms::WcmsError;
 
-fn show(title: &str, asg: &WarpAssignment) {
-    let ev = evaluate(asg);
+fn show(title: &str, asg: &WarpAssignment) -> Result<(), WcmsError> {
+    let ev = evaluate(asg)?;
     println!("== {title}");
     println!(
         "   aligned {} of {} window elements; per-step degrees {:?}",
@@ -20,30 +21,32 @@ fn show(title: &str, asg: &WarpAssignment) {
         ev.degrees
     );
     println!("{}", access_matrix(asg).render());
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), WcmsError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() == 2 {
-        let w: usize = args[0].parse().expect("w");
-        let e: usize = args[1].parse().expect("E");
-        let asg = construct(w, e);
+        let w: usize = args[0].parse().map_err(|_| WcmsError::ZeroParam { name: "w" })?;
+        let e: usize = args[1].parse().map_err(|_| WcmsError::ZeroParam { name: "E" })?;
+        let asg = construct(w, e)?;
         show(
-            &format!("worst case w={w}, E={e} (theorem: {} aligned)", theorem_aligned_count(w, e)),
+            &format!("worst case w={w}, E={e} (theorem: {} aligned)", theorem_aligned_count(w, e)?),
             &asg,
-        );
-        return;
+        )?;
+        return Ok(());
     }
 
     // Fig. 1: sorted order, w = 16, E = 12, gcd = 4 — every 4th thread's
     // column aligns; 4-way conflicts every step.
-    show("Fig. 1 — sorted order, w=16, E=12, gcd=4", &sorted_warp(16, 12));
+    show("Fig. 1 — sorted order, w=16, E=12, gcd=4", &sorted_warp(16, 12))?;
 
     // Fig. 3 left: the small-E construction, w = 16, E = 7 → E² = 49
     // aligned elements, 7-way conflict in each of the 7 steps.
-    show("Fig. 3 (left) — constructed worst case, w=16, E=7", &construct(16, 7));
+    show("Fig. 3 (left) — constructed worst case, w=16, E=7", &construct(16, 7)?)?;
 
     // Fig. 3 right: the large-E construction, w = 16, E = 9 (r = 7) →
     // 80 aligned elements on the last 9 banks.
-    show("Fig. 3 (right) — constructed worst case, w=16, E=9", &construct(16, 9));
+    show("Fig. 3 (right) — constructed worst case, w=16, E=9", &construct(16, 9)?)?;
+    Ok(())
 }

@@ -9,17 +9,18 @@ use std::io::BufWriter;
 
 use wcms::adversary::WorstCaseBuilder;
 use wcms::workloads::dataset::{read_keys, write_keys};
+use wcms::WcmsError;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), WcmsError> {
     let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let e = args.first().copied().unwrap_or(15);
     let b = args.get(1).copied().unwrap_or(512);
     let doublings = args.get(2).copied().unwrap_or(6) as u32;
 
-    let builder = WorstCaseBuilder::new(32, e, b);
+    let builder = WorstCaseBuilder::new(32, e, b)?;
     let n = builder.block_elems() << doublings;
     println!("building worst-case input: w=32, E={e}, b={b}, N={n}");
-    let keys = builder.build(n);
+    let keys = builder.build(n)?;
 
     let path = std::env::temp_dir().join(format!("wcms_worst_e{e}_b{b}_n{n}.keys"));
     write_keys(BufWriter::new(File::create(&path)?), &keys)?;

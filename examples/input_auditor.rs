@@ -11,11 +11,12 @@ use wcms::workloads::dist::{few_distinct, sawtooth};
 use wcms::workloads::nearly::k_swaps;
 use wcms::workloads::random::random_permutation;
 use wcms::workloads::sorted::{reverse_sorted, sorted};
+use wcms::WcmsError;
 
-fn main() {
-    let params = SortParams::new(32, 15, 128);
+fn main() -> Result<(), WcmsError> {
+    let params = SortParams::new(32, 15, 128)?;
     let n = params.block_elems() * 16;
-    let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
+    let builder = WorstCaseBuilder::new(params.w, params.e, params.b)?;
 
     println!("tuning: w=32, E=15, b=128; N={n}; provable worst case beta2 = 15\n");
     println!(
@@ -33,13 +34,13 @@ fn main() {
         ("sawtooth(16)", sawtooth(n, 16)),
         (
             "conflict-heavy",
-            WorstCaseBuilder::conflict_heavy(params.w, params.e, params.b, 8).build(n),
+            WorstCaseBuilder::conflict_heavy(params.w, params.e, params.b, 8)?.build(n)?,
         ),
-        ("half-adversarial", builder.build_partial(n, 2)),
-        ("constructed worst", builder.build(n)),
+        ("half-adversarial", builder.build_partial(n, 2)?),
+        ("constructed worst", builder.build(n)?),
     ];
     for (label, input) in inputs {
-        let a = assess_input(&input, &params);
+        let a = assess_input(&input, &params)?;
         println!(
             "{label:<22} {:>8.2} {:>8.2} {:>9.0}% {:>14.3} {:>16?}",
             a.beta1,
@@ -52,4 +53,5 @@ fn main() {
     println!("\nOnly the constructed permutation reaches the bound; everything a user");
     println!("is likely to feed the sort stays benign — which is exactly the paper's");
     println!("point about worst-case variance hiding behind random-input benchmarks.");
+    Ok(())
 }

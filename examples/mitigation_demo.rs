@@ -10,12 +10,13 @@ use wcms::adversary::WorstCaseBuilder;
 use wcms::gpu::{DeviceSpec, Occupancy};
 use wcms::mergesort::{sort_with_report, SortParams};
 use wcms::workloads::random::random_permutation;
+use wcms::WcmsError;
 
-fn main() {
-    let flat = SortParams::new(32, 15, 128);
-    let padded = SortParams::new(32, 15, 128).with_padding();
+fn main() -> Result<(), WcmsError> {
+    let flat = SortParams::new(32, 15, 128)?;
+    let padded = SortParams::new(32, 15, 128)?.with_padding();
     let n = flat.block_elems() * 16;
-    let worst = WorstCaseBuilder::new(flat.w, flat.e, flat.b).build(n);
+    let worst = WorstCaseBuilder::new(flat.w, flat.e, flat.b)?.build(n)?;
     let random = random_permutation(n, 3);
 
     println!("w=32, E=15, b=128, N={n}\n");
@@ -29,7 +30,7 @@ fn main() {
         ("padded + worst-case", &padded, &worst),
         ("padded + random", &padded, &random),
     ] {
-        let (out, report) = sort_with_report(input, params);
+        let (out, report) = sort_with_report(input, params)?;
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
         println!(
             "{label:<22} {:>12.2} {:>12.3} {:>16} {:>12}",
@@ -46,7 +47,7 @@ fn main() {
         let of = Occupancy::compute(&device, flat.b, flat.shared_bytes());
         let op = Occupancy::compute(&device, padded.b, padded.shared_bytes());
         match (of, op) {
-            (Some(a), Some(b)) => println!(
+            (Ok(a), Ok(b)) => println!(
                 "  {:<14} {} -> {} blocks/SM ({:.0}% -> {:.0}%)",
                 device.name,
                 a.blocks_per_sm,
@@ -62,4 +63,5 @@ fn main() {
     println!("coalescing of the tile transfers (a lane pair straddles each row");
     println!("boundary), costing random inputs ~18% extra shared cycles. Worst-case");
     println!("analysis quantifies exactly this trade-off — the paper's Conclusion 1.");
+    Ok(())
 }

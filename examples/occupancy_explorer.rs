@@ -6,14 +6,15 @@
 
 use wcms::gpu::{DeviceSpec, Occupancy};
 use wcms::mergesort::SortParams;
+use wcms::WcmsError;
 
-fn main() {
+fn main() -> Result<(), WcmsError> {
     let tunings = [
-        SortParams::new(32, 15, 512),
-        SortParams::new(32, 17, 256),
-        SortParams::new(32, 15, 128),
-        SortParams::new(32, 11, 256),
-        SortParams::new(32, 7, 256),
+        SortParams::new(32, 15, 512)?,
+        SortParams::new(32, 17, 256)?,
+        SortParams::new(32, 15, 128)?,
+        SortParams::new(32, 11, 256)?,
+        SortParams::new(32, 7, 256)?,
     ];
     for device in DeviceSpec::presets() {
         println!(
@@ -30,7 +31,7 @@ fn main() {
         );
         for p in &tunings {
             match Occupancy::compute(&device, p.b, p.shared_bytes()) {
-                Some(o) => println!(
+                Ok(o) => println!(
                     "{:>6} {:>6} {:>10.1} {:>10} {:>12} {:>9.0}% {:>14}",
                     p.e,
                     p.b,
@@ -40,7 +41,7 @@ fn main() {
                     o.fraction * 100.0,
                     o.limiter
                 ),
-                None => println!(
+                Err(_) => println!(
                     "{:>6} {:>6} {:>10.1}   does not fit",
                     p.e,
                     p.b,
@@ -53,4 +54,5 @@ fn main() {
     println!("(paper §IV-A: on the RTX 2080 Ti, E=17/b=256 → 3 blocks × 17 KiB = 75%;");
     println!(" E=15/b=512 → 2 blocks × 30 KiB = 100% — hence the expectation that");
     println!(" E=15/b=512 wins on random inputs, which Fig. 5 confirms.)");
+    Ok(())
 }

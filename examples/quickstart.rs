@@ -8,12 +8,13 @@ use wcms::adversary::WorstCaseBuilder;
 use wcms::gpu::{CostModel, DeviceSpec, Occupancy};
 use wcms::mergesort::{sort_with_report, SortParams};
 use wcms::workloads::random::random_permutation;
+use wcms::WcmsError;
 
-fn main() {
+fn main() -> Result<(), WcmsError> {
     // Thrust's tuning for the Quadro M4000: E = 15 elements per thread,
     // b = 512 threads per block (§IV-A of the paper).
     let device = DeviceSpec::quadro_m4000();
-    let params = SortParams::thrust(&device);
+    let params = SortParams::thrust(&device)?;
     println!(
         "device: {} (cc {}.{})",
         device.name, device.compute_capability.0, device.compute_capability.1
@@ -30,11 +31,11 @@ fn main() {
 
     // The adversarial permutation: every warp of every global merge round
     // degenerates to E-way bank conflicts.
-    let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
-    let worst = builder.build(n);
+    let builder = WorstCaseBuilder::new(params.w, params.e, params.b)?;
+    let worst = builder.build(n)?;
     let random = random_permutation(n, 42);
 
-    let occ = Occupancy::compute(&device, params.b, params.shared_bytes()).unwrap();
+    let occ = Occupancy::compute(&device, params.b, params.shared_bytes())?;
     println!(
         "occupancy: {} blocks/SM, {} threads/SM ({:.0}%), limited by {}\n",
         occ.blocks_per_sm,
@@ -46,7 +47,7 @@ fn main() {
     let model = CostModel::default();
     let mut times = Vec::new();
     for (label, input) in [("random", &random), ("worst-case", &worst)] {
-        let (sorted, report) = sort_with_report(input, &params);
+        let (sorted, report) = sort_with_report(input, &params)?;
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
         let t = model.estimate(&device, &occ, &report.kernel_counters(), report.blocks_launched());
         times.push(t.total_s);
@@ -69,4 +70,5 @@ fn main() {
         "slowdown of the constructed input vs. random: {:.1}%",
         (times[1] / times[0] - 1.0) * 100.0
     );
+    Ok(())
 }

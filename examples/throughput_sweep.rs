@@ -9,16 +9,17 @@ use wcms::gpu::{CostModel, DeviceSpec, Occupancy};
 use wcms::mergesort::{sort_with_report, SortParams};
 use wcms::workloads::random::random_permutation;
 use wcms::workloads::sorted::{reverse_sorted, sorted};
+use wcms::WcmsError;
 
-fn main() {
+fn main() -> Result<(), WcmsError> {
     let device = match std::env::args().nth(1).as_deref() {
         Some("rtx") => DeviceSpec::rtx_2080_ti(),
         _ => DeviceSpec::quadro_m4000(),
     };
-    let params = SortParams::thrust(&device);
-    let occ = Occupancy::compute(&device, params.b, params.shared_bytes()).unwrap();
+    let params = SortParams::thrust(&device)?;
+    let occ = Occupancy::compute(&device, params.b, params.shared_bytes())?;
     let model = CostModel::default();
-    let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
+    let builder = WorstCaseBuilder::new(params.w, params.e, params.b)?;
 
     println!("device={}, E={}, b={}", device.name, params.e, params.b);
     println!(
@@ -30,19 +31,19 @@ fn main() {
         "", "(ME/s)", "(ME/s)", "(ME/s)", "(ME/s)", "(ME/s)"
     );
 
-    let heavy_builder = WorstCaseBuilder::conflict_heavy(params.w, params.e, params.b, 8);
+    let heavy_builder = WorstCaseBuilder::conflict_heavy(params.w, params.e, params.b, 8)?;
     for doublings in 1..=6u32 {
         let n = params.block_elems() << doublings;
         let inputs: Vec<(&str, Vec<u32>)> = vec![
             ("random", random_permutation(n, 7)),
-            ("worst", builder.build(n)),
-            ("heavy", heavy_builder.build(n)),
+            ("worst", builder.build(n)?),
+            ("heavy", heavy_builder.build(n)?),
             ("sorted", sorted(n)),
             ("reverse", reverse_sorted(n)),
         ];
         print!("{n:>10}");
         for (_, input) in &inputs {
-            let (_, report) = sort_with_report(input, &params);
+            let (_, report) = sort_with_report(input, &params)?;
             let t =
                 model.estimate(&device, &occ, &report.kernel_counters(), report.blocks_launched());
             print!(" {:>12.0}", n as f64 / t.total_s / 1e6);
@@ -50,4 +51,5 @@ fn main() {
         println!();
     }
     println!("\n(worst < heavy < random, sorted fastest: the paper's ordering)");
+    Ok(())
 }

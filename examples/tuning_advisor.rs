@@ -8,10 +8,15 @@
 
 use wcms::adversary::sorted_case::sorted_aligned_count;
 use wcms::adversary::{construct, evaluate, theorem_aligned_count};
+use wcms::WcmsError;
 
-fn main() {
+fn main() -> Result<(), WcmsError> {
     let w: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(32);
-    assert!(w.is_power_of_two() && w >= 8, "w must be a power of two >= 8");
+    if !w.is_power_of_two() || w < 8 {
+        return Err(WcmsError::InvalidAssignment {
+            reason: format!("w = {w} must be a power of two >= 8"),
+        });
+    }
 
     println!("warp width w = {w}");
     println!(
@@ -19,9 +24,9 @@ fn main() {
         "E", "case", "theorem", "measured", "worst beta2", "cap E^2", "searches/N"
     );
     for e in (3..w).step_by(2) {
-        let asg = construct(w, e);
-        let ev = evaluate(&asg);
-        let theorem = theorem_aligned_count(w, e);
+        let asg = construct(w, e)?;
+        let ev = evaluate(&asg)?;
+        let theorem = theorem_aligned_count(w, e)?;
         let case = if e < w / 2 { "small" } else { "large" };
         // Partitioning work per element scales as 1/E: fewer elements per
         // thread → more merge-path searches per round (§III-C).
@@ -45,4 +50,5 @@ fn main() {
     println!("Reading: small E caps the adversary at E^2 <= w^2/4 conflicts but pays");
     println!("1/E extra partitioning searches; large E approaches w^2/2 conflicts.");
     println!("The libraries' E = 15, 17 for w = 32 sit exactly at the balance point.");
+    Ok(())
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Smoke test for the fault-tolerant sweep harness:
+#
+#   1. an uninterrupted `fig4 --quick` sweep records its CSV;
+#   2. a second sweep is SIGKILLed mid-run, leaving a partial
+#      checkpoint store in results/.checkpoint/fig4;
+#   3. a `--resume` run completes from the surviving checkpoints;
+#   4. the resumed CSV must be byte-identical to the uninterrupted one
+#      (the checkpoint codec round-trips every f64 exactly);
+#   5. the deterministic fault-injection suites run at their fixed seeds.
+#
+# Run from anywhere inside the repository: ./scripts/resilience_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p wcms-bench --bin fig4
+FIG4=target/release/fig4
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+"$FIG4" --quick > "$SCRATCH/clean.csv"
+
+# Kill a fresh sweep mid-run. SIGKILL, so nothing gets to flush or tidy
+# up — torn checkpoint files must be tolerated by the resume path. The
+# sweep may occasionally finish inside the grace period; the resume run
+# then exercises the everything-cached path, which must also hold.
+timeout -s KILL 2 "$FIG4" --quick > /dev/null || true
+
+"$FIG4" --quick --resume > "$SCRATCH/resumed.csv"
+diff -u "$SCRATCH/clean.csv" "$SCRATCH/resumed.csv"
+echo "resume OK: resumed sweep is byte-identical to the uninterrupted one"
+
+# The fault-injection suites are seeded and deterministic; any flake
+# here is a real bug.
+cargo test --release -p wcms-gpu-sim fault
+cargo test --release -p wcms-mergesort fault
+cargo test --release -p wcms-workloads injected
+
+echo "resilience smoke passed"

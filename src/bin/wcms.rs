@@ -7,6 +7,11 @@
 //! wcms assess   --file worst.keys --e 15 --b 512
 //! wcms occupancy
 //! ```
+//!
+//! Every failure path — invalid `(w, E, b)` geometry, a configuration
+//! that does not fit the device, a corrupt key file — surfaces as a
+//! typed [`WcmsError`] printed to stderr with a non-zero exit code;
+//! nothing panics on user input.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -20,6 +25,7 @@ use wcms::mergesort::assess_input;
 use wcms::mergesort::{sort_with_report, SortParams};
 use wcms::workloads::dataset::{read_keys, write_keys};
 use wcms::workloads::random::random_permutation;
+use wcms::WcmsError;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -60,133 +66,166 @@ fn main() -> ExitCode {
     let e = flag_usize(&flags, "e", 15);
     let b = flag_usize(&flags, "b", 512);
 
-    match cmd.as_str() {
-        "generate" => {
-            let builder = WorstCaseBuilder::new(w, e, b);
-            let n = flag_usize(&flags, "n", builder.block_elems() * 64);
-            let n = if builder.valid_len(n) { n } else { builder.next_valid_len(n) };
-            let keys = builder.build(n);
-            match flags.get("out") {
-                Some(path) if !path.is_empty() => {
-                    let file = match File::create(path) {
-                        Ok(f) => f,
-                        Err(err) => {
-                            eprintln!("cannot create {path}: {err}");
-                            return ExitCode::FAILURE;
-                        }
-                    };
-                    if let Err(err) = write_keys(BufWriter::new(file), &keys) {
-                        eprintln!("write failed: {err}");
-                        return ExitCode::FAILURE;
-                    }
-                    println!("wrote {n} keys to {path}");
-                }
-                _ => println!(
-                    "built {n} keys (pass --out FILE to save); first 16: {:?}",
-                    &keys[..16.min(n)]
-                ),
-            }
-            ExitCode::SUCCESS
+    let run = match cmd.as_str() {
+        "generate" => generate(&flags, w, e, b),
+        "evaluate" => evaluate_cmd(w, e),
+        "sort" => sort_cmd(&flags, w, e, b),
+        "assess" => assess_cmd(&flags, w, e, b),
+        "occupancy" => occupancy_cmd(e, b),
+        _ => return usage(),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("wcms {cmd}: {err}");
+            ExitCode::FAILURE
         }
-        "evaluate" => {
-            let asg = construct(w, e);
-            let ev = evaluate(&asg);
-            println!(
-                "w = {w}, E = {e} ({})",
-                if e < w / 2 { "small case, Theorem 3" } else { "large case, Theorem 9" }
-            );
-            println!("theorem aligned count: {}", theorem_aligned_count(w, e));
-            println!("measured aligned:      {}", ev.aligned);
-            println!("merge-stage cycles:    {} (conflict-free would be {e})", ev.cycles());
-            println!("effective parallelism: {} -> {} threads/warp", w, w.div_ceil(e));
-            println!("\naccess matrix (rows = banks; = aligned, ! misaligned, . filler):");
-            println!("{}", access_matrix(&asg).render());
-            ExitCode::SUCCESS
-        }
-        "sort" => {
-            let params = SortParams::new(w, e, b);
-            let n = {
-                let raw = flag_usize(&flags, "n", params.block_elems() * 16);
-                if params.valid_len(raw) {
-                    raw
-                } else {
-                    params.next_valid_len(raw)
-                }
-            };
-            let input = match flags.get("input").map(String::as_str).unwrap_or("worst") {
-                "worst" => WorstCaseBuilder::new(w, e, b).build(n),
-                "random" => random_permutation(n, 42),
-                "sorted" => (0..n as u32).collect(),
-                "reverse" => (0..n as u32).rev().collect(),
-                "heavy" => WorstCaseBuilder::conflict_heavy(w, e, b, 8.min(e - 1)).build(n),
-                other => {
-                    eprintln!("unknown --input {other}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let (out, report) = sort_with_report(&input, &params);
-            assert!(out.windows(2).all(|x| x[0] <= x[1]));
-            let device = DeviceSpec::quadro_m4000();
-            let occ = Occupancy::compute(&device, b, params.shared_bytes()).expect("fits");
-            let t = CostModel::default().estimate(
-                &device,
-                &occ,
-                &report.kernel_counters(),
-                report.blocks_launched(),
-            );
-            println!("sorted {n} keys ({} global rounds)", report.rounds.len());
-            println!(
-                "beta1 = {:.2}, beta2 = {:.2}",
-                report.global_beta1().unwrap_or(1.0),
-                report.global_beta2().unwrap_or(1.0)
-            );
-            println!("conflicts/element = {:.3}", report.conflicts_per_element());
-            println!(
-                "modelled on {}: {:.3} ms ({:.0} ME/s)",
-                device.name,
-                t.total_s * 1e3,
-                n as f64 / t.total_s / 1e6
-            );
-            ExitCode::SUCCESS
-        }
-        "assess" => {
-            let Some(path) = flags.get("file").filter(|p| !p.is_empty()) else {
-                eprintln!("assess needs --file FILE (see `wcms generate --out`)");
-                return ExitCode::FAILURE;
-            };
-            let keys = match File::open(path).and_then(read_keys) {
-                Ok(k) => k,
-                Err(err) => {
-                    eprintln!("cannot read {path}: {err}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let params = SortParams::new(w, e, b);
-            let a = assess_input(&keys, &params);
-            println!("{} keys under w={w}, E={e}, b={b}:", keys.len());
-            println!(
-                "  beta1 = {:.2}, beta2 = {:.2} ({:.0}% of the provable worst case)",
-                a.beta1,
-                a.beta2,
-                a.worst_case_fraction * 100.0
-            );
-            println!("  conflicts/element = {:.3}", a.conflicts_per_element);
-            println!("  severity: {:?}", a.severity);
-            ExitCode::SUCCESS
-        }
-        "occupancy" => {
-            for device in DeviceSpec::presets() {
-                let params = SortParams::new(w.min(device.warp_size.max(w)), e, b);
-                match Occupancy::compute(&device, b, params.shared_bytes()) {
-                    Some(o) => println!(
-                        "{:<14} E={e:<3} b={b:<4}: {} blocks/SM, {:>4} threads/SM ({:>3.0}%), {}-limited",
-                        device.name, o.blocks_per_sm, o.threads_per_sm, o.fraction * 100.0, o.limiter
-                    ),
-                    None => println!("{:<14} E={e:<3} b={b:<4}: does not fit", device.name),
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        _ => usage(),
     }
+}
+
+fn generate(
+    flags: &HashMap<String, String>,
+    w: usize,
+    e: usize,
+    b: usize,
+) -> Result<(), WcmsError> {
+    let builder = WorstCaseBuilder::new(w, e, b)?;
+    let n = flag_usize(flags, "n", builder.block_elems() * 64);
+    let n = if builder.valid_len(n) { n } else { builder.next_valid_len(n) };
+    let keys = builder.build(n)?;
+    match flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            let file = File::create(path)?;
+            write_keys(BufWriter::new(file), &keys)?;
+            println!("wrote {n} keys to {path}");
+        }
+        _ => {
+            println!("built {n} keys (pass --out FILE to save); first 16: {:?}", &keys[..16.min(n)])
+        }
+    }
+    Ok(())
+}
+
+fn evaluate_cmd(w: usize, e: usize) -> Result<(), WcmsError> {
+    let asg = construct(w, e)?;
+    let ev = evaluate(&asg)?;
+    println!(
+        "w = {w}, E = {e} ({})",
+        if e < w / 2 { "small case, Theorem 3" } else { "large case, Theorem 9" }
+    );
+    println!("theorem aligned count: {}", theorem_aligned_count(w, e)?);
+    println!("measured aligned:      {}", ev.aligned);
+    println!("merge-stage cycles:    {} (conflict-free would be {e})", ev.cycles());
+    println!("effective parallelism: {} -> {} threads/warp", w, w.div_ceil(e));
+    println!("\naccess matrix (rows = banks; = aligned, ! misaligned, . filler):");
+    println!("{}", access_matrix(&asg).render());
+    Ok(())
+}
+
+fn sort_cmd(
+    flags: &HashMap<String, String>,
+    w: usize,
+    e: usize,
+    b: usize,
+) -> Result<(), WcmsError> {
+    let params = SortParams::new(w, e, b)?;
+    let n = {
+        let raw = flag_usize(flags, "n", params.block_elems() * 16);
+        if params.valid_len(raw) {
+            raw
+        } else {
+            params.next_valid_len(raw)
+        }
+    };
+    let input = match flags.get("input").map(String::as_str).unwrap_or("worst") {
+        "worst" => WorstCaseBuilder::new(w, e, b)?.build(n)?,
+        "random" => random_permutation(n, 42),
+        "sorted" => (0..n as u32).collect(),
+        "reverse" => (0..n as u32).rev().collect(),
+        "heavy" => WorstCaseBuilder::conflict_heavy(w, e, b, 8.min(e - 1))?.build(n)?,
+        other => {
+            return Err(WcmsError::InvalidAssignment {
+                reason: format!("unknown --input {other} (worst|random|sorted|reverse|heavy)"),
+            })
+        }
+    };
+    let (out, report) = sort_with_report(&input, &params)?;
+    assert!(out.windows(2).all(|x| x[0] <= x[1]));
+    let device = DeviceSpec::quadro_m4000();
+    // Name the full (E, b, device) triple when the configuration does
+    // not fit, instead of the old `.expect("fits")` panic.
+    let occ = Occupancy::compute(&device, b, params.shared_bytes()).map_err(|err| match err {
+        WcmsError::OccupancyMisfit { device, block_threads, shared_bytes, reason } => {
+            WcmsError::OccupancyMisfit {
+                device,
+                block_threads,
+                shared_bytes,
+                reason: format!("E={e}: {reason}"),
+            }
+        }
+        other => other,
+    })?;
+    let t = CostModel::default().estimate(
+        &device,
+        &occ,
+        &report.kernel_counters(),
+        report.blocks_launched(),
+    );
+    println!("sorted {n} keys ({} global rounds)", report.rounds.len());
+    println!(
+        "beta1 = {:.2}, beta2 = {:.2}",
+        report.global_beta1().unwrap_or(1.0),
+        report.global_beta2().unwrap_or(1.0)
+    );
+    println!("conflicts/element = {:.3}", report.conflicts_per_element());
+    println!(
+        "modelled on {}: {:.3} ms ({:.0} ME/s)",
+        device.name,
+        t.total_s * 1e3,
+        n as f64 / t.total_s / 1e6
+    );
+    Ok(())
+}
+
+fn assess_cmd(
+    flags: &HashMap<String, String>,
+    w: usize,
+    e: usize,
+    b: usize,
+) -> Result<(), WcmsError> {
+    let Some(path) = flags.get("file").filter(|p| !p.is_empty()) else {
+        return Err(WcmsError::DatasetCorrupt {
+            reason: "assess needs --file FILE (see `wcms generate --out`)".into(),
+        });
+    };
+    let keys = read_keys(File::open(path)?)?;
+    let params = SortParams::new(w, e, b)?;
+    let a = assess_input(&keys, &params)?;
+    println!("{} keys under w={w}, E={e}, b={b}:", keys.len());
+    println!(
+        "  beta1 = {:.2}, beta2 = {:.2} ({:.0}% of the provable worst case)",
+        a.beta1,
+        a.beta2,
+        a.worst_case_fraction * 100.0
+    );
+    println!("  conflicts/element = {:.3}", a.conflicts_per_element);
+    println!("  severity: {:?}", a.severity);
+    Ok(())
+}
+
+fn occupancy_cmd(e: usize, b: usize) -> Result<(), WcmsError> {
+    for device in DeviceSpec::presets() {
+        let w = device.warp_size;
+        let params = SortParams::new(w, e, b)?;
+        match Occupancy::compute(&device, b, params.shared_bytes()) {
+            Ok(o) => {
+                println!(
+                "{:<14} E={e:<3} b={b:<4}: {} blocks/SM, {:>4} threads/SM ({:>3.0}%), {}-limited",
+                device.name, o.blocks_per_sm, o.threads_per_sm, o.fraction * 100.0, o.limiter
+            )
+            }
+            Err(err) => println!("{:<14} E={e:<3} b={b:<4}: does not fit ({err})", device.name),
+        }
+    }
+    Ok(())
 }

@@ -13,13 +13,17 @@
 //!   running on the simulator;
 //! * [`adversary`] — the paper's constructive worst-case input generator
 //!   (the core contribution);
-//! * [`workloads`] — seeded input distributions.
+//! * [`workloads`] — seeded input distributions;
+//! * [`error`] — the shared [`WcmsError`] taxonomy every crate reports
+//!   through.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use wcms_core as adversary;
 pub use wcms_dmm as dmm;
+pub use wcms_error as error;
+pub use wcms_error::{Result, WcmsError};
 pub use wcms_gpu_sim as gpu;
 pub use wcms_mergepath as mergepath;
 pub use wcms_mergesort as mergesort;

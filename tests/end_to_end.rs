@@ -14,18 +14,18 @@ use wcms::workloads::WorkloadSpec;
 #[test]
 fn slowdown_grows_with_rounds() {
     let device = DeviceSpec::rtx_2080_ti();
-    for params in [SortParams::new(32, 15, 128), SortParams::new(32, 17, 64)] {
+    for params in [SortParams::new(32, 15, 128).unwrap(), SortParams::new(32, 17, 64).unwrap()] {
         let occ = Occupancy::compute(&device, params.b, params.shared_bytes()).unwrap();
         let model = CostModel::default();
-        let builder = WorstCaseBuilder::new(params.w, params.e, params.b);
+        let builder = WorstCaseBuilder::new(params.w, params.e, params.b).unwrap();
         let mut last_slowdown = 0.0f64;
         for doublings in [2u32, 4, 6] {
             let n = params.block_elems() << doublings;
             let time = |input: &[u32]| {
-                let (_, r) = sort_with_report(input, &params);
+                let (_, r) = sort_with_report(input, &params).unwrap();
                 model.estimate(&device, &occ, &r.kernel_counters(), r.blocks_launched()).total_s
             };
-            let worst = time(&builder.build(n));
+            let worst = time(&builder.build(n).unwrap());
             let random = time(&random_permutation(n, 99));
             let slowdown = worst / random - 1.0;
             assert!(slowdown > 0.0, "E={} n={n}: no slowdown", params.e);
@@ -45,13 +45,13 @@ fn slowdown_grows_with_rounds() {
 #[test]
 fn analytic_and_simulated_conflicts_agree() {
     let (w, e, b) = (32usize, 7usize, 64usize);
-    let params = SortParams::new(w, e, b);
+    let params = SortParams::new(w, e, b).unwrap();
     let n = params.block_elems() * 4; // 2 global rounds
-    let input = WorstCaseBuilder::new(w, e, b).build(n);
-    let (_, report) = sort_with_report(&input, &params);
+    let input = WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap();
+    let (_, report) = sort_with_report(&input, &params).unwrap();
 
-    let asg = construct(w, e);
-    let per_warp = evaluate(&asg).cycles();
+    let asg = construct(w, e).unwrap();
+    let per_warp = evaluate(&asg).unwrap().cycles();
     // Per global round: blocks × warps-per-block warp-merges.
     let warp_merges = params.blocks_for(n) * params.warps_per_block();
     for (i, round) in report.rounds.iter().enumerate() {
@@ -67,15 +67,15 @@ fn analytic_and_simulated_conflicts_agree() {
 #[test]
 fn theorem_counts_survive_the_full_stack() {
     for (w, e, b) in [(32usize, 15usize, 64usize), (32, 17, 64)] {
-        let params = SortParams::new(w, e, b);
+        let params = SortParams::new(w, e, b).unwrap();
         let n = params.block_elems() * 2;
-        let input = WorstCaseBuilder::new(w, e, b).build(n);
-        let (_, report) = sort_with_report(&input, &params);
+        let input = WorstCaseBuilder::new(w, e, b).unwrap().build(n).unwrap();
+        let (_, report) = sort_with_report(&input, &params).unwrap();
         let round = &report.rounds[0];
         let warp_merges = params.blocks_for(n) * params.warps_per_block();
         // Aligned elements imply at least `theorem` conflict cycles per
         // warp-merge.
-        let floor = theorem_aligned_count(w, e) * warp_merges;
+        let floor = theorem_aligned_count(w, e).unwrap() * warp_merges;
         assert!(
             round.shared.merge.cycles >= floor,
             "w={w} E={e}: {} < {floor}",
@@ -87,7 +87,7 @@ fn theorem_counts_survive_the_full_stack() {
 /// Sorting correctness across every workload class the harness sweeps.
 #[test]
 fn all_workloads_sort_correctly() {
-    let params = SortParams::new(32, 5, 64);
+    let params = SortParams::new(32, 5, 64).unwrap();
     let n = params.block_elems() * 4;
     let specs = [
         WorkloadSpec::Random { seed: 1 },
@@ -102,9 +102,9 @@ fn all_workloads_sort_correctly() {
         WorkloadSpec::ConflictHeavy { stride: 2 },
     ];
     for spec in specs {
-        let input = spec.generate(n, params.w, params.e, params.b);
+        let input = spec.generate(n, params.w, params.e, params.b).unwrap();
         assert_eq!(input.len(), n, "{}", spec.label());
-        let (out, _) = sort_with_report(&input, &params);
+        let (out, _) = sort_with_report(&input, &params).unwrap();
         let mut want = input.clone();
         want.sort_unstable();
         assert_eq!(out, want, "workload {}", spec.label());
@@ -116,10 +116,10 @@ fn all_workloads_sort_correctly() {
 #[test]
 fn facade_paths_compose() {
     let device = DeviceSpec::quadro_m4000();
-    let params = SortParams::thrust(&device);
+    let params = SortParams::thrust(&device).unwrap();
     assert_eq!((params.e, params.b), (15, 512));
     let occ = Occupancy::compute(&device, params.b, params.shared_bytes()).unwrap();
     assert_eq!(occ.blocks_per_sm, 3);
-    let asg = wcms::adversary::construct(params.w, params.e);
-    assert_eq!(wcms::adversary::evaluate(&asg).aligned, 225);
+    let asg = wcms::adversary::construct(params.w, params.e).unwrap();
+    assert_eq!(wcms::adversary::evaluate(&asg).unwrap().aligned, 225);
 }

@@ -1,0 +1,114 @@
+//! End-to-end fault-tolerance suite through the public facade, at fixed
+//! seeds: the worst-case adversarial input sorted under injected faults
+//! must come out exactly sorted (zero silent corruption), datasets must
+//! fail loudly when torn, and a disabled injector must cost nothing.
+
+use wcms::adversary::WorstCaseBuilder;
+use wcms::gpu::fault::{FaultConfig, FaultInjector};
+use wcms::mergesort::{sort_resilient, sort_with_report, RecoveryPolicy, SortParams};
+use wcms::workloads::dataset::{read_keys, write_keys};
+use wcms::WcmsError;
+
+fn thrust_like() -> SortParams {
+    SortParams::new(8, 3, 16).unwrap() // scaled-down tile, same structure
+}
+
+/// The headline scenario: the paper's adversarial permutation sorted on
+/// a faulty machine. The adversary attacks the bank layout, the faults
+/// attack the data — the output must survive both.
+#[test]
+fn worst_case_input_survives_fault_storm() {
+    let p = thrust_like();
+    let n = p.block_elems() * 16;
+    let input = WorstCaseBuilder::new(p.w, p.e, p.b).unwrap().build(n).unwrap();
+    let mut want = input.clone();
+    want.sort_unstable();
+
+    for seed in [1u64, 42, 9999] {
+        let inj = FaultInjector::new(FaultConfig {
+            seed,
+            tile_bitflip_rate: 0.25,
+            corank_rate: 0.25,
+            ..FaultConfig::default()
+        });
+        let (out, report, faults) =
+            sort_resilient(&input, &p, &inj, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(out, want, "seed {seed}: silent corruption");
+        assert_eq!(report.n, n);
+        assert!(faults.counters.any_injected(), "seed {seed}: storm fired nothing");
+    }
+}
+
+/// Degraded units still leave the conflict counters usable: a hard
+/// tile fault wipes out the base case's GPU counters but the global
+/// rounds (whose flips can land outside a block's window) keep theirs,
+/// and the output is still exact.
+#[test]
+fn degradation_is_per_unit_not_global() {
+    let p = thrust_like();
+    let n = p.block_elems() * 8;
+    let input: Vec<u32> = (0..n as u32).rev().collect();
+    let inj = FaultInjector::new(FaultConfig {
+        seed: 5,
+        tile_bitflip_rate: 1.0,
+        ..FaultConfig::default()
+    });
+    let (out, _, faults) = sort_resilient(&input, &p, &inj, &RecoveryPolicy::default()).unwrap();
+    assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(faults.counters.cpu_fallbacks, faults.degraded.len());
+    // All 8 base blocks read their whole (always-corrupted) chunk.
+    assert!(faults.degraded.iter().filter(|(round, _)| *round == 0).count() == 8);
+}
+
+/// Recovery disabled: the same storm is a typed error, not bad data.
+#[test]
+fn fault_storm_without_fallback_fails_loudly() {
+    let p = thrust_like();
+    let input: Vec<u32> = (0..p.block_elems() as u32 * 2).rev().collect();
+    let inj = FaultInjector::new(FaultConfig {
+        seed: 5,
+        tile_bitflip_rate: 1.0,
+        ..FaultConfig::default()
+    });
+    let err =
+        sort_resilient(&input, &p, &inj, &RecoveryPolicy { max_retries: 0, cpu_fallback: false })
+            .unwrap_err();
+    assert!(matches!(err, WcmsError::FaultUnrecoverable { .. }), "{err}");
+}
+
+/// Resilience is free when off: output and every counter bit-identical
+/// to the plain driver on the adversarial input.
+#[test]
+fn disabled_injector_costs_nothing_on_worst_case() {
+    let p = thrust_like();
+    let n = p.block_elems() * 8;
+    let input = WorstCaseBuilder::new(p.w, p.e, p.b).unwrap().build(n).unwrap();
+    let (plain_out, plain_rep) = sort_with_report(&input, &p).unwrap();
+    let (out, rep, faults) =
+        sort_resilient(&input, &p, &FaultInjector::disabled(), &RecoveryPolicy::default()).unwrap();
+    assert_eq!(out, plain_out);
+    assert_eq!(rep, plain_rep);
+    assert!(faults.clean());
+}
+
+/// A dataset written for an external GPU harness, torn by the injector
+/// at any point: the reader reports a typed corruption error, never a
+/// short key vector.
+#[test]
+fn torn_dataset_reads_fail_loudly() {
+    let keys = WorstCaseBuilder::new(8, 3, 16).unwrap().build(96).unwrap();
+    let mut bytes = Vec::new();
+    write_keys(&mut bytes, &keys).unwrap();
+    assert_eq!(read_keys(&bytes[..]).unwrap(), keys, "intact file must round-trip");
+
+    let inj =
+        FaultInjector::new(FaultConfig { seed: 17, truncate_rate: 1.0, ..FaultConfig::default() });
+    for tag in 0..16 {
+        let cut = inj.truncate_dataset(bytes.len(), tag).unwrap();
+        let err = read_keys(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, WcmsError::DatasetCorrupt { .. } | WcmsError::Io(_)),
+            "cut {cut}: {err}"
+        );
+    }
+}

@@ -20,7 +20,7 @@ fn construction_cycle_counts_are_pinned() {
         ((64, 33), 1088),
     ];
     for ((w, e), cycles) in pinned {
-        assert_eq!(evaluate(&construct(w, e)).cycles(), cycles, "w={w} E={e}");
+        assert_eq!(evaluate(&construct(w, e).unwrap()).unwrap().cycles(), cycles, "w={w} E={e}");
     }
 }
 
@@ -28,10 +28,10 @@ fn construction_cycle_counts_are_pinned() {
 /// b=64, N=8·bE. Every number is bit-reproducible.
 #[test]
 fn pinned_sort_counters() {
-    let p = SortParams::new(32, 7, 64);
+    let p = SortParams::new(32, 7, 64).unwrap();
     let n = p.block_elems() * 8;
-    let input = WorstCaseBuilder::new(32, 7, 64).build(n);
-    let (out, report) = sort_with_report(&input, &p);
+    let input = WorstCaseBuilder::new(32, 7, 64).unwrap().build(n).unwrap();
+    let (out, report) = sort_with_report(&input, &p).unwrap();
     assert!(out.windows(2).all(|w| w[0] <= w[1]));
 
     // Global rounds: 3; every merge step is a 7-way conflict:
@@ -52,12 +52,12 @@ fn pinned_sort_counters() {
 /// merge phase are data-independent.
 #[test]
 fn merge_phase_steps_are_data_independent() {
-    let p = SortParams::new(16, 5, 32);
+    let p = SortParams::new(16, 5, 32).unwrap();
     let n = p.block_elems() * 4;
     let a: Vec<u32> = (0..n as u32).collect();
     let b: Vec<u32> = (0..n as u32).rev().collect();
-    let (_, ra) = sort_with_report(&a, &p);
-    let (_, rb) = sort_with_report(&b, &p);
+    let (_, ra) = sort_with_report(&a, &p).unwrap();
+    let (_, rb) = sort_with_report(&b, &p).unwrap();
     for (x, y) in ra.rounds.iter().zip(&rb.rounds) {
         assert_eq!(x.shared.merge.steps, y.shared.merge.steps);
         assert_eq!(x.shared.merge.accesses, y.shared.merge.accesses);

@@ -1,0 +1,95 @@
+//! Sequential stand-in for the subset of `rayon` this workspace uses,
+//! for offline builds.
+//!
+//! `par_iter` / `par_chunks` / `into_par_iter` return the ordinary
+//! sequential iterators; the deterministic fold-reductions in the
+//! simulator are order-independent either way, so results are identical
+//! to a parallel execution, just on one core.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    //! Import-everything prelude (mirrors `rayon::prelude`).
+
+    use std::ops::Range;
+
+    /// Parallel chunk iteration over slices (sequential here).
+    pub trait ParallelSlice<T> {
+        /// Chunks of at most `chunk_size` elements.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable parallel chunk iteration over slices (sequential here).
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunks of at most `chunk_size` elements.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// By-reference parallel iteration (sequential here).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator;
+        /// Iterate by reference.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// By-value parallel iteration (sequential here).
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Iterate by value.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = Range<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for Range<u32> {
+        type Iter = Range<u32>;
+        type Item = u32;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}

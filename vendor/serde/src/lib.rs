@@ -1,0 +1,23 @@
+//! Marker-trait stand-in for `serde`, for offline builds.
+//!
+//! The crates in this workspace annotate data types with
+//! `#[derive(Serialize, Deserialize)]` as documentation of intent, but
+//! no code path performs serde-based (de)serialization — persistent
+//! artefacts use explicit binary or JSON codecs. This shim provides the
+//! trait names and re-exports the no-op derives so the annotations
+//! compile without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
