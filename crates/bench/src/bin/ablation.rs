@@ -9,15 +9,16 @@
 //! 4. **Cost-model overlap** — how the modelled slowdown responds to the
 //!    overlap knob (0 = perfect overlap … 1 = additive).
 //!
-//! Usage: `ablation [--quick]`
+//! Usage: `ablation [--quick] [--backend <sim|analytic|reference>]`
 
 use std::process::ExitCode;
 
+use wcms_bench::cliargs::backend_from_args;
 use wcms_bench::experiment::model_time;
 use wcms_core::{WorstCaseBuilder, WorstCaseFamily};
 use wcms_error::WcmsError;
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
-use wcms_mergesort::{sort_with_report, SortParams, SortReport};
+use wcms_mergesort::{SortParams, SortReport};
 use wcms_workloads::random::random_permutation;
 
 fn main() -> ExitCode {
@@ -31,7 +32,9 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), WcmsError> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let backend = backend_from_args(&argv)?;
     let device = DeviceSpec::quadro_m4000();
     let params = SortParams::new(32, 15, 128)?;
     let doublings = if quick { 4 } else { 6 };
@@ -39,7 +42,7 @@ fn run() -> Result<(), WcmsError> {
     let builder = WorstCaseBuilder::new(params.w, params.e, params.b)?;
 
     let report_of = |input: &[u32]| -> Result<SortReport, WcmsError> {
-        let (out, report) = sort_with_report(input, &params)?;
+        let (out, report) = backend.sort_with_report(input, &params)?;
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
         Ok(report)
     };
@@ -48,7 +51,7 @@ fn run() -> Result<(), WcmsError> {
     let random_report = report_of(&random_permutation(n, 11))?;
     let random_t = time_of(&random_report)?;
     println!(
-        "device={}, E={}, b={}, N={n}, random baseline {:.3} ms\n",
+        "device={}, E={}, b={}, N={n}, backend={backend}, random baseline {:.3} ms\n",
         device.name,
         params.e,
         params.b,
@@ -103,7 +106,7 @@ fn run() -> Result<(), WcmsError> {
     let padded_params = SortParams::new(params.w, params.e, params.b)?.with_padding();
     let worst_input = builder.build(n)?;
     for (label, p) in [("flat tiles", &params), ("padded tiles", &padded_params)] {
-        let (out, r) = sort_with_report(&worst_input, p)?;
+        let (out, r) = backend.sort_with_report(&worst_input, p)?;
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
         println!(
             "{label:>14}: beta2 {:.2}, conflicts/elem {:.3}, tile {} B",

@@ -5,15 +5,17 @@
 //! that conflict-free algorithms "come at a price of … more overall
 //! work".
 //!
-//! Usage: `compare_sorts [--quick]`
+//! Usage: `compare_sorts [--quick] [--backend <sim|analytic|reference>]`
+//! (the backend applies to the pairwise sort; bitonic always simulates)
 
 use std::process::ExitCode;
 
+use wcms_bench::cliargs::backend_from_args;
 use wcms_bench::experiment::model_time;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::bitonic::bitonic_sort_with_report;
-use wcms_mergesort::{sort_with_report, SortParams, SortReport};
+use wcms_mergesort::{SortParams, SortReport};
 use wcms_workloads::random::random_permutation;
 
 fn main() -> ExitCode {
@@ -27,7 +29,9 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), WcmsError> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let backend = backend_from_args(&argv)?;
     let device = DeviceSpec::quadro_m4000();
     // Power-of-two tile so both sorts accept the same sizes. With a
     // power-of-two E, the pairwise sort's worst case is *sorted order*
@@ -36,7 +40,10 @@ fn run() -> Result<(), WcmsError> {
     let doublings = if quick { 3..=6 } else { 3..=9 };
     let worst_input = |n: usize| -> Vec<u32> { (0..n as u32).collect() };
 
-    println!("device = {}, pairwise E=16/b=128 vs bitonic (same tile)", device.name);
+    println!(
+        "device = {}, pairwise E=16/b=128 (backend = {backend}) vs bitonic (same tile)",
+        device.name
+    );
     println!("(worst input for E = 16 is sorted order: gcd(w, E) = E, Fig. 1's case)");
     println!(
         "{:>10} {:>16} {:>16} {:>16} {:>16}",
@@ -51,8 +58,8 @@ fn run() -> Result<(), WcmsError> {
             Ok(model_time(&device, &params, report)? * 1e3)
         };
 
-        let (_, pr) = sort_with_report(&random, &params)?;
-        let (_, pw) = sort_with_report(&worst, &params)?;
+        let (_, pr) = backend.sort_with_report(&random, &params)?;
+        let (_, pw) = backend.sort_with_report(&worst, &params)?;
         let (_, br) = bitonic_sort_with_report(&random, &params)?;
         let (_, bw) = bitonic_sort_with_report(&worst, &params)?;
         println!(

@@ -6,11 +6,12 @@
 //! the simulated device, exposing where the libraries' `E = 15/17`
 //! choices sit.
 //!
-//! Usage: `esweep [--quick] [--rtx]`
+//! Usage: `esweep [--quick] [--rtx] [--backend <sim|analytic|reference>]`
 
 use std::process::ExitCode;
 
-use wcms_bench::experiment::measure;
+use wcms_bench::cliargs::backend_from_args;
+use wcms_bench::experiment::measure_on;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
 fn run() -> Result<(), WcmsError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let backend = backend_from_args(&args)?;
     let device = if args.iter().any(|a| a == "--rtx") {
         DeviceSpec::rtx_2080_ti()
     } else {
@@ -37,7 +39,7 @@ fn run() -> Result<(), WcmsError> {
     let doublings = if quick { 4 } else { 6 };
     let b = 128usize;
 
-    println!("device = {}, b = {b}, N = bE·2^{doublings}", device.name);
+    println!("device = {}, b = {b}, N = bE·2^{doublings}, backend = {backend}", device.name);
     println!(
         "{:>4} {:>10} {:>14} {:>14} {:>10} {:>12}",
         "E", "N", "random ME/s", "worst ME/s", "slowdown", "worst beta2"
@@ -45,8 +47,15 @@ fn run() -> Result<(), WcmsError> {
     for e in (3..32).step_by(2) {
         let params = SortParams::new(32, e, b)?;
         let n = params.block_elems() << doublings;
-        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 3 }, n, 2)?;
-        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1)?;
+        let random = measure_on(
+            &device,
+            &params,
+            WorkloadSpec::RandomPermutation { seed: 3 },
+            n,
+            2,
+            backend,
+        )?;
+        let worst = measure_on(&device, &params, WorkloadSpec::WorstCase, n, 1, backend)?;
         println!(
             "{e:>4} {n:>10} {:>14.1} {:>14.1} {:>9.1}% {:>12.2}",
             random.throughput / 1e6,

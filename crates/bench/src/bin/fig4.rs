@@ -2,46 +2,22 @@
 //! M4000 — Thrust (E=15, b=512) and Modern GPU (E=15, b=128), random vs.
 //! constructed worst-case inputs.
 //!
-//! Usage: `fig4 [--quick|--standard|--full] [--markdown]
-//!              [--resume] [--timeout <secs>] [--retries <k>]
+//! Usage: `fig4 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
+//!              [--markdown] [--resume] [--timeout <secs>] [--retries <k>]
 //!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::figures::fig4;
-use wcms_bench::summary::slowdown_table;
+use wcms_bench::panel::{figure_binary_main, FigurePanel};
 
 fn main() -> ExitCode {
-    let args = match figure_args_from_env("fig4") {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("fig4: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!("# Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation");
-    let report = match fig4(&args.sweep, &args.resilience) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fig4: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if args.markdown {
-        println!("{}", report.markdown(|m| m.throughput / 1e6, "ME/s"));
-    } else {
-        println!("{}", report.csv(|m| m.throughput / 1e6));
-    }
-    eprintln!("# slowdown of worst-case vs. random (paper: Thrust peak 50.49%, avg 43.53%; MGPU peak 33.82%, avg 27.3%)");
-    for (label, s) in slowdown_table(&report.series) {
-        eprintln!(
-            "#   {label}: peak {:.2}% at N = {}, average {:.2}%",
-            s.peak_percent, s.peak_n, s.average_percent
-        );
-    }
-    if !report.skipped.is_empty() {
-        eprintln!("# {} cell(s) skipped — see the # gap lines above", report.skipped.len());
-    }
-    ExitCode::SUCCESS
+    figure_binary_main("fig4", |args| {
+        let report = fig4(&args.sweep, &args.resilience, args.backend)?;
+        Ok(vec![FigurePanel::throughput_panel(
+            "Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation",
+            report,
+        )
+        .with_notes(&["paper: Thrust peak 50.49%, avg 43.53%; MGPU peak 33.82%, avg 27.3%"])])
+    })
 }

@@ -2,53 +2,32 @@
 //! Thrust (left) and Modern GPU (right), each with E=15/b=512 and
 //! E=17/b=256, random vs. constructed worst-case inputs.
 //!
-//! Usage: `fig5 [--quick|--standard|--full] [--markdown]
-//!              [--resume] [--timeout <secs>] [--retries <k>]
+//! Usage: `fig5 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
+//!              [--markdown] [--resume] [--timeout <secs>] [--retries <k>]
 //!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::figures::{fig5_mgpu, fig5_thrust};
-use wcms_bench::summary::slowdown_table;
+use wcms_bench::panel::{figure_binary_main, FigurePanel};
 
 fn main() -> ExitCode {
-    let args = match figure_args_from_env("fig5") {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("fig5: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    for (panel, run) in [
-        ("Thrust (left panel)", fig5_thrust(&args.sweep, &args.resilience)),
-        ("Modern GPU (right panel)", fig5_mgpu(&args.sweep, &args.resilience)),
-    ] {
-        let report = match run {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("fig5: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        eprintln!("# Fig. 5 — RTX 2080 Ti, {panel}");
-        if args.markdown {
-            println!("{}", report.markdown(|m| m.throughput / 1e6, "ME/s"));
-        } else {
-            println!("{}", report.csv(|m| m.throughput / 1e6));
-        }
-        eprintln!("# slowdown of worst-case vs. random");
-        eprintln!("#   (paper: Thrust E15 peak 42.43% avg 33.31%; E17 peak 22.94% avg 16.54%;");
-        eprintln!("#          MGPU  E15 peak 42.62% avg 35.25%; E17 peak 20.34% avg 12.97%)");
-        for (label, s) in slowdown_table(&report.series) {
-            eprintln!(
-                "#   {label}: peak {:.2}% at N = {}, average {:.2}%",
-                s.peak_percent, s.peak_n, s.average_percent
-            );
-        }
-        if !report.skipped.is_empty() {
-            eprintln!("# {} cell(s) skipped — see the # gap lines above", report.skipped.len());
-        }
-    }
-    ExitCode::SUCCESS
+    figure_binary_main("fig5", |args| {
+        let paper = [
+            "paper: Thrust E15 peak 42.43% avg 33.31%; E17 peak 22.94% avg 16.54%;",
+            "       MGPU  E15 peak 42.62% avg 35.25%; E17 peak 20.34% avg 12.97%",
+        ];
+        Ok(vec![
+            FigurePanel::throughput_panel(
+                "Fig. 5 — RTX 2080 Ti, Thrust (left panel)",
+                fig5_thrust(&args.sweep, &args.resilience, args.backend)?,
+            )
+            .with_notes(&paper),
+            FigurePanel::throughput_panel(
+                "Fig. 5 — RTX 2080 Ti, Modern GPU (right panel)",
+                fig5_mgpu(&args.sweep, &args.resilience, args.backend)?,
+            )
+            .with_notes(&paper),
+        ])
+    })
 }

@@ -3,54 +3,36 @@
 //! inputs, both parameter sets. The paper's point: the conflict curve
 //! predicts the runtime curve, and both grow logarithmically with N.
 //!
-//! Usage: `fig6 [--quick|--standard|--full]
+//! Usage: `fig6 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
 //!              [--resume] [--timeout <secs>] [--retries <k>]
 //!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::figure_args_from_env;
 use wcms_bench::figures::fig6;
+use wcms_bench::panel::{figure_binary_main, FigurePanel, PanelSection};
 
 fn main() -> ExitCode {
-    let args = match figure_args_from_env("fig6") {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("fig6: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let report = match fig6(&args.sweep, &args.resilience) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fig6: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!("# Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs");
-    eprintln!("# runtime per element (ns/element, modelled):");
-    println!("{}", report.csv(|m| m.ms_per_element * 1e6));
-    eprintln!("# bank conflicts per element (extra cycles/element, measured):");
-    println!("{}", report.csv(|m| m.conflicts_per_element));
-
-    // The correlation the paper highlights: per series, the rank order of
-    // sizes by conflicts matches the rank order by runtime.
-    for s in &report.series {
-        let mut by_conflicts: Vec<usize> = (0..s.points.len()).collect();
-        by_conflicts.sort_by(|&a, &b| {
-            s.points[a].conflicts_per_element.total_cmp(&s.points[b].conflicts_per_element)
-        });
-        let mut by_runtime: Vec<usize> = (0..s.points.len()).collect();
-        by_runtime
-            .sort_by(|&a, &b| s.points[a].ms_per_element.total_cmp(&s.points[b].ms_per_element));
-        eprintln!(
-            "# {}: conflict/runtime rank agreement = {}",
-            s.label,
-            if by_conflicts == by_runtime { "exact" } else { "partial" }
-        );
-    }
-    if !report.skipped.is_empty() {
-        eprintln!("# {} cell(s) skipped — see the # gap lines above", report.skipped.len());
-    }
-    ExitCode::SUCCESS
+    figure_binary_main("fig6", |args| {
+        let report = fig6(&args.sweep, &args.resilience, args.backend)?;
+        Ok(vec![FigurePanel {
+            heading: "Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs".into(),
+            notes: Vec::new(),
+            report,
+            sections: vec![
+                PanelSection {
+                    caption: Some("runtime per element (ns/element, modelled):"),
+                    value: |m| m.ms_per_element * 1e6,
+                    unit: "ns/element",
+                },
+                PanelSection {
+                    caption: Some("bank conflicts per element (extra cycles/element, measured):"),
+                    value: |m| m.conflicts_per_element,
+                    unit: "cycles/element",
+                },
+            ],
+            slowdown: false,
+            rank_agreement: true,
+        }])
+    })
 }

@@ -8,11 +8,12 @@
 //! GTX 770: random inputs, the heuristic conflict-heavy inputs, and the
 //! paper's provably-worst construction.
 //!
-//! Usage: `karsin [--quick]`
+//! Usage: `karsin [--quick] [--backend <sim|analytic|reference>]`
 
 use std::process::ExitCode;
 
-use wcms_bench::experiment::measure;
+use wcms_bench::cliargs::backend_from_args;
+use wcms_bench::experiment::measure_on;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
@@ -29,7 +30,9 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), WcmsError> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let backend = backend_from_args(&argv)?;
     let device = DeviceSpec::gtx_770();
     let params = SortParams::new(32, 15, 128)?;
     let doublings = if quick { 2..=5 } else { 2..=8 };
@@ -41,9 +44,17 @@ fn run() -> Result<(), WcmsError> {
     );
     for d in doublings {
         let n = params.block_elems() << d;
-        let random = measure(&device, &params, WorkloadSpec::RandomPermutation { seed: 5 }, n, 2)?;
-        let heavy = measure(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1)?;
-        let worst = measure(&device, &params, WorkloadSpec::WorstCase, n, 1)?;
+        let random = measure_on(
+            &device,
+            &params,
+            WorkloadSpec::RandomPermutation { seed: 5 },
+            n,
+            2,
+            backend,
+        )?;
+        let heavy =
+            measure_on(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1, backend)?;
+        let worst = measure_on(&device, &params, WorkloadSpec::WorstCase, n, 1, backend)?;
         println!(
             "{n:>10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>11.1}% {:>11.1}%",
             random.beta1,

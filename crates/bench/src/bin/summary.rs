@@ -4,19 +4,20 @@
 //! inversions (`--beta`).
 //!
 //! Usage: `summary [--quick|--standard|--full] [--beta]
+//!                 [--backend <sim|analytic|reference>]
 //!                 [--resume] [--timeout <secs>] [--retries <k>]
 //!                 [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 
 use wcms_bench::cliargs::figure_args_from_env;
-use wcms_bench::experiment::{measure, SweepConfig};
+use wcms_bench::experiment::{measure_on, SweepConfig};
 use wcms_bench::figures::{fig4, fig5_mgpu, fig5_thrust};
 use wcms_bench::resilient::SkippedCell;
 use wcms_bench::summary::slowdown_table;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
-use wcms_mergesort::SortParams;
+use wcms_mergesort::{BackendKind, SortParams};
 use wcms_workloads::WorkloadSpec;
 
 fn main() -> ExitCode {
@@ -33,7 +34,7 @@ fn run() -> Result<(), WcmsError> {
     let args = figure_args_from_env("summary")?;
 
     if std::env::args().any(|a| a == "--beta") {
-        return beta_report(&args.sweep);
+        return beta_report(&args.sweep, args.backend);
     }
 
     println!(
@@ -55,9 +56,9 @@ fn run() -> Result<(), WcmsError> {
         ),
     ];
     let reports = [
-        fig4(&args.sweep, &args.resilience)?,
-        fig5_thrust(&args.sweep, &args.resilience)?,
-        fig5_mgpu(&args.sweep, &args.resilience)?,
+        fig4(&args.sweep, &args.resilience, args.backend)?,
+        fig5_thrust(&args.sweep, &args.resilience, args.backend)?,
+        fig5_mgpu(&args.sweep, &args.resilience, args.backend)?,
     ];
     let skipped: Vec<SkippedCell> =
         reports.iter().flat_map(|r| r.skipped.iter().cloned()).collect();
@@ -79,7 +80,7 @@ fn run() -> Result<(), WcmsError> {
 
 /// β₁/β₂ on random inputs (Karsin et al. report β₁ = 3.1, β₂ = 2.2 for
 /// Modern GPU) and their growth with inversion count.
-fn beta_report(sweep: &SweepConfig) -> Result<(), WcmsError> {
+fn beta_report(sweep: &SweepConfig, backend: BackendKind) -> Result<(), WcmsError> {
     let device = DeviceSpec::quadro_m4000();
     let params = SortParams::mgpu(&device)?;
     let n = params.block_elems() << sweep.max_doublings.min(6);
@@ -95,7 +96,7 @@ fn beta_report(sweep: &SweepConfig) -> Result<(), WcmsError> {
         ("worst-case", WorkloadSpec::WorstCase),
     ];
     for (label, spec) in workloads {
-        let m = measure(&device, &params, spec, n, sweep.runs)?;
+        let m = measure_on(&device, &params, spec, n, sweep.runs, backend)?;
         println!("| {label} | n={n} | {:.2} | {:.2} |", m.beta1, m.beta2);
     }
     println!();

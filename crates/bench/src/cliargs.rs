@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! [--quick|--standard|--full]   sweep size (default --standard)
+//! [--backend <sim|analytic|reference>]  execution backend (default sim)
 //! [--markdown]                  markdown tables instead of CSV
 //! [--resume]                    reuse checkpointed cells from a prior run
 //! [--timeout <secs>]            per-cell wall-clock budget
 //! [--retries <k>]               extra attempts per failed/timed-out cell
-//! [--checkpoint-dir <dir>]      override results/.checkpoint/<figure>
+//! [--checkpoint-dir <dir>]      override results/.checkpoint/<figure>/<backend>
 //! [--no-checkpoint]             disable checkpointing entirely
 //! ```
 //!
@@ -16,10 +17,13 @@
 //! on the next invocation picks up whatever a killed sweep finished.
 //! Without `--resume` the figure's checkpoint directory is cleared
 //! first — stale cells from an older configuration must not leak in.
+//! The default checkpoint directory is namespaced per backend, so a
+//! `--resume` can never stitch sim cells into an analytic sweep.
 
 use std::time::Duration;
 
 use wcms_error::WcmsError;
+use wcms_mergesort::BackendKind;
 
 use crate::checkpoint::CheckpointStore;
 use crate::experiment::SweepConfig;
@@ -30,6 +34,8 @@ use crate::resilient::ResilienceConfig;
 pub struct FigureArgs {
     /// Sweep grid.
     pub sweep: SweepConfig,
+    /// Execution backend for every cell.
+    pub backend: BackendKind,
     /// Render markdown instead of CSV.
     pub markdown: bool,
     /// Resilience policy (timeout/retries/checkpoint).
@@ -57,6 +63,8 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
     };
 
+    let backend = backend_from_args(args)?;
+
     let mut resilience = ResilienceConfig::none();
     if let Some(secs) = value_of("--timeout") {
         let secs: f64 = secs.parse().map_err(|_| bad(format!("--timeout {secs}: not a number")))?;
@@ -75,9 +83,11 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
 
     let resume = args.iter().any(|a| a == "--resume");
     if !args.iter().any(|a| a == "--no-checkpoint") {
+        // Namespace the default per backend: sim and analytic sweeps of
+        // the same figure must never share (or clear) each other's cells.
         let dir = value_of("--checkpoint-dir")
             .map(String::from)
-            .unwrap_or_else(|| format!("results/.checkpoint/{figure}"));
+            .unwrap_or_else(|| format!("results/.checkpoint/{figure}/{backend}"));
         let store = CheckpointStore::open(dir)?;
         if !resume {
             store.clear()?;
@@ -85,7 +95,22 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
         resilience.checkpoint = Some(store);
     }
 
-    Ok(FigureArgs { sweep, markdown: args.iter().any(|a| a == "--markdown"), resilience })
+    Ok(FigureArgs { sweep, backend, markdown: args.iter().any(|a| a == "--markdown"), resilience })
+}
+
+/// Parse `--backend <sim|analytic|reference>` from a raw argument list.
+/// The ad-hoc binaries (`esweep`, `ablation`, `compare_sorts`, `karsin`)
+/// share this one parser with [`parse_figure_args`], so the flag means
+/// the same thing everywhere.
+///
+/// # Errors
+///
+/// Returns the [`BackendKind`] parse error for an unknown backend name.
+pub fn backend_from_args(args: &[String]) -> Result<BackendKind, WcmsError> {
+    match args.iter().position(|a| a == "--backend").and_then(|i| args.get(i + 1)) {
+        Some(name) => name.parse(),
+        None => Ok(BackendKind::default()),
+    }
 }
 
 /// [`parse_figure_args`] over the process arguments.
@@ -112,6 +137,7 @@ mod tests {
         let a =
             parse_figure_args("figX", &strs(&["--checkpoint-dir", dir.to_str().unwrap()])).unwrap();
         assert_eq!(a.sweep.max_doublings, SweepConfig::standard().max_doublings);
+        assert_eq!(a.backend, BackendKind::Sim);
         assert!(!a.markdown);
         assert!(a.resilience.timeout.is_none());
         assert!(a.resilience.checkpoint.is_some());
@@ -128,6 +154,16 @@ mod tests {
         assert_eq!(a.resilience.timeout, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(a.resilience.retries, 4);
         assert!(a.resilience.checkpoint.is_none());
+    }
+
+    #[test]
+    fn backend_flag_parses() {
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--backend", "analytic"]))
+            .unwrap();
+        assert_eq!(a.backend, BackendKind::Analytic);
+        let err =
+            parse_figure_args("figX", &strs(&["--no-checkpoint", "--backend", "gpu"])).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"), "{err}");
     }
 
     #[test]

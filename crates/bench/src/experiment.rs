@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use wcms_dmm::stats::Summary;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
-use wcms_mergesort::{sort_with_report, SortParams, SortReport};
+use wcms_mergesort::{BackendKind, SortParams, SortReport};
 use wcms_workloads::WorkloadSpec;
 
 /// One measured point of a sweep.
@@ -101,19 +101,39 @@ pub fn model_time(
     Ok(t.total_s)
 }
 
-/// Measure one point, averaging seeded workloads over `runs` runs.
+/// Measure one point on the default (cycle-accurate) backend.
 ///
 /// # Errors
 ///
-/// Propagates generator errors (bad `(w, E, b, n)`), kernel-detected
-/// corruption from the simulated sort, and occupancy misfits from the
-/// cost model.
+/// Same conditions as [`measure_on`].
 pub fn measure(
     device: &DeviceSpec,
     params: &SortParams,
     spec: WorkloadSpec,
     n: usize,
     runs: u64,
+) -> Result<Measurement, WcmsError> {
+    measure_on(device, params, spec, n, runs, BackendKind::Sim)
+}
+
+/// Measure one point on `backend`, averaging seeded workloads over
+/// `runs` runs. The sim and analytic backends yield identical
+/// measurements (their counters agree integer for integer); the
+/// reference backend models no GPU work and reports zero time and
+/// throughput — it exists for output validation, not measurement.
+///
+/// # Errors
+///
+/// Propagates generator errors (bad `(w, E, b, n)`), kernel-detected
+/// corruption from the simulated sort, and occupancy misfits from the
+/// cost model.
+pub fn measure_on(
+    device: &DeviceSpec,
+    params: &SortParams,
+    spec: WorkloadSpec,
+    n: usize,
+    runs: u64,
+    backend: BackendKind,
 ) -> Result<Measurement, WcmsError> {
     let runs = runs.max(1);
     let mut times = Vec::with_capacity(runs as usize);
@@ -122,9 +142,15 @@ pub fn measure(
     let mut cpe = Vec::new();
     for run in 0..runs {
         let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b)?;
-        let (out, report) = sort_with_report(&input, params)?;
+        let (out, report) = backend.sort_with_report(&input, params)?;
         debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
-        times.push(model_time(device, params, &report)?);
+        // The reference backend does no GPU work at all, so the cost
+        // model does not apply — not even its per-launch overhead floor.
+        times.push(if backend == BackendKind::Reference {
+            0.0
+        } else {
+            model_time(device, params, &report)?
+        });
         beta1.push(report.global_beta1().unwrap_or(1.0));
         beta2.push(report.global_beta2().unwrap_or(1.0));
         cpe.push(report.conflicts_per_element());
@@ -140,7 +166,10 @@ pub fn measure(
             break;
         }
     }
-    let throughputs: Vec<f64> = times.iter().map(|t| n as f64 / t).collect();
+    // The reference backend charges no counters, so its modelled time is
+    // zero; keep the throughput finite (zero) rather than infinite.
+    let throughputs: Vec<f64> =
+        times.iter().map(|t| if *t > 0.0 { n as f64 / t } else { 0.0 }).collect();
     // `runs` is clamped to ≥ 1 above, so the sample is never empty.
     let spread = Summary::of(&throughputs).ok_or(WcmsError::ZeroParam { name: "runs" })?;
     let mean_time = times.iter().sum::<f64>() / times.len() as f64;
@@ -197,6 +226,25 @@ mod tests {
         let n = p.block_elems() * 2;
         let m = measure(&d, &p, WorkloadSpec::Sorted, n, 5).unwrap();
         assert_eq!(m.throughput_spread.n, 1);
+    }
+
+    #[test]
+    fn analytic_backend_measures_identically() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 4;
+        let spec = WorkloadSpec::RandomPermutation { seed: 11 };
+        let sim = measure_on(&d, &p, spec, n, 2, BackendKind::Sim).unwrap();
+        let analytic = measure_on(&d, &p, spec, n, 2, BackendKind::Analytic).unwrap();
+        assert_eq!(sim, analytic, "identical counters must yield identical measurements");
+    }
+
+    #[test]
+    fn reference_backend_reports_zero_time() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 2;
+        let m = measure_on(&d, &p, WorkloadSpec::Sorted, n, 1, BackendKind::Reference).unwrap();
+        assert_eq!(m.throughput, 0.0);
+        assert_eq!(m.ms, 0.0);
     }
 
     #[test]

@@ -12,11 +12,11 @@ use rayon::prelude::*;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::params::SortVariant;
-use wcms_mergesort::SortParams;
+use wcms_mergesort::{BackendKind, SortParams};
 use wcms_workloads::WorkloadSpec;
 
 use crate::checkpoint::CellResult;
-use crate::experiment::{measure, SweepConfig};
+use crate::experiment::{measure_on, SweepConfig};
 use crate::resilient::{run_cell, ResilienceConfig, SkippedCell, SweepReport};
 use crate::series::Series;
 
@@ -35,6 +35,7 @@ fn series_label(cfg: &Config, wl: &str) -> String {
 
 /// Run one grid of `(series label, spec, params, n)` jobs under the
 /// resilience policy and fold the outcomes into series + gaps.
+#[allow(clippy::too_many_arguments)] // internal grid plumbing
 fn run_grid(
     figure: &str,
     device: &DeviceSpec,
@@ -42,6 +43,7 @@ fn run_grid(
     runs: u64,
     resilience: &ResilienceConfig,
     series_order: &[String],
+    backend: BackendKind,
 ) -> SweepReport {
     // Cells are independent; parallelise the whole grid. (The sort
     // itself also parallelises over blocks, but the small-N points leave
@@ -51,8 +53,9 @@ fn run_grid(
         .map(|(label, params, spec, n)| {
             let cell = format!("{figure}/{label}/{n}");
             let dev = device.clone();
-            let outcome =
-                run_cell(&cell, resilience, move || measure(&dev, &params, spec, n, runs));
+            let outcome = run_cell(&cell, resilience, move || {
+                measure_on(&dev, &params, spec, n, runs, backend)
+            });
             (label, n, outcome)
         })
         .collect();
@@ -89,6 +92,7 @@ pub fn throughput_figure(
     configs: &[Config],
     sweep: &SweepConfig,
     resilience: &ResilienceConfig,
+    backend: BackendKind,
 ) -> SweepReport {
     let mut jobs = Vec::new();
     let mut order = Vec::new();
@@ -103,7 +107,7 @@ pub fn throughput_figure(
             }
         }
     }
-    run_grid(figure, device, jobs, sweep.runs, resilience, &order)
+    run_grid(figure, device, jobs, sweep.runs, resilience, &order, backend)
 }
 
 /// Fig. 4: Quadro M4000 — Thrust (E=15, b=512) and Modern GPU
@@ -113,13 +117,28 @@ pub fn throughput_figure(
 ///
 /// Returns the parameter-validation error if a library preset does not
 /// fit the device (individual cell failures become gaps instead).
-pub fn fig4(sweep: &SweepConfig, resilience: &ResilienceConfig) -> Result<SweepReport, WcmsError> {
+pub fn fig4(
+    sweep: &SweepConfig,
+    resilience: &ResilienceConfig,
+    backend: BackendKind,
+) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::quadro_m4000();
-    let configs = [
-        Config { label: "Thrust".into(), params: SortParams::thrust(&device)? },
-        Config { label: "ModernGPU".into(), params: SortParams::mgpu(&device)? },
-    ];
-    Ok(throughput_figure("fig4", &device, &configs, sweep, resilience))
+    let configs = fig4_configs(&device)?;
+    Ok(throughput_figure("fig4", &device, &configs, sweep, resilience, backend))
+}
+
+/// The two library presets of Fig. 4 (shared with the cross-validation
+/// harness, which sweeps exactly the figure's cells).
+///
+/// # Errors
+///
+/// Returns the parameter-validation error if a preset does not fit the
+/// device.
+pub fn fig4_configs(device: &DeviceSpec) -> Result<Vec<Config>, WcmsError> {
+    Ok(vec![
+        Config { label: "Thrust".into(), params: SortParams::thrust(device)? },
+        Config { label: "ModernGPU".into(), params: SortParams::mgpu(device)? },
+    ])
 }
 
 /// Fig. 5 (left): RTX 2080 Ti, Thrust with both parameter sets.
@@ -130,13 +149,14 @@ pub fn fig4(sweep: &SweepConfig, resilience: &ResilienceConfig) -> Result<SweepR
 pub fn fig5_thrust(
     sweep: &SweepConfig,
     resilience: &ResilienceConfig,
+    backend: BackendKind,
 ) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
         Config { label: "Thrust".into(), params: SortParams::thrust_e15_b512(&device)? },
         Config { label: "Thrust".into(), params: SortParams::thrust(&device)? },
     ];
-    Ok(throughput_figure("fig5-thrust", &device, &configs, sweep, resilience))
+    Ok(throughput_figure("fig5-thrust", &device, &configs, sweep, resilience, backend))
 }
 
 /// Fig. 5 (right): RTX 2080 Ti, Modern GPU with both parameter sets.
@@ -147,6 +167,7 @@ pub fn fig5_thrust(
 pub fn fig5_mgpu(
     sweep: &SweepConfig,
     resilience: &ResilienceConfig,
+    backend: BackendKind,
 ) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
@@ -159,7 +180,7 @@ pub fn fig5_mgpu(
             params: SortParams::new(32, 17, 256)?.with_variant(SortVariant::ModernGpu),
         },
     ];
-    Ok(throughput_figure("fig5-mgpu", &device, &configs, sweep, resilience))
+    Ok(throughput_figure("fig5-mgpu", &device, &configs, sweep, resilience, backend))
 }
 
 /// Fig. 6: RTX 2080 Ti, Thrust, worst-case inputs — runtime per element
@@ -170,7 +191,11 @@ pub fn fig5_mgpu(
 /// # Errors
 ///
 /// Same conditions as [`fig4`].
-pub fn fig6(sweep: &SweepConfig, resilience: &ResilienceConfig) -> Result<SweepReport, WcmsError> {
+pub fn fig6(
+    sweep: &SweepConfig,
+    resilience: &ResilienceConfig,
+    backend: BackendKind,
+) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
         Config { label: "Thrust".into(), params: SortParams::new(32, 15, 512)? },
@@ -184,7 +209,7 @@ pub fn fig6(sweep: &SweepConfig, resilience: &ResilienceConfig) -> Result<SweepR
             jobs.push((series_label(cfg, "worst-case"), cfg.params, WorkloadSpec::WorstCase, n));
         }
     }
-    Ok(run_grid("fig6", &device, jobs, 1, resilience, &order))
+    Ok(run_grid("fig6", &device, jobs, 1, resilience, &order, backend))
 }
 
 #[cfg(test)]
@@ -196,7 +221,14 @@ mod tests {
         let device = DeviceSpec::test_device();
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
         let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let report = throughput_figure("t", &device, &configs, &sweep, &ResilienceConfig::none());
+        let report = throughput_figure(
+            "t",
+            &device,
+            &configs,
+            &sweep,
+            &ResilienceConfig::none(),
+            BackendKind::Sim,
+        );
         assert!(report.skipped.is_empty(), "{:?}", report.skipped);
         let series = &report.series;
         assert_eq!(series.len(), 2);
@@ -212,16 +244,50 @@ mod tests {
         let device = DeviceSpec::test_device();
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
         let sweep = SweepConfig { min_doublings: 2, max_doublings: 3, runs: 1 };
-        let report = throughput_figure("t", &device, &configs, &sweep, &ResilienceConfig::none());
+        let report = throughput_figure(
+            "t",
+            &device,
+            &configs,
+            &sweep,
+            &ResilienceConfig::none(),
+            BackendKind::Sim,
+        );
         for (w, r) in report.series[0].points.iter().zip(&report.series[1].points) {
             assert!(w.throughput < r.throughput, "n={}", w.n);
         }
     }
 
+    /// The tentpole's cross-backend contract at the figure level: the
+    /// analytic backend reproduces the sim sweep *identically* — every
+    /// measurement of every cell, not just the totals.
+    #[test]
+    fn analytic_figure_equals_sim_figure() {
+        let device = DeviceSpec::test_device();
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
+        let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
+        let sim = throughput_figure(
+            "t",
+            &device,
+            &configs,
+            &sweep,
+            &ResilienceConfig::none(),
+            BackendKind::Sim,
+        );
+        let analytic = throughput_figure(
+            "t",
+            &device,
+            &configs,
+            &sweep,
+            &ResilienceConfig::none(),
+            BackendKind::Analytic,
+        );
+        assert_eq!(sim.series, analytic.series);
+    }
+
     #[test]
     fn fig6_series_shapes() {
         let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let report = fig6(&sweep, &ResilienceConfig::none()).unwrap();
+        let report = fig6(&sweep, &ResilienceConfig::none(), BackendKind::Sim).unwrap();
         assert_eq!(report.series.len(), 2);
         for s in &report.series {
             assert_eq!(s.points.len(), 2);
@@ -239,8 +305,14 @@ mod tests {
         let tiny_smem = DeviceSpec { shared_mem_per_sm: 64, ..device.clone() };
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
         let sweep = SweepConfig { min_doublings: 1, max_doublings: 1, runs: 1 };
-        let report =
-            throughput_figure("t", &tiny_smem, &configs, &sweep, &ResilienceConfig::none());
+        let report = throughput_figure(
+            "t",
+            &tiny_smem,
+            &configs,
+            &sweep,
+            &ResilienceConfig::none(),
+            BackendKind::Sim,
+        );
         assert_eq!(report.series.len(), 2);
         assert!(report.series.iter().all(|s| s.points.is_empty()));
         assert_eq!(report.skipped.len(), 2);

@@ -16,20 +16,29 @@
 //! Binaries `fig4`, `fig5`, `fig6`, `summary` print the series as CSV or
 //! markdown; Criterion benches cover the generator, Merge Path, and the
 //! simulator itself.
+//!
+//! Every measuring entry point takes a [`wcms_mergesort::BackendKind`]
+//! (surfaced as `--backend` on the binaries): the cycle-accurate
+//! simulator (default), the integer-identical analytic engine, or the
+//! counter-free CPU reference. [`crossval`] is the harness that holds
+//! the analytic backend to that "integer-identical" claim.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
 pub mod cliargs;
+pub mod crossval;
 pub mod experiment;
 pub mod figures;
+pub mod panel;
 pub mod resilient;
 pub mod series;
 pub mod summary;
 
 pub use checkpoint::{CellResult, CheckpointStore};
-pub use cliargs::{figure_args_from_env, FigureArgs};
-pub use experiment::{measure, Measurement, SweepConfig};
+pub use cliargs::{backend_from_args, figure_args_from_env, FigureArgs};
+pub use experiment::{measure, measure_on, Measurement, SweepConfig};
+pub use panel::{figure_binary_main, FigurePanel, PanelSection};
 pub use resilient::{run_cell, ResilienceConfig, SkippedCell, SweepReport};
 pub use series::{Series, SeriesPoint};

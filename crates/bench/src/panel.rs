@@ -1,0 +1,291 @@
+//! Shared rendering and `main` scaffolding for the figure binaries.
+//!
+//! Every figure binary used to repeat the same dozen lines: parse the
+//! CLI, print a heading, run the sweep, render CSV or markdown, print
+//! the slowdown / rank-agreement commentary, count the gaps, map errors
+//! to an exit code. That boilerplate now lives here, so a new surface
+//! (like `--backend`) lands in exactly one place and every figure
+//! reports it the same way.
+//!
+//! A binary describes its output as one or more [`FigurePanel`]s — a
+//! heading, a [`SweepReport`], and the projections to print — and hands
+//! a builder closure to [`figure_binary_main`]. Data rows go to stdout;
+//! all commentary (headings, paper quotes, slowdown statistics, gap
+//! counts) goes to stderr as `#`-prefixed lines, exactly as before.
+
+use std::process::ExitCode;
+
+use wcms_error::WcmsError;
+use wcms_mergesort::BackendKind;
+
+use crate::cliargs::{figure_args_from_env, FigureArgs};
+use crate::experiment::Measurement;
+use crate::resilient::SweepReport;
+use crate::series::Series;
+use crate::summary::slowdown_table;
+
+/// One projected table of a panel: an optional stderr caption, the
+/// per-measurement value to print, and its unit (markdown mode only).
+pub struct PanelSection {
+    /// Caption printed (as a `#` comment) before the table.
+    pub caption: Option<&'static str>,
+    /// Projection from a measurement to the printed value.
+    pub value: fn(&Measurement) -> f64,
+    /// Unit label for markdown tables.
+    pub unit: &'static str,
+}
+
+impl PanelSection {
+    /// The standard throughput section: millions of elements per second.
+    #[must_use]
+    pub fn throughput() -> Self {
+        Self { caption: None, value: |m| m.throughput / 1e6, unit: "ME/s" }
+    }
+}
+
+/// One figure panel: a sweep report plus how to present it.
+pub struct FigurePanel {
+    /// Heading line (printed as a `#` comment, with the backend appended).
+    pub heading: String,
+    /// Extra commentary lines (paper quotes) printed with the statistics.
+    pub notes: Vec<String>,
+    /// The sweep to render.
+    pub report: SweepReport,
+    /// Tables to print, in order.
+    pub sections: Vec<PanelSection>,
+    /// Print worst-case vs. random slowdown statistics (Figs. 4 and 5).
+    pub slowdown: bool,
+    /// Print conflict/runtime rank-agreement lines (Fig. 6).
+    pub rank_agreement: bool,
+}
+
+impl FigurePanel {
+    /// A panel with the default presentation: one throughput section and
+    /// the slowdown statistics — the shape of Figures 4 and 5.
+    #[must_use]
+    pub fn throughput_panel(heading: impl Into<String>, report: SweepReport) -> Self {
+        Self {
+            heading: heading.into(),
+            notes: Vec::new(),
+            report,
+            sections: vec![PanelSection::throughput()],
+            slowdown: true,
+            rank_agreement: false,
+        }
+    }
+
+    /// Attach commentary lines (printed under the statistics heading).
+    #[must_use]
+    pub fn with_notes(mut self, notes: &[&str]) -> Self {
+        self.notes = notes.iter().map(|s| (*s).to_string()).collect();
+        self
+    }
+
+    /// Render the panel: `(stdout data, stderr commentary)`. Split by
+    /// stream, not strictly by time — captions land before their tables
+    /// within the stderr stream, which is all a log reader can see.
+    #[must_use]
+    pub fn render(&self, backend: BackendKind, markdown: bool) -> (String, String) {
+        let mut data = String::new();
+        let mut comments = String::new();
+        comments.push_str(&format!("# {} [backend: {backend}]\n", self.heading));
+        for section in &self.sections {
+            if let Some(caption) = section.caption {
+                comments.push_str(&format!("# {caption}\n"));
+            }
+            if markdown {
+                data.push_str(&self.report.markdown(section.value, section.unit));
+            } else {
+                data.push_str(&self.report.csv(section.value));
+            }
+            data.push('\n');
+        }
+        if self.slowdown {
+            comments.push_str("# slowdown of worst-case vs. random\n");
+            for note in &self.notes {
+                comments.push_str(&format!("#   ({note})\n"));
+            }
+            for (label, s) in slowdown_table(&self.report.series) {
+                comments.push_str(&format!(
+                    "#   {label}: peak {:.2}% at N = {}, average {:.2}%\n",
+                    s.peak_percent, s.peak_n, s.average_percent
+                ));
+            }
+        }
+        if self.rank_agreement {
+            for line in rank_agreement_lines(&self.report.series) {
+                comments.push_str(&format!("# {line}\n"));
+            }
+        }
+        if !self.report.skipped.is_empty() {
+            comments.push_str(&format!(
+                "# {} cell(s) skipped — see the # gap lines above\n",
+                self.report.skipped.len()
+            ));
+        }
+        (data, comments)
+    }
+}
+
+/// The correlation Fig. 6 highlights: per series, does the rank order of
+/// sizes by conflicts match the rank order by runtime?
+#[must_use]
+pub fn rank_agreement_lines(series: &[Series]) -> Vec<String> {
+    series
+        .iter()
+        .map(|s| {
+            let mut by_conflicts: Vec<usize> = (0..s.points.len()).collect();
+            by_conflicts.sort_by(|&a, &b| {
+                s.points[a].conflicts_per_element.total_cmp(&s.points[b].conflicts_per_element)
+            });
+            let mut by_runtime: Vec<usize> = (0..s.points.len()).collect();
+            by_runtime.sort_by(|&a, &b| {
+                s.points[a].ms_per_element.total_cmp(&s.points[b].ms_per_element)
+            });
+            format!(
+                "{}: conflict/runtime rank agreement = {}",
+                s.label,
+                if by_conflicts == by_runtime { "exact" } else { "partial" }
+            )
+        })
+        .collect()
+}
+
+/// The whole `main` of a figure binary: parse the shared CLI, build the
+/// panels, render them, map any error to `EXIT_FAILURE` with the figure
+/// name attached.
+pub fn figure_binary_main(
+    figure: &str,
+    build: impl FnOnce(&FigureArgs) -> Result<Vec<FigurePanel>, WcmsError>,
+) -> ExitCode {
+    let args = match figure_args_from_env(figure) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{figure}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let panels = match build(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{figure}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for panel in &panels {
+        let (data, comments) = panel.render(args.backend, args.markdown);
+        eprint!("{comments}");
+        print!("{data}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcms_dmm::stats::Summary;
+
+    fn meas(n: usize, thr: f64, cpe: f64, mspe: f64) -> Measurement {
+        Measurement {
+            n,
+            throughput: thr,
+            ms: 1.0,
+            throughput_spread: Summary::of(&[thr]).unwrap(),
+            beta1: 1.0,
+            beta2: 1.0,
+            conflicts_per_element: cpe,
+            ms_per_element: mspe,
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            series: vec![
+                Series {
+                    label: "T worst-case".into(),
+                    points: vec![meas(100, 1e6, 2.0, 0.2), meas(200, 1e6, 3.0, 0.3)],
+                },
+                Series {
+                    label: "T random".into(),
+                    points: vec![meas(100, 2e6, 1.0, 0.1), meas(200, 2e6, 1.5, 0.15)],
+                },
+            ],
+            skipped: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_panel_renders_heading_backend_and_slowdown() {
+        let panel = FigurePanel::throughput_panel("Fig. X", report())
+            .with_notes(&["paper: peak 50%, avg 40%"]);
+        let (data, comments) = panel.render(BackendKind::Analytic, false);
+        assert!(comments.contains("# Fig. X [backend: analytic]"), "{comments}");
+        assert!(comments.contains("(paper: peak 50%, avg 40%)"), "{comments}");
+        assert!(comments.contains("T: peak 100.00% at N = 100"), "{comments}");
+        assert!(data.starts_with("series,n,value\n"), "{data}");
+        assert!(data.contains("T worst-case,100,1.000000"), "{data}");
+    }
+
+    #[test]
+    fn markdown_mode_uses_unit() {
+        let panel = FigurePanel::throughput_panel("Fig. X", report());
+        let (data, _) = panel.render(BackendKind::Sim, true);
+        assert!(data.contains("value (ME/s)"), "{data}");
+    }
+
+    #[test]
+    fn rank_agreement_matches_fig6_logic() {
+        // Conflicts and runtime rank identically → exact.
+        let lines = rank_agreement_lines(&report().series);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("= exact"), "{lines:?}");
+        // Flip one runtime so the orders disagree → partial.
+        let mut r = report();
+        r.series[0].points[0].ms_per_element = 9.0;
+        let lines = rank_agreement_lines(&r.series);
+        assert!(lines[0].ends_with("= partial"), "{lines:?}");
+    }
+
+    #[test]
+    fn multi_section_panel_prints_captions_and_tables_in_order() {
+        let panel = FigurePanel {
+            heading: "Fig. 6".into(),
+            notes: Vec::new(),
+            report: report(),
+            sections: vec![
+                PanelSection {
+                    caption: Some("runtime per element"),
+                    value: |m| m.ms_per_element * 1e6,
+                    unit: "ns/element",
+                },
+                PanelSection {
+                    caption: Some("bank conflicts per element"),
+                    value: |m| m.conflicts_per_element,
+                    unit: "cycles/element",
+                },
+            ],
+            slowdown: false,
+            rank_agreement: true,
+        };
+        let (data, comments) = panel.render(BackendKind::Sim, false);
+        assert_eq!(data.matches("series,n,value").count(), 2, "{data}");
+        let runtime_pos = comments.find("runtime per element").unwrap();
+        let conflict_pos = comments.find("bank conflicts").unwrap();
+        assert!(runtime_pos < conflict_pos);
+        assert!(comments.contains("rank agreement"), "{comments}");
+    }
+
+    #[test]
+    fn skipped_cells_are_counted() {
+        let mut r = report();
+        r.skipped.push(crate::resilient::SkippedCell {
+            series: "T worst-case".into(),
+            n: 400,
+            reason: "timeout".into(),
+            attempts: 3,
+        });
+        let panel = FigurePanel::throughput_panel("Fig. X", r);
+        let (_, comments) = panel.render(BackendKind::Sim, false);
+        assert!(comments.contains("# 1 cell(s) skipped"), "{comments}");
+    }
+}

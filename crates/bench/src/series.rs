@@ -15,7 +15,7 @@ pub struct SeriesPoint {
 }
 
 /// A labelled series of measurements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Series {
     /// Legend label, e.g. `"Thrust E=15 b=512 worst-case"`.
     pub label: String,

@@ -1,0 +1,338 @@
+//! Allocation-free conflict accounting for precomputed access schedules.
+//!
+//! [`crate::ConflictCounter`] analyses an arbitrary [`crate::WarpStep`]:
+//! it stages every lane's access, sorts `(bank, addr, kind)` triples and
+//! scans for CREW races — exact, but `O(w log w)` per step plus the
+//! staging around it. When a kernel's address schedule is already known
+//! to be race-free (the analytic sort backend replays schedules whose
+//! structure the lockstep simulator validates), the same metrics can be
+//! accumulated in `O(active lanes)` per step with generation-stamped
+//! per-bank and per-address slots: bumping one counter starts a fresh
+//! step without clearing anything.
+//!
+//! The arithmetic is identical to [`crate::ConflictCounter`] by
+//! construction — `degree` is the maximum number of *distinct* addresses
+//! any bank receives, `conflicting_accesses` sums the distinct counts of
+//! banks with two or more, broadcasts (repeated addresses) dedupe — and
+//! the property tests below pin the two engines against each other on
+//! arbitrary read steps.
+
+use crate::conflict::{ConflictTotals, StepConflicts};
+use crate::BankModel;
+
+/// One bank's state in the current step.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankSlot {
+    /// Step stamp of the last touch; stale if it differs from the
+    /// accumulator's.
+    stamp: u32,
+    /// Distinct addresses received in the stamped step.
+    distinct: u32,
+}
+
+/// Streaming per-step conflict accumulator over physical addresses.
+///
+/// Drive it one warp step at a time: [`StepAccumulator::begin_step`],
+/// one [`StepAccumulator::access`] per active lane, then
+/// [`StepAccumulator::end_step`]. Reads and conflict-free writes share
+/// the same serialization arithmetic, so one accumulator serves both;
+/// CREW discipline is the *caller's* obligation (the accumulator always
+/// reports zero violations) — use [`crate::ConflictCounter`] when the
+/// schedule is untrusted.
+///
+/// ```
+/// use wcms_dmm::{BankModel, StepAccumulator};
+///
+/// let mut acc = StepAccumulator::new(BankModel::gpu32(), 128);
+/// acc.begin_step();
+/// for addr in [0, 32, 64, 96] {
+///     acc.access(addr); // four distinct addresses in bank 0
+/// }
+/// assert_eq!(acc.end_step().degree, 4);
+/// assert_eq!(acc.totals().extra_cycles, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepAccumulator {
+    model: BankModel,
+    totals: ConflictTotals,
+    /// Generation counter; a slot whose stamp differs is stale. 32 bits
+    /// keep the address table at cache-friendly density; `begin_step`
+    /// clears the tables on the (essentially unreachable) wrap.
+    stamp: u32,
+    /// Per-address stamp: deduplicates broadcast accesses within a step.
+    addr_stamp: Vec<u32>,
+    /// Per-bank slot: the step stamp it was last touched in and the
+    /// distinct-address count it accumulated there — one vector, so each
+    /// access costs one bounds check and one cache line.
+    banks: Vec<BankSlot>,
+    /// Maximum `bank_distinct` of the current step, folded per access so
+    /// closing a step is O(1).
+    step_degree: usize,
+    /// Sum of `bank_distinct` over banks with two or more distinct
+    /// addresses, folded per access: a bank's second address contributes
+    /// both (the first retroactively becomes conflicting), every later
+    /// one contributes itself.
+    step_conflicting: usize,
+    /// Lanes that issued a request this step (broadcasts included).
+    active: usize,
+}
+
+impl StepAccumulator {
+    /// New accumulator for a tile of `words` physical addresses.
+    ///
+    /// Addresses at or beyond `words` are still accepted (the slot table
+    /// grows), so a padded physical layout only needs its nominal length
+    /// here.
+    #[must_use]
+    pub fn new(model: BankModel, words: usize) -> Self {
+        let banks = model.banks();
+        Self {
+            model,
+            totals: ConflictTotals::default(),
+            stamp: 0,
+            addr_stamp: vec![0; words],
+            banks: vec![BankSlot::default(); banks],
+            step_degree: 0,
+            step_conflicting: 0,
+            active: 0,
+        }
+    }
+
+    /// The bank model in use.
+    #[must_use]
+    pub fn model(&self) -> BankModel {
+        self.model
+    }
+
+    /// Open a fresh step. Any accesses recorded before the next
+    /// [`StepAccumulator::end_step`] belong to it.
+    #[inline]
+    pub fn begin_step(&mut self) {
+        if self.stamp == u32::MAX {
+            self.addr_stamp.fill(0);
+            self.banks.fill(BankSlot::default());
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.step_degree = 0;
+        self.step_conflicting = 0;
+        self.active = 0;
+    }
+
+    /// One lane's request of physical address `addr` in the current step.
+    #[inline]
+    pub fn access(&mut self, addr: usize) {
+        self.active += 1;
+        if addr >= self.addr_stamp.len() {
+            self.addr_stamp.resize(addr + 1, 0);
+        }
+        if self.addr_stamp[addr] == self.stamp {
+            return; // broadcast: the address already counted this step
+        }
+        self.addr_stamp[addr] = self.stamp;
+        self.count_distinct_in_bank(self.model.bank_of(addr));
+    }
+
+    /// Fold one distinct address landing in `bank` into the step metrics.
+    #[inline]
+    fn count_distinct_in_bank(&mut self, bank: usize) {
+        let slot = &mut self.banks[bank];
+        if slot.stamp != self.stamp {
+            *slot = BankSlot { stamp: self.stamp, distinct: 0 };
+        }
+        slot.distinct += 1;
+        let d = slot.distinct as usize;
+        self.step_degree = self.step_degree.max(d);
+        if d == 2 {
+            self.step_conflicting += 2;
+        } else if d > 2 {
+            self.step_conflicting += 1;
+        }
+    }
+
+    /// One lane's request of `addr` when the caller guarantees `addr` is
+    /// distinct from every other address issued this step — merge-sort
+    /// write staging, strided register traffic and coalesced fills all
+    /// have this property by construction (their windows are disjoint).
+    /// Skips the broadcast-dedupe table, which is the accumulator's only
+    /// memory traffic proportional to the tile; the counted result is
+    /// identical to [`StepAccumulator::access`] whenever the guarantee
+    /// holds, and debug builds assert it per address.
+    #[inline]
+    pub fn access_distinct(&mut self, addr: usize) {
+        self.active += 1;
+        #[cfg(debug_assertions)]
+        {
+            if addr >= self.addr_stamp.len() {
+                self.addr_stamp.resize(addr + 1, 0);
+            }
+            debug_assert_ne!(
+                self.addr_stamp[addr], self.stamp,
+                "access_distinct on an address repeated within the step"
+            );
+            self.addr_stamp[addr] = self.stamp;
+        }
+        self.count_distinct_in_bank(self.model.bank_of(addr));
+    }
+
+    /// Close the current step, fold it into the totals and return its
+    /// metrics. An idle step (no accesses) records nothing, matching
+    /// [`ConflictTotals::record`]. O(1): the per-bank fold happened
+    /// access by access.
+    #[inline]
+    pub fn end_step(&mut self) -> StepConflicts {
+        let s = StepConflicts {
+            degree: self.step_degree,
+            conflicting_accesses: self.step_conflicting,
+            crew_violations: 0,
+            active_lanes: self.active,
+        };
+        self.totals.record(s);
+        s
+    }
+
+    /// Fold `times` further steps with metrics identical to `s` into the
+    /// totals, in O(1) — `record` is linear in the step, so this equals
+    /// calling it `times` more times. For callers whose schedule makes
+    /// consecutive steps provably identical: a set of contiguous windows
+    /// advancing by one address per step shifts every address by +1,
+    /// which rotates the bank assignment bijectively (`x mod w` →
+    /// `x+1 mod w`) and therefore preserves every per-bank multiplicity —
+    /// degree, conflicting accesses and active lanes cannot change.
+    /// (Only on an *unpadded* layout: padding displaces addresses by
+    /// `addr/w`, which is not a uniform shift across lanes.)
+    #[inline]
+    pub fn repeat_step(&mut self, s: StepConflicts, times: usize) {
+        if s.active_lanes == 0 || times == 0 {
+            return;
+        }
+        self.totals.steps += times;
+        self.totals.cycles += times * s.degree;
+        self.totals.conflicting_accesses += times * s.conflicting_accesses;
+        self.totals.extra_cycles += times * s.extra_cycles();
+        self.totals.max_degree = self.totals.max_degree.max(s.degree);
+        self.totals.crew_violations += times * s.crew_violations;
+        self.totals.accesses += times * s.active_lanes;
+    }
+
+    /// Record one whole step from an address iterator (convenience).
+    pub fn step<I: IntoIterator<Item = usize>>(&mut self, addrs: I) -> StepConflicts {
+        self.begin_step();
+        for a in addrs {
+            self.access(a);
+        }
+        self.end_step()
+    }
+
+    /// Running totals.
+    #[must_use]
+    pub fn totals(&self) -> ConflictTotals {
+        self.totals
+    }
+
+    /// Return the running totals and reset them (mirrors
+    /// `SharedMemory::drain_totals`, so phase attribution works the same
+    /// way on both backends).
+    pub fn drain_totals(&mut self) -> ConflictTotals {
+        let t = self.totals;
+        self.totals = ConflictTotals::default();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::WarpStep;
+    use crate::conflict::ConflictCounter;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_counter_on_canonical_steps() {
+        let cases: &[&[usize]] = &[
+            &(0..32).collect::<Vec<_>>(), // conflict-free
+            &[0, 32, 64, 96],             // 4-way in bank 0
+            &[5; 32],                     // broadcast
+            &[0, 16, 32, 1, 17, 2],       // mixed degrees (w = 16 below)
+        ];
+        for w in [16usize, 32] {
+            for addrs in cases {
+                let mut fast = StepAccumulator::new(BankModel::new(w), 128);
+                let mut slow = ConflictCounter::new(BankModel::new(w));
+                let f = fast.step(addrs.iter().copied());
+                let s = slow.count(&WarpStep::all_read(addrs));
+                assert_eq!(f, s, "w={w} addrs={addrs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_step_records_nothing() {
+        let mut acc = StepAccumulator::new(BankModel::gpu32(), 8);
+        acc.begin_step();
+        let s = acc.end_step();
+        assert_eq!(s.degree, 0);
+        assert_eq!(acc.totals(), ConflictTotals::default());
+    }
+
+    #[test]
+    fn totals_drain_like_shared_memory() {
+        let mut acc = StepAccumulator::new(BankModel::new(4), 32);
+        acc.step([0usize, 4]);
+        let t = acc.drain_totals();
+        assert_eq!(t.steps, 1);
+        assert_eq!(t.cycles, 2);
+        assert_eq!(acc.totals(), ConflictTotals::default());
+    }
+
+    #[test]
+    fn repeat_step_equals_repeated_records() {
+        let addrs = [0usize, 8, 16, 3]; // two 2-way conflicts under w=8… degree 3 in bank 0
+        let mut looped = StepAccumulator::new(BankModel::new(8), 32);
+        for _ in 0..5 {
+            looped.step(addrs.iter().copied());
+        }
+        let mut folded = StepAccumulator::new(BankModel::new(8), 32);
+        let s = folded.step(addrs.iter().copied());
+        folded.repeat_step(s, 4);
+        assert_eq!(folded.totals(), looped.totals());
+        // Idle steps fold to nothing, like `record`.
+        folded.repeat_step(
+            StepConflicts {
+                degree: 0,
+                conflicting_accesses: 0,
+                crew_violations: 0,
+                active_lanes: 0,
+            },
+            3,
+        );
+        assert_eq!(folded.totals(), looped.totals());
+    }
+
+    #[test]
+    fn grows_past_nominal_words() {
+        let mut acc = StepAccumulator::new(BankModel::new(8), 4);
+        let s = acc.step([100usize, 108]); // both bank 4, beyond nominal len
+        assert_eq!(s.degree, 2);
+    }
+
+    proptest! {
+        /// The stamp engine and the sort-and-scan engine agree on every
+        /// metric for arbitrary multi-step read schedules.
+        #[test]
+        fn agrees_with_conflict_counter(
+            w in 1usize..40,
+            steps in proptest::collection::vec(
+                proptest::collection::vec(0usize..256, 0..40), 1..12),
+        ) {
+            let mut fast = StepAccumulator::new(BankModel::new(w), 256);
+            let mut slow = ConflictCounter::new(BankModel::new(w));
+            for addrs in &steps {
+                let f = fast.step(addrs.iter().copied());
+                let s = slow.count(&WarpStep::all_read(addrs));
+                prop_assert_eq!(f, s);
+            }
+            prop_assert_eq!(fast.totals(), slow.totals());
+        }
+    }
+}

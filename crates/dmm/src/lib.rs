@@ -23,6 +23,9 @@
 //! * [`conflict`] — the conflict accounting engine and its three metrics
 //!   (per-step *degree*, the paper's *conflicting accesses* count, and
 //!   hardware-style *extra cycles*);
+//! * [`fastcount`] — the stamp-based accumulator computing the same
+//!   metrics in `O(active lanes)` per step for trusted (race-free)
+//!   schedules — the engine behind the analytic sort backend;
 //! * [`layout`] — the Dotsenko-style padding that defeats bank conflicts
 //!   at the price of `1/w` extra shared memory;
 //! * [`trace`] — optional step-by-step access traces for rendering figures;
@@ -33,6 +36,7 @@
 
 pub mod access;
 pub mod conflict;
+pub mod fastcount;
 pub mod layout;
 pub mod matrix;
 pub mod stats;
@@ -40,6 +44,7 @@ pub mod trace;
 
 pub use access::{Access, AccessKind, WarpStep};
 pub use conflict::{ConflictCounter, ConflictTotals, StepConflicts};
+pub use fastcount::StepAccumulator;
 pub use layout::{pad_address, padded_len};
 pub use matrix::{BankMatrix, CellClass, MatrixCell};
 pub use trace::{StepRecord, Trace};
@@ -84,7 +89,14 @@ impl BankModel {
     #[must_use]
     #[inline]
     pub fn bank_of(&self, addr: usize) -> usize {
-        addr % self.banks
+        // Hot path of every conflict engine; every real GPU has a
+        // power-of-two bank count, where the modulo is a mask instead of
+        // a hardware divide.
+        if self.banks.is_power_of_two() {
+            addr & (self.banks - 1)
+        } else {
+            addr % self.banks
+        }
     }
 
     /// Column (row index within the bank) of `addr` in the matrix view.

@@ -62,6 +62,40 @@ where
     (lo, iters)
 }
 
+/// As [`merge_path`], invoking `on_probe(a_index, b_index)` for every
+/// search iteration instead of materialising the probe list — the
+/// allocation-free form the schedule walkers stream from. This is the
+/// single implementation of the traced search; [`merge_path_trace`] is a
+/// collecting wrapper around it.
+pub fn merge_path_visit<K, FA, FB, P>(
+    d: usize,
+    a_len: usize,
+    b_len: usize,
+    mut a_at: FA,
+    mut b_at: FB,
+    mut on_probe: P,
+) -> usize
+where
+    K: Ord,
+    FA: FnMut(usize) -> K,
+    FB: FnMut(usize) -> K,
+    P: FnMut(usize, usize),
+{
+    debug_assert!(d <= a_len + b_len, "diagonal beyond the merge");
+    let mut lo = d.saturating_sub(b_len);
+    let mut hi = d.min(a_len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        on_probe(mid, d - 1 - mid);
+        if a_at(mid) <= b_at(d - 1 - mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 /// As [`merge_path`], additionally returning the `(a_index, b_index)`
 /// probe pair of every search iteration — the mutual-binary-search access
 /// pattern whose shared-memory conflicts the paper's `β₁` measures.
@@ -69,28 +103,17 @@ pub fn merge_path_trace<K, FA, FB>(
     d: usize,
     a_len: usize,
     b_len: usize,
-    mut a_at: FA,
-    mut b_at: FB,
+    a_at: FA,
+    b_at: FB,
 ) -> (usize, Vec<(usize, usize)>)
 where
     K: Ord,
     FA: FnMut(usize) -> K,
     FB: FnMut(usize) -> K,
 {
-    debug_assert!(d <= a_len + b_len, "diagonal beyond the merge");
-    let mut lo = d.saturating_sub(b_len);
-    let mut hi = d.min(a_len);
     let mut probes = Vec::new();
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        probes.push((mid, d - 1 - mid));
-        if a_at(mid) <= b_at(d - 1 - mid) {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
-    }
-    (lo, probes)
+    let corank = merge_path_visit(d, a_len, b_len, a_at, b_at, |ai, bi| probes.push((ai, bi)));
+    (corank, probes)
 }
 
 #[cfg(test)]

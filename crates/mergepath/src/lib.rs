@@ -28,6 +28,6 @@ pub mod diagonal;
 pub mod partition;
 pub mod serial;
 
-pub use diagonal::{merge_path, merge_path_counted};
+pub use diagonal::{merge_path, merge_path_counted, merge_path_visit};
 pub use partition::{partition_even, require_valid_corank, validate_corank, Corank};
 pub use serial::{merge_emit, MergeSource};

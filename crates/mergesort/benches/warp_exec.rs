@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the lockstep warp executor: the data-carrying
+//! read replay (`lockstep_reads`, what the sim backend pays per merge
+//! step) against the accounting-only replay (`lockstep_probe`, what the
+//! schedule refactor lets phases share when the values are not needed).
+//! The gap between the two is the per-step price of moving data through
+//! the simulated shared memory — the cost the analytic backend avoids
+//! wholesale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wcms_dmm::BankModel;
+use wcms_gpu_sim::SharedMemory;
+use wcms_mergesort::warp_exec::{lockstep_probe, lockstep_reads};
+
+const W: usize = 32;
+const WORDS: usize = 2048;
+
+/// Per-thread read sequences with an adversarial stride, so the bank
+/// counter does real serialization work rather than the all-broadcast
+/// fast path.
+fn strided_seqs(threads: usize, len: usize) -> Vec<Vec<usize>> {
+    (0..threads).map(|t| (0..len).map(|j| (t * len + j * W + t) % WORDS).collect()).collect()
+}
+
+fn bench_warp_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_exec");
+    for &(threads, len) in &[(128usize, 15usize), (512, 15)] {
+        let seqs = strided_seqs(threads, len);
+        group.bench_with_input(
+            BenchmarkId::new("lockstep_reads", format!("{threads}x{len}")),
+            &seqs,
+            |b, seqs| {
+                let mut smem = SharedMemory::<u32>::new(BankModel::new(W), WORDS);
+                b.iter(|| {
+                    let out = lockstep_reads(&mut smem, black_box(seqs), W).unwrap();
+                    black_box(out);
+                    black_box(smem.drain_totals());
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lockstep_probe", format!("{threads}x{len}")),
+            &seqs,
+            |b, seqs| {
+                let mut smem = SharedMemory::<u32>::new(BankModel::new(W), WORDS);
+                b.iter(|| {
+                    lockstep_probe(&mut smem, black_box(seqs), W).unwrap();
+                    black_box(smem.drain_totals());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warp_exec);
+criterion_main!(benches);

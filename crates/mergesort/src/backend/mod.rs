@@ -1,0 +1,226 @@
+//! Pluggable execution backends for the simulated sort.
+//!
+//! The round structure of the pairwise merge sort — base case, then
+//! `log₂(N/bE)` global merge rounds — is fixed by the algorithm; what
+//! varies is *how one work unit executes*: cycle-accurate lockstep
+//! replay, fast analytic conflict counting, or a plain CPU reference.
+//! [`ExecBackend`] captures exactly that unit ("run one base-case block
+//! / one merge block and return `(output, RoundCounters)`"), and the
+//! drivers in [`crate::driver`] are generic over it:
+//!
+//! ```text
+//!                 sort_with_report_on / sort_resilient_on
+//!                      (round loop, Rayon fan-out,
+//!                       retry/degrade policy)
+//!                                │
+//!                        trait ExecBackend
+//!                 base_block · merge_unit · partition_unit
+//!             ┌──────────────────┼──────────────────┐
+//!        SimBackend       AnalyticBackend     ReferenceBackend
+//!        lockstep          schedule replay       sort_unstable
+//!        SharedMemory      into a                / merge_emit,
+//!        replay, exact     StepAccumulator,      no counters
+//!        values+counters   exact counters        (degrade ladder)
+//! ```
+//!
+//! [`SimBackend`] and [`AnalyticBackend`] consume the *same* address
+//! schedules ([`crate::schedule::MergeSchedule`]) and differ only in the
+//! accounting engine, which is why their counters agree integer for
+//! integer (asserted by the cross-validation tests in the bench crate).
+
+mod analytic;
+mod reference;
+mod sim;
+
+pub use analytic::AnalyticBackend;
+pub use reference::ReferenceBackend;
+pub use sim::SimBackend;
+
+use wcms_error::WcmsError;
+use wcms_gpu_sim::fault::FaultInjector;
+use wcms_gpu_sim::GpuKey;
+
+use crate::driver::{sort_resilient_on, sort_with_report_on, FaultReport, RecoveryPolicy};
+use crate::instrument::{RoundCounters, SortReport};
+use crate::params::SortParams;
+
+/// One execution engine for the sort's work units.
+///
+/// A backend owns the execution of a single thread block's work — one
+/// base-case tile sort, one global-merge output window, one partition
+/// kernel — and reports the unit's counters. The drivers compose units
+/// into full sorts; backends never see the round loop.
+pub trait ExecBackend: Sync {
+    /// Short stable name (the `--backend` CLI value).
+    fn name(&self) -> &'static str;
+
+    /// Sort one base-case block of exactly `bE` elements. `global_offset`
+    /// is the block's word offset in device memory (sector accounting).
+    ///
+    /// # Errors
+    ///
+    /// [`WcmsError::InvalidLength`] for a chunk that is not `bE` long,
+    /// plus any kernel-detected corruption the backend models.
+    fn base_block<K: GpuKey>(
+        &self,
+        chunk: &[K],
+        global_offset: usize,
+        params: &SortParams,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError>;
+
+    /// Merge one block's `bE`-element output window of the sorted pair
+    /// `(a, b)`. Mirrors [`crate::globalmerge::merge_block`]'s contract:
+    /// `precomputed` carries the co-ranks of a separate partition kernel
+    /// (Modern GPU), `None` makes the block search its own (Thrust).
+    ///
+    /// # Errors
+    ///
+    /// [`WcmsError::PartitionValidation`] for a corrupted co-rank pair,
+    /// plus any kernel-detected corruption the backend models.
+    #[allow(clippy::too_many_arguments)] // mirrors the kernel launch signature
+    fn merge_unit<K: GpuKey>(
+        &self,
+        a: &[K],
+        b: &[K],
+        a_offset: usize,
+        b_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<(usize, usize)>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError>;
+
+    /// The Modern GPU partition kernel for one pair: every merge block's
+    /// `(ca_start, ca_end)` co-ranks plus the kernel's counters. The
+    /// kernel is shared-memory-free, so the lockstep default serves the
+    /// analytic backend too.
+    fn partition_unit<K: GpuKey>(
+        &self,
+        a: &[K],
+        b: &[K],
+        num_blocks: usize,
+        params: &SortParams,
+    ) -> (Vec<(usize, usize)>, RoundCounters) {
+        crate::globalmerge::partition_pass(a, b, num_blocks, params)
+    }
+}
+
+/// Value-level backend selector (the `--backend {sim,analytic,reference}`
+/// flag of every bench binary).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum BackendKind {
+    /// Cycle-accurate lockstep simulation ([`SimBackend`]).
+    #[default]
+    Sim,
+    /// Fast analytic conflict prediction ([`AnalyticBackend`]).
+    Analytic,
+    /// Plain CPU reference, no counters ([`ReferenceBackend`]).
+    Reference,
+}
+
+impl BackendKind {
+    /// All selectable backends, in CLI listing order.
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::Sim, BackendKind::Analytic, BackendKind::Reference];
+
+    /// The stable CLI name (`sim`, `analytic`, `reference`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Analytic => "analytic",
+            BackendKind::Reference => "reference",
+        }
+    }
+
+    /// Run the full instrumented sort on this backend (value-level
+    /// dispatch over [`sort_with_report_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_with_report_on`].
+    pub fn sort_with_report<K: GpuKey>(
+        self,
+        input: &[K],
+        params: &SortParams,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        match self {
+            BackendKind::Sim => sort_with_report_on(input, params, &SimBackend),
+            BackendKind::Analytic => sort_with_report_on(input, params, &AnalyticBackend),
+            BackendKind::Reference => sort_with_report_on(input, params, &ReferenceBackend),
+        }
+    }
+
+    /// Run the fault-hardened sort on this backend (value-level dispatch
+    /// over [`sort_resilient_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_resilient_on`].
+    pub fn sort_resilient<K: GpuKey>(
+        self,
+        input: &[K],
+        params: &SortParams,
+        injector: &FaultInjector,
+        policy: &RecoveryPolicy,
+    ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+        match self {
+            BackendKind::Sim => sort_resilient_on(input, params, injector, policy, &SimBackend),
+            BackendKind::Analytic => {
+                sort_resilient_on(input, params, injector, policy, &AnalyticBackend)
+            }
+            BackendKind::Reference => {
+                sort_resilient_on(input, params, injector, policy, &ReferenceBackend)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = WcmsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(BackendKind::Sim),
+            "analytic" => Ok(BackendKind::Analytic),
+            "reference" => Ok(BackendKind::Reference),
+            other => Err(WcmsError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unknown backend '{other}' (expected sim, analytic or reference)"),
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("gpu".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn kind_names_match_backend_names() {
+        assert_eq!(BackendKind::Sim.name(), SimBackend.name());
+        assert_eq!(BackendKind::Analytic.name(), AnalyticBackend.name());
+        assert_eq!(BackendKind::Reference.name(), ReferenceBackend.name());
+    }
+
+    #[test]
+    fn default_kind_is_sim() {
+        assert_eq!(BackendKind::default(), BackendKind::Sim);
+    }
+}

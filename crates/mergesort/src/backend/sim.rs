@@ -1,0 +1,47 @@
+//! The cycle-accurate lockstep backend — the paper's measurement
+//! instrument, and the default everywhere.
+
+use wcms_error::WcmsError;
+use wcms_gpu_sim::GpuKey;
+
+use crate::blocksort::block_sort;
+use crate::globalmerge::merge_block;
+use crate::instrument::RoundCounters;
+use crate::params::SortParams;
+
+use super::ExecBackend;
+
+/// Warp-lockstep execution against a simulated [`wcms_gpu_sim::SharedMemory`]
+/// tile: every access replayed step by step, every conflict charged by the
+/// DMM model, CREW discipline enforced. Exact but slow — this is the
+/// backend the analytic engine is validated against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimBackend;
+
+impl ExecBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn base_block<K: GpuKey>(
+        &self,
+        chunk: &[K],
+        global_offset: usize,
+        params: &SortParams,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        block_sort(chunk, global_offset, params)
+    }
+
+    fn merge_unit<K: GpuKey>(
+        &self,
+        a: &[K],
+        b: &[K],
+        a_offset: usize,
+        b_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<(usize, usize)>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        merge_block(a, b, a_offset, b_offset, block_index, params, precomputed)
+    }
+}

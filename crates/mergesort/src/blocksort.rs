@@ -15,13 +15,12 @@
 use wcms_dmm::BankModel;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::{tile_traffic_words, GpuKey, SharedMemory};
-use wcms_mergepath::diagonal::merge_path_trace;
-use wcms_mergepath::serial::{merge_emit, MergeSource};
 
 use crate::instrument::RoundCounters;
 use crate::network::odd_even_sort;
 use crate::params::SortParams;
-use crate::warp_exec::{coalesced_fill, lockstep_reads, lockstep_writes};
+use crate::schedule::MergeSchedule;
+use crate::warp_exec::{coalesced_fill, lockstep_probe, lockstep_reads, lockstep_writes};
 
 /// Sort one block's `bE` elements, charging all memory traffic.
 /// `global_offset` is the block's word offset in device memory (for exact
@@ -75,72 +74,25 @@ pub fn block_sort<K: GpuKey>(
 }
 
 /// One in-block merge round: `2^round` threads per pair of
-/// `2^{round−1}·E`-element runs.
+/// `2^{round−1}·E`-element runs. The schedule (addresses and merged
+/// values) comes from [`MergeSchedule`]; this function only replays it
+/// against the tile for exact accounting.
 fn merge_round_in_block<K: GpuKey>(
     smem: &mut SharedMemory<K>,
     round: usize,
     params: &SortParams,
     counters: &mut RoundCounters,
 ) -> Result<(), WcmsError> {
-    let (w, e, b) = (params.w, params.e, params.b);
-    let threads_per_pair = 1usize << round;
-    let half = (threads_per_pair / 2) * e;
+    let w = params.w;
+    let sched = MergeSchedule::in_block_round(smem.as_slice(), round, params);
 
-    // Oracle view of the tile for computing partitions and merge orders
-    // (the data a real thread would read; accounting happens in the
-    // lockstep replay below).
-    let tile: Vec<K> = smem.as_slice().to_vec();
-
-    let mut probe_seqs: Vec<Vec<usize>> = Vec::with_capacity(b);
-    let mut merge_seqs: Vec<Vec<usize>> = Vec::with_capacity(b);
-    let mut write_addrs: Vec<Vec<usize>> = Vec::with_capacity(b);
-
-    for t in 0..b {
-        let pair = t / threads_per_pair;
-        let within = t % threads_per_pair;
-        let pair_base = pair * threads_per_pair * e;
-        let a = &tile[pair_base..pair_base + half];
-        let bl = &tile[pair_base + half..pair_base + 2 * half];
-
-        let diag = within * e;
-        let (corank, probes) = merge_path_trace(diag, a.len(), bl.len(), |i| a[i], |j| bl[j]);
-        // Interleave A- and B-probes: the mutual search touches one
-        // element of each list per iteration.
-        let mut pseq = Vec::with_capacity(probes.len() * 2);
-        for (ai, bi) in probes {
-            pseq.push(pair_base + ai);
-            pseq.push(pair_base + half + bi);
-        }
-        probe_seqs.push(pseq);
-
-        let (a0, b0) = (corank, diag - corank);
-        let mut mseq = Vec::with_capacity(e);
-        merge_emit(
-            a0,
-            b0,
-            a.len(),
-            bl.len(),
-            e,
-            |i| a[i],
-            |j| bl[j],
-            |_, src, idx| {
-                mseq.push(match src {
-                    MergeSource::A => pair_base + idx,
-                    MergeSource::B => pair_base + half + idx,
-                });
-            },
-        );
-        merge_seqs.push(mseq);
-        write_addrs.push((pair_base + diag..pair_base + diag + e).collect());
-    }
-
-    let _ = lockstep_reads(smem, &probe_seqs, w)?;
+    lockstep_probe(smem, &sched.probe_seqs, w)?;
     counters.shared.partition.merge(&smem.drain_totals());
 
-    let merged_vals = lockstep_reads(smem, &merge_seqs, w)?;
+    lockstep_probe(smem, &sched.merge_seqs, w)?;
     counters.shared.merge.merge(&smem.drain_totals());
 
-    lockstep_writes(smem, &write_addrs, &merged_vals, w)?;
+    lockstep_writes(smem, &sched.write_addrs, &sched.merged_vals, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
     Ok(())
 }

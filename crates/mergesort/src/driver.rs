@@ -11,11 +11,9 @@ use rayon::prelude::*;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::fault::FaultInjector;
 use wcms_gpu_sim::FaultCounters;
-use wcms_mergepath::cpu::merge_ref;
 use wcms_mergepath::diagonal::merge_path;
 
-use crate::blocksort::block_sort;
-use crate::globalmerge::{merge_block, partition_pass};
+use crate::backend::{ExecBackend, ReferenceBackend, SimBackend};
 use crate::instrument::{RoundCounters, SortReport};
 use crate::params::{SortParams, SortVariant};
 use crate::verify::{check_round_output, multiset_hash};
@@ -44,6 +42,23 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
     input: &[K],
     params: &SortParams,
 ) -> Result<(Vec<K>, SortReport), WcmsError> {
+    sort_with_report_on(input, params, &SimBackend)
+}
+
+/// [`sort_with_report`] generic over the execution backend: the round
+/// loop and Rayon fan-out live here, the per-unit execution in
+/// `backend`. Every backend sees the identical decomposition into work
+/// units, so backends can only differ in how a unit executes — the
+/// property the analytic/sim cross-validation rests on.
+///
+/// # Errors
+///
+/// Same conditions as [`sort_with_report`].
+pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    backend: &impl ExecBackend,
+) -> Result<(Vec<K>, SortReport), WcmsError> {
     let n = input.len();
     if !params.valid_len(n) {
         return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
@@ -54,7 +69,7 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
     let block_results: Vec<(Vec<K>, RoundCounters)> = input
         .par_chunks(be)
         .enumerate()
-        .map(|(j, chunk)| block_sort(chunk, j * be, params))
+        .map(|(j, chunk)| backend.base_block(chunk, j * be, params))
         .collect::<Result<_, _>>()?;
     let mut base = RoundCounters::default();
     let mut cur = Vec::with_capacity(n);
@@ -81,7 +96,7 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
                         let pair_base = pair * pair_len;
                         let a = &cur[pair_base..pair_base + list_len];
                         let b = &cur[pair_base + list_len..pair_base + pair_len];
-                        partition_pass(a, b, blocks_per_pair, params)
+                        backend.partition_unit(a, b, blocks_per_pair, params)
                     })
                     .collect();
                 let mut counters = RoundCounters::default();
@@ -102,7 +117,7 @@ pub fn sort_with_report<K: wcms_gpu_sim::GpuKey>(
                 let a = &cur[pair_base..pair_base + list_len];
                 let b = &cur[pair_base + list_len..pair_base + pair_len];
                 let pre = partitions.as_ref().map(|(coranks, _)| coranks[pair][j]);
-                merge_block(a, b, pair_base, pair_base + list_len, j, params, pre)
+                backend.merge_unit(a, b, pair_base, pair_base + list_len, j, params, pre)
             })
             .collect::<Result<_, _>>()?;
 
@@ -253,6 +268,25 @@ pub fn sort_resilient<K: wcms_gpu_sim::GpuKey>(
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
 ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+    sort_resilient_on(input, params, injector, policy, &SimBackend)
+}
+
+/// [`sort_resilient`] generic over the execution backend: the
+/// retry/degrade policy is a pure wrapper around *any* [`ExecBackend`] —
+/// injection corrupts a unit's inputs, the unit runs on `backend`, and
+/// the degrade ladder always bottoms out on the trusted
+/// [`ReferenceBackend`] regardless of the primary backend.
+///
+/// # Errors
+///
+/// Same conditions as [`sort_resilient`].
+pub fn sort_resilient_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
+) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
     let n = input.len();
     if !params.valid_len(n) {
         return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
@@ -264,7 +298,7 @@ pub fn sort_resilient<K: wcms_gpu_sim::GpuKey>(
     let block_results: Vec<(Vec<K>, RoundCounters, FaultReport)> = input
         .par_chunks(be)
         .enumerate()
-        .map(|(j, chunk)| resilient_base_block(chunk, j, params, injector, policy))
+        .map(|(j, chunk)| resilient_base_block(chunk, j, params, injector, policy, backend))
         .collect::<Result<_, _>>()?;
     let mut base = RoundCounters::default();
     let mut cur = Vec::with_capacity(n);
@@ -285,7 +319,9 @@ pub fn sort_resilient<K: wcms_gpu_sim::GpuKey>(
             .par_chunks(pair_len)
             .enumerate()
             .map(|(pair, pair_input)| {
-                resilient_merge_pair(pair_input, list_len, pair, round, params, injector, policy)
+                resilient_merge_pair(
+                    pair_input, list_len, pair, round, params, injector, policy, backend,
+                )
             })
             .collect::<Result<_, _>>()?;
 
@@ -312,6 +348,7 @@ fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
     params: &SortParams,
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
 ) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
     let be = params.block_elems();
     let expect_hash = multiset_hash(chunk);
@@ -326,9 +363,9 @@ fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
             let mut tile = chunk.to_vec();
             f.counters.tile_faults += 1;
             f.counters.bits_flipped += injector.flip_tile_bits(&mut tile, 0, j, attempt);
-            block_sort(&tile, j * be, params)
+            backend.base_block(&tile, j * be, params)
         } else {
-            block_sort(chunk, j * be, params)
+            backend.base_block(chunk, j * be, params)
         };
         match result {
             Ok((out, c)) => {
@@ -350,14 +387,14 @@ fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
     }
     f.counters.cpu_fallbacks += 1;
     f.degraded.push((0, j));
-    let mut out = chunk.to_vec();
-    out.sort_unstable();
+    let (out, _) = ReferenceBackend.base_block(chunk, j * be, params)?;
     Ok((out, RoundCounters::default(), f))
 }
 
 /// One merged pair of one global round under injection: run every block
 /// of the pair, check the assembled pair output, retry the whole pair
 /// from the immutable round input on detection.
+#[allow(clippy::too_many_arguments)] // internal retry-loop plumbing
 fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
     pair_input: &[K],
     list_len: usize,
@@ -366,6 +403,7 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
     params: &SortParams,
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
 ) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
     let be = params.block_elems();
     let pair_len = pair_input.len();
@@ -383,7 +421,7 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
         // The Modern GPU partition kernel reruns with the rest of the
         // attempt (its co-ranks are inputs to every merge block).
         let partitions = (params.variant == SortVariant::ModernGpu)
-            .then(|| partition_pass(a, b, blocks_per_pair, params));
+            .then(|| backend.partition_unit(a, b, blocks_per_pair, params));
         let mut counters = partitions.as_ref().map(|(_, c)| *c).unwrap_or_default();
         let mut out = Vec::with_capacity(pair_len);
         let mut kernel_fault = false;
@@ -413,9 +451,9 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
                 f.counters.bits_flipped +=
                     injector.flip_tile_bits(&mut tile, round, block, attempt);
                 let (ta, tb) = tile.split_at(list_len);
-                merge_block(ta, tb, pair_base, pair_base + list_len, j, params, pre)
+                backend.merge_unit(ta, tb, pair_base, pair_base + list_len, j, params, pre)
             } else {
-                merge_block(a, b, pair_base, pair_base + list_len, j, params, pre)
+                backend.merge_unit(a, b, pair_base, pair_base + list_len, j, params, pre)
             };
             match result {
                 Ok((chunk, c)) => {
@@ -453,7 +491,7 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
     }
     f.counters.cpu_fallbacks += 1;
     f.degraded.push((round, pair));
-    Ok((merge_ref(a, b), RoundCounters::default(), f))
+    Ok((ReferenceBackend.merge_pair(a, b), RoundCounters::default(), f))
 }
 
 #[cfg(test)]

@@ -15,12 +15,12 @@
 use wcms_dmm::BankModel;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::{scalar_traffic, tile_traffic_words, GpuKey, SharedMemory};
-use wcms_mergepath::diagonal::{merge_path, merge_path_trace};
-use wcms_mergepath::serial::{merge_emit, MergeSource};
+use wcms_mergepath::diagonal::merge_path_trace;
 
 use crate::instrument::RoundCounters;
 use crate::params::SortParams;
-use crate::warp_exec::{coalesced_fill, lockstep_reads, lockstep_writes};
+use crate::schedule::{find_block_coranks, validate_coranks, MergeSchedule};
+use crate::warp_exec::{coalesced_fill, lockstep_probe, lockstep_writes};
 
 /// Merge the quantile of one thread block.
 ///
@@ -52,50 +52,15 @@ pub fn merge_block<K: GpuKey>(
     precomputed: Option<(usize, usize)>,
 ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
     let be = params.block_elems();
-    let (w, e) = (params.w, params.e);
+    let w = params.w;
     let mut counters = RoundCounters { blocks: 1, ..Default::default() };
 
     // --- Stage 1: block partition in global memory.
     let diag_start = block_index * be;
     let diag_end = diag_start + be;
-    let (ca_start, ca_end) = match precomputed {
-        Some((start, end)) => {
-            // Fetch the co-rank pair written by the partition kernel.
-            counters.global.merge(&scalar_traffic());
-            counters.global.merge(&scalar_traffic());
-            (start, end)
-        }
-        None => {
-            let (start, probes) =
-                merge_path_trace(diag_start, a.len(), b.len(), |i| a[i], |j| b[j]);
-            for _ in probes {
-                // One A-probe and one B-probe per iteration, each a
-                // scalar read.
-                counters.global.merge(&scalar_traffic());
-                counters.global.merge(&scalar_traffic());
-            }
-            // The end co-rank comes from the neighbouring block's search
-            // (broadcast through shared memory); not charged twice.
-            let end = merge_path(diag_end, a.len(), b.len(), |i| a[i], |j| b[j]);
-            (start, end)
-        }
-    };
-    // A corrupted co-rank pair (fault injection, flaky partition kernel)
-    // must surface as a typed error, never as a slice panic.
-    if ca_start > ca_end
-        || ca_end > a.len()
-        || ca_start > diag_start
-        || ca_end > diag_end
-        || diag_start - ca_start > b.len()
-        || diag_end - ca_end > b.len()
-        || diag_start - ca_start > diag_end - ca_end
-    {
-        return Err(WcmsError::PartitionValidation {
-            round: 0,
-            block: block_index,
-            corank: (ca_start, ca_end),
-        });
-    }
+    let (ca_start, ca_end) =
+        find_block_coranks(a, b, diag_start, diag_end, precomputed, &mut counters);
+    validate_coranks((ca_start, ca_end), diag_start, diag_end, a.len(), b.len(), block_index)?;
     let (cb_start, cb_end) = (diag_start - ca_start, diag_end - ca_end);
 
     let a_part = &a[ca_start..ca_end];
@@ -114,50 +79,18 @@ pub fn merge_block<K: GpuKey>(
     coalesced_fill(&mut smem, la, b_part, params.b, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
 
-    // --- Stage 3: GPU Merge Path within the tile.
-    let mut probe_seqs: Vec<Vec<usize>> = Vec::with_capacity(params.b);
-    let mut merge_seqs: Vec<Vec<usize>> = Vec::with_capacity(params.b);
-    let mut write_addrs: Vec<Vec<usize>> = Vec::with_capacity(params.b);
-    for t in 0..params.b {
-        let diag = t * e;
-        let (corank, probes) =
-            merge_path_trace(diag, a_part.len(), b_part.len(), |i| a_part[i], |j| b_part[j]);
-        let mut pseq = Vec::with_capacity(probes.len() * 2);
-        for (ai, bi) in probes {
-            pseq.push(ai);
-            pseq.push(la + bi);
-        }
-        probe_seqs.push(pseq);
+    // --- Stage 3: GPU Merge Path within the tile, replaying the shared
+    // schedule for exact accounting.
+    let sched = MergeSchedule::block_merge(a_part, b_part, params);
 
-        let (a0, b0) = (corank, diag - corank);
-        let mut mseq = Vec::with_capacity(e);
-        merge_emit(
-            a0,
-            b0,
-            a_part.len(),
-            b_part.len(),
-            e,
-            |i| a_part[i],
-            |j| b_part[j],
-            |_, src, idx| {
-                mseq.push(match src {
-                    MergeSource::A => idx,
-                    MergeSource::B => la + idx,
-                });
-            },
-        );
-        merge_seqs.push(mseq);
-        write_addrs.push((diag..diag + e).collect());
-    }
-
-    let _ = lockstep_reads(&mut smem, &probe_seqs, w)?;
+    lockstep_probe(&mut smem, &sched.probe_seqs, w)?;
     counters.shared.partition.merge(&smem.drain_totals());
 
-    let merged_vals = lockstep_reads(&mut smem, &merge_seqs, w)?;
+    lockstep_probe(&mut smem, &sched.merge_seqs, w)?;
     counters.shared.merge.merge(&smem.drain_totals());
 
     // --- Stage 4: stage merged results and store coalesced.
-    lockstep_writes(&mut smem, &write_addrs, &merged_vals, w)?;
+    lockstep_writes(&mut smem, &sched.write_addrs, &sched.merged_vals, w)?;
     counters.shared.transfer.merge(&smem.drain_totals());
     counters.global.merge(&tile_traffic_words(a_offset + diag_start, be, w, K::WORD_BYTES));
 

@@ -27,12 +27,21 @@
 //! checks ([`verify::check_round_output`]), bounded retry from each
 //! unit's immutable input, and CPU-reference degradation — transient
 //! faults are detected and recovered, never silently propagated.
+//!
+//! Both drivers are generic over a pluggable [`backend::ExecBackend`]
+//! that executes one work unit at a time: the cycle-accurate
+//! [`backend::SimBackend`] (the default), the order-of-magnitude-faster
+//! [`backend::AnalyticBackend`] with integer-identical counters, and the
+//! counter-free CPU [`backend::ReferenceBackend`] that also serves as
+//! the resilient degrade ladder's bottom rung. All three share the
+//! per-thread address schedules of [`schedule`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod assess;
+pub mod backend;
 pub mod bitonic;
 pub mod blocksort;
 pub mod driver;
@@ -40,14 +49,16 @@ pub mod globalmerge;
 pub mod instrument;
 pub mod network;
 pub mod params;
+pub mod schedule;
 pub mod verify;
-
-mod warp_exec;
+pub mod warp_exec;
 
 pub use assess::{assess_input, ConflictSeverity, InputAssessment};
+pub use backend::{AnalyticBackend, BackendKind, ExecBackend, ReferenceBackend, SimBackend};
 pub use bitonic::bitonic_sort_with_report;
 pub use driver::{
-    sort, sort_padded, sort_resilient, sort_with_report, FaultReport, RecoveryPolicy,
+    sort, sort_padded, sort_resilient, sort_resilient_on, sort_with_report, sort_with_report_on,
+    FaultReport, RecoveryPolicy,
 };
 pub use instrument::{PhaseTotals, RoundCounters, SortReport};
 pub use params::SortParams;

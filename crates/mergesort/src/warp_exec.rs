@@ -12,8 +12,13 @@ use wcms_gpu_sim::SharedMemory;
 
 /// Replay per-thread *read* sequences: `seqs[t][j]` is the tile address
 /// thread `t` reads at its step `j`. Returns the values read, in the same
-/// shape. Propagates the tile's typed errors (out-of-bounds addresses).
-pub(crate) fn lockstep_reads<K: Copy + Default>(
+/// shape. The `addrs`/`vals` lane buffers are allocated once per call and
+/// reused across every warp chunk and step.
+///
+/// # Errors
+///
+/// Propagates the tile's typed errors (out-of-bounds addresses).
+pub fn lockstep_reads<K: Copy + Default>(
     smem: &mut SharedMemory<K>,
     seqs: &[Vec<usize>],
     warp: usize,
@@ -40,10 +45,44 @@ pub(crate) fn lockstep_reads<K: Copy + Default>(
     Ok(out)
 }
 
+/// Replay per-thread read sequences for *accounting only*, discarding the
+/// values. The charge is identical to [`lockstep_reads`] — same steps,
+/// same lanes, same addresses — but no per-thread result vectors are
+/// allocated, which matters on the β₁/β₂ replay paths that only need the
+/// conflict counts (the merged values already live in the
+/// [`crate::schedule::MergeSchedule`]).
+///
+/// # Errors
+///
+/// Propagates the tile's typed errors (out-of-bounds addresses).
+pub fn lockstep_probe<K: Copy + Default>(
+    smem: &mut SharedMemory<K>,
+    seqs: &[Vec<usize>],
+    warp: usize,
+) -> Result<(), WcmsError> {
+    let mut addrs: Vec<Option<usize>> = vec![None; warp];
+    let mut vals: Vec<Option<K>> = vec![None; warp];
+    for warp_threads in seqs.chunks(warp) {
+        let lanes = warp_threads.len();
+        let steps = warp_threads.iter().map(Vec::len).max().unwrap_or(0);
+        for j in 0..steps {
+            for (lane, seq) in warp_threads.iter().enumerate() {
+                addrs[lane] = seq.get(j).copied();
+            }
+            smem.read_step(&addrs[..lanes], &mut vals)?;
+        }
+    }
+    Ok(())
+}
+
 /// Replay per-thread *write* sequences: thread `t` writes value
-/// `vals[t][j]` to address `addrs[t][j]` at step `j`. Propagates the
-/// tile's typed errors (CREW violations, out-of-bounds addresses).
-pub(crate) fn lockstep_writes<K: Copy + Default>(
+/// `vals[t][j]` to address `addrs[t][j]` at step `j`.
+///
+/// # Errors
+///
+/// Propagates the tile's typed errors (CREW violations, out-of-bounds
+/// addresses).
+pub fn lockstep_writes<K: Copy + Default>(
     smem: &mut SharedMemory<K>,
     addrs: &[Vec<usize>],
     vals: &[Vec<K>],
@@ -68,7 +107,11 @@ pub(crate) fn lockstep_writes<K: Copy + Default>(
 /// Coalesced block transfer into shared memory: `b` threads write the
 /// `values` round-robin (pass `k`, warp `v`, lane `l` → tile offset
 /// `dst + k·b + v·w + l`). The canonical conflict-free tile fill.
-pub(crate) fn coalesced_fill<K: Copy + Default>(
+///
+/// # Errors
+///
+/// Propagates the tile's typed errors (out-of-bounds addresses).
+pub fn coalesced_fill<K: Copy + Default>(
     smem: &mut SharedMemory<K>,
     dst: usize,
     values: &[K],
@@ -123,6 +166,16 @@ mod tests {
         let _ = lockstep_reads(&mut m, &seqs, 4).unwrap();
         assert_eq!(m.totals().cycles, 2);
         assert_eq!(m.totals().max_degree, 2);
+    }
+
+    #[test]
+    fn lockstep_probe_charges_exactly_like_reads() {
+        let seqs = vec![vec![0, 4, 8], vec![4], vec![1, 5], vec![2], vec![3, 7]];
+        let mut read_m = smem(16);
+        let _ = lockstep_reads(&mut read_m, &seqs, 4).unwrap();
+        let mut probe_m = smem(16);
+        lockstep_probe(&mut probe_m, &seqs, 4).unwrap();
+        assert_eq!(read_m.totals(), probe_m.totals());
     }
 
     #[test]

@@ -7,7 +7,11 @@
 #   3. a `--resume` run completes from the surviving checkpoints;
 #   4. the resumed CSV must be byte-identical to the uninterrupted one
 #      (the checkpoint codec round-trips every f64 exactly);
-#   5. the deterministic fault-injection suites run at their fixed seeds.
+#   5. an `--backend analytic` sweep must produce byte-identical CSV to
+#      the simulated one (the analytic engine's counters are integer-
+#      identical, so every derived figure cell matches exactly), and a
+#      `--backend reference` sweep must at least complete;
+#   6. the deterministic fault-injection suites run at their fixed seeds.
 #
 # Run from anywhere inside the repository: ./scripts/resilience_smoke.sh
 set -euo pipefail
@@ -29,6 +33,15 @@ timeout -s KILL 2 "$FIG4" --quick > /dev/null || true
 "$FIG4" --quick --resume > "$SCRATCH/resumed.csv"
 diff -u "$SCRATCH/clean.csv" "$SCRATCH/resumed.csv"
 echo "resume OK: resumed sweep is byte-identical to the uninterrupted one"
+
+# Backends. Checkpoints are namespaced per backend, so the analytic run
+# below recomputes every cell rather than replaying the sim's store —
+# the byte-identical diff is a real cross-engine check.
+"$FIG4" --quick --backend analytic > "$SCRATCH/analytic.csv"
+diff -u "$SCRATCH/clean.csv" "$SCRATCH/analytic.csv"
+echo "backend OK: analytic sweep is byte-identical to the simulated one"
+"$FIG4" --quick --backend reference > /dev/null
+echo "backend OK: reference sweep completed"
 
 # The fault-injection suites are seeded and deterministic; any flake
 # here is a real bug.
