@@ -9,12 +9,13 @@
 //! 4. **Cost-model overlap** — how the modelled slowdown responds to the
 //!    overlap knob (0 = perfect overlap … 1 = additive).
 //!
-//! Usage: `ablation [--quick] [--backend <sim|analytic|reference>]`
+//! Usage: `ablation [--quick] [--backend <sim|analytic|reference>] [--jobs <n>]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::backend_from_args;
+use wcms_bench::cliargs::{backend_from_args, jobs_from_args};
 use wcms_bench::experiment::model_time;
+use wcms_bench::supervisor::parallel_map;
 use wcms_core::{WorstCaseBuilder, WorstCaseFamily};
 use wcms_error::WcmsError;
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
@@ -35,6 +36,7 @@ fn run() -> Result<(), WcmsError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let quick = argv.iter().any(|a| a == "--quick");
     let backend = backend_from_args(&argv)?;
+    let jobs = jobs_from_args(&argv)?;
     let device = DeviceSpec::quadro_m4000();
     let params = SortParams::new(32, 15, 128)?;
     let doublings = if quick { 4 } else { 6 };
@@ -61,22 +63,27 @@ fn run() -> Result<(), WcmsError> {
     // --- 1. Near-worst-case dial.
     println!("## adversarial rounds dial (of {} global rounds)", params.global_rounds(n));
     println!("{:>8} {:>12} {:>12} {:>10}", "rounds", "beta2", "time (ms)", "slowdown");
-    for k in 0..=params.global_rounds(n) {
+    // Dial positions measured in parallel (`--jobs`), printed in order.
+    let dial = parallel_map((0..=params.global_rounds(n)).collect(), jobs, |_, k| {
         let r = report_of(&builder.build_partial(n, k)?)?;
         let t = time_of(&r)?;
-        println!(
+        Ok(format!(
             "{k:>8} {:>12.2} {:>12.3} {:>9.1}%",
             r.global_beta2().unwrap_or(1.0),
             t * 1e3,
             (t / random_t - 1.0) * 100.0
-        );
+        ))
+    });
+    for row in dial {
+        println!("{}", row?);
     }
 
     // --- 2. Family variance.
     println!("\n## worst-case family variance (5 members)");
-    let times: Vec<f64> = WorstCaseFamily::new(params.w, params.e, params.b, n, 100)?
-        .take(5)
-        .map(|m| time_of(&report_of(&m)?))
+    let members: Vec<Vec<u32>> =
+        WorstCaseFamily::new(params.w, params.e, params.b, n, 100)?.take(5).collect();
+    let times: Vec<f64> = parallel_map(members, jobs, |_, m| time_of(&report_of(&m)?))
+        .into_iter()
         .collect::<Result<_, _>>()?;
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let spread = times.iter().map(|t| (t / mean - 1.0).abs()).fold(0.0, f64::max);

@@ -1,0 +1,191 @@
+//! Chaos harness for the supervised sweep executor: repeatedly SIGKILL
+//! a parallel `fig4` sweep at a random point, corrupt a random
+//! checkpoint file, `--resume`, and assert the final CSV is
+//! byte-identical to an uninterrupted sequential run. This is the
+//! end-to-end proof behind the crash-only checkpoint design: no kill
+//! point, worker count, or single-file corruption may change a byte of
+//! output.
+//!
+//! Usage: `chaos [--cycles <k>] [--jobs <n>] [--seed <s>]
+//!               [--backend <sim|analytic|reference>] [--keep]`
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use wcms_error::WcmsError;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bad(msg: String) -> WcmsError {
+    WcmsError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))
+}
+
+/// Deterministic kill-point generator (an LCG — the harness must not
+/// depend on ambient entropy, so a failing seed can be replayed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        self.next() % span.max(1)
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WcmsError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            args.get(i + 1).cloned().map(Some).ok_or_else(|| bad(format!("{flag} needs a value")))
+        }
+    }
+}
+
+/// The fig4 binary ships next to this one in the target directory.
+fn fig4_path() -> Result<PathBuf, WcmsError> {
+    let me = std::env::current_exe()?;
+    let dir = me.parent().ok_or_else(|| bad("current_exe has no parent".into()))?;
+    let fig4 = dir.join(format!("fig4{}", std::env::consts::EXE_SUFFIX));
+    if fig4.exists() {
+        Ok(fig4)
+    } else {
+        Err(bad(format!("fig4 binary not found at {} — build it first", fig4.display())))
+    }
+}
+
+fn run() -> Result<(), WcmsError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cycles: u32 = flag_value(&args, "--cycles")?
+        .map_or(Ok(5), |v| v.parse().map_err(|_| bad(format!("bad --cycles: {v}"))))?;
+    let jobs = flag_value(&args, "--jobs")?.unwrap_or_else(|| "4".into());
+    let seed: u64 = flag_value(&args, "--seed")?
+        .map_or(Ok(0xC4A05), |v| v.parse().map_err(|_| bad(format!("bad --seed: {v}"))))?;
+    let backend = flag_value(&args, "--backend")?.unwrap_or_else(|| "sim".into());
+    let keep = args.iter().any(|a| a == "--keep");
+
+    let fig4 = fig4_path()?;
+    let scratch = std::env::temp_dir().join(format!("wcms-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch)?;
+    let mut rng = Lcg(seed);
+
+    // The ground truth: one uninterrupted, sequential, checkpoint-free run.
+    let started = std::time::Instant::now();
+    let reference = run_to_completion(
+        &fig4,
+        &["--quick", "--jobs", "1", "--no-checkpoint", "--backend", &backend],
+    )?;
+    // Kill points are drawn from the sweep's actual duration, so some
+    // cycles die mid-sweep with cells on disk and some die early.
+    let ref_ms = started.elapsed().as_millis().max(50) as u64;
+    eprintln!(
+        "# chaos: reference CSV is {} bytes (backend {backend}, {ref_ms} ms sequential)",
+        reference.len()
+    );
+
+    // Sanity: an uninterrupted *parallel* run must already match.
+    let parallel = run_to_completion(
+        &fig4,
+        &["--quick", "--jobs", &jobs, "--no-checkpoint", "--backend", &backend],
+    )?;
+    if parallel != reference {
+        return Err(bad(format!(
+            "uninterrupted --jobs {jobs} run differs from sequential before any chaos"
+        )));
+    }
+
+    for cycle in 1..=cycles {
+        let ckpt = scratch.join(format!("cycle-{cycle}"));
+        let ckpt_s = ckpt.to_string_lossy().into_owned();
+        let sweep_args =
+            ["--quick", "--jobs", &jobs, "--checkpoint-dir", &ckpt_s, "--backend", &backend];
+
+        // Phase 1: start the sweep, kill it after a random delay.
+        let mut child = Command::new(&fig4)
+            .args(sweep_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let delay = Duration::from_millis(rng.below(ref_ms));
+        std::thread::sleep(delay);
+        let killed = child.kill().is_ok(); // Err: it already finished — also a valid kill point.
+        let _ = child.wait();
+
+        // Phase 2: corrupt one surviving checkpoint file, if any.
+        let corrupted = corrupt_random_cell(&ckpt, &mut rng)?;
+
+        // Phase 3: resume to completion and compare bytes.
+        let mut resume_args = sweep_args.to_vec();
+        resume_args.push("--resume");
+        let resumed = run_to_completion(&fig4, &resume_args)?;
+        eprintln!(
+            "# chaos: cycle {cycle}/{cycles}: killed after {delay:?} (killed={killed}), \
+             corrupted={corrupted}, resumed CSV {} bytes",
+            resumed.len()
+        );
+        if resumed != reference {
+            std::fs::write(scratch.join("expected.csv"), &reference)?;
+            std::fs::write(scratch.join("got.csv"), &resumed)?;
+            return Err(bad(format!(
+                "cycle {cycle}: resumed CSV differs from the reference run \
+                 (seed {seed}, delay {delay:?}); see {}",
+                scratch.display()
+            )));
+        }
+    }
+
+    if keep {
+        eprintln!("# chaos: scratch kept at {}", scratch.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    println!("chaos: {cycles} kill/corrupt/resume cycles, all byte-identical");
+    Ok(())
+}
+
+/// Run `fig4` with `args` to completion and return its stdout bytes.
+fn run_to_completion(fig4: &Path, args: &[&str]) -> Result<Vec<u8>, WcmsError> {
+    let out = Command::new(fig4).args(args).stderr(Stdio::null()).output()?;
+    if !out.status.success() {
+        return Err(bad(format!("fig4 {} failed with {}", args.join(" "), out.status)));
+    }
+    Ok(out.stdout)
+}
+
+/// Flip one byte in a randomly chosen cell checkpoint; returns whether
+/// there was anything to corrupt. The resumed run must quarantine the
+/// file and re-measure that cell without changing its output.
+fn corrupt_random_cell(ckpt: &Path, rng: &mut Lcg) -> Result<bool, WcmsError> {
+    let mut cells: Vec<PathBuf> = match std::fs::read_dir(ckpt) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("cell-")))
+            .collect(),
+        Err(_) => return Ok(false), // killed before the directory appeared
+    };
+    if cells.is_empty() {
+        return Ok(false);
+    }
+    cells.sort(); // read_dir order is not deterministic; the pick must be
+    let victim = &cells[rng.below(cells.len() as u64) as usize];
+    let mut bytes = std::fs::read(victim)?;
+    if bytes.is_empty() {
+        return Ok(false);
+    }
+    let at = rng.below(bytes.len() as u64) as usize;
+    bytes[at] ^= 0x20;
+    std::fs::write(victim, &bytes)?;
+    Ok(true)
+}

@@ -5,13 +5,14 @@
 //! that conflict-free algorithms "come at a price of … more overall
 //! work".
 //!
-//! Usage: `compare_sorts [--quick] [--backend <sim|analytic|reference>]`
+//! Usage: `compare_sorts [--quick] [--backend <sim|analytic|reference>] [--jobs <n>]`
 //! (the backend applies to the pairwise sort; bitonic always simulates)
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::backend_from_args;
+use wcms_bench::cliargs::{backend_from_args, jobs_from_args};
 use wcms_bench::experiment::model_time;
+use wcms_bench::supervisor::parallel_map;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::bitonic::bitonic_sort_with_report;
@@ -32,6 +33,7 @@ fn run() -> Result<(), WcmsError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let quick = argv.iter().any(|a| a == "--quick");
     let backend = backend_from_args(&argv)?;
+    let jobs = jobs_from_args(&argv)?;
     let device = DeviceSpec::quadro_m4000();
     // Power-of-two tile so both sorts accept the same sizes. With a
     // power-of-two E, the pairwise sort's worst case is *sorted order*
@@ -50,7 +52,9 @@ fn run() -> Result<(), WcmsError> {
         "N", "pairwise rnd", "pairwise worst", "bitonic rnd", "bitonic worst"
     );
     println!("{:>10} {:>16} {:>16} {:>16} {:>16}", "", "(ms)", "(ms)", "(ms)", "(ms)");
-    for d in doublings {
+    // Rows computed in parallel (`--jobs`), printed in N order so output
+    // bytes never depend on the worker count.
+    let rows = parallel_map(doublings.collect(), jobs, |_, d| {
         let n = params.block_elems() << d;
         let random = random_permutation(n, 17);
         let worst = worst_input(n);
@@ -62,18 +66,21 @@ fn run() -> Result<(), WcmsError> {
         let (_, pw) = backend.sort_with_report(&worst, &params)?;
         let (_, br) = bitonic_sort_with_report(&random, &params)?;
         let (_, bw) = bitonic_sort_with_report(&worst, &params)?;
-        println!(
-            "{n:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
-            time(&pr)?,
-            time(&pw)?,
-            time(&br)?,
-            time(&bw)?
-        );
         assert_eq!(
             br.total().shared,
             bw.total().shared,
             "bitonic conflicts must be input-independent"
         );
+        Ok(format!(
+            "{n:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
+            time(&pr)?,
+            time(&pw)?,
+            time(&br)?,
+            time(&bw)?
+        ))
+    });
+    for row in rows {
+        println!("{}", row?);
     }
     println!();
     println!("bitonic's two columns are identical (data-oblivious: immune to the");

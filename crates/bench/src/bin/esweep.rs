@@ -6,12 +6,13 @@
 //! the simulated device, exposing where the libraries' `E = 15/17`
 //! choices sit.
 //!
-//! Usage: `esweep [--quick] [--rtx] [--backend <sim|analytic|reference>]`
+//! Usage: `esweep [--quick] [--rtx] [--backend <sim|analytic|reference>] [--jobs <n>]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::backend_from_args;
+use wcms_bench::cliargs::{backend_from_args, jobs_from_args};
 use wcms_bench::experiment::measure_on;
+use wcms_bench::supervisor::parallel_map;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
@@ -31,6 +32,7 @@ fn run() -> Result<(), WcmsError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let backend = backend_from_args(&args)?;
+    let jobs = jobs_from_args(&args)?;
     let device = if args.iter().any(|a| a == "--rtx") {
         DeviceSpec::rtx_2080_ti()
     } else {
@@ -44,7 +46,9 @@ fn run() -> Result<(), WcmsError> {
         "{:>4} {:>10} {:>14} {:>14} {:>10} {:>12}",
         "E", "N", "random ME/s", "worst ME/s", "slowdown", "worst beta2"
     );
-    for e in (3..32).step_by(2) {
+    // Compute rows in parallel (`--jobs`), print strictly in E order so
+    // the output is byte-identical to the sequential path.
+    let rows = parallel_map((3..32).step_by(2).collect(), jobs, |_, e| {
         let params = SortParams::new(32, e, b)?;
         let n = params.block_elems() << doublings;
         let random = measure_on(
@@ -56,13 +60,16 @@ fn run() -> Result<(), WcmsError> {
             backend,
         )?;
         let worst = measure_on(&device, &params, WorkloadSpec::WorstCase, n, 1, backend)?;
-        println!(
+        Ok(format!(
             "{e:>4} {n:>10} {:>14.1} {:>14.1} {:>9.1}% {:>12.2}",
             random.throughput / 1e6,
             worst.throughput / 1e6,
             (random.throughput / worst.throughput - 1.0) * 100.0,
             worst.beta2
-        );
+        ))
+    });
+    for row in rows {
+        println!("{}", row?);
     }
     println!();
     println!("Reading (§III-C): worst-case beta2 tracks E (small case exactly E, large");

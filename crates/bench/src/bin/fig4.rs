@@ -3,8 +3,8 @@
 //! constructed worst-case inputs.
 //!
 //! Usage: `fig4 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
-//!              [--markdown] [--resume] [--timeout <secs>] [--retries <k>]
-//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--jobs <n>] [--markdown] [--resume] [--timeout <secs>]
+//!              [--retries <k>] [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 
@@ -13,7 +13,7 @@ use wcms_bench::panel::{figure_binary_main, FigurePanel};
 
 fn main() -> ExitCode {
     figure_binary_main("fig4", |args| {
-        let report = fig4(&args.sweep, &args.resilience, args.backend)?;
+        let report = fig4(&args.opts)?;
         Ok(vec![FigurePanel::throughput_panel(
             "Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation",
             report,

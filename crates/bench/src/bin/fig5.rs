@@ -3,8 +3,8 @@
 //! E=17/b=256, random vs. constructed worst-case inputs.
 //!
 //! Usage: `fig5 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
-//!              [--markdown] [--resume] [--timeout <secs>] [--retries <k>]
-//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--jobs <n>] [--markdown] [--resume] [--timeout <secs>]
+//!              [--retries <k>] [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 
@@ -20,12 +20,12 @@ fn main() -> ExitCode {
         Ok(vec![
             FigurePanel::throughput_panel(
                 "Fig. 5 — RTX 2080 Ti, Thrust (left panel)",
-                fig5_thrust(&args.sweep, &args.resilience, args.backend)?,
+                fig5_thrust(&args.opts)?,
             )
             .with_notes(&paper),
             FigurePanel::throughput_panel(
                 "Fig. 5 — RTX 2080 Ti, Modern GPU (right panel)",
-                fig5_mgpu(&args.sweep, &args.resilience, args.backend)?,
+                fig5_mgpu(&args.opts)?,
             )
             .with_notes(&paper),
         ])

@@ -4,7 +4,7 @@
 //! predicts the runtime curve, and both grow logarithmically with N.
 //!
 //! Usage: `fig6 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
-//!              [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--jobs <n>] [--resume] [--timeout <secs>] [--retries <k>]
 //!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
@@ -14,7 +14,7 @@ use wcms_bench::panel::{figure_binary_main, FigurePanel, PanelSection};
 
 fn main() -> ExitCode {
     figure_binary_main("fig6", |args| {
-        let report = fig6(&args.sweep, &args.resilience, args.backend)?;
+        let report = fig6(&args.opts)?;
         Ok(vec![FigurePanel {
             heading: "Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs".into(),
             notes: Vec::new(),

@@ -8,12 +8,13 @@
 //! GTX 770: random inputs, the heuristic conflict-heavy inputs, and the
 //! paper's provably-worst construction.
 //!
-//! Usage: `karsin [--quick] [--backend <sim|analytic|reference>]`
+//! Usage: `karsin [--quick] [--backend <sim|analytic|reference>] [--jobs <n>]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::backend_from_args;
+use wcms_bench::cliargs::{backend_from_args, jobs_from_args};
 use wcms_bench::experiment::measure_on;
+use wcms_bench::supervisor::parallel_map;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
@@ -33,6 +34,7 @@ fn run() -> Result<(), WcmsError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let quick = argv.iter().any(|a| a == "--quick");
     let backend = backend_from_args(&argv)?;
+    let jobs = jobs_from_args(&argv)?;
     let device = DeviceSpec::gtx_770();
     let params = SortParams::new(32, 15, 128)?;
     let doublings = if quick { 2..=5 } else { 2..=8 };
@@ -42,7 +44,9 @@ fn run() -> Result<(), WcmsError> {
         "{:>10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>12} {:>12}",
         "N", "rnd b1", "rnd b2", "hvy b1", "hvy b2", "wst b1", "wst b2", "heavy slow", "worst slow"
     );
-    for d in doublings {
+    // Rows computed in parallel (`--jobs`), printed in N order so output
+    // bytes never depend on the worker count.
+    let rows = parallel_map(doublings.collect(), jobs, |_, d| {
         let n = params.block_elems() << d;
         let random = measure_on(
             &device,
@@ -55,7 +59,7 @@ fn run() -> Result<(), WcmsError> {
         let heavy =
             measure_on(&device, &params, WorkloadSpec::ConflictHeavy { stride: 8 }, n, 1, backend)?;
         let worst = measure_on(&device, &params, WorkloadSpec::WorstCase, n, 1, backend)?;
-        println!(
+        Ok(format!(
             "{n:>10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>11.1}% {:>11.1}%",
             random.beta1,
             random.beta2,
@@ -65,7 +69,10 @@ fn run() -> Result<(), WcmsError> {
             worst.beta2,
             (random.throughput / heavy.throughput - 1.0) * 100.0,
             (random.throughput / worst.throughput - 1.0) * 100.0,
-        );
+        ))
+    });
+    for row in rows {
+        println!("{}", row?);
     }
     println!();
     println!("A cautionary replication of the prior work: the heuristic raises the");

@@ -4,7 +4,7 @@
 //! inversions (`--beta`).
 //!
 //! Usage: `summary [--quick|--standard|--full] [--beta]
-//!                 [--backend <sim|analytic|reference>]
+//!                 [--backend <sim|analytic|reference>] [--jobs <n>]
 //!                 [--resume] [--timeout <secs>] [--retries <k>]
 //!                 [--checkpoint-dir <dir>] [--no-checkpoint]`
 
@@ -34,7 +34,7 @@ fn run() -> Result<(), WcmsError> {
     let args = figure_args_from_env("summary")?;
 
     if std::env::args().any(|a| a == "--beta") {
-        return beta_report(&args.sweep, args.backend);
+        return beta_report(&args.opts.sweep, args.backend());
     }
 
     println!(
@@ -55,13 +55,12 @@ fn run() -> Result<(), WcmsError> {
             vec![("ModernGPU E=15 b=512", 42.62, 35.25), ("ModernGPU E=17 b=256", 20.34, 12.97)],
         ),
     ];
-    let reports = [
-        fig4(&args.sweep, &args.resilience, args.backend)?,
-        fig5_thrust(&args.sweep, &args.resilience, args.backend)?,
-        fig5_mgpu(&args.sweep, &args.resilience, args.backend)?,
-    ];
+    let reports = [fig4(&args.opts)?, fig5_thrust(&args.opts)?, fig5_mgpu(&args.opts)?];
     let skipped: Vec<SkippedCell> =
         reports.iter().flat_map(|r| r.skipped.iter().cloned()).collect();
+    for (figure, report) in ["fig4", "fig5-thrust", "fig5-mgpu"].iter().zip(&reports) {
+        eprintln!("{}", report.stats.summary_line(figure));
+    }
     for ((device, paper_rows), report) in paper.into_iter().zip(reports) {
         for ((label, s), (_, peak, avg)) in
             slowdown_table(&report.series).into_iter().zip(paper_rows)

@@ -1,15 +1,31 @@
-//! Per-cell sweep checkpoints.
+//! Crash-only per-cell sweep checkpoints.
 //!
-//! Every measured cell of a figure sweep can be persisted as one small
-//! JSON file under `results/.checkpoint/<figure>/`, so an interrupted
+//! Every measured cell of a figure sweep is persisted as one small file
+//! under `results/.checkpoint/<figure>/<backend>/`, so an interrupted
 //! sweep (OOM kill, ^C, node preemption) resumes from the completed
-//! cells instead of starting over. Files are written atomically
-//! (temp file + rename) so a kill mid-write never leaves a torn
-//! checkpoint — a torn temp file is simply ignored on resume.
+//! cells instead of starting over. The store is *crash-only*: there is
+//! no clean-shutdown path to get wrong, and every recovery decision is
+//! made from what is actually on disk.
+//!
+//! Three mechanisms keep a kill at any instant from corrupting a
+//! resume:
+//!
+//! * **atomic writes** — cells are written to a temp file, fsynced and
+//!   renamed, so a torn in-progress write never carries a cell's name;
+//! * **checksum footers** — every cell file ends in an FNV-1a footer
+//!   over its payload; any file that fails the check (bit rot, manual
+//!   edits, a filesystem that lied about the rename) is moved into
+//!   `quarantine/` and reported, never silently re-measured;
+//! * **a manifest** — `manifest.json` records the configuration
+//!   fingerprint (figure, backend, grid, seed, schema version) that
+//!   produced the cells; a `--resume` against a store written by a
+//!   different configuration fails with a typed error instead of
+//!   stitching stale cells into the new sweep.
 //!
 //! The JSON codec is hand-rolled and deliberately tiny: it covers
-//! exactly the [`CellResult`] shape, with `f64` round-tripping through
-//! Rust's shortest-representation formatting.
+//! exactly the [`CellResult`] and [`SweepFingerprint`] shapes, with
+//! `f64` round-tripping through Rust's shortest-representation
+//! formatting.
 
 use std::fs;
 use std::io::Write as _;
@@ -20,11 +36,26 @@ use wcms_error::WcmsError;
 
 use crate::experiment::Measurement;
 
+/// On-disk schema version, recorded in the manifest. Bump whenever the
+/// cell codec or the fingerprint shape changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// The persisted outcome of one sweep cell.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellResult {
-    /// The cell measured successfully.
+    /// The cell measured successfully on the sweep's primary backend.
     Done(Measurement),
+    /// The cell repeatedly timed out on the primary backend and was
+    /// measured on a demoted one (the supervisor's graceful-degradation
+    /// ladder) — better a cheaper measurement than a gap.
+    Demoted {
+        /// The measurement from the demoted backend.
+        m: Measurement,
+        /// Name of the backend that produced the measurement.
+        on: String,
+        /// Total attempts across all ladder rungs.
+        attempts: usize,
+    },
     /// The cell was abandoned (timeout or repeated failure) — the sweep
     /// reports a gap instead of a value.
     Skipped {
@@ -35,6 +66,119 @@ pub enum CellResult {
     },
 }
 
+impl CellResult {
+    /// The measurement, when one exists (done or demoted).
+    #[must_use]
+    pub fn measurement(&self) -> Option<&Measurement> {
+        match self {
+            CellResult::Done(m) | CellResult::Demoted { m, .. } => Some(m),
+            CellResult::Skipped { .. } => None,
+        }
+    }
+}
+
+/// What [`CheckpointStore::load`] found for a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadOutcome {
+    /// No checkpoint — the cell has not been measured yet.
+    Absent,
+    /// A well-formed, checksum-verified checkpoint.
+    Cached(CellResult),
+    /// The cell file existed but failed integrity checks; it was moved
+    /// into the quarantine directory and the cell must re-measure.
+    Quarantined {
+        /// Where the offending file went (`None` when even the move
+        /// failed — the reason then covers both).
+        to: Option<PathBuf>,
+        /// What the integrity check found.
+        reason: String,
+    },
+}
+
+/// The configuration fingerprint a checkpoint directory is bound to.
+///
+/// Two sweeps may share cells only if *every* field matches; the grid
+/// and seed determine the inputs, the backend the engine, the figure
+/// the cell namespace, and the schema the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepFingerprint {
+    /// Figure/sweep name (`fig4`, `fig5`, …).
+    pub figure: String,
+    /// Execution backend name (`sim`, `analytic`, `reference`).
+    pub backend: String,
+    /// Smallest size exponent of the grid.
+    pub min_doublings: u32,
+    /// Largest size exponent of the grid.
+    pub max_doublings: u32,
+    /// Runs averaged per seeded cell.
+    pub runs: u64,
+    /// Base seed of the seeded workloads.
+    pub seed: u64,
+}
+
+impl SweepFingerprint {
+    fn encode(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":{},\"figure\":\"{}\",\"backend\":\"{}\",",
+                "\"min_doublings\":{},\"max_doublings\":{},\"runs\":{},\"seed\":{}}}"
+            ),
+            SCHEMA_VERSION,
+            escape(&self.figure),
+            escape(&self.backend),
+            self.min_doublings,
+            self.max_doublings,
+            self.runs,
+            self.seed,
+        )
+    }
+
+    fn decode(text: &str) -> Option<(u64, SweepFingerprint)> {
+        let v = parse_value(text)?;
+        let obj = v.as_object()?;
+        Some((
+            obj.get_num("schema")? as u64,
+            SweepFingerprint {
+                figure: obj.get_str("figure")?.to_string(),
+                backend: obj.get_str("backend")?.to_string(),
+                min_doublings: obj.get_num("min_doublings")? as u32,
+                max_doublings: obj.get_num("max_doublings")? as u32,
+                runs: obj.get_num("runs")? as u64,
+                seed: obj.get_num("seed")? as u64,
+            },
+        ))
+    }
+
+    /// The first fingerprint field differing from `other`, as
+    /// `(field, expected, found)` — `None` when they match.
+    #[must_use]
+    pub fn first_mismatch(
+        &self,
+        other: &SweepFingerprint,
+    ) -> Option<(&'static str, String, String)> {
+        if self.figure != other.figure {
+            return Some(("figure", self.figure.clone(), other.figure.clone()));
+        }
+        if self.backend != other.backend {
+            return Some(("backend", self.backend.clone(), other.backend.clone()));
+        }
+        if (self.min_doublings, self.max_doublings) != (other.min_doublings, other.max_doublings) {
+            return Some((
+                "grid",
+                format!("2^{}..2^{}", self.min_doublings, self.max_doublings),
+                format!("2^{}..2^{}", other.min_doublings, other.max_doublings),
+            ));
+        }
+        if self.runs != other.runs {
+            return Some(("runs", self.runs.to_string(), other.runs.to_string()));
+        }
+        if self.seed != other.seed {
+            return Some(("seed", self.seed.to_string(), other.seed.to_string()));
+        }
+        None
+    }
+}
+
 /// A directory of per-cell checkpoint files.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
@@ -42,7 +186,9 @@ pub struct CheckpointStore {
 }
 
 impl CheckpointStore {
-    /// Open (creating if needed) a checkpoint directory.
+    /// Open (creating if needed) a checkpoint directory without binding
+    /// it to a configuration. Prefer [`CheckpointStore::open_for`] in
+    /// sweep runners — a bare store performs no manifest validation.
     ///
     /// # Errors
     ///
@@ -53,8 +199,83 @@ impl CheckpointStore {
         Ok(Self { dir })
     }
 
-    /// Remove every checkpoint in the directory (a fresh, non-resumed
-    /// run must not reuse cells from an older configuration).
+    /// Open a checkpoint directory bound to `fingerprint`.
+    ///
+    /// Fresh runs (`resume == false`) clear the store and write a new
+    /// manifest. Resumed runs validate the existing manifest against
+    /// `fingerprint` field by field and refuse to proceed on any
+    /// difference — a resume must never mix cells across
+    /// configurations. An empty directory (killed before the manifest
+    /// landed, or first run) resumes trivially as a fresh store.
+    ///
+    /// # Errors
+    ///
+    /// [`WcmsError::CheckpointMismatch`] when resuming against a store
+    /// written by a different configuration (or missing its manifest
+    /// while holding cells), [`WcmsError::CheckpointCorrupt`] when the
+    /// manifest exists but fails its integrity checks, and
+    /// [`WcmsError::Io`] on filesystem failures.
+    pub fn open_for(
+        dir: impl Into<PathBuf>,
+        fingerprint: &SweepFingerprint,
+        resume: bool,
+    ) -> Result<Self, WcmsError> {
+        let store = Self::open(dir)?;
+        if !resume {
+            store.clear()?;
+            store.write_manifest(fingerprint)?;
+            return Ok(store);
+        }
+        let manifest_path = store.dir.join("manifest.json");
+        match fs::read_to_string(&manifest_path) {
+            Ok(text) => match decode_file(&text).ok().and_then(|p| SweepFingerprint::decode(&p)) {
+                Some((schema, found)) if schema == SCHEMA_VERSION => {
+                    if let Some((field, expected, found)) = fingerprint.first_mismatch(&found) {
+                        return Err(WcmsError::CheckpointMismatch {
+                            dir: store.dir.display().to_string(),
+                            field,
+                            expected,
+                            found,
+                        });
+                    }
+                    Ok(store)
+                }
+                Some((schema, _)) => Err(WcmsError::CheckpointMismatch {
+                    dir: store.dir.display().to_string(),
+                    field: "schema",
+                    expected: SCHEMA_VERSION.to_string(),
+                    found: schema.to_string(),
+                }),
+                None => Err(WcmsError::CheckpointCorrupt {
+                    path: manifest_path.display().to_string(),
+                    reason: "manifest failed checksum/parse validation".into(),
+                }),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if store.cell_files()?.is_empty() {
+                    // Nothing to resume: behave like a fresh store.
+                    store.write_manifest(fingerprint)?;
+                    Ok(store)
+                } else {
+                    Err(WcmsError::CheckpointMismatch {
+                        dir: store.dir.display().to_string(),
+                        field: "manifest",
+                        expected: "present".into(),
+                        found: "missing (pre-manifest or foreign checkpoint directory)".into(),
+                    })
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn write_manifest(&self, fingerprint: &SweepFingerprint) -> Result<(), WcmsError> {
+        self.write_atomic(&self.dir.join("manifest.json"), &encode_file(&fingerprint.encode()))
+    }
+
+    /// Remove every checkpoint in the directory — cell files, manifest
+    /// and quarantined files alike (a fresh, non-resumed run must not
+    /// reuse anything from an older configuration).
     ///
     /// # Errors
     ///
@@ -66,6 +287,10 @@ impl CheckpointStore {
                 fs::remove_file(path)?;
             }
         }
+        let quarantine = self.dir.join("quarantine");
+        if quarantine.is_dir() {
+            fs::remove_dir_all(&quarantine)?;
+        }
         Ok(())
     }
 
@@ -76,41 +301,141 @@ impl CheckpointStore {
     }
 
     fn cell_path(&self, cell: &str) -> PathBuf {
-        self.dir.join(format!("{}.json", sanitize(cell)))
+        self.dir.join(format!("cell-{}.json", sanitize(cell)))
     }
 
-    /// Load a cell's checkpoint, if a well-formed one exists. Torn or
-    /// unparsable files are treated as absent (the cell re-runs), not as
-    /// errors — resumption must survive whatever a kill left behind.
+    fn cell_files(&self) -> Result<Vec<PathBuf>, WcmsError> {
+        let mut cells = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let is_cell = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("cell-") && n.ends_with(".json"));
+            if is_cell {
+                cells.push(path);
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Load a cell's checkpoint.
+    ///
+    /// A missing file is [`LoadOutcome::Absent`] (never measured). A
+    /// file that fails the checksum or the parse is moved into
+    /// `quarantine/` and reported as [`LoadOutcome::Quarantined`] —
+    /// corruption is *visible*, never a silent re-measure.
     #[must_use]
-    pub fn load(&self, cell: &str) -> Option<CellResult> {
-        let text = fs::read_to_string(self.cell_path(cell)).ok()?;
-        decode(&text)
+    pub fn load(&self, cell: &str) -> LoadOutcome {
+        let path = self.cell_path(cell);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            Err(e) => {
+                return self.quarantine(&path, &format!("unreadable cell file: {e}"));
+            }
+        };
+        match decode_file(&text).and_then(|payload| {
+            decode(&payload).ok_or_else(|| "payload failed to parse as a cell result".to_string())
+        }) {
+            Ok(result) => LoadOutcome::Cached(result),
+            Err(reason) => self.quarantine(&path, &reason),
+        }
     }
 
-    /// Persist a cell's result atomically.
+    /// Move a failed cell file into `quarantine/` (keeping its name;
+    /// a repeat offender overwrites its previous quarantined copy).
+    fn quarantine(&self, path: &Path, reason: &str) -> LoadOutcome {
+        let qdir = self.dir.join("quarantine");
+        let dest = qdir.join(path.file_name().unwrap_or_default());
+        let moved = fs::create_dir_all(&qdir).and_then(|()| fs::rename(path, &dest));
+        match moved {
+            Ok(()) => LoadOutcome::Quarantined { to: Some(dest), reason: reason.to_string() },
+            Err(e) => LoadOutcome::Quarantined {
+                to: None,
+                reason: format!("{reason}; quarantine move also failed: {e}"),
+            },
+        }
+    }
+
+    /// Persist a cell's result atomically (temp file, fsync, rename),
+    /// with the checksum footer.
     ///
     /// # Errors
     ///
     /// Returns [`WcmsError::Io`] on filesystem failures.
     pub fn store(&self, cell: &str, result: &CellResult) -> Result<(), WcmsError> {
-        let path = self.cell_path(cell);
+        self.write_atomic(&self.cell_path(cell), &encode_file(&encode(result)))
+    }
+
+    fn write_atomic(&self, path: &Path, content: &str) -> Result<(), WcmsError> {
         let tmp = path.with_extension("tmp");
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(encode(result).as_bytes())?;
+            f.write_all(content.as_bytes())?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, &path)?;
+        fs::rename(&tmp, path)?;
         Ok(())
     }
 }
 
-/// Map a cell name to a filesystem-safe stem.
+/// Map a cell name to a filesystem-safe stem. Long names are truncated
+/// and suffixed with the FNV-1a hash of the *full* name, keeping every
+/// distinct cell distinct while staying under filesystem name limits.
 fn sanitize(cell: &str) -> String {
-    cell.chars()
+    let mapped: String = cell
+        .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
-        .collect()
+        .collect();
+    const MAX_STEM: usize = 120;
+    if mapped.len() <= MAX_STEM {
+        mapped
+    } else {
+        // `mapped` is pure ASCII, so byte slicing cannot split a char.
+        format!("{}-{:016x}", &mapped[..MAX_STEM], fnv1a64(cell.as_bytes()))
+    }
+}
+
+// --- Checksum framing -----------------------------------------------------
+
+/// FNV-1a over `bytes` (the same construction the dataset v2 format and
+/// the multiset fingerprints use — one hash family across the repo).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Frame `payload` with the integrity footer: the payload line, then
+/// one `fnv1a:<16 hex digits>` line over the payload bytes.
+#[must_use]
+pub fn encode_file(payload: &str) -> String {
+    format!("{payload}\nfnv1a:{:016x}\n", fnv1a64(payload.as_bytes()))
+}
+
+/// Verify and strip the integrity footer, returning the payload.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the footer is missing,
+/// malformed, or does not match the payload (torn write, bit rot,
+/// truncation).
+pub fn decode_file(text: &str) -> Result<String, String> {
+    let body = text.strip_suffix('\n').ok_or("missing trailing newline (truncated file)")?;
+    let (payload, footer) =
+        body.rsplit_once('\n').ok_or("missing checksum footer (truncated file)")?;
+    let hex = footer.strip_prefix("fnv1a:").ok_or("malformed checksum footer")?;
+    let want = u64::from_str_radix(hex, 16).map_err(|_| "malformed checksum footer")?;
+    let got = fnv1a64(payload.as_bytes());
+    if got != want {
+        return Err(format!("checksum mismatch: footer {want:016x}, payload hashes to {got:016x}"));
+    }
+    Ok(payload.to_string())
 }
 
 // --- JSON codec -----------------------------------------------------------
@@ -131,33 +456,43 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Render a [`CellResult`] as one line of JSON.
+fn encode_measurement(m: &Measurement) -> String {
+    let s = &m.throughput_spread;
+    format!(
+        concat!(
+            "\"n\":{},\"throughput\":{},\"ms\":{},",
+            "\"spread\":{{\"n\":{},\"mean\":{},\"min\":{},\"max\":{},\"stddev\":{}}},",
+            "\"beta1\":{},\"beta2\":{},\"conflicts_per_element\":{},",
+            "\"ms_per_element\":{}"
+        ),
+        m.n,
+        m.throughput,
+        m.ms,
+        s.n,
+        s.mean,
+        s.min,
+        s.max,
+        s.stddev,
+        m.beta1,
+        m.beta2,
+        m.conflicts_per_element,
+        m.ms_per_element,
+    )
+}
+
+/// Render a [`CellResult`] as one line of JSON (payload only — the
+/// on-disk framing adds the checksum footer via [`encode_file`]).
 #[must_use]
 pub fn encode(result: &CellResult) -> String {
     match result {
         CellResult::Done(m) => {
-            let s = &m.throughput_spread;
-            format!(
-                concat!(
-                    "{{\"status\":\"done\",\"n\":{},\"throughput\":{},\"ms\":{},",
-                    "\"spread\":{{\"n\":{},\"mean\":{},\"min\":{},\"max\":{},\"stddev\":{}}},",
-                    "\"beta1\":{},\"beta2\":{},\"conflicts_per_element\":{},",
-                    "\"ms_per_element\":{}}}"
-                ),
-                m.n,
-                m.throughput,
-                m.ms,
-                s.n,
-                s.mean,
-                s.min,
-                s.max,
-                s.stddev,
-                m.beta1,
-                m.beta2,
-                m.conflicts_per_element,
-                m.ms_per_element,
-            )
+            format!("{{\"status\":\"done\",{}}}", encode_measurement(m))
         }
+        CellResult::Demoted { m, on, attempts } => format!(
+            "{{\"status\":\"demoted\",\"on\":\"{}\",\"attempts\":{attempts},{}}}",
+            escape(on),
+            encode_measurement(m)
+        ),
         CellResult::Skipped { reason, attempts } => {
             format!(
                 "{{\"status\":\"skipped\",\"reason\":\"{}\",\"attempts\":{attempts}}}",
@@ -167,43 +502,56 @@ pub fn encode(result: &CellResult) -> String {
     }
 }
 
+fn decode_measurement(obj: &[(String, Value)]) -> Option<Measurement> {
+    let spread = obj.field("spread")?.as_object()?;
+    Some(Measurement {
+        n: obj.get_num("n")? as usize,
+        throughput: obj.get_num("throughput")?,
+        ms: obj.get_num("ms")?,
+        throughput_spread: Summary {
+            n: spread.get_num("n")? as usize,
+            mean: spread.get_num("mean")?,
+            min: spread.get_num("min")?,
+            max: spread.get_num("max")?,
+            stddev: spread.get_num("stddev")?,
+        },
+        beta1: obj.get_num("beta1")?,
+        beta2: obj.get_num("beta2")?,
+        conflicts_per_element: obj.get_num("conflicts_per_element")?,
+        ms_per_element: obj.get_num("ms_per_element")?,
+    })
+}
+
 /// Parse the output of [`encode`]. Returns `None` for anything torn or
-/// malformed — resumption treats that as "cell not measured yet".
+/// malformed (the store then quarantines the file).
 #[must_use]
 pub fn decode(text: &str) -> Option<CellResult> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return None; // trailing garbage: treat as torn
-    }
+    let v = parse_value(text)?;
     let obj = v.as_object()?;
     match obj.get_str("status")? {
-        "done" => {
-            let spread = obj.get("spread")?.as_object()?;
-            Some(CellResult::Done(Measurement {
-                n: obj.get_num("n")? as usize,
-                throughput: obj.get_num("throughput")?,
-                ms: obj.get_num("ms")?,
-                throughput_spread: Summary {
-                    n: spread.get_num("n")? as usize,
-                    mean: spread.get_num("mean")?,
-                    min: spread.get_num("min")?,
-                    max: spread.get_num("max")?,
-                    stddev: spread.get_num("stddev")?,
-                },
-                beta1: obj.get_num("beta1")?,
-                beta2: obj.get_num("beta2")?,
-                conflicts_per_element: obj.get_num("conflicts_per_element")?,
-                ms_per_element: obj.get_num("ms_per_element")?,
-            }))
-        }
+        "done" => Some(CellResult::Done(decode_measurement(obj)?)),
+        "demoted" => Some(CellResult::Demoted {
+            m: decode_measurement(obj)?,
+            on: obj.get_str("on")?.to_string(),
+            attempts: obj.get_num("attempts")? as usize,
+        }),
         "skipped" => Some(CellResult::Skipped {
             reason: obj.get_str("reason")?.to_string(),
             attempts: obj.get_num("attempts")? as usize,
         }),
         _ => None,
     }
+}
+
+/// Parse a complete JSON value, rejecting trailing garbage.
+fn parse_value(text: &str) -> Option<Value> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None; // trailing garbage: treat as torn
+    }
+    Some(v)
 }
 
 enum Value {
@@ -222,23 +570,23 @@ impl Value {
 }
 
 trait ObjExt {
-    fn get(&self, key: &str) -> Option<&Value>;
+    fn field(&self, key: &str) -> Option<&Value>;
     fn get_num(&self, key: &str) -> Option<f64>;
     fn get_str(&self, key: &str) -> Option<&str>;
 }
 
-impl ObjExt for Vec<(String, Value)> {
-    fn get(&self, key: &str) -> Option<&Value> {
+impl ObjExt for [(String, Value)] {
+    fn field(&self, key: &str) -> Option<&Value> {
         self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
     fn get_num(&self, key: &str) -> Option<f64> {
-        match self.get(key)? {
+        match self.field(key)? {
             Value::Num(x) => Some(*x),
             _ => None,
         }
     }
     fn get_str(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
+        match self.field(key)? {
             Value::Str(s) => Some(s),
             _ => None,
         }
@@ -383,9 +731,30 @@ mod tests {
         }
     }
 
+    fn tmpdir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("wcms-ckpt-{tag}-{}", std::process::id()))
+    }
+
+    fn fp() -> SweepFingerprint {
+        SweepFingerprint {
+            figure: "figX".into(),
+            backend: "sim".into(),
+            min_doublings: 1,
+            max_doublings: 5,
+            runs: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+
     #[test]
     fn done_roundtrips_bit_exact() {
         let r = CellResult::Done(meas());
+        assert_eq!(decode(&encode(&r)), Some(r));
+    }
+
+    #[test]
+    fn demoted_roundtrips_with_backend_name() {
+        let r = CellResult::Demoted { m: meas(), on: "analytic".into(), attempts: 7 };
         assert_eq!(decode(&encode(&r)), Some(r));
     }
 
@@ -399,30 +768,133 @@ mod tests {
     }
 
     #[test]
-    fn torn_files_read_as_absent() {
-        let full = encode(&CellResult::Done(meas()));
-        for cut in [1, full.len() / 2, full.len() - 1] {
-            assert_eq!(decode(&full[..cut]), None, "cut at {cut}");
+    fn checksum_framing_roundtrips_and_rejects_corruption() {
+        let payload = encode(&CellResult::Done(meas()));
+        let framed = encode_file(&payload);
+        assert_eq!(decode_file(&framed).unwrap(), payload);
+        // Any single-byte corruption of the payload must be caught.
+        let mut bytes = framed.clone().into_bytes();
+        bytes[8] ^= 0x20;
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(decode_file(&tampered).is_err());
+        // Truncation at every prefix length must be caught.
+        for cut in 0..framed.len() {
+            assert!(decode_file(&framed[..cut]).is_err(), "cut at {cut} must not verify");
         }
-        assert_eq!(decode(&format!("{full}garbage")), None);
-        assert_eq!(decode(""), None);
     }
 
     #[test]
     fn store_load_clear() {
-        let dir = std::env::temp_dir().join(format!("wcms-ckpt-{}", std::process::id()));
+        let dir = tmpdir("basic");
         let store = CheckpointStore::open(&dir).unwrap();
+        store.clear().unwrap();
         let cell = "fig4/Thrust E=15 b=512 worst-case/3072";
-        assert_eq!(store.load(cell), None);
+        assert_eq!(store.load(cell), LoadOutcome::Absent);
         let r = CellResult::Done(meas());
         store.store(cell, &r).unwrap();
-        assert_eq!(store.load(cell), Some(r));
+        assert_eq!(store.load(cell), LoadOutcome::Cached(r));
         // A second store overwrites atomically.
         let skip = CellResult::Skipped { reason: "x".into(), attempts: 1 };
         store.store(cell, &skip).unwrap();
-        assert_eq!(store.load(cell), Some(skip));
+        assert_eq!(store.load(cell), LoadOutcome::Cached(skip));
         store.clear().unwrap();
-        assert_eq!(store.load(cell), None);
+        assert_eq!(store.load(cell), LoadOutcome::Absent);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cell_is_quarantined_not_silently_remeasured() {
+        let dir = tmpdir("quar");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.clear().unwrap();
+        store.store("cell", &CellResult::Done(meas())).unwrap();
+        // Truncate the file (simulates a torn write on a filesystem
+        // without atomic rename, or plain bit rot).
+        let path = store.cell_path("cell");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        match store.load("cell") {
+            LoadOutcome::Quarantined { to: Some(to), reason } => {
+                assert!(to.exists(), "quarantined copy must exist at {}", to.display());
+                assert!(!path.exists(), "offending file must be moved out");
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The cell now reads as absent: it will re-measure.
+        assert_eq!(store.load("cell"), LoadOutcome::Absent);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_roundtrips() {
+        let f = fp();
+        let (schema, back) = SweepFingerprint::decode(&f.encode()).unwrap();
+        assert_eq!(schema, SCHEMA_VERSION);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn open_for_fresh_clears_and_resume_keeps() {
+        let dir = tmpdir("manifest");
+        let store = CheckpointStore::open_for(&dir, &fp(), false).unwrap();
+        store.store("cell", &CellResult::Done(meas())).unwrap();
+        // Resume with the same fingerprint keeps the cell.
+        let store = CheckpointStore::open_for(&dir, &fp(), true).unwrap();
+        assert!(matches!(store.load("cell"), LoadOutcome::Cached(_)));
+        // A fresh open clears it.
+        let store = CheckpointStore::open_for(&dir, &fp(), false).unwrap();
+        assert_eq!(store.load("cell"), LoadOutcome::Absent);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_foreign_fingerprints() {
+        let dir = tmpdir("mismatch");
+        let store = CheckpointStore::open_for(&dir, &fp(), false).unwrap();
+        store.store("cell", &CellResult::Done(meas())).unwrap();
+        for (mutate, field) in [
+            (
+                Box::new(|f: &mut SweepFingerprint| f.backend = "analytic".into())
+                    as Box<dyn Fn(&mut SweepFingerprint)>,
+                "backend",
+            ),
+            (Box::new(|f: &mut SweepFingerprint| f.max_doublings = 9), "grid"),
+            (Box::new(|f: &mut SweepFingerprint| f.seed = 1), "seed"),
+            (Box::new(|f: &mut SweepFingerprint| f.figure = "fig5".into()), "figure"),
+            (Box::new(|f: &mut SweepFingerprint| f.runs = 10), "runs"),
+        ] {
+            let mut other = fp();
+            mutate(&mut other);
+            let err = CheckpointStore::open_for(&dir, &other, true).unwrap_err();
+            match err {
+                WcmsError::CheckpointMismatch { field: f, .. } => assert_eq!(f, field),
+                other => panic!("expected mismatch on {field}, got {other}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_manifest_refuses_when_cells_exist() {
+        let dir = tmpdir("nomanifest");
+        let store = CheckpointStore::open_for(&dir, &fp(), false).unwrap();
+        store.store("cell", &CellResult::Done(meas())).unwrap();
+        fs::remove_file(dir.join("manifest.json")).unwrap();
+        let err = CheckpointStore::open_for(&dir, &fp(), true).unwrap_err();
+        assert!(matches!(err, WcmsError::CheckpointMismatch { field: "manifest", .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_empty_directory_is_a_fresh_start() {
+        let dir = tmpdir("empty");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::open_for(&dir, &fp(), true).unwrap();
+        assert_eq!(store.load("cell"), LoadOutcome::Absent);
+        // The manifest was written, so a second resume still validates.
+        assert!(CheckpointStore::open_for(&dir, &fp(), true).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,6 +5,7 @@
 //! ```text
 //! [--quick|--standard|--full]   sweep size (default --standard)
 //! [--backend <sim|analytic|reference>]  execution backend (default sim)
+//! [--jobs <n>]                  worker threads for the sweep (default 1)
 //! [--markdown]                  markdown tables instead of CSV
 //! [--resume]                    reuse checkpointed cells from a prior run
 //! [--timeout <secs>]            per-cell wall-clock budget
@@ -17,41 +18,55 @@
 //! on the next invocation picks up whatever a killed sweep finished.
 //! Without `--resume` the figure's checkpoint directory is cleared
 //! first — stale cells from an older configuration must not leak in.
-//! The default checkpoint directory is namespaced per backend, so a
-//! `--resume` can never stitch sim cells into an analytic sweep.
+//! The directory carries a manifest fingerprinting the configuration
+//! that wrote it (figure, backend, grid, seed, schema); `--resume`
+//! validates the manifest and refuses with a
+//! [`WcmsError::CheckpointMismatch`] rather than stitch foreign cells
+//! into the sweep. (`--jobs` is deliberately *not* in the fingerprint:
+//! the worker count changes scheduling, never results, so resuming a
+//! `--jobs 1` sweep with `--jobs 8` is fine.)
 
 use std::time::Duration;
 
 use wcms_error::WcmsError;
 use wcms_mergesort::BackendKind;
 
-use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{CheckpointStore, SweepFingerprint};
 use crate::experiment::SweepConfig;
+use crate::figures::RANDOM_SEED;
 use crate::resilient::ResilienceConfig;
+use crate::supervisor::SweepOptions;
 
 /// Parsed figure-binary arguments.
 #[derive(Debug, Clone)]
 pub struct FigureArgs {
-    /// Sweep grid.
-    pub sweep: SweepConfig,
-    /// Execution backend for every cell.
-    pub backend: BackendKind,
+    /// How to run the sweep: grid, per-cell policy, backend, workers.
+    pub opts: SweepOptions,
     /// Render markdown instead of CSV.
     pub markdown: bool,
-    /// Resilience policy (timeout/retries/checkpoint).
-    pub resilience: ResilienceConfig,
+}
+
+impl FigureArgs {
+    /// The execution backend (shorthand for `opts.backend`).
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.opts.backend
+    }
+}
+
+fn bad(msg: String) -> WcmsError {
+    WcmsError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))
 }
 
 /// Parse `args` (without the program name) for the figure `figure`.
 ///
 /// # Errors
 ///
-/// Returns [`WcmsError::DatasetCorrupt`]-style argument errors? No —
-/// argument errors are reported as `Io(InvalidInput)` with the message,
-/// and checkpoint-directory failures as their underlying I/O error.
+/// Argument errors are reported as `Io(InvalidInput)` with the message;
+/// a `--resume` against a foreign checkpoint directory as
+/// [`WcmsError::CheckpointMismatch`]; checkpoint-directory failures as
+/// their underlying I/O error.
 pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, WcmsError> {
-    let bad =
-        |msg: String| WcmsError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg));
     let sweep = if args.iter().any(|a| a == "--quick") {
         SweepConfig::quick()
     } else if args.iter().any(|a| a == "--full") {
@@ -64,6 +79,7 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     };
 
     let backend = backend_from_args(args)?;
+    let jobs = jobs_from_args(args)?;
 
     let mut resilience = ResilienceConfig::none();
     if let Some(secs) = value_of("--timeout") {
@@ -88,14 +104,21 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
         let dir = value_of("--checkpoint-dir")
             .map(String::from)
             .unwrap_or_else(|| format!("results/.checkpoint/{figure}/{backend}"));
-        let store = CheckpointStore::open(dir)?;
-        if !resume {
-            store.clear()?;
-        }
-        resilience.checkpoint = Some(store);
+        let fingerprint = SweepFingerprint {
+            figure: figure.to_string(),
+            backend: backend.name().to_string(),
+            min_doublings: sweep.min_doublings,
+            max_doublings: sweep.max_doublings,
+            runs: sweep.runs,
+            seed: RANDOM_SEED,
+        };
+        resilience.checkpoint = Some(CheckpointStore::open_for(dir, &fingerprint, resume)?);
     }
 
-    Ok(FigureArgs { sweep, backend, markdown: args.iter().any(|a| a == "--markdown"), resilience })
+    Ok(FigureArgs {
+        opts: SweepOptions { sweep, resilience, backend, jobs },
+        markdown: args.iter().any(|a| a == "--markdown"),
+    })
 }
 
 /// Parse `--backend <sim|analytic|reference>` from a raw argument list.
@@ -113,6 +136,32 @@ pub fn backend_from_args(args: &[String]) -> Result<BackendKind, WcmsError> {
     }
 }
 
+/// Parse `--jobs <n>` from a raw argument list (default 1 — the
+/// sequential path). Shared by the figure binaries and the ad-hoc
+/// sweeps, so the flag means the same thing everywhere.
+///
+/// # Errors
+///
+/// Rejects a missing, non-numeric or zero worker count.
+pub fn jobs_from_args(args: &[String]) -> Result<usize, WcmsError> {
+    match args.iter().position(|a| a == "--jobs").and_then(|i| args.get(i + 1)) {
+        Some(n) => {
+            let jobs: usize =
+                n.parse().map_err(|_| bad(format!("--jobs {n}: not a worker count")))?;
+            if jobs == 0 {
+                return Err(bad("--jobs 0: need at least one worker".into()));
+            }
+            Ok(jobs)
+        }
+        None => {
+            if args.iter().any(|a| a == "--jobs") {
+                return Err(bad("--jobs: missing worker count".into()));
+            }
+            Ok(1)
+        }
+    }
+}
+
 /// [`parse_figure_args`] over the process arguments.
 ///
 /// # Errors
@@ -126,21 +175,23 @@ pub fn figure_args_from_env(figure: &str) -> Result<FigureArgs, WcmsError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::{CellResult, LoadOutcome};
 
     fn strs(xs: &[&str]) -> Vec<String> {
         xs.iter().map(|s| (*s).to_string()).collect()
     }
 
     #[test]
-    fn defaults_are_standard_and_checkpointed() {
+    fn defaults_are_standard_sequential_and_checkpointed() {
         let dir = std::env::temp_dir().join(format!("wcms-cli-{}", std::process::id()));
         let a =
             parse_figure_args("figX", &strs(&["--checkpoint-dir", dir.to_str().unwrap()])).unwrap();
-        assert_eq!(a.sweep.max_doublings, SweepConfig::standard().max_doublings);
-        assert_eq!(a.backend, BackendKind::Sim);
+        assert_eq!(a.opts.sweep.max_doublings, SweepConfig::standard().max_doublings);
+        assert_eq!(a.backend(), BackendKind::Sim);
+        assert_eq!(a.opts.jobs, 1);
         assert!(!a.markdown);
-        assert!(a.resilience.timeout.is_none());
-        assert!(a.resilience.checkpoint.is_some());
+        assert!(a.opts.resilience.timeout.is_none());
+        assert!(a.opts.resilience.checkpoint.is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -151,19 +202,31 @@ mod tests {
             &strs(&["--quick", "--no-checkpoint", "--timeout", "2.5", "--retries", "4"]),
         )
         .unwrap();
-        assert_eq!(a.resilience.timeout, Some(Duration::from_secs_f64(2.5)));
-        assert_eq!(a.resilience.retries, 4);
-        assert!(a.resilience.checkpoint.is_none());
+        assert_eq!(a.opts.resilience.timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(a.opts.resilience.retries, 4);
+        assert!(a.opts.resilience.checkpoint.is_none());
     }
 
     #[test]
     fn backend_flag_parses() {
         let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--backend", "analytic"]))
             .unwrap();
-        assert_eq!(a.backend, BackendKind::Analytic);
+        assert_eq!(a.backend(), BackendKind::Analytic);
         let err =
             parse_figure_args("figX", &strs(&["--no-checkpoint", "--backend", "gpu"])).unwrap_err();
         assert!(err.to_string().contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--jobs", "4"])).unwrap();
+        assert_eq!(a.opts.jobs, 4);
+        for bad_args in [&["--no-checkpoint", "--jobs", "0"][..], &["--no-checkpoint", "--jobs"]] {
+            let err = parse_figure_args("figX", &strs(bad_args)).unwrap_err();
+            assert!(err.to_string().contains("--jobs"), "{err}");
+        }
+        assert_eq!(jobs_from_args(&strs(&["--jobs", "8"])).unwrap(), 8);
+        assert_eq!(jobs_from_args(&strs(&[])).unwrap(), 1);
     }
 
     #[test]
@@ -179,30 +242,65 @@ mod tests {
     #[test]
     fn resume_keeps_existing_cells() {
         let dir = std::env::temp_dir().join(format!("wcms-cli-res-{}", std::process::id()));
-        let store = CheckpointStore::open(&dir).unwrap();
-        store
-            .store(
-                "cell",
-                &crate::checkpoint::CellResult::Skipped { reason: "x".into(), attempts: 1 },
-            )
-            .unwrap();
-        // Fresh run clears...
-        let _ =
+        std::fs::remove_dir_all(&dir).ok();
+        // Fresh run writes the manifest...
+        let a =
             parse_figure_args("figX", &strs(&["--checkpoint-dir", dir.to_str().unwrap()])).unwrap();
-        assert_eq!(store.load("cell"), None);
-        // ...resumed run keeps.
-        store
-            .store(
-                "cell",
-                &crate::checkpoint::CellResult::Skipped { reason: "x".into(), attempts: 1 },
-            )
-            .unwrap();
-        let _ = parse_figure_args(
+        let store = a.opts.resilience.checkpoint.as_ref().unwrap();
+        store.store("cell", &CellResult::Skipped { reason: "x".into(), attempts: 1 }).unwrap();
+        // ...a fresh re-run clears the cells...
+        let a2 =
+            parse_figure_args("figX", &strs(&["--checkpoint-dir", dir.to_str().unwrap()])).unwrap();
+        let store2 = a2.opts.resilience.checkpoint.as_ref().unwrap();
+        assert_eq!(store2.load("cell"), LoadOutcome::Absent);
+        store2.store("cell", &CellResult::Skipped { reason: "x".into(), attempts: 1 }).unwrap();
+        // ...and a resumed run keeps them.
+        let a3 = parse_figure_args(
             "figX",
             &strs(&["--resume", "--checkpoint-dir", dir.to_str().unwrap()]),
         )
         .unwrap();
-        assert!(store.load("cell").is_some());
+        let store3 = a3.opts.resilience.checkpoint.as_ref().unwrap();
+        assert!(matches!(store3.load("cell"), LoadOutcome::Cached(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_against_a_different_configuration_refuses() {
+        let dir = std::env::temp_dir().join(format!("wcms-cli-mis-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let _ = parse_figure_args(
+            "figX",
+            &strs(&["--quick", "--checkpoint-dir", dir.to_str().unwrap()]),
+        )
+        .unwrap();
+        // Same directory, resumed under a different grid → typed refusal.
+        let err = parse_figure_args(
+            "figX",
+            &strs(&["--full", "--resume", "--checkpoint-dir", dir.to_str().unwrap()]),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, WcmsError::CheckpointMismatch { field: "grid", .. }),
+            "expected a grid mismatch, got {err}"
+        );
+        // And resuming a sim checkpoint as analytic also refuses.
+        let err = parse_figure_args(
+            "figX",
+            &strs(&[
+                "--quick",
+                "--resume",
+                "--backend",
+                "analytic",
+                "--checkpoint-dir",
+                dir.to_str().unwrap(),
+            ]),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, WcmsError::CheckpointMismatch { field: "backend", .. }),
+            "expected a backend mismatch, got {err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use wcms_dmm::stats::Summary;
-use wcms_error::WcmsError;
+use wcms_error::{CancelToken, WcmsError};
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
 use wcms_mergesort::{BackendKind, SortParams, SortReport};
 use wcms_workloads::WorkloadSpec;
@@ -135,14 +135,37 @@ pub fn measure_on(
     runs: u64,
     backend: BackendKind,
 ) -> Result<Measurement, WcmsError> {
+    measure_cancellable(device, params, spec, n, runs, backend, &CancelToken::never())
+}
+
+/// [`measure_on`] under a [`CancelToken`]: the token is threaded into
+/// the backend's per-unit checks (and polled between runs), so a
+/// supervisor deadline stops the measurement at the next work-unit
+/// boundary instead of after the whole cell.
+///
+/// # Errors
+///
+/// Same conditions as [`measure_on`], plus [`WcmsError::Cancelled`]
+/// when the token fires mid-measurement.
+#[allow(clippy::too_many_arguments)] // the cell tuple plus its token
+pub fn measure_cancellable(
+    device: &DeviceSpec,
+    params: &SortParams,
+    spec: WorkloadSpec,
+    n: usize,
+    runs: u64,
+    backend: BackendKind,
+    token: &CancelToken,
+) -> Result<Measurement, WcmsError> {
     let runs = runs.max(1);
     let mut times = Vec::with_capacity(runs as usize);
     let mut beta1 = Vec::new();
     let mut beta2 = Vec::new();
     let mut cpe = Vec::new();
     for run in 0..runs {
+        token.check()?;
         let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b)?;
-        let (out, report) = backend.sort_with_report(&input, params)?;
+        let (out, report) = backend.sort_with_report_cancellable(&input, params, token)?;
         debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
         // The reference backend does no GPU work at all, so the cost
         // model does not apply — not even its per-launch overhead floor.
@@ -245,6 +268,28 @@ mod tests {
         let m = measure_on(&d, &p, WorkloadSpec::Sorted, n, 1, BackendKind::Reference).unwrap();
         assert_eq!(m.throughput, 0.0);
         assert_eq!(m.ms, 0.0);
+    }
+
+    #[test]
+    fn live_token_measures_identically() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 4;
+        let spec = WorkloadSpec::RandomPermutation { seed: 5 };
+        let plain = measure_on(&d, &p, spec, n, 2, BackendKind::Sim).unwrap();
+        let token = CancelToken::new("cell");
+        let gated = measure_cancellable(&d, &p, spec, n, 2, BackendKind::Sim, &token).unwrap();
+        assert_eq!(plain, gated, "an unfired token must not perturb the measurement");
+    }
+
+    #[test]
+    fn fired_token_cancels_the_measurement() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 2;
+        let token = CancelToken::new("cell-x");
+        token.cancel();
+        let err = measure_cancellable(&d, &p, WorkloadSpec::Sorted, n, 1, BackendKind::Sim, &token)
+            .unwrap_err();
+        assert!(matches!(err, WcmsError::Cancelled { ref cell } if cell == "cell-x"), "{err}");
     }
 
     #[test]

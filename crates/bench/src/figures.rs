@@ -1,24 +1,32 @@
 //! The figure runners: each reproduces one figure of §IV as a set of
 //! labelled series over a doubling size grid.
 //!
-//! Every cell runs through the resilience layer
-//! ([`crate::resilient::run_cell`]): with [`ResilienceConfig::none`]
-//! that is a plain call, while the figure binaries pass timeouts,
-//! retries and a checkpoint store so interrupted sweeps resume and
-//! pathological cells degrade to explicit gaps instead of killing the
-//! whole figure.
+//! Every cell runs through the parallel sweep supervisor
+//! ([`crate::supervisor::run_sweep`]): a work queue over
+//! [`SweepOptions::jobs`] worker threads, with per-cell deadlines
+//! enforced through cooperative cancellation, checkpoint/resume,
+//! quarantine of corrupt checkpoints, and a backend demotion ladder for
+//! cells that keep timing out. With `jobs: 1` and
+//! [`crate::resilient::ResilienceConfig::none`] that degrades to a
+//! plain sequential call — and the parallel path folds its results in
+//! submission order, so the CSV is byte-identical either way.
 
-use rayon::prelude::*;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::params::SortVariant;
-use wcms_mergesort::{BackendKind, SortParams};
+use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
 use crate::checkpoint::CellResult;
-use crate::experiment::{measure_on, SweepConfig};
-use crate::resilient::{run_cell, ResilienceConfig, SkippedCell, SweepReport};
+use crate::experiment::measure_cancellable;
+use crate::resilient::{QuarantinedCell, SkippedCell, SweepReport};
 use crate::series::Series;
+use crate::supervisor::{run_sweep, SweepOptions};
+
+/// Base seed of the figures' random workloads — part of the checkpoint
+/// fingerprint: cells measured under a different seed are different
+/// cells.
+pub const RANDOM_SEED: u64 = 0xC0FFEE;
 
 /// A library/parameter configuration under test.
 #[derive(Debug, Clone)]
@@ -33,48 +41,48 @@ fn series_label(cfg: &Config, wl: &str) -> String {
     format!("{} E={} b={} {}", cfg.label, cfg.params.e, cfg.params.b, wl)
 }
 
-/// Run one grid of `(series label, spec, params, n)` jobs under the
-/// resilience policy and fold the outcomes into series + gaps.
-#[allow(clippy::too_many_arguments)] // internal grid plumbing
+/// Run one grid of `(series label, params, spec, n)` cells under the
+/// supervisor and fold the outcomes into series + gaps. Demoted cells
+/// contribute their (ladder-produced) measurement like any other point.
 fn run_grid(
     figure: &str,
     device: &DeviceSpec,
-    jobs: Vec<(String, SortParams, WorkloadSpec, usize)>,
+    cells: Vec<(String, SortParams, WorkloadSpec, usize)>,
     runs: u64,
-    resilience: &ResilienceConfig,
+    opts: &SweepOptions,
     series_order: &[String],
-    backend: BackendKind,
 ) -> SweepReport {
-    // Cells are independent; parallelise the whole grid. (The sort
-    // itself also parallelises over blocks, but the small-N points leave
-    // cores idle without this outer level.)
-    let outcomes: Vec<(String, usize, CellResult)> = jobs
-        .into_par_iter()
-        .map(|(label, params, spec, n)| {
-            let cell = format!("{figure}/{label}/{n}");
-            let dev = device.clone();
-            let outcome = run_cell(&cell, resilience, move || {
-                measure_on(&dev, &params, spec, n, runs, backend)
-            });
-            (label, n, outcome)
-        })
-        .collect();
+    let dev = device.clone();
+    let sweep = run_sweep(
+        cells,
+        opts,
+        |(label, _, _, n)| format!("{figure}/{label}/{n}"),
+        move |(_, params, spec, n), backend, token| {
+            measure_cancellable(&dev, &params, spec, n, runs, backend, token)
+        },
+    );
 
-    let mut report = SweepReport::default();
+    let mut report = SweepReport { stats: sweep.stats.clone(), ..SweepReport::default() };
     for wanted in series_order {
         let mut points = Vec::new();
-        for (label, n, outcome) in &outcomes {
+        for ((label, _, _, n), outcome) in &sweep.cells {
             if label != wanted {
                 continue;
             }
-            match outcome {
-                CellResult::Done(m) => points.push(m.clone()),
+            match &outcome.result {
+                CellResult::Done(m) | CellResult::Demoted { m, .. } => points.push(m.clone()),
                 CellResult::Skipped { reason, attempts } => report.skipped.push(SkippedCell {
                     series: label.clone(),
                     n: *n,
                     reason: reason.clone(),
                     attempts: *attempts,
                 }),
+            }
+            if let Some(reason) = &outcome.quarantined {
+                report.quarantined.push(QuarantinedCell {
+                    cell: format!("{figure}/{label}/{n}"),
+                    reason: reason.clone(),
+                });
             }
         }
         report.series.push(Series { label: wanted.clone(), points });
@@ -90,24 +98,22 @@ pub fn throughput_figure(
     figure: &str,
     device: &DeviceSpec,
     configs: &[Config],
-    sweep: &SweepConfig,
-    resilience: &ResilienceConfig,
-    backend: BackendKind,
+    opts: &SweepOptions,
 ) -> SweepReport {
-    let mut jobs = Vec::new();
+    let mut cells = Vec::new();
     let mut order = Vec::new();
     for cfg in configs {
         for (wl_label, spec) in [
             ("worst-case", WorkloadSpec::WorstCase),
-            ("random", WorkloadSpec::RandomPermutation { seed: 0xC0FFEE }),
+            ("random", WorkloadSpec::RandomPermutation { seed: RANDOM_SEED }),
         ] {
             order.push(series_label(cfg, wl_label));
-            for n in sweep.sizes(&cfg.params) {
-                jobs.push((series_label(cfg, wl_label), cfg.params, spec, n));
+            for n in opts.sweep.sizes(&cfg.params) {
+                cells.push((series_label(cfg, wl_label), cfg.params, spec, n));
             }
         }
     }
-    run_grid(figure, device, jobs, sweep.runs, resilience, &order, backend)
+    run_grid(figure, device, cells, opts.sweep.runs, opts, &order)
 }
 
 /// Fig. 4: Quadro M4000 — Thrust (E=15, b=512) and Modern GPU
@@ -117,14 +123,10 @@ pub fn throughput_figure(
 ///
 /// Returns the parameter-validation error if a library preset does not
 /// fit the device (individual cell failures become gaps instead).
-pub fn fig4(
-    sweep: &SweepConfig,
-    resilience: &ResilienceConfig,
-    backend: BackendKind,
-) -> Result<SweepReport, WcmsError> {
+pub fn fig4(opts: &SweepOptions) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::quadro_m4000();
     let configs = fig4_configs(&device)?;
-    Ok(throughput_figure("fig4", &device, &configs, sweep, resilience, backend))
+    Ok(throughput_figure("fig4", &device, &configs, opts))
 }
 
 /// The two library presets of Fig. 4 (shared with the cross-validation
@@ -146,17 +148,13 @@ pub fn fig4_configs(device: &DeviceSpec) -> Result<Vec<Config>, WcmsError> {
 /// # Errors
 ///
 /// Same conditions as [`fig4`].
-pub fn fig5_thrust(
-    sweep: &SweepConfig,
-    resilience: &ResilienceConfig,
-    backend: BackendKind,
-) -> Result<SweepReport, WcmsError> {
+pub fn fig5_thrust(opts: &SweepOptions) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
         Config { label: "Thrust".into(), params: SortParams::thrust_e15_b512(&device)? },
         Config { label: "Thrust".into(), params: SortParams::thrust(&device)? },
     ];
-    Ok(throughput_figure("fig5-thrust", &device, &configs, sweep, resilience, backend))
+    Ok(throughput_figure("fig5-thrust", &device, &configs, opts))
 }
 
 /// Fig. 5 (right): RTX 2080 Ti, Modern GPU with both parameter sets.
@@ -164,11 +162,7 @@ pub fn fig5_thrust(
 /// # Errors
 ///
 /// Same conditions as [`fig4`].
-pub fn fig5_mgpu(
-    sweep: &SweepConfig,
-    resilience: &ResilienceConfig,
-    backend: BackendKind,
-) -> Result<SweepReport, WcmsError> {
+pub fn fig5_mgpu(opts: &SweepOptions) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
         Config {
@@ -180,7 +174,7 @@ pub fn fig5_mgpu(
             params: SortParams::new(32, 17, 256)?.with_variant(SortVariant::ModernGpu),
         },
     ];
-    Ok(throughput_figure("fig5-mgpu", &device, &configs, sweep, resilience, backend))
+    Ok(throughput_figure("fig5-mgpu", &device, &configs, opts))
 }
 
 /// Fig. 6: RTX 2080 Ti, Thrust, worst-case inputs — runtime per element
@@ -191,44 +185,39 @@ pub fn fig5_mgpu(
 /// # Errors
 ///
 /// Same conditions as [`fig4`].
-pub fn fig6(
-    sweep: &SweepConfig,
-    resilience: &ResilienceConfig,
-    backend: BackendKind,
-) -> Result<SweepReport, WcmsError> {
+pub fn fig6(opts: &SweepOptions) -> Result<SweepReport, WcmsError> {
     let device = DeviceSpec::rtx_2080_ti();
     let configs = [
         Config { label: "Thrust".into(), params: SortParams::new(32, 15, 512)? },
         Config { label: "Thrust".into(), params: SortParams::new(32, 17, 256)? },
     ];
-    let mut jobs = Vec::new();
+    let mut cells = Vec::new();
     let mut order = Vec::new();
     for cfg in &configs {
         order.push(series_label(cfg, "worst-case"));
-        for n in sweep.sizes(&cfg.params) {
-            jobs.push((series_label(cfg, "worst-case"), cfg.params, WorkloadSpec::WorstCase, n));
+        for n in opts.sweep.sizes(&cfg.params) {
+            cells.push((series_label(cfg, "worst-case"), cfg.params, WorkloadSpec::WorstCase, n));
         }
     }
-    Ok(run_grid("fig6", &device, jobs, 1, resilience, &order, backend))
+    Ok(run_grid("fig6", &device, cells, 1, opts, &order))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::SweepConfig;
+    use wcms_mergesort::BackendKind;
+
+    fn plain(sweep: SweepConfig) -> SweepOptions {
+        SweepOptions::plain(sweep, BackendKind::Sim)
+    }
 
     #[test]
     fn throughput_figure_layout() {
         let device = DeviceSpec::test_device();
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
-        let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let report = throughput_figure(
-            "t",
-            &device,
-            &configs,
-            &sweep,
-            &ResilienceConfig::none(),
-            BackendKind::Sim,
-        );
+        let opts = plain(SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 });
+        let report = throughput_figure("t", &device, &configs, &opts);
         assert!(report.skipped.is_empty(), "{:?}", report.skipped);
         let series = &report.series;
         assert_eq!(series.len(), 2);
@@ -237,21 +226,17 @@ mod tests {
         assert_eq!(series[0].points.len(), 2);
         // Same grid.
         assert_eq!(series[0].points[0].n, series[1].points[0].n);
+        // The stats cover the whole grid.
+        assert_eq!(report.stats.cells, 4);
+        assert_eq!(report.stats.done, 4);
     }
 
     #[test]
     fn worst_case_series_is_slower_pointwise() {
         let device = DeviceSpec::test_device();
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
-        let sweep = SweepConfig { min_doublings: 2, max_doublings: 3, runs: 1 };
-        let report = throughput_figure(
-            "t",
-            &device,
-            &configs,
-            &sweep,
-            &ResilienceConfig::none(),
-            BackendKind::Sim,
-        );
+        let opts = plain(SweepConfig { min_doublings: 2, max_doublings: 3, runs: 1 });
+        let report = throughput_figure("t", &device, &configs, &opts);
         for (w, r) in report.series[0].points.iter().zip(&report.series[1].points) {
             assert!(w.throughput < r.throughput, "n={}", w.n);
         }
@@ -265,29 +250,38 @@ mod tests {
         let device = DeviceSpec::test_device();
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
         let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let sim = throughput_figure(
-            "t",
-            &device,
-            &configs,
-            &sweep,
-            &ResilienceConfig::none(),
-            BackendKind::Sim,
-        );
+        let sim = throughput_figure("t", &device, &configs, &plain(sweep));
         let analytic = throughput_figure(
             "t",
             &device,
             &configs,
-            &sweep,
-            &ResilienceConfig::none(),
-            BackendKind::Analytic,
+            &SweepOptions::plain(sweep, BackendKind::Analytic),
         );
         assert_eq!(sim.series, analytic.series);
     }
 
+    /// The supervisor's determinism contract: four racing workers fold
+    /// to the byte-identical CSV of the sequential path.
+    #[test]
+    fn parallel_sweep_csv_matches_sequential_byte_for_byte() {
+        let device = DeviceSpec::test_device();
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
+        let sweep = SweepConfig { min_doublings: 1, max_doublings: 3, runs: 2 };
+        let seq = throughput_figure("t", &device, &configs, &plain(sweep));
+        let par = throughput_figure("t", &device, &configs, &plain(sweep).with_jobs(4));
+        assert_eq!(seq.series, par.series);
+        assert_eq!(
+            seq.csv(|m| m.throughput),
+            par.csv(|m| m.throughput),
+            "jobs=4 must render the byte-identical CSV of jobs=1"
+        );
+        assert_eq!(par.stats.jobs, 4);
+    }
+
     #[test]
     fn fig6_series_shapes() {
-        let sweep = SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 };
-        let report = fig6(&sweep, &ResilienceConfig::none(), BackendKind::Sim).unwrap();
+        let opts = plain(SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 });
+        let report = fig6(&opts).unwrap();
         assert_eq!(report.series.len(), 2);
         for s in &report.series {
             assert_eq!(s.points.len(), 2);
@@ -304,15 +298,8 @@ mod tests {
         let device = DeviceSpec::test_device();
         let tiny_smem = DeviceSpec { shared_mem_per_sm: 64, ..device.clone() };
         let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
-        let sweep = SweepConfig { min_doublings: 1, max_doublings: 1, runs: 1 };
-        let report = throughput_figure(
-            "t",
-            &tiny_smem,
-            &configs,
-            &sweep,
-            &ResilienceConfig::none(),
-            BackendKind::Sim,
-        );
+        let opts = plain(SweepConfig { min_doublings: 1, max_doublings: 1, runs: 1 });
+        let report = throughput_figure("t", &tiny_smem, &configs, &opts);
         assert_eq!(report.series.len(), 2);
         assert!(report.series.iter().all(|s| s.points.is_empty()));
         assert_eq!(report.skipped.len(), 2);

@@ -22,6 +22,14 @@
 //! simulator (default), the integer-identical analytic engine, or the
 //! counter-free CPU reference. [`crossval`] is the harness that holds
 //! the analytic backend to that "integer-identical" claim.
+//!
+//! Sweeps run under the [`supervisor`]: `--jobs <n>` worker threads
+//! with byte-identical output at any worker count, cooperative
+//! per-cell cancellation (`--timeout`), checksummed resumable
+//! checkpoints with quarantine of corrupt files ([`checkpoint`]), and
+//! a sim → analytic → reference demotion ladder for cells that time
+//! out. The `chaos` binary SIGKILLs, corrupts, and resumes sweeps to
+//! prove the stack end-to-end.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,10 +43,14 @@ pub mod panel;
 pub mod resilient;
 pub mod series;
 pub mod summary;
+pub mod supervisor;
 
-pub use checkpoint::{CellResult, CheckpointStore};
-pub use cliargs::{backend_from_args, figure_args_from_env, FigureArgs};
-pub use experiment::{measure, measure_on, Measurement, SweepConfig};
+pub use checkpoint::{CellResult, CheckpointStore, LoadOutcome, SweepFingerprint};
+pub use cliargs::{backend_from_args, figure_args_from_env, jobs_from_args, FigureArgs};
+pub use experiment::{measure, measure_cancellable, measure_on, Measurement, SweepConfig};
 pub use panel::{figure_binary_main, FigurePanel, PanelSection};
-pub use resilient::{run_cell, ResilienceConfig, SkippedCell, SweepReport};
+pub use resilient::{
+    run_cell, CellOutcome, QuarantinedCell, ResilienceConfig, SkippedCell, SweepReport, SweepStats,
+};
 pub use series::{Series, SeriesPoint};
+pub use supervisor::{parallel_map, run_sweep, supervise_cell, SupervisedSweep, SweepOptions};

@@ -123,6 +123,12 @@ impl FigurePanel {
                 self.report.skipped.len()
             ));
         }
+        if !self.report.quarantined.is_empty() {
+            comments.push_str(&format!(
+                "# {} corrupt checkpoint(s) quarantined and re-measured\n",
+                self.report.quarantined.len()
+            ));
+        }
         (data, comments)
     }
 }
@@ -173,8 +179,10 @@ pub fn figure_binary_main(
         }
     };
     for panel in &panels {
-        let (data, comments) = panel.render(args.backend, args.markdown);
+        let (data, comments) = panel.render(args.backend(), args.markdown);
         eprint!("{comments}");
+        // The structured run summary: one greppable line per sweep.
+        eprintln!("{}", panel.report.stats.summary_line(figure));
         print!("{data}");
     }
     ExitCode::SUCCESS
@@ -210,7 +218,7 @@ mod tests {
                     points: vec![meas(100, 2e6, 1.0, 0.1), meas(200, 2e6, 1.5, 0.15)],
                 },
             ],
-            skipped: Vec::new(),
+            ..SweepReport::default()
         }
     }
 
@@ -287,5 +295,18 @@ mod tests {
         let panel = FigurePanel::throughput_panel("Fig. X", r);
         let (_, comments) = panel.render(BackendKind::Sim, false);
         assert!(comments.contains("# 1 cell(s) skipped"), "{comments}");
+    }
+
+    #[test]
+    fn quarantined_checkpoints_are_counted() {
+        let mut r = report();
+        r.quarantined.push(crate::resilient::QuarantinedCell {
+            cell: "figX/T worst-case/100".into(),
+            reason: "checksum mismatch".into(),
+        });
+        let panel = FigurePanel::throughput_panel("Fig. X", r);
+        let (data, comments) = panel.render(BackendKind::Sim, false);
+        assert!(comments.contains("# 1 corrupt checkpoint(s) quarantined"), "{comments}");
+        assert!(!data.contains("quarantine"), "quarantine notes must stay out of the data stream");
     }
 }

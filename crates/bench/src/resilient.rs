@@ -1,36 +1,65 @@
-//! Fault-tolerant sweep execution: per-cell wall-clock budgets, bounded
-//! retry with backoff, skip-and-report, and checkpoint/resume.
+//! Fault-tolerant sweep execution: per-cell wall-clock budgets enforced
+//! through cooperative cancellation, panic isolation, bounded retry
+//! with exponential backoff, skip-and-report, and checkpoint/resume.
 //!
 //! Long sweeps die for boring reasons — one pathological cell hangs, a
-//! node gets preempted, a kernel rejects a corrupted input. The figure
-//! runners route every cell through [`run_cell`], which turns all of
-//! those into one of two durable outcomes: a [`CellResult::Done`]
-//! measurement or a [`CellResult::Skipped`] gap with the reason
-//! attached. Either outcome is checkpointed, so a re-run with `--resume`
-//! replays finished cells from disk and only computes what is missing.
+//! node gets preempted, a kernel rejects a corrupted input, a bug
+//! panics. The figure runners route every cell through [`run_cell`],
+//! which turns all of those into one durable [`CellResult`]: a measured
+//! value (`Done`/`Demoted`) or a `Skipped` gap with the reason
+//! attached. Either outcome is checkpointed, so a re-run with
+//! `--resume` replays finished cells from disk and only computes what
+//! is missing.
+//!
+//! Timeouts are enforced *cooperatively*: each attempt gets a
+//! [`CancelToken`] that the execution backends poll at work-unit
+//! boundaries. On budget expiry the supervisor fires the token and
+//! waits a grace period for the worker to unwind and join — the old
+//! detach-and-abandon behaviour (which leaked one live thread per
+//! timed-out cell, still burning a core on the abandoned sort) survives
+//! only as a last resort for a worker that ignores its token, and is
+//! reported in [`CellOutcome::leaked_thread`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
-use wcms_error::WcmsError;
+use wcms_error::{CancelToken, WcmsError};
 
-use crate::checkpoint::{CellResult, CheckpointStore};
+use crate::checkpoint::{CellResult, CheckpointStore, LoadOutcome};
 use crate::experiment::Measurement;
 use crate::series::Series;
 
 /// Retry/timeout/checkpoint policy for a sweep.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ResilienceConfig {
     /// Wall-clock budget per cell attempt. `None` runs the cell inline
     /// with no budget (and no extra thread).
     pub timeout: Option<Duration>,
+    /// How long after firing the cancel token to wait for a timed-out
+    /// worker to unwind and join before declaring its thread leaked.
+    pub grace: Duration,
     /// Extra attempts after the first failure/timeout.
     pub retries: usize,
-    /// Base backoff between attempts (attempt `k` waits `k × backoff`).
+    /// Base backoff between attempts (attempt `k` waits
+    /// `backoff × 2^(k-2)` — exponential, so a struggling cell backs
+    /// off fast without stalling the happy path).
     pub backoff: Duration,
     /// Checkpoint store for resume; `None` disables persistence.
     pub checkpoint: Option<CheckpointStore>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            timeout: None,
+            grace: Duration::from_millis(200),
+            retries: 0,
+            backoff: Duration::ZERO,
+            checkpoint: None,
+        }
+    }
 }
 
 impl ResilienceConfig {
@@ -41,14 +70,32 @@ impl ResilienceConfig {
     }
 
     /// A typical resilient profile: per-cell budget with two retries
-    /// and linear backoff starting at 100 ms.
+    /// and exponential backoff starting at 100 ms.
     #[must_use]
     pub fn with_timeout(budget: Duration) -> Self {
         Self {
             timeout: Some(budget),
             retries: 2,
             backoff: Duration::from_millis(100),
-            checkpoint: None,
+            ..Self::default()
+        }
+    }
+
+    /// This policy without persistence (used by the supervisor's
+    /// demotion ladder, which stores its own `Demoted` records).
+    #[must_use]
+    pub fn without_checkpoint(&self) -> Self {
+        Self { checkpoint: None, ..self.clone() }
+    }
+
+    /// Persist `result` for `cell` if checkpointing is enabled. A
+    /// failed write must not fail the sweep (the cell simply re-runs on
+    /// resume), so it only warns.
+    pub fn persist(&self, cell: &str, result: &CellResult) {
+        if let Some(store) = &self.checkpoint {
+            if let Err(e) = store.store(cell, result) {
+                eprintln!("# checkpoint write failed for {cell}: {e}");
+            }
         }
     }
 }
@@ -67,21 +114,89 @@ pub struct SkippedCell {
     pub attempts: usize,
 }
 
+/// A checkpoint file that failed integrity validation and was moved
+/// into quarantine (the cell re-measured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// The sweep-cell name whose checkpoint was quarantined.
+    pub cell: String,
+    /// What the integrity check found.
+    pub reason: String,
+}
+
+/// Counters for one sweep, aggregated by the supervisor and emitted as
+/// the structured `# sweep-summary` stderr line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Cells with a measurement from the primary backend.
+    pub done: usize,
+    /// Cells replayed from the checkpoint store.
+    pub cached: usize,
+    /// Cells that needed more than one attempt.
+    pub retried: usize,
+    /// Cells measured on a demoted backend.
+    pub demoted: usize,
+    /// Cells abandoned as gaps.
+    pub skipped: usize,
+    /// Corrupt checkpoint files quarantined.
+    pub quarantined: usize,
+    /// Cells whose worker panicked at least once.
+    pub panicked: usize,
+    /// Timed-out workers that ignored their cancel token past the
+    /// grace period (should be 0; anything else is a cancellation bug).
+    pub leaked_threads: usize,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Wall-clock time of the sweep in seconds.
+    pub wall_s: f64,
+}
+
+impl SweepStats {
+    /// The one-line machine-greppable summary emitted to stderr at the
+    /// end of every figure binary.
+    #[must_use]
+    pub fn summary_line(&self, figure: &str) -> String {
+        format!(
+            "# sweep-summary figure={figure} cells={} done={} cached={} retried={} demoted={} \
+             skipped={} quarantined={} panicked={} leaked={} jobs={} wall_s={:.3}",
+            self.cells,
+            self.done,
+            self.cached,
+            self.retried,
+            self.demoted,
+            self.skipped,
+            self.quarantined,
+            self.panicked,
+            self.leaked_threads,
+            self.jobs,
+            self.wall_s,
+        )
+    }
+}
+
 /// A figure sweep's output: the measured series plus the cells that
-/// were skipped.
+/// were skipped or had checkpoints quarantined, and the run counters.
 #[derive(Debug, Clone, Default)]
 pub struct SweepReport {
     /// Measured series (points only for cells that completed).
     pub series: Vec<Series>,
     /// Explicit gaps.
     pub skipped: Vec<SkippedCell>,
+    /// Checkpoints that failed integrity checks (already re-measured).
+    pub quarantined: Vec<QuarantinedCell>,
+    /// Aggregated counters for the `# sweep-summary` line.
+    pub stats: SweepStats,
 }
 
 impl SweepReport {
     /// Long-form CSV of the series plus one `# gap,...` comment line per
     /// skipped cell, so an interrupted-then-resumed sweep and a clean
     /// sweep produce byte-identical files when they measured the same
-    /// cells.
+    /// cells. Quarantine events and stats are deliberately *not* here —
+    /// they describe the run, not the data, and would break that
+    /// byte-identity.
     #[must_use]
     pub fn csv<F: Fn(&Measurement) -> f64 + Copy>(&self, f: F) -> String {
         let mut out = crate::series::to_csv(&self.series, f);
@@ -97,8 +212,8 @@ impl SweepReport {
         out
     }
 
-    /// Markdown rendering with a trailing gap table when cells were
-    /// skipped.
+    /// Markdown rendering with trailing gap/quarantine tables when
+    /// cells were skipped or checkpoints quarantined.
     #[must_use]
     pub fn markdown<F: Fn(&Measurement) -> f64 + Copy>(&self, f: F, unit: &str) -> String {
         let mut out = crate::series::to_markdown(&self.series, f, unit);
@@ -116,81 +231,213 @@ impl SweepReport {
                 ));
             }
         }
+        if !self.quarantined.is_empty() {
+            out.push_str(
+                "\n**quarantined checkpoints** (corrupt on disk, re-measured)\n\n\
+                 | cell | reason |\n|---|---|\n",
+            );
+            for q in &self.quarantined {
+                out.push_str(&format!("| {} | {} |\n", q.cell, q.reason.replace('\n', " ")));
+            }
+        }
         out
+    }
+}
+
+/// Everything [`run_cell`] learned about one cell, for the supervisor's
+/// ladder decisions and the sweep counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The durable outcome (already checkpointed when enabled).
+    pub result: CellResult,
+    /// The result was replayed from the checkpoint store.
+    pub from_checkpoint: bool,
+    /// The cell's checkpoint existed but was corrupt and got
+    /// quarantined before the (re-)measurement.
+    pub quarantined: Option<String>,
+    /// Attempts actually made (0 when replayed from the checkpoint).
+    pub attempts: usize,
+    /// The cell's final failure was a wall-clock timeout (the
+    /// supervisor demotes such cells down the backend ladder).
+    pub timed_out: bool,
+    /// At least one attempt panicked (isolated, not propagated).
+    pub panicked: bool,
+    /// A timed-out worker ignored its cancel token past the grace
+    /// period and its thread was abandoned.
+    pub leaked_thread: bool,
+}
+
+impl CellOutcome {
+    fn cached(result: CellResult) -> Self {
+        Self {
+            result,
+            from_checkpoint: true,
+            quarantined: None,
+            attempts: 0,
+            timed_out: false,
+            panicked: false,
+            leaked_thread: false,
+        }
     }
 }
 
 /// Run one sweep cell under the resilience policy.
 ///
-/// Checkpointed cells return instantly. Otherwise the cell runs up to
-/// `1 + retries` times; each attempt is bounded by `timeout` when one is
-/// set (the attempt runs on a helper thread — on timeout the thread is
-/// abandoned, exactly as a harness kill would abandon the process). The
-/// final outcome is checkpointed before returning.
-pub fn run_cell<F>(cell: &str, cfg: &ResilienceConfig, f: F) -> CellResult
+/// Checkpointed cells return instantly ([`CellOutcome::from_checkpoint`]);
+/// corrupt checkpoints are quarantined, reported and re-measured.
+/// Otherwise the cell runs up to `1 + retries` times with exponential
+/// backoff; each attempt gets a fresh [`CancelToken`] and, when
+/// `timeout` is set, runs on a helper thread whose token is fired on
+/// budget expiry — the worker unwinds cooperatively and is joined
+/// within `grace`. A panicking attempt is isolated
+/// ([`WcmsError::CellPanicked`]) and retried like any other failure.
+pub fn run_cell<F>(cell: &str, cfg: &ResilienceConfig, f: F) -> CellOutcome
 where
-    F: Fn() -> Result<Measurement, WcmsError> + Clone + Send + 'static,
+    F: Fn(&CancelToken) -> Result<Measurement, WcmsError> + Clone + Send + 'static,
 {
+    let mut quarantined = None;
     if let Some(store) = &cfg.checkpoint {
-        if let Some(cached) = store.load(cell) {
-            return cached;
+        match store.load(cell) {
+            LoadOutcome::Cached(result) => return CellOutcome::cached(result),
+            LoadOutcome::Quarantined { to, reason } => {
+                let dest = to
+                    .as_deref()
+                    .map_or_else(|| "<unmoved>".to_string(), |p| p.display().to_string());
+                eprintln!("# quarantined corrupt checkpoint for {cell} -> {dest}: {reason}");
+                quarantined = Some(reason);
+            }
+            LoadOutcome::Absent => {}
         }
     }
     let attempts = 1 + cfg.retries;
     let mut last_reason = String::new();
+    let mut timed_out = false;
+    let mut panicked = false;
+    let mut leaked_thread = false;
     for attempt in 1..=attempts {
         if attempt > 1 && !cfg.backoff.is_zero() {
-            thread::sleep(cfg.backoff * (attempt - 1) as u32);
+            // Exponential: 1×, 2×, 4×, … of the base backoff.
+            let factor = 1u32 << (attempt as u32 - 2).min(16);
+            thread::sleep(cfg.backoff * factor);
         }
+        let token = CancelToken::new(cell);
         let outcome = match cfg.timeout {
-            None => f(),
-            Some(budget) => run_with_budget(cell, f.clone(), budget, attempt),
+            None => call_guarded(cell, &f, &token),
+            Some(budget) => run_with_budget(
+                cell,
+                f.clone(),
+                &token,
+                budget,
+                cfg.grace,
+                attempt,
+                &mut leaked_thread,
+            ),
         };
         match outcome {
             Ok(m) => {
                 let result = CellResult::Done(m);
-                persist(cfg, cell, &result);
-                return result;
+                cfg.persist(cell, &result);
+                return CellOutcome {
+                    result,
+                    from_checkpoint: false,
+                    quarantined,
+                    attempts: attempt,
+                    timed_out: false,
+                    panicked,
+                    leaked_thread,
+                };
             }
-            Err(e) => last_reason = e.to_string(),
+            Err(e) => {
+                timed_out = matches!(e, WcmsError::SweepTimeout { .. });
+                panicked |= matches!(e, WcmsError::CellPanicked { .. });
+                last_reason = e.to_string();
+            }
         }
     }
     let result = CellResult::Skipped { reason: last_reason, attempts };
-    persist(cfg, cell, &result);
-    result
+    cfg.persist(cell, &result);
+    CellOutcome {
+        result,
+        from_checkpoint: false,
+        quarantined,
+        attempts,
+        timed_out,
+        panicked,
+        leaked_thread,
+    }
 }
 
-fn persist(cfg: &ResilienceConfig, cell: &str, result: &CellResult) {
-    if let Some(store) = &cfg.checkpoint {
-        if let Err(e) = store.store(cell, result) {
-            // A failed checkpoint write must not fail the sweep; the
-            // cell simply re-runs on resume.
-            eprintln!("# checkpoint write failed for {cell}: {e}");
+/// Call the cell body with panics isolated into
+/// [`WcmsError::CellPanicked`].
+fn call_guarded<F>(cell: &str, f: &F, token: &CancelToken) -> Result<Measurement, WcmsError>
+where
+    F: Fn(&CancelToken) -> Result<Measurement, WcmsError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(token))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let payload = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            Err(WcmsError::CellPanicked { cell: cell.to_string(), payload })
         }
     }
 }
 
+/// One budgeted attempt: run the cell on a helper thread, and on budget
+/// expiry fire its cancel token, then give it `grace` to unwind and
+/// join. Only a worker that ignores its token is abandoned (and
+/// reported via `leaked`).
 fn run_with_budget<F>(
     cell: &str,
     f: F,
+    token: &CancelToken,
     budget: Duration,
+    grace: Duration,
     attempt: usize,
+    leaked: &mut bool,
 ) -> Result<Measurement, WcmsError>
 where
-    F: Fn() -> Result<Measurement, WcmsError> + Send + 'static,
+    F: Fn(&CancelToken) -> Result<Measurement, WcmsError> + Send + 'static,
 {
     let (tx, rx) = mpsc::channel();
-    thread::spawn(move || {
+    let worker_token = token.clone();
+    let cell_owned = cell.to_string();
+    let handle = thread::spawn(move || {
         // The receiver may be gone after a timeout; that is fine.
-        let _ = tx.send(f());
+        let _ = tx.send(call_guarded(&cell_owned, &f, &worker_token));
     });
     match rx.recv_timeout(budget) {
-        Ok(result) => result,
-        Err(_) => Err(WcmsError::SweepTimeout {
-            cell: cell.to_string(),
-            budget_secs: budget.as_secs_f64(),
-            attempts: attempt,
-        }),
+        Ok(result) => {
+            let _ = handle.join();
+            result
+        }
+        Err(_) => {
+            token.cancel();
+            // Give the worker one grace period to observe the token at
+            // its next work-unit boundary and unwind. Its late result —
+            // even an `Ok` that squeaked in after the deadline — is
+            // discarded: the budget is the budget.
+            match rx.recv_timeout(grace) {
+                Ok(_late) => {
+                    let _ = handle.join();
+                }
+                Err(_) => {
+                    eprintln!(
+                        "# cell {cell} ignored its cancel token for {:.1} s; abandoning its thread",
+                        grace.as_secs_f64()
+                    );
+                    *leaked = true;
+                }
+            }
+            Err(WcmsError::SweepTimeout {
+                cell: cell.to_string(),
+                budget_secs: budget.as_secs_f64(),
+                attempts: attempt,
+            })
+        }
     }
 }
 
@@ -199,6 +446,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
     use wcms_dmm::stats::Summary;
 
     fn meas(n: usize) -> Measurement {
@@ -216,8 +464,10 @@ mod tests {
 
     #[test]
     fn ok_cell_passes_through() {
-        let r = run_cell("c", &ResilienceConfig::none(), || Ok(meas(8)));
-        assert_eq!(r, CellResult::Done(meas(8)));
+        let o = run_cell("c", &ResilienceConfig::none(), |_| Ok(meas(8)));
+        assert_eq!(o.result, CellResult::Done(meas(8)));
+        assert!(!o.from_checkpoint);
+        assert_eq!(o.attempts, 1);
     }
 
     #[test]
@@ -225,18 +475,19 @@ mod tests {
         let calls = Arc::new(AtomicUsize::new(0));
         let seen = calls.clone();
         let cfg = ResilienceConfig { retries: 2, ..ResilienceConfig::none() };
-        let r = run_cell("c", &cfg, move || {
+        let o = run_cell("c", &cfg, move |_| {
             seen.fetch_add(1, Ordering::SeqCst);
             Err(WcmsError::ZeroParam { name: "w" })
         });
         assert_eq!(calls.load(Ordering::SeqCst), 3);
-        match r {
+        match o.result {
             CellResult::Skipped { reason, attempts } => {
                 assert_eq!(attempts, 3);
                 assert!(reason.contains("w"), "{reason}");
             }
-            CellResult::Done(_) => panic!("must skip"),
+            other => panic!("must skip, got {other:?}"),
         }
+        assert!(!o.timed_out);
     }
 
     #[test]
@@ -244,36 +495,121 @@ mod tests {
         let calls = Arc::new(AtomicUsize::new(0));
         let seen = calls.clone();
         let cfg = ResilienceConfig { retries: 2, ..ResilienceConfig::none() };
-        let r = run_cell("c", &cfg, move || {
+        let o = run_cell("c", &cfg, move |_| {
             if seen.fetch_add(1, Ordering::SeqCst) == 0 {
                 Err(WcmsError::ZeroParam { name: "w" })
             } else {
                 Ok(meas(4))
             }
         });
-        assert_eq!(r, CellResult::Done(meas(4)));
+        assert_eq!(o.result, CellResult::Done(meas(4)));
         assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(o.attempts, 2);
     }
 
     #[test]
-    fn hung_cell_times_out() {
+    fn hung_cell_times_out_and_joins_its_worker() {
         let cfg = ResilienceConfig {
             timeout: Some(Duration::from_millis(30)),
             retries: 1,
-            backoff: Duration::ZERO,
-            checkpoint: None,
+            ..ResilienceConfig::none()
         };
-        let r = run_cell("slow-cell", &cfg, || {
-            thread::sleep(Duration::from_secs(60));
-            Ok(meas(1))
+        // A cooperative worker: spins until its token fires.
+        let o = run_cell("slow-cell", &cfg, |token| loop {
+            token.check()?;
+            thread::sleep(Duration::from_millis(1));
         });
-        match r {
+        match &o.result {
             CellResult::Skipped { reason, attempts } => {
-                assert_eq!(attempts, 2);
+                assert_eq!(*attempts, 2);
                 assert!(reason.contains("slow-cell"), "{reason}");
             }
-            CellResult::Done(_) => panic!("must time out"),
+            other => panic!("must time out, got {other:?}"),
         }
+        assert!(o.timed_out);
+        assert!(!o.leaked_thread, "a cooperative worker must be joined, not leaked");
+    }
+
+    #[test]
+    fn uncooperative_worker_is_reported_as_leaked() {
+        let cfg = ResilienceConfig {
+            timeout: Some(Duration::from_millis(10)),
+            grace: Duration::from_millis(20),
+            retries: 0,
+            ..ResilienceConfig::none()
+        };
+        // Ignores its token for far longer than budget + grace.
+        let o = run_cell("stubborn", &cfg, |_| {
+            thread::sleep(Duration::from_millis(500));
+            Ok(meas(1))
+        });
+        assert!(matches!(o.result, CellResult::Skipped { .. }));
+        assert!(o.leaked_thread);
+        // Let the stubborn thread finish so it does not outlive the test
+        // process teardown checks.
+        thread::sleep(Duration::from_millis(550));
+    }
+
+    #[test]
+    fn late_ok_after_deadline_is_still_a_timeout() {
+        let cfg = ResilienceConfig {
+            timeout: Some(Duration::from_millis(10)),
+            grace: Duration::from_millis(200),
+            retries: 0,
+            ..ResilienceConfig::none()
+        };
+        // Returns Ok — but only after the budget, within the grace.
+        let o = run_cell("late", &cfg, |_| {
+            thread::sleep(Duration::from_millis(40));
+            Ok(meas(2))
+        });
+        assert!(matches!(o.result, CellResult::Skipped { .. }), "{:?}", o.result);
+        assert!(o.timed_out);
+        assert!(!o.leaked_thread, "the worker returned within the grace and was joined");
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_retried() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let cfg = ResilienceConfig { retries: 2, ..ResilienceConfig::none() };
+        let o = run_cell("p", &cfg, move |_| {
+            if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("boom at cell p");
+            }
+            Ok(meas(4))
+        });
+        assert_eq!(o.result, CellResult::Done(meas(4)));
+        assert!(o.panicked, "the first attempt's panic must be recorded");
+    }
+
+    #[test]
+    fn persistently_panicking_cell_skips_with_payload() {
+        let cfg = ResilienceConfig { retries: 1, ..ResilienceConfig::none() };
+        let o = run_cell("p", &cfg, |_| -> Result<Measurement, WcmsError> {
+            panic!("deterministic boom")
+        });
+        match &o.result {
+            CellResult::Skipped { reason, .. } => {
+                assert!(reason.contains("deterministic boom"), "{reason}");
+            }
+            other => panic!("must skip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let cfg = ResilienceConfig {
+            retries: 3,
+            backoff: Duration::from_millis(10),
+            ..ResilienceConfig::none()
+        };
+        let start = Instant::now();
+        let _ = run_cell("b", &cfg, |_| -> Result<Measurement, WcmsError> {
+            Err(WcmsError::ZeroParam { name: "w" })
+        });
+        // Waits: 10 + 20 + 40 = 70 ms minimum.
+        assert!(start.elapsed() >= Duration::from_millis(70));
     }
 
     #[test]
@@ -282,11 +618,34 @@ mod tests {
         let store = CheckpointStore::open(&dir).unwrap();
         store.clear().unwrap();
         let cfg = ResilienceConfig { checkpoint: Some(store), ..ResilienceConfig::none() };
-        let r1 = run_cell("cell-a", &cfg, || Ok(meas(16)));
+        let o1 = run_cell("cell-a", &cfg, |_| Ok(meas(16)));
         // Second run would fail if actually executed — it must come from
         // the checkpoint instead.
-        let r2 = run_cell("cell-a", &cfg, || Err(WcmsError::ZeroParam { name: "E" }));
-        assert_eq!(r1, r2);
+        let o2 = run_cell("cell-a", &cfg, |_| Err(WcmsError::ZeroParam { name: "E" }));
+        assert_eq!(o1.result, o2.result);
+        assert!(o2.from_checkpoint);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_and_remeasured() {
+        let dir = std::env::temp_dir().join(format!("wcms-resq-{}", std::process::id()));
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.clear().unwrap();
+        let cfg = ResilienceConfig { checkpoint: Some(store), ..ResilienceConfig::none() };
+        let _ = run_cell("cell-q", &cfg, |_| Ok(meas(16)));
+        // Corrupt the stored file.
+        let path = cfg.checkpoint.as_ref().unwrap().dir().join("cell-cell-q.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("16", "61")).unwrap();
+
+        let o = run_cell("cell-q", &cfg, |_| Ok(meas(32)));
+        assert!(!o.from_checkpoint, "corrupt cache must not be served");
+        assert!(o.quarantined.is_some());
+        assert_eq!(o.result, CellResult::Done(meas(32)));
+        // And the fresh measurement replaced it durably.
+        let o2 = run_cell("cell-q", &cfg, |_| Err(WcmsError::ZeroParam { name: "E" }));
+        assert!(o2.from_checkpoint);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -300,9 +659,55 @@ mod tests {
                 reason: "cell timed\nout".into(),
                 attempts: 3,
             }],
+            ..SweepReport::default()
         };
         let csv = report.csv(|m| m.throughput);
         assert!(csv.contains("s,8,"), "{csv}");
         assert!(csv.contains("# gap,s,16,attempts=3,cell timed out"), "{csv}");
+    }
+
+    #[test]
+    fn quarantine_shows_in_markdown_not_csv() {
+        let report = SweepReport {
+            series: vec![Series { label: "s".into(), points: vec![meas(8)] }],
+            quarantined: vec![QuarantinedCell {
+                cell: "s/16".into(),
+                reason: "checksum mismatch".into(),
+            }],
+            ..SweepReport::default()
+        };
+        assert!(!report.csv(|m| m.throughput).contains("checksum"), "csv must stay data-only");
+        let md = report.markdown(|m| m.throughput, "eps");
+        assert!(md.contains("quarantined") && md.contains("checksum mismatch"), "{md}");
+    }
+
+    #[test]
+    fn summary_line_is_greppable() {
+        let stats = SweepStats {
+            cells: 20,
+            done: 17,
+            cached: 5,
+            retried: 1,
+            demoted: 1,
+            skipped: 2,
+            quarantined: 1,
+            panicked: 0,
+            leaked_threads: 0,
+            jobs: 4,
+            wall_s: 1.25,
+        };
+        let line = stats.summary_line("fig4");
+        assert!(line.starts_with("# sweep-summary figure=fig4 "), "{line}");
+        for token in [
+            "cells=20",
+            "done=17",
+            "cached=5",
+            "demoted=1",
+            "quarantined=1",
+            "jobs=4",
+            "wall_s=1.250",
+        ] {
+            assert!(line.contains(token), "missing {token}: {line}");
+        }
     }
 }

@@ -3,15 +3,18 @@
 
 use wcms_bench::experiment::{measure, SweepConfig};
 use wcms_bench::figures::{throughput_figure, Config};
-use wcms_bench::resilient::ResilienceConfig;
 use wcms_bench::series::to_csv;
 use wcms_bench::summary::slowdown_table;
+use wcms_bench::supervisor::SweepOptions;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::{BackendKind, SortParams};
 use wcms_workloads::WorkloadSpec;
 
-fn tiny_sweep() -> SweepConfig {
-    SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 }
+fn tiny_opts() -> SweepOptions {
+    SweepOptions::plain(
+        SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 },
+        BackendKind::Sim,
+    )
 }
 
 #[test]
@@ -21,14 +24,7 @@ fn figure_runner_produces_paired_series_with_positive_slowdowns() {
         Config { label: "Thrust".into(), params: SortParams::new(32, 15, 128).unwrap() },
         Config { label: "Mini".into(), params: SortParams::new(32, 7, 64).unwrap() },
     ];
-    let report = throughput_figure(
-        "t",
-        &device,
-        &configs,
-        &tiny_sweep(),
-        &ResilienceConfig::none(),
-        BackendKind::Sim,
-    );
+    let report = throughput_figure("t", &device, &configs, &tiny_opts());
     assert!(report.skipped.is_empty(), "{:?}", report.skipped);
     assert_eq!(report.series.len(), 4);
     let table = slowdown_table(&report.series);
@@ -49,14 +45,7 @@ fn figure_runner_produces_paired_series_with_positive_slowdowns() {
 fn csv_output_covers_every_point() {
     let device = DeviceSpec::test_device();
     let configs = [Config { label: "T".into(), params: SortParams::new(32, 5, 64).unwrap() }];
-    let report = throughput_figure(
-        "t",
-        &device,
-        &configs,
-        &tiny_sweep(),
-        &ResilienceConfig::none(),
-        BackendKind::Sim,
-    );
+    let report = throughput_figure("t", &device, &configs, &tiny_opts());
     let csv = to_csv(&report.series, |m| m.throughput);
     // Header + 2 series × 3 sizes.
     assert_eq!(csv.lines().count(), 1 + 2 * 3);

@@ -14,6 +14,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
+
+pub use cancel::CancelToken;
+
 use std::fmt;
 
 /// Convenience alias used across the workspace.
@@ -163,6 +167,48 @@ pub enum WcmsError {
         attempts: usize,
     },
 
+    /// A computation observed its [`CancelToken`] fire and stopped
+    /// cooperatively (deadline expiry or supervisor shutdown). This is
+    /// expected control flow, not data corruption.
+    Cancelled {
+        /// Label of the cancelled work (usually the sweep-cell name).
+        cell: String,
+    },
+
+    /// A sweep cell panicked; the supervisor isolated the panic and the
+    /// sweep continued without it.
+    CellPanicked {
+        /// The cell that panicked.
+        cell: String,
+        /// The panic payload, rendered (`"<non-string panic>"` when the
+        /// payload was not a string).
+        payload: String,
+    },
+
+    /// A checkpoint file failed its integrity checks (bad checksum
+    /// footer, torn JSON, unreadable manifest) and was quarantined.
+    CheckpointCorrupt {
+        /// Path of the offending file.
+        path: String,
+        /// What the integrity check found.
+        reason: String,
+    },
+
+    /// A `--resume` was attempted against a checkpoint directory whose
+    /// manifest records a different configuration — mixing those cells
+    /// in would silently corrupt the sweep.
+    CheckpointMismatch {
+        /// Checkpoint directory.
+        dir: String,
+        /// The fingerprint field that differs (`figure`, `backend`,
+        /// `grid`, `seed` or `schema`).
+        field: &'static str,
+        /// Value the resuming run expects.
+        expected: String,
+        /// Value recorded in the manifest.
+        found: String,
+    },
+
     /// An underlying I/O error (dataset or checkpoint files).
     Io(std::io::Error),
 }
@@ -221,6 +267,19 @@ impl fmt::Display for WcmsError {
                 f,
                 "sweep cell {cell} exceeded its {budget_secs:.1} s budget ({attempts} attempts)"
             ),
+            WcmsError::Cancelled { cell } => write!(f, "{cell}: cancelled cooperatively"),
+            WcmsError::CellPanicked { cell, payload } => {
+                write!(f, "cell {cell} panicked: {payload}")
+            }
+            WcmsError::CheckpointCorrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
+            WcmsError::CheckpointMismatch { dir, field, expected, found } => write!(
+                f,
+                "checkpoint directory {dir} was written by a different configuration \
+                 ({field}: manifest has {found}, this run needs {expected}); \
+                 re-run without --resume to clear it"
+            ),
             WcmsError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -273,5 +332,26 @@ mod tests {
         let e =
             WcmsError::SweepTimeout { cell: "fig4/wc/2^20".into(), budget_secs: 30.0, attempts: 3 };
         assert!(e.to_string().contains("fig4/wc/2^20"));
+    }
+
+    #[test]
+    fn supervisor_errors_name_the_cell() {
+        let e = WcmsError::Cancelled { cell: "fig4/wc/4096".into() };
+        assert!(e.to_string().contains("fig4/wc/4096"), "{e}");
+        let e = WcmsError::CellPanicked { cell: "fig4/wc/4096".into(), payload: "boom".into() };
+        assert!(e.to_string().contains("boom"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_mismatch_names_the_diverging_field() {
+        let e = WcmsError::CheckpointMismatch {
+            dir: "results/.checkpoint/fig4/sim".into(),
+            field: "backend",
+            expected: "sim".into(),
+            found: "analytic".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("backend") && msg.contains("analytic"), "{msg}");
+        assert!(msg.contains("--resume"), "must tell the operator the way out: {msg}");
     }
 }

@@ -36,6 +36,7 @@ pub use analytic::AnalyticBackend;
 pub use reference::ReferenceBackend;
 pub use sim::SimBackend;
 
+use wcms_error::cancel::CancelToken;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::fault::FaultInjector;
 use wcms_gpu_sim::GpuKey;
@@ -104,6 +105,73 @@ pub trait ExecBackend: Sync {
     }
 }
 
+/// Any [`ExecBackend`] made cancellable: the wrapped backend's work
+/// units run unchanged, but every unit first polls the [`CancelToken`]
+/// and fails fast with [`WcmsError::Cancelled`] once it fires.
+///
+/// Work units are small (one `bE`-element tile or output window), so a
+/// per-unit poll bounds the overrun after a deadline to a fraction of a
+/// millisecond — this is the hook that lets a sweep supervisor's
+/// timeout actually *stop* a cell instead of abandoning a thread that
+/// keeps simulating forever. The drivers' fan-out loops propagate the
+/// first `Err` and stop issuing units, so the whole sort unwinds
+/// promptly.
+#[derive(Debug, Clone)]
+pub struct Cancellable<B> {
+    inner: B,
+    token: CancelToken,
+}
+
+impl<B: ExecBackend> Cancellable<B> {
+    /// Wrap `inner` so its units poll `token`.
+    #[must_use]
+    pub fn new(inner: B, token: CancelToken) -> Self {
+        Self { inner, token }
+    }
+}
+
+impl<B: ExecBackend> ExecBackend for Cancellable<B> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn base_block<K: GpuKey>(
+        &self,
+        chunk: &[K],
+        global_offset: usize,
+        params: &SortParams,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        self.token.check()?;
+        self.inner.base_block(chunk, global_offset, params)
+    }
+
+    fn merge_unit<K: GpuKey>(
+        &self,
+        a: &[K],
+        b: &[K],
+        a_offset: usize,
+        b_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<(usize, usize)>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        self.token.check()?;
+        self.inner.merge_unit(a, b, a_offset, b_offset, block_index, params, precomputed)
+    }
+
+    fn partition_unit<K: GpuKey>(
+        &self,
+        a: &[K],
+        b: &[K],
+        num_blocks: usize,
+        params: &SortParams,
+    ) -> (Vec<(usize, usize)>, RoundCounters) {
+        // Infallible signature: a fired token is caught by the next
+        // fallible unit, at worst one partition pass later.
+        self.inner.partition_unit(a, b, num_blocks, params)
+    }
+}
+
 /// Value-level backend selector (the `--backend {sim,analytic,reference}`
 /// flag of every bench binary).
 #[derive(
@@ -134,6 +202,22 @@ impl BackendKind {
         }
     }
 
+    /// The next rung of the graceful-degradation ladder: when a cell
+    /// repeatedly times out on this backend, the sweep supervisor
+    /// retries it on a strictly cheaper engine — `sim → analytic`
+    /// (identical measurements, an order of magnitude faster) and
+    /// `analytic → reference` (completes, but models no GPU time).
+    /// `None` from `reference`: there is nothing cheaper, the cell
+    /// becomes an explicit gap.
+    #[must_use]
+    pub fn demote(self) -> Option<BackendKind> {
+        match self {
+            BackendKind::Sim => Some(BackendKind::Analytic),
+            BackendKind::Analytic => Some(BackendKind::Reference),
+            BackendKind::Reference => None,
+        }
+    }
+
     /// Run the full instrumented sort on this backend (value-level
     /// dispatch over [`sort_with_report_on`]).
     ///
@@ -149,6 +233,34 @@ impl BackendKind {
             BackendKind::Sim => sort_with_report_on(input, params, &SimBackend),
             BackendKind::Analytic => sort_with_report_on(input, params, &AnalyticBackend),
             BackendKind::Reference => sort_with_report_on(input, params, &ReferenceBackend),
+        }
+    }
+
+    /// [`BackendKind::sort_with_report`] under a [`CancelToken`]: the
+    /// chosen backend is wrapped in [`Cancellable`], so the sort stops
+    /// at the next work-unit boundary once `token` fires.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_with_report_on`], plus
+    /// [`WcmsError::Cancelled`] when `token` fires mid-sort.
+    pub fn sort_with_report_cancellable<K: GpuKey>(
+        self,
+        input: &[K],
+        params: &SortParams,
+        token: &CancelToken,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        let token = token.clone();
+        match self {
+            BackendKind::Sim => {
+                sort_with_report_on(input, params, &Cancellable::new(SimBackend, token))
+            }
+            BackendKind::Analytic => {
+                sort_with_report_on(input, params, &Cancellable::new(AnalyticBackend, token))
+            }
+            BackendKind::Reference => {
+                sort_with_report_on(input, params, &Cancellable::new(ReferenceBackend, token))
+            }
         }
     }
 
@@ -222,5 +334,35 @@ mod tests {
     #[test]
     fn default_kind_is_sim() {
         assert_eq!(BackendKind::default(), BackendKind::Sim);
+    }
+
+    #[test]
+    fn demotion_ladder_bottoms_out_at_reference() {
+        assert_eq!(BackendKind::Sim.demote(), Some(BackendKind::Analytic));
+        assert_eq!(BackendKind::Analytic.demote(), Some(BackendKind::Reference));
+        assert_eq!(BackendKind::Reference.demote(), None);
+    }
+
+    #[test]
+    fn live_token_leaves_the_sort_bit_identical() {
+        let params = SortParams::new(8, 3, 16).unwrap();
+        let input: Vec<u32> = (0..params.block_elems() as u32 * 4).rev().collect();
+        for kind in BackendKind::ALL {
+            let plain = kind.sort_with_report(&input, &params).unwrap();
+            let cancellable =
+                kind.sort_with_report_cancellable(&input, &params, &CancelToken::new("t")).unwrap();
+            assert_eq!(plain, cancellable, "{kind}: wrapper must be transparent");
+        }
+    }
+
+    #[test]
+    fn fired_token_stops_the_sort_with_a_typed_error() {
+        let params = SortParams::new(8, 3, 16).unwrap();
+        let input: Vec<u32> = (0..params.block_elems() as u32 * 4).rev().collect();
+        let token = CancelToken::new("fig4/wc/192");
+        token.cancel();
+        let err =
+            BackendKind::Sim.sort_with_report_cancellable(&input, &params, &token).unwrap_err();
+        assert!(matches!(err, WcmsError::Cancelled { ref cell } if cell == "fig4/wc/192"), "{err}");
     }
 }

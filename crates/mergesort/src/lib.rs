@@ -54,7 +54,9 @@ pub mod verify;
 pub mod warp_exec;
 
 pub use assess::{assess_input, ConflictSeverity, InputAssessment};
-pub use backend::{AnalyticBackend, BackendKind, ExecBackend, ReferenceBackend, SimBackend};
+pub use backend::{
+    AnalyticBackend, BackendKind, Cancellable, ExecBackend, ReferenceBackend, SimBackend,
+};
 pub use bitonic::bitonic_sort_with_report;
 pub use driver::{
     sort, sort_padded, sort_resilient, sort_resilient_on, sort_with_report, sort_with_report_on,

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Chaos smoke for the supervised sweep executor: the `chaos` harness
+# SIGKILLs a parallel `fig4 --quick` sweep at seeded-random points,
+# flips a byte in a random surviving checkpoint file (exercising the
+# quarantine path), resumes, and asserts the final CSV is byte-identical
+# to an uninterrupted sequential run — five cycles on the simulated
+# backend, two on the analytic one.
+#
+# The kill points derive from a fixed seed and the measured sweep
+# duration, so a failure is replayable with `chaos --seed <s>`.
+#
+# Run from anywhere inside the repository: ./scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p wcms-bench --bin fig4 --bin chaos
+
+target/release/chaos --cycles 5 --jobs 4
+target/release/chaos --cycles 2 --jobs 4 --backend analytic
+
+echo "chaos smoke passed"

@@ -11,7 +11,10 @@
 #      the simulated one (the analytic engine's counters are integer-
 #      identical, so every derived figure cell matches exactly), and a
 #      `--backend reference` sweep must at least complete;
-#   6. the deterministic fault-injection suites run at their fixed seeds.
+#   6. a `--jobs 4` parallel sweep must be byte-identical to the
+#      sequential one on both sim and analytic backends (the supervisor
+#      preserves submission order regardless of worker scheduling);
+#   7. the deterministic fault-injection suites run at their fixed seeds.
 #
 # Run from anywhere inside the repository: ./scripts/resilience_smoke.sh
 set -euo pipefail
@@ -42,6 +45,15 @@ diff -u "$SCRATCH/clean.csv" "$SCRATCH/analytic.csv"
 echo "backend OK: analytic sweep is byte-identical to the simulated one"
 "$FIG4" --quick --backend reference > /dev/null
 echo "backend OK: reference sweep completed"
+
+# Parallel execution must never change a byte of output: results are
+# committed in submission order, whatever the worker count.
+"$FIG4" --quick --jobs 4 --no-checkpoint > "$SCRATCH/parallel.csv"
+diff -u "$SCRATCH/clean.csv" "$SCRATCH/parallel.csv"
+echo "jobs OK: --jobs 4 sim sweep is byte-identical to sequential"
+"$FIG4" --quick --jobs 4 --backend analytic --no-checkpoint > "$SCRATCH/parallel-analytic.csv"
+diff -u "$SCRATCH/analytic.csv" "$SCRATCH/parallel-analytic.csv"
+echo "jobs OK: --jobs 4 analytic sweep is byte-identical to sequential"
 
 # The fault-injection suites are seeded and deterministic; any flake
 # here is a real bug.
