@@ -1,0 +1,350 @@
+//! `wcms-analyze` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! wcms-analyze [--verify-bounds] [--model-check] [--crosscheck] [--lint] [--all]
+//!              [--warp W] [--doublings D] [--min-schedules N]
+//!              [--root PATH] [--allowlist PATH] [--json]
+//! ```
+//!
+//! Exit status 0 when every requested pass is clean, 1 on any finding,
+//! 2 on usage errors. CI runs `wcms-analyze --all` as a required job.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wcms_analyzer::bounds::verify_grid;
+use wcms_analyzer::crosscheck::{crosscheck_fig4, warp_grid_disagreements};
+use wcms_analyzer::interleave::ExploreConfig;
+use wcms_analyzer::lint::lint_workspace;
+use wcms_analyzer::supervisor_model::check_supervisor_protocol;
+
+struct Options {
+    verify_bounds: bool,
+    model_check: bool,
+    crosscheck: bool,
+    lint: bool,
+    json: bool,
+    warp: usize,
+    doublings: usize,
+    min_schedules: usize,
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: wcms-analyze [--verify-bounds] [--model-check] [--crosscheck] \
+[--lint] [--all] [--warp W] [--doublings D] [--min-schedules N] [--root PATH] \
+[--allowlist PATH] [--json]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        verify_bounds: false,
+        model_check: false,
+        crosscheck: false,
+        lint: false,
+        json: false,
+        warp: 32,
+        doublings: 2,
+        min_schedules: 10_000,
+        root: PathBuf::from("."),
+        allowlist: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        match a.as_str() {
+            "--verify-bounds" => o.verify_bounds = true,
+            "--model-check" => o.model_check = true,
+            "--crosscheck" => o.crosscheck = true,
+            "--lint" => o.lint = true,
+            "--all" => {
+                o.verify_bounds = true;
+                o.model_check = true;
+                o.crosscheck = true;
+                o.lint = true;
+            }
+            "--json" => o.json = true,
+            "--warp" => {
+                o.warp = value("--warp")?.parse().map_err(|e| format!("--warp: {e}"))?;
+            }
+            "--doublings" => {
+                o.doublings =
+                    value("--doublings")?.parse().map_err(|e| format!("--doublings: {e}"))?;
+            }
+            "--min-schedules" => {
+                o.min_schedules = value("--min-schedules")?
+                    .parse()
+                    .map_err(|e| format!("--min-schedules: {e}"))?;
+            }
+            "--root" => o.root = PathBuf::from(value("--root")?),
+            "--allowlist" => o.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if !(o.verify_bounds || o.model_check || o.crosscheck || o.lint) {
+        return Err(format!("nothing to do — pick a pass or --all\n{USAGE}"));
+    }
+    Ok(o)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut ok = true;
+    let mut json_sections: Vec<String> = Vec::new();
+
+    if o.verify_bounds {
+        match verify_grid(o.warp) {
+            Ok(verdicts) => {
+                let bad = verdicts.iter().filter(|v| !v.holds()).count();
+                if o.json {
+                    let items: Vec<String> = verdicts
+                        .iter()
+                        .map(|v| {
+                            format!(
+                                "{{\"e\":{},\"case\":{},\"aligned\":{},\"closed_form\":{},\
+                                 \"min_cycles\":{},\"holds\":{}}}",
+                                v.e,
+                                json_escape(v.case.name()),
+                                v.aligned,
+                                v.closed_form,
+                                v.min_cycles,
+                                v.holds()
+                            )
+                        })
+                        .collect();
+                    json_sections.push(format!(
+                        "\"bounds\":{{\"w\":{},\"verdicts\":[{}]}}",
+                        o.warp,
+                        items.join(",")
+                    ));
+                } else {
+                    println!("== verify-bounds (w = {}) ==", o.warp);
+                    for v in &verdicts {
+                        println!(
+                            "  E={:<2} {:<13} aligned={:<4} closed-form={:<4} min-cycles={:<4} {}",
+                            v.e,
+                            v.case.name(),
+                            v.aligned,
+                            v.closed_form,
+                            v.min_cycles,
+                            if v.holds() { "ok" } else { "FAIL" }
+                        );
+                        for f in &v.failures {
+                            println!("       {f}");
+                        }
+                    }
+                    println!("  {} verdicts, {} failures", verdicts.len(), bad);
+                }
+                ok &= bad == 0;
+            }
+            Err(e) => {
+                eprintln!("verify-bounds: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if o.model_check {
+        let reports = check_supervisor_protocol(&ExploreConfig::default());
+        let total: usize = reports.iter().map(|r| r.report.schedules).sum();
+        let violations: usize = reports.iter().map(|r| r.report.violations.len()).sum();
+        let clean = reports.iter().all(|r| r.report.clean()) && total >= o.min_schedules;
+        if o.json {
+            let items: Vec<String> = reports
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"scenario\":{},\"schedules\":{},\"states\":{},\"max_depth\":{},\
+                         \"violations\":{},\"truncated\":{}}}",
+                        json_escape(r.name),
+                        r.report.schedules,
+                        r.report.states,
+                        r.report.max_depth_seen,
+                        r.report.violations.len(),
+                        r.report.truncated
+                    )
+                })
+                .collect();
+            json_sections.push(format!(
+                "\"model_check\":{{\"total_schedules\":{total},\"scenarios\":[{}]}}",
+                items.join(",")
+            ));
+        } else {
+            println!("== model-check (supervisor protocol) ==");
+            for r in &reports {
+                println!(
+                    "  {:<24} {:>7} schedules, {:>8} states, depth {:>2}, {} violations{}",
+                    r.name,
+                    r.report.schedules,
+                    r.report.states,
+                    r.report.max_depth_seen,
+                    r.report.violations.len(),
+                    if r.report.truncated { " (TRUNCATED)" } else { "" }
+                );
+                for v in r.report.violations.iter().take(3) {
+                    println!("       {} via {:?}", v.message, v.schedule);
+                }
+            }
+            println!(
+                "  {total} schedules total (minimum {}), {violations} violations",
+                o.min_schedules
+            );
+        }
+        if total < o.min_schedules {
+            eprintln!("model-check: only {total} schedules explored (< {})", o.min_schedules);
+        }
+        ok &= clean;
+    }
+
+    if o.crosscheck {
+        let grid = warp_grid_disagreements(o.warp);
+        let cells = crosscheck_fig4(o.doublings);
+        match (grid, cells) {
+            (Ok(diffs), Ok(cells)) => {
+                let cell_failures: usize = cells.iter().map(|c| c.failures.len()).sum();
+                if o.json {
+                    let items: Vec<String> = cells
+                        .iter()
+                        .map(|c| {
+                            format!(
+                                "{{\"label\":{},\"n\":{},\"rounds\":{},\"predicted_cycles\":{},\
+                                 \"holds\":{}}}",
+                                json_escape(&c.label),
+                                c.n,
+                                c.rounds,
+                                c.predicted_cycles,
+                                c.holds()
+                            )
+                        })
+                        .collect();
+                    json_sections.push(format!(
+                        "\"crosscheck\":{{\"grid_disagreements\":{},\"cells\":[{}]}}",
+                        diffs.len(),
+                        items.join(",")
+                    ));
+                } else {
+                    println!("== crosscheck (symbolic vs AnalyticBackend) ==");
+                    println!("  per-warp grid: {} disagreements", diffs.len());
+                    for d in &diffs {
+                        println!("       {d}");
+                    }
+                    for c in &cells {
+                        println!(
+                            "  {:<12} n={:<6} rounds={} merge-cycles/round {:?} \
+                             (predicted {}) β₂ worst {:?} sorted {:?} {}",
+                            c.label,
+                            c.n,
+                            c.rounds,
+                            c.merge_cycles,
+                            c.predicted_cycles,
+                            c.beta2_worst,
+                            c.beta2_sorted,
+                            if c.holds() { "ok" } else { "FAIL" }
+                        );
+                        for f in &c.failures {
+                            println!("       {f}");
+                        }
+                    }
+                }
+                ok &= diffs.is_empty() && cell_failures == 0;
+            }
+            (g, c) => {
+                if let Err(e) = g {
+                    eprintln!("crosscheck grid: {e}");
+                }
+                if let Err(e) = c {
+                    eprintln!("crosscheck fig4: {e}");
+                }
+                ok = false;
+            }
+        }
+    }
+
+    if o.lint {
+        let allowlist_path =
+            o.allowlist.clone().unwrap_or_else(|| o.root.join("lint-allowlist.txt"));
+        let allowlist = std::fs::read_to_string(&allowlist_path).unwrap_or_default();
+        match lint_workspace(&o.root, &allowlist) {
+            Ok(report) => {
+                if o.json {
+                    json_sections.push(format!("\"lint\":{}", report.to_json()));
+                } else {
+                    println!("== lint ({} files) ==", report.files_scanned);
+                    for f in &report.findings {
+                        if f.allowed {
+                            println!(
+                                "  allowed {:<12} {}:{}:{} {} — {}",
+                                f.rule,
+                                f.path,
+                                f.line,
+                                f.col,
+                                f.snippet,
+                                f.reason.as_deref().unwrap_or("")
+                            );
+                        } else {
+                            println!(
+                                "  DENIED  {:<12} {}:{}:{} {}",
+                                f.rule, f.path, f.line, f.col, f.snippet
+                            );
+                        }
+                    }
+                    for s in &report.stale_allowlist {
+                        println!("  warning: stale allowlist entry: {s}");
+                    }
+                    for m in &report.malformed_allowlist {
+                        println!("  malformed allowlist entry: {m}");
+                    }
+                    println!(
+                        "  {} findings ({} denied), {} stale entries",
+                        report.findings.len(),
+                        report.denied().count(),
+                        report.stale_allowlist.len()
+                    );
+                }
+                ok &= report.gate_ok();
+            }
+            Err(e) => {
+                eprintln!("lint: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if o.json {
+        println!("{{{},\"ok\":{ok}}}", json_sections.join(","));
+    } else {
+        println!("{}", if ok { "analysis clean" } else { "analysis FAILED" });
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

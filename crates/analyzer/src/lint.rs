@@ -1,0 +1,672 @@
+//! Pass 3 — the token-level workspace lint engine.
+//!
+//! No `rustc` plugin, no syntax tree, no network: the scanner masks
+//! comments, strings and character literals out of each source file
+//! (preserving byte offsets and newlines), tracks `#[cfg(test)] mod`
+//! regions by brace depth, and then matches *whole identifiers* — so
+//! `.unwrap_or(..)` is never confused with `.unwrap()` the way a naive
+//! regex would. Three rules:
+//!
+//! * `panic-path` — `.unwrap()` / `.expect()` (and the `_err` duals) and
+//!   the `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros
+//!   on non-test code paths. Production code returns
+//!   [`wcms_error::WcmsError`]; reaching a panic on caller input is a
+//!   bug (PR 1's contract).
+//! * `thread-spawn` — raw `thread::spawn` outside the sweep supervisor.
+//!   Unsupervised threads escape the cancel/deadline/commit protocol
+//!   the interleaving checker proves correct; scoped `s.spawn` and the
+//!   supervisor's own budget worker are the sanctioned forms.
+//! * `wall-clock` — `SystemTime::now` in deterministic code. Sweeps are
+//!   resumable and replayable; wall-clock reads belong in the reporting
+//!   layer only (`Instant` for durations is fine and not flagged).
+//!
+//! Findings can be allowed by an explicit allowlist file: one entry per
+//! line, `rule path reason…`, the reason mandatory. Unused entries are
+//! reported as stale (warning), malformed entries fail the gate.
+//! Diagnostics render as text or machine-readable JSON (hand-rolled —
+//! the workspace has no JSON dependency).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use wcms_error::WcmsError;
+
+/// The method names whose calls are panic paths.
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+/// The macro names that are panic paths.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`panic-path`, `thread-spawn`, `wall-clock`).
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (bytes).
+    pub col: usize,
+    /// The offending token.
+    pub snippet: String,
+    /// True when an allowlist entry covers it.
+    pub allowed: bool,
+    /// The allowlist entry's reason, when allowed.
+    pub reason: Option<String>,
+}
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry covers.
+    pub rule: String,
+    /// Repo-relative path it covers.
+    pub path: String,
+    /// Why the finding is acceptable (mandatory).
+    pub reason: String,
+}
+
+/// The lint pass's full result.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every hit, allowed or not.
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched nothing (warnings).
+    pub stale_allowlist: Vec<String>,
+    /// Allowlist lines that could not be parsed (gate failures).
+    pub malformed_allowlist: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by the allowlist.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// True iff the gate passes: no denied finding, no malformed
+    /// allowlist entry (stale entries only warn).
+    #[must_use]
+    pub fn gate_ok(&self) -> bool {
+        self.denied().next().is_none() && self.malformed_allowlist.is_empty()
+    }
+
+    /// Machine-readable JSON rendering.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"files_scanned\":{},", self.files_scanned);
+        s.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"snippet\":{},\"allowed\":{}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.snippet),
+                f.allowed
+            );
+            if let Some(r) = &f.reason {
+                let _ = write!(s, ",\"reason\":{}", json_str(r));
+            }
+            s.push('}');
+        }
+        s.push_str("],\"stale_allowlist\":[");
+        for (i, e) in self.stale_allowlist.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_str(e));
+        }
+        s.push_str("],\"malformed_allowlist\":[");
+        for (i, e) in self.malformed_allowlist.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_str(e));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Replace the contents of comments, string/char literals (including
+/// raw and byte forms) with spaces, byte for byte, preserving newlines —
+/// offsets into the masked text are offsets into the original.
+fn mask_source(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let n = b.len();
+    let mut i = 0;
+    // Mask bytes [from, to), keeping newlines for line accounting.
+    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for x in &mut out[from..to.min(n)] {
+            if *x != b'\n' {
+                *x = b' ';
+            }
+        }
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(n, |p| i + p);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < n {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'"' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'r' | b'b' => {
+                if let Some((start, hashes)) = raw_string_start(b, i) {
+                    // Find the closing `"` followed by `hashes` hashes.
+                    let mut j = start;
+                    while j < n {
+                        if b[j] == b'"'
+                            && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count()
+                                == hashes
+                        {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    blank(&mut out, i, j);
+                    i = j;
+                } else if b[i] == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+                    i = mask_char_literal(b, &mut out, i + 1, &blank);
+                } else {
+                    i = skip_identifier(b, i);
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal is `'\…'` or `'x'`.
+                let is_char = (i + 1 < n && b[i + 1] == b'\\')
+                    || (i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'');
+                if is_char {
+                    i = mask_char_literal(b, &mut out, i, &blank);
+                } else {
+                    i += 1; // lifetime tick: leave the identifier in code
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                i = skip_identifier(b, i);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// If `b[i..]` begins a raw (byte) string `r#*"` / `br#*"`, return the
+/// offset just past the opening quote and the hash count.
+fn raw_string_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j < b.len() && b[j] == b'"').then_some((j + 1, hashes))
+}
+
+/// Mask one char literal starting at the opening `'` at `i`; returns the
+/// offset past the closing quote.
+fn mask_char_literal(
+    b: &[u8],
+    out: &mut Vec<u8>,
+    i: usize,
+    blank: &dyn Fn(&mut Vec<u8>, usize, usize),
+) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n && b[j] != b'\'' {
+        j += if b[j] == b'\\' { 2 } else { 1 };
+    }
+    let end = (j + 1).min(n);
+    blank(out, i, end);
+    end
+}
+
+/// Skip past the identifier starting at `i`.
+fn skip_identifier(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    j.max(i + 1)
+}
+
+/// Byte ranges of `#[cfg(test)] mod … { … }` bodies in the masked text.
+fn test_mod_regions(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= masked.len() {
+        if &masked[i..i + needle.len()] != needle.as_slice() {
+            i += 1;
+            continue;
+        }
+        let mut j = i + needle.len();
+        // Skip whitespace, further attributes, and visibility up to `mod`.
+        let mut is_mod = false;
+        loop {
+            while j < masked.len() && masked[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < masked.len() && masked[j] == b'#' {
+                // Skip `#[…]` with bracket depth.
+                let mut depth = 0usize;
+                while j < masked.len() {
+                    match masked[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            let end = skip_identifier(masked, j);
+            let word = &masked[j..end];
+            match word {
+                b"pub" => {
+                    j = end;
+                    // `pub(crate)` and friends.
+                    while j < masked.len() && masked[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < masked.len() && masked[j] == b'(' {
+                        while j < masked.len() && masked[j] != b')' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                b"mod" => {
+                    is_mod = true;
+                    j = end;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if is_mod {
+            // Skip the module name, then expect `{`.
+            while j < masked.len() && masked[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            j = skip_identifier(masked, j);
+            while j < masked.len() && masked[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < masked.len() && masked[j] == b'{' {
+                let open = j;
+                let mut depth = 0usize;
+                while j < masked.len() {
+                    match masked[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                regions.push((open, j));
+            }
+        }
+        i += needle.len();
+    }
+    regions
+}
+
+/// The identifier (if any) ending just before the `::` that precedes
+/// offset `start` — e.g. for `thread::spawn`, called at `spawn`'s start,
+/// returns `Some("thread")`.
+fn path_qualifier(masked: &[u8], start: usize) -> Option<String> {
+    let mut j = start;
+    while j > 0 && masked[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    if j < 2 || masked[j - 1] != b':' || masked[j - 2] != b':' {
+        return None;
+    }
+    j -= 2;
+    while j > 0 && masked[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && (masked[j - 1] == b'_' || masked[j - 1].is_ascii_alphanumeric()) {
+        j -= 1;
+    }
+    (j < end).then(|| String::from_utf8_lossy(&masked[j..end]).into_owned())
+}
+
+fn prev_nonspace(masked: &[u8], start: usize) -> Option<u8> {
+    masked[..start].iter().rev().find(|c| !c.is_ascii_whitespace()).copied()
+}
+
+fn next_nonspace(masked: &[u8], end: usize) -> Option<u8> {
+    masked[end..].iter().find(|c| !c.is_ascii_whitespace()).copied()
+}
+
+/// Lint one file's source text. `path` is the repo-relative label;
+/// `is_test_file` marks whole-file test context (tests/, benches/,
+/// examples/).
+#[must_use]
+pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
+    let masked = mask_source(src);
+    let regions = if is_test_file { Vec::new() } else { test_mod_regions(&masked) };
+    let in_test = |off: usize| is_test_file || regions.iter().any(|&(a, b)| off > a && off < b);
+    // Line starts for offset → (line, col).
+    let mut line_starts = vec![0usize];
+    for (i, &c) in masked.iter().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let locate = |off: usize| {
+        let line = line_starts.partition_point(|&s| s <= off);
+        (line, off - line_starts[line - 1] + 1)
+    };
+
+    let mut findings = Vec::new();
+    let mut push = |rule: &'static str, off: usize, snippet: String| {
+        let (line, col) = locate(off);
+        findings.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            snippet,
+            allowed: false,
+            reason: None,
+        });
+    };
+
+    let mut i = 0;
+    while i < masked.len() {
+        let c = masked[i];
+        if !(c == b'_' || c.is_ascii_alphabetic()) {
+            i += 1;
+            continue;
+        }
+        let end = skip_identifier(&masked, i);
+        let ident = std::str::from_utf8(&masked[i..end]).unwrap_or("");
+        if !in_test(i) {
+            if PANIC_METHODS.contains(&ident)
+                && prev_nonspace(&masked, i) == Some(b'.')
+                && next_nonspace(&masked, end) == Some(b'(')
+            {
+                push("panic-path", i, format!(".{ident}()"));
+            } else if PANIC_MACROS.contains(&ident) && next_nonspace(&masked, end) == Some(b'!') {
+                push("panic-path", i, format!("{ident}!"));
+            } else if ident == "spawn" && path_qualifier(&masked, i).as_deref() == Some("thread") {
+                push("thread-spawn", i, "thread::spawn".to_string());
+            } else if ident == "now" && path_qualifier(&masked, i).as_deref() == Some("SystemTime")
+            {
+                push("wall-clock", i, "SystemTime::now".to_string());
+            }
+        }
+        i = end;
+    }
+    findings
+}
+
+/// Parse the allowlist file contents. Returns `(entries, malformed)`.
+#[must_use]
+pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut malformed = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() >= 3 {
+            entries.push(AllowEntry {
+                rule: tokens[0].to_string(),
+                path: tokens[1].to_string(),
+                reason: tokens[2..].join(" "),
+            });
+        } else {
+            malformed
+                .push(format!("line {}: expected `rule path reason…`, got `{line}`", lineno + 1));
+        }
+    }
+    (entries, malformed)
+}
+
+/// Recursively collect `.rs` files under `dir` (sorted, deterministic).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WcmsError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| Ok(e?.path())).collect::<Result<_, WcmsError>>()?;
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the workspace's production sources under `root`: the root
+/// package's `src/` and every `crates/*/src/`. Integration tests,
+/// benches and examples are out of scope by construction (panics there
+/// are test assertions). `allowlist` is the allowlist file's contents
+/// (empty string = no allowlist).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the tree.
+pub fn lint_workspace(root: &Path, allowlist: &str) -> Result<LintReport, WcmsError> {
+    let (entries, malformed) = parse_allowlist(allowlist);
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .map(|e| Ok(e?.path()))
+            .collect::<Result<_, WcmsError>>()?;
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+
+    let mut report = LintReport { malformed_allowlist: malformed, ..Default::default() };
+    let mut used = vec![false; entries.len()];
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(file)?;
+        let is_test_file = rel.split('/').any(|c| matches!(c, "tests" | "benches" | "examples"));
+        report.files_scanned += 1;
+        for mut f in lint_source(&rel, &src, is_test_file) {
+            if let Some(k) = entries.iter().position(|e| e.rule == f.rule && e.path == f.path) {
+                f.allowed = true;
+                f.reason = Some(entries[k].reason.clone());
+                used[k] = true;
+            }
+            report.findings.push(f);
+        }
+    }
+    for (k, e) in entries.iter().enumerate() {
+        if !used[k] {
+            report.stale_allowlist.push(format!("{} {} ({})", e.rule, e.path, e.reason));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_calls_are_flagged_but_lookalikes_are_not() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0);\n    x.unwrap()\n}\n";
+        let fs = lint_source("a.rs", src, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "panic-path");
+        assert_eq!(fs[0].line, 3);
+        assert_eq!(fs[0].snippet, ".unwrap()");
+    }
+
+    #[test]
+    fn strings_comments_and_chars_are_masked() {
+        let src = concat!(
+            "// x.unwrap() in a comment\n",
+            "/* panic! in a /* nested */ block */\n",
+            "fn f() { let s = \".unwrap()\"; let r = r#\"panic!(\"x\")\"#; let c = '\"'; }\n",
+            "fn g() { \"after the char literal: .expect(\" ; }\n",
+        );
+        assert!(lint_source("a.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = concat!(
+            "fn prod() { maybe().expect(\"boom\"); }\n",
+            "#[cfg(test)]\nmod tests {\n    fn t() { maybe().unwrap(); panic!(\"x\"); }\n}\n",
+        );
+        let fs = lint_source("a.rs", src, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn spawn_and_wall_clock_rules() {
+        let src = concat!(
+            "fn a() { std::thread::spawn(|| {}); }\n",
+            "fn b(s: &std::thread::Scope) { s.spawn(|| {}); }\n",
+            "fn c() { let _ = std::time::SystemTime::now(); }\n",
+            "fn d() { let _ = std::time::Instant::now(); }\n",
+        );
+        let fs = lint_source("a.rs", src, false);
+        let rules: Vec<_> = fs.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["thread-spawn", "wall-clock"], "{fs:?}");
+    }
+
+    #[test]
+    fn allowlist_covers_stales_and_malformed() {
+        let (entries, malformed) = parse_allowlist(
+            "# comment\n\
+             panic-path a.rs internal invariant, documented\n\
+             thread-spawn b.rs\n\
+             wall-clock c.rs never hit\n",
+        );
+        assert_eq!(entries.len(), 2);
+        assert_eq!(malformed.len(), 1, "{malformed:?}");
+        assert!(malformed[0].contains("line 3"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let report = LintReport {
+            findings: vec![Finding {
+                rule: "panic-path",
+                path: "a\"b.rs".into(),
+                line: 1,
+                col: 2,
+                snippet: ".unwrap()".into(),
+                allowed: false,
+                reason: None,
+            }],
+            ..Default::default()
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"a\\\"b.rs\""), "{j}");
+        assert!(j.contains("\"files_scanned\":0"), "{j}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_masker() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { h().unwrap(); }\n";
+        let fs = lint_source("a.rs", src, false);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].line, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests pinning the static verifier to the measured backend.
+//!
+//! The symbolic pass ([`wcms_analyzer::bounds`]) never executes a sort;
+//! these tests assert that its verdicts nevertheless match the
+//! `AnalyticBackend`'s conflict counters for every parameterisation the
+//! paper's constructions cover: all co-prime and power-of-two
+//! `E ∈ 2..32`, under both library variants (Thrust and Modern GPU).
+
+use proptest::prelude::*;
+use wcms_analyzer::bounds::{classify, verify_bound, BoundCase};
+use wcms_analyzer::crosscheck::crosscheck_cell;
+use wcms_error::WcmsError;
+use wcms_mergesort::params::SortVariant;
+use wcms_mergesort::SortParams;
+
+const W: usize = 32;
+const B: usize = 64; // smallest admissible block (power of two ≥ 2w)
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn params(e: usize, variant: SortVariant) -> Result<SortParams, WcmsError> {
+    Ok(SortParams::new(W, e, B)?.with_variant(variant))
+}
+
+fn variant_name(variant: SortVariant) -> &'static str {
+    match variant {
+        SortVariant::Thrust => "thrust",
+        SortVariant::ModernGpu => "mgpu",
+    }
+}
+
+/// Exhaustive sweep: every co-prime and power-of-two `E ∈ 2..32`, both
+/// variants. The symbolic verdict must hold on its own (closed forms)
+/// AND the measured merge counters must equal the scaled prediction.
+#[test]
+fn verdicts_match_backend_for_all_coprime_and_pow2_e() -> Result<(), WcmsError> {
+    let mut cells = 0usize;
+    for e in 2..W {
+        let coprime = gcd(W, e) == 1;
+        let pow2 = e.is_power_of_two();
+        if !(coprime || pow2) {
+            continue;
+        }
+        let verdict = verify_bound(W, e)?;
+        assert!(verdict.holds(), "E={e}: symbolic verdict failed: {:?}", verdict.failures);
+        for variant in [SortVariant::Thrust, SortVariant::ModernGpu] {
+            let label = format!("{}/E={e}", variant_name(variant));
+            let cell = crosscheck_cell(&label, &params(e, variant)?, 1)?;
+            assert!(cell.holds(), "{label}: {:?}", cell.failures);
+            assert_eq!(
+                cell.merge_cycles,
+                vec![cell.predicted_cycles],
+                "{label}: measured merge cycles must equal the symbolic prediction"
+            );
+            cells += 1;
+        }
+    }
+    // 15 co-prime odds (3..=31 minus 1) plus {2, 4, 8, 16}, two variants.
+    assert_eq!(cells, 38, "sweep must cover every co-prime and power-of-two E twice");
+    Ok(())
+}
+
+/// The classifier is total and consistent with the arithmetic facts it
+/// claims: co-prime odds split by `2E` vs `w`, powers of two get the
+/// sorted-equivalent regime, everything else degrades by the shared
+/// factor.
+#[test]
+fn classification_matches_number_theory() {
+    for e in 1..W {
+        match classify(W, e) {
+            BoundCase::SmallOdd => assert!(e % 2 == 1 && e > 1 && 2 * e < W, "E={e}"),
+            BoundCase::LargeOdd { r } => {
+                assert!(e % 2 == 1 && 2 * e > W, "E={e}");
+                assert_eq!(r, W - e, "E={e}");
+            }
+            BoundCase::PowerOfTwo => assert!(e.is_power_of_two() && e > 1, "E={e}"),
+            BoundCase::Sorted { d } => {
+                assert!(e == 1 || (e % 2 == 0 && !e.is_power_of_two()), "E={e}");
+                assert_eq!(d, gcd(W, e), "E={e}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised spot-checks over the admissible grid: any co-prime or
+    /// power-of-two E, either variant, one or two global rounds — the
+    /// measured counters always equal the scaled symbolic prediction.
+    fn backend_counters_never_drift_from_verdict(
+        e in (2usize..32)
+            .prop_filter("co-prime or power of two", |&e| gcd(W, e) == 1 || e.is_power_of_two()),
+        mgpu in proptest::bool::ANY,
+        doublings in 1usize..=2,
+    ) {
+        let variant = if mgpu { SortVariant::ModernGpu } else { SortVariant::Thrust };
+        let label = format!("prop/{}/E={e}", variant_name(variant));
+        let p = params(e, variant).unwrap_or_else(|err| panic!("{label}: {err}"));
+        let cell = crosscheck_cell(&label, &p, doublings)
+            .unwrap_or_else(|err| panic!("{label}: {err}"));
+        prop_assert!(cell.holds(), "{}: {:?}", label, cell.failures);
+        prop_assert_eq!(cell.rounds, doublings);
+        prop_assert_eq!(&cell.merge_cycles, &vec![cell.predicted_cycles; doublings]);
+    }
+}

@@ -54,12 +54,17 @@ impl CancelToken {
     /// Request cancellation. Idempotent; visible to all clones.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Release);
+        #[cfg(feature = "model-check")]
+        crate::mc::record(crate::mc::TokenOp::Cancel { label: self.inner.label.clone() });
     }
 
     /// Has cancellation been requested?
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Acquire)
+        let observed = self.inner.cancelled.load(Ordering::Acquire);
+        #[cfg(feature = "model-check")]
+        crate::mc::record(crate::mc::TokenOp::Poll { label: self.inner.label.clone(), observed });
+        observed
     }
 
     /// Fail with [`WcmsError::Cancelled`] if cancellation was requested.

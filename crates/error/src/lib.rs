@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 
 pub mod cancel;
+#[cfg(feature = "model-check")]
+pub mod mc;
 
 pub use cancel::CancelToken;
 
@@ -209,6 +211,19 @@ pub enum WcmsError {
         found: String,
     },
 
+    /// Caller handed a kernel step mismatched buffers (e.g. an output
+    /// slice shorter than the address slice) — an API-contract breach
+    /// reported as data instead of a panic so a corrupted schedule
+    /// cannot take the whole sweep down.
+    BufferMismatch {
+        /// Which buffer pair disagreed.
+        what: &'static str,
+        /// Length the operation needs.
+        need: usize,
+        /// Length the caller supplied.
+        got: usize,
+    },
+
     /// An underlying I/O error (dataset or checkpoint files).
     Io(std::io::Error),
 }
@@ -280,6 +295,9 @@ impl fmt::Display for WcmsError {
                  ({field}: manifest has {found}, this run needs {expected}); \
                  re-run without --resume to clear it"
             ),
+            WcmsError::BufferMismatch { what, need, got } => {
+                write!(f, "buffer mismatch: {what} needs {need} entries, caller supplied {got}")
+            }
             WcmsError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

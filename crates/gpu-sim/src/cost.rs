@@ -130,6 +130,7 @@ mod tests {
     use super::*;
     use crate::gmem::GlobalTotals;
     use wcms_dmm::ConflictTotals;
+    use wcms_error::WcmsError;
 
     fn counters(shared_cycles: usize, sectors: usize) -> KernelCounters {
         KernelCounters {
@@ -142,54 +143,58 @@ mod tests {
         }
     }
 
-    fn occ_full(device: &DeviceSpec) -> Occupancy {
-        Occupancy::compute(device, 512, Occupancy::mergesort_shared_bytes(512, 15)).unwrap()
+    fn occ_full(device: &DeviceSpec) -> Result<Occupancy, WcmsError> {
+        Occupancy::compute(device, 512, Occupancy::mergesort_shared_bytes(512, 15))
     }
 
     #[test]
-    fn more_shared_cycles_cost_more_time() {
+    fn more_shared_cycles_cost_more_time() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let o = occ_full(&d);
+        let o = occ_full(&d)?;
         let m = CostModel::default();
         let t1 = m.estimate(&d, &o, &counters(1_000_000, 1000), 100);
         let t2 = m.estimate(&d, &o, &counters(2_000_000, 1000), 100);
         assert!(t2.total_s > t1.total_s);
         assert!(t2.shared_s > t1.shared_s);
+        Ok(())
     }
 
     #[test]
-    fn more_sectors_cost_more_time() {
+    fn more_sectors_cost_more_time() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let o = occ_full(&d);
+        let o = occ_full(&d)?;
         let m = CostModel::default();
         let t1 = m.estimate(&d, &o, &counters(1000, 1_000_000), 100);
         let t2 = m.estimate(&d, &o, &counters(1000, 4_000_000), 100);
         assert!(t2.total_s > t1.total_s);
+        Ok(())
     }
 
     #[test]
-    fn higher_occupancy_is_never_slower() {
+    fn higher_occupancy_is_never_slower() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let full = Occupancy::compute(&d, 512, 30720).unwrap(); // 100%
-        let partial = Occupancy::compute(&d, 256, 17408).unwrap(); // 75%
+        let full = Occupancy::compute(&d, 512, 30720)?; // 100%
+        let partial = Occupancy::compute(&d, 256, 17408)?; // 75%
         let m = CostModel::default();
         let c = counters(10_000_000, 10_000_000);
         let t_full = m.estimate(&d, &full, &c, 1000);
         let t_partial = m.estimate(&d, &partial, &c, 1000);
         assert!(t_full.total_s <= t_partial.total_s);
+        Ok(())
     }
 
     #[test]
-    fn faster_device_is_faster() {
+    fn faster_device_is_faster() -> Result<(), WcmsError> {
         let m4000 = DeviceSpec::quadro_m4000();
         let rtx = DeviceSpec::rtx_2080_ti();
         let m = CostModel::default();
         let c = counters(50_000_000, 20_000_000);
-        let o_m = Occupancy::compute(&m4000, 512, 30720).unwrap();
-        let o_r = Occupancy::compute(&rtx, 512, 30720).unwrap();
+        let o_m = Occupancy::compute(&m4000, 512, 30720)?;
+        let o_r = Occupancy::compute(&rtx, 512, 30720)?;
         let t_m = m.estimate(&m4000, &o_m, &c, 1000).total_s;
         let t_r = m.estimate(&rtx, &o_r, &c, 1000).total_s;
         assert!(t_r < t_m, "2080 Ti should beat M4000 on equal work");
+        Ok(())
     }
 
     #[test]
@@ -201,11 +206,12 @@ mod tests {
     }
 
     #[test]
-    fn breakdown_sums_to_total_when_one_stream_dominates() {
+    fn breakdown_sums_to_total_when_one_stream_dominates() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let o = occ_full(&d);
+        let o = occ_full(&d)?;
         let m = CostModel { overlap: 0.0, block_overhead_us: 0.0, ..CostModel::default() };
         let t = m.estimate(&d, &o, &counters(10_000_000, 4), 1);
         assert!((t.total_s - t.shared_s).abs() / t.total_s < 1e-9);
+        Ok(())
     }
 }

@@ -11,6 +11,8 @@
 //! raw *word accesses*. Word size is taken as 4 bytes (the paper sorts
 //! 4-byte integers).
 
+use wcms_error::WcmsError;
+
 /// Running totals of global-memory traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct GlobalTotals {
@@ -148,8 +150,23 @@ impl<T: Copy> GlobalMemory<T> {
     }
 
     /// One warp read: lane `i` reads word `addrs[i]` into `out[i]`.
-    pub fn read_warp(&mut self, addrs: &[Option<usize>], out: &mut [Option<T>]) {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::BufferMismatch`] if `out` is shorter than
+    /// `addrs`; nothing is read or charged in that case.
+    pub fn read_warp(
+        &mut self,
+        addrs: &[Option<usize>],
+        out: &mut [Option<T>],
+    ) -> Result<(), WcmsError> {
+        if out.len() < addrs.len() {
+            return Err(WcmsError::BufferMismatch {
+                what: "read_warp output",
+                need: addrs.len(),
+                got: out.len(),
+            });
+        }
         let mut n = 0usize;
         for (lane, addr) in addrs.iter().enumerate() {
             out[lane] = addr.map(|a| self.data[a]);
@@ -157,6 +174,7 @@ impl<T: Copy> GlobalMemory<T> {
         }
         self.totals.accesses += n;
         self.charge(addrs.iter().flatten().copied());
+        Ok(())
     }
 
     /// One warp write: lane `i` writes `writes[i] = (addr, value)`.
@@ -232,34 +250,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn coalesced_warp_read_is_four_sectors() {
+    fn coalesced_warp_read_is_four_sectors() -> Result<(), WcmsError> {
         let mut g = GlobalMemory::new((0u32..1024).collect());
         let addrs: Vec<Option<usize>> = (0..32).map(Some).collect();
         let mut out = vec![None; 32];
-        g.read_warp(&addrs, &mut out);
+        g.read_warp(&addrs, &mut out)?;
         assert_eq!(g.totals().requests, 1);
         // 32 contiguous 4-byte words = 128 bytes = 4 sectors.
         assert_eq!(g.totals().sectors, 4);
         assert_eq!(out[31], Some(31));
+        Ok(())
     }
 
     #[test]
-    fn strided_warp_read_is_32_sectors() {
+    fn strided_warp_read_is_32_sectors() -> Result<(), WcmsError> {
         let mut g = GlobalMemory::new(vec![0u32; 32 * 64]);
         let addrs: Vec<Option<usize>> = (0..32).map(|i| Some(i * 64)).collect();
         let mut out = vec![None; 32];
-        g.read_warp(&addrs, &mut out);
+        g.read_warp(&addrs, &mut out)?;
         assert_eq!(g.totals().sectors, 32);
         assert_eq!(g.totals().sectors_per_request(), Some(32.0));
+        Ok(())
     }
 
     #[test]
-    fn broadcast_read_is_one_sector() {
+    fn broadcast_read_is_one_sector() -> Result<(), WcmsError> {
         let mut g = GlobalMemory::new(vec![7u32; 64]);
         let addrs: Vec<Option<usize>> = (0..32).map(|_| Some(5)).collect();
         let mut out = vec![None; 32];
-        g.read_warp(&addrs, &mut out);
+        g.read_warp(&addrs, &mut out)?;
         assert_eq!(g.totals().sectors, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn short_output_buffer_is_typed() {
+        let mut g = GlobalMemory::new(vec![0u32; 8]);
+        let mut out = vec![None; 1];
+        let err = g.read_warp(&[Some(0), Some(1)], &mut out).unwrap_err();
+        assert!(matches!(err, WcmsError::BufferMismatch { need: 2, got: 1, .. }), "{err}");
+        assert_eq!(g.totals(), GlobalTotals::default());
     }
 
     #[test]

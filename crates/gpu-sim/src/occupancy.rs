@@ -114,53 +114,58 @@ mod tests {
     /// thus, 3 thread blocks (768 total threads) … can be resident on each
     /// SM" — 75% theoretical occupancy.
     #[test]
-    fn occupancy_rtx_e17_b256_is_75_percent() {
+    fn occupancy_rtx_e17_b256_is_75_percent() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
         let smem = Occupancy::mergesort_shared_bytes(256, 17);
         assert_eq!(smem, 17408); // 17 KiB
-        let o = Occupancy::compute(&d, 256, smem).unwrap();
+        let o = Occupancy::compute(&d, 256, smem)?;
         assert_eq!(o.blocks_per_sm, 3);
         assert_eq!(o.threads_per_sm, 768);
         assert!((o.fraction - 0.75).abs() < 1e-12);
         assert_eq!(o.limiter, "shared-memory");
+        Ok(())
     }
 
     /// §IV-A: "Compared to E = 15 and b = 512, each thread block uses
     /// 30 KiB … 2 resident thread blocks (1024 total threads)" — 100%.
     #[test]
-    fn occupancy_rtx_e15_b512_is_100_percent() {
+    fn occupancy_rtx_e15_b512_is_100_percent() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
         let smem = Occupancy::mergesort_shared_bytes(512, 15);
         assert_eq!(smem, 30720); // 30 KiB
-        let o = Occupancy::compute(&d, 512, smem).unwrap();
+        let o = Occupancy::compute(&d, 512, smem)?;
         assert_eq!(o.blocks_per_sm, 2);
         assert_eq!(o.threads_per_sm, 1024);
         assert!((o.fraction - 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn occupancy_m4000_thrust_params() {
+    fn occupancy_m4000_thrust_params() -> Result<(), WcmsError> {
         let d = DeviceSpec::quadro_m4000();
-        let o = Occupancy::compute(&d, 512, Occupancy::mergesort_shared_bytes(512, 15)).unwrap();
+        let o = Occupancy::compute(&d, 512, Occupancy::mergesort_shared_bytes(512, 15))?;
         // 96 KiB / 30 KiB = 3 blocks = 1536 of 2048 threads = 75%.
         assert_eq!(o.blocks_per_sm, 3);
         assert!((o.fraction - 0.75).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn thread_limited_when_no_shared_memory() {
+    fn thread_limited_when_no_shared_memory() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let o = Occupancy::compute(&d, 256, 0).unwrap();
+        let o = Occupancy::compute(&d, 256, 0)?;
         assert_eq!(o.blocks_per_sm, 4); // 1024 / 256
         assert_eq!(o.limiter, "threads");
+        Ok(())
     }
 
     #[test]
-    fn block_limited_with_tiny_blocks() {
+    fn block_limited_with_tiny_blocks() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let o = Occupancy::compute(&d, 32, 0).unwrap();
+        let o = Occupancy::compute(&d, 32, 0)?;
         assert_eq!(o.blocks_per_sm, d.max_blocks_per_sm);
         assert_eq!(o.limiter, "blocks");
+        Ok(())
     }
 
     #[test]
@@ -175,9 +180,10 @@ mod tests {
     }
 
     #[test]
-    fn warps_per_sm() {
+    fn warps_per_sm() -> Result<(), WcmsError> {
         let d = DeviceSpec::rtx_2080_ti();
-        let o = Occupancy::compute(&d, 512, Occupancy::mergesort_shared_bytes(512, 15)).unwrap();
+        let o = Occupancy::compute(&d, 512, Occupancy::mergesort_shared_bytes(512, 15))?;
         assert_eq!(o.warps_per_sm(32), 32);
+        Ok(())
     }
 }

@@ -112,18 +112,20 @@ impl<T: Copy + Default> SharedMemory<T> {
     /// # Errors
     ///
     /// Returns [`WcmsError::SmemOutOfBounds`] if any lane addresses past
-    /// the tile (a corrupted co-rank or offset).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `out` is shorter than `addrs` (a programming error, not
-    /// a data condition).
+    /// the tile (a corrupted co-rank or offset), or
+    /// [`WcmsError::BufferMismatch`] if `out` is shorter than `addrs`.
     pub fn read_step(
         &mut self,
         addrs: &[Option<usize>],
         out: &mut [Option<T>],
     ) -> Result<StepConflicts, WcmsError> {
-        assert!(out.len() >= addrs.len(), "output buffer too small");
+        if out.len() < addrs.len() {
+            return Err(WcmsError::BufferMismatch {
+                what: "read_step output",
+                need: addrs.len(),
+                got: out.len(),
+            });
+        }
         self.step.clear();
         if self.step.width() < addrs.len() {
             self.step = WarpStep::idle(addrs.len());
@@ -216,27 +218,37 @@ mod tests {
     }
 
     #[test]
-    fn read_step_returns_values_and_counts() {
+    fn read_step_returns_values_and_counts() -> Result<(), WcmsError> {
         let mut m = smem(64);
         m.fill_from(&(0..64).map(|x| x * 10).collect::<Vec<u32>>());
         let addrs: Vec<Option<usize>> = vec![Some(0), Some(32), None, Some(3)];
         let mut out = vec![None; 4];
-        let s = m.read_step(&addrs, &mut out).unwrap();
+        let s = m.read_step(&addrs, &mut out)?;
         assert_eq!(out, vec![Some(0), Some(320), None, Some(30)]);
         // 0 and 32 share bank 0 → 2-way conflict.
         assert_eq!(s.degree, 2);
         assert_eq!(s.active_lanes, 3);
         assert_eq!(m.totals().steps, 1);
+        Ok(())
     }
 
     #[test]
-    fn write_step_stores_values() {
+    fn short_output_buffer_is_typed() {
+        let mut m = smem(8);
+        let mut out = vec![None; 1];
+        let err = m.read_step(&[Some(0), Some(1)], &mut out).unwrap_err();
+        assert!(matches!(err, WcmsError::BufferMismatch { need: 2, got: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn write_step_stores_values() -> Result<(), WcmsError> {
         let mut m = smem(64);
-        let s = m.write_step(&[Some((5, 7u32)), Some((6, 8)), None]).unwrap();
+        let s = m.write_step(&[Some((5, 7u32)), Some((6, 8)), None])?;
         assert_eq!(m.as_slice()[5], 7);
         assert_eq!(m.as_slice()[6], 8);
         assert_eq!(s.degree, 1);
         assert_eq!(s.crew_violations, 0);
+        Ok(())
     }
 
     #[test]
@@ -249,50 +261,54 @@ mod tests {
     }
 
     #[test]
-    fn trace_records_when_enabled() {
+    fn trace_records_when_enabled() -> Result<(), WcmsError> {
         let mut m = smem(64);
         m.enable_trace();
         let mut out = vec![None; 2];
-        m.read_step(&[Some(0), Some(1)], &mut out).unwrap();
-        m.read_step(&[Some(2), None], &mut out).unwrap();
+        m.read_step(&[Some(0), Some(1)], &mut out)?;
+        m.read_step(&[Some(2), None], &mut out)?;
         assert_eq!(m.trace().len(), 2);
         assert_eq!(m.trace().degrees(), vec![1, 1]);
+        Ok(())
     }
 
     #[test]
-    fn reset_counters_keeps_data() {
+    fn reset_counters_keeps_data() -> Result<(), WcmsError> {
         let mut m = smem(8);
         m.fill_from(&[9u32; 8]);
         let mut out = vec![None; 1];
-        m.read_step(&[Some(0)], &mut out).unwrap();
+        m.read_step(&[Some(0)], &mut out)?;
         m.reset_counters();
         assert_eq!(m.totals(), ConflictTotals::default());
         assert_eq!(m.as_slice()[0], 9);
+        Ok(())
     }
 
     #[test]
-    fn padded_tile_defeats_columnar_conflicts() {
+    fn padded_tile_defeats_columnar_conflicts() -> Result<(), WcmsError> {
         // Four lanes reading one logical bank column: flat layout → 4-way
         // conflict; padded layout → conflict-free.
         let addrs: Vec<Option<usize>> = (0..4).map(|i| Some(i * 32)).collect();
         let mut out = vec![None; 4];
 
         let mut flat = smem(256);
-        assert_eq!(flat.read_step(&addrs, &mut out).unwrap().degree, 4);
+        assert_eq!(flat.read_step(&addrs, &mut out)?.degree, 4);
 
         let mut padded = SharedMemory::<u32>::new_padded(BankModel::gpu32(), 256);
         assert!(padded.is_padded());
-        assert_eq!(padded.read_step(&addrs, &mut out).unwrap().degree, 1);
+        assert_eq!(padded.read_step(&addrs, &mut out)?.degree, 1);
+        Ok(())
     }
 
     #[test]
-    fn padded_tile_keeps_logical_data() {
+    fn padded_tile_keeps_logical_data() -> Result<(), WcmsError> {
         let mut m = SharedMemory::<u32>::new_padded(BankModel::gpu32(), 64);
-        m.write_step(&[Some((33, 7u32))]).unwrap();
+        m.write_step(&[Some((33, 7u32))])?;
         let mut out = vec![None; 1];
-        m.read_step(&[Some(33)], &mut out).unwrap();
+        m.read_step(&[Some(33)], &mut out)?;
         assert_eq!(out[0], Some(7));
         assert_eq!(m.as_slice()[33], 7);
+        Ok(())
     }
 
     #[test]

@@ -40,7 +40,7 @@ proptest! {
         let mut g = GlobalMemory::new(vec![0u32; 2048]);
         let lanes: Vec<Option<usize>> = addrs.iter().copied().map(Some).collect();
         let mut out = vec![None; lanes.len()];
-        g.read_warp(&lanes, &mut out);
+        g.read_warp(&lanes, &mut out).unwrap();
         let scattered = g.totals().sectors;
         let coalesced = tile_traffic(0, addrs.len(), 32).sectors;
         prop_assert!(scattered + 1 >= coalesced);

@@ -13,9 +13,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
+
 cargo build --release -p wcms-bench --bin fig4 --bin chaos
 
-target/release/chaos --cycles 5 --jobs 4
-target/release/chaos --cycles 2 --jobs 4 --backend analytic
+CHAOS=target/release/chaos
+for bin in "$CHAOS" target/release/fig4; do
+    [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
+done
+
+"$CHAOS" --cycles 5 --jobs 4
+"$CHAOS" --cycles 2 --jobs 4 --backend analytic
 
 echo "chaos smoke passed"

@@ -20,8 +20,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+for tool in cargo timeout mktemp diff; do
+    command -v "$tool" >/dev/null 2>&1 || { echo "error: $tool not on PATH" >&2; exit 1; }
+done
+
 cargo build --release -p wcms-bench --bin fig4
 FIG4=target/release/fig4
+[[ -x "$FIG4" ]] || { echo "error: missing binary after build: $FIG4" >&2; exit 1; }
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 
