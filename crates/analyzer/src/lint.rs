@@ -19,6 +19,11 @@
 //! * `wall-clock` — `SystemTime::now` in deterministic code. Sweeps are
 //!   resumable and replayable; wall-clock reads belong in the reporting
 //!   layer only (`Instant` for durations is fine and not flagged).
+//! * `eprintln-outside-obs` — raw `eprintln!` in library code. Warnings
+//!   routed through `wcms_obs::Obs::warn` survive into trace journals;
+//!   a bare `eprintln!` scrolls away. The obs crate itself (it
+//!   implements `warn`) and `bin/` entry points (their stderr *is* the
+//!   user interface) are exempt by path.
 //!
 //! Findings can be allowed by an explicit allowlist file: one entry per
 //! line, `rule path reason…`, the reason mandatory. Unused entries are
@@ -477,6 +482,12 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
             } else if ident == "now" && path_qualifier(&masked, i).as_deref() == Some("SystemTime")
             {
                 push("wall-clock", i, "SystemTime::now".to_string());
+            } else if ident == "eprintln"
+                && next_nonspace(&masked, end) == Some(b'!')
+                && !path.starts_with("crates/obs/")
+                && !path.split('/').any(|c| c == "bin")
+            {
+                push("eprintln-outside-obs", i, "eprintln!".to_string());
             }
         }
         i = end;
@@ -628,6 +639,20 @@ mod tests {
         let fs = lint_source("a.rs", src, false);
         let rules: Vec<_> = fs.iter().map(|f| f.rule).collect();
         assert_eq!(rules, vec!["thread-spawn", "wall-clock"], "{fs:?}");
+    }
+
+    #[test]
+    fn raw_eprintln_is_flagged_outside_obs_and_bins() {
+        let src = "fn f() { eprintln!(\"# warn\"); eprint!(\"x\"); }\n";
+        let fs = lint_source("crates/bench/src/panel.rs", src, false);
+        let rules: Vec<_> = fs.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["eprintln-outside-obs"], "{fs:?}");
+        // The obs crate (implements Obs::warn) and bin/ entry points
+        // (stderr is their UI) are exempt by path.
+        assert!(lint_source("crates/obs/src/lib.rs", src, false).is_empty());
+        assert!(lint_source("crates/bench/src/bin/chaos.rs", src, false).is_empty());
+        // Test code is exempt like every other rule.
+        assert!(lint_source("crates/bench/tests/t.rs", src, true).is_empty());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Overhead of the observability layer on the analytic fig4 sweep, at
+//! three instrumentation levels:
+//!
+//! - `disabled`  — the default [`Obs::disabled`] bundle: no recorder, no
+//!   metrics. The acceptance bar is <1% overhead versus itself being the
+//!   baseline, i.e. this IS the production fast path; the span/event
+//!   macros never evaluate their field closures here.
+//! - `metrics`   — counters/histograms on, still no recorder.
+//! - `traced`    — full span journal into a [`RingCollector`].
+//!
+//! Besides the Criterion groups, the bench prints a direct overhead
+//! summary (`# obs-overhead ...`) comparing medians, which
+//! `scripts/perf_baseline.sh` greps into `BENCH_obs.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wcms_bench::experiment::SweepConfig;
+use wcms_bench::figures::{fig4_configs, throughput_figure};
+use wcms_bench::resilient::ResilienceConfig;
+use wcms_bench::supervisor::SweepOptions;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::BackendKind;
+use wcms_obs::{Clock, Obs, RingCollector};
+
+fn options(obs: Obs) -> SweepOptions {
+    SweepOptions {
+        sweep: SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 },
+        resilience: ResilienceConfig { obs, ..ResilienceConfig::none() },
+        backend: BackendKind::Analytic,
+        jobs: 1,
+    }
+}
+
+fn run_once(device: &DeviceSpec, opts: &SweepOptions) -> usize {
+    let configs = fig4_configs(device).unwrap();
+    let report = throughput_figure("fig4", device, &configs, opts);
+    assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+    report.stats.cells
+}
+
+/// Best-of-`reps` wall-clock of the sweep under `make_obs`, in seconds.
+/// Minimum, not mean: the lower envelope is the code's actual cost and
+/// is far less sensitive to scheduler noise than any average.
+fn best_secs(device: &DeviceSpec, reps: usize, make_obs: impl Fn() -> Obs) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let opts = options(make_obs());
+            let t0 = Instant::now();
+            black_box(run_once(device, &opts));
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let device = DeviceSpec::quadro_m4000();
+    let mut group = c.benchmark_group("obs_overhead_fig4_analytic");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| run_once(&device, &options(Obs::disabled())));
+    });
+    group.bench_function("metrics", |b| {
+        b.iter(|| run_once(&device, &options(Obs::enabled(Clock::wall()))));
+    });
+    group.bench_function("traced", |b| {
+        b.iter(|| {
+            let ring = Arc::new(RingCollector::new());
+            let cells =
+                run_once(&device, &options(Obs::with_recorder(ring.clone(), Clock::wall())));
+            let (records, dropped) = ring.drain();
+            assert!(!records.is_empty() && dropped == 0);
+            cells
+        });
+    });
+    group.finish();
+
+    // Direct best-of-reps comparison for the perf-baseline script. The
+    // acceptance bar: the instrumented sweep under a *disabled* bundle
+    // must be within 1% of the historical untraced entry point (which is
+    // the same code — `SweepOptions::plain` defaults to a disabled Obs —
+    // so anything beyond noise here is a zero-cost-abstraction bug).
+    let reps = 9;
+    let baseline = {
+        let opts = SweepOptions::plain(options(Obs::disabled()).sweep, BackendKind::Analytic);
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(run_once(&device, &opts));
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let disabled = best_secs(&device, reps, Obs::disabled);
+    let metrics = best_secs(&device, reps, || Obs::enabled(Clock::wall()));
+    let traced = best_secs(&device, reps, || {
+        Obs::with_recorder(Arc::new(RingCollector::new()), Clock::wall())
+    });
+    let pct = |t: f64| (t / baseline - 1.0) * 100.0;
+    eprintln!(
+        "# obs-overhead baseline_s={baseline:.6} disabled_pct={:.2} metrics_pct={:.2} \
+         traced_pct={:.2}",
+        pct(disabled),
+        pct(metrics),
+        pct(traced)
+    );
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -82,14 +82,15 @@ fn run() -> Result<(), WcmsError> {
     let mut rng = Lcg(seed);
 
     // The ground truth: one uninterrupted, sequential, checkpoint-free run.
-    let started = std::time::Instant::now();
+    let clock = wcms_obs::Clock::wall();
+    let started = clock.now_us();
     let reference = run_to_completion(
         &fig4,
         &["--quick", "--jobs", "1", "--no-checkpoint", "--backend", &backend],
     )?;
     // Kill points are drawn from the sweep's actual duration, so some
     // cycles die mid-sweep with cells on disk and some die early.
-    let ref_ms = started.elapsed().as_millis().max(50) as u64;
+    let ref_ms = ((clock.elapsed_s(started) * 1e3) as u64).max(50);
     eprintln!(
         "# chaos: reference CSV is {} bytes (backend {backend}, {ref_ms} ms sequential)",
         reference.len()

@@ -12,6 +12,8 @@
 //! [--retries <k>]               extra attempts per failed/timed-out cell
 //! [--checkpoint-dir <dir>]      override results/.checkpoint/<figure>/<backend>
 //! [--no-checkpoint]             disable checkpointing entirely
+//! [--trace <path>]              write a JSONL span/event journal of the run
+//! [--metrics <path>]            write a Prometheus text metrics snapshot
 //! ```
 //!
 //! Checkpoints are written on every run (they are tiny), so `--resume`
@@ -26,10 +28,13 @@
 //! the worker count changes scheduling, never results, so resuming a
 //! `--jobs 1` sweep with `--jobs 8` is fine.)
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use wcms_error::WcmsError;
 use wcms_mergesort::BackendKind;
+use wcms_obs::{Clock, Obs, RingCollector};
 
 use crate::checkpoint::{CheckpointStore, SweepFingerprint};
 use crate::experiment::SweepConfig;
@@ -44,6 +49,12 @@ pub struct FigureArgs {
     pub opts: SweepOptions,
     /// Render markdown instead of CSV.
     pub markdown: bool,
+    /// `--trace`: where to write the JSONL span/event journal.
+    pub trace: Option<PathBuf>,
+    /// `--metrics`: where to write the Prometheus text snapshot.
+    pub metrics: Option<PathBuf>,
+    /// The trace ring the sweep's recorder fills (present iff `--trace`).
+    pub ring: Option<Arc<RingCollector>>,
 }
 
 impl FigureArgs {
@@ -51,6 +62,32 @@ impl FigureArgs {
     #[must_use]
     pub fn backend(&self) -> BackendKind {
         self.opts.backend
+    }
+
+    /// The sweep's observability bundle (shorthand for
+    /// `opts.resilience.obs`).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.opts.resilience.obs
+    }
+
+    /// Flush the `--trace` journal and `--metrics` snapshot to their
+    /// paths. The panel scaffolding calls this once, after the last
+    /// panel rendered; without either flag it is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when an output path cannot be
+    /// written.
+    pub fn export_observability(&self) -> Result<(), WcmsError> {
+        if let (Some(path), Some(ring)) = (&self.trace, &self.ring) {
+            let (records, dropped) = ring.drain();
+            std::fs::write(path, wcms_obs::journal_jsonl(&records, dropped))?;
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, self.obs().metrics.prometheus_text())?;
+        }
+        Ok(())
     }
 }
 
@@ -97,6 +134,18 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
         }
     }
 
+    let trace = value_of("--trace").map(PathBuf::from);
+    let metrics = value_of("--metrics").map(PathBuf::from);
+    let mut ring = None;
+    if trace.is_some() {
+        // Tracing implies metrics recording; both share one bundle.
+        let collector = Arc::new(RingCollector::new());
+        ring = Some(collector.clone());
+        resilience.obs = Obs::with_recorder(collector, Clock::wall());
+    } else if metrics.is_some() {
+        resilience.obs = Obs::enabled(Clock::wall());
+    }
+
     let resume = args.iter().any(|a| a == "--resume");
     if !args.iter().any(|a| a == "--no-checkpoint") {
         // Namespace the default per backend: sim and analytic sweeps of
@@ -118,6 +167,9 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     Ok(FigureArgs {
         opts: SweepOptions { sweep, resilience, backend, jobs },
         markdown: args.iter().any(|a| a == "--markdown"),
+        trace,
+        metrics,
+        ring,
     })
 }
 
@@ -227,6 +279,25 @@ mod tests {
         }
         assert_eq!(jobs_from_args(&strs(&["--jobs", "8"])).unwrap(), 8);
         assert_eq!(jobs_from_args(&strs(&[])).unwrap(), 1);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_enable_the_obs_bundle() {
+        let base = strs(&["--no-checkpoint"]);
+        let a = parse_figure_args("figX", &base).unwrap();
+        assert!(!a.obs().is_active(), "no flag: observability stays off");
+        assert!(a.ring.is_none());
+
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--metrics", "/tmp/m.prom"]))
+            .unwrap();
+        assert!(a.obs().is_active() && !a.obs().is_tracing(), "--metrics: metrics only");
+        assert_eq!(a.metrics.as_deref(), Some(std::path::Path::new("/tmp/m.prom")));
+
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--trace", "/tmp/t.jsonl"]))
+            .unwrap();
+        assert!(a.obs().is_tracing(), "--trace installs a recorder");
+        assert!(a.obs().is_active(), "--trace implies metrics");
+        assert!(a.ring.is_some());
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! worst case) and compares outputs and full [`SortReport`]s with `==`
 //! — no tolerances anywhere.
 
-use std::time::Instant;
-
 use wcms_error::WcmsError;
-use wcms_mergesort::{sort_with_report_on, AnalyticBackend, SimBackend, SortParams, SortReport};
+use wcms_mergesort::{
+    sort_with_report_traced_on, AnalyticBackend, SimBackend, SortParams, SortReport,
+};
+use wcms_obs::Obs;
 use wcms_workloads::WorkloadSpec;
 
 use crate::experiment::SweepConfig;
@@ -146,17 +147,30 @@ fn first_divergence(sim: &SortReport, analytic: &SortReport) -> String {
 /// Propagates generator errors and sort failures from either backend —
 /// a cell that cannot run at all is a harness bug, not a mismatch.
 pub fn cross_validate(jobs: &[CrossJob]) -> Result<CrossReport, WcmsError> {
+    cross_validate_traced(jobs, Obs::noop())
+}
+
+/// [`cross_validate`] under an [`Obs`] bundle: per-backend wall times
+/// come from the bundle's [`wcms_obs::Clock`] (so a virtual clock makes
+/// the speedup figure deterministic in tests), and each sort's spans
+/// and counters land in the trace/metrics when enabled.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_validate`].
+pub fn cross_validate_traced(jobs: &[CrossJob], obs: &Obs) -> Result<CrossReport, WcmsError> {
     let mut report = CrossReport::default();
     for job in jobs {
         let input = job.spec.generate(job.n, job.params.w, job.params.e, job.params.b)?;
 
-        let t0 = Instant::now();
-        let (sim_out, sim_rep) = sort_with_report_on(&input, &job.params, &SimBackend)?;
-        report.sim_s += t0.elapsed().as_secs_f64();
+        let t0 = obs.clock.now_us();
+        let (sim_out, sim_rep) = sort_with_report_traced_on(&input, &job.params, &SimBackend, obs)?;
+        report.sim_s += obs.clock.elapsed_s(t0);
 
-        let t0 = Instant::now();
-        let (ana_out, ana_rep) = sort_with_report_on(&input, &job.params, &AnalyticBackend)?;
-        report.analytic_s += t0.elapsed().as_secs_f64();
+        let t0 = obs.clock.now_us();
+        let (ana_out, ana_rep) =
+            sort_with_report_traced_on(&input, &job.params, &AnalyticBackend, obs)?;
+        report.analytic_s += obs.clock.elapsed_s(t0);
 
         let mismatch = if sim_out != ana_out {
             Some("sorted outputs differ".into())

@@ -11,6 +11,7 @@ use wcms_dmm::stats::Summary;
 use wcms_error::{CancelToken, WcmsError};
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
 use wcms_mergesort::{BackendKind, SortParams, SortReport};
+use wcms_obs::Obs;
 use wcms_workloads::WorkloadSpec;
 
 /// One measured point of a sweep.
@@ -157,6 +158,28 @@ pub fn measure_cancellable(
     backend: BackendKind,
     token: &CancelToken,
 ) -> Result<Measurement, WcmsError> {
+    measure_traced(device, params, spec, n, runs, backend, token, Obs::noop())
+}
+
+/// [`measure_cancellable`] under an [`Obs`] bundle: every sort's spans
+/// and per-round counter events land in the trace, and its merge-step /
+/// conflict counters in the metrics registry. The measurement itself is
+/// byte-identical to the untraced path (observation is read-only).
+///
+/// # Errors
+///
+/// Same conditions as [`measure_cancellable`].
+#[allow(clippy::too_many_arguments)] // the cell tuple plus token and obs
+pub fn measure_traced(
+    device: &DeviceSpec,
+    params: &SortParams,
+    spec: WorkloadSpec,
+    n: usize,
+    runs: u64,
+    backend: BackendKind,
+    token: &CancelToken,
+    obs: &Obs,
+) -> Result<Measurement, WcmsError> {
     let runs = runs.max(1);
     let mut times = Vec::with_capacity(runs as usize);
     let mut beta1 = Vec::new();
@@ -165,7 +188,8 @@ pub fn measure_cancellable(
     for run in 0..runs {
         token.check()?;
         let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b)?;
-        let (out, report) = backend.sort_with_report_cancellable(&input, params, token)?;
+        let (out, report) =
+            backend.sort_with_report_cancellable_traced(&input, params, token, obs)?;
         debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
         // The reference backend does no GPU work at all, so the cost
         // model does not apply — not even its per-launch overhead floor.

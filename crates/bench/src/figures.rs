@@ -18,7 +18,7 @@ use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
 use crate::checkpoint::CellResult;
-use crate::experiment::measure_cancellable;
+use crate::experiment::measure_traced;
 use crate::resilient::{QuarantinedCell, SkippedCell, SweepReport};
 use crate::series::Series;
 use crate::supervisor::{run_sweep, SweepOptions};
@@ -53,12 +53,16 @@ fn run_grid(
     series_order: &[String],
 ) -> SweepReport {
     let dev = device.clone();
+    // The cell body owns a clone of the sweep's obs bundle (clones
+    // share the recorder/metrics/clock), so per-sort spans and counters
+    // land in the same journal as the supervisor's cell spans.
+    let obs = opts.resilience.obs.clone();
     let sweep = run_sweep(
         cells,
         opts,
         |(label, _, _, n)| format!("{figure}/{label}/{n}"),
         move |(_, params, spec, n), backend, token| {
-            measure_cancellable(&dev, &params, spec, n, runs, backend, token)
+            measure_traced(&dev, &params, spec, n, runs, backend, token, &obs)
         },
     );
 

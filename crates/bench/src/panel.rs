@@ -181,9 +181,16 @@ pub fn figure_binary_main(
     for panel in &panels {
         let (data, comments) = panel.render(args.backend(), args.markdown);
         eprint!("{comments}");
-        // The structured run summary: one greppable line per sweep.
+        // The structured run summary: one greppable line per sweep,
+        // rebuilt from the metrics registry by the supervisor
+        // (`SweepStats::from_registry`), so it can never drift from a
+        // `--metrics` dump of the same run.
         eprintln!("{}", panel.report.stats.summary_line(figure));
         print!("{data}");
+    }
+    if let Err(e) = args.export_observability() {
+        eprintln!("{figure}: writing observability outputs: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -26,6 +26,7 @@ use std::thread;
 use std::time::Duration;
 
 use wcms_error::{CancelToken, WcmsError};
+use wcms_obs::{event, fields, MetricsRegistry, Obs};
 
 use crate::checkpoint::{CellResult, CheckpointStore, LoadOutcome};
 use crate::experiment::Measurement;
@@ -48,6 +49,11 @@ pub struct ResilienceConfig {
     pub backoff: Duration,
     /// Checkpoint store for resume; `None` disables persistence.
     pub checkpoint: Option<CheckpointStore>,
+    /// Observability bundle: the clock that times backoff sleeps and
+    /// sweep wall time, the metrics the `# sweep-summary` line is
+    /// rebuilt from, and (when `--trace` is set) the span recorder.
+    /// Disabled by default, so plain sweeps stay observability-free.
+    pub obs: Obs,
 }
 
 impl Default for ResilienceConfig {
@@ -58,6 +64,7 @@ impl Default for ResilienceConfig {
             retries: 0,
             backoff: Duration::ZERO,
             checkpoint: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -93,8 +100,13 @@ impl ResilienceConfig {
     /// resume), so it only warns.
     pub fn persist(&self, cell: &str, result: &CellResult) {
         if let Some(store) = &self.checkpoint {
-            if let Err(e) = store.store(cell, result) {
-                eprintln!("# checkpoint write failed for {cell}: {e}");
+            match store.store(cell, result) {
+                Ok(()) => event!(self.obs, "checkpoint-commit", cell => cell),
+                Err(e) => self.obs.warn(
+                    "checkpoint-write-failed",
+                    &format!("checkpoint write failed for {cell}: {e}"),
+                    || fields![cell => cell],
+                ),
             }
         }
     }
@@ -173,6 +185,45 @@ impl SweepStats {
             self.jobs,
             self.wall_s,
         )
+    }
+
+    /// Record these stats into `metrics` under `sweep_…` names: the
+    /// counts as counters, `jobs`/`wall_s` as gauges (gauges round-trip
+    /// `f64` bits exactly, so the rebuilt `wall_s` is bit-identical).
+    pub fn record(&self, metrics: &MetricsRegistry) {
+        metrics.counter("sweep_cells_total").add(self.cells as u64);
+        metrics.counter("sweep_done_total").add(self.done as u64);
+        metrics.counter("sweep_cached_total").add(self.cached as u64);
+        metrics.counter("sweep_retried_total").add(self.retried as u64);
+        metrics.counter("sweep_demoted_total").add(self.demoted as u64);
+        metrics.counter("sweep_skipped_total").add(self.skipped as u64);
+        metrics.counter("sweep_quarantined_total").add(self.quarantined as u64);
+        metrics.counter("sweep_panicked_total").add(self.panicked as u64);
+        metrics.counter("sweep_leaked_threads_total").add(self.leaked_threads as u64);
+        metrics.gauge("sweep_jobs").set(self.jobs as f64);
+        metrics.gauge("sweep_wall_seconds").set(self.wall_s);
+    }
+
+    /// Rebuild the stats from a registry [`SweepStats::record`] wrote.
+    /// The supervisor emits its `# sweep-summary` line from this round
+    /// trip, making the metrics registry the single source of truth for
+    /// the summary (a summary/metrics disagreement is structurally
+    /// impossible).
+    #[must_use]
+    pub fn from_registry(metrics: &MetricsRegistry) -> Self {
+        Self {
+            cells: metrics.counter("sweep_cells_total").get() as usize,
+            done: metrics.counter("sweep_done_total").get() as usize,
+            cached: metrics.counter("sweep_cached_total").get() as usize,
+            retried: metrics.counter("sweep_retried_total").get() as usize,
+            demoted: metrics.counter("sweep_demoted_total").get() as usize,
+            skipped: metrics.counter("sweep_skipped_total").get() as usize,
+            quarantined: metrics.counter("sweep_quarantined_total").get() as usize,
+            panicked: metrics.counter("sweep_panicked_total").get() as usize,
+            leaked_threads: metrics.counter("sweep_leaked_threads_total").get() as usize,
+            jobs: metrics.gauge("sweep_jobs").get() as usize,
+            wall_s: metrics.gauge("sweep_wall_seconds").get(),
+        }
     }
 }
 
@@ -303,7 +354,11 @@ where
                 let dest = to
                     .as_deref()
                     .map_or_else(|| "<unmoved>".to_string(), |p| p.display().to_string());
-                eprintln!("# quarantined corrupt checkpoint for {cell} -> {dest}: {reason}");
+                cfg.obs.warn(
+                    "checkpoint-quarantined",
+                    &format!("quarantined corrupt checkpoint for {cell} -> {dest}: {reason}"),
+                    || fields![cell => cell, dest => dest.as_str(), reason => reason.as_str()],
+                );
                 quarantined = Some(reason);
             }
             LoadOutcome::Absent => {}
@@ -315,23 +370,22 @@ where
     let mut panicked = false;
     let mut leaked_thread = false;
     for attempt in 1..=attempts {
-        if attempt > 1 && !cfg.backoff.is_zero() {
-            // Exponential: 1×, 2×, 4×, … of the base backoff.
-            let factor = 1u32 << (attempt as u32 - 2).min(16);
-            thread::sleep(cfg.backoff * factor);
+        if attempt > 1 {
+            event!(cfg.obs, "cell-retry", cell => cell, attempt => attempt);
+            if !cfg.backoff.is_zero() {
+                // Exponential: 1×, 2×, 4×, … of the base backoff. The
+                // sleep goes through the policy's clock, so tests on a
+                // virtual clock observe the full delay without blocking.
+                let factor = 1u32 << (attempt as u32 - 2).min(16);
+                cfg.obs.clock.sleep(cfg.backoff * factor);
+            }
         }
         let token = CancelToken::new(cell);
         let outcome = match cfg.timeout {
             None => call_guarded(cell, &f, &token),
-            Some(budget) => run_with_budget(
-                cell,
-                f.clone(),
-                &token,
-                budget,
-                cfg.grace,
-                attempt,
-                &mut leaked_thread,
-            ),
+            Some(budget) => {
+                run_with_budget(cell, f.clone(), &token, cfg, budget, attempt, &mut leaked_thread)
+            }
         };
         match outcome {
             Ok(m) => {
@@ -394,14 +448,15 @@ fn run_with_budget<F>(
     cell: &str,
     f: F,
     token: &CancelToken,
+    cfg: &ResilienceConfig,
     budget: Duration,
-    grace: Duration,
     attempt: usize,
     leaked: &mut bool,
 ) -> Result<Measurement, WcmsError>
 where
     F: Fn(&CancelToken) -> Result<Measurement, WcmsError> + Send + 'static,
 {
+    let grace = cfg.grace;
     let (tx, rx) = mpsc::channel();
     let worker_token = token.clone();
     let cell_owned = cell.to_string();
@@ -425,9 +480,14 @@ where
                     let _ = handle.join();
                 }
                 Err(_) => {
-                    eprintln!(
-                        "# cell {cell} ignored its cancel token for {:.1} s; abandoning its thread",
-                        grace.as_secs_f64()
+                    cfg.obs.warn(
+                        "thread-leaked",
+                        &format!(
+                            "cell {cell} ignored its cancel token for {:.1} s; abandoning its \
+                             thread",
+                            grace.as_secs_f64()
+                        ),
+                        || fields![cell => cell, grace_s => grace.as_secs_f64()],
                     );
                     *leaked = true;
                 }
@@ -610,6 +670,54 @@ mod tests {
         });
         // Waits: 10 + 20 + 40 = 70 ms minimum.
         assert!(start.elapsed() >= Duration::from_millis(70));
+    }
+
+    #[test]
+    fn backoff_on_a_virtual_clock_observes_the_delay_without_blocking() {
+        let obs = wcms_obs::Obs::enabled(wcms_obs::Clock::virtual_us(1));
+        let clock = obs.clock.clone();
+        let cfg = ResilienceConfig {
+            retries: 3,
+            backoff: Duration::from_secs(60),
+            obs,
+            ..ResilienceConfig::none()
+        };
+        let t0 = clock.now_us();
+        let real = Instant::now();
+        let _ = run_cell("b", &cfg, |_| -> Result<Measurement, WcmsError> {
+            Err(WcmsError::ZeroParam { name: "w" })
+        });
+        assert!(real.elapsed() < Duration::from_secs(5), "virtual backoff must not block");
+        // 60 + 120 + 240 = 420 virtual seconds of backoff elapsed.
+        let virtual_s = clock.elapsed_s(t0);
+        assert!(virtual_s >= 420.0, "full virtual backoff observed, got {virtual_s}");
+    }
+
+    #[test]
+    fn sweep_stats_round_trip_through_the_registry_byte_identically() {
+        let stats = SweepStats {
+            cells: 20,
+            done: 17,
+            cached: 5,
+            retried: 1,
+            demoted: 1,
+            skipped: 2,
+            quarantined: 1,
+            panicked: 0,
+            leaked_threads: 0,
+            jobs: 4,
+            wall_s: 1.2345678901234567,
+        };
+        let metrics = MetricsRegistry::new();
+        stats.record(&metrics);
+        let rebuilt = SweepStats::from_registry(&metrics);
+        assert_eq!(rebuilt, stats);
+        // Golden: the registry-rebuilt summary line, byte for byte.
+        assert_eq!(
+            rebuilt.summary_line("fig4"),
+            "# sweep-summary figure=fig4 cells=20 done=17 cached=5 retried=1 demoted=1 \
+             skipped=2 quarantined=1 panicked=0 leaked=0 jobs=4 wall_s=1.235"
+        );
     }
 
     #[test]

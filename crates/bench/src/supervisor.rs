@@ -27,10 +27,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
-use std::time::Instant;
 
 use wcms_error::{CancelToken, WcmsError};
 use wcms_mergesort::BackendKind;
+use wcms_obs::{fields, span, MetricsRegistry, LATENCY_BUCKETS_S};
 
 use crate::checkpoint::CellResult;
 use crate::experiment::{Measurement, SweepConfig};
@@ -95,14 +95,25 @@ where
         + Sync
         + 'static,
 {
-    let start = Instant::now();
+    let obs = &opts.resilience.obs;
+    let start_us = obs.clock.now_us();
+    let _sweep_span = span!(obs, "sweep", cells => jobs.len(), jobs => opts.jobs.max(1));
     let job_list = jobs.clone();
     let outcomes = parallel_map(jobs, opts.jobs, |_, job| {
         let cell = name(&job);
         let body = body.clone();
-        Ok(supervise_cell(&cell, opts.backend, &opts.resilience, move |backend, token| {
-            body(job.clone(), backend, token)
-        }))
+        let _cell_span = span!(obs, "cell", cell => cell.as_str());
+        let t0 = obs.clock.now_us();
+        let outcome =
+            supervise_cell(&cell, opts.backend, &opts.resilience, move |backend, token| {
+                body(job.clone(), backend, token)
+            });
+        if obs.is_active() {
+            obs.metrics
+                .histogram("cell_latency_seconds", &LATENCY_BUCKETS_S)
+                .observe(obs.clock.elapsed_s(t0));
+        }
+        Ok(outcome)
     });
     let cells: Vec<(J, CellOutcome)> = job_list
         .into_iter()
@@ -137,7 +148,17 @@ where
         stats.panicked += usize::from(o.panicked);
         stats.leaked_threads += usize::from(o.leaked_thread);
     }
-    stats.wall_s = start.elapsed().as_secs_f64();
+    stats.wall_s = obs.clock.elapsed_s(start_us);
+    // The summary line is rebuilt from metrics: record the loop
+    // counters into a sweep-local registry, re-read them, and fold the
+    // sweep's registry into the session one — so `# sweep-summary` and
+    // a `--metrics` dump can never disagree.
+    let sweep_metrics = MetricsRegistry::new();
+    stats.record(&sweep_metrics);
+    let stats = SweepStats::from_registry(&sweep_metrics);
+    if obs.is_active() {
+        obs.metrics.absorb(&sweep_metrics);
+    }
     SupervisedSweep { cells, stats }
 }
 
@@ -174,9 +195,13 @@ where
     let mut rung = backend;
     while let Some(next) = rung.demote() {
         rung = next;
-        eprintln!(
-            "# cell {cell}: timed out on every attempt; demoting to the {} backend",
-            rung.name()
+        resilience.obs.warn(
+            "cell-demoted",
+            &format!(
+                "cell {cell}: timed out on every attempt; demoting to the {} backend",
+                rung.name()
+            ),
+            || fields![cell => cell, backend => rung.name()],
         );
         let body = body.clone();
         let o = run_cell(cell, &ladder_cfg, move |token| body(rung, token));

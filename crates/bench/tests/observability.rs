@@ -1,0 +1,151 @@
+//! End-to-end observability contracts:
+//!
+//! 1. the metrics registry's sort counters are *integer-equal* to the
+//!    [`wcms_mergesort::SortReport`] the same sort returned, across
+//!    backends and tunings (proptest);
+//! 2. a traced `--jobs 4` sweep produces a journal that validates
+//!    (balanced per-thread spans, monotonic timestamps, nothing
+//!    dropped) and whose derived bench stats agree with the sweep's own
+//!    counters;
+//! 3. the Chrome export of that live journal is well-formed JSON with
+//!    one `traceEvents` entry per journal record.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use wcms_bench::experiment::SweepConfig;
+use wcms_bench::figures::{throughput_figure, Config};
+use wcms_bench::resilient::ResilienceConfig;
+use wcms_bench::supervisor::SweepOptions;
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::{BackendKind, SortParams};
+use wcms_obs::journal::{bench_stats, chrome_from_journal, parse_journal, validate};
+use wcms_obs::{journal_jsonl, json, Clock, Obs, RingCollector};
+use wcms_workloads::WorkloadSpec;
+
+/// The tunings the contract is checked over: the full E range the
+/// paper's figures exercise, from tiny (3) through Thrust's 15.
+const E_VALUES: [usize; 4] = [3, 5, 8, 15];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `sort_merge_steps_total` / `sort_conflict_extra_cycles_total`
+    /// must equal the report's own counters exactly — the metrics view
+    /// and the instrumentation view are the same integers.
+    #[test]
+    fn metrics_counters_equal_report_counters(
+        seed in 0u64..1_000,
+        e_idx in 0usize..E_VALUES.len(),
+        doublings in 1u32..3,
+        sim in proptest::bool::ANY,
+    ) {
+        let e = E_VALUES[e_idx];
+        let params = SortParams::new(32, e, 64).unwrap();
+        let n = params.block_elems() << doublings;
+        let input = WorkloadSpec::RandomPermutation { seed }
+            .generate(n, params.w, params.e, params.b)
+            .unwrap();
+        let backend = if sim { BackendKind::Sim } else { BackendKind::Analytic };
+        let obs = Obs::enabled(Clock::virtual_us(1));
+        let (out, report) = backend.sort_with_report_traced(&input, &params, &obs).unwrap();
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+
+        let total = report.total();
+        prop_assert_eq!(
+            obs.metrics.counter("sort_merge_steps_total").get(),
+            total.shared.merge.steps as u64,
+            "merge steps: metrics vs report (E={}, backend={})", e, backend
+        );
+        prop_assert_eq!(
+            obs.metrics.counter("sort_conflict_extra_cycles_total").get(),
+            total.shared.combined().extra_cycles as u64,
+            "conflict extra cycles: metrics vs report (E={}, backend={})", e, backend
+        );
+        prop_assert_eq!(
+            obs.metrics.counter("sort_rounds_total").get(),
+            report.rounds.len() as u64
+        );
+        prop_assert_eq!(obs.metrics.counter("sorts_total").get(), 1);
+    }
+}
+
+/// One traced parallel sweep: journal validates, its bench stats agree
+/// with the sweep counters, and the Chrome export is well-formed.
+#[test]
+fn traced_jobs4_sweep_journal_validates_end_to_end() {
+    let ring = Arc::new(RingCollector::new());
+    let obs = Obs::with_recorder(ring.clone(), Clock::wall());
+    let metrics = obs.metrics.clone();
+    let opts = SweepOptions {
+        sweep: SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 },
+        resilience: ResilienceConfig { obs, ..ResilienceConfig::none() },
+        backend: BackendKind::Sim,
+        jobs: 4,
+    };
+    let device = DeviceSpec::test_device();
+    let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
+    let report = throughput_figure("obs-e2e", &device, &configs, &opts);
+    assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+
+    // The journal validates: balanced spans per thread, monotonic
+    // timestamps, no dropped records.
+    let (records, dropped) = ring.drain();
+    assert!(!records.is_empty(), "a traced sweep must record spans");
+    let text = journal_jsonl(&records, dropped);
+    let journal = parse_journal(&text).unwrap();
+    let validation = validate(&journal);
+    assert!(validation.is_ok(), "journal must validate: {:?}", validation.errors);
+
+    // Its derived bench stats agree with the sweep's own counters.
+    let stats = bench_stats(&journal);
+    assert_eq!(stats.cells, report.stats.cells, "one `cell` span per sweep cell");
+    assert_eq!(
+        stats.total_merge_steps,
+        metrics.counter("sort_merge_steps_total").get(),
+        "journal round-counter events must sum to the metrics counter"
+    );
+    assert_eq!(
+        stats.total_conflict_extra_cycles,
+        metrics.counter("sort_conflict_extra_cycles_total").get()
+    );
+    // The latency histogram saw every cell.
+    assert_eq!(
+        metrics.histogram("cell_latency_seconds", &wcms_obs::LATENCY_BUCKETS_S).count(),
+        report.stats.cells as u64
+    );
+
+    // The Chrome export is well-formed JSON with one traceEvents entry
+    // per journal record (plus none invented).
+    let chrome = chrome_from_journal(&journal);
+    let doc = json::parse(&chrome).expect("chrome export must be valid JSON");
+    let events = doc.get("traceEvents").and_then(json::Value::as_arr).expect("traceEvents array");
+    assert_eq!(events.len(), journal.records.len());
+}
+
+/// A sweep on a *virtual* clock still reports a (virtual) wall time and
+/// finishes in real milliseconds — even with 100 s of configured
+/// backoff, because any backoff would be taken in virtual time too.
+#[test]
+fn virtual_clock_sweep_is_deterministic_and_non_blocking() {
+    let obs = Obs::enabled(Clock::virtual_us(1));
+    let opts = SweepOptions {
+        sweep: SweepConfig { min_doublings: 1, max_doublings: 2, runs: 1 },
+        resilience: ResilienceConfig {
+            retries: 2,
+            backoff: Duration::from_secs(100),
+            obs,
+            ..ResilienceConfig::none()
+        },
+        backend: BackendKind::Analytic,
+        jobs: 1,
+    };
+    let device = DeviceSpec::test_device();
+    let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
+    let started = std::time::Instant::now();
+    let report = throughput_figure("obs-virt", &device, &configs, &opts);
+    assert!(report.skipped.is_empty());
+    assert!(started.elapsed() < Duration::from_secs(30), "virtual time must not block");
+    assert!(report.stats.wall_s > 0.0, "virtual clock still measures a wall time");
+}

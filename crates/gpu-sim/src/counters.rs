@@ -19,6 +19,20 @@ impl KernelCounters {
         self.shared.merge(&other.shared);
         self.global.merge(&other.global);
     }
+
+    /// Add this bundle to `metrics` under `{prefix}_…` counter names —
+    /// the bridge from per-kernel counts to the session-wide metrics
+    /// registry (`{prefix}_conflict_extra_cycles_total` is the number
+    /// the paper's figures plot).
+    pub fn observe(&self, metrics: &wcms_obs::MetricsRegistry, prefix: &str) {
+        metrics.counter(format!("{prefix}_shared_steps_total")).add(self.shared.steps as u64);
+        metrics.counter(format!("{prefix}_shared_cycles_total")).add(self.shared.cycles as u64);
+        metrics
+            .counter(format!("{prefix}_conflict_extra_cycles_total"))
+            .add(self.shared.extra_cycles as u64);
+        metrics.counter(format!("{prefix}_gmem_requests_total")).add(self.global.requests as u64);
+        metrics.counter(format!("{prefix}_gmem_sectors_total")).add(self.global.sectors as u64);
+    }
 }
 
 /// Counters of a full sort: the base-case kernel plus each global merge
@@ -130,6 +144,22 @@ mod tests {
         let s = SortCounters { base: k(3), rounds: vec![k(5), k(7)] };
         assert_eq!(s.aggregate().shared.cycles, 15);
         assert_eq!(s.num_rounds(), 2);
+    }
+
+    #[test]
+    fn observe_exports_every_counter_under_the_prefix() {
+        let k = KernelCounters {
+            shared: shared(14, 9),
+            global: GlobalTotals { requests: 2, sectors: 12, accesses: 64 },
+        };
+        let metrics = wcms_obs::MetricsRegistry::new();
+        k.observe(&metrics, "sort");
+        k.observe(&metrics, "sort"); // counters accumulate
+        assert_eq!(metrics.counter("sort_shared_steps_total").get(), 18);
+        assert_eq!(metrics.counter("sort_shared_cycles_total").get(), 28);
+        assert_eq!(metrics.counter("sort_conflict_extra_cycles_total").get(), 10);
+        assert_eq!(metrics.counter("sort_gmem_requests_total").get(), 4);
+        assert_eq!(metrics.counter("sort_gmem_sectors_total").get(), 24);
     }
 
     #[test]

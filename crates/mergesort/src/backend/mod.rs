@@ -41,7 +41,11 @@ use wcms_error::WcmsError;
 use wcms_gpu_sim::fault::FaultInjector;
 use wcms_gpu_sim::GpuKey;
 
-use crate::driver::{sort_resilient_on, sort_with_report_on, FaultReport, RecoveryPolicy};
+use wcms_obs::Obs;
+
+use crate::driver::{
+    sort_resilient_traced_on, sort_with_report_traced_on, FaultReport, RecoveryPolicy,
+};
 use crate::instrument::{RoundCounters, SortReport};
 use crate::params::SortParams;
 
@@ -229,10 +233,29 @@ impl BackendKind {
         input: &[K],
         params: &SortParams,
     ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        self.sort_with_report_traced(input, params, Obs::noop())
+    }
+
+    /// [`BackendKind::sort_with_report`] under an [`Obs`] bundle
+    /// (value-level dispatch over [`sort_with_report_traced_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_with_report_on`](crate::driver::sort_with_report_on).
+    pub fn sort_with_report_traced<K: GpuKey>(
+        self,
+        input: &[K],
+        params: &SortParams,
+        obs: &Obs,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
         match self {
-            BackendKind::Sim => sort_with_report_on(input, params, &SimBackend),
-            BackendKind::Analytic => sort_with_report_on(input, params, &AnalyticBackend),
-            BackendKind::Reference => sort_with_report_on(input, params, &ReferenceBackend),
+            BackendKind::Sim => sort_with_report_traced_on(input, params, &SimBackend, obs),
+            BackendKind::Analytic => {
+                sort_with_report_traced_on(input, params, &AnalyticBackend, obs)
+            }
+            BackendKind::Reference => {
+                sort_with_report_traced_on(input, params, &ReferenceBackend, obs)
+            }
         }
     }
 
@@ -242,34 +265,58 @@ impl BackendKind {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`sort_with_report_on`], plus
-    /// [`WcmsError::Cancelled`] when `token` fires mid-sort.
+    /// Same conditions as [`sort_with_report_on`](crate::driver::sort_with_report_on),
+    /// plus [`WcmsError::Cancelled`] when `token` fires mid-sort.
     pub fn sort_with_report_cancellable<K: GpuKey>(
         self,
         input: &[K],
         params: &SortParams,
         token: &CancelToken,
     ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        self.sort_with_report_cancellable_traced(input, params, token, Obs::noop())
+    }
+
+    /// [`BackendKind::sort_with_report_cancellable`] under an [`Obs`]
+    /// bundle — the variant the traced sweep supervisor calls, so
+    /// per-round events land in the journal while the cell stays
+    /// cancellable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BackendKind::sort_with_report_cancellable`].
+    pub fn sort_with_report_cancellable_traced<K: GpuKey>(
+        self,
+        input: &[K],
+        params: &SortParams,
+        token: &CancelToken,
+        obs: &Obs,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
         let token = token.clone();
         match self {
             BackendKind::Sim => {
-                sort_with_report_on(input, params, &Cancellable::new(SimBackend, token))
+                sort_with_report_traced_on(input, params, &Cancellable::new(SimBackend, token), obs)
             }
-            BackendKind::Analytic => {
-                sort_with_report_on(input, params, &Cancellable::new(AnalyticBackend, token))
-            }
-            BackendKind::Reference => {
-                sort_with_report_on(input, params, &Cancellable::new(ReferenceBackend, token))
-            }
+            BackendKind::Analytic => sort_with_report_traced_on(
+                input,
+                params,
+                &Cancellable::new(AnalyticBackend, token),
+                obs,
+            ),
+            BackendKind::Reference => sort_with_report_traced_on(
+                input,
+                params,
+                &Cancellable::new(ReferenceBackend, token),
+                obs,
+            ),
         }
     }
 
     /// Run the fault-hardened sort on this backend (value-level dispatch
-    /// over [`sort_resilient_on`]).
+    /// over [`sort_resilient_on`](crate::driver::sort_resilient_on)).
     ///
     /// # Errors
     ///
-    /// Same conditions as [`sort_resilient_on`].
+    /// Same conditions as [`sort_resilient_on`](crate::driver::sort_resilient_on).
     pub fn sort_resilient<K: GpuKey>(
         self,
         input: &[K],
@@ -277,13 +324,32 @@ impl BackendKind {
         injector: &FaultInjector,
         policy: &RecoveryPolicy,
     ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+        self.sort_resilient_traced(input, params, injector, policy, Obs::noop())
+    }
+
+    /// [`BackendKind::sort_resilient`] under an [`Obs`] bundle
+    /// (value-level dispatch over [`sort_resilient_traced_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_resilient_on`](crate::driver::sort_resilient_on).
+    pub fn sort_resilient_traced<K: GpuKey>(
+        self,
+        input: &[K],
+        params: &SortParams,
+        injector: &FaultInjector,
+        policy: &RecoveryPolicy,
+        obs: &Obs,
+    ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
         match self {
-            BackendKind::Sim => sort_resilient_on(input, params, injector, policy, &SimBackend),
+            BackendKind::Sim => {
+                sort_resilient_traced_on(input, params, injector, policy, &SimBackend, obs)
+            }
             BackendKind::Analytic => {
-                sort_resilient_on(input, params, injector, policy, &AnalyticBackend)
+                sort_resilient_traced_on(input, params, injector, policy, &AnalyticBackend, obs)
             }
             BackendKind::Reference => {
-                sort_resilient_on(input, params, injector, policy, &ReferenceBackend)
+                sort_resilient_traced_on(input, params, injector, policy, &ReferenceBackend, obs)
             }
         }
     }

@@ -12,6 +12,7 @@ use wcms_error::WcmsError;
 use wcms_gpu_sim::fault::FaultInjector;
 use wcms_gpu_sim::FaultCounters;
 use wcms_mergepath::diagonal::merge_path;
+use wcms_obs::{event, span, Obs};
 
 use crate::backend::{ExecBackend, ReferenceBackend, SimBackend};
 use crate::instrument::{RoundCounters, SortReport};
@@ -59,13 +60,35 @@ pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
     params: &SortParams,
     backend: &impl ExecBackend,
 ) -> Result<(Vec<K>, SortReport), WcmsError> {
+    sort_with_report_traced_on(input, params, backend, Obs::noop())
+}
+
+/// [`sort_with_report_on`] under an [`Obs`] bundle: a `sort` span wraps
+/// the whole pipeline, each global round runs inside a `merge-round`
+/// span, per-round `round-counters` events carry the merge-step and
+/// bank-conflict totals (round 0 is the base case), and the accepted
+/// totals feed the `sort_*` metric counters. With [`Obs::noop`] every
+/// probe is a single untaken branch — the untraced entry points
+/// delegate here.
+///
+/// # Errors
+///
+/// Same conditions as [`sort_with_report`].
+pub fn sort_with_report_traced_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    backend: &impl ExecBackend,
+    obs: &Obs,
+) -> Result<(Vec<K>, SortReport), WcmsError> {
     let n = input.len();
     if !params.valid_len(n) {
         return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
     }
     let be = params.block_elems();
+    let _sort_span = span!(obs, "sort", n => n, backend => backend.name());
 
     // --- Base case: every block sorts its tile.
+    let base_span = span!(obs, "base-case", blocks => n / be);
     let block_results: Vec<(Vec<K>, RoundCounters)> = input
         .par_chunks(be)
         .enumerate()
@@ -77,6 +100,12 @@ pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
         base.absorb(&c);
         cur.extend(chunk);
     }
+    drop(base_span);
+    event!(obs, "round-counters",
+        round => 0usize,
+        merge_steps => base.shared.merge.steps,
+        extra_cycles => base.shared.combined().extra_cycles,
+        blocks => base.blocks);
 
     // --- Global merge rounds.
     let mut rounds = Vec::with_capacity(params.global_rounds(n));
@@ -84,6 +113,7 @@ pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
         let list_len = be << (round - 1);
         let pair_len = 2 * list_len;
         let blocks_per_pair = pair_len / be;
+        let _round_span = span!(obs, "merge-round", round => round, list_len => list_len);
 
         // Modern GPU structure: a separate partition kernel per round
         // computes every block's co-ranks up front.
@@ -127,12 +157,35 @@ pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
             round_counters.absorb(&c);
             next.extend(chunk);
         }
+        event!(obs, "round-counters",
+            round => round,
+            merge_steps => round_counters.shared.merge.steps,
+            extra_cycles => round_counters.shared.combined().extra_cycles,
+            blocks => round_counters.blocks);
         rounds.push(round_counters);
         cur = next;
     }
 
     let report = SortReport { params: *params, n, base, rounds };
+    observe_report(obs, &report);
     Ok((cur, report))
+}
+
+/// Feed one accepted [`SortReport`] into the metric counters. The
+/// invariant the observability tests pin: `sort_merge_steps_total`
+/// advances by exactly `report.total().shared.merge.steps` and
+/// `sort_conflict_extra_cycles_total` by exactly
+/// `report.total().shared.combined().extra_cycles`, on every backend.
+fn observe_report(obs: &Obs, report: &SortReport) {
+    if !obs.is_active() {
+        return;
+    }
+    let total = report.total();
+    obs.metrics.counter("sorts_total").inc();
+    obs.metrics.counter("sort_rounds_total").add(report.rounds.len() as u64);
+    obs.metrics.counter("sort_merge_steps_total").add(total.shared.merge.steps as u64);
+    obs.metrics.counter("sort_blocks_launched_total").add(report.blocks_launched() as u64);
+    total.to_kernel().observe(&obs.metrics, "sort");
 }
 
 /// Sort without keeping the report (convenience for tests/examples).
@@ -287,18 +340,39 @@ pub fn sort_resilient_on<K: wcms_gpu_sim::GpuKey>(
     policy: &RecoveryPolicy,
     backend: &impl ExecBackend,
 ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+    sort_resilient_traced_on(input, params, injector, policy, backend, Obs::noop())
+}
+
+/// [`sort_resilient_on`] under an [`Obs`] bundle: the pipeline runs in
+/// a `sort-resilient` span, every injected fault becomes a
+/// `fault-injected` event carrying the injector seed and the fault's
+/// exact coordinates (round, unit, attempt) — enough to replay it —
+/// and the fault totals feed the `fault_*` metric counters.
+///
+/// # Errors
+///
+/// Same conditions as [`sort_resilient`].
+pub fn sort_resilient_traced_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
+    obs: &Obs,
+) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
     let n = input.len();
     if !params.valid_len(n) {
         return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
     }
     let be = params.block_elems();
     let mut fault = FaultReport::default();
+    let _sort_span = span!(obs, "sort-resilient", n => n, backend => backend.name());
 
     // --- Base case: block-granular retry, round index 0.
     let block_results: Vec<(Vec<K>, RoundCounters, FaultReport)> = input
         .par_chunks(be)
         .enumerate()
-        .map(|(j, chunk)| resilient_base_block(chunk, j, params, injector, policy, backend))
+        .map(|(j, chunk)| resilient_base_block(chunk, j, params, injector, policy, backend, obs))
         .collect::<Result<_, _>>()?;
     let mut base = RoundCounters::default();
     let mut cur = Vec::with_capacity(n);
@@ -320,7 +394,7 @@ pub fn sort_resilient_on<K: wcms_gpu_sim::GpuKey>(
             .enumerate()
             .map(|(pair, pair_input)| {
                 resilient_merge_pair(
-                    pair_input, list_len, pair, round, params, injector, policy, backend,
+                    pair_input, list_len, pair, round, params, injector, policy, backend, obs,
                 )
             })
             .collect::<Result<_, _>>()?;
@@ -337,11 +411,20 @@ pub fn sort_resilient_on<K: wcms_gpu_sim::GpuKey>(
     }
 
     let report = SortReport { params: *params, n, base, rounds };
+    observe_report(obs, &report);
+    if obs.is_active() {
+        let c = &fault.counters;
+        obs.metrics.counter("faults_injected_total").add((c.tile_faults + c.corank_faults) as u64);
+        obs.metrics.counter("faults_detected_total").add(c.detected as u64);
+        obs.metrics.counter("fault_retries_total").add(c.retries as u64);
+        obs.metrics.counter("fault_cpu_fallbacks_total").add(c.cpu_fallbacks as u64);
+    }
     Ok((cur, report, fault))
 }
 
 /// One base-case block under injection: sort the chunk, check the
 /// output, retry from the immutable `chunk` on detection.
+#[allow(clippy::too_many_arguments)] // internal retry-loop plumbing
 fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
     chunk: &[K],
     j: usize,
@@ -349,6 +432,7 @@ fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
     backend: &impl ExecBackend,
+    obs: &Obs,
 ) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
     let be = params.block_elems();
     let expect_hash = multiset_hash(chunk);
@@ -363,6 +447,12 @@ fn resilient_base_block<K: wcms_gpu_sim::GpuKey>(
             let mut tile = chunk.to_vec();
             f.counters.tile_faults += 1;
             f.counters.bits_flipped += injector.flip_tile_bits(&mut tile, 0, j, attempt);
+            event!(obs, "fault-injected",
+                kind => "tile-bitflip",
+                seed => injector.config().seed,
+                round => 0usize,
+                unit => j,
+                attempt => attempt);
             backend.base_block(&tile, j * be, params)
         } else {
             backend.base_block(chunk, j * be, params)
@@ -404,6 +494,7 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
     injector: &FaultInjector,
     policy: &RecoveryPolicy,
     backend: &impl ExecBackend,
+    obs: &Obs,
 ) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
     let be = params.block_elems();
     let pair_len = pair_input.len();
@@ -442,6 +533,12 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
                 });
                 pre = Some(injector.corrupt_corank(correct, round, block, attempt));
                 f.counters.corank_faults += 1;
+                event!(obs, "fault-injected",
+                    kind => "corank",
+                    seed => injector.config().seed,
+                    round => round,
+                    unit => block,
+                    attempt => attempt);
             }
 
             // Inject: bit-flips in the pair data this block reads.
@@ -450,6 +547,12 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
                 f.counters.tile_faults += 1;
                 f.counters.bits_flipped +=
                     injector.flip_tile_bits(&mut tile, round, block, attempt);
+                event!(obs, "fault-injected",
+                    kind => "tile-bitflip",
+                    seed => injector.config().seed,
+                    round => round,
+                    unit => block,
+                    attempt => attempt);
                 let (ta, tb) = tile.split_at(list_len);
                 backend.merge_unit(ta, tb, pair_base, pair_base + list_len, j, params, pre)
             } else {

@@ -1,0 +1,185 @@
+//! `wcms-trace`: inspect, validate, convert, and benchmark trace
+//! journals written by `--trace`.
+//!
+//! ```text
+//! wcms-trace validate <journal>...          structural check (exit 1 on failure)
+//! wcms-trace summary  <journal>             per-name span/event/time table
+//! wcms-trace chrome   <journal> [-o FILE]   convert to Chrome trace-event JSON
+//! wcms-trace diff     <a> <b>               compare span/event counts (exit 1 if they differ)
+//! wcms-trace bench    [label=]<journal>...  [-o FILE]   derive BENCH_obs.json statistics
+//! ```
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use wcms_obs::journal::{
+    bench_stats, chrome_from_journal, diff, parse_journal, summarize, validate, Journal,
+};
+use wcms_obs::json::escape_into;
+use wcms_obs::metrics::fmt_f64;
+
+const USAGE: &str = "usage: wcms-trace <validate|summary|chrome|diff|bench> [args]
+  validate <journal>...            exit 1 unless every journal is structurally valid
+  summary  <journal>               print a per-name span/event/time table
+  chrome   <journal> [-o FILE]     convert to Chrome trace-event JSON (stdout by default)
+  diff     <a> <b>                 compare span/event counts; exit 1 if they differ
+  bench    [label=]<journal>... [-o FILE]  emit perf-baseline JSON (BENCH_obs.json shape)";
+
+fn load(path: &str) -> Result<Journal, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    parse_journal(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    match cmd.as_str() {
+        "validate" => cmd_validate(rest),
+        "summary" => cmd_summary(rest),
+        "chrome" => cmd_chrome(rest),
+        "diff" => cmd_diff(rest),
+        "bench" => cmd_bench(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn cmd_validate(paths: &[String]) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err(format!("validate: no journals given\n{USAGE}"));
+    }
+    let mut failures = 0usize;
+    for path in paths {
+        let journal = load(path)?;
+        let report = validate(&journal);
+        if report.is_ok() {
+            println!(
+                "{path}: ok ({} records, {} spans matched)",
+                report.records, report.matched_spans
+            );
+        } else {
+            failures += 1;
+            println!("{path}: INVALID ({} records)", report.records);
+            for err in &report.errors {
+                println!("  {err}");
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} of {} journals failed validation", paths.len()))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_summary(paths: &[String]) -> Result<(), String> {
+    let [path] = paths else {
+        return Err(format!("summary: expected exactly one journal\n{USAGE}"));
+    };
+    print!("{}", summarize(&load(path)?));
+    Ok(())
+}
+
+/// Split `[-o FILE]` off an argument list.
+fn split_output(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut inputs = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-o" || a == "--output" {
+            out = Some(it.next().ok_or_else(|| format!("{a}: missing file operand"))?.to_string());
+        } else {
+            inputs.push(a.clone());
+        }
+    }
+    Ok((inputs, out))
+}
+
+fn emit(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("{path}: cannot write: {e}"))?;
+            eprintln!("# wrote {path}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_chrome(args: &[String]) -> Result<(), String> {
+    let (inputs, out) = split_output(args)?;
+    let [path] = inputs.as_slice() else {
+        return Err(format!("chrome: expected exactly one journal\n{USAGE}"));
+    };
+    emit(&chrome_from_journal(&load(path)?), out.as_deref())
+}
+
+fn cmd_diff(paths: &[String]) -> Result<(), String> {
+    let [a, b] = paths else {
+        return Err(format!("diff: expected exactly two journals\n{USAGE}"));
+    };
+    let lines = diff(&load(a)?, &load(b)?);
+    if lines.is_empty() {
+        println!("journals agree: same span/event counts per name");
+        Ok(())
+    } else {
+        for line in &lines {
+            println!("{line}");
+        }
+        Err(format!("{} names differ between {a} and {b}", lines.len()))
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (inputs, out) = split_output(args)?;
+    if inputs.is_empty() {
+        return Err(format!("bench: no journals given\n{USAGE}"));
+    }
+    let mut doc = String::from("{\n  \"entries\": [");
+    for (i, input) in inputs.iter().enumerate() {
+        // `label=path` attaches a name (e.g. backend + jobs count);
+        // otherwise the path is the label.
+        let (label, path) = match input.split_once('=') {
+            Some((l, p)) if !l.is_empty() && !l.contains('/') => (l, p),
+            _ => (input.as_str(), input.as_str()),
+        };
+        let stats = bench_stats(&load(path)?);
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str("\n    {\"label\":");
+        escape_into(&mut doc, label);
+        let _ = write!(
+            doc,
+            ",\"cells\":{},\"cell_latency_median_s\":{},\"cell_latency_p95_s\":{},\
+             \"total_merge_steps\":{},\"total_conflict_extra_cycles\":{},\"rounds\":{},\
+             \"conflicts_per_round\":{},\"wall_s\":{}}}",
+            stats.cells,
+            fmt_f64(stats.cell_latency_median_s),
+            fmt_f64(stats.cell_latency_p95_s),
+            stats.total_merge_steps,
+            stats.total_conflict_extra_cycles,
+            stats.rounds,
+            fmt_f64(stats.conflicts_per_round()),
+            fmt_f64(stats.wall_s),
+        );
+    }
+    doc.push_str("\n  ]\n}\n");
+    emit(&doc, out.as_deref())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("wcms-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

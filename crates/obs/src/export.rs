@@ -1,0 +1,202 @@
+//! Exporters: records → JSONL journal, records → Chrome trace-event
+//! JSON, metrics → Prometheus text (the latter lives on
+//! [`crate::metrics::MetricsRegistry`]).
+//!
+//! The journal is the source of truth — one JSON object per line,
+//! append-friendly, greppable, and parseable back by `wcms-trace`. The
+//! Chrome document is a pure projection of the same records into the
+//! `chrome://tracing` / Perfetto "trace event format".
+
+use std::fmt::Write as _;
+
+use crate::json::escape_into;
+use crate::recorder::{Field, FieldValue, Phase, Record};
+
+fn write_field_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) => {
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                // JSON has no NaN/Inf; stringify so the record survives.
+                escape_into(out, &v.to_string());
+            }
+        }
+        FieldValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::Str(v) => escape_into(out, v),
+    }
+}
+
+fn write_fields_object(out: &mut String, fields: &[Field]) {
+    out.push('{');
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, f.key);
+        out.push(':');
+        write_field_value(out, &f.value);
+    }
+    out.push('}');
+}
+
+fn write_journal_line(out: &mut String, record: &Record) {
+    let _ = write!(
+        out,
+        r#"{{"ts":{},"tid":{},"ph":"{}","name":"#,
+        record.ts_us,
+        record.tid,
+        record.phase.code()
+    );
+    escape_into(out, record.name);
+    if !record.fields.is_empty() {
+        out.push_str(",\"fields\":");
+        write_fields_object(out, &record.fields);
+    }
+    out.push_str("}\n");
+}
+
+/// Render records as a JSONL journal. If `dropped > 0` a trailing
+/// `Meta` line records the loss, so `wcms-trace validate` can refuse a
+/// truncated journal instead of trusting it.
+#[must_use]
+pub fn journal_jsonl(records: &[Record], dropped: u64) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 64);
+    for record in records {
+        write_journal_line(&mut out, record);
+    }
+    if dropped > 0 {
+        let ts = records.last().map_or(0, |r| r.ts_us);
+        let meta = Record {
+            ts_us: ts,
+            tid: 0,
+            phase: Phase::Meta,
+            name: "dropped-records",
+            fields: vec![Field::new("dropped", dropped)],
+        };
+        write_journal_line(&mut out, &meta);
+    }
+    out
+}
+
+/// Render records as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` or
+/// <https://ui.perfetto.dev>. Instant events get scope `"t"` (thread);
+/// all events share `pid` 1 since this is a single-process tool.
+#[must_use]
+pub fn chrome_trace(records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 112 + 32);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for record in records {
+        let ph = match record.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Event => "i",
+            Phase::Meta => "M",
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\":");
+        escape_into(&mut out, record.name);
+        let _ = write!(
+            out,
+            ",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            record.ts_us, record.tid
+        );
+        if record.phase == Phase::Event {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !record.fields.is_empty() {
+            out.push_str(",\"args\":");
+            write_fields_object(&mut out, &record.fields);
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record {
+                ts_us: 10,
+                tid: 1,
+                phase: Phase::Begin,
+                name: "sweep",
+                fields: vec![Field::new("cells", 4u64)],
+            },
+            Record {
+                ts_us: 20,
+                tid: 1,
+                phase: Phase::Event,
+                name: "note",
+                fields: vec![Field::new("why", "x\"y"), Field::new("ok", true)],
+            },
+            Record { ts_us: 30, tid: 1, phase: Phase::End, name: "sweep", fields: vec![] },
+        ]
+    }
+
+    #[test]
+    fn journal_lines_are_valid_json() {
+        let text = journal_jsonl(&sample(), 0);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let v = parse(lines[1]).unwrap();
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("I"));
+        assert_eq!(v.get("fields").unwrap().get("why").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(v.get("fields").unwrap().get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn dropped_records_leave_a_meta_marker() {
+        let text = journal_jsonl(&sample(), 7);
+        let last = text.lines().last().unwrap();
+        let v = parse(last).unwrap();
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("dropped-records"));
+        assert_eq!(v.get("fields").unwrap().get("dropped").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn chrome_document_is_one_json_object() {
+        let text = chrome_trace(&sample());
+        let v = parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(events[1].get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(events[2].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(events[0].get("args").unwrap().get("cells").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_strings() {
+        let records = vec![Record {
+            ts_us: 1,
+            tid: 1,
+            phase: Phase::Event,
+            name: "odd",
+            fields: vec![Field::new("r", f64::NAN)],
+        }];
+        let text = journal_jsonl(&records, 0);
+        let v = parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("fields").unwrap().get("r").unwrap().as_str(), Some("NaN"));
+    }
+}

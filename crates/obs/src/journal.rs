@@ -1,0 +1,509 @@
+//! Reading journals back: parse, validate, summarize, diff, and derive
+//! perf-baseline statistics. This is the library behind the
+//! `wcms-trace` binary, kept here so tests can drive it in-process.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Value};
+use crate::recorder::Phase;
+
+/// One journal record with its name and fields owned (journals are read
+/// back from disk, so `&'static str` names are gone).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Timestamp in microseconds.
+    pub ts_us: u64,
+    /// Emitting-thread label (opaque).
+    pub tid: u32,
+    /// Record phase.
+    pub phase: Phase,
+    /// Record name.
+    pub name: String,
+    /// Fields as parsed JSON values, in journal order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl JournalRecord {
+    /// Field lookup by key.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed journal: the records plus the drop count declared by any
+/// trailing `dropped-records` meta line.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// All records, in file order (meta lines included).
+    pub records: Vec<JournalRecord>,
+    /// Records the collector admitted to dropping.
+    pub dropped: u64,
+}
+
+/// Parse a JSONL journal. Blank lines are skipped; any malformed line
+/// is an error naming its line number.
+///
+/// # Errors
+///
+/// A message naming the first offending line.
+pub fn parse_journal(text: &str) -> Result<Journal, String> {
+    let mut journal = Journal::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ts_us = v
+            .get("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line {lineno}: missing or non-integer 'ts'"))?;
+        let tid = v
+            .get("tid")
+            .and_then(Value::as_u64)
+            .and_then(|t| u32::try_from(t).ok())
+            .ok_or_else(|| format!("line {lineno}: missing or non-u32 'tid'"))?;
+        let ph = v
+            .get("ph")
+            .and_then(Value::as_str)
+            .and_then(|s| s.chars().next())
+            .and_then(Phase::from_code)
+            .ok_or_else(|| format!("line {lineno}: missing or unknown 'ph'"))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing 'name'"))?
+            .to_string();
+        let fields = match v.get("fields") {
+            None => Vec::new(),
+            Some(Value::Obj(members)) => members.clone(),
+            Some(_) => return Err(format!("line {lineno}: 'fields' is not an object")),
+        };
+        if ph == Phase::Meta && name == "dropped-records" {
+            journal.dropped +=
+                v.get("fields").and_then(|f| f.get("dropped")).and_then(Value::as_u64).unwrap_or(0);
+        }
+        journal.records.push(JournalRecord { ts_us, tid, phase: ph, name, fields });
+    }
+    Ok(journal)
+}
+
+/// The outcome of structural validation.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Total records examined.
+    pub records: usize,
+    /// Spans that opened and closed correctly.
+    pub matched_spans: usize,
+    /// Every structural violation found (empty means valid).
+    pub errors: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True when no violations were found.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Structurally validate a journal:
+///
+/// 1. per-thread timestamps are non-decreasing,
+/// 2. per-thread `Begin`/`End` records nest properly with matching
+///    names (threads are independent stacks — spans never migrate),
+/// 3. no thread ends with an open span,
+/// 4. the collector dropped nothing (a truncated journal cannot be
+///    certified).
+#[must_use]
+pub fn validate(journal: &Journal) -> ValidationReport {
+    let mut report =
+        ValidationReport { records: journal.records.len(), ..ValidationReport::default() };
+    let mut stacks: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u32, u64> = BTreeMap::new();
+    for (idx, rec) in journal.records.iter().enumerate() {
+        let lineno = idx + 1;
+        if let Some(&prev) = last_ts.get(&rec.tid) {
+            if rec.ts_us < prev {
+                report.errors.push(format!(
+                    "record {lineno}: tid {} time went backwards ({} -> {})",
+                    rec.tid, prev, rec.ts_us
+                ));
+            }
+        }
+        last_ts.insert(rec.tid, rec.ts_us);
+        match rec.phase {
+            Phase::Begin => stacks.entry(rec.tid).or_default().push(&rec.name),
+            Phase::End => match stacks.entry(rec.tid).or_default().pop() {
+                Some(open) if open == rec.name => report.matched_spans += 1,
+                Some(open) => report.errors.push(format!(
+                    "record {lineno}: tid {} closes '{}' but '{open}' is open",
+                    rec.tid, rec.name
+                )),
+                None => report.errors.push(format!(
+                    "record {lineno}: tid {} closes '{}' with no span open",
+                    rec.tid, rec.name
+                )),
+            },
+            Phase::Event | Phase::Meta => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            report
+                .errors
+                .push(format!("tid {tid}: span '{open}' never closed ({} left open)", stack.len()));
+        }
+    }
+    if journal.dropped > 0 {
+        report
+            .errors
+            .push(format!("collector dropped {} records; journal is truncated", journal.dropped));
+    }
+    report
+}
+
+/// Durations (µs) of every completed span named `name`, matched
+/// per-thread in nesting order.
+#[must_use]
+pub fn span_durations_us(journal: &Journal, name: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut stacks: BTreeMap<u32, Vec<(String, u64)>> = BTreeMap::new();
+    for rec in &journal.records {
+        match rec.phase {
+            Phase::Begin => stacks.entry(rec.tid).or_default().push((rec.name.clone(), rec.ts_us)),
+            Phase::End => {
+                if let Some((open, t0)) = stacks.entry(rec.tid).or_default().pop() {
+                    if open == rec.name && open == name {
+                        out.push(rec.ts_us.saturating_sub(t0));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Per-name counts: (spans completed, instant events).
+#[must_use]
+pub fn name_counts(journal: &Journal) -> BTreeMap<String, (usize, usize)> {
+    let mut out: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for rec in &journal.records {
+        let entry = out.entry(rec.name.clone()).or_default();
+        match rec.phase {
+            Phase::End => entry.0 += 1,
+            Phase::Event => entry.1 += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A human-readable summary: record/span/event counts per name plus
+/// total span time.
+#[must_use]
+pub fn summarize(journal: &Journal) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("records: {}  (dropped: {})\n", journal.records.len(), journal.dropped));
+    out.push_str("name                      spans   events   total_ms\n");
+    for (name, (spans, events)) in name_counts(journal) {
+        let total_ms =
+            span_durations_us(journal, &name).iter().fold(0.0, |acc, &d| acc + d as f64 / 1e3);
+        out.push_str(&format!("{name:<25} {spans:>5} {events:>8} {total_ms:>10.3}\n"));
+    }
+    out
+}
+
+/// Compare two journals by per-name span/event counts. Returns the
+/// lines that differ (empty means the journals agree structurally).
+#[must_use]
+pub fn diff(a: &Journal, b: &Journal) -> Vec<String> {
+    let ca = name_counts(a);
+    let cb = name_counts(b);
+    let mut out = Vec::new();
+    for name in ca.keys().chain(cb.keys()) {
+        let va = ca.get(name).copied().unwrap_or((0, 0));
+        let vb = cb.get(name).copied().unwrap_or((0, 0));
+        if va != vb {
+            let line = format!("{name}: spans {} -> {}, events {} -> {}", va.0, vb.0, va.1, vb.1);
+            if !out.contains(&line) {
+                out.push(line);
+            }
+        }
+    }
+    out
+}
+
+/// Render a parsed journal as a Chrome trace-event document — the
+/// offline conversion behind `wcms-trace chrome` (the live path exports
+/// straight from [`crate::recorder::Record`]s via
+/// [`crate::export::chrome_trace`]).
+#[must_use]
+pub fn chrome_from_journal(journal: &Journal) -> String {
+    use crate::json::escape_into;
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(journal.records.len() * 112 + 32);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for rec in &journal.records {
+        let ph = match rec.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Event => "i",
+            Phase::Meta => "M",
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{\"name\":");
+        escape_into(&mut out, &rec.name);
+        let _ = write!(out, ",\"ph\":\"{ph}\",\"ts\":{},\"pid\":1,\"tid\":{}", rec.ts_us, rec.tid);
+        if rec.phase == Phase::Event {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !rec.fields.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in rec.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, key);
+                out.push(':');
+                write_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    use crate::json::escape_into;
+    use std::fmt::Write as _;
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Value::Str(s) => escape_into(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, v);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Perf-baseline statistics derived from one journal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchStats {
+    /// Completed `cell` spans.
+    pub cells: usize,
+    /// Median cell latency in seconds.
+    pub cell_latency_median_s: f64,
+    /// 95th-percentile cell latency in seconds.
+    pub cell_latency_p95_s: f64,
+    /// Sum of `merge_steps` over all `round-counters` events.
+    pub total_merge_steps: u64,
+    /// Sum of `extra_cycles` over all `round-counters` events.
+    pub total_conflict_extra_cycles: u64,
+    /// Number of `round-counters` events (rounds observed).
+    pub rounds: u64,
+    /// Duration of the outermost `sweep` span in seconds (0 if absent).
+    pub wall_s: f64,
+}
+
+impl BenchStats {
+    /// Mean conflict extra-cycles per observed round.
+    #[must_use]
+    pub fn conflicts_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_conflict_extra_cycles as f64 / self.rounds as f64
+        }
+    }
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64 / 1e6
+}
+
+/// Derive [`BenchStats`] from a journal produced by a traced sweep.
+#[must_use]
+pub fn bench_stats(journal: &Journal) -> BenchStats {
+    let mut cell_durs = span_durations_us(journal, "cell");
+    cell_durs.sort_unstable();
+    let mut stats = BenchStats {
+        cells: cell_durs.len(),
+        cell_latency_median_s: percentile_us(&cell_durs, 0.5),
+        cell_latency_p95_s: percentile_us(&cell_durs, 0.95),
+        ..BenchStats::default()
+    };
+    for rec in &journal.records {
+        if rec.phase == Phase::Event && rec.name == "round-counters" {
+            stats.rounds += 1;
+            stats.total_merge_steps +=
+                rec.field("merge_steps").and_then(Value::as_u64).unwrap_or(0);
+            stats.total_conflict_extra_cycles +=
+                rec.field("extra_cycles").and_then(Value::as_u64).unwrap_or(0);
+        }
+    }
+    stats.wall_s =
+        span_durations_us(journal, "sweep").iter().copied().max().unwrap_or(0) as f64 / 1e6;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(ts: u64, tid: u32, ph: char, name: &str, fields: &str) -> String {
+        if fields.is_empty() {
+            format!(r#"{{"ts":{ts},"tid":{tid},"ph":"{ph}","name":"{name}"}}"#)
+        } else {
+            format!(r#"{{"ts":{ts},"tid":{tid},"ph":"{ph}","name":"{name}","fields":{fields}}}"#)
+        }
+    }
+
+    fn good_journal() -> Journal {
+        let text = [
+            line(0, 1, 'B', "sweep", ""),
+            line(1, 2, 'B', "cell", ""),
+            line(2, 2, 'I', "round-counters", r#"{"merge_steps":10,"extra_cycles":3}"#),
+            line(5, 2, 'E', "cell", ""),
+            line(6, 2, 'B', "cell", ""),
+            line(7, 2, 'I', "round-counters", r#"{"merge_steps":20,"extra_cycles":5}"#),
+            line(9, 2, 'E', "cell", ""),
+            line(10, 1, 'E', "sweep", ""),
+        ]
+        .join("\n");
+        parse_journal(&text).unwrap()
+    }
+
+    #[test]
+    fn well_formed_journal_validates() {
+        let j = good_journal();
+        let report = validate(&j);
+        assert!(report.is_ok(), "{:?}", report.errors);
+        assert_eq!(report.matched_spans, 3);
+    }
+
+    #[test]
+    fn unbalanced_and_misnamed_spans_are_caught() {
+        let open = parse_journal(&line(0, 1, 'B', "sweep", "")).unwrap();
+        assert!(!validate(&open).is_ok());
+
+        let wrong = parse_journal(&[line(0, 1, 'B', "a", ""), line(1, 1, 'E', "b", "")].join("\n"))
+            .unwrap();
+        assert!(validate(&wrong).errors[0].contains("closes 'b' but 'a' is open"));
+
+        let orphan = parse_journal(&line(0, 1, 'E', "a", "")).unwrap();
+        assert!(validate(&orphan).errors[0].contains("no span open"));
+    }
+
+    #[test]
+    fn time_reversal_is_caught_per_thread() {
+        let j = parse_journal(&[line(5, 1, 'I', "a", ""), line(3, 1, 'I', "a", "")].join("\n"))
+            .unwrap();
+        assert!(validate(&j).errors[0].contains("time went backwards"));
+        // Different threads are independent streams.
+        let ok = parse_journal(&[line(5, 1, 'I', "a", ""), line(3, 2, 'I', "a", "")].join("\n"))
+            .unwrap();
+        assert!(validate(&ok).is_ok());
+    }
+
+    #[test]
+    fn dropped_records_fail_validation() {
+        let j = parse_journal(
+            &[line(0, 1, 'I', "a", ""), line(0, 0, 'M', "dropped-records", r#"{"dropped":3}"#)]
+                .join("\n"),
+        )
+        .unwrap();
+        assert_eq!(j.dropped, 3);
+        assert!(validate(&j).errors[0].contains("dropped 3"));
+    }
+
+    #[test]
+    fn bench_stats_aggregate_cells_and_rounds() {
+        let stats = bench_stats(&good_journal());
+        assert_eq!(stats.cells, 2);
+        assert_eq!(stats.total_merge_steps, 30);
+        assert_eq!(stats.total_conflict_extra_cycles, 8);
+        assert_eq!(stats.rounds, 2);
+        assert!((stats.wall_s - 10e-6).abs() < 1e-12);
+        // Durations 4 and 3 µs -> sorted [3, 4]; median rank rounds up.
+        assert!((stats.cell_latency_median_s - 4e-6).abs() < 1e-12 * 10.0, "{stats:?}");
+        assert!((stats.conflicts_per_round() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_reports_count_changes() {
+        let a = good_journal();
+        let b =
+            parse_journal(&[line(0, 1, 'B', "sweep", ""), line(1, 1, 'E', "sweep", "")].join("\n"))
+                .unwrap();
+        let d = diff(&a, &b);
+        assert!(d.iter().any(|l| l.starts_with("cell:")), "{d:?}");
+        assert!(d.iter().any(|l| l.starts_with("round-counters:")), "{d:?}");
+        assert!(diff(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn summarize_names_every_record_kind() {
+        let text = summarize(&good_journal());
+        assert!(text.contains("records: 8"));
+        assert!(text.contains("cell"));
+        assert!(text.contains("round-counters"));
+    }
+
+    #[test]
+    fn chrome_conversion_preserves_every_record() {
+        let j = good_journal();
+        let doc = crate::json::parse(&chrome_from_journal(&j)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), j.records.len());
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(events[2].get("args").unwrap().get("merge_steps").unwrap().as_u64(), Some(10));
+        assert_eq!(events[2].get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let err = parse_journal("{\"ts\":1}\n{nope").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

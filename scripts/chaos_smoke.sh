@@ -16,13 +16,31 @@ cd "$(dirname "$0")/.."
 command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
 
 cargo build --release -p wcms-bench --bin fig4 --bin chaos
+cargo build --release -p wcms-obs --bin wcms-trace
 
 CHAOS=target/release/chaos
-for bin in "$CHAOS" target/release/fig4; do
+FIG4=target/release/fig4
+TRACE=target/release/wcms-trace
+for bin in "$CHAOS" "$FIG4" "$TRACE"; do
     [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
 done
 
 "$CHAOS" --cycles 5 --jobs 4
 "$CHAOS" --cycles 2 --jobs 4 --backend analytic
+
+# A killed-and-resumed sweep must still produce a structurally valid
+# trace: kill a checkpointing parallel sweep mid-flight, resume it with
+# `--trace`, and validate the resumed run's journal (balanced spans,
+# monotonic time, nothing dropped) — cached cells included.
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+"$FIG4" --quick --jobs 4 --checkpoint-dir "$SCRATCH/ckpt" > /dev/null 2>&1 &
+VICTIM=$!
+sleep 0.1
+kill -9 "$VICTIM" 2>/dev/null || true  # it may already have finished
+wait "$VICTIM" 2>/dev/null || true
+"$FIG4" --quick --jobs 4 --checkpoint-dir "$SCRATCH/ckpt" --resume \
+    --trace "$SCRATCH/resume.jsonl" > /dev/null
+"$TRACE" validate "$SCRATCH/resume.jsonl"
 
 echo "chaos smoke passed"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf baseline from a traced sweep: run the quick fig4 grid with
+# `--trace`, validate the journal, and derive BENCH_obs.json (cells,
+# cell-latency median/p95, total merge steps, conflicts per round, wall
+# seconds) with `wcms-trace bench`. Then run the obs_overhead Criterion
+# bench and surface its `# obs-overhead` line, whose `disabled_pct`
+# must stay under the 1% zero-cost bar.
+#
+# Usage: ./scripts/perf_baseline.sh [output.json]   (default BENCH_obs.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
+
+OUT=${1:-BENCH_obs.json}
+
+cargo build --release -p wcms-bench --bin fig4
+cargo build --release -p wcms-obs --bin wcms-trace
+
+FIG4=target/release/fig4
+TRACE=target/release/wcms-trace
+for bin in "$FIG4" "$TRACE"; do
+    [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
+done
+
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+# One traced parallel sweep; the CSV goes to the scratch dir (the
+# journal and metrics snapshot are what this script is after).
+"$FIG4" --quick --jobs 4 \
+    --trace "$SCRATCH/fig4.jsonl" \
+    --metrics "$SCRATCH/fig4.prom" \
+    > "$SCRATCH/fig4.csv"
+
+"$TRACE" validate "$SCRATCH/fig4.jsonl"
+"$TRACE" bench "fig4-quick-jobs4=$SCRATCH/fig4.jsonl" -o "$OUT"
+
+# The overhead bench: three instrumentation levels over the analytic
+# fig4 sweep, plus a direct best-of-reps comparison on stderr.
+cargo bench -p wcms-bench --bench obs_overhead 2>&1 | tee "$SCRATCH/overhead.log"
+grep -m1 '^# obs-overhead' "$SCRATCH/overhead.log" || {
+    echo "error: obs_overhead bench did not print its summary line" >&2
+    exit 1
+}
+
+echo "perf baseline written to $OUT"
