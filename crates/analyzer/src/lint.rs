@@ -5,7 +5,7 @@
 //! (preserving byte offsets and newlines), tracks `#[cfg(test)] mod`
 //! regions by brace depth, and then matches *whole identifiers* — so
 //! `.unwrap_or(..)` is never confused with `.unwrap()` the way a naive
-//! regex would. Three rules:
+//! regex would. Five rules:
 //!
 //! * `panic-path` — `.unwrap()` / `.expect()` (and the `_err` duals) and
 //!   the `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros
@@ -24,6 +24,13 @@
 //!   a bare `eprintln!` scrolls away. The obs crate itself (it
 //!   implements `warn`) and `bin/` entry points (their stderr *is* the
 //!   user interface) are exempt by path.
+//! * `socket-without-deadline` — a file that names `TcpStream` or
+//!   `TcpListener` outside tests but never arms a timeout
+//!   (`set_read_timeout` / `set_write_timeout`, or the serve crate's
+//!   `apply_deadlines` helper which wraps both). A socket without
+//!   deadlines lets one stalled peer pin a blocking worker forever —
+//!   the failure mode `wcms-serve` is built to exclude. File-scoped:
+//!   the first socket token is flagged once per file.
 //!
 //! Findings can be allowed by an explicit allowlist file: one entry per
 //! line, `rule path reason…`, the reason mandatory. Unused entries are
@@ -460,6 +467,13 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
         });
     };
 
+    // File-scoped socket rule state: the first socket type named
+    // outside tests, and whether ANY deadline-arming identifier appears
+    // (helpers may arm deadlines inside a test-exempt region or a
+    // dedicated function, so the satisfier is file-wide).
+    let mut first_socket: Option<(usize, &'static str)> = None;
+    let mut arms_deadline = false;
+
     let mut i = 0;
     while i < masked.len() {
         let c = masked[i];
@@ -469,7 +483,17 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
         }
         let end = skip_identifier(&masked, i);
         let ident = std::str::from_utf8(&masked[i..end]).unwrap_or("");
+        if matches!(ident, "set_read_timeout" | "set_write_timeout" | "apply_deadlines") {
+            arms_deadline = true;
+        }
         if !in_test(i) {
+            if first_socket.is_none() {
+                if ident == "TcpStream" {
+                    first_socket = Some((i, "TcpStream"));
+                } else if ident == "TcpListener" {
+                    first_socket = Some((i, "TcpListener"));
+                }
+            }
             if PANIC_METHODS.contains(&ident)
                 && prev_nonspace(&masked, i) == Some(b'.')
                 && next_nonspace(&masked, end) == Some(b'(')
@@ -491,6 +515,11 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
             }
         }
         i = end;
+    }
+    if let Some((off, name)) = first_socket {
+        if !arms_deadline {
+            push("socket-without-deadline", off, name.to_string());
+        }
     }
     findings
 }
@@ -653,6 +682,50 @@ mod tests {
         assert!(lint_source("crates/bench/src/bin/chaos.rs", src, false).is_empty());
         // Test code is exempt like every other rule.
         assert!(lint_source("crates/bench/tests/t.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn sockets_without_deadlines_are_flagged_once_per_file() {
+        let src = concat!(
+            "use std::net::TcpStream;\n",
+            "fn f(a: &str) { let s = TcpStream::connect(a); let _ = s; }\n",
+        );
+        let fs = lint_source("a.rs", src, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "socket-without-deadline");
+        assert_eq!(fs[0].line, 1, "first token only: {fs:?}");
+        assert_eq!(fs[0].snippet, "TcpStream");
+
+        // Arming either direction anywhere in the file satisfies the rule,
+        // as does routing through the serve crate's helper.
+        let armed = format!("{src}fn g(s: &TcpStream) {{ let _ = s.set_read_timeout(None); }}\n");
+        assert!(
+            lint_source("a.rs", &armed, false).is_empty(),
+            "{:?}",
+            lint_source("a.rs", &armed, false)
+        );
+        let helper = format!("{src}fn g(s: &TcpStream) {{ apply_deadlines(s, R, W).ok(); }}\n");
+        assert!(lint_source("a.rs", &helper, false).is_empty());
+
+        // Listeners count too, and test code is exempt.
+        let listener = "fn f() { let l = std::net::TcpListener::bind(\"x\"); let _ = l; }\n";
+        let fs = lint_source("a.rs", listener, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].snippet, "TcpListener");
+        assert!(lint_source("crates/serve/tests/t.rs", listener, true).is_empty());
+    }
+
+    #[test]
+    fn deadline_armed_only_in_tests_still_satisfies_the_socket_rule() {
+        // The arming identifier may live in a #[cfg(test)] helper —
+        // the rule is about the file knowing the concept at all, and a
+        // masked-region satisfier must not force an allowlist entry.
+        let src = concat!(
+            "use std::net::TcpStream;\n",
+            "fn f(s: &TcpStream) { crate::deadline::apply_deadlines(s, R, W).ok(); }\n",
+            "#[cfg(test)]\nmod tests { fn t() { let _ = super::f; } }\n",
+        );
+        assert!(lint_source("a.rs", src, false).is_empty());
     }
 
     #[test]

@@ -32,6 +32,11 @@ use crate::checkpoint::{CellResult, CheckpointStore, LoadOutcome};
 use crate::experiment::Measurement;
 use crate::series::Series;
 
+/// Ceiling on a single retry sleep. The exponential series doubles per
+/// attempt; saturating here keeps a generous base backoff from turning
+/// into effectively-infinite sleeps (or a `Duration` overflow panic).
+pub const MAX_RETRY_BACKOFF: Duration = Duration::from_secs(300);
+
 /// Retry/timeout/checkpoint policy for a sweep.
 #[derive(Debug, Clone)]
 pub struct ResilienceConfig {
@@ -45,7 +50,8 @@ pub struct ResilienceConfig {
     pub retries: usize,
     /// Base backoff between attempts (attempt `k` waits
     /// `backoff × 2^(k-2)` — exponential, so a struggling cell backs
-    /// off fast without stalling the happy path).
+    /// off fast without stalling the happy path, capped at
+    /// [`MAX_RETRY_BACKOFF`] per sleep).
     pub backoff: Duration,
     /// Checkpoint store for resume; `None` disables persistence.
     pub checkpoint: Option<CheckpointStore>,
@@ -376,8 +382,16 @@ where
                 // Exponential: 1×, 2×, 4×, … of the base backoff. The
                 // sleep goes through the policy's clock, so tests on a
                 // virtual clock observe the full delay without blocking.
+                // Saturate: `Duration * u32` panics on overflow, and even
+                // below that an uncapped doubling series turns a generous
+                // retry budget into hour-long sleeps.
                 let factor = 1u32 << (attempt as u32 - 2).min(16);
-                cfg.obs.clock.sleep(cfg.backoff * factor);
+                let delay = cfg
+                    .backoff
+                    .checked_mul(factor)
+                    .unwrap_or(MAX_RETRY_BACKOFF)
+                    .min(MAX_RETRY_BACKOFF);
+                cfg.obs.clock.sleep(delay);
             }
         }
         let token = CancelToken::new(cell);
@@ -691,6 +705,31 @@ mod tests {
         // 60 + 120 + 240 = 420 virtual seconds of backoff elapsed.
         let virtual_s = clock.elapsed_s(t0);
         assert!(virtual_s >= 420.0, "full virtual backoff observed, got {virtual_s}");
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_instead_of_doubling_forever() {
+        let obs = wcms_obs::Obs::enabled(wcms_obs::Clock::virtual_us(1));
+        let clock = obs.clock.clone();
+        // A base already above the cap: every retry must sleep exactly
+        // MAX_RETRY_BACKOFF, and the doubling series must not overflow
+        // the Duration multiply.
+        let cfg = ResilienceConfig {
+            retries: 20,
+            backoff: Duration::from_secs(1_000_000_000_000),
+            obs,
+            ..ResilienceConfig::none()
+        };
+        let t0 = clock.now_us();
+        let _ = run_cell("cap", &cfg, |_| -> Result<Measurement, WcmsError> {
+            Err(WcmsError::ZeroParam { name: "w" })
+        });
+        let slept = clock.elapsed_s(t0);
+        let cap_total = MAX_RETRY_BACKOFF.as_secs_f64() * 20.0;
+        assert!(
+            (slept - cap_total).abs() < cap_total * 0.01,
+            "20 capped sleeps of {MAX_RETRY_BACKOFF:?} expected, observed {slept} s"
+        );
     }
 
     #[test]

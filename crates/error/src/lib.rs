@@ -224,6 +224,24 @@ pub enum WcmsError {
         got: usize,
     },
 
+    /// A service shed this request because its admission queue is
+    /// full. This is flow control, not failure: the caller should back
+    /// off for roughly `retry_after_ms` and retry.
+    Overloaded {
+        /// Jobs already queued when the request was rejected.
+        queue_depth: usize,
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+
+    /// A wire frame or protocol document failed validation: oversized
+    /// or truncated frame, unparsable request, unknown operation.
+    /// Hostile bytes on a socket must become this, never a panic.
+    WireMalformed {
+        /// What the protocol validator found.
+        reason: String,
+    },
+
     /// An underlying I/O error (dataset or checkpoint files).
     Io(std::io::Error),
 }
@@ -298,6 +316,12 @@ impl fmt::Display for WcmsError {
             WcmsError::BufferMismatch { what, need, got } => {
                 write!(f, "buffer mismatch: {what} needs {need} entries, caller supplied {got}")
             }
+            WcmsError::Overloaded { queue_depth, retry_after_ms } => write!(
+                f,
+                "overloaded: admission queue full at depth {queue_depth}; \
+                 retry after {retry_after_ms} ms"
+            ),
+            WcmsError::WireMalformed { reason } => write!(f, "malformed wire data: {reason}"),
             WcmsError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -358,6 +382,16 @@ mod tests {
         assert!(e.to_string().contains("fig4/wc/4096"), "{e}");
         let e = WcmsError::CellPanicked { cell: "fig4/wc/4096".into(), payload: "boom".into() };
         assert!(e.to_string().contains("boom"), "{e}");
+    }
+
+    #[test]
+    fn serving_errors_carry_actionable_detail() {
+        let e = WcmsError::Overloaded { queue_depth: 64, retry_after_ms: 250 };
+        let msg = e.to_string();
+        assert!(msg.contains("64") && msg.contains("250"), "{msg}");
+
+        let e = WcmsError::WireMalformed { reason: "declared frame length 3000000000".into() };
+        assert!(e.to_string().contains("3000000000"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! `wcms-load` — open-loop load generator and protocol probe for
+//! `wcms-serve`.
+//!
+//! Load mode (default): offer a fixed arrival rate for a fixed
+//! duration, then print the `BENCH_serve.json` document (and write it
+//! with `--out`). The run fails if the daemon is unreachable; shed and
+//! errored calls are counted in the report, not fatal.
+//!
+//! Probe mode: `--probe '<request json>'` sends exactly one request and
+//! prints the raw response payload to stdout — the chaos harness uses
+//! this for byte-identity comparisons across daemon restarts.
+//!
+//! Usage: `wcms-load --addr <host:port> [--rps <r>] [--duration-s <s>]
+//!   [--connections <n>] [--distinct <k>] [--w <w>] [--e <e>] [--b <b>]
+//!   [--n <len>] [--deadline-ms <ms>] [--seed <s>] [--out <path>]
+//!   [--probe <json>]`
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use wcms_error::WcmsError;
+use wcms_obs::MetricsRegistry;
+use wcms_serve::load::{run_load, Client, LoadOptions};
+use wcms_serve::wire::Tuning;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wcms-load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bad(msg: String) -> WcmsError {
+    WcmsError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WcmsError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            args.get(i + 1).cloned().map(Some).ok_or_else(|| bad(format!("{flag} needs a value")))
+        }
+    }
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, WcmsError> {
+    flag_value(args, flag)?
+        .map_or(Ok(default), |v| v.parse().map_err(|_| bad(format!("bad {flag}: {v}"))))
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, WcmsError> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| bad(format!("--addr {addr} resolves to nothing")))
+}
+
+fn run() -> Result<(), WcmsError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr =
+        resolve(&flag_value(&args, "--addr")?.ok_or_else(|| bad("--addr is required".into()))?)?;
+    let deadline = Duration::from_millis(parse_or(&args, "--deadline-ms", 10_000u64)?);
+
+    if let Some(request) = flag_value(&args, "--probe")? {
+        let mut client = Client::connect(addr, deadline)?;
+        println!("{}", client.call_text(&request)?);
+        return Ok(());
+    }
+
+    let defaults = LoadOptions::default();
+    let w = parse_or(&args, "--w", defaults.tuning.w)?;
+    let e = parse_or(&args, "--e", defaults.tuning.e)?;
+    let b = parse_or(&args, "--b", defaults.tuning.b)?;
+    let opts = LoadOptions {
+        rate_rps: parse_or(&args, "--rps", defaults.rate_rps)?,
+        duration: Duration::from_secs_f64(parse_or(&args, "--duration-s", 5.0f64)?),
+        connections: parse_or(&args, "--connections", defaults.connections)?,
+        distinct: parse_or(&args, "--distinct", defaults.distinct)?,
+        tuning: Tuning { w, e, b },
+        n: parse_or(&args, "--n", b * e * 2)?,
+        call_deadline: deadline,
+        run_seed: parse_or(&args, "--seed", defaults.run_seed)?,
+    };
+
+    let metrics = MetricsRegistry::new();
+    let report = run_load(addr, &opts, &metrics)?;
+    let json = report.to_json();
+    println!("{json}");
+    eprintln!(
+        "# {} ok / {} sent at {:.1} jobs/s; p50 {:.2} ms, p99 {:.2} ms; \
+         cache cold {:.2} ms vs warm {:.2} ms ({:.0}x)",
+        report.ok,
+        report.sent,
+        report.achieved_rps,
+        report.latency.p50_ms,
+        report.latency.p99_ms,
+        report.cold_ms,
+        report.warm_ms,
+        report.cache_speedup,
+    );
+    if let Some(path) = flag_value(&args, "--out")? {
+        std::fs::write(path, format!("{json}\n"))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The `wcms-serve` daemon: a crash-only adversarial-input service.
+//!
+//! Binds a TCP listener, recovers the job journal left by the previous
+//! incarnation, then serves `generate`/`measure`/`grid`/`status`/
+//! `health` until killed. There is deliberately no shutdown handling:
+//! SIGKILL is the supported stop, and the journal + result cache are
+//! the only state the next start trusts. Metrics surface through the
+//! `status` request (a crash-only process has no exit hook to flush a
+//! file from).
+//!
+//! Usage: `wcms-serve [--addr <host:port>] [--workers <n>]
+//!   [--conn-workers <n>] [--queue-cap <n>] [--conn-backlog <n>]
+//!   [--cache-dir <dir>] [--journal-dir <dir>] [--max-budget-ms <ms>]
+//!   [--read-deadline-ms <ms>] [--write-deadline-ms <ms>]
+//!   [--est-job-ms <ms>]`
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the daemon prints
+//! `listening on <resolved addr>` on stdout so scripts can scrape it.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use wcms_error::{CancelToken, WcmsError};
+use wcms_serve::server::{serve, ServerConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wcms-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bad(msg: String) -> WcmsError {
+    WcmsError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WcmsError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            args.get(i + 1).cloned().map(Some).ok_or_else(|| bad(format!("{flag} needs a value")))
+        }
+    }
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, WcmsError> {
+    flag_value(args, flag)?
+        .map_or(Ok(default), |v| v.parse().map_err(|_| bad(format!("bad {flag}: {v}"))))
+}
+
+fn run() -> Result<(), WcmsError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7433".into());
+    let cache_dir = flag_value(&args, "--cache-dir")?.unwrap_or_else(|| "state/serve/cache".into());
+    let journal_dir =
+        flag_value(&args, "--journal-dir")?.unwrap_or_else(|| "state/serve/journal".into());
+
+    let mut cfg = ServerConfig::new(cache_dir, journal_dir);
+    cfg.workers = parse_or(&args, "--workers", cfg.workers)?;
+    cfg.conn_workers = parse_or(&args, "--conn-workers", cfg.conn_workers)?;
+    cfg.queue_cap = parse_or(&args, "--queue-cap", cfg.queue_cap)?;
+    cfg.conn_backlog = parse_or(&args, "--conn-backlog", cfg.conn_backlog)?;
+    cfg.est_job_ms = parse_or(&args, "--est-job-ms", cfg.est_job_ms)?;
+    cfg.max_budget = Duration::from_millis(parse_or(
+        &args,
+        "--max-budget-ms",
+        cfg.max_budget.as_millis() as u64,
+    )?);
+    cfg.read_deadline = Duration::from_millis(parse_or(
+        &args,
+        "--read-deadline-ms",
+        cfg.read_deadline.as_millis() as u64,
+    )?);
+    cfg.write_deadline = Duration::from_millis(parse_or(
+        &args,
+        "--write-deadline-ms",
+        cfg.write_deadline.as_millis() as u64,
+    )?);
+
+    let listener = TcpListener::bind(&addr)?;
+    println!("listening on {}", listener.local_addr()?);
+    // A daemon has no clean stop: the token below never fires, and the
+    // journal + cache carry everything a SIGKILL interrupts.
+    serve(&listener, cfg, &CancelToken::never())
+}

@@ -1,0 +1,838 @@
+//! The blocking daemon: accept loop, connection workers, compute
+//! workers, and the request lifecycle connecting them.
+//!
+//! ```text
+//!                    accept loop (bounded hand-off, sheds on full)
+//!                        │
+//!                conn workers ──(read frame, deadline-armed socket)
+//!                        │
+//!          status/health ┤  compute requests
+//!           answered     │      │
+//!           inline       │   result cache ──hit──▶ cached bytes
+//!                        │      │ miss
+//!                        │   job journal (queued, durable)
+//!                        │      │
+//!                        │   admission queue ──full──▶ Overloaded
+//!                        │      │
+//!                compute workers: journal(running) → supervise_cell
+//!                        │      (budget → CancelToken → demotion ladder)
+//!                        │   cache.store → journal.complete → reply
+//! ```
+//!
+//! There is no clean-shutdown path: SIGKILL is the normal stop, and the
+//! journal + cache are the only state the next incarnation trusts
+//! (crash-only, like the PR-3 sweep supervisor this reuses). The
+//! in-process `ctrl` token exists so tests can stop an embedded server;
+//! it does no state finalisation a crash would skip.
+
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use wcms_bench::experiment::{measure_traced, SweepConfig};
+use wcms_bench::resilient::ResilienceConfig;
+use wcms_bench::supervisor::{run_sweep, supervise_cell, SweepOptions};
+use wcms_error::{CancelToken, WcmsError};
+use wcms_gpu_sim::DeviceSpec;
+use wcms_mergesort::SortParams;
+use wcms_obs::Obs;
+
+use crate::admission::AdmissionQueue;
+use crate::cache::{CacheOutcome, ResultCache};
+use crate::deadline::{
+    apply_deadlines, clamp_budget, DEFAULT_READ_DEADLINE, DEFAULT_WRITE_DEADLINE,
+};
+use crate::journal::JobJournal;
+use crate::wire::{
+    read_frame, write_frame, Request, Response, StatusBody, MAX_INLINE_KEYS, MAX_REQUEST_FRAME,
+    MAX_RESPONSE_FRAME, PROTOCOL_VERSION,
+};
+
+/// Largest size-grid exponent a `grid` request may ask for (`n = bE·2^m`
+/// overflows usize far above this; the cap keeps one request from
+/// asking for a year of work).
+pub const MAX_DOUBLINGS: u32 = 24;
+
+/// Everything the daemon needs to know about *how* to serve.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Compute worker threads draining the admission queue.
+    pub workers: usize,
+    /// Connection worker threads (each owns one socket at a time).
+    pub conn_workers: usize,
+    /// Bounded hand-off between the accept loop and connection workers;
+    /// a full backlog sheds the connection with `Overloaded`.
+    pub conn_backlog: usize,
+    /// Admission queue capacity (jobs, not connections).
+    pub queue_cap: usize,
+    /// Result cache directory.
+    pub cache_dir: PathBuf,
+    /// Job journal directory.
+    pub journal_dir: PathBuf,
+    /// Per-connection socket read deadline.
+    pub read_deadline: Duration,
+    /// Per-connection socket write deadline.
+    pub write_deadline: Duration,
+    /// Ceiling on client-requested compute budgets (and the default
+    /// when a request carries none).
+    pub max_budget: Duration,
+    /// Estimated per-job cost used for the `Overloaded` retry-after
+    /// hint.
+    pub est_job_ms: u64,
+    /// Observability bundle (metrics always on; tracing optional).
+    pub obs: Obs,
+}
+
+impl ServerConfig {
+    /// Defaults for the given state directories.
+    #[must_use]
+    pub fn new(cache_dir: impl Into<PathBuf>, journal_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            workers: 2,
+            conn_workers: 4,
+            conn_backlog: 16,
+            queue_cap: 64,
+            cache_dir: cache_dir.into(),
+            journal_dir: journal_dir.into(),
+            read_deadline: DEFAULT_READ_DEADLINE,
+            write_deadline: DEFAULT_WRITE_DEADLINE,
+            max_budget: crate::deadline::DEFAULT_BUDGET,
+            est_job_ms: 200,
+            obs: Obs::enabled(wcms_obs::Clock::wall()),
+        }
+    }
+}
+
+/// Resolve a wire device name to a preset.
+#[must_use]
+pub fn resolve_device(name: &str) -> Option<DeviceSpec> {
+    match name {
+        "test" | "test-device" => Some(DeviceSpec::test_device()),
+        "quadro_m4000" => Some(DeviceSpec::quadro_m4000()),
+        "rtx_2080_ti" => Some(DeviceSpec::rtx_2080_ti()),
+        "gtx_770" => Some(DeviceSpec::gtx_770()),
+        other => DeviceSpec::presets().into_iter().find(|d| d.name == other),
+    }
+}
+
+/// One admitted compute job.
+struct Job {
+    id: u64,
+    request: Request,
+    req_text: String,
+    key: String,
+    budget: Duration,
+    reply: mpsc::SyncSender<String>,
+    token: CancelToken,
+}
+
+struct Server {
+    cfg: ServerConfig,
+    cache: ResultCache,
+    journal: JobJournal,
+    queue: AdmissionQueue<Job>,
+    inflight: AtomicU64,
+    start_us: u64,
+}
+
+fn error_response(kind: &str, message: String) -> Response {
+    Response::Error { kind: kind.into(), message }
+}
+
+impl Server {
+    fn count(&self, name: &str) {
+        self.cfg.obs.metrics.counter(name).inc();
+    }
+
+    fn counter_value(&self, name: &str) -> u64 {
+        self.cfg.obs.metrics.counter(name).get()
+    }
+
+    /// Execute a compute request to completion (or typed failure).
+    /// Pure given the request — everything nondeterministic (wall
+    /// time, attempt counts under timeouts) is kept out of cacheable
+    /// payloads by [`cacheable`].
+    fn execute(&self, req: &Request, budget: Duration, client: &CancelToken) -> Response {
+        match req {
+            Request::Generate { tuning, n, family, include_data } => {
+                if client.check().is_err() {
+                    return error_response("deadline", "client went away before generation".into());
+                }
+                match family.generate(*n, tuning.w, tuning.e, tuning.b) {
+                    Ok(keys) => Response::Generate {
+                        n: keys.len(),
+                        fingerprint: crate::wire::keys_fingerprint(&keys),
+                        keys: (*include_data && keys.len() <= MAX_INLINE_KEYS).then_some(keys),
+                    },
+                    Err(e) => error_response("compute", e.to_string()),
+                }
+            }
+            Request::Measure { tuning, n, family, runs, backend, device, .. } => {
+                let Some(device) = resolve_device(device) else {
+                    return error_response("bad-request", format!("unknown device `{device}`"));
+                };
+                let params = match SortParams::new(tuning.w, tuning.e, tuning.b) {
+                    Ok(p) => p,
+                    Err(e) => return error_response("bad-request", e.to_string()),
+                };
+                let cell = format!("serve/measure/{n}");
+                let resilience = self.request_resilience(budget);
+                let (family, n, runs, outer) = (*family, *n, *runs, client.clone());
+                let outcome = supervise_cell(&cell, *backend, &resilience, move |rung, token| {
+                    outer.check()?;
+                    measure_traced(&device, &params, family, n, runs, rung, token, Obs::noop())
+                });
+                Response::Measure { cell: outcome.result }
+            }
+            Request::Grid {
+                tuning,
+                family,
+                min_doublings,
+                max_doublings,
+                runs,
+                backend,
+                device,
+                ..
+            } => {
+                let Some(device) = resolve_device(device) else {
+                    return error_response("bad-request", format!("unknown device `{device}`"));
+                };
+                let params = match SortParams::new(tuning.w, tuning.e, tuning.b) {
+                    Ok(p) => p,
+                    Err(e) => return error_response("bad-request", e.to_string()),
+                };
+                if *max_doublings > MAX_DOUBLINGS || min_doublings > max_doublings {
+                    return error_response(
+                        "bad-request",
+                        format!(
+                            "doublings {min_doublings}..{max_doublings} outside 0..{MAX_DOUBLINGS}"
+                        ),
+                    );
+                }
+                let tile = tuning.b * tuning.e;
+                let sizes: Vec<usize> =
+                    (*min_doublings..=*max_doublings).filter_map(|m| tile.checked_shl(m)).collect();
+                let opts = SweepOptions {
+                    sweep: SweepConfig {
+                        min_doublings: *min_doublings,
+                        max_doublings: *max_doublings,
+                        runs: *runs,
+                    },
+                    resilience: self.request_resilience(budget),
+                    backend: *backend,
+                    jobs: 1, // within-request: sequential; across requests: the worker pool
+                };
+                let (family, runs, outer) = (*family, *runs, client.clone());
+                let swept = run_sweep(
+                    sizes,
+                    &opts,
+                    |n| format!("serve/grid/{n}"),
+                    move |n, rung, token| {
+                        outer.check()?;
+                        measure_traced(&device, &params, family, n, runs, rung, token, Obs::noop())
+                    },
+                );
+                Response::Grid {
+                    cells: swept.cells.into_iter().map(|(n, o)| (n, o.result)).collect(),
+                }
+            }
+            Request::Status | Request::Health => {
+                error_response("bad-request", "not a compute request".into())
+            }
+        }
+    }
+
+    /// Per-request supervision policy: the whole client budget bounds
+    /// each attempt, one retry, fast backoff, no checkpointing (the
+    /// cache is the durable layer here).
+    fn request_resilience(&self, budget: Duration) -> ResilienceConfig {
+        ResilienceConfig {
+            timeout: Some(budget),
+            retries: 1,
+            backoff: Duration::from_millis(50),
+            checkpoint: None,
+            obs: self.cfg.obs.clone(),
+            ..ResilienceConfig::none()
+        }
+    }
+
+    fn status_body(&self) -> StatusBody {
+        StatusBody {
+            queue_depth: self.queue.depth() as u64,
+            queue_cap: self.queue.capacity() as u64,
+            inflight: self.inflight.load(Ordering::Relaxed),
+            requests_total: self.counter_value("serve_requests_total"),
+            ok_total: self.counter_value("serve_ok_total"),
+            error_total: self.counter_value("serve_error_total"),
+            overloaded_total: self.counter_value("serve_overloaded_total"),
+            deadline_total: self.counter_value("serve_deadline_total"),
+            cache_hits: self.counter_value("serve_cache_hits"),
+            cache_misses: self.counter_value("serve_cache_misses"),
+            cache_quarantined: self.counter_value("serve_cache_quarantined"),
+            jobs_recovered: self.counter_value("serve_jobs_recovered"),
+            jobs_tombstoned: self.counter_value("serve_jobs_tombstoned"),
+            journal_quarantined: self.counter_value("serve_journal_quarantined"),
+            uptime_s: self.cfg.obs.clock.elapsed_s(self.start_us),
+        }
+    }
+
+    /// Handle one request document end-to-end; returns the response
+    /// payload to frame back.
+    fn dispatch(&self, req_text: &str) -> String {
+        self.count("serve_requests_total");
+        let req = match Request::decode(req_text) {
+            Ok(req) => req,
+            Err(e) => {
+                self.count("serve_error_total");
+                return error_response("bad-request", e.to_string()).encode();
+            }
+        };
+        match &req {
+            // Control-plane ops are answered inline and never shed —
+            // an overloaded daemon must still be observable.
+            Request::Status => {
+                self.count("serve_ok_total");
+                return Response::Status(self.status_body()).encode();
+            }
+            Request::Health => {
+                self.count("serve_ok_total");
+                return Response::Health { version: PROTOCOL_VERSION }.encode();
+            }
+            _ => {}
+        }
+        // canonical_key() is Some for every compute op by construction.
+        let Some(key) = req.canonical_key() else {
+            self.count("serve_error_total");
+            return error_response("bad-request", "request has no canonical key".into()).encode();
+        };
+        match self.cache.lookup(&key) {
+            CacheOutcome::Hit(payload) => {
+                self.count("serve_cache_hits");
+                self.count("serve_ok_total");
+                return payload;
+            }
+            CacheOutcome::Quarantined { reason } => {
+                self.count("serve_cache_quarantined");
+                self.cfg.obs.warn(
+                    "cache-quarantined",
+                    &format!("cache entry for {key} quarantined: {reason}; recomputing"),
+                    Vec::new,
+                );
+            }
+            CacheOutcome::Miss => {}
+        }
+        self.count("serve_cache_misses");
+
+        let budget = match &req {
+            Request::Measure { budget_ms, .. } | Request::Grid { budget_ms, .. } => {
+                clamp_budget(*budget_ms, self.cfg.max_budget)
+            }
+            _ => clamp_budget(None, self.cfg.max_budget),
+        };
+        let id = match self.journal.record_queued(req_text) {
+            Ok(id) => id,
+            Err(e) => {
+                self.count("serve_error_total");
+                return error_response("journal", format!("could not journal the job: {e}"))
+                    .encode();
+            }
+        };
+        let token = CancelToken::new(format!("serve/job-{id:016x}"));
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            id,
+            request: req,
+            req_text: req_text.to_string(),
+            key,
+            budget,
+            reply: reply_tx,
+            token: token.clone(),
+        };
+        if let Err(e) = self.queue.try_submit(job, self.cfg.est_job_ms) {
+            // Never admitted: the journal record would otherwise be
+            // "recovered" after a crash for a job the client was told
+            // was shed.
+            let _ = self.journal.complete(id);
+            return match e {
+                WcmsError::Overloaded { queue_depth, retry_after_ms } => {
+                    self.count("serve_overloaded_total");
+                    Response::Overloaded { retry_after_ms, queue_depth: queue_depth as u64 }
+                        .encode()
+                }
+                other => {
+                    self.count("serve_error_total");
+                    error_response("shutting-down", other.to_string()).encode()
+                }
+            };
+        }
+        // The budget bounds compute; the grace covers queue wait and
+        // reply plumbing. On expiry, cancel the token so the backends'
+        // merge loops stop cooperatively.
+        let wait = budget + self.cfg.max_budget.min(Duration::from_secs(5));
+        match reply_rx.recv_timeout(wait) {
+            Ok(payload) => payload,
+            Err(_) => {
+                token.cancel();
+                self.count("serve_deadline_total");
+                self.count("serve_error_total");
+                error_response("deadline", format!("job {id:016x} exceeded its budget")).encode()
+            }
+        }
+    }
+
+    fn compute_worker(&self) {
+        while let Some(job) = self.queue.pop() {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+            let _ = self.journal.mark_running(job.id, &job.req_text);
+            // The supervision stack already isolates cell panics; this
+            // guard catches bugs in the serve layer itself, because a
+            // daemon worker must never die with jobs queued.
+            let response = catch_unwind(AssertUnwindSafe(|| {
+                self.execute(&job.request, job.budget, &job.token)
+            }))
+            .unwrap_or_else(|_| error_response("compute", "job handler panicked".into()));
+            let payload = response.encode();
+            if cacheable(&response) {
+                self.count("serve_ok_total");
+                if let Err(e) = self.cache.store(&job.key, &payload) {
+                    self.cfg.obs.warn(
+                        "cache-store-failed",
+                        &format!("result for {} not cached: {e}", job.key),
+                        Vec::new,
+                    );
+                }
+            } else {
+                self.count("serve_error_total");
+            }
+            let _ = self.journal.complete(job.id);
+            let _ = job.reply.send(payload); // receiver may have timed out
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn handle_conn(&self, stream: &TcpStream) {
+        if apply_deadlines(stream, self.cfg.read_deadline, self.cfg.write_deadline).is_err() {
+            return;
+        }
+        let mut reader = stream;
+        loop {
+            match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    let Ok(text) = String::from_utf8(payload) else {
+                        let resp = error_response("bad-request", "request is not UTF-8".into());
+                        let _ = self.write_response(stream, &resp.encode());
+                        break;
+                    };
+                    let payload = self.dispatch(&text);
+                    if self.write_response(stream, &payload).is_err() {
+                        break; // slow or dead client: the write deadline fired
+                    }
+                }
+                Err(WcmsError::WireMalformed { reason }) => {
+                    // The stream is desynchronised; answer once, close.
+                    let resp = error_response("bad-request", reason);
+                    let _ = self.write_response(stream, &resp.encode());
+                    break;
+                }
+                Err(_) => break, // read deadline or connection reset
+            }
+        }
+    }
+
+    fn write_response(&self, stream: &TcpStream, payload: &str) -> Result<(), WcmsError> {
+        let mut writer = stream;
+        write_frame(&mut writer, payload.as_bytes(), MAX_RESPONSE_FRAME)
+    }
+
+    /// Re-execute every journaled-but-unstarted job from the previous
+    /// incarnation into the cache, before the listener opens.
+    fn recover(&self) -> Result<(), WcmsError> {
+        let recovery = self.journal.recover()?;
+        self.cfg.obs.metrics.counter("serve_jobs_tombstoned").add(recovery.tombstoned);
+        self.cfg.obs.metrics.counter("serve_journal_quarantined").add(recovery.quarantined);
+        for job in recovery.recovered {
+            let Ok(req) = Request::decode(&job.request) else {
+                // Journaled before the admission-time decode succeeded:
+                // impossible unless the record was tampered with inside
+                // a valid checksum; drop it.
+                let _ = self.journal.complete(job.id);
+                continue;
+            };
+            if let Some(key) = req.canonical_key() {
+                if matches!(self.cache.lookup(&key), CacheOutcome::Miss) {
+                    let budget = self.cfg.max_budget;
+                    let response = self.execute(&req, budget, &CancelToken::never());
+                    if cacheable(&response) {
+                        let _ = self.cache.store(&key, &response.encode());
+                    }
+                }
+                self.cfg.obs.metrics.counter("serve_jobs_recovered").inc();
+            }
+            let _ = self.journal.complete(job.id);
+        }
+        Ok(())
+    }
+}
+
+/// A response worth replaying byte-for-byte later: complete results
+/// only. Budget-starved grids (skipped cells) and typed errors are
+/// answered but never cached — a generous retry must get to recompute
+/// them.
+fn cacheable(response: &Response) -> bool {
+    use wcms_bench::checkpoint::CellResult;
+    let complete = |cell: &CellResult| !matches!(cell, CellResult::Skipped { .. });
+    match response {
+        Response::Generate { .. } => true,
+        Response::Measure { cell } => complete(cell),
+        Response::Grid { cells } => !cells.is_empty() && cells.iter().all(|(_, c)| complete(c)),
+        _ => false,
+    }
+}
+
+/// Run the daemon on `listener` until `ctrl` fires.
+///
+/// Performs journal recovery *before* accepting the first connection,
+/// then serves with `cfg.conn_workers` connection threads and
+/// `cfg.workers` compute threads, all inside one `thread::scope`.
+///
+/// `ctrl` is checked between accepts; tests stop an embedded server by
+/// cancelling it and poking one wake-up connection. The production
+/// binary simply never cancels — SIGKILL is the supported stop.
+///
+/// # Errors
+///
+/// [`WcmsError::Io`] if the state directories cannot be opened or the
+/// journal is unreadable as a directory (individual bad records are
+/// quarantined, not fatal).
+pub fn serve(
+    listener: &TcpListener,
+    cfg: ServerConfig,
+    ctrl: &CancelToken,
+) -> Result<(), WcmsError> {
+    let cache = ResultCache::open(&cfg.cache_dir)?;
+    let journal = JobJournal::open(&cfg.journal_dir)?;
+    let start_us = cfg.obs.clock.now_us();
+    let queue = AdmissionQueue::new(cfg.queue_cap);
+    let server = Server { cfg, cache, journal, queue, inflight: AtomicU64::new(0), start_us };
+    server.recover()?;
+
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(server.cfg.conn_backlog.max(1));
+    let conn_rx = Mutex::new(conn_rx);
+    std::thread::scope(|s| {
+        for _ in 0..server.cfg.workers.max(1) {
+            s.spawn(|| server.compute_worker());
+        }
+        for _ in 0..server.cfg.conn_workers.max(1) {
+            s.spawn(|| loop {
+                let received = {
+                    let guard = conn_rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                match received {
+                    Ok(stream) => server.handle_conn(&stream),
+                    Err(_) => break, // accept loop gone: drain and exit
+                }
+            });
+        }
+        for stream in listener.incoming() {
+            if ctrl.is_cancelled() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if let Err(mpsc::TrySendError::Full(stream)) = conn_tx.try_send(stream) {
+                // Connection backlog full: shed at the door, honestly.
+                server.count("serve_overloaded_total");
+                let resp = Response::Overloaded {
+                    retry_after_ms: crate::admission::retry_after_ms(
+                        server.cfg.conn_backlog,
+                        server.cfg.est_job_ms,
+                    ),
+                    queue_depth: server.queue.depth() as u64,
+                };
+                if apply_deadlines(&stream, server.cfg.read_deadline, server.cfg.write_deadline)
+                    .is_ok()
+                {
+                    let _ = server.write_response(&stream, &resp.encode());
+                }
+            }
+        }
+        drop(conn_tx);
+        server.queue.close();
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Tuning;
+    use std::io::Write;
+    use std::net::SocketAddr;
+    use wcms_workloads::WorkloadSpec;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcms-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_cfg(root: &std::path::Path) -> ServerConfig {
+        let mut cfg = ServerConfig::new(root.join("cache"), root.join("journal"));
+        cfg.read_deadline = Duration::from_secs(5);
+        cfg.write_deadline = Duration::from_secs(5);
+        cfg.max_budget = Duration::from_secs(10);
+        cfg
+    }
+
+    fn roundtrip(addr: SocketAddr, req: &Request) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        apply_deadlines(&stream, Duration::from_secs(10), Duration::from_secs(10)).unwrap();
+        let mut w = &stream;
+        write_frame(&mut w, req.encode().as_bytes(), MAX_REQUEST_FRAME).unwrap();
+        let mut r = &stream;
+        let payload = read_frame(&mut r, MAX_RESPONSE_FRAME).unwrap().unwrap();
+        Response::decode(std::str::from_utf8(&payload).unwrap()).unwrap()
+    }
+
+    fn with_server(cfg: ServerConfig, f: impl FnOnce(SocketAddr)) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ctrl = CancelToken::new("test-server");
+        std::thread::scope(|s| {
+            let handle = {
+                let ctrl = ctrl.clone();
+                let listener = &listener;
+                s.spawn(move || serve(listener, cfg, &ctrl))
+            };
+            // If `f` panics the scope still joins the server thread, so
+            // the shutdown sequence must run unconditionally or the test
+            // hangs in the accept loop instead of reporting the panic.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(addr)));
+            ctrl.cancel();
+            let _ = TcpStream::connect(addr); // wake the accept loop
+            let served = handle.join().unwrap();
+            if let Err(panic) = outcome {
+                std::panic::resume_unwind(panic);
+            }
+            served.unwrap();
+        });
+    }
+
+    fn generate_req() -> Request {
+        Request::Generate {
+            tuning: Tuning { w: 16, e: 3, b: 32 },
+            n: 16 * 3 * 32 * 2,
+            family: WorkloadSpec::WorstCase,
+            include_data: false,
+        }
+    }
+
+    #[test]
+    fn generate_measure_grid_round_trip() {
+        let root = scratch("roundtrip");
+        with_server(quick_cfg(&root), |addr| {
+            match roundtrip(addr, &Request::Health) {
+                Response::Health { version } => assert_eq!(version, PROTOCOL_VERSION),
+                other => unreachable!("{other:?}"),
+            }
+            match roundtrip(addr, &generate_req()) {
+                Response::Generate { n, fingerprint, keys } => {
+                    assert_eq!(n, 16 * 3 * 32 * 2);
+                    assert_ne!(fingerprint, 0);
+                    assert!(keys.is_none());
+                }
+                other => unreachable!("{other:?}"),
+            }
+            let measure = Request::Measure {
+                tuning: Tuning { w: 16, e: 3, b: 32 },
+                n: 16 * 3 * 32 * 2,
+                family: WorkloadSpec::WorstCase,
+                runs: 1,
+                backend: wcms_mergesort::BackendKind::Reference,
+                device: "test".into(),
+                budget_ms: Some(5_000),
+            };
+            match roundtrip(addr, &measure) {
+                Response::Measure { cell } => {
+                    assert!(
+                        matches!(cell, wcms_bench::checkpoint::CellResult::Done(_)),
+                        "{cell:?}"
+                    );
+                }
+                other => unreachable!("{other:?}"),
+            }
+            let grid = Request::Grid {
+                tuning: Tuning { w: 16, e: 3, b: 32 },
+                family: WorkloadSpec::Sorted,
+                min_doublings: 1,
+                max_doublings: 2,
+                runs: 1,
+                backend: wcms_mergesort::BackendKind::Reference,
+                device: "test".into(),
+                budget_ms: Some(5_000),
+            };
+            match roundtrip(addr, &grid) {
+                Response::Grid { cells } => {
+                    assert_eq!(cells.len(), 2);
+                    // Sizes follow the sweep convention: bE * 2^m.
+                    assert_eq!(cells[0].0, 32 * 3 * 2);
+                    assert_eq!(cells[1].0, 32 * 3 * 4);
+                }
+                other => unreachable!("{other:?}"),
+            }
+            match roundtrip(addr, &Request::Status) {
+                Response::Status(body) => {
+                    assert_eq!(body.cache_misses, 3);
+                    assert_eq!(body.jobs_tombstoned, 0);
+                }
+                other => unreachable!("{other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_with_identical_bytes() {
+        let root = scratch("cachehit");
+        with_server(quick_cfg(&root), |addr| {
+            let first = roundtrip(addr, &generate_req());
+            let second = roundtrip(addr, &generate_req());
+            assert_eq!(first.encode(), second.encode());
+            match roundtrip(addr, &Request::Status) {
+                Response::Status(body) => {
+                    assert_eq!(body.cache_misses, 1);
+                    assert_eq!(body.cache_hits, 1);
+                }
+                other => unreachable!("{other:?}"),
+            }
+        });
+        // Across a "crash" (scope exit is as abrupt as the daemon
+        // gets): same bytes again, now from the persisted cache. A fresh
+        // config gives the restarted daemon its own metrics registry.
+        with_server(quick_cfg(&root), |addr| {
+            let replay = roundtrip(addr, &generate_req());
+            assert_eq!(replay.encode(), roundtrip(addr, &generate_req()).encode());
+            match roundtrip(addr, &Request::Status) {
+                Response::Status(body) => assert_eq!(body.cache_misses, 0, "{body:?}"),
+                other => unreachable!("{other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn malformed_frames_get_a_typed_rejection_never_a_hang() {
+        let root = scratch("malformed");
+        with_server(quick_cfg(&root), |addr| {
+            let stream = TcpStream::connect(addr).unwrap();
+            apply_deadlines(&stream, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
+            // A frame whose declared length exceeds the request cap.
+            (&stream)
+                .write_all(&u32::try_from(MAX_REQUEST_FRAME + 1).unwrap().to_be_bytes())
+                .unwrap();
+            (&stream).flush().unwrap();
+            let mut r = &stream;
+            let payload = read_frame(&mut r, MAX_RESPONSE_FRAME).unwrap().unwrap();
+            match Response::decode(std::str::from_utf8(&payload).unwrap()).unwrap() {
+                Response::Error { kind, .. } => assert_eq!(kind, "bad-request"),
+                other => unreachable!("{other:?}"),
+            }
+            // Well-formed frame, hostile payload.
+            match roundtrip_raw(addr, b"{\"op\":\"nope\"}") {
+                Response::Error { kind, .. } => assert_eq!(kind, "bad-request"),
+                other => unreachable!("{other:?}"),
+            }
+        });
+    }
+
+    fn roundtrip_raw(addr: SocketAddr, payload: &[u8]) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        apply_deadlines(&stream, Duration::from_secs(5), Duration::from_secs(5)).unwrap();
+        let mut w = &stream;
+        write_frame(&mut w, payload, MAX_REQUEST_FRAME).unwrap();
+        let mut r = &stream;
+        let got = read_frame(&mut r, MAX_RESPONSE_FRAME).unwrap().unwrap();
+        Response::decode(std::str::from_utf8(&got).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn saturation_shed_is_typed_and_prompt() {
+        let root = scratch("shed");
+        let mut cfg = quick_cfg(&root);
+        cfg.workers = 1;
+        cfg.queue_cap = 1;
+        with_server(cfg, |addr| {
+            // One slow-ish job occupies the worker; the queue holds one
+            // more; the rest must shed with `overloaded`.
+            let mut shed = 0;
+            let mut streams = Vec::new();
+            for i in 0..8 {
+                let stream = TcpStream::connect(addr).unwrap();
+                apply_deadlines(&stream, Duration::from_secs(10), Duration::from_secs(10)).unwrap();
+                let req = Request::Measure {
+                    tuning: Tuning { w: 16, e: 3, b: 32 },
+                    n: 16 * 3 * 32 * 8,
+                    family: WorkloadSpec::WorstCaseFamily { seed: i },
+                    runs: 2,
+                    backend: wcms_mergesort::BackendKind::Sim,
+                    device: "test".into(),
+                    budget_ms: Some(8_000),
+                };
+                let mut w = &stream;
+                write_frame(&mut w, req.encode().as_bytes(), MAX_REQUEST_FRAME).unwrap();
+                streams.push(stream);
+            }
+            for stream in &streams {
+                let mut r = stream;
+                let payload = read_frame(&mut r, MAX_RESPONSE_FRAME).unwrap().unwrap();
+                match Response::decode(std::str::from_utf8(&payload).unwrap()).unwrap() {
+                    Response::Overloaded { retry_after_ms, .. } => {
+                        shed += 1;
+                        assert!(retry_after_ms >= 50);
+                    }
+                    Response::Measure { .. } | Response::Error { .. } => {}
+                    other => unreachable!("{other:?}"),
+                }
+            }
+            assert!(shed >= 1, "saturated server never shed load");
+        });
+    }
+
+    #[test]
+    fn queued_jobs_survive_a_crash_and_recover_into_the_cache() {
+        let root = scratch("recover");
+        let cfg = quick_cfg(&root);
+        // Simulate the previous incarnation dying with one queued and
+        // one running job journaled.
+        let journal = JobJournal::open(&cfg.journal_dir).unwrap();
+        let queued = generate_req().encode();
+        let qid = journal.record_queued(&queued).unwrap();
+        let rid = journal.record_queued(&queued).unwrap();
+        journal.mark_running(rid, &queued).unwrap();
+        assert!(qid < rid);
+        drop(journal);
+
+        with_server(cfg, |addr| {
+            match roundtrip(addr, &Request::Status) {
+                Response::Status(body) => {
+                    assert_eq!(body.jobs_recovered, 1, "{body:?}");
+                    assert_eq!(body.jobs_tombstoned, 1, "{body:?}");
+                }
+                other => unreachable!("{other:?}"),
+            }
+            // The recovered job pre-warmed the cache: the same request
+            // is a hit now.
+            let _ = roundtrip(addr, &generate_req());
+            match roundtrip(addr, &Request::Status) {
+                Response::Status(body) => {
+                    assert_eq!(body.cache_hits, 1, "{body:?}");
+                    assert_eq!(body.cache_misses, 0, "{body:?}");
+                }
+                other => unreachable!("{other:?}"),
+            }
+        });
+    }
+}

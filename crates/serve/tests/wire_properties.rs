@@ -1,0 +1,282 @@
+//! Adversarial property tests for the serve wire codec and the cache
+//! key contract: framing round-trips under arbitrary payloads, hostile
+//! declared lengths are refused before any buffer is sized from them,
+//! truncation at every byte boundary yields a typed error (never a
+//! panic or a hang), and canonical cache keys / FNV fingerprints are
+//! pinned by golden values so a silent codec change cannot alias old
+//! cache entries.
+
+use std::io::Read;
+
+use proptest::prelude::*;
+use wcms_mergesort::BackendKind;
+use wcms_serve::cache::fingerprint;
+use wcms_serve::wire::{
+    read_frame, write_frame, Request, Tuning, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+};
+use wcms_workloads::WorkloadSpec;
+
+// --- Strategies -----------------------------------------------------------
+
+fn any_family() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(|seed| WorkloadSpec::Random { seed }),
+        (0u64..u64::MAX).prop_map(|seed| WorkloadSpec::RandomPermutation { seed }),
+        Just(WorkloadSpec::Sorted),
+        Just(WorkloadSpec::Reverse),
+        (0usize..1 << 20, (0u64..u64::MAX))
+            .prop_map(|(swaps, seed)| WorkloadSpec::KSwaps { swaps, seed }),
+        (1u32..1 << 16, (0u64..u64::MAX))
+            .prop_map(|(distinct, seed)| WorkloadSpec::FewDistinct { distinct, seed }),
+        (1usize..1 << 16).prop_map(|teeth| WorkloadSpec::Sawtooth { teeth }),
+        Just(WorkloadSpec::WorstCase),
+        (0u64..u64::MAX).prop_map(|seed| WorkloadSpec::WorstCaseFamily { seed }),
+        (1usize..1 << 16).prop_map(|stride| WorkloadSpec::ConflictHeavy { stride }),
+    ]
+}
+
+fn any_tuning() -> impl Strategy<Value = Tuning> {
+    (1usize..1024, 1usize..64, 1usize..2048).prop_map(|(w, e, b)| Tuning { w, e, b })
+}
+
+fn any_backend() -> impl Strategy<Value = BackendKind> {
+    proptest::sample::select(BackendKind::ALL.to_vec())
+}
+
+fn any_device() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "test".to_string(),
+        "quadro_m4000".to_string(),
+        "rtx_2080_ti".to_string(),
+        "gtx_770".to_string(),
+    ])
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any_tuning(), 0usize..1 << 30, any_family(), proptest::bool::ANY).prop_map(
+            |(tuning, n, family, include_data)| Request::Generate {
+                tuning,
+                n,
+                family,
+                include_data
+            }
+        ),
+        (
+            (any_tuning(), 0usize..1 << 30, any_family(), 1u64..64),
+            (any_backend(), any_device(), proptest::option::of(0u64..1 << 40)),
+        )
+            .prop_map(|((tuning, n, family, runs), (backend, device, budget_ms))| {
+                Request::Measure { tuning, n, family, runs, backend, device, budget_ms }
+            }),
+        (
+            (any_tuning(), any_family(), 0u32..12, 12u32..24),
+            (1u64..64, any_backend(), any_device(), proptest::option::of(0u64..1 << 40)),
+        )
+            .prop_map(
+                |(
+                    (tuning, family, min_doublings, max_doublings),
+                    (runs, backend, device, budget_ms),
+                )| {
+                    Request::Grid {
+                        tuning,
+                        family,
+                        min_doublings,
+                        max_doublings,
+                        runs,
+                        backend,
+                        device,
+                        budget_ms,
+                    }
+                }
+            ),
+        Just(Request::Status),
+        Just(Request::Health),
+    ]
+}
+
+// --- Codec round-trips ----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn requests_round_trip_the_wire_codec(req in any_request()) {
+        let decoded = Request::decode(&req.encode()).expect("self-encoded request parses");
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn framing_round_trips_arbitrary_payloads(payload in proptest::collection::vec(0u8..=255, 0..4096)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, MAX_REQUEST_FRAME).unwrap();
+        let mut r = buf.as_slice();
+        let got = read_frame(&mut r, MAX_REQUEST_FRAME).unwrap().expect("one frame in");
+        prop_assert_eq!(got, payload);
+        // And the stream is cleanly drained: next read is a clean EOF.
+        prop_assert_eq!(read_frame(&mut r, MAX_REQUEST_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn budgets_never_reach_the_cache_key(budget_a in proptest::option::of(0u64..u64::MAX),
+                                         budget_b in proptest::option::of(0u64..u64::MAX)) {
+        // Deadlines shape *when* an answer arrives, not *what* it is —
+        // two calls differing only in budget must share an entry.
+        let req = |budget_ms| Request::Measure {
+            tuning: Tuning { w: 16, e: 3, b: 32 },
+            n: 3072,
+            family: WorkloadSpec::WorstCase,
+            runs: 1,
+            backend: BackendKind::Reference,
+            device: "test".into(),
+            budget_ms,
+        };
+        prop_assert_eq!(req(budget_a).canonical_key(), req(budget_b).canonical_key());
+    }
+
+    #[test]
+    fn distinct_compute_requests_never_share_a_fingerprint(a in any_request(), b in any_request()) {
+        // Fingerprint equality must imply canonical-key equality for
+        // generated requests (FNV collisions exist in principle; the
+        // cache handles them by storing the key — this asserts the
+        // *codec* never manufactures one from distinct requests).
+        if let (Some(ka), Some(kb)) = (a.canonical_key(), b.canonical_key()) {
+            if ka != kb {
+                prop_assert_ne!(fingerprint(&ka), fingerprint(&kb));
+            }
+        }
+    }
+}
+
+// --- Hostile framing ------------------------------------------------------
+
+/// A reader that records whether anything beyond the 4-byte length
+/// prefix was ever requested — the oversized-frame rejection must
+/// happen on the prefix alone, before any payload buffer exists.
+struct PrefixOnly {
+    prefix: [u8; 4],
+    pos: usize,
+    body_requested: bool,
+}
+
+impl Read for PrefixOnly {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= 4 {
+            self.body_requested = true;
+            return Ok(0);
+        }
+        let k = out.len().min(4 - self.pos);
+        out[..k].copy_from_slice(&self.prefix[self.pos..self.pos + k]);
+        self.pos += k;
+        Ok(k)
+    }
+}
+
+proptest! {
+    #[test]
+    fn oversized_declared_lengths_are_rejected_before_any_payload_read(
+        excess in 1u64..u64::from(u32::MAX) - MAX_REQUEST_FRAME as u64
+    ) {
+        let declared = u32::try_from(MAX_REQUEST_FRAME as u64 + excess).unwrap();
+        let mut r = PrefixOnly { prefix: declared.to_be_bytes(), pos: 0, body_requested: false };
+        let err = read_frame(&mut r, MAX_REQUEST_FRAME).unwrap_err();
+        let msg = err.to_string();
+        prop_assert!(msg.contains("exceeds"), "typed oversize rejection, got: {msg}");
+        prop_assert!(!r.body_requested, "payload must not be read after an oversized prefix");
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics_the_frame_reader(
+        bytes in proptest::collection::vec(0u8..=255, 0..64)
+    ) {
+        let mut r = bytes.as_slice();
+        // Any outcome but a panic/hang is acceptable; just drive it.
+        let _ = read_frame(&mut r, MAX_RESPONSE_FRAME);
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_the_request_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..256)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Request::decode(&text);
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    let req = Request::Status;
+    let mut framed = Vec::new();
+    write_frame(&mut framed, req.encode().as_bytes(), MAX_REQUEST_FRAME).unwrap();
+    assert!(framed.len() > 5);
+    for cut in 0..framed.len() {
+        let mut r = &framed[..cut];
+        let got = read_frame(&mut r, MAX_REQUEST_FRAME);
+        if cut == 0 {
+            // EOF before any prefix byte is a clean end-of-stream.
+            assert!(matches!(got, Ok(None)), "cut=0 got {got:?}");
+        } else {
+            let err = got.expect_err(&format!("cut={cut} must be malformed"));
+            let msg = err.to_string();
+            let expected = if cut < 4 { "inside the length prefix" } else { "inside the payload" };
+            assert!(msg.contains(expected), "cut={cut}: {msg}");
+        }
+    }
+}
+
+// --- Golden cache-key stability ------------------------------------------
+//
+// These literals pin the on-disk cache contract. If any of them change,
+// existing cache directories silently stop hitting (or worse, a key
+// change without a CACHE_SCHEMA bump aliases stale bytes). Bump
+// `wcms_serve::cache::CACHE_SCHEMA` instead of editing the values here.
+
+#[test]
+fn canonical_keys_and_fingerprints_match_the_golden_contract() {
+    let generate = Request::Generate {
+        tuning: Tuning { w: 16, e: 3, b: 32 },
+        n: 3072,
+        family: WorkloadSpec::WorstCase,
+        include_data: false,
+    };
+    let key = generate.canonical_key().unwrap();
+    assert_eq!(key, "wcms/v1/s1 generate w=16 e=3 b=32 n=3072 family=worst-case data=0");
+    assert_eq!(fingerprint(&key), 0x19f6_d0da_a174_95a6);
+
+    let measure = Request::Measure {
+        tuning: Tuning { w: 16, e: 3, b: 32 },
+        n: 3072,
+        family: WorkloadSpec::WorstCaseFamily { seed: 7 },
+        runs: 3,
+        backend: BackendKind::Reference,
+        device: "test".into(),
+        budget_ms: Some(1_000),
+    };
+    let key = measure.canonical_key().unwrap();
+    assert_eq!(
+        key,
+        "wcms/v1/s1 measure w=16 e=3 b=32 n=3072 family=worst-family:seed=7 \
+         runs=3 backend=reference device=test"
+    );
+    assert_eq!(fingerprint(&key), 0xa742_63b2_4d40_7366);
+
+    let grid = Request::Grid {
+        tuning: Tuning { w: 16, e: 3, b: 32 },
+        family: WorkloadSpec::Sorted,
+        min_doublings: 1,
+        max_doublings: 5,
+        runs: 2,
+        backend: BackendKind::Sim,
+        device: "rtx_2080_ti".into(),
+        budget_ms: None,
+    };
+    let key = grid.canonical_key().unwrap();
+    assert_eq!(
+        key,
+        "wcms/v1/s1 grid w=16 e=3 b=32 family=sorted doublings=1..5 \
+         runs=2 backend=sim device=rtx_2080_ti"
+    );
+    assert_eq!(fingerprint(&key), 0xbec3_3a45_2328_8bab);
+
+    // Non-compute operations must never acquire a cache identity.
+    assert_eq!(Request::Status.canonical_key(), None);
+    assert_eq!(Request::Health.canonical_key(), None);
+}

@@ -43,4 +43,83 @@ wait "$VICTIM" 2>/dev/null || true
     --trace "$SCRATCH/resume.jsonl" > /dev/null
 "$TRACE" validate "$SCRATCH/resume.jsonl"
 
+# --- Serve cycle: crash-only daemon under SIGKILL + byte corruption -------
+#
+# Start the daemon on an ephemeral port, capture response bytes for a
+# generate and a grid, drive brief open-loop load, SIGKILL it (the only
+# stop it has), flip a byte in one cache entry and plant a torn journal
+# record, restart, and assert: both corruptions are quarantined (counted
+# in `status`) and every re-probed response is byte-identical to its
+# pre-crash twin.
+
+cargo build --release -p wcms-serve --bin wcms-serve --bin wcms-load
+SERVE=target/release/wcms-serve
+LOAD=target/release/wcms-load
+for bin in "$SERVE" "$LOAD"; do
+    [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
+done
+
+SDIR="$SCRATCH/serve"
+mkdir -p "$SDIR"
+SERVE_PID=""
+trap '[[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$SCRATCH"' EXIT
+
+start_daemon() { # $1 = log file; sets ADDR and SERVE_PID
+    "$SERVE" --addr 127.0.0.1:0 --cache-dir "$SDIR/cache" \
+        --journal-dir "$SDIR/journal" > "$1" &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/^listening on //p' "$1" | head -n 1)
+        [[ -n "$ADDR" ]] && return 0
+        kill -0 "$SERVE_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "error: daemon never reported its address (log: $1)" >&2
+    exit 1
+}
+
+GEN='{"op":"generate","w":16,"e":3,"b":32,"n":3072,"family":{"kind":"worst-case"}}'
+GRID='{"op":"grid","w":16,"e":3,"b":32,"family":{"kind":"sorted"},"min_doublings":1,"max_doublings":3,"runs":1,"backend":"reference","device":"test","budget_ms":10000}'
+
+start_daemon "$SDIR/serve1.log"
+"$LOAD" --addr "$ADDR" --probe "$GEN"  > "$SDIR/gen.before"
+"$LOAD" --addr "$ADDR" --probe "$GRID" > "$SDIR/grid.before"
+"$LOAD" --addr "$ADDR" --rps 30 --duration-s 2 --connections 2 \
+    --out "$SDIR/BENCH_serve.json" > /dev/null 2> /dev/null
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# The generate probe's cache entry lives at the fingerprint of its
+# canonical key — a golden value pinned by the wire_properties tests.
+GEN_ENTRY="$SDIR/cache/19f6d0daa17495a6.json"
+[[ -f "$GEN_ENTRY" ]] || { echo "error: expected cache entry $GEN_ENTRY" >&2; exit 1; }
+printf 'X' | dd of="$GEN_ENTRY" bs=1 seek=12 conv=notrunc status=none
+printf 'torn-write garbage, no checksum footer' \
+    > "$SDIR/journal/job-00000000000000ff.json"
+
+start_daemon "$SDIR/serve2.log"
+# Restart quarantines the torn journal record; the corrupt cache entry
+# is quarantined lazily by the re-probe, which must then recompute the
+# exact same bytes.
+"$LOAD" --addr "$ADDR" --probe "$GEN"  > "$SDIR/gen.after"
+"$LOAD" --addr "$ADDR" --probe "$GRID" > "$SDIR/grid.after"
+cmp "$SDIR/gen.before"  "$SDIR/gen.after"
+cmp "$SDIR/grid.before" "$SDIR/grid.after"
+
+"$LOAD" --addr "$ADDR" --probe '{"op":"status"}' > "$SDIR/status.json"
+for want in '"journal_quarantined":1' '"cache_quarantined":1'; do
+    grep -q "$want" "$SDIR/status.json" || {
+        echo "error: status missing $want:" >&2
+        cat "$SDIR/status.json" >&2
+        exit 1
+    }
+done
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
 echo "chaos smoke passed"

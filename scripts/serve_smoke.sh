@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Serve smoke + load baseline: build the daemon and load generator,
+# round-trip the protocol (health, generate cold/warm byte-equality),
+# drive a brief open-loop load, and gate on the two serving promises CI
+# can check cheaply:
+#
+#   1. throughput — achieved jobs/sec within 20% of the offered rate
+#      (an overloaded or wedged daemon fails, a healthy one clears it);
+#   2. cache speedup — a warm (cache-hit) call at least 10x faster than
+#      the cold compute, with byte-identical payloads (asserted inside
+#      wcms-load's probe).
+#
+# Writes the load report to $1 (default BENCH_serve.json) — the
+# artifact CI uploads as the serving perf baseline.
+#
+# Run from anywhere inside the repository: ./scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_serve.json}
+RPS=40
+command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
+
+cargo build --release -p wcms-serve --bin wcms-serve --bin wcms-load
+
+SERVE=target/release/wcms-serve
+LOAD=target/release/wcms-load
+for bin in "$SERVE" "$LOAD"; do
+    [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
+done
+
+SCRATCH=$(mktemp -d)
+SERVE_PID=""
+trap '[[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$SCRATCH"' EXIT
+
+"$SERVE" --addr 127.0.0.1:0 --cache-dir "$SCRATCH/cache" \
+    --journal-dir "$SCRATCH/journal" > "$SCRATCH/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SCRATCH/serve.log" | head -n 1)
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "error: daemon never reported its address" >&2; exit 1; }
+
+# Protocol round-trip: health answers, and a repeated generate replays
+# byte-identical bytes from the cache.
+"$LOAD" --addr "$ADDR" --probe '{"op":"health"}' | grep -q '"op":"health"'
+GEN='{"op":"generate","w":16,"e":3,"b":32,"n":3072,"family":{"kind":"worst-case"}}'
+"$LOAD" --addr "$ADDR" --probe "$GEN" > "$SCRATCH/gen.cold"
+"$LOAD" --addr "$ADDR" --probe "$GEN" > "$SCRATCH/gen.warm"
+cmp "$SCRATCH/gen.cold" "$SCRATCH/gen.warm"
+
+"$LOAD" --addr "$ADDR" --rps "$RPS" --duration-s 4 --connections 4 --out "$OUT" \
+    > /dev/null
+
+ACHIEVED=$(sed -n 's/.*"achieved_rps":\([0-9.eE+-]*\).*/\1/p' "$OUT")
+SPEEDUP=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' "$OUT")
+[[ -n "$ACHIEVED" && -n "$SPEEDUP" ]] || {
+    echo "error: $OUT missing achieved_rps/speedup:" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+awk -v got="$ACHIEVED" -v want="$RPS" 'BEGIN { exit !(got >= 0.8 * want) }' || {
+    echo "error: achieved $ACHIEVED jobs/s < 80% of offered $RPS" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 10.0) }' || {
+    echo "error: cache speedup ${SPEEDUP}x < 10x" >&2
+    cat "$OUT" >&2
+    exit 1
+}
+
+echo "serve smoke passed: $ACHIEVED/$RPS jobs/s, cache speedup ${SPEEDUP}x ($OUT)"
