@@ -62,7 +62,9 @@ impl<T> AdmissionQueue<T> {
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Admit a job or shed it. Never blocks.
+    /// Admit a job or shed it. Never blocks. On admission, returns the
+    /// number of jobs queued *ahead* of this one — the caller's honest
+    /// estimate of how long it will wait before a worker picks it up.
     ///
     /// # Errors
     ///
@@ -70,7 +72,7 @@ impl<T> AdmissionQueue<T> {
     /// retry-after hint derived from `est_job_ms`;
     /// [`WcmsError::Cancelled`] when the queue has been closed for
     /// shutdown.
-    pub fn try_submit(&self, job: T, est_job_ms: u64) -> Result<(), WcmsError> {
+    pub fn try_submit(&self, job: T, est_job_ms: u64) -> Result<usize, WcmsError> {
         let mut inner = self.lock();
         if inner.closed {
             return Err(WcmsError::Cancelled { cell: "admission queue closed".into() });
@@ -83,10 +85,11 @@ impl<T> AdmissionQueue<T> {
                 retry_after_ms: retry_after_ms(queue_depth, est_job_ms),
             });
         }
+        let ahead = inner.queue.len();
         inner.queue.push_back(job);
         drop(inner);
         self.ready.notify_one();
-        Ok(())
+        Ok(ahead)
     }
 
     /// Block until a job is available or the queue closes. `None` means
@@ -131,8 +134,8 @@ mod tests {
     #[test]
     fn sheds_load_with_a_typed_rejection_when_full() {
         let q = AdmissionQueue::new(2);
-        q.try_submit(1, 100).unwrap();
-        q.try_submit(2, 100).unwrap();
+        assert_eq!(q.try_submit(1, 100).unwrap(), 0);
+        assert_eq!(q.try_submit(2, 100).unwrap(), 1);
         let err = q.try_submit(3, 100).unwrap_err();
         match err {
             WcmsError::Overloaded { queue_depth, retry_after_ms } => {

@@ -57,6 +57,59 @@ use crate::wire::{
 /// asking for a year of work).
 pub const MAX_DOUBLINGS: u32 = 24;
 
+/// Absolute ceiling on the input length any single request may name,
+/// regardless of tuning (2^27 keys = 512 MiB of u32s). `generate`
+/// allocates `n` keys up front and oblivious families never fail, so
+/// without a ceiling one hostile frame is an OOM abort.
+pub const MAX_REQUEST_N: usize = 1 << 27;
+
+/// Ceiling on `runs` for `measure`/`grid` — averaging buys nothing
+/// past this, and an unbounded count pins a compute worker.
+pub const MAX_RUNS: u64 = 256;
+
+/// The per-request input-length ceiling: the grid ceiling for this
+/// tuning (`bE << MAX_DOUBLINGS`), clamped by [`MAX_REQUEST_N`].
+/// Degenerate tunings (overflowing `b·E`) fall back to the absolute cap
+/// — `SortParams` validation rejects them anyway where it applies.
+fn request_n_ceiling(tuning: &crate::wire::Tuning) -> usize {
+    tuning
+        .b
+        .checked_mul(tuning.e)
+        .and_then(|tile| tile.checked_shl(MAX_DOUBLINGS))
+        .unwrap_or(usize::MAX)
+        .min(MAX_REQUEST_N)
+}
+
+/// Reject hostile-scale parameters *before* any journaling, queueing or
+/// allocation (the `Err` is the `bad-request` message). Called at
+/// admission and again in `execute` so recovered journal records (which
+/// bypass dispatch) get the same screening — a tampered record must not
+/// be able to OOM the daemon on every restart.
+fn validate_limits(req: &Request) -> Result<(), String> {
+    let check_n = |n: usize, tuning: &crate::wire::Tuning| {
+        let ceiling = request_n_ceiling(tuning);
+        if n > ceiling {
+            return Err(format!("n={n} exceeds the server ceiling {ceiling} for this tuning"));
+        }
+        Ok(())
+    };
+    let check_runs = |runs: u64| {
+        if runs > MAX_RUNS {
+            return Err(format!("runs={runs} exceeds the server ceiling {MAX_RUNS}"));
+        }
+        Ok(())
+    };
+    match req {
+        Request::Generate { tuning, n, .. } => check_n(*n, tuning),
+        Request::Measure { tuning, n, runs, .. } => {
+            check_n(*n, tuning)?;
+            check_runs(*runs)
+        }
+        Request::Grid { runs, .. } => check_runs(*runs),
+        Request::Status | Request::Health => Ok(()),
+    }
+}
+
 /// Everything the daemon needs to know about *how* to serve.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -126,8 +179,25 @@ struct Job {
     req_text: String,
     key: String,
     budget: Duration,
-    reply: mpsc::SyncSender<String>,
+    /// Carries the encoded response plus whether it was a success —
+    /// dispatch owns the ok/error counters, the worker just reports.
+    reply: mpsc::SyncSender<(String, bool)>,
     token: CancelToken,
+}
+
+/// How long dispatch waits for a job's reply: the compute budget, plus
+/// the expected queue wait for the position it was admitted at (a full
+/// queue at defaults is ~12.8 s of work — jobs deep in it must not be
+/// declared dead before a worker ever picks them up), plus a small
+/// fixed grace for reply plumbing.
+fn reply_wait(
+    budget: Duration,
+    queued_ahead: usize,
+    est_job_ms: u64,
+    max_budget: Duration,
+) -> Duration {
+    let queue_wait = Duration::from_millis((queued_ahead as u64).saturating_mul(est_job_ms));
+    budget + queue_wait + max_budget.min(Duration::from_secs(5))
 }
 
 struct Server {
@@ -157,6 +227,9 @@ impl Server {
     /// time, attempt counts under timeouts) is kept out of cacheable
     /// payloads by [`cacheable`].
     fn execute(&self, req: &Request, budget: Duration, client: &CancelToken) -> Response {
+        if let Err(msg) = validate_limits(req) {
+            return error_response("bad-request", msg);
+        }
         match req {
             Request::Generate { tuning, n, family, include_data } => {
                 if client.check().is_err() {
@@ -304,6 +377,10 @@ impl Server {
             }
             _ => {}
         }
+        if let Err(msg) = validate_limits(&req) {
+            self.count("serve_error_total");
+            return error_response("bad-request", msg).encode();
+        }
         // canonical_key() is Some for every compute op by construction.
         let Some(key) = req.canonical_key() else {
             self.count("serve_error_total");
@@ -352,29 +429,38 @@ impl Server {
             reply: reply_tx,
             token: token.clone(),
         };
-        if let Err(e) = self.queue.try_submit(job, self.cfg.est_job_ms) {
-            // Never admitted: the journal record would otherwise be
-            // "recovered" after a crash for a job the client was told
-            // was shed.
-            let _ = self.journal.complete(id);
-            return match e {
-                WcmsError::Overloaded { queue_depth, retry_after_ms } => {
-                    self.count("serve_overloaded_total");
-                    Response::Overloaded { retry_after_ms, queue_depth: queue_depth as u64 }
-                        .encode()
-                }
-                other => {
-                    self.count("serve_error_total");
-                    error_response("shutting-down", other.to_string()).encode()
-                }
-            };
-        }
-        // The budget bounds compute; the grace covers queue wait and
-        // reply plumbing. On expiry, cancel the token so the backends'
-        // merge loops stop cooperatively.
-        let wait = budget + self.cfg.max_budget.min(Duration::from_secs(5));
+        let queued_ahead = match self.queue.try_submit(job, self.cfg.est_job_ms) {
+            Ok(ahead) => ahead,
+            Err(e) => {
+                // Never admitted: the journal record would otherwise be
+                // "recovered" after a crash for a job the client was
+                // told was shed.
+                let _ = self.journal.complete(id);
+                return match e {
+                    WcmsError::Overloaded { queue_depth, retry_after_ms } => {
+                        self.count("serve_overloaded_total");
+                        Response::Overloaded { retry_after_ms, queue_depth: queue_depth as u64 }
+                            .encode()
+                    }
+                    other => {
+                        self.count("serve_error_total");
+                        error_response("shutting-down", other.to_string()).encode()
+                    }
+                };
+            }
+        };
+        // The budget bounds compute; the wait additionally covers the
+        // queue position and reply plumbing. On expiry, cancel the
+        // token so the backends' merge loops stop cooperatively.
+        let wait = reply_wait(budget, queued_ahead, self.cfg.est_job_ms, self.cfg.max_budget);
         match reply_rx.recv_timeout(wait) {
-            Ok(payload) => payload,
+            Ok((payload, ok)) => {
+                // The single ok/error tally point for admitted jobs:
+                // the worker reports, dispatch counts, so a request can
+                // never land in both buckets.
+                self.count(if ok { "serve_ok_total" } else { "serve_error_total" });
+                payload
+            }
             Err(_) => {
                 token.cancel();
                 self.count("serve_deadline_total");
@@ -396,8 +482,8 @@ impl Server {
             }))
             .unwrap_or_else(|_| error_response("compute", "job handler panicked".into()));
             let payload = response.encode();
-            if cacheable(&response) {
-                self.count("serve_ok_total");
+            let ok = cacheable(&response);
+            if ok {
                 if let Err(e) = self.cache.store(&job.key, &payload) {
                     self.cfg.obs.warn(
                         "cache-store-failed",
@@ -405,11 +491,9 @@ impl Server {
                         Vec::new,
                     );
                 }
-            } else {
-                self.count("serve_error_total");
             }
             let _ = self.journal.complete(job.id);
-            let _ = job.reply.send(payload); // receiver may have timed out
+            let _ = job.reply.send((payload, ok)); // receiver may have timed out
             self.inflight.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -456,6 +540,24 @@ impl Server {
         self.cfg.obs.metrics.counter("serve_jobs_tombstoned").add(recovery.tombstoned);
         self.cfg.obs.metrics.counter("serve_journal_quarantined").add(recovery.quarantined);
         for job in recovery.recovered {
+            // Claim the record *before* re-executing it: if this job is
+            // the thing that killed the previous incarnation, a still-
+            // `queued` record would be re-run on every restart — a
+            // permanent crash loop. Marked `running`, a crash during
+            // recovery tombstones it on the next start instead. If even
+            // the claim fails, skip execution: an unclaimable record
+            // must not run without that protection.
+            if self.journal.mark_running(job.id, &job.request).is_err() {
+                self.cfg.obs.warn(
+                    "journal-claim-failed",
+                    &format!(
+                        "could not claim recovered job {:016x}; left for next restart",
+                        job.id
+                    ),
+                    Vec::new,
+                );
+                continue;
+            }
             let Ok(req) = Request::decode(&job.request) else {
                 // Journaled before the admission-time decode succeeded:
                 // impossible unless the record was tampered with inside
@@ -476,6 +578,31 @@ impl Server {
             let _ = self.journal.complete(job.id);
         }
         Ok(())
+    }
+}
+
+/// Make a shed connection's response actually arrive. Dropping a
+/// `TcpStream` while the client's request bytes sit unread in the
+/// receive buffer makes Linux close with RST, which can discard the
+/// buffered `Overloaded` frame — the client would see a bare connection
+/// reset instead of the typed reply. So: stop sending (FIN), then read
+/// the pending request until the client finishes, a byte ceiling is
+/// hit, or the read deadline fires, and only then drop.
+fn drain_then_drop(stream: &TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reader = stream;
+    let mut buf = [0u8; 4096];
+    // A hostile client streaming bytes forever must not pin the accept
+    // loop; one request frame's worth is all a well-behaved client has.
+    let mut remaining = MAX_REQUEST_FRAME + 4;
+    while remaining > 0 {
+        match reader.read(&mut buf) {
+            Ok(0) => break, // client closed its half: buffer is drained
+            Ok(k) => remaining = remaining.saturating_sub(k),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break, // read deadline fired or peer reset
+        }
     }
 }
 
@@ -556,8 +683,9 @@ pub fn serve(
                 };
                 if apply_deadlines(&stream, server.cfg.read_deadline, server.cfg.write_deadline)
                     .is_ok()
+                    && server.write_response(&stream, &resp.encode()).is_ok()
                 {
-                    let _ = server.write_response(&stream, &resp.encode());
+                    drain_then_drop(&stream);
                 }
             }
         }
@@ -689,10 +817,91 @@ mod tests {
                 Response::Status(body) => {
                     assert_eq!(body.cache_misses, 3);
                     assert_eq!(body.jobs_tombstoned, 0);
+                    // Every request lands in exactly one outcome bucket.
+                    assert_eq!(body.ok_total + body.error_total, body.requests_total, "{body:?}");
                 }
                 other => unreachable!("{other:?}"),
             }
         });
+    }
+
+    #[test]
+    fn hostile_scale_requests_are_rejected_before_admission() {
+        let root = scratch("ceiling");
+        with_server(quick_cfg(&root), |addr| {
+            // A generate just past the ceiling: would be a half-GiB-plus
+            // allocation, and larger values are equally rejected.
+            let huge = Request::Generate {
+                tuning: Tuning { w: 16, e: 3, b: 32 },
+                n: MAX_REQUEST_N + 1,
+                family: WorkloadSpec::Sorted,
+                include_data: false,
+            };
+            match roundtrip(addr, &huge) {
+                Response::Error { kind, message } => {
+                    assert_eq!(kind, "bad-request");
+                    assert!(message.contains("ceiling"), "{message}");
+                }
+                other => unreachable!("{other:?}"),
+            }
+            // A measure with an unbounded run count.
+            let spun = Request::Measure {
+                tuning: Tuning { w: 16, e: 3, b: 32 },
+                n: 16 * 3 * 32,
+                family: WorkloadSpec::Sorted,
+                runs: MAX_RUNS + 1,
+                backend: wcms_mergesort::BackendKind::Reference,
+                device: "test".into(),
+                budget_ms: Some(1_000),
+            };
+            match roundtrip(addr, &spun) {
+                Response::Error { kind, .. } => assert_eq!(kind, "bad-request"),
+                other => unreachable!("{other:?}"),
+            }
+            match roundtrip(addr, &Request::Status) {
+                Response::Status(body) => {
+                    // Both rejections happened before the cache/journal/
+                    // queue path (no misses) and were counted exactly once.
+                    assert_eq!(body.error_total, 2, "{body:?}");
+                    assert_eq!(body.cache_misses, 0, "{body:?}");
+                    assert_eq!(body.ok_total + body.error_total, body.requests_total, "{body:?}");
+                }
+                other => unreachable!("{other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn n_ceiling_tracks_tuning_and_clamps_absolutely() {
+        let small = Tuning { w: 4, e: 1, b: 2 };
+        assert_eq!(request_n_ceiling(&small), 2 << MAX_DOUBLINGS);
+        // Large tiles clamp to the absolute cap…
+        let big = Tuning { w: 16, e: 3, b: 32 };
+        assert_eq!(request_n_ceiling(&big), MAX_REQUEST_N);
+        // …and so do tunings whose tile arithmetic would overflow.
+        let absurd = Tuning { w: 1, e: usize::MAX, b: usize::MAX };
+        assert_eq!(request_n_ceiling(&absurd), MAX_REQUEST_N);
+    }
+
+    #[test]
+    fn reply_wait_covers_the_admitted_queue_position() {
+        let grace = Duration::from_secs(5);
+        let max_budget = Duration::from_secs(60);
+        let budget = Duration::from_secs(1);
+        assert_eq!(reply_wait(budget, 0, 200, max_budget), budget + grace);
+        // 64 jobs ahead at 200 ms each: the 12.8 s of expected queue
+        // wait is part of the deadline, so a job deep in a full queue
+        // is not declared dead before a worker ever dequeues it.
+        assert_eq!(
+            reply_wait(budget, 64, 200, max_budget),
+            budget + Duration::from_millis(12_800) + grace
+        );
+        // A small server ceiling shrinks the fixed grace, never the
+        // queue term.
+        assert_eq!(
+            reply_wait(budget, 2, 100, Duration::from_secs(2)),
+            budget + Duration::from_millis(200) + Duration::from_secs(2)
+        );
     }
 
     #[test]
@@ -834,5 +1043,37 @@ mod tests {
                 other => unreachable!("{other:?}"),
             }
         });
+    }
+
+    #[test]
+    fn recovery_consumes_hostile_records_instead_of_relooping_them() {
+        let root = scratch("recover-hostile");
+        let cfg = quick_cfg(&root);
+        let journal_dir = cfg.journal_dir.clone();
+        // A queued record naming an over-ceiling n, as if tampered
+        // with inside a valid checksum — the shape that would OOM the
+        // previous incarnation. Recovery must screen it (no allocation)
+        // and consume it, never leave it queued for the next restart.
+        let hostile = Request::Generate {
+            tuning: Tuning { w: 16, e: 3, b: 32 },
+            n: MAX_REQUEST_N + 1,
+            family: WorkloadSpec::Sorted,
+            include_data: false,
+        };
+        let journal = JobJournal::open(&journal_dir).unwrap();
+        journal.record_queued(&hostile.encode()).unwrap();
+        drop(journal);
+
+        with_server(cfg, |addr| match roundtrip(addr, &Request::Status) {
+            Response::Status(body) => {
+                assert_eq!(body.jobs_recovered, 1, "{body:?}");
+                assert_eq!(body.jobs_tombstoned, 0, "{body:?}");
+            }
+            other => unreachable!("{other:?}"),
+        });
+        // A second restart finds a clean journal: the record was
+        // claimed and completed, not re-run forever.
+        let journal = JobJournal::open(&journal_dir).unwrap();
+        assert_eq!(journal.recover().unwrap(), crate::journal::Recovery::default());
     }
 }
