@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wcms_analyzer::bounds::verify_grid;
+use wcms_analyzer::bounds::{verify_grid, verify_multiway_rounds};
 use wcms_analyzer::crosscheck::{crosscheck_fig4, warp_grid_disagreements};
 use wcms_analyzer::interleave::ExploreConfig;
 use wcms_analyzer::lint::lint_workspace;
@@ -120,9 +120,21 @@ fn main() -> ExitCode {
     let mut json_sections: Vec<String> = Vec::new();
 
     if o.verify_bounds {
+        // Multiway rounds for a representative tuning slice: co-prime,
+        // shared-factor and power-of-two E under a 4-way fan-in. Rounds
+        // with no closed form (the irregular interleavings) are
+        // *reported*, never failed — only a stride-regular round that
+        // misses its d·E form is a finding.
+        let multiway: Vec<_> = [3usize, 5, 8]
+            .into_iter()
+            .filter(|&e| e < o.warp)
+            .filter_map(|e| verify_multiway_rounds(o.warp, e, 4).ok())
+            .flatten()
+            .collect();
+        let multiway_bad = multiway.iter().filter(|v| !v.holds()).count();
         match verify_grid(o.warp) {
             Ok(verdicts) => {
-                let bad = verdicts.iter().filter(|v| !v.holds()).count();
+                let bad = verdicts.iter().filter(|v| !v.holds()).count() + multiway_bad;
                 if o.json {
                     let items: Vec<String> = verdicts
                         .iter()
@@ -139,10 +151,27 @@ fn main() -> ExitCode {
                             )
                         })
                         .collect();
+                    let mw_items: Vec<String> = multiway
+                        .iter()
+                        .map(|v| {
+                            format!(
+                                "{{\"e\":{},\"k\":{},\"round\":{},\"stride_regular\":{},\
+                                 \"closed_form\":{},\"per_warp\":{:?},\"holds\":{}}}",
+                                v.e,
+                                v.k,
+                                json_escape(v.label),
+                                v.stride_regular,
+                                v.closed_form.map_or("null".into(), |c| c.to_string()),
+                                v.per_warp_aligned,
+                                v.holds()
+                            )
+                        })
+                        .collect();
                     json_sections.push(format!(
-                        "\"bounds\":{{\"w\":{},\"verdicts\":[{}]}}",
+                        "\"bounds\":{{\"w\":{},\"verdicts\":[{}],\"multiway\":[{}]}}",
                         o.warp,
-                        items.join(",")
+                        items.join(","),
+                        mw_items.join(",")
                     ));
                 } else {
                     println!("== verify-bounds (w = {}) ==", o.warp);
@@ -160,7 +189,32 @@ fn main() -> ExitCode {
                             println!("       {f}");
                         }
                     }
-                    println!("  {} verdicts, {} failures", verdicts.len(), bad);
+                    for v in &multiway {
+                        match v.closed_form {
+                            Some(cf) => println!(
+                                "  E={:<2} multiway k={} {:<11} per-warp {:?} closed-form={cf} {}",
+                                v.e,
+                                v.k,
+                                v.label,
+                                v.per_warp_aligned,
+                                if v.holds() { "ok" } else { "FAIL" }
+                            ),
+                            None => println!(
+                                "  E={:<2} multiway k={} {:<11} per-warp {:?} \
+                                 no closed form (reported, not a failure)",
+                                v.e, v.k, v.label, v.per_warp_aligned
+                            ),
+                        }
+                        for f in &v.failures {
+                            println!("       {f}");
+                        }
+                    }
+                    println!(
+                        "  {} verdicts ({} multiway rounds), {} failures",
+                        verdicts.len(),
+                        multiway.len(),
+                        bad
+                    );
                 }
                 ok &= bad == 0;
             }

@@ -322,6 +322,153 @@ pub fn verify_grid(w: usize) -> Result<Vec<BoundVerdict>, WcmsError> {
     (1..w).map(|e| verify_bound(w, e)).collect()
 }
 
+// --- Multiway rounds ------------------------------------------------------
+
+/// The symbolic verdict for one k-way multiway merge round.
+///
+/// Multiway rounds have a closed-form per-warp aligned count only when
+/// they are **stride-regular** — every thread's merge stream is one
+/// maximal stride-1 run, as happens when the k input runs concatenate
+/// into sorted order and the merge is the identity. Then thread `T`
+/// reads addresses `TE..TE+E` and its single congruence
+/// `TE ≡ s (mod w)` holds for exactly `gcd(w, E)` threads per warp:
+/// the per-warp aligned count is `d·E`, the same shared-factor form as
+/// the pairwise sorted case. Irregular rounds (the general k-way
+/// interleaving) have no known closed form; the verifier *reports*
+/// their per-warp counts without judging them.
+#[derive(Debug, Clone)]
+pub struct MultiwayRoundVerdict {
+    /// Which round this is ("sorted" identity, "interleaved" k-way).
+    pub label: &'static str,
+    /// Warp width / bank count.
+    pub w: usize,
+    /// Elements per thread.
+    pub e: usize,
+    /// Fan-in of the round.
+    pub k: usize,
+    /// Symbolic per-warp aligned counts (one entry per warp).
+    pub per_warp_aligned: Vec<usize>,
+    /// The `d·E` closed form, present only for stride-regular rounds.
+    pub closed_form: Option<usize>,
+    /// True when every thread's merge stream is one stride-1 run.
+    pub stride_regular: bool,
+    /// Closed-form violations (empty for irregular rounds by design —
+    /// having no closed form is reported, never failed).
+    pub failures: Vec<String>,
+}
+
+impl MultiwayRoundVerdict {
+    /// True iff no closed-form check was violated.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Symbolically verify the k-way multiway merge rounds of one block
+/// tile for `(w, E)` with `b = 4w` threads: materialise the round's
+/// schedule IR ([`wcms_mergesort::schedule::MergeSchedule::multiway_merge`]),
+/// run the per-warp alignment pass over each warp's merge streams, and
+/// check the stride-regular round against its `d·E` closed form. Two
+/// rounds are examined: the identity round (k runs concatenating into
+/// sorted order — stride-regular, closed form applies) and the maximal
+/// k-way interleaving (no closed form — reported only).
+///
+/// # Errors
+///
+/// Propagates [`WcmsError::InvalidBlock`]/[`WcmsError::ZeroParam`] from
+/// parameter validation (`b = 4w` requires power-of-two `w`).
+pub fn verify_multiway_rounds(
+    w: usize,
+    e: usize,
+    k: usize,
+) -> Result<Vec<MultiwayRoundVerdict>, WcmsError> {
+    use wcms_mergesort::schedule::MergeSchedule;
+    use wcms_mergesort::SortParams;
+
+    let b = 4 * w;
+    let params = SortParams::new(w, e, b)?;
+    let tile = b * e;
+    let k = k.clamp(2, tile);
+    // Runs are consecutive equal-ish slices of the tile; the last run
+    // absorbs the remainder so every key is merged exactly once.
+    let split = |keys: &[u32]| -> Vec<Vec<u32>> {
+        let chunk = (tile / k).max(1);
+        let mut runs: Vec<Vec<u32>> = keys.chunks(chunk).map(<[u32]>::to_vec).collect();
+        while runs.len() > k {
+            let tail = runs.pop();
+            if let (Some(tail), Some(last)) = (tail, runs.last_mut()) {
+                last.extend(tail);
+            }
+        }
+        runs
+    };
+
+    // Round 1: k sorted runs that concatenate into sorted order — the
+    // merge is the identity and every thread reads one stride-1 run.
+    let sorted: Vec<u32> = (0..tile as u32).collect();
+    // Round 2: run i holds keys ≡ i (mod k) — the merge interleaves all
+    // k runs at every step, the least regular k-way round.
+    let mut interleaved = vec![0u32; tile];
+    {
+        let chunk = (tile / k).max(1);
+        let mut pos = 0usize;
+        for i in 0..k {
+            let count = if i + 1 == k { tile - i * chunk } else { chunk };
+            for j in 0..count {
+                interleaved[pos] = (j * k + i) as u32;
+                pos += 1;
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(2);
+    for (label, keys) in [("sorted", sorted), ("interleaved", interleaved)] {
+        let runs = split(&keys);
+        if runs.iter().any(|r| r.windows(2).any(|p| p[0] > p[1])) {
+            return Err(WcmsError::ZeroParam { name: "multiway run (not sorted)" });
+        }
+        let parts: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+        let sched = MergeSchedule::multiway_merge(&parts, &params);
+
+        let warps = b / w;
+        let mut per_warp_aligned = Vec::with_capacity(warps);
+        let mut stride_regular = true;
+        for g in 0..warps {
+            let seqs = &sched.merge_seqs[g * w..(g + 1) * w];
+            let sa = alignment_of_seqs(w, e, 0, seqs);
+            // One maximal stride-1 run per thread ⇔ chunk count equals
+            // the warp's thread count.
+            stride_regular &= sa.chunks == w;
+            per_warp_aligned.push(sa.aligned);
+        }
+
+        let d = gcd(w as u64, e as u64) as usize;
+        let closed_form = stride_regular.then_some(d * e);
+        let mut failures = Vec::new();
+        if let Some(cf) = closed_form {
+            for (g, &got) in per_warp_aligned.iter().enumerate() {
+                if got != cf {
+                    failures.push(format!(
+                        "warp {g}: stride-regular round aligned {got} != closed form {cf}"
+                    ));
+                }
+            }
+        }
+        out.push(MultiwayRoundVerdict {
+            label,
+            w,
+            e,
+            k,
+            per_warp_aligned,
+            closed_form,
+            stride_regular,
+            failures,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +539,39 @@ mod tests {
             for v in verify_grid(w).unwrap() {
                 assert!(v.holds(), "w={w} E={}: {:?}", v.e, v.failures);
             }
+        }
+    }
+
+    #[test]
+    fn multiway_identity_round_attains_the_gcd_closed_form() {
+        // Co-prime, shared-factor, and power-of-two tunings, across
+        // fan-ins: the sorted (stride-regular) round must hit d·E on
+        // every warp.
+        for (w, e) in [(32usize, 3usize), (32, 5), (32, 8), (32, 15), (16, 6), (8, 3)] {
+            for k in [2usize, 3, 4, 8] {
+                let verdicts = verify_multiway_rounds(w, e, k).unwrap();
+                let sorted = &verdicts[0];
+                assert_eq!(sorted.label, "sorted");
+                assert!(sorted.stride_regular, "w={w} E={e} k={k}");
+                let d = gcd(w as u64, e as u64) as usize;
+                assert_eq!(sorted.closed_form, Some(d * e), "w={w} E={e} k={k}");
+                assert!(sorted.holds(), "w={w} E={e} k={k}: {:?}", sorted.failures);
+                assert!(sorted.per_warp_aligned.iter().all(|&a| a == d * e));
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_interleaved_round_is_reported_not_failed() {
+        for (w, e, k) in [(32usize, 5usize, 4usize), (32, 8, 4), (16, 3, 2)] {
+            let verdicts = verify_multiway_rounds(w, e, k).unwrap();
+            let inter = &verdicts[1];
+            assert_eq!(inter.label, "interleaved");
+            assert!(!inter.stride_regular, "w={w} E={e} k={k}");
+            assert_eq!(inter.closed_form, None);
+            // No closed form ⇒ nothing to violate: holds by design.
+            assert!(inter.holds());
+            assert_eq!(inter.per_warp_aligned.len(), 4);
         }
     }
 }

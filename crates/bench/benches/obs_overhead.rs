@@ -30,6 +30,7 @@ fn options(obs: Obs) -> SweepOptions {
         sweep: SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 },
         resilience: ResilienceConfig { obs, ..ResilienceConfig::none() },
         backend: BackendKind::Analytic,
+        algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
         jobs: 1,
     }
 }

@@ -1,18 +1,18 @@
-//! The price of conflict-freedom (§I): compare the pairwise merge sort
-//! against a data-oblivious bitonic network on random and worst-case
-//! inputs. Bitonic's conflicts cannot be influenced by any input — but
-//! it pays Θ(log N) extra passes. This quantifies the paper's remark
-//! that conflict-free algorithms "come at a price of … more overall
-//! work".
+//! The price of conflict-freedom (§I): compare the merge sort (pairwise
+//! by default, k-way multiway with `--algorithm multiway`) against a
+//! data-oblivious bitonic network on random and worst-case inputs.
+//! Bitonic's conflicts cannot be influenced by any input — but it pays
+//! Θ(log N) extra passes. This quantifies the paper's remark that
+//! conflict-free algorithms "come at a price of … more overall work".
 //!
-//! Usage: `compare_sorts [--quick] [--backend <sim|analytic|reference>] [--jobs <n>]`
-//! (the backend applies to the pairwise sort; bitonic always simulates)
+//! Usage: `compare_sorts [--quick] [--backend <sim|analytic|reference>]
+//!                       [--algorithm <pairwise|multiway>] [--jobs <n>]`
+//! (backend and algorithm apply to the merge sort; bitonic always simulates)
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::{backend_from_args, jobs_from_args};
 use wcms_bench::experiment::model_time;
-use wcms_bench::supervisor::parallel_map;
+use wcms_bench::panel::adhoc_binary_main;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::bitonic::bitonic_sort_with_report;
@@ -20,71 +20,57 @@ use wcms_mergesort::{SortParams, SortReport};
 use wcms_workloads::random::random_permutation;
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("compare_sorts: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
+    adhoc_binary_main("compare_sorts", |args| {
+        let device = DeviceSpec::quadro_m4000();
+        // Power-of-two tile so both sorts accept the same sizes. With a
+        // power-of-two E, the pairwise sort's worst case is *sorted order*
+        // itself (§III: gcd(w, E) = E) — no constructed permutation needed.
+        let params = SortParams::new(32, 16, 128)?; // bE = 2048
+        let doublings = if args.quick { 3..=6 } else { 3..=9 };
+        let worst_input = |n: usize| -> Vec<u32> { (0..n as u32).collect() };
+        let (backend, algorithm) = (args.backend, args.algorithm);
 
-fn run() -> Result<(), WcmsError> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let quick = argv.iter().any(|a| a == "--quick");
-    let backend = backend_from_args(&argv)?;
-    let jobs = jobs_from_args(&argv)?;
-    let device = DeviceSpec::quadro_m4000();
-    // Power-of-two tile so both sorts accept the same sizes. With a
-    // power-of-two E, the pairwise sort's worst case is *sorted order*
-    // itself (§III: gcd(w, E) = E) — no constructed permutation needed.
-    let params = SortParams::new(32, 16, 128)?; // bE = 2048
-    let doublings = if quick { 3..=6 } else { 3..=9 };
-    let worst_input = |n: usize| -> Vec<u32> { (0..n as u32).collect() };
-
-    println!(
-        "device = {}, pairwise E=16/b=128 (backend = {backend}) vs bitonic (same tile)",
-        device.name
-    );
-    println!("(worst input for E = 16 is sorted order: gcd(w, E) = E, Fig. 1's case)");
-    println!(
-        "{:>10} {:>16} {:>16} {:>16} {:>16}",
-        "N", "pairwise rnd", "pairwise worst", "bitonic rnd", "bitonic worst"
-    );
-    println!("{:>10} {:>16} {:>16} {:>16} {:>16}", "", "(ms)", "(ms)", "(ms)", "(ms)");
-    // Rows computed in parallel (`--jobs`), printed in N order so output
-    // bytes never depend on the worker count.
-    let rows = parallel_map(doublings.collect(), jobs, |_, d| {
-        let n = params.block_elems() << d;
-        let random = random_permutation(n, 17);
-        let worst = worst_input(n);
-        let time = |report: &SortReport| -> Result<f64, WcmsError> {
-            Ok(model_time(&device, &params, report)? * 1e3)
-        };
-
-        let (_, pr) = backend.sort_with_report(&random, &params)?;
-        let (_, pw) = backend.sort_with_report(&worst, &params)?;
-        let (_, br) = bitonic_sort_with_report(&random, &params)?;
-        let (_, bw) = bitonic_sort_with_report(&worst, &params)?;
-        assert_eq!(
-            br.total().shared,
-            bw.total().shared,
-            "bitonic conflicts must be input-independent"
+        println!(
+            "device = {}, {algorithm} E=16/b=128 (backend = {backend}) vs bitonic (same tile)",
+            device.name
         );
-        Ok(format!(
-            "{n:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
-            time(&pr)?,
-            time(&pw)?,
-            time(&br)?,
-            time(&bw)?
-        ))
-    });
-    for row in rows {
-        println!("{}", row?);
-    }
-    println!();
-    println!("bitonic's two columns are identical (data-oblivious: immune to the");
-    println!("adversary) but both sit above the pairwise random column — the log N");
-    println!("extra passes the paper's intro calls the price of conflict-freedom.");
-    Ok(())
+        println!("(worst input for E = 16 is sorted order: gcd(w, E) = E, Fig. 1's case)");
+        println!(
+            "{:>10} {:>16} {:>16} {:>16} {:>16}",
+            "N", "merge rnd", "merge worst", "bitonic rnd", "bitonic worst"
+        );
+        println!("{:>10} {:>16} {:>16} {:>16} {:>16}", "", "(ms)", "(ms)", "(ms)", "(ms)");
+        // Rows computed in parallel (`--jobs`), printed in N order so
+        // output bytes never depend on the worker count.
+        args.emit_rows(doublings.collect(), |d| {
+            let n = params.block_elems() << d;
+            let random = random_permutation(n, 17);
+            let worst = worst_input(n);
+            let time = |report: &SortReport| -> Result<f64, WcmsError> {
+                Ok(model_time(&device, &params, report)? * 1e3)
+            };
+
+            let (_, pr) = backend.sort_algo_with_report(algorithm, &random, &params)?;
+            let (_, pw) = backend.sort_algo_with_report(algorithm, &worst, &params)?;
+            let (_, br) = bitonic_sort_with_report(&random, &params)?;
+            let (_, bw) = bitonic_sort_with_report(&worst, &params)?;
+            assert_eq!(
+                br.total().shared,
+                bw.total().shared,
+                "bitonic conflicts must be input-independent"
+            );
+            Ok(format!(
+                "{n:>10} {:>16.4} {:>16.4} {:>16.4} {:>16.4}",
+                time(&pr)?,
+                time(&pw)?,
+                time(&br)?,
+                time(&bw)?
+            ))
+        })?;
+        println!();
+        println!("bitonic's two columns are identical (data-oblivious: immune to the");
+        println!("adversary) but both sit above the merge-sort random column — the log N");
+        println!("extra passes the paper's intro calls the price of conflict-freedom.");
+        Ok(())
+    })
 }

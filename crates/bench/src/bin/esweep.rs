@@ -6,74 +6,64 @@
 //! the simulated device, exposing where the libraries' `E = 15/17`
 //! choices sit.
 //!
-//! Usage: `esweep [--quick] [--rtx] [--backend <sim|analytic|reference>] [--jobs <n>]`
+//! Usage: `esweep [--quick] [--rtx] [--backend <sim|analytic|reference>]
+//!                [--algorithm <pairwise|multiway>] [--jobs <n>]`
 
 use std::process::ExitCode;
 
-use wcms_bench::cliargs::{backend_from_args, jobs_from_args};
-use wcms_bench::experiment::measure_on;
-use wcms_bench::supervisor::parallel_map;
-use wcms_error::WcmsError;
+use wcms_bench::experiment::measure_algo_on;
+use wcms_bench::panel::adhoc_binary_main;
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("esweep: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
+    adhoc_binary_main("esweep", |args| {
+        let device = if args.has_flag("--rtx") {
+            DeviceSpec::rtx_2080_ti()
+        } else {
+            DeviceSpec::quadro_m4000()
+        };
+        let doublings = if args.quick { 4 } else { 6 };
+        let b = 128usize;
+        let (backend, algorithm) = (args.backend, args.algorithm);
 
-fn run() -> Result<(), WcmsError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let backend = backend_from_args(&args)?;
-    let jobs = jobs_from_args(&args)?;
-    let device = if args.iter().any(|a| a == "--rtx") {
-        DeviceSpec::rtx_2080_ti()
-    } else {
-        DeviceSpec::quadro_m4000()
-    };
-    let doublings = if quick { 4 } else { 6 };
-    let b = 128usize;
-
-    println!("device = {}, b = {b}, N = bE·2^{doublings}, backend = {backend}", device.name);
-    println!(
-        "{:>4} {:>10} {:>14} {:>14} {:>10} {:>12}",
-        "E", "N", "random ME/s", "worst ME/s", "slowdown", "worst beta2"
-    );
-    // Compute rows in parallel (`--jobs`), print strictly in E order so
-    // the output is byte-identical to the sequential path.
-    let rows = parallel_map((3..32).step_by(2).collect(), jobs, |_, e| {
-        let params = SortParams::new(32, e, b)?;
-        let n = params.block_elems() << doublings;
-        let random = measure_on(
-            &device,
-            &params,
-            WorkloadSpec::RandomPermutation { seed: 3 },
-            n,
-            2,
-            backend,
-        )?;
-        let worst = measure_on(&device, &params, WorkloadSpec::WorstCase, n, 1, backend)?;
-        Ok(format!(
-            "{e:>4} {n:>10} {:>14.1} {:>14.1} {:>9.1}% {:>12.2}",
-            random.throughput / 1e6,
-            worst.throughput / 1e6,
-            (random.throughput / worst.throughput - 1.0) * 100.0,
-            worst.beta2
-        ))
-    });
-    for row in rows {
-        println!("{}", row?);
-    }
-    println!();
-    println!("Reading (§III-C): worst-case beta2 tracks E (small case exactly E, large");
-    println!("case the Theorem 9 fraction); random throughput peaks at mid-range E where");
-    println!("partitioning work and per-round conflicts balance — the libraries' E=15/17.");
-    Ok(())
+        println!(
+            "device = {}, b = {b}, N = bE·2^{doublings}, backend = {backend}, algorithm = {algorithm}",
+            device.name
+        );
+        println!(
+            "{:>4} {:>10} {:>14} {:>14} {:>10} {:>12}",
+            "E", "N", "random ME/s", "worst ME/s", "slowdown", "worst beta2"
+        );
+        // Rows computed in parallel (`--jobs`), printed strictly in E
+        // order so the output is byte-identical to the sequential path.
+        args.emit_rows((3..32).step_by(2).collect(), |e| {
+            let params = SortParams::new(32, e, b)?;
+            let n = params.block_elems() << doublings;
+            let spec = WorkloadSpec::RandomPermutation { seed: 3 };
+            let random = measure_algo_on(&device, &params, spec, n, 2, algorithm, backend)?;
+            let worst = measure_algo_on(
+                &device,
+                &params,
+                WorkloadSpec::WorstCase,
+                n,
+                1,
+                algorithm,
+                backend,
+            )?;
+            Ok(format!(
+                "{e:>4} {n:>10} {:>14.1} {:>14.1} {:>9.1}% {:>12.2}",
+                random.throughput / 1e6,
+                worst.throughput / 1e6,
+                (random.throughput / worst.throughput - 1.0) * 100.0,
+                worst.beta2
+            ))
+        })?;
+        println!();
+        println!("Reading (§III-C): worst-case beta2 tracks E (small case exactly E, large");
+        println!("case the Theorem 9 fraction); random throughput peaks at mid-range E where");
+        println!("partitioning work and per-round conflicts balance — the libraries' E=15/17.");
+        Ok(())
+    })
 }

@@ -3,8 +3,9 @@
 //! constructed worst-case inputs.
 //!
 //! Usage: `fig4 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
-//!              [--jobs <n>] [--markdown] [--resume] [--timeout <secs>]
-//!              [--retries <k>] [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--algorithm <pairwise|multiway>] [--jobs <n>] [--markdown]
+//!              [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 

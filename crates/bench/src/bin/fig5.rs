@@ -3,8 +3,9 @@
 //! E=17/b=256, random vs. constructed worst-case inputs.
 //!
 //! Usage: `fig5 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
-//!              [--jobs <n>] [--markdown] [--resume] [--timeout <secs>]
-//!              [--retries <k>] [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--algorithm <pairwise|multiway>] [--jobs <n>] [--markdown]
+//!              [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;
 

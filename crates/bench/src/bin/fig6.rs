@@ -4,7 +4,8 @@
 //! predicts the runtime curve, and both grow logarithmically with N.
 //!
 //! Usage: `fig6 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
-//!              [--jobs <n>] [--resume] [--timeout <secs>] [--retries <k>]
+//!              [--algorithm <pairwise|multiway>] [--jobs <n>] [--resume]
+//!              [--timeout <secs>] [--retries <k>]
 //!              [--checkpoint-dir <dir>] [--no-checkpoint]`
 
 use std::process::ExitCode;

@@ -106,6 +106,11 @@ pub struct SweepFingerprint {
     pub figure: String,
     /// Execution backend name (`sim`, `analytic`, `reference`).
     pub backend: String,
+    /// Sort algorithm name (`pairwise`, `multiway`). Manifests written
+    /// before the algorithm dimension existed decode as `pairwise` —
+    /// the only algorithm they could have measured — so old pairwise
+    /// checkpoints stay resumable without a schema bump.
+    pub algorithm: String,
     /// Smallest size exponent of the grid.
     pub min_doublings: u32,
     /// Largest size exponent of the grid.
@@ -120,12 +125,13 @@ impl SweepFingerprint {
     fn encode(&self) -> String {
         format!(
             concat!(
-                "{{\"schema\":{},\"figure\":\"{}\",\"backend\":\"{}\",",
+                "{{\"schema\":{},\"figure\":\"{}\",\"backend\":\"{}\",\"algorithm\":\"{}\",",
                 "\"min_doublings\":{},\"max_doublings\":{},\"runs\":{},\"seed\":{}}}"
             ),
             SCHEMA_VERSION,
             escape(&self.figure),
             escape(&self.backend),
+            escape(&self.algorithm),
             self.min_doublings,
             self.max_doublings,
             self.runs,
@@ -141,6 +147,8 @@ impl SweepFingerprint {
             SweepFingerprint {
                 figure: obj.get_str("figure")?.to_string(),
                 backend: obj.get_str("backend")?.to_string(),
+                // Pre-algorithm manifests could only have been pairwise.
+                algorithm: obj.get_str("algorithm").unwrap_or("pairwise").to_string(),
                 min_doublings: obj.get_num("min_doublings")? as u32,
                 max_doublings: obj.get_num("max_doublings")? as u32,
                 runs: obj.get_num("runs")? as u64,
@@ -161,6 +169,9 @@ impl SweepFingerprint {
         }
         if self.backend != other.backend {
             return Some(("backend", self.backend.clone(), other.backend.clone()));
+        }
+        if self.algorithm != other.algorithm {
+            return Some(("algorithm", self.algorithm.clone(), other.algorithm.clone()));
         }
         if (self.min_doublings, self.max_doublings) != (other.min_doublings, other.max_doublings) {
             return Some((
@@ -739,6 +750,7 @@ mod tests {
         SweepFingerprint {
             figure: "figX".into(),
             backend: "sim".into(),
+            algorithm: "pairwise".into(),
             min_doublings: 1,
             max_doublings: 5,
             runs: 2,
@@ -835,6 +847,24 @@ mod tests {
         assert_eq!(back, f);
     }
 
+    /// Manifests written before the algorithm dimension existed (no
+    /// `algorithm` key) must decode as pairwise — old pairwise
+    /// checkpoint directories stay resumable without a schema bump.
+    #[test]
+    fn pre_algorithm_manifest_decodes_as_pairwise() {
+        let legacy = format!(
+            concat!(
+                "{{\"schema\":{},\"figure\":\"figX\",\"backend\":\"sim\",",
+                "\"min_doublings\":1,\"max_doublings\":5,\"runs\":2,\"seed\":{}}}"
+            ),
+            SCHEMA_VERSION, 0xC0FFEE_u64,
+        );
+        let (schema, back) = SweepFingerprint::decode(&legacy).unwrap();
+        assert_eq!(schema, SCHEMA_VERSION);
+        assert_eq!(back, fp(), "missing algorithm field must default to pairwise");
+        assert!(fp().first_mismatch(&back).is_none());
+    }
+
     #[test]
     fn open_for_fresh_clears_and_resume_keeps() {
         let dir = tmpdir("manifest");
@@ -860,6 +890,7 @@ mod tests {
                     as Box<dyn Fn(&mut SweepFingerprint)>,
                 "backend",
             ),
+            (Box::new(|f: &mut SweepFingerprint| f.algorithm = "multiway".into()), "algorithm"),
             (Box::new(|f: &mut SweepFingerprint| f.max_doublings = 9), "grid"),
             (Box::new(|f: &mut SweepFingerprint| f.seed = 1), "seed"),
             (Box::new(|f: &mut SweepFingerprint| f.figure = "fig5".into()), "figure"),

@@ -5,6 +5,7 @@
 //! ```text
 //! [--quick|--standard|--full]   sweep size (default --standard)
 //! [--backend <sim|analytic|reference>]  execution backend (default sim)
+//! [--algorithm <pairwise|multiway>]     sort algorithm (default pairwise)
 //! [--jobs <n>]                  worker threads for the sweep (default 1)
 //! [--markdown]                  markdown tables instead of CSV
 //! [--resume]                    reuse checkpointed cells from a prior run
@@ -33,7 +34,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use wcms_error::WcmsError;
-use wcms_mergesort::BackendKind;
+use wcms_mergesort::{AlgorithmKind, BackendKind};
 use wcms_obs::{Clock, Obs, RingCollector};
 
 use crate::checkpoint::{CheckpointStore, SweepFingerprint};
@@ -116,6 +117,7 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     };
 
     let backend = backend_from_args(args)?;
+    let algorithm = algorithm_from_args(args)?;
     let jobs = jobs_from_args(args)?;
 
     let mut resilience = ResilienceConfig::none();
@@ -150,12 +152,20 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     if !args.iter().any(|a| a == "--no-checkpoint") {
         // Namespace the default per backend: sim and analytic sweeps of
         // the same figure must never share (or clear) each other's cells.
-        let dir = value_of("--checkpoint-dir")
-            .map(String::from)
-            .unwrap_or_else(|| format!("results/.checkpoint/{figure}/{backend}"));
+        // The algorithm joins the namespace the same way — but pairwise
+        // keeps the historical un-suffixed directory, so existing
+        // pairwise checkpoints survive this flag's introduction.
+        let dir = value_of("--checkpoint-dir").map(String::from).unwrap_or_else(|| {
+            if algorithm == AlgorithmKind::Pairwise {
+                format!("results/.checkpoint/{figure}/{backend}")
+            } else {
+                format!("results/.checkpoint/{figure}/{backend}-{algorithm}")
+            }
+        });
         let fingerprint = SweepFingerprint {
             figure: figure.to_string(),
             backend: backend.name().to_string(),
+            algorithm: algorithm.name().to_string(),
             min_doublings: sweep.min_doublings,
             max_doublings: sweep.max_doublings,
             runs: sweep.runs,
@@ -165,7 +175,7 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     }
 
     Ok(FigureArgs {
-        opts: SweepOptions { sweep, resilience, backend, jobs },
+        opts: SweepOptions { sweep, resilience, backend, algorithm, jobs },
         markdown: args.iter().any(|a| a == "--markdown"),
         trace,
         metrics,
@@ -185,6 +195,21 @@ pub fn backend_from_args(args: &[String]) -> Result<BackendKind, WcmsError> {
     match args.iter().position(|a| a == "--backend").and_then(|i| args.get(i + 1)) {
         Some(name) => name.parse(),
         None => Ok(BackendKind::default()),
+    }
+}
+
+/// Parse `--algorithm <pairwise|multiway>` from a raw argument list
+/// (default pairwise — the paper's sort). Shared by the figure binaries
+/// and the ad-hoc sweeps, so the flag means the same thing everywhere.
+///
+/// # Errors
+///
+/// Returns the [`AlgorithmKind`] parse error for an unknown algorithm
+/// name.
+pub fn algorithm_from_args(args: &[String]) -> Result<AlgorithmKind, WcmsError> {
+    match args.iter().position(|a| a == "--algorithm").and_then(|i| args.get(i + 1)) {
+        Some(name) => name.parse(),
+        None => Ok(AlgorithmKind::default()),
     }
 }
 
@@ -267,6 +292,49 @@ mod tests {
         let err =
             parse_figure_args("figX", &strs(&["--no-checkpoint", "--backend", "gpu"])).unwrap_err();
         assert!(err.to_string().contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn algorithm_flag_parses() {
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint"])).unwrap();
+        assert_eq!(a.opts.algorithm, AlgorithmKind::Pairwise, "default is the paper's sort");
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--algorithm", "multiway"]))
+            .unwrap();
+        assert_eq!(a.opts.algorithm, AlgorithmKind::Multiway);
+        let err = parse_figure_args("figX", &strs(&["--no-checkpoint", "--algorithm", "bitonic"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm"), "{err}");
+    }
+
+    /// A checkpoint written under one algorithm refuses to resume under
+    /// another, naming the differing field — multiway cells must never
+    /// be stitched into a pairwise sweep.
+    #[test]
+    fn resume_across_algorithms_refuses_naming_the_field() {
+        let dir = std::env::temp_dir().join(format!("wcms-cli-algo-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let _ = parse_figure_args(
+            "figX",
+            &strs(&["--quick", "--checkpoint-dir", dir.to_str().unwrap()]),
+        )
+        .unwrap();
+        let err = parse_figure_args(
+            "figX",
+            &strs(&[
+                "--quick",
+                "--resume",
+                "--algorithm",
+                "multiway",
+                "--checkpoint-dir",
+                dir.to_str().unwrap(),
+            ]),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, WcmsError::CheckpointMismatch { field: "algorithm", .. }),
+            "expected an algorithm mismatch, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

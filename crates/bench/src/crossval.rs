@@ -10,10 +10,17 @@
 //! Theorem 9, and the power-of-two case where sorted order *is* the
 //! worst case) and compares outputs and full [`SortReport`]s with `==`
 //! — no tolerances anywhere.
+//!
+//! The grid quantifies over the *algorithm* too: every cell runs once
+//! per [`AlgorithmKind`], so the k-way multiway rounds are held to the
+//! same integer-identity bar as the pairwise rounds. Each cell also
+//! checks the CPU reference backend's output (the degrade rung carries
+//! no counters, but its sort must agree element for element).
 
 use wcms_error::WcmsError;
 use wcms_mergesort::{
-    sort_with_report_traced_on, AnalyticBackend, SimBackend, SortParams, SortReport,
+    sort_algo_with_report_traced_on, AlgorithmKind, AnalyticBackend, ReferenceBackend, SimBackend,
+    SortParams, SortReport,
 };
 use wcms_obs::Obs;
 use wcms_workloads::WorkloadSpec;
@@ -32,6 +39,8 @@ pub struct CrossJob {
     pub spec: WorkloadSpec,
     /// Input size.
     pub n: usize,
+    /// Sort algorithm under validation.
+    pub algorithm: AlgorithmKind,
 }
 
 /// The outcome of one validated cell.
@@ -162,18 +171,25 @@ pub fn cross_validate_traced(jobs: &[CrossJob], obs: &Obs) -> Result<CrossReport
     let mut report = CrossReport::default();
     for job in jobs {
         let input = job.spec.generate(job.n, job.params.w, job.params.e, job.params.b)?;
+        let algo = job.algorithm.instance();
 
         let t0 = obs.clock.now_us();
-        let (sim_out, sim_rep) = sort_with_report_traced_on(&input, &job.params, &SimBackend, obs)?;
+        let (sim_out, sim_rep) =
+            sort_algo_with_report_traced_on(&input, &job.params, algo, &SimBackend, obs)?;
         report.sim_s += obs.clock.elapsed_s(t0);
 
         let t0 = obs.clock.now_us();
         let (ana_out, ana_rep) =
-            sort_with_report_traced_on(&input, &job.params, &AnalyticBackend, obs)?;
+            sort_algo_with_report_traced_on(&input, &job.params, algo, &AnalyticBackend, obs)?;
         report.analytic_s += obs.clock.elapsed_s(t0);
+
+        let (ref_out, _) =
+            sort_algo_with_report_traced_on(&input, &job.params, algo, &ReferenceBackend, obs)?;
 
         let mismatch = if sim_out != ana_out {
             Some("sorted outputs differ".into())
+        } else if ref_out != sim_out {
+            Some("reference backend output diverged".into())
         } else if sim_rep != ana_rep {
             Some(first_divergence(&sim_rep, &ana_rep))
         } else {
@@ -200,9 +216,10 @@ pub fn cross_validate_traced(jobs: &[CrossJob], obs: &Obs) -> Result<CrossReport
 /// Returns parameter-validation errors from the presets.
 pub fn default_jobs(sweep: &SweepConfig) -> Result<Vec<CrossJob>, WcmsError> {
     let device = wcms_gpu_sim::DeviceSpec::quadro_m4000();
-    let mut jobs = Vec::new();
+    let mut cells: Vec<(String, SortParams, WorkloadSpec, usize)> = Vec::new();
     // The figure-4 grid, at the small end of the sweep (the big end is
-    // the figure runners' job — here every cell runs twice).
+    // the figure runners' job — here every cell runs twice per
+    // algorithm).
     let doublings = sweep.min_doublings..=sweep.max_doublings.min(sweep.min_doublings + 1);
     for cfg in fig4_configs(&device)? {
         for (wl, spec) in [
@@ -210,12 +227,12 @@ pub fn default_jobs(sweep: &SweepConfig) -> Result<Vec<CrossJob>, WcmsError> {
             ("random", WorkloadSpec::RandomPermutation { seed: 0xC0FFEE }),
         ] {
             for m in doublings.clone() {
-                jobs.push(CrossJob {
-                    label: format!("fig4/{} E={} b={} {wl}", cfg.label, cfg.params.e, cfg.params.b),
-                    params: cfg.params,
+                cells.push((
+                    format!("fig4/{} E={} b={} {wl}", cfg.label, cfg.params.e, cfg.params.b),
+                    cfg.params,
                     spec,
-                    n: cfg.params.block_elems() << m,
-                });
+                    cfg.params.block_elems() << m,
+                ));
             }
         }
     }
@@ -232,7 +249,19 @@ pub fn default_jobs(sweep: &SweepConfig) -> Result<Vec<CrossJob>, WcmsError> {
     ];
     for (label, params, spec) in families {
         for m in [2u32, 4] {
-            jobs.push(CrossJob { label: label.into(), params, spec, n: params.block_elems() << m });
+            cells.push((label.into(), params, spec, params.block_elems() << m));
+        }
+    }
+    // Quantify over the algorithm: the multiway rounds are held to the
+    // same zero-tolerance bar as the pairwise rounds, cell for cell.
+    let mut jobs = Vec::new();
+    for algorithm in AlgorithmKind::ALL {
+        for (label, params, spec, n) in &cells {
+            let label = match algorithm {
+                AlgorithmKind::Pairwise => label.clone(),
+                other => format!("{label} [{other}]"),
+            };
+            jobs.push(CrossJob { label, params: *params, spec: *spec, n: *n, algorithm });
         }
     }
     Ok(jobs)
@@ -244,19 +273,22 @@ mod tests {
 
     fn tiny_jobs() -> Vec<CrossJob> {
         let mut jobs = Vec::new();
-        for (e, spec) in [
-            (3usize, WorkloadSpec::WorstCase),
-            (7, WorkloadSpec::WorstCase),
-            (16, WorkloadSpec::Sorted),
-            (15, WorkloadSpec::RandomPermutation { seed: 5 }),
-        ] {
-            let params = SortParams::new(32, e, 64).unwrap();
-            jobs.push(CrossJob {
-                label: format!("E={e} {}", spec.label()),
-                params,
-                spec,
-                n: params.block_elems() * 4,
-            });
+        for algorithm in AlgorithmKind::ALL {
+            for (e, spec) in [
+                (3usize, WorkloadSpec::WorstCase),
+                (7, WorkloadSpec::WorstCase),
+                (16, WorkloadSpec::Sorted),
+                (15, WorkloadSpec::RandomPermutation { seed: 5 }),
+            ] {
+                let params = SortParams::new(32, e, 64).unwrap();
+                jobs.push(CrossJob {
+                    label: format!("E={e} {} [{algorithm}]", spec.label()),
+                    params,
+                    spec,
+                    n: params.block_elems() * 4,
+                    algorithm,
+                });
+            }
         }
         jobs
     }
@@ -272,12 +304,26 @@ mod tests {
     }
 
     #[test]
-    fn default_grid_covers_presets_and_families() {
+    fn default_grid_covers_presets_families_and_algorithms() {
         let jobs = default_jobs(&SweepConfig::quick()).unwrap();
         for needle in ["fig4/Thrust", "fig4/ModernGPU", "small-E", "large-E", "power-of-two"] {
             assert!(jobs.iter().any(|j| j.label.contains(needle)), "missing {needle}");
         }
         assert!(jobs.iter().any(|j| matches!(j.spec, WorkloadSpec::Sorted)));
+        // Every cell appears once per algorithm.
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(
+                jobs.iter().filter(|j| j.algorithm == kind).count(),
+                jobs.len() / AlgorithmKind::ALL.len(),
+                "the grid must quantify evenly over algorithms"
+            );
+        }
+        assert!(
+            jobs.iter().any(|j| j.algorithm == AlgorithmKind::Multiway
+                && j.label.contains("small-E")
+                && j.label.contains("multiway")),
+            "the worst-case families must run under multiway too"
+        );
     }
 
     #[test]
@@ -302,6 +348,7 @@ mod tests {
             params,
             spec: WorkloadSpec::WorstCase,
             n: params.block_elems() << 4,
+            algorithm: AlgorithmKind::Pairwise,
         }];
         let report = cross_validate(&jobs).unwrap();
         assert!(report.all_equal(), "{}", report.render());

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use wcms_dmm::stats::Summary;
 use wcms_error::{CancelToken, WcmsError};
 use wcms_gpu_sim::{CostModel, DeviceSpec, Occupancy};
-use wcms_mergesort::{BackendKind, SortParams, SortReport};
+use wcms_mergesort::{AlgorithmKind, BackendKind, SortParams, SortReport};
 use wcms_obs::Obs;
 use wcms_workloads::WorkloadSpec;
 
@@ -139,6 +139,34 @@ pub fn measure_on(
     measure_cancellable(device, params, spec, n, runs, backend, &CancelToken::never())
 }
 
+/// [`measure_on`] for an explicit algorithm — the ad-hoc binaries'
+/// entry point for `--algorithm` sweeps.
+///
+/// # Errors
+///
+/// Same conditions as [`measure_on`].
+pub fn measure_algo_on(
+    device: &DeviceSpec,
+    params: &SortParams,
+    spec: WorkloadSpec,
+    n: usize,
+    runs: u64,
+    algorithm: AlgorithmKind,
+    backend: BackendKind,
+) -> Result<Measurement, WcmsError> {
+    measure_algo_traced(
+        device,
+        params,
+        spec,
+        n,
+        runs,
+        algorithm,
+        backend,
+        &CancelToken::never(),
+        Obs::noop(),
+    )
+}
+
 /// [`measure_on`] under a [`CancelToken`]: the token is threaded into
 /// the backend's per-unit checks (and polled between runs), so a
 /// supervisor deadline stops the measurement at the next work-unit
@@ -180,6 +208,31 @@ pub fn measure_traced(
     token: &CancelToken,
     obs: &Obs,
 ) -> Result<Measurement, WcmsError> {
+    measure_algo_traced(device, params, spec, n, runs, AlgorithmKind::Pairwise, backend, token, obs)
+}
+
+/// Measure one point of `algorithm` on `backend` — the fully general
+/// cell: `(device, params, workload, N, algorithm, backend)`. The
+/// pairwise algorithm reproduces [`measure_traced`] bit for bit (the
+/// generic driver dispatches it through the legacy pairwise work
+/// units); multiway runs fewer, wider global rounds and reports its own
+/// conflict profile.
+///
+/// # Errors
+///
+/// Same conditions as [`measure_traced`].
+#[allow(clippy::too_many_arguments)] // the cell tuple plus token and obs
+pub fn measure_algo_traced(
+    device: &DeviceSpec,
+    params: &SortParams,
+    spec: WorkloadSpec,
+    n: usize,
+    runs: u64,
+    algorithm: AlgorithmKind,
+    backend: BackendKind,
+    token: &CancelToken,
+    obs: &Obs,
+) -> Result<Measurement, WcmsError> {
     let runs = runs.max(1);
     let mut times = Vec::with_capacity(runs as usize);
     let mut beta1 = Vec::new();
@@ -188,8 +241,8 @@ pub fn measure_traced(
     for run in 0..runs {
         token.check()?;
         let input = spec.with_run_seed(run).generate(n, params.w, params.e, params.b)?;
-        let (out, report) =
-            backend.sort_with_report_cancellable_traced(&input, params, token, obs)?;
+        let (out, report) = backend
+            .sort_algo_with_report_cancellable_traced(algorithm, &input, params, token, obs)?;
         debug_assert!(out.windows(2).all(|w| w[0] <= w[1]));
         // The reference backend does no GPU work at all, so the cost
         // model does not apply — not even its per-launch overhead floor.
@@ -314,6 +367,36 @@ mod tests {
         let err = measure_cancellable(&d, &p, WorkloadSpec::Sorted, n, 1, BackendKind::Sim, &token)
             .unwrap_err();
         assert!(matches!(err, WcmsError::Cancelled { ref cell } if cell == "cell-x"), "{err}");
+    }
+
+    #[test]
+    fn pairwise_algo_measurement_is_the_legacy_measurement() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 4;
+        let spec = WorkloadSpec::RandomPermutation { seed: 9 };
+        let legacy = measure_on(&d, &p, spec, n, 2, BackendKind::Sim).unwrap();
+        let algo =
+            measure_algo_on(&d, &p, spec, n, 2, AlgorithmKind::Pairwise, BackendKind::Sim).unwrap();
+        assert_eq!(legacy, algo, "pairwise through the generic driver must measure identically");
+    }
+
+    #[test]
+    fn multiway_measures_identically_on_both_counting_backends() {
+        let (d, p) = tiny();
+        let n = p.block_elems() * 8;
+        let spec = WorkloadSpec::RandomPermutation { seed: 13 };
+        let sim =
+            measure_algo_on(&d, &p, spec, n, 2, AlgorithmKind::Multiway, BackendKind::Sim).unwrap();
+        let analytic =
+            measure_algo_on(&d, &p, spec, n, 2, AlgorithmKind::Multiway, BackendKind::Analytic)
+                .unwrap();
+        assert_eq!(sim, analytic, "multiway counters must agree across backends");
+        let pairwise =
+            measure_algo_on(&d, &p, spec, n, 2, AlgorithmKind::Pairwise, BackendKind::Sim).unwrap();
+        assert_ne!(
+            sim, pairwise,
+            "multiway runs fewer, wider rounds — its profile must differ from pairwise"
+        );
     }
 
     #[test]

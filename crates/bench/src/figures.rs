@@ -18,7 +18,7 @@ use wcms_mergesort::SortParams;
 use wcms_workloads::WorkloadSpec;
 
 use crate::checkpoint::CellResult;
-use crate::experiment::measure_traced;
+use crate::experiment::measure_algo_traced;
 use crate::resilient::{QuarantinedCell, SkippedCell, SweepReport};
 use crate::series::Series;
 use crate::supervisor::{run_sweep, SweepOptions};
@@ -57,12 +57,13 @@ fn run_grid(
     // share the recorder/metrics/clock), so per-sort spans and counters
     // land in the same journal as the supervisor's cell spans.
     let obs = opts.resilience.obs.clone();
+    let algorithm = opts.algorithm;
     let sweep = run_sweep(
         cells,
         opts,
         |(label, _, _, n)| format!("{figure}/{label}/{n}"),
         move |(_, params, spec, n), backend, token| {
-            measure_traced(&dev, &params, spec, n, runs, backend, token, &obs)
+            measure_algo_traced(&dev, &params, spec, n, runs, algorithm, backend, token, &obs)
         },
     );
 
@@ -280,6 +281,30 @@ mod tests {
             "jobs=4 must render the byte-identical CSV of jobs=1"
         );
         assert_eq!(par.stats.jobs, 4);
+    }
+
+    /// The `--algorithm` surface at the figure level: a multiway sweep
+    /// runs the same grid gap-free and produces a genuinely different
+    /// conflict profile than the pairwise sweep.
+    #[test]
+    fn multiway_figure_runs_and_differs_from_pairwise() {
+        use wcms_mergesort::AlgorithmKind;
+        let device = DeviceSpec::test_device();
+        let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
+        let sweep = SweepConfig { min_doublings: 2, max_doublings: 3, runs: 1 };
+        let pairwise = throughput_figure("t", &device, &configs, &plain(sweep));
+        let multiway = throughput_figure(
+            "t",
+            &device,
+            &configs,
+            &plain(sweep).with_algorithm(AlgorithmKind::Multiway),
+        );
+        assert!(multiway.skipped.is_empty(), "{:?}", multiway.skipped);
+        assert_eq!(pairwise.series.len(), multiway.series.len());
+        assert_ne!(
+            pairwise.series, multiway.series,
+            "multiway must not silently measure the pairwise pipeline"
+        );
     }
 
     #[test]

@@ -16,13 +16,16 @@
 use std::process::ExitCode;
 
 use wcms_error::WcmsError;
-use wcms_mergesort::BackendKind;
+use wcms_mergesort::{AlgorithmKind, BackendKind};
 
-use crate::cliargs::{figure_args_from_env, FigureArgs};
+use crate::cliargs::{
+    algorithm_from_args, backend_from_args, figure_args_from_env, jobs_from_args, FigureArgs,
+};
 use crate::experiment::Measurement;
 use crate::resilient::SweepReport;
 use crate::series::Series;
 use crate::summary::slowdown_table;
+use crate::supervisor::parallel_map;
 
 /// One projected table of a panel: an optional stderr caption, the
 /// per-measurement value to print, and its unit (markdown mode only).
@@ -157,6 +160,83 @@ pub fn rank_agreement_lines(series: &[Series]) -> Vec<String> {
         .collect()
 }
 
+/// Parsed arguments shared by the ad-hoc study binaries (`esweep`,
+/// `compare_sorts`, `ablation`, …): the `--quick` switch plus the
+/// `--backend`/`--algorithm`/`--jobs` surface every sweep speaks, and
+/// the raw argv for binary-specific flags. Before this type each binary
+/// repeated the same parse/dispatch/print boilerplate; now a new shared
+/// flag lands in exactly one place.
+#[derive(Debug, Clone)]
+pub struct AdhocArgs {
+    argv: Vec<String>,
+    /// `--quick`: smaller grids for CI / smoke runs.
+    pub quick: bool,
+    /// `--backend <sim|analytic|reference>`.
+    pub backend: BackendKind,
+    /// `--algorithm <pairwise|multiway>`.
+    pub algorithm: AlgorithmKind,
+    /// `--jobs <n>` worker threads.
+    pub jobs: usize,
+}
+
+impl AdhocArgs {
+    /// Parse an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for an unknown backend or
+    /// algorithm name, or a bad worker count.
+    pub fn parse(argv: Vec<String>) -> Result<Self, WcmsError> {
+        let quick = argv.iter().any(|a| a == "--quick");
+        let backend = backend_from_args(&argv)?;
+        let algorithm = algorithm_from_args(&argv)?;
+        let jobs = jobs_from_args(&argv)?;
+        Ok(Self { argv, quick, backend, algorithm, jobs })
+    }
+
+    /// Is `flag` present in the raw argument list?
+    #[must_use]
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+
+    /// Compute one printable row per item on `--jobs` workers and print
+    /// them in submission order — the shared shape of every ad-hoc
+    /// table. Output bytes never depend on the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first row's error (after printing the rows before
+    /// it), exactly like the sequential loop it replaces.
+    pub fn emit_rows<J: Send>(
+        &self,
+        items: Vec<J>,
+        row: impl Fn(J) -> Result<String, WcmsError> + Sync,
+    ) -> Result<(), WcmsError> {
+        for r in parallel_map(items, self.jobs, |_, item| row(item)) {
+            println!("{}", r?);
+        }
+        Ok(())
+    }
+}
+
+/// The whole `main` of an ad-hoc study binary: parse the shared CLI,
+/// run the study, map any error to `EXIT_FAILURE` with the binary name
+/// attached.
+pub fn adhoc_binary_main(
+    name: &str,
+    run: impl FnOnce(&AdhocArgs) -> Result<(), WcmsError>,
+) -> ExitCode {
+    let result = AdhocArgs::parse(std::env::args().skip(1).collect()).and_then(|args| run(&args));
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The whole `main` of a figure binary: parse the shared CLI, build the
 /// panels, render them, map any error to `EXIT_FAILURE` with the figure
 /// name attached.
@@ -181,6 +261,11 @@ pub fn figure_binary_main(
     for panel in &panels {
         let (data, comments) = panel.render(args.backend(), args.markdown);
         eprint!("{comments}");
+        // Pairwise keeps the historical stderr byte for byte; only a
+        // non-default algorithm announces itself.
+        if args.opts.algorithm != AlgorithmKind::Pairwise {
+            eprintln!("# algorithm: {}", args.opts.algorithm);
+        }
         // The structured run summary: one greppable line per sweep,
         // rebuilt from the metrics registry by the supervisor
         // (`SweepStats::from_registry`), so it can never drift from a
@@ -288,6 +373,36 @@ mod tests {
         let conflict_pos = comments.find("bank conflicts").unwrap();
         assert!(runtime_pos < conflict_pos);
         assert!(comments.contains("rank agreement"), "{comments}");
+    }
+
+    #[test]
+    fn adhoc_args_parse_the_shared_surface() {
+        let strs = |xs: &[&str]| xs.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        let args = AdhocArgs::parse(strs(&[
+            "--quick",
+            "--backend",
+            "analytic",
+            "--algorithm",
+            "multiway",
+            "--jobs",
+            "3",
+            "--rtx",
+        ]))
+        .unwrap();
+        assert!(args.quick);
+        assert_eq!(args.backend, BackendKind::Analytic);
+        assert_eq!(args.algorithm, AlgorithmKind::Multiway);
+        assert_eq!(args.jobs, 3);
+        assert!(args.has_flag("--rtx"));
+        assert!(!args.has_flag("--markdown"));
+
+        let defaults = AdhocArgs::parse(vec![]).unwrap();
+        assert!(!defaults.quick);
+        assert_eq!(defaults.backend, BackendKind::Sim);
+        assert_eq!(defaults.algorithm, AlgorithmKind::Pairwise);
+        assert_eq!(defaults.jobs, 1);
+
+        assert!(AdhocArgs::parse(strs(&["--algorithm", "quantum"])).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use wcms_error::{CancelToken, WcmsError};
-use wcms_mergesort::BackendKind;
+use wcms_mergesort::{AlgorithmKind, BackendKind};
 use wcms_obs::{fields, span, MetricsRegistry, LATENCY_BUCKETS_S};
 
 use crate::checkpoint::CellResult;
@@ -47,6 +47,8 @@ pub struct SweepOptions {
     /// Execution backend for the primary attempt (the ladder may demote
     /// below it).
     pub backend: BackendKind,
+    /// Sort algorithm every cell measures (`--algorithm`).
+    pub algorithm: AlgorithmKind,
     /// Worker threads (`--jobs`); 1 = inline sequential execution.
     pub jobs: usize,
 }
@@ -56,13 +58,26 @@ impl SweepOptions {
     /// behaviour (used widely in tests).
     #[must_use]
     pub fn plain(sweep: SweepConfig, backend: BackendKind) -> Self {
-        Self { sweep, resilience: ResilienceConfig::none(), backend, jobs: 1 }
+        Self {
+            sweep,
+            resilience: ResilienceConfig::none(),
+            backend,
+            algorithm: AlgorithmKind::Pairwise,
+            jobs: 1,
+        }
     }
 
     /// These options with `jobs` workers.
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// These options measuring `algorithm`.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = algorithm;
         self
     }
 }

@@ -82,6 +82,7 @@ fn traced_jobs4_sweep_journal_validates_end_to_end() {
         sweep: SweepConfig { min_doublings: 1, max_doublings: 3, runs: 1 },
         resilience: ResilienceConfig { obs, ..ResilienceConfig::none() },
         backend: BackendKind::Sim,
+        algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
         jobs: 4,
     };
     let device = DeviceSpec::test_device();
@@ -139,6 +140,7 @@ fn virtual_clock_sweep_is_deterministic_and_non_blocking() {
             ..ResilienceConfig::none()
         },
         backend: BackendKind::Analytic,
+        algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
         jobs: 1,
     };
     let device = DeviceSpec::test_device();

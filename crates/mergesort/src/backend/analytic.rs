@@ -26,7 +26,8 @@ use crate::instrument::RoundCounters;
 use crate::network::odd_even_sort;
 use crate::params::SortParams;
 use crate::schedule::{
-    find_block_coranks, validate_coranks, walk_block_merge, walk_in_block_round, ScheduleSink,
+    find_block_coranks, find_block_coranks_multi, validate_coranks, validate_coranks_multi,
+    walk_block_merge, walk_in_block_round, walk_multiway_merge, ScheduleSink,
 };
 
 use super::ExecBackend;
@@ -323,6 +324,10 @@ impl<K: Copy> ScheduleSink<K> for StageSink<'_, K> {
         self.stage.probe.addrs.push(b_addr);
     }
 
+    fn probe_at(&mut self, addr: usize) {
+        self.stage.probe.addrs.push(addr);
+    }
+
     fn merge_read(&mut self, addr: usize, val: K) {
         self.stage.merge.addrs.push(addr);
         self.out[self.cursor] = val;
@@ -464,6 +469,58 @@ impl ExecBackend for AnalyticBackend {
         counters.global.merge(&tile_traffic_words(a_offset + diag_start, be, w, K::WORD_BYTES));
         Ok((out, counters))
     }
+
+    fn merge_unit_multi<K: GpuKey>(
+        &self,
+        runs: &[&[K]],
+        run_offsets: &[usize],
+        out_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<&[(usize, usize)]>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        let be = params.block_elems();
+        let w = params.w;
+        let mut counters = RoundCounters { blocks: 1, ..Default::default() };
+
+        // Stage 1: block partition in global memory (shared code path).
+        let diag_start = block_index * be;
+        let diag_end = diag_start + be;
+        let lens: Vec<usize> = runs.iter().map(|r| r.len()).collect();
+        let pairs =
+            find_block_coranks_multi(runs, diag_start, diag_end, precomputed, &mut counters);
+        validate_coranks_multi(&pairs, diag_start, diag_end, &lens, block_index)?;
+
+        // Stage 2: tile load, segment i right after segment i−1.
+        let parts: Vec<&[K]> = runs.iter().zip(&pairs).map(|(r, &(s, e))| &r[s..e]).collect();
+        let mut tc = TileCounter::new(params, be);
+        let mut base = 0usize;
+        for ((part, &(s, _)), &off) in parts.iter().zip(&pairs).zip(run_offsets) {
+            counters.global.merge(&tile_traffic_words(off + s, part.len(), w, K::WORD_BYTES));
+            tc.count_fill(base, part.len(), params.b, w);
+            base += part.len();
+        }
+        counters.shared.transfer.merge(&tc.drain());
+
+        // Stages 3 & 4: the k-way merge streamed from the shared walker.
+        let mut out = vec![K::default(); be];
+        let mut stage = StageCounter::new(w);
+        walk_multiway_merge(
+            &parts,
+            params,
+            &mut StageSink {
+                stage: &mut stage,
+                tc: &mut tc,
+                out: &mut out,
+                write_start: 0,
+                cursor: 0,
+            },
+        );
+        stage.flush(&mut tc);
+        stage.charge(&mut counters);
+        counters.global.merge(&tile_traffic_words(out_offset + diag_start, be, w, K::WORD_BYTES));
+        Ok((out, counters))
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +558,29 @@ mod tests {
             let (ana_out, ana_c) = AnalyticBackend.merge_unit(&a, &b, 0, be, j, &p, None).unwrap();
             assert_eq!(ana_out, sim_out, "block {j}");
             assert_eq!(ana_c, sim_c, "block {j}");
+        }
+    }
+
+    #[test]
+    fn merge_unit_multi_matches_sim_exactly() {
+        for p in [params(), params().with_padding()] {
+            let be = p.block_elems();
+            let runs: Vec<Vec<u32>> =
+                (0..3u32).map(|r| (0..be as u32).map(|x| (x * (r + 3)) % 251).collect()).collect();
+            let mut runs = runs;
+            for r in &mut runs {
+                r.sort_unstable();
+            }
+            let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+            let offsets: Vec<usize> = (0..3).map(|i| i * be).collect();
+            for j in 0..3 {
+                let (sim_out, sim_c) =
+                    SimBackend.merge_unit_multi(&refs, &offsets, 0, j, &p, None).unwrap();
+                let (ana_out, ana_c) =
+                    AnalyticBackend.merge_unit_multi(&refs, &offsets, 0, j, &p, None).unwrap();
+                assert_eq!(ana_out, sim_out, "block {j} padding={}", p.smem_padding);
+                assert_eq!(ana_c, sim_c, "block {j} padding={}", p.smem_padding);
+            }
         }
     }
 

@@ -43,8 +43,10 @@ use wcms_gpu_sim::GpuKey;
 
 use wcms_obs::Obs;
 
+use crate::algorithm::AlgorithmKind;
 use crate::driver::{
-    sort_resilient_traced_on, sort_with_report_traced_on, FaultReport, RecoveryPolicy,
+    sort_algo_with_report_traced_on, sort_resilient_algo_traced_on, sort_resilient_traced_on,
+    sort_with_report_traced_on, FaultReport, RecoveryPolicy,
 };
 use crate::instrument::{RoundCounters, SortReport};
 use crate::params::SortParams;
@@ -106,6 +108,38 @@ pub trait ExecBackend: Sync {
         params: &SortParams,
     ) -> (Vec<(usize, usize)>, RoundCounters) {
         crate::globalmerge::partition_pass(a, b, num_blocks, params)
+    }
+
+    /// Merge one block's `bE`-element output window of a *multiway*
+    /// group of sorted runs — the k-way analogue of
+    /// [`ExecBackend::merge_unit`], mirroring
+    /// [`crate::globalmerge::merge_block_multi`]'s contract.
+    ///
+    /// # Errors
+    ///
+    /// [`WcmsError::PartitionValidation`] for a corrupted co-rank
+    /// vector, plus any kernel-detected corruption the backend models.
+    fn merge_unit_multi<K: GpuKey>(
+        &self,
+        runs: &[&[K]],
+        run_offsets: &[usize],
+        out_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<&[(usize, usize)]>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError>;
+
+    /// The partition kernel for one *multiway* group: every merge
+    /// block's per-run `(start, end)` co-ranks plus the kernel's
+    /// counters. Shared-memory-free, so the lockstep default serves the
+    /// analytic backend too (same counters by shared construction).
+    fn partition_unit_multi<K: GpuKey>(
+        &self,
+        runs: &[&[K]],
+        num_blocks: usize,
+        params: &SortParams,
+    ) -> (Vec<Vec<(usize, usize)>>, RoundCounters) {
+        crate::globalmerge::partition_pass_multi(runs, num_blocks, params)
     }
 }
 
@@ -173,6 +207,29 @@ impl<B: ExecBackend> ExecBackend for Cancellable<B> {
         // Infallible signature: a fired token is caught by the next
         // fallible unit, at worst one partition pass later.
         self.inner.partition_unit(a, b, num_blocks, params)
+    }
+
+    fn merge_unit_multi<K: GpuKey>(
+        &self,
+        runs: &[&[K]],
+        run_offsets: &[usize],
+        out_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<&[(usize, usize)]>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        self.token.check()?;
+        self.inner.merge_unit_multi(runs, run_offsets, out_offset, block_index, params, precomputed)
+    }
+
+    fn partition_unit_multi<K: GpuKey>(
+        &self,
+        runs: &[&[K]],
+        num_blocks: usize,
+        params: &SortParams,
+    ) -> (Vec<Vec<(usize, usize)>>, RoundCounters) {
+        // Infallible signature, same as the pairwise partition unit.
+        self.inner.partition_unit_multi(runs, num_blocks, params)
     }
 }
 
@@ -306,6 +363,133 @@ impl BackendKind {
                 input,
                 params,
                 &Cancellable::new(ReferenceBackend, token),
+                obs,
+            ),
+        }
+    }
+
+    /// Run the full instrumented sort of `algo` on this backend —
+    /// value-level dispatch over the
+    /// `(SortAlgorithm, ExecBackend)`-generic
+    /// [`sort_algo_with_report_traced_on`]. With
+    /// [`AlgorithmKind::Pairwise`] this is bit-identical to
+    /// [`BackendKind::sort_with_report`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_with_report_on`](crate::driver::sort_with_report_on).
+    pub fn sort_algo_with_report<K: GpuKey>(
+        self,
+        algo: AlgorithmKind,
+        input: &[K],
+        params: &SortParams,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        self.sort_algo_with_report_traced(algo, input, params, Obs::noop())
+    }
+
+    /// [`BackendKind::sort_algo_with_report`] under an [`Obs`] bundle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_with_report_on`](crate::driver::sort_with_report_on).
+    pub fn sort_algo_with_report_traced<K: GpuKey>(
+        self,
+        algo: AlgorithmKind,
+        input: &[K],
+        params: &SortParams,
+        obs: &Obs,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        let a = algo.instance();
+        match self {
+            BackendKind::Sim => sort_algo_with_report_traced_on(input, params, a, &SimBackend, obs),
+            BackendKind::Analytic => {
+                sort_algo_with_report_traced_on(input, params, a, &AnalyticBackend, obs)
+            }
+            BackendKind::Reference => {
+                sort_algo_with_report_traced_on(input, params, a, &ReferenceBackend, obs)
+            }
+        }
+    }
+
+    /// [`BackendKind::sort_algo_with_report`] under a [`CancelToken`]
+    /// and an [`Obs`] bundle — the variant the traced sweep supervisor
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_with_report_on`](crate::driver::sort_with_report_on),
+    /// plus [`WcmsError::Cancelled`] when `token` fires mid-sort.
+    pub fn sort_algo_with_report_cancellable_traced<K: GpuKey>(
+        self,
+        algo: AlgorithmKind,
+        input: &[K],
+        params: &SortParams,
+        token: &CancelToken,
+        obs: &Obs,
+    ) -> Result<(Vec<K>, SortReport), WcmsError> {
+        let a = algo.instance();
+        let token = token.clone();
+        match self {
+            BackendKind::Sim => sort_algo_with_report_traced_on(
+                input,
+                params,
+                a,
+                &Cancellable::new(SimBackend, token),
+                obs,
+            ),
+            BackendKind::Analytic => sort_algo_with_report_traced_on(
+                input,
+                params,
+                a,
+                &Cancellable::new(AnalyticBackend, token),
+                obs,
+            ),
+            BackendKind::Reference => sort_algo_with_report_traced_on(
+                input,
+                params,
+                a,
+                &Cancellable::new(ReferenceBackend, token),
+                obs,
+            ),
+        }
+    }
+
+    /// Run the fault-hardened sort of `algo` on this backend
+    /// (value-level dispatch over [`sort_resilient_algo_traced_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`sort_resilient_on`](crate::driver::sort_resilient_on).
+    pub fn sort_algo_resilient_traced<K: GpuKey>(
+        self,
+        algo: AlgorithmKind,
+        input: &[K],
+        params: &SortParams,
+        injector: &FaultInjector,
+        policy: &RecoveryPolicy,
+        obs: &Obs,
+    ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+        let a = algo.instance();
+        match self {
+            BackendKind::Sim => {
+                sort_resilient_algo_traced_on(input, params, a, injector, policy, &SimBackend, obs)
+            }
+            BackendKind::Analytic => sort_resilient_algo_traced_on(
+                input,
+                params,
+                a,
+                injector,
+                policy,
+                &AnalyticBackend,
+                obs,
+            ),
+            BackendKind::Reference => sort_resilient_algo_traced_on(
+                input,
+                params,
+                a,
+                injector,
+                policy,
+                &ReferenceBackend,
                 obs,
             ),
         }

@@ -5,7 +5,7 @@ use wcms_error::WcmsError;
 use wcms_gpu_sim::GpuKey;
 
 use crate::blocksort::block_sort;
-use crate::globalmerge::merge_block;
+use crate::globalmerge::{merge_block, merge_block_multi};
 use crate::instrument::RoundCounters;
 use crate::params::SortParams;
 
@@ -43,5 +43,17 @@ impl ExecBackend for SimBackend {
         precomputed: Option<(usize, usize)>,
     ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
         merge_block(a, b, a_offset, b_offset, block_index, params, precomputed)
+    }
+
+    fn merge_unit_multi<K: GpuKey>(
+        &self,
+        runs: &[&[K]],
+        run_offsets: &[usize],
+        out_offset: usize,
+        block_index: usize,
+        params: &SortParams,
+        precomputed: Option<&[(usize, usize)]>,
+    ) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+        merge_block_multi(runs, run_offsets, out_offset, block_index, params, precomputed)
     }
 }

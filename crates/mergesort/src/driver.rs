@@ -12,12 +12,42 @@ use wcms_error::WcmsError;
 use wcms_gpu_sim::fault::FaultInjector;
 use wcms_gpu_sim::FaultCounters;
 use wcms_mergepath::diagonal::merge_path;
+use wcms_mergepath::multiway::multiway_select;
 use wcms_obs::{event, span, Obs};
 
+use crate::algorithm::{PairwiseMerge, SortAlgorithm};
 use crate::backend::{ExecBackend, ReferenceBackend, SimBackend};
 use crate::instrument::{RoundCounters, SortReport};
 use crate::params::{SortParams, SortVariant};
 use crate::verify::{check_round_output, multiset_hash};
+
+/// The global rounds' view of the working buffer: each sorted run as its
+/// `(offset, len)` span. Groups of consecutive runs merge per round;
+/// `runs.chunks(fan_in)` is the round's group decomposition.
+type RunSpan = (usize, usize);
+
+/// One round group's precomputed co-ranks (the Modern GPU structure):
+/// pairwise groups carry per-block pairs, multiway groups per-block
+/// per-run vectors, passthrough groups nothing.
+enum GroupCoranks {
+    Pair(Vec<(usize, usize)>),
+    Multi(Vec<Vec<(usize, usize)>>),
+    None,
+}
+
+fn group_refs<'a, K>(cur: &'a [K], grp: &[RunSpan]) -> Vec<&'a [K]> {
+    grp.iter().map(|&(off, len)| &cur[off..off + len]).collect()
+}
+
+fn split_runs<'a, K>(data: &'a [K], lens: &[usize]) -> Vec<&'a [K]> {
+    let mut out = Vec::with_capacity(lens.len());
+    let mut off = 0usize;
+    for &l in lens {
+        out.push(&data[off..off + l]);
+        off += l;
+    }
+    out
+}
 
 /// Sort `input` on the simulated GPU and return the sorted output with
 /// the full instrumentation report.
@@ -63,6 +93,38 @@ pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
     sort_with_report_traced_on(input, params, backend, Obs::noop())
 }
 
+/// [`sort_with_report_on`] generic over the algorithm as well (see
+/// [`sort_algo_with_report_traced_on`]).
+///
+/// # Errors
+///
+/// Same conditions as [`sort_with_report`].
+pub fn sort_algo_with_report_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    algo: &(impl SortAlgorithm + ?Sized),
+    backend: &impl ExecBackend,
+) -> Result<(Vec<K>, SortReport), WcmsError> {
+    sort_algo_with_report_traced_on(input, params, algo, backend, Obs::noop())
+}
+
+/// [`sort_resilient_on`] generic over the algorithm as well (see
+/// [`sort_resilient_algo_traced_on`]).
+///
+/// # Errors
+///
+/// Same conditions as [`sort_resilient`].
+pub fn sort_resilient_algo_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    algo: &(impl SortAlgorithm + ?Sized),
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
+) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+    sort_resilient_algo_traced_on(input, params, algo, injector, policy, backend, Obs::noop())
+}
+
 /// [`sort_with_report_on`] under an [`Obs`] bundle: a `sort` span wraps
 /// the whole pipeline, each global round runs inside a `merge-round`
 /// span, per-round `round-counters` events carry the merge-step and
@@ -77,6 +139,27 @@ pub fn sort_with_report_on<K: wcms_gpu_sim::GpuKey>(
 pub fn sort_with_report_traced_on<K: wcms_gpu_sim::GpuKey>(
     input: &[K],
     params: &SortParams,
+    backend: &impl ExecBackend,
+    obs: &Obs,
+) -> Result<(Vec<K>, SortReport), WcmsError> {
+    sort_algo_with_report_traced_on(input, params, &PairwiseMerge, backend, obs)
+}
+
+/// [`sort_with_report_traced_on`] generic over the *algorithm* as well:
+/// the round loop asks `algo` for each round's fan-in, dispatches 2-way
+/// groups through the exact legacy pairwise work units (so
+/// [`PairwiseMerge`] is bit-identical — outputs, counters and trace
+/// events — to the pre-refactor pipeline) and wider groups through the
+/// k-way units. Every `(algorithm, backend)` combination sees the
+/// identical decomposition into work units.
+///
+/// # Errors
+///
+/// Same conditions as [`sort_with_report`].
+pub fn sort_algo_with_report_traced_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    algo: &(impl SortAlgorithm + ?Sized),
     backend: &impl ExecBackend,
     obs: &Obs,
 ) -> Result<(Vec<K>, SortReport), WcmsError> {
@@ -107,55 +190,106 @@ pub fn sort_with_report_traced_on<K: wcms_gpu_sim::GpuKey>(
         extra_cycles => base.shared.combined().extra_cycles,
         blocks => base.blocks);
 
-    // --- Global merge rounds.
+    // --- Global merge rounds: `algo` picks each round's fan-in, the
+    // run list tracks the surviving sorted runs' spans.
+    let mut runs: Vec<RunSpan> = (0..n / be).map(|i| (i * be, be)).collect();
     let mut rounds = Vec::with_capacity(params.global_rounds(n));
-    for round in 1..=params.global_rounds(n) {
-        let list_len = be << (round - 1);
-        let pair_len = 2 * list_len;
-        let blocks_per_pair = pair_len / be;
+    let mut round = 0usize;
+    while runs.len() > 1 {
+        round += 1;
+        let g = algo.fan_in(runs.len()).clamp(2, runs.len());
+        let groups: Vec<&[RunSpan]> = runs.chunks(g).collect();
+        let list_len = runs[0].1;
         let _round_span = span!(obs, "merge-round", round => round, list_len => list_len);
 
         // Modern GPU structure: a separate partition kernel per round
         // computes every block's co-ranks up front.
-        type PairCoranks = Vec<Vec<(usize, usize)>>;
-        let partitions: Option<(PairCoranks, RoundCounters)> =
+        let partitions: Option<(Vec<GroupCoranks>, RoundCounters)> =
             (params.variant == SortVariant::ModernGpu).then(|| {
-                let per_pair: Vec<(Vec<(usize, usize)>, RoundCounters)> = (0..n / pair_len)
-                    .into_par_iter()
-                    .map(|pair| {
-                        let pair_base = pair * pair_len;
-                        let a = &cur[pair_base..pair_base + list_len];
-                        let b = &cur[pair_base + list_len..pair_base + pair_len];
-                        backend.partition_unit(a, b, blocks_per_pair, params)
+                let per_group: Vec<(GroupCoranks, RoundCounters)> = groups
+                    .par_iter()
+                    .map(|grp| {
+                        let blocks = grp.iter().map(|r| r.1).sum::<usize>() / be;
+                        match grp.len() {
+                            1 => (GroupCoranks::None, RoundCounters::default()),
+                            2 => {
+                                let (off0, len0) = grp[0];
+                                let a = &cur[off0..off0 + len0];
+                                let b = &cur[grp[1].0..grp[1].0 + grp[1].1];
+                                let (pairs, c) = backend.partition_unit(a, b, blocks, params);
+                                (GroupCoranks::Pair(pairs), c)
+                            }
+                            _ => {
+                                let refs = group_refs(&cur, grp);
+                                let (pairs, c) =
+                                    backend.partition_unit_multi(&refs, blocks, params);
+                                (GroupCoranks::Multi(pairs), c)
+                            }
+                        }
                     })
                     .collect();
                 let mut counters = RoundCounters::default();
-                let mut coranks = Vec::with_capacity(per_pair.len());
-                for (pairs, c) in per_pair {
+                let mut coranks = Vec::with_capacity(per_group.len());
+                for (pairs, c) in per_group {
                     counters.absorb(&c);
                     coranks.push(pairs);
                 }
                 (coranks, counters)
             });
 
-        let results: Vec<(Vec<K>, RoundCounters)> = (0..n / be)
-            .into_par_iter()
-            .map(|block| {
-                let pair = block / blocks_per_pair;
-                let j = block % blocks_per_pair;
-                let pair_base = pair * pair_len;
-                let a = &cur[pair_base..pair_base + list_len];
-                let b = &cur[pair_base + list_len..pair_base + pair_len];
-                let pre = partitions.as_ref().map(|(coranks, _)| coranks[pair][j]);
-                backend.merge_unit(a, b, pair_base, pair_base + list_len, j, params, pre)
+        // One work unit per bE output window of every merging group, in
+        // group-major order (the kernel's block order).
+        let units: Vec<(usize, usize)> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, grp)| {
+                let blocks =
+                    if grp.len() == 1 { 0 } else { grp.iter().map(|r| r.1).sum::<usize>() / be };
+                (0..blocks).map(move |j| (gi, j))
+            })
+            .collect();
+        let results: Vec<(Vec<K>, RoundCounters)> = units
+            .par_iter()
+            .map(|&(gi, j)| {
+                let grp = groups[gi];
+                if grp.len() == 2 {
+                    let (off0, len0) = grp[0];
+                    let a = &cur[off0..off0 + len0];
+                    let b = &cur[grp[1].0..grp[1].0 + grp[1].1];
+                    let pre = partitions.as_ref().and_then(|(cor, _)| match &cor[gi] {
+                        GroupCoranks::Pair(pairs) => Some(pairs[j]),
+                        _ => None,
+                    });
+                    backend.merge_unit(a, b, off0, grp[1].0, j, params, pre)
+                } else {
+                    let refs = group_refs(&cur, grp);
+                    let offs: Vec<usize> = grp.iter().map(|r| r.0).collect();
+                    let pre = partitions.as_ref().and_then(|(cor, _)| match &cor[gi] {
+                        GroupCoranks::Multi(pairs) => Some(pairs[j].as_slice()),
+                        _ => None,
+                    });
+                    backend.merge_unit_multi(&refs, &offs, grp[0].0, j, params, pre)
+                }
             })
             .collect::<Result<_, _>>()?;
 
         let mut round_counters = partitions.map(|(_, c)| c).unwrap_or_default();
         let mut next = Vec::with_capacity(n);
-        for (chunk, c) in results {
-            round_counters.absorb(&c);
-            next.extend(chunk);
+        let mut next_runs = Vec::with_capacity(groups.len());
+        let mut merged = results.into_iter();
+        for grp in &groups {
+            let base = grp[0].0;
+            let total: usize = grp.iter().map(|r| r.1).sum();
+            next_runs.push((base, total));
+            if grp.len() == 1 {
+                next.extend_from_slice(&cur[base..base + total]);
+                continue;
+            }
+            for _ in 0..total / be {
+                let (chunk, c) = merged.next().expect("one unit per output window");
+                round_counters.absorb(&c);
+                next.extend(chunk);
+            }
         }
         event!(obs, "round-counters",
             round => round,
@@ -164,6 +298,7 @@ pub fn sort_with_report_traced_on<K: wcms_gpu_sim::GpuKey>(
             blocks => round_counters.blocks);
         rounds.push(round_counters);
         cur = next;
+        runs = next_runs;
     }
 
     let report = SortReport { params: *params, n, base, rounds };
@@ -360,6 +495,27 @@ pub fn sort_resilient_traced_on<K: wcms_gpu_sim::GpuKey>(
     backend: &impl ExecBackend,
     obs: &Obs,
 ) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
+    sort_resilient_algo_traced_on(input, params, &PairwiseMerge, injector, policy, backend, obs)
+}
+
+/// [`sort_resilient_traced_on`] generic over the algorithm: retry is
+/// *group*-granular (the group of runs merged together is the smallest
+/// unit whose output multiset is known in advance — the pair, for
+/// [`PairwiseMerge`]), and the degrade ladder bottoms out on the CPU
+/// k-way reference merge.
+///
+/// # Errors
+///
+/// Same conditions as [`sort_resilient`].
+pub fn sort_resilient_algo_traced_on<K: wcms_gpu_sim::GpuKey>(
+    input: &[K],
+    params: &SortParams,
+    algo: &(impl SortAlgorithm + ?Sized),
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
+    obs: &Obs,
+) -> Result<(Vec<K>, SortReport, FaultReport), WcmsError> {
     let n = input.len();
     if !params.valid_len(n) {
         return Err(WcmsError::InvalidLength { n, block_elems: params.block_elems() });
@@ -382,32 +538,69 @@ pub fn sort_resilient_traced_on<K: wcms_gpu_sim::GpuKey>(
         cur.extend(chunk);
     }
 
-    // --- Global merge rounds: pair-granular retry (the pair is the
-    // smallest unit whose output multiset is known in advance).
+    // --- Global merge rounds: group-granular retry (the merged group is
+    // the smallest unit whose output multiset is known in advance).
+    let mut runs: Vec<RunSpan> = (0..n / be).map(|i| (i * be, be)).collect();
     let mut rounds = Vec::with_capacity(params.global_rounds(n));
-    for round in 1..=params.global_rounds(n) {
-        let list_len = be << (round - 1);
-        let pair_len = 2 * list_len;
+    let mut round = 0usize;
+    while runs.len() > 1 {
+        round += 1;
+        let g = algo.fan_in(runs.len()).clamp(2, runs.len());
+        let groups: Vec<&[RunSpan]> = runs.chunks(g).collect();
 
-        let pair_results: Vec<(Vec<K>, RoundCounters, FaultReport)> = cur
-            .par_chunks(pair_len)
+        let group_results: Vec<(Vec<K>, RoundCounters, FaultReport)> = groups
+            .par_iter()
             .enumerate()
-            .map(|(pair, pair_input)| {
-                resilient_merge_pair(
-                    pair_input, list_len, pair, round, params, injector, policy, backend, obs,
-                )
+            .map(|(gi, grp)| {
+                let base = grp[0].0;
+                let total: usize = grp.iter().map(|r| r.1).sum();
+                let group_input = &cur[base..base + total];
+                match grp.len() {
+                    1 => {
+                        Ok((group_input.to_vec(), RoundCounters::default(), FaultReport::default()))
+                    }
+                    2 => resilient_merge_pair(
+                        group_input,
+                        grp[0].1,
+                        gi,
+                        round,
+                        params,
+                        injector,
+                        policy,
+                        backend,
+                        obs,
+                    ),
+                    _ => {
+                        let lens: Vec<usize> = grp.iter().map(|r| r.1).collect();
+                        resilient_merge_multi(
+                            group_input,
+                            &lens,
+                            base,
+                            gi,
+                            round,
+                            params,
+                            injector,
+                            policy,
+                            backend,
+                            obs,
+                        )
+                    }
+                }
             })
             .collect::<Result<_, _>>()?;
 
         let mut round_counters = RoundCounters::default();
         let mut next = Vec::with_capacity(n);
-        for (chunk, c, f) in pair_results {
+        let mut next_runs = Vec::with_capacity(groups.len());
+        for (grp, (chunk, c, f)) in groups.iter().zip(group_results) {
+            next_runs.push((grp[0].0, chunk.len()));
             round_counters.absorb(&c);
             fault.absorb(&f);
             next.extend(chunk);
         }
         rounds.push(round_counters);
         cur = next;
+        runs = next_runs;
     }
 
     let report = SortReport { params: *params, n, base, rounds };
@@ -597,6 +790,137 @@ fn resilient_merge_pair<K: wcms_gpu_sim::GpuKey>(
     Ok((ReferenceBackend.merge_pair(a, b), RoundCounters::default(), f))
 }
 
+/// One merged *multiway* group of one global round under injection — the
+/// k-way analogue of [`resilient_merge_pair`]: run every block of the
+/// group, check the assembled group output, retry the whole group from
+/// the immutable round input on detection, degrade to the CPU k-way
+/// merge on exhaustion.
+#[allow(clippy::too_many_arguments)] // internal retry-loop plumbing
+fn resilient_merge_multi<K: wcms_gpu_sim::GpuKey>(
+    group_input: &[K],
+    member_lens: &[usize],
+    group_base: usize,
+    group: usize,
+    round: usize,
+    params: &SortParams,
+    injector: &FaultInjector,
+    policy: &RecoveryPolicy,
+    backend: &impl ExecBackend,
+    obs: &Obs,
+) -> Result<(Vec<K>, RoundCounters, FaultReport), WcmsError> {
+    let be = params.block_elems();
+    let total = group_input.len();
+    let blocks = total / be;
+    let refs = split_runs(group_input, member_lens);
+    let run_offsets: Vec<usize> = {
+        let mut offs = Vec::with_capacity(member_lens.len());
+        let mut off = group_base;
+        for &l in member_lens {
+            offs.push(off);
+            off += l;
+        }
+        offs
+    };
+    let expect_hash = multiset_hash(group_input);
+    let mut f = FaultReport::default();
+
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            f.counters.retries += 1;
+        }
+        let partitions = (params.variant == SortVariant::ModernGpu)
+            .then(|| backend.partition_unit_multi(&refs, blocks, params));
+        let mut counters = partitions.as_ref().map(|(_, c)| *c).unwrap_or_default();
+        let mut out = Vec::with_capacity(total);
+        let mut kernel_fault = false;
+
+        for j in 0..blocks {
+            let block = group_base / be + j; // kernel-wide block id
+            let mut pre: Option<Vec<(usize, usize)>> =
+                partitions.as_ref().map(|(coranks, _)| coranks[j].clone());
+
+            // Inject: corrupt one run's co-rank pair (models a faulty
+            // partition kernel or a torn read of the partition array).
+            if injector.corank_fault_at(round, block, attempt) {
+                let mut pairs = pre.take().unwrap_or_else(|| {
+                    let starts = multiway_select(member_lens, j * be, |i, x| refs[i][x]);
+                    let ends = multiway_select(member_lens, (j + 1) * be, |i, x| refs[i][x]);
+                    starts.into_iter().zip(ends).collect()
+                });
+                pairs[0] = injector.corrupt_corank(pairs[0], round, block, attempt);
+                f.counters.corank_faults += 1;
+                event!(obs, "fault-injected",
+                    kind => "corank",
+                    seed => injector.config().seed,
+                    round => round,
+                    unit => block,
+                    attempt => attempt);
+                pre = Some(pairs);
+            }
+
+            // Inject: bit-flips in the group data this block reads.
+            let result = if injector.tile_fault_at(round, block, attempt) {
+                let mut tile = group_input.to_vec();
+                f.counters.tile_faults += 1;
+                f.counters.bits_flipped +=
+                    injector.flip_tile_bits(&mut tile, round, block, attempt);
+                event!(obs, "fault-injected",
+                    kind => "tile-bitflip",
+                    seed => injector.config().seed,
+                    round => round,
+                    unit => block,
+                    attempt => attempt);
+                let trefs = split_runs(&tile, member_lens);
+                backend.merge_unit_multi(
+                    &trefs,
+                    &run_offsets,
+                    group_base,
+                    j,
+                    params,
+                    pre.as_deref(),
+                )
+            } else {
+                backend.merge_unit_multi(&refs, &run_offsets, group_base, j, params, pre.as_deref())
+            };
+            match result {
+                Ok((chunk, c)) => {
+                    counters.absorb(&c);
+                    out.extend(chunk);
+                }
+                Err(
+                    WcmsError::PartitionValidation { .. }
+                    | WcmsError::SmemOutOfBounds { .. }
+                    | WcmsError::CrewViolation { .. }
+                    | WcmsError::CorruptOutput { .. },
+                ) => {
+                    f.counters.detected += 1;
+                    kernel_fault = true;
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        if !kernel_fault {
+            if check_round_output(&out, total, expect_hash, round, group).is_ok() {
+                return Ok((out, counters, f));
+            }
+            f.counters.detected += 1;
+        }
+    }
+
+    if !policy.cpu_fallback {
+        return Err(WcmsError::FaultUnrecoverable {
+            round,
+            block: group,
+            retries: policy.max_retries,
+        });
+    }
+    f.counters.cpu_fallbacks += 1;
+    f.degraded.push((round, group));
+    Ok((ReferenceBackend.merge_group(&refs), RoundCounters::default(), f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +970,134 @@ mod tests {
         ] {
             check_sorts(&input, &p);
         }
+    }
+
+    use crate::algorithm::MultiwayMerge;
+    use crate::backend::{AnalyticBackend, BackendKind};
+
+    #[test]
+    fn pairwise_algo_is_bit_identical_to_legacy_entry_points() {
+        for p in [params(), params().with_variant(SortVariant::ModernGpu)] {
+            let n = p.block_elems() * 8;
+            let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+            let legacy = sort_with_report(&input, &p).unwrap();
+            let algo = sort_algo_with_report_on(&input, &p, &PairwiseMerge, &SimBackend).unwrap();
+            assert_eq!(legacy, algo, "PairwiseMerge must preserve semantics exactly");
+        }
+    }
+
+    #[test]
+    fn multiway_sorts_with_fewer_rounds() {
+        let p = params();
+        let n = p.block_elems() * 16; // pairwise: 4 rounds; 4-way: 2
+        let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(48_271) % 9973).collect();
+        let mut want = input.clone();
+        want.sort_unstable();
+        let algo = MultiwayMerge::default();
+        let (out, report) = sort_algo_with_report_on(&input, &p, &algo, &SimBackend).unwrap();
+        assert_eq!(out, want);
+        assert_eq!(report.rounds.len(), 2);
+        let (_, pair_report) = sort_with_report(&input, &p).unwrap();
+        assert_eq!(pair_report.rounds.len(), 4);
+    }
+
+    #[test]
+    fn multiway_backends_agree_integer_exactly() {
+        for p in [params(), params().with_variant(SortVariant::ModernGpu), params().with_padding()]
+        {
+            let n = p.block_elems() * 8;
+            let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(31) % 4096).collect();
+            let algo = MultiwayMerge::default();
+            let (sim_out, sim_rep) =
+                sort_algo_with_report_on(&input, &p, &algo, &SimBackend).unwrap();
+            let (ana_out, ana_rep) =
+                sort_algo_with_report_on(&input, &p, &algo, &AnalyticBackend).unwrap();
+            let (ref_out, ref_rep) =
+                sort_algo_with_report_on(&input, &p, &algo, &ReferenceBackend).unwrap();
+            assert_eq!(ana_out, sim_out);
+            assert_eq!(ref_out, sim_out);
+            assert_eq!(ana_rep, sim_rep, "analytic counters must be integer-identical");
+            assert_eq!(ref_rep.total().shared.combined().conflicting_accesses, 0);
+        }
+    }
+
+    #[test]
+    fn multiway_handles_non_power_of_k_run_counts() {
+        // 8 runs under k = 3: groups of 3, 3, 2 → runs of 3bE, 3bE, 2bE,
+        // then one final 3-way group of unequal runs.
+        let p = params();
+        let n = p.block_elems() * 8;
+        let input: Vec<u32> = (0..n as u32).rev().collect();
+        let mut want = input.clone();
+        want.sort_unstable();
+        let algo = MultiwayMerge { k: 3 };
+        let (out, report) = sort_algo_with_report_on(&input, &p, &algo, &SimBackend).unwrap();
+        assert_eq!(out, want);
+        assert_eq!(report.rounds.len(), 2);
+    }
+
+    #[test]
+    fn multiway_resilient_disabled_injector_matches_plain() {
+        let p = params();
+        let n = p.block_elems() * 16;
+        let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(7) % 512).collect();
+        let algo = MultiwayMerge::default();
+        let (plain_out, plain_rep) =
+            sort_algo_with_report_on(&input, &p, &algo, &SimBackend).unwrap();
+        let (out, rep, faults) = sort_resilient_algo_on(
+            &input,
+            &p,
+            &algo,
+            &FaultInjector::disabled(),
+            &RecoveryPolicy::default(),
+            &SimBackend,
+        )
+        .unwrap();
+        assert_eq!(out, plain_out);
+        assert_eq!(rep, plain_rep);
+        assert!(faults.clean(), "{faults:?}");
+    }
+
+    #[test]
+    fn multiway_resilient_recovers_from_faults() {
+        let p = params();
+        let n = p.block_elems() * 16;
+        let input: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(48_271) % 9973).collect();
+        let mut want = input.clone();
+        want.sort_unstable();
+        let algo = MultiwayMerge::default();
+        for (tile, corank) in [(0.3, 0.0), (0.0, 0.5), (1.0, 0.0)] {
+            let inj = faulty(7, tile, corank);
+            let (out, _, faults) = sort_resilient_algo_on(
+                &input,
+                &p,
+                &algo,
+                &inj,
+                &RecoveryPolicy { max_retries: 4, cpu_fallback: true },
+                &SimBackend,
+            )
+            .unwrap();
+            assert_eq!(out, want, "tile={tile} corank={corank}");
+            assert!(faults.counters.any_injected(), "tile={tile} corank={corank} fired nothing");
+            assert!(faults.counters.detected > 0, "tile={tile} corank={corank}");
+        }
+    }
+
+    #[test]
+    fn backend_kind_algo_dispatch_matches_generic_drivers() {
+        let p = params();
+        let n = p.block_elems() * 8;
+        let input: Vec<u32> = (0..n as u32).rev().collect();
+        let algo = MultiwayMerge::default();
+        let direct = sort_algo_with_report_on(&input, &p, &algo, &SimBackend).unwrap();
+        let kind = BackendKind::Sim
+            .sort_algo_with_report(crate::algorithm::AlgorithmKind::Multiway, &input, &p)
+            .unwrap();
+        assert_eq!(direct, kind);
+        let pairwise = BackendKind::Sim
+            .sort_algo_with_report(crate::algorithm::AlgorithmKind::Pairwise, &input, &p)
+            .unwrap();
+        assert_eq!(pairwise, sort_with_report(&input, &p).unwrap());
     }
 
     #[test]

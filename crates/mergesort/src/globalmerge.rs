@@ -16,10 +16,14 @@ use wcms_dmm::BankModel;
 use wcms_error::WcmsError;
 use wcms_gpu_sim::{scalar_traffic, tile_traffic_words, GpuKey, SharedMemory};
 use wcms_mergepath::diagonal::merge_path_trace;
+use wcms_mergepath::multiway::multiway_select;
 
 use crate::instrument::RoundCounters;
 use crate::params::SortParams;
-use crate::schedule::{find_block_coranks, validate_coranks, MergeSchedule};
+use crate::schedule::{
+    find_block_coranks, find_block_coranks_multi, validate_coranks, validate_coranks_multi,
+    MergeSchedule,
+};
 use crate::warp_exec::{coalesced_fill, lockstep_probe, lockstep_writes};
 
 /// Merge the quantile of one thread block.
@@ -95,6 +99,111 @@ pub fn merge_block<K: GpuKey>(
     counters.global.merge(&tile_traffic_words(a_offset + diag_start, be, w, K::WORD_BYTES));
 
     Ok((smem.as_slice().to_vec(), counters))
+}
+
+/// Merge the quantile of one thread block of a *multiway* global round —
+/// the k-way analogue of [`merge_block`], same four stages.
+///
+/// `runs` are the group's `g` sorted runs and `run_offsets` their global
+/// word offsets; `out_offset` is the group's output base (the merged
+/// group overwrites the group's own span); `block_index` selects the
+/// `bE`-element output window of the merged group. `precomputed` carries
+/// the block's per-run `(start, end)` co-ranks from a separate partition
+/// kernel ([`partition_pass_multi`], the Modern-GPU-style structure);
+/// `None` makes the block run its own multisequence selection in global
+/// memory (the fused structure).
+///
+/// # Errors
+///
+/// Same contract as [`merge_block`]: a corrupted co-rank vector surfaces
+/// as a typed error, never as silent corruption.
+pub fn merge_block_multi<K: GpuKey>(
+    runs: &[&[K]],
+    run_offsets: &[usize],
+    out_offset: usize,
+    block_index: usize,
+    params: &SortParams,
+    precomputed: Option<&[(usize, usize)]>,
+) -> Result<(Vec<K>, RoundCounters), WcmsError> {
+    let be = params.block_elems();
+    let w = params.w;
+    let mut counters = RoundCounters { blocks: 1, ..Default::default() };
+
+    // --- Stage 1: block partition in global memory.
+    let diag_start = block_index * be;
+    let diag_end = diag_start + be;
+    let lens: Vec<usize> = runs.iter().map(|r| r.len()).collect();
+    let pairs = find_block_coranks_multi(runs, diag_start, diag_end, precomputed, &mut counters);
+    validate_coranks_multi(&pairs, diag_start, diag_end, &lens, block_index)?;
+
+    // --- Stage 2: tile load, segment i right after segment i−1.
+    let parts: Vec<&[K]> = runs.iter().zip(&pairs).map(|(r, &(s, e))| &r[s..e]).collect();
+    let mut smem = if params.smem_padding {
+        SharedMemory::<K>::new_padded(BankModel::new(w), be)
+    } else {
+        SharedMemory::<K>::new(BankModel::new(w), be)
+    };
+    let mut base = 0usize;
+    for ((part, &(s, _)), &off) in parts.iter().zip(&pairs).zip(run_offsets) {
+        counters.global.merge(&tile_traffic_words(off + s, part.len(), w, K::WORD_BYTES));
+        coalesced_fill(&mut smem, base, part, params.b, w)?;
+        base += part.len();
+    }
+    counters.shared.transfer.merge(&smem.drain_totals());
+
+    // --- Stage 3: k-way merge within the tile, replaying the shared
+    // schedule for exact accounting.
+    let sched = MergeSchedule::multiway_merge(&parts, params);
+
+    lockstep_probe(&mut smem, &sched.probe_seqs, w)?;
+    counters.shared.partition.merge(&smem.drain_totals());
+
+    lockstep_probe(&mut smem, &sched.merge_seqs, w)?;
+    counters.shared.merge.merge(&smem.drain_totals());
+
+    // --- Stage 4: stage merged results and store coalesced.
+    lockstep_writes(&mut smem, &sched.write_addrs, &sched.merged_vals, w)?;
+    counters.shared.transfer.merge(&smem.drain_totals());
+    counters.global.merge(&tile_traffic_words(out_offset + diag_start, be, w, K::WORD_BYTES));
+
+    Ok((smem.as_slice().to_vec(), counters))
+}
+
+/// The Modern-GPU-style partition kernel for a *multiway* group: one
+/// multisequence selection per merge-block diagonal, the `g` co-ranks of
+/// each written to a partition array in global memory. Returns each
+/// block's per-run `(start, end)` pairs and the kernel's counters (one
+/// scalar probe read per selection probe plus `g` array writes per
+/// diagonal, and the launch cost of `⌈(blocks+1)/b⌉` partition thread
+/// blocks).
+pub fn partition_pass_multi<K: GpuKey>(
+    runs: &[&[K]],
+    num_blocks: usize,
+    params: &SortParams,
+) -> (Vec<Vec<(usize, usize)>>, RoundCounters) {
+    let be = params.block_elems();
+    let g = runs.len();
+    let lens: Vec<usize> = runs.iter().map(|r| r.len()).collect();
+    let mut counters = RoundCounters {
+        // The selections are packed one-per-thread into partition blocks.
+        blocks: (num_blocks + 1).div_ceil(params.b),
+        ..Default::default()
+    };
+    let mut cuts = Vec::with_capacity(num_blocks + 1);
+    for j in 0..=num_blocks {
+        let cut = multiway_select(&lens, j * be, |i, x| {
+            counters.global.merge(&scalar_traffic());
+            runs[i][x]
+        });
+        // Store the g co-ranks to the partition array.
+        for _ in 0..g {
+            counters.global.merge(&scalar_traffic());
+        }
+        cuts.push(cut);
+    }
+    let pairs =
+        cuts.windows(2).map(|w| w[0].iter().zip(&w[1]).map(|(&s, &e)| (s, e)).collect()).collect();
+    (pairs, counters)
 }
 
 /// The Modern GPU partition kernel: one mutual binary search per merge
@@ -204,5 +313,60 @@ mod tests {
         assert!(c.global.requests > 0);
         // Tile load (bE) + store (bE) + search probes.
         assert!(c.global.accesses >= 2 * be);
+    }
+
+    #[test]
+    fn multiway_blocks_cover_whole_merge() {
+        let p = params();
+        let be = p.block_elems();
+        // Four sorted runs of bE each → 4 merge blocks of fan-in 4.
+        let runs: Vec<Vec<u32>> =
+            (0..4u32).map(|r| (0..be as u32).map(|x| 4 * x + r).collect()).collect();
+        let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+        let offsets: Vec<usize> = (0..4).map(|i| i * be).collect();
+        let mut want: Vec<u32> = runs.concat();
+        want.sort_unstable();
+        let mut got = Vec::new();
+        for j in 0..4 {
+            let (chunk, c) = merge_block_multi(&refs, &offsets, 0, j, &p, None).unwrap();
+            assert!(c.shared.merge.steps > 0, "block {j}");
+            assert_eq!(c.shared.combined().crew_violations, 0, "block {j}");
+            got.extend(chunk);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multiway_partition_pass_matches_fused_coranks() {
+        let p = params();
+        let be = p.block_elems();
+        let runs: Vec<Vec<u32>> =
+            (0..3u32).map(|r| (0..be as u32).map(|x| 3 * x + r).collect()).collect();
+        let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+        let num_blocks = 3;
+        let (pairs, c) = partition_pass_multi(&refs, num_blocks, &p);
+        assert_eq!(pairs.len(), num_blocks);
+        assert!(c.global.requests > 0);
+        assert_eq!(c.blocks, 1);
+        // Precomputed co-ranks reproduce the fused block's merge exactly.
+        let offsets: Vec<usize> = (0..3).map(|i| i * be).collect();
+        for (j, pair) in pairs.iter().enumerate() {
+            let (fused, _) = merge_block_multi(&refs, &offsets, 0, j, &p, None).unwrap();
+            let (pre, _) = merge_block_multi(&refs, &offsets, 0, j, &p, Some(pair)).unwrap();
+            assert_eq!(fused, pre, "block {j}");
+        }
+    }
+
+    #[test]
+    fn multiway_corrupted_corank_is_a_typed_error() {
+        let p = params();
+        let be = p.block_elems();
+        let runs: Vec<Vec<u32>> =
+            (0..3u32).map(|r| (0..be as u32).map(|x| 3 * x + r).collect()).collect();
+        let refs: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+        let offsets: Vec<usize> = (0..3).map(|i| i * be).collect();
+        let bad = vec![(0usize, be + 9), (0, 0), (0, 0)];
+        let err = merge_block_multi(&refs, &offsets, 0, 0, &p, Some(&bad)).unwrap_err();
+        assert!(matches!(err, WcmsError::PartitionValidation { .. }), "{err}");
     }
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod algorithm;
 pub mod analysis;
 pub mod assess;
 pub mod backend;
@@ -53,14 +54,17 @@ pub mod schedule;
 pub mod verify;
 pub mod warp_exec;
 
+pub use algorithm::{AlgorithmKind, MultiwayMerge, PairwiseMerge, SortAlgorithm};
 pub use assess::{assess_input, ConflictSeverity, InputAssessment};
 pub use backend::{
     AnalyticBackend, BackendKind, Cancellable, ExecBackend, ReferenceBackend, SimBackend,
 };
 pub use bitonic::bitonic_sort_with_report;
 pub use driver::{
-    sort, sort_padded, sort_resilient, sort_resilient_on, sort_resilient_traced_on,
-    sort_with_report, sort_with_report_on, sort_with_report_traced_on, FaultReport, RecoveryPolicy,
+    sort, sort_algo_with_report_on, sort_algo_with_report_traced_on, sort_padded, sort_resilient,
+    sort_resilient_algo_on, sort_resilient_algo_traced_on, sort_resilient_on,
+    sort_resilient_traced_on, sort_with_report, sort_with_report_on, sort_with_report_traced_on,
+    FaultReport, RecoveryPolicy,
 };
 pub use instrument::{PhaseTotals, RoundCounters, SortReport};
 pub use params::SortParams;

@@ -18,6 +18,7 @@
 
 use wcms_gpu_sim::scalar_traffic;
 use wcms_mergepath::diagonal::{merge_path, merge_path_trace, merge_path_visit};
+use wcms_mergepath::multiway::{multiway_emit, multiway_select};
 use wcms_mergepath::serial::{merge_emit, MergeSource};
 
 use crate::instrument::RoundCounters;
@@ -41,6 +42,10 @@ pub trait ScheduleSink<K> {
     /// One mutual-binary-search iteration: the A- and B-probe addresses,
     /// in the interleaved order the kernel touches them.
     fn probe(&mut self, a_addr: usize, b_addr: usize);
+    /// One single-address probe of a k-way multisequence selection (the
+    /// multiway algorithm's partition phase touches one run per
+    /// comparison, where the pairwise mutual search touches two).
+    fn probe_at(&mut self, addr: usize);
     /// One sequential-merge read: the tile address and the value read.
     fn merge_read(&mut self, addr: usize, val: K);
     /// End of the thread's schedule.
@@ -124,6 +129,59 @@ pub fn walk_block_merge<K: Copy + Ord>(
     }
 }
 
+/// Build one thread's k-way schedule — the thread merging `count`
+/// elements at output diagonal `diag` of the `g` tile segments `segs`
+/// (segment `i` loaded at tile offset `seg_bases[i]`), staging to
+/// `out_base + diag` — and stream it into `sink`. The k-way analogue of
+/// [`thread_schedule`]: every selection probe is a single-address
+/// [`ScheduleSink::probe_at`], every merged element one
+/// [`ScheduleSink::merge_read`].
+fn thread_schedule_multi<K: Copy + Ord>(
+    segs: &[&[K]],
+    seg_bases: &[usize],
+    out_base: usize,
+    diag: usize,
+    count: usize,
+    sink: &mut impl ScheduleSink<K>,
+) {
+    sink.begin_thread(out_base + diag);
+    let lens: Vec<usize> = segs.iter().map(|s| s.len()).collect();
+    let cut = multiway_select(&lens, diag, |i, j| {
+        sink.probe_at(seg_bases[i] + j);
+        segs[i][j]
+    });
+    multiway_emit(
+        &lens,
+        &cut,
+        count,
+        |i, j| segs[i][j],
+        |_, run, idx| sink.merge_read(seg_bases[run] + idx, segs[run][idx]),
+    );
+    sink.end_thread();
+}
+
+/// Stream the schedule of one multiway global-merge block's tile stage
+/// thread by thread into `sink`: `b` threads merge the block's `bE`-wide
+/// quantile from its `g` loaded segments (`parts[i]` at the tile offset
+/// where the previous segments end). The k-way analogue of
+/// [`walk_block_merge`], and the single construction both counting
+/// backends share for the multiway algorithm.
+pub fn walk_multiway_merge<K: Copy + Ord>(
+    parts: &[&[K]],
+    params: &SortParams,
+    sink: &mut impl ScheduleSink<K>,
+) {
+    let mut bases = Vec::with_capacity(parts.len());
+    let mut off = 0usize;
+    for p in parts {
+        bases.push(off);
+        off += p.len();
+    }
+    for t in 0..params.b {
+        thread_schedule_multi(parts, &bases, 0, t * params.e, params.e, sink);
+    }
+}
+
 /// The complete shared-memory schedule of one merge stage of one thread
 /// block.
 ///
@@ -163,6 +221,10 @@ impl<K: Copy> ScheduleSink<K> for Materializer<K> {
         let probes = self.sched.probe_seqs.last_mut().expect("probe before begin_thread");
         probes.push(a_addr);
         probes.push(b_addr);
+    }
+
+    fn probe_at(&mut self, addr: usize) {
+        self.sched.probe_seqs.last_mut().expect("probe_at before begin_thread").push(addr);
     }
 
     fn merge_read(&mut self, addr: usize, val: K) {
@@ -207,6 +269,16 @@ impl<K: Copy + Ord> MergeSchedule<K> {
         walk_block_merge(a_part, b_part, params, &mut m);
         m.sched
     }
+
+    /// The schedule of one *multiway* global-merge block's tile stage:
+    /// `b` threads merge the block's quantile from its `g` loaded
+    /// segments. Materialised from [`walk_multiway_merge`].
+    #[must_use]
+    pub fn multiway_merge(parts: &[&[K]], params: &SortParams) -> Self {
+        let mut m = Materializer { sched: Self::with_capacity(params.b), write_start: 0 };
+        walk_multiway_merge(parts, params, &mut m);
+        m.sched
+    }
 }
 
 /// Find one merge block's `(ca_start, ca_end)` co-ranks for the output
@@ -243,6 +315,77 @@ pub fn find_block_coranks<K: Copy + Ord>(
             (start, end)
         }
     }
+}
+
+/// Find one *multiway* merge block's per-run `(start, end)` co-ranks for
+/// the output window `[diag_start, diag_end)`, charging the stage's
+/// global traffic into `counters`: a precomputed vector (the
+/// Modern-GPU-style partition array) costs `2g` scalar fetches; the
+/// fused search costs one scalar read per selection probe (single-run
+/// probes, unlike the pairwise mutual search's A/B pair — the end
+/// co-ranks arrive from the neighbouring block's search and are not
+/// charged twice).
+pub fn find_block_coranks_multi<K: Copy + Ord>(
+    runs: &[&[K]],
+    diag_start: usize,
+    diag_end: usize,
+    precomputed: Option<&[(usize, usize)]>,
+    counters: &mut RoundCounters,
+) -> Vec<(usize, usize)> {
+    let lens: Vec<usize> = runs.iter().map(|r| r.len()).collect();
+    match precomputed {
+        Some(pairs) => {
+            for _ in 0..2 * pairs.len() {
+                counters.global.merge(&scalar_traffic());
+            }
+            pairs.to_vec()
+        }
+        None => {
+            let starts = multiway_select(&lens, diag_start, |i, j| {
+                counters.global.merge(&scalar_traffic());
+                runs[i][j]
+            });
+            let ends = multiway_select(&lens, diag_end, |i, j| runs[i][j]);
+            starts.into_iter().zip(ends).collect()
+        }
+    }
+}
+
+/// Structural validation of a multiway co-rank vector against its output
+/// window — the k-way analogue of [`validate_coranks`], with the same
+/// typed-error contract. The reported co-rank pair is the offending
+/// per-run pair, or the `(Σ start, Σ end)` sums when the vector's shape
+/// or totals are wrong.
+///
+/// # Errors
+///
+/// Returns [`wcms_error::WcmsError::PartitionValidation`] naming the
+/// block and the offending pair.
+pub fn validate_coranks_multi(
+    pairs: &[(usize, usize)],
+    diag_start: usize,
+    diag_end: usize,
+    lens: &[usize],
+    block_index: usize,
+) -> Result<(), wcms_error::WcmsError> {
+    let bad = |corank| {
+        Err(wcms_error::WcmsError::PartitionValidation { round: 0, block: block_index, corank })
+    };
+    if pairs.len() != lens.len() {
+        return bad((pairs.len(), lens.len()));
+    }
+    let (mut sum_start, mut sum_end) = (0usize, 0usize);
+    for (&(s, e), &len) in pairs.iter().zip(lens) {
+        if s > e || e > len {
+            return bad((s, e));
+        }
+        sum_start += s;
+        sum_end += e;
+    }
+    if sum_start != diag_start || sum_end != diag_end {
+        return bad((sum_start, sum_end));
+    }
+    Ok(())
 }
 
 /// Structural validation of a co-rank pair against its output window. A
@@ -332,6 +475,85 @@ mod tests {
         assert!(validate_coranks((0, 9), 0, 4, 4, 4, 0).is_err());
         assert!(validate_coranks((3, 1), 0, 4, 4, 4, 0).is_err());
         assert!(validate_coranks((0, 2), 0, 4, 4, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn multiway_merge_schedule_covers_the_tile() {
+        let p = params();
+        // Three segments summing to the tile: 18 + 18 + 12 = 48 = bE.
+        let s0: Vec<u32> = (0..18).map(|x| x * 3).collect();
+        let s1: Vec<u32> = (0..18).map(|x| x * 3 + 1).collect();
+        let s2: Vec<u32> = (0..12).map(|x| x * 3 + 2).collect();
+        let parts: Vec<&[u32]> = vec![&s0, &s1, &s2];
+        let s = MergeSchedule::multiway_merge(&parts, &p);
+        assert_eq!(s.write_addrs.len(), p.b);
+        let mut covered: Vec<usize> = s.write_addrs.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..p.block_elems()).collect::<Vec<_>>());
+        // Staged values assemble to the merged segments.
+        let mut out = vec![0u32; p.block_elems()];
+        for (addrs, vals) in s.write_addrs.iter().zip(&s.merged_vals) {
+            for (&addr, &v) in addrs.iter().zip(vals) {
+                out[addr] = v;
+            }
+        }
+        let mut want: Vec<u32> = [s0, s1, s2].concat();
+        want.sort_unstable();
+        assert_eq!(out, want);
+        // Selection probes are single addresses within the tile.
+        assert!(s.probe_seqs.iter().flatten().all(|&a| a < p.block_elems()));
+        // Merge reads are one per staged element, like the pairwise path.
+        for (m, v) in s.merge_seqs.iter().zip(&s.merged_vals) {
+            assert_eq!(m.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn two_way_multiway_schedule_matches_block_merge_reads() {
+        // At g = 2 the k-way walker must merge identically (same merge
+        // reads, same staged values) — only the probe phase differs
+        // (single-address selection vs the interleaved mutual search).
+        let p = params();
+        let a: Vec<u32> = (0..24).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..24).map(|x| x * 2 + 1).collect();
+        let pair = MergeSchedule::block_merge(&a, &b, &p);
+        let parts: Vec<&[u32]> = vec![&a, &b];
+        let multi = MergeSchedule::multiway_merge(&parts, &p);
+        assert_eq!(pair.merge_seqs, multi.merge_seqs);
+        assert_eq!(pair.merged_vals, multi.merged_vals);
+        assert_eq!(pair.write_addrs, multi.write_addrs);
+    }
+
+    #[test]
+    fn multiway_corank_search_charges_single_probe_traffic() {
+        let s0: Vec<u32> = (0..32).map(|x| x * 3).collect();
+        let s1: Vec<u32> = (0..32).map(|x| x * 3 + 1).collect();
+        let s2: Vec<u32> = (0..32).map(|x| x * 3 + 2).collect();
+        let runs: Vec<&[u32]> = vec![&s0, &s1, &s2];
+        let mut counters = RoundCounters::default();
+        let pairs = find_block_coranks_multi(&runs, 48, 96, None, &mut counters);
+        assert_eq!(pairs.iter().map(|&(s, _)| s).sum::<usize>(), 48);
+        assert_eq!(pairs.iter().map(|&(_, e)| e).sum::<usize>(), 96);
+        assert!(counters.global.requests > 0, "fused search must charge probes");
+        let mut pre = RoundCounters::default();
+        let got = find_block_coranks_multi(&runs, 48, 96, Some(&pairs), &mut pre);
+        assert_eq!(got, pairs);
+        assert_eq!(pre.global.requests, 6, "precomputed vector costs 2g fetches");
+    }
+
+    #[test]
+    fn multiway_corank_validation_rejects_corruption() {
+        // Three 4-element runs, window [0, 6).
+        let lens = [4usize, 4, 4];
+        assert!(validate_coranks_multi(&[(0, 2), (0, 2), (0, 2)], 0, 6, &lens, 0).is_ok());
+        // Per-run overrun.
+        assert!(validate_coranks_multi(&[(0, 5), (0, 1), (0, 0)], 0, 6, &lens, 0).is_err());
+        // Inverted pair.
+        assert!(validate_coranks_multi(&[(2, 1), (0, 3), (0, 2)], 0, 6, &lens, 0).is_err());
+        // Sums off the diagonals.
+        assert!(validate_coranks_multi(&[(0, 2), (0, 2), (0, 1)], 0, 6, &lens, 0).is_err());
+        // Wrong arity.
+        assert!(validate_coranks_multi(&[(0, 3), (0, 3)], 0, 6, &lens, 0).is_err());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use proptest::prelude::*;
 use wcms_core::WorstCaseBuilder;
 use wcms_mergesort::{
-    sort_with_report_on, AnalyticBackend, ReferenceBackend, SimBackend, SortParams,
+    sort_algo_with_report_on, sort_with_report_on, AlgorithmKind, AnalyticBackend,
+    ReferenceBackend, SimBackend, SortParams,
 };
 
 const W: usize = 8;
@@ -37,16 +38,16 @@ fn multiset_fingerprint(xs: &[u32]) -> (usize, u64, u64) {
 }
 
 /// Deterministic workload classes: random-ish, sorted, reverse, and
-/// adversarial. The constructed worst case needs `gcd(w, E) = 1`, so for
-/// even `E` the adversarial class falls back to a sawtooth (and for
-/// power-of-two `E`, sorted order — class 1 — already *is* the worst
-/// case, §III).
+/// adversarial. The constructed worst case needs `gcd(w, E) = 1` and
+/// `E < w`, so outside that range the adversarial class falls back to a
+/// sawtooth (and for power-of-two `E`, sorted order — class 1 — already
+/// *is* the worst case, §III).
 fn workload(kind: u8, seed: u64, e: usize, n: usize) -> Vec<u32> {
     match kind % 4 {
         0 => (0..n).map(|i| (((i as u64).wrapping_mul(2 * seed + 1)) % 9973) as u32).collect(),
         1 => (0..n as u32).collect(),
         2 => (0..n as u32).rev().collect(),
-        _ if e % 2 == 1 => WorstCaseBuilder::new(W, e, B).unwrap().build(n).unwrap(),
+        _ if e % 2 == 1 && e < W => WorstCaseBuilder::new(W, e, B).unwrap().build(n).unwrap(),
         _ => (0..n).map(|i| (i % (4 * W)) as u32).collect(),
     }
 }
@@ -123,5 +124,45 @@ proptest! {
         prop_assert_eq!(&ana_out, &want);
         prop_assert_eq!(&ref_out, &want);
         prop_assert_eq!(sim_rep, ana_rep);
+    }
+
+    /// The same three-backend contract quantified over *algorithms*:
+    /// every `AlgorithmKind` (pairwise k=2, multiway k-way) sorts every
+    /// workload class to the same bytes on all three backends, with
+    /// sim/analytic counter agreement and the multiset preserved. `E`
+    /// spans co-prime, non-co-prime, power-of-two, and large-E tunings
+    /// so multiway sees both full-fan and clamped-fan final rounds.
+    #[test]
+    fn algorithms_agree_across_backends(
+        e_idx in 0usize..4,
+        kind in 0u8..4,
+        seed in 0u64..500,
+        doublings in 0u32..3,
+        algo_idx in 0usize..AlgorithmKind::ALL.len(),
+    ) {
+        let e = [3usize, 5, 8, 15][e_idx];
+        let p = params(e);
+        let n = p.block_elems() << doublings;
+        let input = workload(kind, seed, e, n);
+        let input_fp = multiset_fingerprint(&input);
+        let mut want = input.clone();
+        want.sort_unstable();
+        let algo = AlgorithmKind::ALL[algo_idx].instance();
+
+        let (sim_out, sim_rep) = sort_algo_with_report_on(&input, &p, algo, &SimBackend).unwrap();
+        let (ana_out, ana_rep) =
+            sort_algo_with_report_on(&input, &p, algo, &AnalyticBackend).unwrap();
+        let (ref_out, ref_rep) =
+            sort_algo_with_report_on(&input, &p, algo, &ReferenceBackend).unwrap();
+
+        prop_assert_eq!(&sim_out, &want);
+        prop_assert_eq!(&ana_out, &want);
+        prop_assert_eq!(&ref_out, &want);
+        prop_assert_eq!(multiset_fingerprint(&sim_out), input_fp);
+        prop_assert_eq!(multiset_fingerprint(&ana_out), input_fp);
+        prop_assert_eq!(multiset_fingerprint(&ref_out), input_fp);
+        prop_assert_eq!(sim_rep, ana_rep);
+        prop_assert_eq!(ref_rep.total().shared.combined().cycles, 0);
+        prop_assert_eq!(ref_rep.blocks_launched(), 0);
     }
 }

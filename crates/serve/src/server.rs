@@ -33,7 +33,7 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use wcms_bench::experiment::{measure_traced, SweepConfig};
+use wcms_bench::experiment::{measure_algo_traced, SweepConfig};
 use wcms_bench::resilient::ResilienceConfig;
 use wcms_bench::supervisor::{run_sweep, supervise_cell, SweepOptions};
 use wcms_error::{CancelToken, WcmsError};
@@ -244,7 +244,7 @@ impl Server {
                     Err(e) => error_response("compute", e.to_string()),
                 }
             }
-            Request::Measure { tuning, n, family, runs, backend, device, .. } => {
+            Request::Measure { tuning, n, family, runs, backend, algorithm, device, .. } => {
                 let Some(device) = resolve_device(device) else {
                     return error_response("bad-request", format!("unknown device `{device}`"));
                 };
@@ -254,10 +254,21 @@ impl Server {
                 };
                 let cell = format!("serve/measure/{n}");
                 let resilience = self.request_resilience(budget);
-                let (family, n, runs, outer) = (*family, *n, *runs, client.clone());
+                let (family, n, runs, algorithm, outer) =
+                    (*family, *n, *runs, *algorithm, client.clone());
                 let outcome = supervise_cell(&cell, *backend, &resilience, move |rung, token| {
                     outer.check()?;
-                    measure_traced(&device, &params, family, n, runs, rung, token, Obs::noop())
+                    measure_algo_traced(
+                        &device,
+                        &params,
+                        family,
+                        n,
+                        runs,
+                        algorithm,
+                        rung,
+                        token,
+                        Obs::noop(),
+                    )
                 });
                 Response::Measure { cell: outcome.result }
             }
@@ -268,6 +279,7 @@ impl Server {
                 max_doublings,
                 runs,
                 backend,
+                algorithm,
                 device,
                 ..
             } => {
@@ -297,16 +309,27 @@ impl Server {
                     },
                     resilience: self.request_resilience(budget),
                     backend: *backend,
+                    algorithm: *algorithm,
                     jobs: 1, // within-request: sequential; across requests: the worker pool
                 };
-                let (family, runs, outer) = (*family, *runs, client.clone());
+                let (family, runs, algorithm, outer) = (*family, *runs, *algorithm, client.clone());
                 let swept = run_sweep(
                     sizes,
                     &opts,
                     |n| format!("serve/grid/{n}"),
                     move |n, rung, token| {
                         outer.check()?;
-                        measure_traced(&device, &params, family, n, runs, rung, token, Obs::noop())
+                        measure_algo_traced(
+                            &device,
+                            &params,
+                            family,
+                            n,
+                            runs,
+                            algorithm,
+                            rung,
+                            token,
+                            Obs::noop(),
+                        )
                     },
                 );
                 Response::Grid {
@@ -782,6 +805,7 @@ mod tests {
                 family: WorkloadSpec::WorstCase,
                 runs: 1,
                 backend: wcms_mergesort::BackendKind::Reference,
+                algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
                 device: "test".into(),
                 budget_ms: Some(5_000),
             };
@@ -801,6 +825,7 @@ mod tests {
                 max_doublings: 2,
                 runs: 1,
                 backend: wcms_mergesort::BackendKind::Reference,
+                algorithm: wcms_mergesort::AlgorithmKind::Multiway,
                 device: "test".into(),
                 budget_ms: Some(5_000),
             };
@@ -851,6 +876,7 @@ mod tests {
                 family: WorkloadSpec::Sorted,
                 runs: MAX_RUNS + 1,
                 backend: wcms_mergesort::BackendKind::Reference,
+                algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
                 device: "test".into(),
                 budget_ms: Some(1_000),
             };
@@ -987,6 +1013,7 @@ mod tests {
                     family: WorkloadSpec::WorstCaseFamily { seed: i },
                     runs: 2,
                     backend: wcms_mergesort::BackendKind::Sim,
+                    algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
                     device: "test".into(),
                     budget_ms: Some(8_000),
                 };

@@ -21,7 +21,7 @@ use std::io::{Read, Write};
 
 use wcms_bench::checkpoint::{self, CellResult};
 use wcms_error::WcmsError;
-use wcms_mergesort::BackendKind;
+use wcms_mergesort::{AlgorithmKind, BackendKind};
 use wcms_obs::json::{self, Value};
 use wcms_workloads::WorkloadSpec;
 
@@ -286,6 +286,9 @@ pub enum Request {
         runs: u64,
         /// Execution backend for the primary attempt.
         backend: BackendKind,
+        /// Sort algorithm; absent on the wire means pairwise, so
+        /// pre-algorithm clients keep working unchanged.
+        algorithm: AlgorithmKind,
         /// Device preset name (`quadro_m4000`, `rtx_2080_ti`,
         /// `gtx_770`, `test`).
         device: String,
@@ -306,6 +309,8 @@ pub enum Request {
         runs: u64,
         /// Execution backend.
         backend: BackendKind,
+        /// Sort algorithm; absent on the wire means pairwise.
+        algorithm: AlgorithmKind,
         /// Device preset name.
         device: String,
         /// Per-cell deadline budget; `None` accepts the server default.
@@ -326,6 +331,29 @@ fn decode_backend(name: &str) -> Result<BackendKind, WcmsError> {
         .into_iter()
         .find(|b| b.name() == name)
         .ok_or_else(|| malformed(format!("unknown backend `{name}`")))
+}
+
+/// Render the algorithm as an optional wire suffix: pairwise emits
+/// nothing, so pre-algorithm request documents stay byte-identical.
+fn encode_algorithm(a: AlgorithmKind) -> String {
+    if a == AlgorithmKind::Pairwise {
+        String::new()
+    } else {
+        format!(",\"algorithm\":\"{}\"", a.name())
+    }
+}
+
+/// An absent `algorithm` field means pairwise — the only algorithm
+/// that existed before the field did.
+fn decode_algorithm(v: &Value) -> Result<AlgorithmKind, WcmsError> {
+    match v.get("algorithm") {
+        None => Ok(AlgorithmKind::Pairwise),
+        Some(Value::Str(s)) => AlgorithmKind::ALL
+            .into_iter()
+            .find(|a| a.name() == s.as_str())
+            .ok_or_else(|| malformed(format!("unknown algorithm `{s}`"))),
+        Some(_) => Err(malformed("field `algorithm` must be a string")),
+    }
 }
 
 impl Request {
@@ -360,16 +388,17 @@ impl Request {
                 tuning.b,
                 encode_family(family),
             ),
-            Request::Measure { tuning, n, family, runs, backend, device, budget_ms } => {
+            Request::Measure { tuning, n, family, runs, backend, algorithm, device, budget_ms } => {
                 let budget = budget_ms.map_or(String::new(), |ms| format!(",\"budget_ms\":{ms}"));
                 format!(
                     "{{\"op\":\"measure\",\"w\":{},\"e\":{},\"b\":{},\"n\":{n},\"family\":{},\
-                     \"runs\":{runs},\"backend\":\"{}\",\"device\":{}{budget}}}",
+                     \"runs\":{runs},\"backend\":\"{}\"{},\"device\":{}{budget}}}",
                     tuning.w,
                     tuning.e,
                     tuning.b,
                     encode_family(family),
                     encode_backend(*backend),
+                    encode_algorithm(*algorithm),
                     jstr(device),
                 )
             }
@@ -380,6 +409,7 @@ impl Request {
                 max_doublings,
                 runs,
                 backend,
+                algorithm,
                 device,
                 budget_ms,
             } => {
@@ -387,12 +417,13 @@ impl Request {
                 format!(
                     "{{\"op\":\"grid\",\"w\":{},\"e\":{},\"b\":{},\"family\":{},\
                      \"min_doublings\":{min_doublings},\"max_doublings\":{max_doublings},\
-                     \"runs\":{runs},\"backend\":\"{}\",\"device\":{}{budget}}}",
+                     \"runs\":{runs},\"backend\":\"{}\"{},\"device\":{}{budget}}}",
                     tuning.w,
                     tuning.e,
                     tuning.b,
                     encode_family(family),
                     encode_backend(*backend),
+                    encode_algorithm(*algorithm),
                     jstr(device),
                 )
             }
@@ -437,6 +468,7 @@ impl Request {
                 family: family(&v)?,
                 runs: get_u64(&v, "runs")?,
                 backend: decode_backend(get_str(&v, "backend")?)?,
+                algorithm: decode_algorithm(&v)?,
                 device: get_str(&v, "device")?.to_string(),
                 budget_ms: budget(&v)?,
             },
@@ -449,6 +481,7 @@ impl Request {
                     .map_err(|_| malformed("`max_doublings` exceeds u32"))?,
                 runs: get_u64(&v, "runs")?,
                 backend: decode_backend(get_str(&v, "backend")?)?,
+                algorithm: decode_algorithm(&v)?,
                 device: get_str(&v, "device")?.to_string(),
                 budget_ms: budget(&v)?,
             },
@@ -465,10 +498,19 @@ impl Request {
     /// the codec schema). `None` for `status`/`health`.
     ///
     /// The deadline budget is deliberately *excluded*: it bounds how
-    /// long we wait, not what the answer is.
+    /// long we wait, not what the answer is. The algorithm is included
+    /// only when it is not pairwise, so every cache entry written
+    /// before the field existed keeps its key.
     #[must_use]
     pub fn canonical_key(&self) -> Option<String> {
         let schema = crate::cache::CACHE_SCHEMA;
+        let algo_tag = |a: &AlgorithmKind| {
+            if *a == AlgorithmKind::Pairwise {
+                String::new()
+            } else {
+                format!(" algorithm={}", a.name())
+            }
+        };
         match self {
             Request::Generate { tuning, n, family, include_data } => Some(format!(
                 "wcms/v{PROTOCOL_VERSION}/s{schema} generate w={} e={} b={} n={n} family={} data={}",
@@ -478,26 +520,38 @@ impl Request {
                 canonical_family(family),
                 u8::from(*include_data),
             )),
-            Request::Measure { tuning, n, family, runs, backend, device, .. } => Some(format!(
-                "wcms/v{PROTOCOL_VERSION}/s{schema} measure w={} e={} b={} n={n} family={} \
-                 runs={runs} backend={} device={device}",
-                tuning.w,
-                tuning.e,
-                tuning.b,
-                canonical_family(family),
-                backend.name(),
-            )),
-            Request::Grid { tuning, family, min_doublings, max_doublings, runs, backend, device, .. } => {
+            Request::Measure { tuning, n, family, runs, backend, algorithm, device, .. } => {
                 Some(format!(
-                    "wcms/v{PROTOCOL_VERSION}/s{schema} grid w={} e={} b={} family={} \
-                     doublings={min_doublings}..{max_doublings} runs={runs} backend={} device={device}",
+                    "wcms/v{PROTOCOL_VERSION}/s{schema} measure w={} e={} b={} n={n} family={} \
+                     runs={runs} backend={} device={device}{}",
                     tuning.w,
                     tuning.e,
                     tuning.b,
                     canonical_family(family),
                     backend.name(),
+                    algo_tag(algorithm),
                 ))
             }
+            Request::Grid {
+                tuning,
+                family,
+                min_doublings,
+                max_doublings,
+                runs,
+                backend,
+                algorithm,
+                device,
+                ..
+            } => Some(format!(
+                "wcms/v{PROTOCOL_VERSION}/s{schema} grid w={} e={} b={} family={} \
+                 doublings={min_doublings}..{max_doublings} runs={runs} backend={} device={device}{}",
+                tuning.w,
+                tuning.e,
+                tuning.b,
+                canonical_family(family),
+                backend.name(),
+                algo_tag(algorithm),
+            )),
             Request::Status | Request::Health => None,
         }
     }
@@ -788,8 +842,19 @@ mod tests {
                 family: WorkloadSpec::WorstCaseFamily { seed: 9 },
                 runs: 2,
                 backend: BackendKind::Analytic,
+                algorithm: AlgorithmKind::Pairwise,
                 device: "test".into(),
                 budget_ms: Some(750),
+            },
+            Request::Measure {
+                tuning: tuning(),
+                n: 3584,
+                family: WorkloadSpec::WorstCase,
+                runs: 1,
+                backend: BackendKind::Sim,
+                algorithm: AlgorithmKind::Multiway,
+                device: "test".into(),
+                budget_ms: None,
             },
             Request::Grid {
                 tuning: tuning(),
@@ -798,6 +863,7 @@ mod tests {
                 max_doublings: 4,
                 runs: 2,
                 backend: BackendKind::Sim,
+                algorithm: AlgorithmKind::Multiway,
                 device: "rtx_2080_ti".into(),
                 budget_ms: None,
             },
@@ -919,6 +985,7 @@ mod tests {
             family: WorkloadSpec::WorstCase,
             runs: 2,
             backend: BackendKind::Sim,
+            algorithm: AlgorithmKind::Pairwise,
             device: "test".into(),
             budget_ms: None,
         };
@@ -954,6 +1021,11 @@ mod tests {
                     *family = WorkloadSpec::WorstCaseFamily { seed: 0 };
                 }
             },
+            &|r| {
+                if let Request::Measure { algorithm, .. } = r {
+                    *algorithm = AlgorithmKind::Multiway;
+                }
+            },
         ];
         for f in variants {
             assert_ne!(tweak(f), key);
@@ -967,6 +1039,47 @@ mod tests {
         assert_eq!(budgeted, key);
         assert_eq!(Request::Status.canonical_key(), None);
         assert_eq!(Request::Health.canonical_key(), None);
+    }
+
+    #[test]
+    fn pairwise_requests_predate_the_algorithm_field() {
+        // A pairwise measure must encode WITHOUT an `algorithm` field
+        // and keep the exact cache key it had before the field existed
+        // — otherwise every cache entry on disk silently misses.
+        let pairwise = Request::Measure {
+            tuning: tuning(),
+            n: 3584,
+            family: WorkloadSpec::WorstCase,
+            runs: 2,
+            backend: BackendKind::Sim,
+            algorithm: AlgorithmKind::Pairwise,
+            device: "test".into(),
+            budget_ms: None,
+        };
+        let doc = pairwise.encode();
+        assert!(!doc.contains("algorithm"), "{doc}");
+        assert_eq!(
+            pairwise.canonical_key().unwrap(),
+            format!(
+                "wcms/v{PROTOCOL_VERSION}/s{} measure w=32 e=7 b=64 n=3584 \
+                 family=worst-case runs=2 backend=sim device=test",
+                crate::cache::CACHE_SCHEMA
+            )
+        );
+        // A pre-algorithm client document (no `algorithm` key) decodes
+        // as pairwise.
+        assert_eq!(Request::decode(&doc).unwrap(), pairwise);
+        // Multiway is a new key (and a rejected value is a typed error).
+        let mut multiway = pairwise.clone();
+        if let Request::Measure { algorithm, .. } = &mut multiway {
+            *algorithm = AlgorithmKind::Multiway;
+        }
+        assert!(multiway.canonical_key().unwrap().ends_with(" algorithm=multiway"));
+        assert_eq!(Request::decode(&multiway.encode()).unwrap(), multiway);
+        let hostile =
+            doc.replace("\"op\":\"measure\"", "\"op\":\"measure\",\"algorithm\":\"bitonic\"");
+        let err = Request::decode(&hostile).unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm"), "{err}");
     }
 
     #[test]

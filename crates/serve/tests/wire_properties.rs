@@ -9,7 +9,7 @@
 use std::io::Read;
 
 use proptest::prelude::*;
-use wcms_mergesort::BackendKind;
+use wcms_mergesort::{AlgorithmKind, BackendKind};
 use wcms_serve::cache::fingerprint;
 use wcms_serve::wire::{
     read_frame, write_frame, Request, Tuning, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
@@ -43,6 +43,10 @@ fn any_backend() -> impl Strategy<Value = BackendKind> {
     proptest::sample::select(BackendKind::ALL.to_vec())
 }
 
+fn any_algorithm() -> impl Strategy<Value = AlgorithmKind> {
+    proptest::sample::select(AlgorithmKind::ALL.to_vec())
+}
+
 fn any_device() -> impl Strategy<Value = String> {
     proptest::sample::select(vec![
         "test".to_string(),
@@ -64,19 +68,36 @@ fn any_request() -> impl Strategy<Value = Request> {
         ),
         (
             (any_tuning(), 0usize..1 << 30, any_family(), 1u64..64),
-            (any_backend(), any_device(), proptest::option::of(0u64..1 << 40)),
+            (any_backend(), any_algorithm(), any_device(), proptest::option::of(0u64..1 << 40)),
         )
-            .prop_map(|((tuning, n, family, runs), (backend, device, budget_ms))| {
-                Request::Measure { tuning, n, family, runs, backend, device, budget_ms }
-            }),
+            .prop_map(
+                |((tuning, n, family, runs), (backend, algorithm, device, budget_ms))| {
+                    Request::Measure {
+                        tuning,
+                        n,
+                        family,
+                        runs,
+                        backend,
+                        algorithm,
+                        device,
+                        budget_ms,
+                    }
+                }
+            ),
         (
             (any_tuning(), any_family(), 0u32..12, 12u32..24),
-            (1u64..64, any_backend(), any_device(), proptest::option::of(0u64..1 << 40)),
+            (
+                1u64..64,
+                any_backend(),
+                any_algorithm(),
+                any_device(),
+                proptest::option::of(0u64..1 << 40),
+            ),
         )
             .prop_map(
                 |(
                     (tuning, family, min_doublings, max_doublings),
-                    (runs, backend, device, budget_ms),
+                    (runs, backend, algorithm, device, budget_ms),
                 )| {
                     Request::Grid {
                         tuning,
@@ -85,6 +106,7 @@ fn any_request() -> impl Strategy<Value = Request> {
                         max_doublings,
                         runs,
                         backend,
+                        algorithm,
                         device,
                         budget_ms,
                     }
@@ -126,6 +148,7 @@ proptest! {
             family: WorkloadSpec::WorstCase,
             runs: 1,
             backend: BackendKind::Reference,
+            algorithm: AlgorithmKind::Pairwise,
             device: "test".into(),
             budget_ms,
         };
@@ -247,6 +270,7 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
         family: WorkloadSpec::WorstCaseFamily { seed: 7 },
         runs: 3,
         backend: BackendKind::Reference,
+        algorithm: AlgorithmKind::Pairwise,
         device: "test".into(),
         budget_ms: Some(1_000),
     };
@@ -258,6 +282,19 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
     );
     assert_eq!(fingerprint(&key), 0xa742_63b2_4d40_7366);
 
+    // The default (pairwise) algorithm adds nothing to the key — every
+    // cache entry written before the field existed keeps hitting.
+    // Multiway gets an explicit suffix instead of a schema bump.
+    let mut multiway = measure.clone();
+    if let Request::Measure { algorithm, .. } = &mut multiway {
+        *algorithm = AlgorithmKind::Multiway;
+    }
+    assert_eq!(
+        multiway.canonical_key().unwrap(),
+        "wcms/v1/s1 measure w=16 e=3 b=32 n=3072 family=worst-family:seed=7 \
+         runs=3 backend=reference device=test algorithm=multiway"
+    );
+
     let grid = Request::Grid {
         tuning: Tuning { w: 16, e: 3, b: 32 },
         family: WorkloadSpec::Sorted,
@@ -265,6 +302,7 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
         max_doublings: 5,
         runs: 2,
         backend: BackendKind::Sim,
+        algorithm: AlgorithmKind::Pairwise,
         device: "rtx_2080_ti".into(),
         budget_ms: None,
     };

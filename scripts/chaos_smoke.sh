@@ -43,6 +43,22 @@ wait "$VICTIM" 2>/dev/null || true
     --trace "$SCRATCH/resume.jsonl" > /dev/null
 "$TRACE" validate "$SCRATCH/resume.jsonl"
 
+# A checkpoint store written under one algorithm must refuse `--resume`
+# under another: with an explicit --checkpoint-dir the store is shared,
+# so the manifest fingerprint mismatch has to fire and name the field.
+"$FIG4" --quick --jobs 4 --checkpoint-dir "$SCRATCH/algckpt" > /dev/null
+if "$FIG4" --quick --jobs 4 --algorithm multiway \
+    --checkpoint-dir "$SCRATCH/algckpt" --resume \
+    > /dev/null 2> "$SCRATCH/algckpt.err"; then
+    echo "error: multiway --resume accepted a pairwise checkpoint store" >&2
+    exit 1
+fi
+grep -q 'algorithm' "$SCRATCH/algckpt.err" || {
+    echo "error: cross-algorithm resume refusal does not name the algorithm field:" >&2
+    cat "$SCRATCH/algckpt.err" >&2
+    exit 1
+}
+
 # --- Serve cycle: crash-only daemon under SIGKILL + byte corruption -------
 #
 # Start the daemon on an ephemeral port, capture response bytes for a

@@ -14,7 +14,10 @@
 #   6. a `--jobs 4` parallel sweep must be byte-identical to the
 #      sequential one on both sim and analytic backends (the supervisor
 #      preserves submission order regardless of worker scheduling);
-#   7. the deterministic fault-injection suites run at their fixed seeds.
+#   7. an `--algorithm multiway` sweep must complete with sim/analytic
+#      byte-identical CSVs that differ from the pairwise ones (the
+#      k-way algorithm is cross-validated, and actually different);
+#   8. the deterministic fault-injection suites run at their fixed seeds.
 #
 # Run from anywhere inside the repository: ./scripts/resilience_smoke.sh
 set -euo pipefail
@@ -59,6 +62,21 @@ echo "jobs OK: --jobs 4 sim sweep is byte-identical to sequential"
 "$FIG4" --quick --jobs 4 --backend analytic --no-checkpoint > "$SCRATCH/parallel-analytic.csv"
 diff -u "$SCRATCH/analytic.csv" "$SCRATCH/parallel-analytic.csv"
 echo "jobs OK: --jobs 4 analytic sweep is byte-identical to sequential"
+
+# Multiway smoke cell: the k-way algorithm must hold the same
+# sim==analytic byte-identity contract as pairwise, while producing a
+# genuinely different sweep (its checkpoints live in an
+# algorithm-namespaced store, so no pairwise cell is ever replayed).
+"$FIG4" --quick --algorithm multiway --no-checkpoint > "$SCRATCH/multiway.csv"
+"$FIG4" --quick --algorithm multiway --backend analytic --no-checkpoint \
+    > "$SCRATCH/multiway-analytic.csv"
+diff -u "$SCRATCH/multiway.csv" "$SCRATCH/multiway-analytic.csv"
+echo "algorithm OK: multiway sim and analytic sweeps are byte-identical"
+if diff -q "$SCRATCH/clean.csv" "$SCRATCH/multiway.csv" >/dev/null; then
+    echo "error: multiway sweep is byte-identical to pairwise — the flag is inert" >&2
+    exit 1
+fi
+echo "algorithm OK: multiway sweep differs from pairwise"
 
 # The fault-injection suites are seeded and deterministic; any flake
 # here is a real bug.
