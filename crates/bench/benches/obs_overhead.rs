@@ -32,6 +32,7 @@ fn options(obs: Obs) -> SweepOptions {
         backend: BackendKind::Analytic,
         algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
         jobs: 1,
+        shard: wcms_bench::ShardPolicy::Off,
     }
 }
 

@@ -6,8 +6,17 @@
 //! point, worker count, or single-file corruption may change a byte of
 //! output.
 //!
-//! Usage: `chaos [--cycles <k>] [--jobs <n>] [--seed <s>]
-//!               [--backend <sim|analytic|reference>] [--keep]`
+//! A second, multi-process phase drills the scale-out layer: three
+//! `--steal` workers share one checkpoint store, a seeded subset of
+//! them is SIGKILLed mid-sweep, one lease file and one cell file are
+//! byte-flipped, three fresh workers restart against the survivors'
+//! store, and the `merge` binary's output must still be byte-identical
+//! to the sequential reference — zero lost cells, zero diverging
+//! double-commits, corrupt state quarantined and re-measured.
+//!
+//! Usage: `chaos [--cycles <k>] [--multi-cycles <k>] [--jobs <n>]
+//!               [--seed <s>] [--backend <sim|analytic|reference>]
+//!               [--keep]`
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode, Stdio};
@@ -53,15 +62,16 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, WcmsError> 
     }
 }
 
-/// The fig4 binary ships next to this one in the target directory.
-fn fig4_path() -> Result<PathBuf, WcmsError> {
+/// The fig4 and merge binaries ship next to this one in the target
+/// directory.
+fn sibling(name: &str) -> Result<PathBuf, WcmsError> {
     let me = std::env::current_exe()?;
     let dir = me.parent().ok_or_else(|| bad("current_exe has no parent".into()))?;
-    let fig4 = dir.join(format!("fig4{}", std::env::consts::EXE_SUFFIX));
-    if fig4.exists() {
-        Ok(fig4)
+    let path = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if path.exists() {
+        Ok(path)
     } else {
-        Err(bad(format!("fig4 binary not found at {} — build it first", fig4.display())))
+        Err(bad(format!("{name} binary not found at {} — build it first", path.display())))
     }
 }
 
@@ -74,8 +84,11 @@ fn run() -> Result<(), WcmsError> {
         .map_or(Ok(0xC4A05), |v| v.parse().map_err(|_| bad(format!("bad --seed: {v}"))))?;
     let backend = flag_value(&args, "--backend")?.unwrap_or_else(|| "sim".into());
     let keep = args.iter().any(|a| a == "--keep");
+    let multi_cycles: u32 = flag_value(&args, "--multi-cycles")?
+        .map_or(Ok(2), |v| v.parse().map_err(|_| bad(format!("bad --multi-cycles: {v}"))))?;
 
-    let fig4 = fig4_path()?;
+    let fig4 = sibling("fig4")?;
+    let merge = sibling("merge")?;
     let scratch = std::env::temp_dir().join(format!("wcms-chaos-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
     std::fs::create_dir_all(&scratch)?;
@@ -147,13 +160,187 @@ fn run() -> Result<(), WcmsError> {
         }
     }
 
+    for cycle in 1..=multi_cycles {
+        multi_process_cycle(
+            &fig4,
+            &merge,
+            &scratch,
+            &backend,
+            &reference,
+            &mut rng,
+            ref_ms,
+            cycle,
+            multi_cycles,
+            seed,
+        )?;
+    }
+
     if keep {
         eprintln!("# chaos: scratch kept at {}", scratch.display());
     } else {
         let _ = std::fs::remove_dir_all(&scratch);
     }
-    println!("chaos: {cycles} kill/corrupt/resume cycles, all byte-identical");
+    println!(
+        "chaos: {cycles} kill/corrupt/resume cycles + {multi_cycles} multi-process steal \
+         drills, all byte-identical"
+    );
     Ok(())
+}
+
+/// One multi-process drill: 3 stealing workers on a shared store, a
+/// seeded subset SIGKILLed mid-sweep, one lease and one cell file
+/// byte-flipped, 3 fresh workers restarted, then `merge` — whose CSV
+/// must match the sequential reference byte for byte.
+#[allow(clippy::too_many_arguments)] // a drill is one long recipe, not an API
+fn multi_process_cycle(
+    fig4: &Path,
+    merge: &Path,
+    scratch: &Path,
+    backend: &str,
+    reference: &[u8],
+    rng: &mut Lcg,
+    ref_ms: u64,
+    cycle: u32,
+    cycles: u32,
+    seed: u64,
+) -> Result<(), WcmsError> {
+    let ckpt = scratch.join(format!("multi-{cycle}"));
+    let ckpt_s = ckpt.to_string_lossy().into_owned();
+    let worker_args = |id: &str| -> Vec<String> {
+        [
+            "--quick",
+            "--checkpoint-dir",
+            &ckpt_s,
+            "--steal",
+            "--worker-id",
+            id,
+            "--lease-ttl",
+            "2",
+            "--backend",
+            backend,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+    };
+
+    // Phase 1: three stealing workers, then SIGKILL a seeded subset at
+    // seeded points inside the sweep's duration. The same worker may be
+    // drawn twice (a smaller subset) — that is part of the seed space.
+    let mut children = Vec::new();
+    for i in 0..3 {
+        children.push(
+            Command::new(fig4)
+                .args(worker_args(&format!("w{i}")))
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()?,
+        );
+    }
+    let kills = 1 + rng.below(3);
+    let mut delays: Vec<u64> = (0..kills).map(|_| rng.below(ref_ms)).collect();
+    delays.sort_unstable();
+    let mut elapsed = 0;
+    let mut killed = 0;
+    for delay in delays {
+        std::thread::sleep(Duration::from_millis(delay - elapsed));
+        elapsed = delay;
+        let victim = rng.below(3) as usize;
+        killed += u32::from(children[victim].kill().is_ok());
+    }
+    for child in &mut children {
+        let _ = child.wait();
+    }
+
+    // Phase 2: flip one byte in a surviving cell file and in a lease
+    // file. Both must be quarantined on restart, never trusted.
+    let cell_flipped = corrupt_random_cell(&ckpt, rng)?;
+    let lease_flipped = corrupt_random_lease(&ckpt, rng)?;
+
+    // Phase 3: three fresh workers (same ids — a restarted fleet) run
+    // the grid to completion against whatever the crash left behind.
+    let mut restarted = Vec::new();
+    for i in 0..3 {
+        restarted.push(
+            Command::new(fig4)
+                .args(worker_args(&format!("w{i}")))
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()?,
+        );
+    }
+    for child in &mut restarted {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(bad(format!("multi cycle {cycle}: restarted worker failed: {status}")));
+        }
+    }
+
+    // Phase 4: merge must publish the complete grid, byte-identical.
+    let merged = run_to_completion(
+        merge,
+        &["--figure", "fig4", "--quick", "--checkpoint-dir", &ckpt_s, "--backend", backend],
+    )?;
+    eprintln!(
+        "# chaos: multi {cycle}/{cycles}: killed {killed}/3 workers, \
+         cell_flipped={cell_flipped}, lease_flipped={lease_flipped}, merged CSV {} bytes",
+        merged.len()
+    );
+    if merged != reference {
+        std::fs::write(scratch.join("expected.csv"), reference)?;
+        std::fs::write(scratch.join("got.csv"), &merged)?;
+        return Err(bad(format!(
+            "multi cycle {cycle}: merged CSV differs from the reference run (seed {seed}); \
+             see {}",
+            scratch.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Corrupt a lease: flip one byte in a surviving lease file, or — when
+/// the crash left none behind (workers release leases as cells commit)
+/// — plant a torn lease for a random committed cell. Either way a
+/// restarted worker must quarantine it and treat the slot as expired.
+fn corrupt_random_lease(ckpt: &Path, rng: &mut Lcg) -> Result<bool, WcmsError> {
+    let leases = ckpt.join("leases");
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&leases) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("lease-")))
+            .collect(),
+        Err(_) => Vec::new(), // killed before any lease appeared
+    };
+    if files.is_empty() {
+        // Derive a plausible lease name from a committed cell so the
+        // restarted workers are guaranteed to trip over it.
+        let mut cells: Vec<String> = match std::fs::read_dir(ckpt) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok().and_then(|e| e.file_name().into_string().ok()))
+                .filter(|n| n.starts_with("cell-"))
+                .collect(),
+            Err(_) => return Ok(false),
+        };
+        if cells.is_empty() {
+            return Ok(false);
+        }
+        cells.sort();
+        let cell = &cells[rng.below(cells.len() as u64) as usize];
+        let lease = leases.join(format!("lease-{}", &cell["cell-".len()..]));
+        std::fs::create_dir_all(&leases)?;
+        std::fs::write(&lease, b"{\"owner\":\"torn mid-write")?;
+        return Ok(true);
+    }
+    files.sort();
+    let victim = &files[rng.below(files.len() as u64) as usize];
+    let mut bytes = std::fs::read(victim)?;
+    if bytes.is_empty() {
+        return Ok(false);
+    }
+    let at = rng.below(bytes.len() as u64) as usize;
+    bytes[at] ^= 0x20;
+    std::fs::write(victim, &bytes)?;
+    Ok(true)
 }
 
 /// Run `fig4` with `args` to completion and return its stdout bytes.

@@ -5,20 +5,14 @@
 //! Usage: `fig4 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
 //!              [--algorithm <pairwise|multiway>] [--jobs <n>] [--markdown]
 //!              [--resume] [--timeout <secs>] [--retries <k>]
-//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]
+//!              [--shard-index <i> --shard-count <n> | --steal --worker-id <id>
+//!               [--lease-ttl <secs>] | --replay]`
 
 use std::process::ExitCode;
 
-use wcms_bench::figures::fig4;
-use wcms_bench::panel::{figure_binary_main, FigurePanel};
+use wcms_bench::panel::{build_figure_panels, figure_binary_main};
 
 fn main() -> ExitCode {
-    figure_binary_main("fig4", |args| {
-        let report = fig4(&args.opts)?;
-        Ok(vec![FigurePanel::throughput_panel(
-            "Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation",
-            report,
-        )
-        .with_notes(&["paper: Thrust peak 50.49%, avg 43.53%; MGPU peak 33.82%, avg 27.3%"])])
-    })
+    figure_binary_main("fig4", |args| build_figure_panels("fig4", &args.opts))
 }

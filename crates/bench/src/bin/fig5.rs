@@ -5,30 +5,14 @@
 //! Usage: `fig5 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
 //!              [--algorithm <pairwise|multiway>] [--jobs <n>] [--markdown]
 //!              [--resume] [--timeout <secs>] [--retries <k>]
-//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]
+//!              [--shard-index <i> --shard-count <n> | --steal --worker-id <id>
+//!               [--lease-ttl <secs>] | --replay]`
 
 use std::process::ExitCode;
 
-use wcms_bench::figures::{fig5_mgpu, fig5_thrust};
-use wcms_bench::panel::{figure_binary_main, FigurePanel};
+use wcms_bench::panel::{build_figure_panels, figure_binary_main};
 
 fn main() -> ExitCode {
-    figure_binary_main("fig5", |args| {
-        let paper = [
-            "paper: Thrust E15 peak 42.43% avg 33.31%; E17 peak 22.94% avg 16.54%;",
-            "       MGPU  E15 peak 42.62% avg 35.25%; E17 peak 20.34% avg 12.97%",
-        ];
-        Ok(vec![
-            FigurePanel::throughput_panel(
-                "Fig. 5 — RTX 2080 Ti, Thrust (left panel)",
-                fig5_thrust(&args.opts)?,
-            )
-            .with_notes(&paper),
-            FigurePanel::throughput_panel(
-                "Fig. 5 — RTX 2080 Ti, Modern GPU (right panel)",
-                fig5_mgpu(&args.opts)?,
-            )
-            .with_notes(&paper),
-        ])
-    })
+    figure_binary_main("fig5", |args| build_figure_panels("fig5", &args.opts))
 }

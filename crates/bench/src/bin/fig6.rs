@@ -6,34 +6,14 @@
 //! Usage: `fig6 [--quick|--standard|--full] [--backend <sim|analytic|reference>]
 //!              [--algorithm <pairwise|multiway>] [--jobs <n>] [--resume]
 //!              [--timeout <secs>] [--retries <k>]
-//!              [--checkpoint-dir <dir>] [--no-checkpoint]`
+//!              [--checkpoint-dir <dir>] [--no-checkpoint]
+//!              [--shard-index <i> --shard-count <n> | --steal --worker-id <id>
+//!               [--lease-ttl <secs>] | --replay]`
 
 use std::process::ExitCode;
 
-use wcms_bench::figures::fig6;
-use wcms_bench::panel::{figure_binary_main, FigurePanel, PanelSection};
+use wcms_bench::panel::{build_figure_panels, figure_binary_main};
 
 fn main() -> ExitCode {
-    figure_binary_main("fig6", |args| {
-        let report = fig6(&args.opts)?;
-        Ok(vec![FigurePanel {
-            heading: "Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs".into(),
-            notes: Vec::new(),
-            report,
-            sections: vec![
-                PanelSection {
-                    caption: Some("runtime per element (ns/element, modelled):"),
-                    value: |m| m.ms_per_element * 1e6,
-                    unit: "ns/element",
-                },
-                PanelSection {
-                    caption: Some("bank conflicts per element (extra cycles/element, measured):"),
-                    value: |m| m.conflicts_per_element,
-                    unit: "cycles/element",
-                },
-            ],
-            slowdown: false,
-            rank_agreement: true,
-        }])
-    })
+    figure_binary_main("fig6", |args| build_figure_panels("fig6", &args.opts))
 }

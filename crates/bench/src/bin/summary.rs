@@ -37,10 +37,13 @@ fn run() -> Result<(), WcmsError> {
         return beta_report(&args.opts.sweep, args.backend());
     }
 
-    println!(
-        "| device | configuration | peak slowdown | at N | avg slowdown | paper peak | paper avg |"
-    );
-    println!("|---|---|---|---|---|---|---|");
+    let partial = args.opts.shard.partial_output();
+    if !partial {
+        println!(
+            "| device | configuration | peak slowdown | at N | avg slowdown | paper peak | paper avg |"
+        );
+        println!("|---|---|---|---|---|---|---|");
+    }
     let paper = [
         (
             "Quadro M4000",
@@ -60,6 +63,21 @@ fn run() -> Result<(), WcmsError> {
         reports.iter().flat_map(|r| r.skipped.iter().cloned()).collect();
     for (figure, report) in ["fig4", "fig5-thrust", "fig5-mgpu"].iter().zip(&reports) {
         eprintln!("{}", report.stats.summary_line(figure));
+    }
+    if partial {
+        // A shard holds only its slice of the three grids: suppress
+        // the (partial) table and export this shard's counters for the
+        // merge step, exactly like the figure binaries.
+        if let (Some(worker), Some(store)) =
+            (args.opts.shard.worker_label(), &args.opts.resilience.checkpoint)
+        {
+            let name = format!("shard-metrics-{}.prom", wcms_bench::checkpoint::sanitize(&worker));
+            store.write_aux(&name, &args.obs().metrics.prometheus_text())?;
+        }
+        eprintln!(
+            "# shard: table suppressed; re-run with --replay against the shared checkpoint dir"
+        );
+        return args.export_observability();
     }
     for ((device, paper_rows), report) in paper.into_iter().zip(reports) {
         for ((label, s), (_, peak, avg)) in

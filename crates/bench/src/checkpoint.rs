@@ -30,6 +30,8 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use wcms_dmm::stats::Summary;
 use wcms_error::WcmsError;
@@ -39,6 +41,11 @@ use crate::experiment::Measurement;
 /// On-disk schema version, recorded in the manifest. Bump whenever the
 /// cell codec or the fingerprint shape changes incompatibly.
 pub const SCHEMA_VERSION: u64 = 2;
+
+/// How many quarantined files a store retains (newest first). Repeated
+/// chaos cycles quarantine without bound otherwise; everything evicted
+/// is counted in the `checkpoint_quarantine_evicted_total` metric.
+pub const QUARANTINE_RETAIN: usize = 32;
 
 /// The persisted outcome of one sweep cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +201,10 @@ impl SweepFingerprint {
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    /// Files evicted from `quarantine/` since the last
+    /// [`CheckpointStore::take_quarantine_evictions`]; shared across
+    /// clones so sweep workers report into one counter.
+    evicted: Arc<AtomicU64>,
 }
 
 impl CheckpointStore {
@@ -207,7 +218,7 @@ impl CheckpointStore {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WcmsError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self { dir, evicted: Arc::new(AtomicU64::new(0)) })
     }
 
     /// Open a checkpoint directory bound to `fingerprint`.
@@ -294,13 +305,15 @@ impl CheckpointStore {
     pub fn clear(&self) -> Result<(), WcmsError> {
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "json" || e == "tmp") {
+            if path.extension().is_some_and(|e| e == "json" || e == "tmp" || e == "prom") {
                 fs::remove_file(path)?;
             }
         }
-        let quarantine = self.dir.join("quarantine");
-        if quarantine.is_dir() {
-            fs::remove_dir_all(&quarantine)?;
+        for sub in ["quarantine", "leases"] {
+            let dir = self.dir.join(sub);
+            if dir.is_dir() {
+                fs::remove_dir_all(&dir)?;
+            }
         }
         Ok(())
     }
@@ -315,7 +328,13 @@ impl CheckpointStore {
         self.dir.join(format!("cell-{}.json", sanitize(cell)))
     }
 
-    fn cell_files(&self) -> Result<Vec<PathBuf>, WcmsError> {
+    /// Every `cell-*.json` file currently in the store, in no
+    /// particular order — the unit a shard merge copies and counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] on filesystem failures.
+    pub fn cell_files(&self) -> Result<Vec<PathBuf>, WcmsError> {
         let mut cells = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
@@ -355,17 +374,34 @@ impl CheckpointStore {
     }
 
     /// Move a failed cell file into `quarantine/` (keeping its name;
-    /// a repeat offender overwrites its previous quarantined copy).
+    /// a repeat offender overwrites its previous quarantined copy),
+    /// then prune the quarantine to its newest [`QUARANTINE_RETAIN`]
+    /// entries so repeated chaos cycles cannot fill the disk.
     fn quarantine(&self, path: &Path, reason: &str) -> LoadOutcome {
         let qdir = self.dir.join("quarantine");
         let dest = qdir.join(path.file_name().unwrap_or_default());
         let moved = fs::create_dir_all(&qdir).and_then(|()| fs::rename(path, &dest));
+        self.evicted.fetch_add(prune_dir(&qdir, QUARANTINE_RETAIN), Ordering::Relaxed);
         match moved {
             Ok(()) => LoadOutcome::Quarantined { to: Some(dest), reason: reason.to_string() },
             Err(e) => LoadOutcome::Quarantined {
                 to: None,
                 reason: format!("{reason}; quarantine move also failed: {e}"),
             },
+        }
+    }
+
+    /// Drain the count of quarantine evictions since the last call —
+    /// the feed for the `checkpoint_quarantine_evicted_total` counter.
+    pub fn take_quarantine_evictions(&self) -> u64 {
+        self.evicted.swap(0, Ordering::Relaxed)
+    }
+
+    /// Fold externally-observed evictions (the lease quarantine) into
+    /// this store's eviction counter.
+    pub(crate) fn note_evictions(&self, n: u64) {
+        if n > 0 {
+            self.evicted.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -379,22 +415,107 @@ impl CheckpointStore {
         self.write_atomic(&self.cell_path(cell), &encode_file(&encode(result)))
     }
 
-    fn write_atomic(&self, path: &Path, content: &str) -> Result<(), WcmsError> {
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(content.as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
-        Ok(())
+    /// Persist an auxiliary (non-cell) artifact — e.g. a per-shard
+    /// metrics export — atomically and with the checksum footer.
+    /// `name` must carry its own extension; `.tmp` and subdirectory
+    /// names are reserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] on filesystem failures.
+    pub fn write_aux(&self, name: &str, payload: &str) -> Result<(), WcmsError> {
+        self.write_atomic(&self.dir.join(name), &encode_file(payload))
     }
+
+    /// Load and verify an auxiliary artifact written by
+    /// [`CheckpointStore::write_aux`], returning its payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WcmsError::CheckpointCorrupt`] when the footer check fails,
+    /// [`WcmsError::Io`] when the file is missing or unreadable.
+    pub fn read_aux(&self, name: &str) -> Result<String, WcmsError> {
+        let path = self.dir.join(name);
+        let text = fs::read_to_string(&path)?;
+        decode_file(&text).map_err(|reason| WcmsError::CheckpointCorrupt {
+            path: path.display().to_string(),
+            reason,
+        })
+    }
+
+    /// Names of auxiliary artifacts starting with `prefix`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] on filesystem failures.
+    pub fn aux_names(&self, prefix: &str) -> Result<Vec<String>, WcmsError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if name.starts_with(prefix) && !name.ends_with(".tmp") && path.is_file() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn write_atomic(&self, path: &Path, content: &str) -> Result<(), WcmsError> {
+        write_atomic(path, content)
+    }
+}
+
+/// Atomic file write shared by cells, manifests, aux artifacts and
+/// lease temp files: unique temp name (stealing workers may write the
+/// same target concurrently), fsync, rename.
+pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), WcmsError> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+    let tmp = path.with_file_name(format!("{name}.{}.tmp", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Remove the oldest entries of `dir` until at most `keep` remain
+/// (ordered by modification time, name as tie-break); returns how many
+/// were evicted. Best-effort: races with concurrent pruners are benign.
+pub(crate) fn prune_dir(dir: &Path, keep: usize) -> u64 {
+    let Ok(entries) = fs::read_dir(dir) else { return 0 };
+    let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            if !path.is_file() {
+                return None;
+            }
+            let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+            Some((mtime, path))
+        })
+        .collect();
+    if files.len() <= keep {
+        return 0;
+    }
+    files.sort();
+    let mut evicted = 0;
+    for (_, path) in &files[..files.len() - keep] {
+        if fs::remove_file(path).is_ok() {
+            evicted += 1;
+        }
+    }
+    evicted
 }
 
 /// Map a cell name to a filesystem-safe stem. Long names are truncated
 /// and suffixed with the FNV-1a hash of the *full* name, keeping every
 /// distinct cell distinct while staying under filesystem name limits.
-fn sanitize(cell: &str) -> String {
+#[must_use]
+pub fn sanitize(cell: &str) -> String {
     let mapped: String = cell
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
@@ -451,7 +572,7 @@ pub fn decode_file(text: &str) -> Result<String, String> {
 
 // --- JSON codec -----------------------------------------------------------
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -555,7 +676,7 @@ pub fn decode(text: &str) -> Option<CellResult> {
 }
 
 /// Parse a complete JSON value, rejecting trailing garbage.
-fn parse_value(text: &str) -> Option<Value> {
+pub(crate) fn parse_value(text: &str) -> Option<Value> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     let v = p.value()?;
     p.skip_ws();
@@ -565,14 +686,14 @@ fn parse_value(text: &str) -> Option<Value> {
     Some(v)
 }
 
-enum Value {
+pub(crate) enum Value {
     Num(f64),
     Str(String),
     Obj(Vec<(String, Value)>),
 }
 
 impl Value {
-    fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+    pub(crate) fn as_object(&self) -> Option<&Vec<(String, Value)>> {
         match self {
             Value::Obj(fields) => Some(fields),
             _ => None,
@@ -580,7 +701,7 @@ impl Value {
     }
 }
 
-trait ObjExt {
+pub(crate) trait ObjExt {
     fn field(&self, key: &str) -> Option<&Value>;
     fn get_num(&self, key: &str) -> Option<f64>;
     fn get_str(&self, key: &str) -> Option<&str>;
@@ -836,6 +957,52 @@ mod tests {
         }
         // The cell now reads as absent: it will re-measure.
         assert_eq!(store.load("cell"), LoadOutcome::Absent);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_is_bounded_and_counts_evictions() {
+        let dir = tmpdir("qbound");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.clear().unwrap();
+        for i in 0..QUARANTINE_RETAIN + 9 {
+            let cell = format!("cell-{i}");
+            store.store(&cell, &CellResult::Done(meas())).unwrap();
+            let path = store.cell_path(&cell);
+            let text = fs::read_to_string(&path).unwrap();
+            fs::write(&path, &text[..text.len() / 2]).unwrap();
+            assert!(matches!(store.load(&cell), LoadOutcome::Quarantined { .. }));
+        }
+        let n = fs::read_dir(dir.join("quarantine")).unwrap().count();
+        assert!(n <= QUARANTINE_RETAIN, "quarantine grew to {n} entries");
+        assert_eq!(store.take_quarantine_evictions(), 9);
+        assert_eq!(store.take_quarantine_evictions(), 0, "drain must reset");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aux_artifacts_roundtrip_and_verify() {
+        let dir = tmpdir("aux");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write_aux("shard-metrics-w1.prom", "sweep_cells_total 4\n").unwrap();
+        store.write_aux("shard-metrics-w0.prom", "sweep_cells_total 2\n").unwrap();
+        assert_eq!(
+            store.aux_names("shard-metrics-").unwrap(),
+            vec!["shard-metrics-w0.prom", "shard-metrics-w1.prom"]
+        );
+        assert_eq!(store.read_aux("shard-metrics-w0.prom").unwrap(), "sweep_cells_total 2\n");
+        // Corruption is a typed error, not silent garbage.
+        let path = dir.join("shard-metrics-w0.prom");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] ^= 0x10;
+        fs::write(&path, bytes).unwrap();
+        let err = store.read_aux("shard-metrics-w0.prom").unwrap_err();
+        assert!(matches!(err, WcmsError::CheckpointCorrupt { .. }), "{err}");
+        // clear() removes aux artifacts too.
+        store.clear().unwrap();
+        assert!(store.aux_names("shard-metrics-").unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,7 +15,20 @@
 //! [--no-checkpoint]             disable checkpointing entirely
 //! [--trace <path>]              write a JSONL span/event journal of the run
 //! [--metrics <path>]            write a Prometheus text metrics snapshot
+//! [--shard-index <i>]           static sharding: run cells i, i+count, …
+//! [--shard-count <n>]           …of an n-way split of the grid
+//! [--steal]                     dynamic work stealing over the shared store
+//! [--worker-id <id>]            stable worker name for --steal (required)
+//! [--lease-ttl <secs>]          steal leases after this long (default 30)
+//! [--replay]                    render entirely from checkpointed cells
 //! ```
+//!
+//! The shard modes (`--shard-index/--shard-count`, `--steal`,
+//! `--replay`) make n independent *processes* cooperate on one grid
+//! through a shared checkpoint directory; they imply `--resume` (a
+//! fresh-run clear would wipe the other workers' cells), require
+//! checkpointing, and turn metrics recording on so each shard can
+//! export its counters for the `merge` step.
 //!
 //! Checkpoints are written on every run (they are tiny), so `--resume`
 //! on the next invocation picks up whatever a killed sweep finished.
@@ -41,6 +54,7 @@ use crate::checkpoint::{CheckpointStore, SweepFingerprint};
 use crate::experiment::SweepConfig;
 use crate::figures::RANDOM_SEED;
 use crate::resilient::ResilienceConfig;
+use crate::shard::{RetryJitter, ShardPolicy, DEFAULT_LEASE_TTL};
 use crate::supervisor::SweepOptions;
 
 /// Parsed figure-binary arguments.
@@ -119,6 +133,7 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     let backend = backend_from_args(args)?;
     let algorithm = algorithm_from_args(args)?;
     let jobs = jobs_from_args(args)?;
+    let shard = shard_from_args(args)?;
 
     let mut resilience = ResilienceConfig::none();
     if let Some(secs) = value_of("--timeout") {
@@ -148,7 +163,27 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
         resilience.obs = Obs::enabled(Clock::wall());
     }
 
-    let resume = args.iter().any(|a| a == "--resume");
+    if !shard.is_off() {
+        if args.iter().any(|a| a == "--no-checkpoint") {
+            return Err(bad(
+                "--no-checkpoint: shard modes coordinate through the checkpoint store".into(),
+            ));
+        }
+        // Per-shard metrics are the merge step's input — always record
+        // them in shard mode, even without --metrics/--trace.
+        if !resilience.obs.is_active() {
+            resilience.obs = Obs::enabled(Clock::wall());
+        }
+        // Co-scheduled workers retrying the same flaky cell must not
+        // synchronize; jitter streams key on the pid-independent
+        // worker label, so any one worker still replays exactly.
+        if let Some(stream) = shard.worker_label() {
+            resilience.jitter = Some(RetryJitter { seed: RANDOM_SEED, stream });
+        }
+    }
+    // Shard modes imply --resume: the store is shared, and a fresh-run
+    // clear() here would destroy cells the other workers committed.
+    let resume = args.iter().any(|a| a == "--resume") || !shard.is_off();
     if !args.iter().any(|a| a == "--no-checkpoint") {
         // Namespace the default per backend: sim and analytic sweeps of
         // the same figure must never share (or clear) each other's cells.
@@ -175,7 +210,7 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
     }
 
     Ok(FigureArgs {
-        opts: SweepOptions { sweep, resilience, backend, algorithm, jobs },
+        opts: SweepOptions { sweep, resilience, backend, algorithm, jobs, shard },
         markdown: args.iter().any(|a| a == "--markdown"),
         trace,
         metrics,
@@ -237,6 +272,84 @@ pub fn jobs_from_args(args: &[String]) -> Result<usize, WcmsError> {
             Ok(1)
         }
     }
+}
+
+/// Parse the multi-process sharding flags from a raw argument list:
+/// `--shard-index <i> --shard-count <n>` (static), `--steal
+/// --worker-id <id> [--lease-ttl <secs>]` (dynamic), or `--replay`
+/// (render from checkpoints only). Shared by the figure binaries and
+/// the ad-hoc sweeps, so the flags mean the same thing everywhere.
+///
+/// # Errors
+///
+/// Rejects mixed modes, a lone `--shard-index`/`--shard-count`, an
+/// out-of-range index, `--steal` without a worker id, a non-positive
+/// lease TTL, and `--worker-id`/`--lease-ttl` outside `--steal`.
+pub fn shard_from_args(args: &[String]) -> Result<ShardPolicy, WcmsError> {
+    let value_of = |flag: &str| -> Option<&str> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let steal = args.iter().any(|a| a == "--steal");
+    let replay = args.iter().any(|a| a == "--replay");
+    let static_mode =
+        args.iter().any(|a| a == "--shard-index") || args.iter().any(|a| a == "--shard-count");
+    if usize::from(steal) + usize::from(replay) + usize::from(static_mode) > 1 {
+        return Err(bad(
+            "--shard-index/--shard-count, --steal and --replay are mutually exclusive".into(),
+        ));
+    }
+    if !steal {
+        for flag in ["--worker-id", "--lease-ttl"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(bad(format!("{flag} only makes sense with --steal")));
+            }
+        }
+    }
+    if replay {
+        return Ok(ShardPolicy::Replay);
+    }
+    if steal {
+        let worker = value_of("--worker-id")
+            .ok_or_else(|| {
+                bad("--steal requires --worker-id <id>: a stable, pid-independent worker \
+                     name (lease ownership and jitter must survive restarts)"
+                    .into())
+            })?
+            .to_string();
+        if worker.is_empty() || worker.starts_with("--") {
+            return Err(bad(format!("--worker-id {worker}: not a worker name")));
+        }
+        let ttl = match value_of("--lease-ttl") {
+            None => DEFAULT_LEASE_TTL,
+            Some(s) => {
+                let secs: f64 =
+                    s.parse().map_err(|_| bad(format!("--lease-ttl {s}: not a number")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(bad(format!("--lease-ttl {s}: must be positive")));
+                }
+                Duration::from_secs_f64(secs)
+            }
+        };
+        return Ok(ShardPolicy::Steal { worker, ttl });
+    }
+    if static_mode {
+        let (Some(i), Some(c)) = (value_of("--shard-index"), value_of("--shard-count")) else {
+            return Err(bad("--shard-index and --shard-count must be given together".into()));
+        };
+        let index: usize =
+            i.parse().map_err(|_| bad(format!("--shard-index {i}: not an index")))?;
+        let count: usize = c.parse().map_err(|_| bad(format!("--shard-count {c}: not a count")))?;
+        if count == 0 {
+            return Err(bad("--shard-count 0: need at least one shard".into()));
+        }
+        if index >= count {
+            return Err(bad(format!(
+                "--shard-index {index}: out of range for --shard-count {count}"
+            )));
+        }
+        return Ok(ShardPolicy::Static { index, count });
+    }
+    Ok(ShardPolicy::Off)
 }
 
 /// [`parse_figure_args`] over the process arguments.

@@ -76,12 +76,18 @@ fn run_grid(
             }
             match &outcome.result {
                 CellResult::Done(m) | CellResult::Demoted { m, .. } => points.push(m.clone()),
-                CellResult::Skipped { reason, attempts } => report.skipped.push(SkippedCell {
-                    series: label.clone(),
-                    n: *n,
-                    reason: reason.clone(),
-                    attempts: *attempts,
-                }),
+                CellResult::Skipped { reason, attempts } => {
+                    // Cells another shard owns are not gaps — they are
+                    // simply not this process's work.
+                    if !reason.starts_with(crate::shard::DEFERRED_PREFIX) {
+                        report.skipped.push(SkippedCell {
+                            series: label.clone(),
+                            n: *n,
+                            reason: reason.clone(),
+                            attempts: *attempts,
+                        });
+                    }
+                }
             }
             if let Some(reason) = &outcome.quarantined {
                 report.quarantined.push(QuarantinedCell {

@@ -42,6 +42,7 @@ pub mod figures;
 pub mod panel;
 pub mod resilient;
 pub mod series;
+pub mod shard;
 pub mod summary;
 pub mod supervisor;
 
@@ -53,4 +54,5 @@ pub use resilient::{
     run_cell, CellOutcome, QuarantinedCell, ResilienceConfig, SkippedCell, SweepReport, SweepStats,
 };
 pub use series::{Series, SeriesPoint};
+pub use shard::{LeaseAttempt, LeaseInfo, LeaseStore, RetryJitter, ShardPolicy};
 pub use supervisor::{parallel_map, run_sweep, supervise_cell, SupervisedSweep, SweepOptions};

@@ -18,14 +18,17 @@ use std::process::ExitCode;
 use wcms_error::WcmsError;
 use wcms_mergesort::{AlgorithmKind, BackendKind};
 
+use crate::checkpoint::sanitize;
 use crate::cliargs::{
-    algorithm_from_args, backend_from_args, figure_args_from_env, jobs_from_args, FigureArgs,
+    algorithm_from_args, backend_from_args, figure_args_from_env, jobs_from_args, shard_from_args,
+    FigureArgs,
 };
 use crate::experiment::Measurement;
 use crate::resilient::SweepReport;
 use crate::series::Series;
+use crate::shard::ShardPolicy;
 use crate::summary::slowdown_table;
-use crate::supervisor::parallel_map;
+use crate::supervisor::{parallel_map, SweepOptions};
 
 /// One projected table of a panel: an optional stderr caption, the
 /// per-measurement value to print, and its unit (markdown mode only).
@@ -136,6 +139,69 @@ impl FigurePanel {
     }
 }
 
+/// Build the panels of a named figure — the one registry the figure
+/// binaries *and* the `merge` binary share, so a shard run and the
+/// merge that re-renders it from checkpoints go through identical
+/// sweep/panel code (the precondition for byte-identical CSV).
+///
+/// # Errors
+///
+/// Unknown figure names are an `Io(InvalidInput)` error; figure errors
+/// (parameter validation) pass through.
+pub fn build_figure_panels(
+    figure: &str,
+    opts: &SweepOptions,
+) -> Result<Vec<FigurePanel>, WcmsError> {
+    match figure {
+        "fig4" => Ok(vec![FigurePanel::throughput_panel(
+            "Fig. 4 — Quadro M4000 throughput (modelled), conflicts measured in simulation",
+            crate::figures::fig4(opts)?,
+        )
+        .with_notes(&["paper: Thrust peak 50.49%, avg 43.53%; MGPU peak 33.82%, avg 27.3%"])]),
+        "fig5" => {
+            let paper = [
+                "paper: Thrust E15 peak 42.43% avg 33.31%; E17 peak 22.94% avg 16.54%;",
+                "       MGPU  E15 peak 42.62% avg 35.25%; E17 peak 20.34% avg 12.97%",
+            ];
+            Ok(vec![
+                FigurePanel::throughput_panel(
+                    "Fig. 5 — RTX 2080 Ti, Thrust (left panel)",
+                    crate::figures::fig5_thrust(opts)?,
+                )
+                .with_notes(&paper),
+                FigurePanel::throughput_panel(
+                    "Fig. 5 — RTX 2080 Ti, Modern GPU (right panel)",
+                    crate::figures::fig5_mgpu(opts)?,
+                )
+                .with_notes(&paper),
+            ])
+        }
+        "fig6" => Ok(vec![FigurePanel {
+            heading: "Fig. 6 — RTX 2080 Ti, Thrust, worst-case inputs".into(),
+            notes: Vec::new(),
+            report: crate::figures::fig6(opts)?,
+            sections: vec![
+                PanelSection {
+                    caption: Some("runtime per element (ns/element, modelled):"),
+                    value: |m| m.ms_per_element * 1e6,
+                    unit: "ns/element",
+                },
+                PanelSection {
+                    caption: Some("bank conflicts per element (extra cycles/element, measured):"),
+                    value: |m| m.conflicts_per_element,
+                    unit: "cycles/element",
+                },
+            ],
+            slowdown: false,
+            rank_agreement: true,
+        }]),
+        other => Err(WcmsError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("unknown figure {other:?} (expected fig4, fig5 or fig6)"),
+        ))),
+    }
+}
+
 /// The correlation Fig. 6 highlights: per series, does the rank order of
 /// sizes by conflicts match the rank order by runtime?
 #[must_use]
@@ -177,6 +243,11 @@ pub struct AdhocArgs {
     pub algorithm: AlgorithmKind,
     /// `--jobs <n>` worker threads.
     pub jobs: usize,
+    /// `--shard-index/--shard-count`: static division of the row set
+    /// among independent processes. The ad-hoc tables have no
+    /// checkpoint store, so the lease-based modes (`--steal`,
+    /// `--replay`) are rejected here — only static sharding applies.
+    pub shard: ShardPolicy,
 }
 
 impl AdhocArgs {
@@ -191,7 +262,15 @@ impl AdhocArgs {
         let backend = backend_from_args(&argv)?;
         let algorithm = algorithm_from_args(&argv)?;
         let jobs = jobs_from_args(&argv)?;
-        Ok(Self { argv, quick, backend, algorithm, jobs })
+        let shard = shard_from_args(&argv)?;
+        if matches!(shard, ShardPolicy::Steal { .. } | ShardPolicy::Replay) {
+            return Err(WcmsError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "--steal/--replay need a checkpointed sweep; the ad-hoc tables only support \
+                 --shard-index/--shard-count",
+            )));
+        }
+        Ok(Self { argv, quick, backend, algorithm, jobs, shard })
     }
 
     /// Is `flag` present in the raw argument list?
@@ -202,7 +281,10 @@ impl AdhocArgs {
 
     /// Compute one printable row per item on `--jobs` workers and print
     /// them in submission order — the shared shape of every ad-hoc
-    /// table. Output bytes never depend on the worker count.
+    /// table. Output bytes never depend on the worker count. Under
+    /// `--shard-index/--shard-count` only this shard's rows are
+    /// computed and printed (in submission order), so n processes'
+    /// outputs interleave-merge back into the full table.
     ///
     /// # Errors
     ///
@@ -213,7 +295,13 @@ impl AdhocArgs {
         items: Vec<J>,
         row: impl Fn(J) -> Result<String, WcmsError> + Sync,
     ) -> Result<(), WcmsError> {
-        for r in parallel_map(items, self.jobs, |_, item| row(item)) {
+        let mine: Vec<J> = items
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| self.shard.owns(*i))
+            .map(|(_, item)| item)
+            .collect();
+        for r in parallel_map(mine, self.jobs, |_, item| row(item)) {
             println!("{}", r?);
         }
         Ok(())
@@ -258,6 +346,7 @@ pub fn figure_binary_main(
             return ExitCode::FAILURE;
         }
     };
+    let partial = args.opts.shard.partial_output();
     for panel in &panels {
         let (data, comments) = panel.render(args.backend(), args.markdown);
         eprint!("{comments}");
@@ -271,7 +360,30 @@ pub fn figure_binary_main(
         // (`SweepStats::from_registry`), so it can never drift from a
         // `--metrics` dump of the same run.
         eprintln!("{}", panel.report.stats.summary_line(figure));
-        print!("{data}");
+        // A shard holds only its slice of the grid: its CSV would be
+        // partial and silently misleading, so data rows are suppressed
+        // — the `merge` binary (or a `--replay` run) renders the full,
+        // byte-identical CSV from the joined checkpoint store.
+        if !partial {
+            print!("{data}");
+        }
+    }
+    if partial {
+        if let (Some(worker), Some(store)) =
+            (args.opts.shard.worker_label(), &args.opts.resilience.checkpoint)
+        {
+            // Export this shard's counters next to its cells, so the
+            // merge step can absorb them into one unified summary.
+            let name = format!("shard-metrics-{}.prom", sanitize(&worker));
+            if let Err(e) = store.write_aux(&name, &args.obs().metrics.prometheus_text()) {
+                eprintln!("{figure}: writing shard metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "# shard: data rows suppressed; run `merge --figure {figure}` (or re-run with \
+             --replay) against the shared checkpoint dir for the full CSV"
+        );
     }
     if let Err(e) = args.export_observability() {
         eprintln!("{figure}: writing observability outputs: {e}");

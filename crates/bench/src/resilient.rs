@@ -31,6 +31,12 @@ use wcms_obs::{event, fields, MetricsRegistry, Obs};
 use crate::checkpoint::{CellResult, CheckpointStore, LoadOutcome};
 use crate::experiment::Measurement;
 use crate::series::Series;
+use crate::shard::RetryJitter;
+
+/// Ceiling on the *jitter* added to one retry sleep (a fraction of the
+/// [`MAX_RETRY_BACKOFF`] cap — jitter decorrelates workers, it must
+/// never dominate the deterministic series).
+pub const MAX_RETRY_JITTER: Duration = Duration::from_millis(500);
 
 /// Ceiling on a single retry sleep. The exponential series doubles per
 /// attempt; saturating here keeps a generous base backoff from turning
@@ -55,6 +61,11 @@ pub struct ResilienceConfig {
     pub backoff: Duration,
     /// Checkpoint store for resume; `None` disables persistence.
     pub checkpoint: Option<CheckpointStore>,
+    /// Deterministic per-(worker, cell, attempt) jitter added to each
+    /// retry sleep so co-scheduled shard workers retrying the same
+    /// failure do not synchronize into thundering herds. `None` keeps
+    /// the exact exponential series (and all replays deterministic).
+    pub jitter: Option<RetryJitter>,
     /// Observability bundle: the clock that times backoff sleeps and
     /// sweep wall time, the metrics the `# sweep-summary` line is
     /// rebuilt from, and (when `--trace` is set) the span recorder.
@@ -70,6 +81,7 @@ impl Default for ResilienceConfig {
             retries: 0,
             backoff: Duration::ZERO,
             checkpoint: None,
+            jitter: None,
             obs: Obs::disabled(),
         }
     }
@@ -325,7 +337,7 @@ pub struct CellOutcome {
 }
 
 impl CellOutcome {
-    fn cached(result: CellResult) -> Self {
+    pub(crate) fn cached(result: CellResult) -> Self {
         Self {
             result,
             from_checkpoint: true,
@@ -391,6 +403,16 @@ where
                     .checked_mul(factor)
                     .unwrap_or(MAX_RETRY_BACKOFF)
                     .min(MAX_RETRY_BACKOFF);
+                // Decorrelate shard workers: a pure function of
+                // (seed, worker-stream/cell, attempt), so replays of the
+                // same worker are still deterministic while distinct
+                // workers spread out.
+                let delay = match &cfg.jitter {
+                    Some(j) => {
+                        delay.saturating_add(j.sample(cell, attempt as u64, MAX_RETRY_JITTER))
+                    }
+                    None => delay,
+                };
                 cfg.obs.clock.sleep(delay);
             }
         }

@@ -24,17 +24,21 @@
 //!    [`CellResult::Demoted`] with the backend that produced it);
 //!    only a cell that defeats the whole ladder becomes a gap.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Duration;
 
 use wcms_error::{CancelToken, WcmsError};
 use wcms_mergesort::{AlgorithmKind, BackendKind};
 use wcms_obs::{fields, span, MetricsRegistry, LATENCY_BUCKETS_S};
 
-use crate::checkpoint::CellResult;
+use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{CellResult, LoadOutcome};
 use crate::experiment::{Measurement, SweepConfig};
 use crate::resilient::{run_cell, CellOutcome, ResilienceConfig, SweepStats};
+use crate::shard::{jitter, LeaseAttempt, LeaseStore, ShardPolicy, DEFERRED_PREFIX, LOST_PREFIX};
 
 /// Everything a figure sweep needs to know about *how* to run: grid,
 /// per-cell policy, execution backend, and worker count.
@@ -51,6 +55,10 @@ pub struct SweepOptions {
     pub algorithm: AlgorithmKind,
     /// Worker threads (`--jobs`); 1 = inline sequential execution.
     pub jobs: usize,
+    /// Multi-process cell division (`--shard-index/--shard-count`,
+    /// `--steal`, `--replay`); requires a checkpoint store except
+    /// [`ShardPolicy::Off`].
+    pub shard: ShardPolicy,
 }
 
 impl SweepOptions {
@@ -64,6 +72,7 @@ impl SweepOptions {
             backend,
             algorithm: AlgorithmKind::Pairwise,
             jobs: 1,
+            shard: ShardPolicy::Off,
         }
     }
 
@@ -71,6 +80,13 @@ impl SweepOptions {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// These options under `shard`.
+    #[must_use]
+    pub fn with_shard(mut self, shard: ShardPolicy) -> Self {
+        self.shard = shard;
         self
     }
 
@@ -114,13 +130,14 @@ where
     let start_us = obs.clock.now_us();
     let _sweep_span = span!(obs, "sweep", cells => jobs.len(), jobs => opts.jobs.max(1));
     let job_list = jobs.clone();
-    let outcomes = parallel_map(jobs, opts.jobs, |_, job| {
-        let cell = name(&job);
+    // The fully-supervised execution of one owned cell, shared by the
+    // plain/static path and the steal scheduler.
+    let run_one = |job: J, cell: &str| -> CellOutcome {
         let body = body.clone();
-        let _cell_span = span!(obs, "cell", cell => cell.as_str());
+        let _cell_span = span!(obs, "cell", cell => cell);
         let t0 = obs.clock.now_us();
         let outcome =
-            supervise_cell(&cell, opts.backend, &opts.resilience, move |backend, token| {
+            supervise_cell(cell, opts.backend, &opts.resilience, move |backend, token| {
                 body(job.clone(), backend, token)
             });
         if obs.is_active() {
@@ -128,8 +145,21 @@ where
                 .histogram("cell_latency_seconds", &LATENCY_BUCKETS_S)
                 .observe(obs.clock.elapsed_s(t0));
         }
-        Ok(outcome)
-    });
+        outcome
+    };
+    let outcomes = match &opts.shard {
+        ShardPolicy::Steal { worker, ttl } if opts.resilience.checkpoint.is_some() => {
+            let store = opts.resilience.checkpoint.clone().expect("guard checked");
+            steal_schedule(jobs, opts.jobs, &store, worker, *ttl, &name, &run_one)
+        }
+        _ => parallel_map(jobs, opts.jobs, |i, job| {
+            let cell = name(&job);
+            if !opts.shard.owns(i) {
+                return Ok(replay_outcome(&cell, opts));
+            }
+            Ok(run_one(job, &cell))
+        }),
+    };
     let cells: Vec<(J, CellOutcome)> = job_list
         .into_iter()
         .zip(outcomes)
@@ -151,6 +181,15 @@ where
 
     let mut stats = SweepStats { jobs: opts.jobs.max(1), ..SweepStats::default() };
     for (_, o) in &cells {
+        // Cells another shard owns (and has not committed yet) are not
+        // this process's work: they are excluded from its counters, so
+        // per-shard summaries add up across shards instead of each
+        // shard claiming the whole grid.
+        if let CellResult::Skipped { reason, .. } = &o.result {
+            if reason.starts_with(DEFERRED_PREFIX) {
+                continue;
+            }
+        }
         stats.cells += 1;
         match &o.result {
             CellResult::Done(_) => stats.done += 1,
@@ -164,6 +203,12 @@ where
         stats.leaked_threads += usize::from(o.leaked_thread);
     }
     stats.wall_s = obs.clock.elapsed_s(start_us);
+    if let Some(store) = &opts.resilience.checkpoint {
+        let evicted = store.take_quarantine_evictions();
+        if evicted > 0 && obs.is_active() {
+            obs.metrics.counter("checkpoint_quarantine_evicted_total").add(evicted);
+        }
+    }
     // The summary line is rebuilt from metrics: record the loop
     // counters into a sweep-local registry, re-read them, and fold the
     // sweep's registry into the session one — so `# sweep-summary` and
@@ -300,6 +345,175 @@ where
             m.into_inner()
                 .expect("slot lock poisoned")
                 .expect("every queue index was claimed and filled")
+        })
+        .collect()
+}
+
+/// The outcome for a cell this process does not execute (static
+/// sharding's foreign cells, every cell of a `--replay` run): replay
+/// the committed result when the shared store has one, otherwise
+/// record a non-result — `shard-deferred:` (excluded from counters;
+/// another shard will run it) under [`ShardPolicy::Static`], or
+/// `shard-lost:` (a counted skip; the grid is incomplete and a merge
+/// must refuse it) under [`ShardPolicy::Replay`].
+fn replay_outcome(cell: &str, opts: &SweepOptions) -> CellOutcome {
+    let mut quarantined = None;
+    if let Some(store) = &opts.resilience.checkpoint {
+        match store.load(cell) {
+            LoadOutcome::Cached(result) => return CellOutcome::cached(result),
+            LoadOutcome::Quarantined { reason, .. } => quarantined = Some(reason),
+            LoadOutcome::Absent => {}
+        }
+    }
+    let reason = match (&opts.shard, &quarantined) {
+        (ShardPolicy::Replay, Some(q)) => {
+            format!("{LOST_PREFIX} cell {cell} checkpoint was corrupt ({q})")
+        }
+        (ShardPolicy::Replay, None) => {
+            format!("{LOST_PREFIX} cell {cell} missing from the checkpoint store")
+        }
+        _ => format!("{DEFERRED_PREFIX} cell {cell} belongs to another shard"),
+    };
+    CellOutcome {
+        result: CellResult::Skipped { reason, attempts: 0 },
+        from_checkpoint: false,
+        quarantined,
+        attempts: 0,
+        timed_out: false,
+        panicked: false,
+        leaked_thread: false,
+    }
+}
+
+/// The dynamic work-stealing scheduler: `threads` local workers pull
+/// cell indices off a deferral queue; each index is resolved by cache
+/// replay, or by claiming the cell's lease and measuring it, or — when
+/// another *process* holds the lease — re-queued after a jittered
+/// backoff. Results land in submission-order slots, so the caller's
+/// output stays deterministic.
+///
+/// Each cooperating process starts its scan at a different rotation of
+/// the grid (a stable hash of its worker id), so n processes fan out
+/// across the grid instead of convoying behind cell 0.
+fn steal_schedule<J, N, G>(
+    jobs: Vec<J>,
+    threads: usize,
+    store: &CheckpointStore,
+    worker: &str,
+    ttl: Duration,
+    name: &N,
+    run_one: &G,
+) -> Vec<Result<CellOutcome, WcmsError>>
+where
+    J: Clone + Send,
+    N: Fn(&J) -> String + Sync,
+    G: Fn(J, &str) -> CellOutcome + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let leases = match LeaseStore::open(store, worker, ttl) {
+        Ok(l) => l,
+        Err(e) => {
+            let msg = format!("lease store unavailable: {e}");
+            return (0..n)
+                .map(|_| Err(WcmsError::Io(std::io::Error::other(msg.clone()))))
+                .collect();
+        }
+    };
+    let names: Vec<String> = jobs.iter().map(name).collect();
+    let cells: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<Result<CellOutcome, WcmsError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    // Rotate this process's scan so cooperating processes start on
+    // different cells (stable in the worker id, not the pid).
+    let offset =
+        usize::try_from(crate::checkpoint::fnv1a64(worker.as_bytes()) % n as u64).unwrap_or(0);
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).map(|i| (i + offset) % n).collect());
+    let attempts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    let seed = leases.fingerprint();
+    let work = |i: usize| -> Option<usize> {
+        // Returns Some(i) to re-queue the index, None when resolved.
+        let cell = &names[i];
+        let mut pre_quarantined = None;
+        match store.load(cell) {
+            LoadOutcome::Cached(result) => {
+                *slots[i].lock().expect("slot lock poisoned") =
+                    Some(Ok(CellOutcome::cached(result)));
+                return None;
+            }
+            LoadOutcome::Quarantined { reason, .. } => pre_quarantined = Some(reason),
+            LoadOutcome::Absent => {}
+        }
+        match leases.try_acquire(cell) {
+            Ok(LeaseAttempt::Acquired(guard)) => {
+                // Re-check under the lease: the cell may have been
+                // committed between our cache probe and the claim.
+                let outcome = match store.load(cell) {
+                    LoadOutcome::Cached(result) => CellOutcome::cached(result),
+                    _ => {
+                        let job = cells[i]
+                            .lock()
+                            .expect("cell lock poisoned")
+                            .take()
+                            .expect("a cell index resolves at most once");
+                        let mut o = run_one(job, cell);
+                        if o.quarantined.is_none() {
+                            o.quarantined = pre_quarantined;
+                        }
+                        o
+                    }
+                };
+                drop(guard);
+                *slots[i].lock().expect("slot lock poisoned") = Some(Ok(outcome));
+                None
+            }
+            Ok(LeaseAttempt::Held { remaining, .. }) => {
+                // Another process is on it. Sleep a little (bounded by
+                // the holder's remaining TTL, plus seeded jitter so
+                // waiting processes desynchronize) and re-queue.
+                let attempt = attempts[i].fetch_add(1, Ordering::Relaxed) as u64 + 1;
+                let shift = u32::try_from(attempt.min(4)).unwrap_or(4);
+                let base = Duration::from_millis(10u64 << shift)
+                    .min(remaining.max(Duration::from_millis(5)))
+                    .min(Duration::from_millis(250));
+                thread::sleep(
+                    base + jitter(
+                        seed,
+                        &format!("{worker}/{cell}"),
+                        attempt,
+                        Duration::from_millis(50),
+                    ),
+                );
+                Some(i)
+            }
+            Err(e) => {
+                *slots[i].lock().expect("slot lock poisoned") = Some(Err(e));
+                None
+            }
+        }
+    };
+    let worker_loop = || loop {
+        let i = queue.lock().expect("queue lock poisoned").pop_front();
+        let Some(i) = i else { break };
+        if let Some(again) = work(i) {
+            queue.lock().expect("queue lock poisoned").push_back(again);
+        }
+    };
+    if threads <= 1 {
+        worker_loop();
+    } else {
+        thread::scope(|s| {
+            for _ in 0..threads.min(n) {
+                s.spawn(worker_loop);
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner().expect("slot lock poisoned").expect("every queued index was resolved")
         })
         .collect()
 }

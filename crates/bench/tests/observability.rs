@@ -84,6 +84,7 @@ fn traced_jobs4_sweep_journal_validates_end_to_end() {
         backend: BackendKind::Sim,
         algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
         jobs: 4,
+        shard: wcms_bench::ShardPolicy::Off,
     };
     let device = DeviceSpec::test_device();
     let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];
@@ -142,6 +143,7 @@ fn virtual_clock_sweep_is_deterministic_and_non_blocking() {
         backend: BackendKind::Analytic,
         algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
         jobs: 1,
+        shard: wcms_bench::ShardPolicy::Off,
     };
     let device = DeviceSpec::test_device();
     let configs = [Config { label: "T".into(), params: SortParams::new(32, 7, 64).unwrap() }];

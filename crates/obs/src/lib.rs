@@ -36,7 +36,9 @@ use std::sync::{Arc, OnceLock};
 
 pub use clock::Clock;
 pub use export::{chrome_trace, journal_jsonl};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_S};
+pub use metrics::{
+    parse_prometheus_text, Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_S,
+};
 pub use recorder::{current_tid, Field, FieldValue, NullRecorder, Phase, Record, Recorder};
 pub use ring::{RingCollector, DEFAULT_RING_CAPACITY};
 

@@ -246,6 +246,123 @@ pub fn fmt_f64(v: f64) -> String {
     }
 }
 
+fn parse_f64(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other.parse().map_err(|_| format!("not a number: {other:?}")),
+    }
+}
+
+/// Parse a snapshot produced by [`MetricsRegistry::prometheus_text`]
+/// back into a registry — the inverse the multi-process merge step
+/// needs to [`MetricsRegistry::absorb`] per-shard exports into one
+/// unified registry. Counters, gauges, and histograms round-trip;
+/// every sample line must be covered by a `# TYPE` declaration.
+///
+/// # Errors
+///
+/// Returns a description (with the line number) for any malformed
+/// line, undeclared sample, or non-monotonic histogram buckets.
+pub fn parse_prometheus_text(text: &str) -> Result<MetricsRegistry, String> {
+    struct PartialHist {
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    }
+    let reg = MetricsRegistry::new();
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, PartialHist> = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(name), Some(kind @ ("counter" | "gauge" | "histogram"))) => {
+                    kinds.insert(name.to_string(), kind.to_string());
+                }
+                _ => return Err(at(format!("malformed TYPE declaration: {raw:?}"))),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (HELP etc.) are ignorable
+        }
+        let (key, value) =
+            line.rsplit_once(' ').ok_or_else(|| at(format!("no sample value: {raw:?}")))?;
+        if let Some((name, rest)) = key.split_once("_bucket{le=\"") {
+            let le = rest
+                .strip_suffix("\"}")
+                .ok_or_else(|| at(format!("malformed bucket label: {key:?}")))?;
+            let bound = parse_f64(le).map_err(&at)?;
+            let cum: u64 =
+                value.parse().map_err(|_| at(format!("not a bucket count: {value:?}")))?;
+            hists
+                .entry(name.to_string())
+                .or_insert_with(|| PartialHist { buckets: Vec::new(), sum: 0.0, count: 0 })
+                .buckets
+                .push((bound, cum));
+            continue;
+        }
+        let hist_part = |suffix: &str| {
+            key.strip_suffix(suffix)
+                .filter(|base| kinds.get(*base).is_some_and(|k| k == "histogram"))
+                .map(ToString::to_string)
+        };
+        if let Some(base) = hist_part("_sum") {
+            let entry = hists.entry(base).or_insert_with(|| PartialHist {
+                buckets: Vec::new(),
+                sum: 0.0,
+                count: 0,
+            });
+            entry.sum = parse_f64(value).map_err(&at)?;
+            continue;
+        }
+        if let Some(base) = hist_part("_count") {
+            let entry = hists.entry(base).or_insert_with(|| PartialHist {
+                buckets: Vec::new(),
+                sum: 0.0,
+                count: 0,
+            });
+            entry.count = value.parse().map_err(|_| at(format!("not a count: {value:?}")))?;
+            continue;
+        }
+        match kinds.get(key).map(String::as_str) {
+            Some("counter") => reg
+                .counter(key)
+                .add(value.parse().map_err(|_| at(format!("not a counter value: {value:?}")))?),
+            Some("gauge") => reg.gauge(key).set(parse_f64(value).map_err(&at)?),
+            Some(other) => return Err(at(format!("{key}: unexpected sample for {other}"))),
+            None => return Err(at(format!("{key}: sample without a TYPE declaration"))),
+        }
+    }
+    for (name, p) in hists {
+        // De-cumulate: per-bucket counts are successive differences;
+        // the final +Inf bucket becomes the implicit overflow bucket.
+        let finite: Vec<f64> =
+            p.buckets.iter().map(|(b, _)| *b).filter(|b| b.is_finite()).collect();
+        let h = reg.histogram(&name, &finite);
+        let mut prev = 0u64;
+        for (i, (_, cum)) in p.buckets.iter().enumerate() {
+            let delta = cum
+                .checked_sub(prev)
+                .ok_or_else(|| format!("{name}: non-monotonic cumulative buckets"))?;
+            prev = *cum;
+            if let Some(slot) = h.0.counts.get(i) {
+                slot.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        h.0.count.fetch_add(p.count, Ordering::Relaxed);
+        h.0.sum_bits.store(p.sum.to_bits(), Ordering::Relaxed);
+    }
+    Ok(reg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +419,43 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
         assert!(text.contains("lat_count 1"), "{text}");
         assert_eq!(text, m.prometheus_text(), "snapshot must be reproducible");
+    }
+
+    /// The multi-process merge contract: a text snapshot parses back
+    /// into a registry whose own snapshot is byte-identical, and the
+    /// parsed registry absorbs like any in-process one.
+    #[test]
+    fn prometheus_text_round_trips_through_the_parser() {
+        let m = MetricsRegistry::new();
+        m.counter("sweep_cells_total").add(7);
+        m.gauge("sweep_wall_seconds").set(2.5);
+        let h = m.histogram("cell_latency_seconds", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = m.prometheus_text();
+        let back = parse_prometheus_text(&text).unwrap();
+        assert_eq!(back.prometheus_text(), text, "parse must invert the renderer");
+        let sink = MetricsRegistry::new();
+        sink.absorb(&back);
+        sink.absorb(&back);
+        assert_eq!(sink.counter("sweep_cells_total").get(), 14);
+        assert_eq!(sink.histogram("cell_latency_seconds", &[0.1, 1.0]).count(), 6);
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed_snapshots() {
+        for hostile in [
+            "x 1",                           // sample without TYPE
+            "# TYPE x counter\nx nope",      // non-numeric counter
+            "# TYPE x counter\nx",           // no value at all
+            "# TYPE x gauge\n# TYPE x\nx 1", // malformed TYPE line
+            "# TYPE l histogram\nl_bucket{le=\"1\"} 5\nl_bucket{le=\"+Inf\"} 3\nl_sum 0\nl_count 3",
+        ] {
+            assert!(parse_prometheus_text(hostile).is_err(), "{hostile:?} must be rejected");
+        }
+        // But unknown comments are fine.
+        assert!(parse_prometheus_text("# HELP y stuff\n# TYPE y counter\ny 3\n").is_ok());
     }
 
     #[test]

@@ -301,16 +301,41 @@ impl Server {
                 let tile = tuning.b * tuning.e;
                 let sizes: Vec<usize> =
                     (*min_doublings..=*max_doublings).filter_map(|m| tile.checked_shl(m)).collect();
+                let mut resilience = self.request_resilience(budget);
+                // Per-request grid checkpoints: the directory is keyed
+                // by the canonical request key, so the key *is* the
+                // configuration fingerprint and a bare store suffices.
+                // A daemon killed mid-grid resumes from the committed
+                // cells on the retried request; a completed grid lands
+                // in the result cache and its checkpoint dir is removed.
+                let grid_ckpt = req.canonical_key().map(|key| {
+                    self.cfg
+                        .journal_dir
+                        .join("grid-ckpt")
+                        .join(wcms_bench::checkpoint::sanitize(&key))
+                });
+                if let Some(dir) = &grid_ckpt {
+                    match wcms_bench::checkpoint::CheckpointStore::open(dir) {
+                        Ok(store) => resilience.checkpoint = Some(store),
+                        Err(e) => {
+                            // Degraded but correct: run without resume.
+                            self.cfg.obs.warn("grid-ckpt-unavailable", &format!(
+                                "serve: grid checkpoint dir unavailable ({e}); running without resume"
+                            ), Vec::new);
+                        }
+                    }
+                }
                 let opts = SweepOptions {
                     sweep: SweepConfig {
                         min_doublings: *min_doublings,
                         max_doublings: *max_doublings,
                         runs: *runs,
                     },
-                    resilience: self.request_resilience(budget),
+                    resilience,
                     backend: *backend,
                     algorithm: *algorithm,
                     jobs: 1, // within-request: sequential; across requests: the worker pool
+                    shard: wcms_bench::shard::ShardPolicy::Off,
                 };
                 let (family, runs, algorithm, outer) = (*family, *runs, *algorithm, client.clone());
                 let swept = run_sweep(
@@ -332,6 +357,18 @@ impl Server {
                         )
                     },
                 );
+                let complete = swept
+                    .cells
+                    .iter()
+                    .all(|(_, o)| matches!(o.result, wcms_bench::checkpoint::CellResult::Done(_)));
+                if complete {
+                    if let Some(dir) = &grid_ckpt {
+                        // The result cache is the durable layer from
+                        // here on; the checkpoint dir only needs to
+                        // survive an *interrupted* grid.
+                        let _ = std::fs::remove_dir_all(dir);
+                    }
+                }
                 Response::Grid {
                     cells: swept.cells.into_iter().map(|(n, o)| (n, o.result)).collect(),
                 }
@@ -848,6 +885,65 @@ mod tests {
                 other => unreachable!("{other:?}"),
             }
         });
+    }
+
+    #[test]
+    fn grid_requests_resume_from_per_cell_checkpoints() {
+        use wcms_bench::checkpoint::{sanitize, CellResult, CheckpointStore};
+        let root = scratch("grid-resume");
+        let grid = Request::Grid {
+            tuning: Tuning { w: 16, e: 3, b: 32 },
+            family: WorkloadSpec::Reverse,
+            min_doublings: 1,
+            max_doublings: 2,
+            runs: 1,
+            backend: wcms_mergesort::BackendKind::Reference,
+            algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
+            device: "test".into(),
+            budget_ms: Some(5_000),
+        };
+        // Seed the per-key grid checkpoint dir exactly as a daemon
+        // killed mid-grid would have left it: the first cell committed,
+        // the second never started. The planted throughput is one no
+        // real measurement produces, so seeing it in the response
+        // proves the cell was *replayed*, not recomputed.
+        let key = grid.canonical_key().unwrap();
+        let ckpt_dir = root.join("journal").join("grid-ckpt").join(sanitize(&key));
+        let store = CheckpointStore::open(&ckpt_dir).unwrap();
+        let planted = wcms_bench::experiment::Measurement {
+            n: 192,
+            throughput: 42.0,
+            ms: 1.0,
+            throughput_spread: wcms_dmm::stats::Summary {
+                n: 1,
+                mean: 42.0,
+                min: 42.0,
+                max: 42.0,
+                stddev: 0.0,
+            },
+            beta1: 1.0,
+            beta2: 1.0,
+            conflicts_per_element: 0.0,
+            ms_per_element: 0.0,
+        };
+        store.store("serve/grid/192", &CellResult::Done(planted)).unwrap();
+        with_server(quick_cfg(&root), |addr| match roundtrip(addr, &grid) {
+            Response::Grid { cells } => {
+                assert_eq!(cells.len(), 2);
+                match &cells[0].1 {
+                    CellResult::Done(m) => assert_eq!(m.throughput, 42.0),
+                    other => unreachable!("{other:?}"),
+                }
+                match &cells[1].1 {
+                    CellResult::Done(m) => assert_ne!(m.throughput, 42.0),
+                    other => unreachable!("{other:?}"),
+                }
+            }
+            other => unreachable!("{other:?}"),
+        });
+        // A completed grid removes its checkpoint dir — the result
+        // cache is the durable layer from here on.
+        assert!(!ckpt_dir.exists(), "completed grid should clean its checkpoint dir");
     }
 
     #[test]

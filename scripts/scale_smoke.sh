@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Scale-out smoke: the CI gate for the lease-based multi-process sweep
+# layer and the streaming dataset pipeline.
+#
+#   1. crash drill — 3 stealing fig4 workers on one checkpoint store,
+#      a seeded subset SIGKILLed mid-sweep, one lease file and one cell
+#      file byte-flipped, a fresh fleet restarted, and the merge output
+#      byte-diffed against an uninterrupted sequential run (the chaos
+#      binary's multi-process cycles);
+#   2. scale-out throughput — cells/sec of the same grid at 1 process
+#      vs 3 stealing processes, written to $1 (default BENCH_sweep.json)
+#      as the artifact CI uploads; the 3-process run must not be slower
+#      than 0.8x sequential (coordination overhead stays bounded);
+#   3. bounded-RSS streaming — generate and verify a 10^8-key v3
+#      dataset, and external-sort a 2*10^7-key one, all under a 256 MiB
+#      address-space ulimit: nothing in the streaming path may
+#      materialize the dataset.
+#
+# Run from anywhere inside the repository: ./scripts/scale_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_sweep.json}
+SEED=${SEED:-51966}
+command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
+
+cargo build --release -p wcms-bench --bin fig4 --bin merge --bin chaos
+cargo build --release --bin wcms
+
+FIG4=target/release/fig4
+MERGE=target/release/merge
+CHAOS=target/release/chaos
+WCMS=target/release/wcms
+for bin in "$FIG4" "$MERGE" "$CHAOS" "$WCMS"; do
+    [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
+done
+
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+now() { date +%s.%N; }
+
+# --- 1. multi-process crash drill (seeded kills + byte flips + merge) ---
+"$CHAOS" --cycles 0 --multi-cycles 2 --seed "$SEED"
+
+# --- 2. cells/sec at 1 vs 3 processes --------------------------------
+"$FIG4" --quick > "$SCRATCH/seq.csv" 2> "$SCRATCH/seq.err" &
+SEQ_PID=$!
+T0=$(now)
+wait "$SEQ_PID"
+T1=$(now)
+SEQ_S=$(awk -v a="$T0" -v b="$T1" 'BEGIN { print b - a }')
+CELLS=$(sed -n 's/.*# sweep-summary [^c]*cells=\([0-9]*\).*/\1/p' "$SCRATCH/seq.err" | head -n 1)
+[[ -n "$CELLS" ]] || { echo "error: no sweep-summary in sequential run" >&2; exit 1; }
+
+CK="$SCRATCH/steal-ckpt"
+T0=$(now)
+for i in 0 1 2; do
+    "$FIG4" --quick --checkpoint-dir "$CK" --steal --worker-id "w$i" \
+        > /dev/null 2> "$SCRATCH/w$i.err" &
+done
+wait
+T1=$(now)
+PAR_S=$(awk -v a="$T0" -v b="$T1" 'BEGIN { print b - a }')
+
+# The clean 3-process run must merge byte-identically too.
+"$MERGE" --figure fig4 --quick --checkpoint-dir "$CK" \
+    > "$SCRATCH/merged.csv" 2> "$SCRATCH/merged.err"
+cmp "$SCRATCH/seq.csv" "$SCRATCH/merged.csv" || {
+    echo "error: 3-process merged CSV differs from sequential run" >&2; exit 1; }
+echo "scale_smoke: merged CSV byte-identical to sequential ($CELLS cells)"
+
+SPEEDUP=$(awk -v s="$SEQ_S" -v p="$PAR_S" 'BEGIN { print s / p }')
+awk -v s="$SEQ_S" -v p="$PAR_S" 'BEGIN { exit !(s / p >= 0.8) }' || {
+    echo "error: 3-process sweep slower than 0.8x sequential (${SEQ_S}s -> ${PAR_S}s)" >&2
+    exit 1
+}
+printf '{"grid":"fig4-quick","cells":%s,"seq_s":%s,"par3_s":%s,"cells_per_s_1":%s,"cells_per_s_3":%s,"speedup_3proc":%s}\n' \
+    "$CELLS" "$SEQ_S" "$PAR_S" \
+    "$(awk -v c="$CELLS" -v t="$SEQ_S" 'BEGIN { print c / t }')" \
+    "$(awk -v c="$CELLS" -v t="$PAR_S" 'BEGIN { print c / t }')" \
+    "$SPEEDUP" > "$OUT"
+echo "scale_smoke: wrote $OUT (speedup ${SPEEDUP}x at 3 processes)"
+
+# --- 3. streaming dataset pipeline under a 256 MiB ulimit -------------
+(
+    ulimit -v 262144
+    "$WCMS" genstream --family random --n 100000000 --seed "$SEED" \
+        --out "$SCRATCH/big.keys"
+    "$WCMS" verify --file "$SCRATCH/big.keys" | tee "$SCRATCH/verify.out"
+    grep -q "100000000 keys" "$SCRATCH/verify.out"
+    "$WCMS" genstream --family random --n 20000000 --seed "$SEED" \
+        --out "$SCRATCH/mid.keys"
+    "$WCMS" sortfile --input "$SCRATCH/mid.keys" --output "$SCRATCH/mid.sorted" \
+        --run-keys 4194304
+    "$WCMS" verify --file "$SCRATCH/mid.sorted" | grep -q "sorted"
+)
+echo "scale_smoke: 10^8-key generate+verify and 2*10^7-key external sort under 256 MiB"
