@@ -1,8 +1,8 @@
 //! `wcms-analyze` — the workspace's static-analysis gate.
 //!
 //! ```text
-//! wcms-analyze [--verify-bounds] [--model-check] [--crosscheck] [--lint] [--all]
-//!              [--warp W] [--doublings D] [--min-schedules N]
+//! wcms-analyze [--verify-bounds] [--model-check] [--model-check-shard] [--crosscheck]
+//!              [--lint] [--all] [--warp W] [--doublings D] [--min-schedules N]
 //!              [--root PATH] [--allowlist PATH] [--json]
 //! ```
 //!
@@ -17,11 +17,14 @@ use wcms_analyzer::bounds::{verify_grid, verify_multiway_rounds};
 use wcms_analyzer::crosscheck::{crosscheck_fig4, warp_grid_disagreements};
 use wcms_analyzer::interleave::ExploreConfig;
 use wcms_analyzer::lint::lint_workspace;
+use wcms_analyzer::model_fs::{check_fs_consistency, check_fs_mutations};
+use wcms_analyzer::shard_model::{check_shard_mutations, check_shard_protocol};
 use wcms_analyzer::supervisor_model::check_supervisor_protocol;
 
 struct Options {
     verify_bounds: bool,
     model_check: bool,
+    model_check_shard: bool,
     crosscheck: bool,
     lint: bool,
     json: bool,
@@ -32,14 +35,15 @@ struct Options {
     allowlist: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: wcms-analyze [--verify-bounds] [--model-check] [--crosscheck] \
-[--lint] [--all] [--warp W] [--doublings D] [--min-schedules N] [--root PATH] \
-[--allowlist PATH] [--json]";
+const USAGE: &str = "usage: wcms-analyze [--verify-bounds] [--model-check] \
+[--model-check-shard] [--crosscheck] [--lint] [--all] [--warp W] [--doublings D] \
+[--min-schedules N] [--root PATH] [--allowlist PATH] [--json]";
 
 fn parse_args() -> Result<Options, String> {
     let mut o = Options {
         verify_bounds: false,
         model_check: false,
+        model_check_shard: false,
         crosscheck: false,
         lint: false,
         json: false,
@@ -56,11 +60,13 @@ fn parse_args() -> Result<Options, String> {
         match a.as_str() {
             "--verify-bounds" => o.verify_bounds = true,
             "--model-check" => o.model_check = true,
+            "--model-check-shard" => o.model_check_shard = true,
             "--crosscheck" => o.crosscheck = true,
             "--lint" => o.lint = true,
             "--all" => {
                 o.verify_bounds = true;
                 o.model_check = true;
+                o.model_check_shard = true;
                 o.crosscheck = true;
                 o.lint = true;
             }
@@ -83,7 +89,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    if !(o.verify_bounds || o.model_check || o.crosscheck || o.lint) {
+    if !(o.verify_bounds || o.model_check || o.model_check_shard || o.crosscheck || o.lint) {
         return Err(format!("nothing to do — pick a pass or --all\n{USAGE}"));
     }
     Ok(o)
@@ -277,6 +283,176 @@ fn main() -> ExitCode {
         ok &= clean;
     }
 
+    if o.model_check_shard {
+        let scenarios = check_shard_protocol(&ExploreConfig::default());
+        let fs_scripts = check_fs_consistency();
+        let mutations = check_shard_mutations(&ExploreConfig::default());
+        let fs_mutations = check_fs_mutations();
+
+        let total: usize = scenarios.iter().map(|r| r.report.schedules).sum();
+        let fs_cases: usize = fs_scripts.iter().map(|r| r.cases).sum();
+        let total_violations: usize =
+            scenarios.iter().map(|r| r.report.violations.len()).sum::<usize>()
+                + fs_scripts.iter().map(|r| r.violations.len()).sum::<usize>();
+        let all_caught = mutations.iter().all(|m| m.caught && m.replayed)
+            && fs_mutations.iter().all(|m| m.caught && m.replayed);
+        let clean = scenarios.iter().all(|r| r.report.clean())
+            && fs_scripts.iter().all(wcms_analyzer::model_fs::FsScriptReport::clean)
+            && total >= o.min_schedules
+            && all_caught;
+
+        if o.json {
+            let scenario_items: Vec<String> = scenarios
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"scenario\":{},\"schedules\":{},\"states\":{},\"max_depth\":{},\
+                         \"violations\":{},\"truncated\":{}}}",
+                        json_escape(r.name),
+                        r.report.schedules,
+                        r.report.states,
+                        r.report.max_depth_seen,
+                        r.report.violations.len(),
+                        r.report.truncated
+                    )
+                })
+                .collect();
+            let fs_items: Vec<String> = fs_scripts
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"script\":{},\"crash_points\":{},\"cases\":{},\"violations\":{}}}",
+                        json_escape(r.script),
+                        r.crash_points,
+                        r.cases,
+                        r.violations.len()
+                    )
+                })
+                .collect();
+            let mut mutation_items: Vec<String> = mutations
+                .iter()
+                .map(|m| {
+                    let ce = m.counterexample.as_ref().map_or("null".to_string(), |v| {
+                        format!(
+                            "{{\"schedule\":{:?},\"message\":{}}}",
+                            v.schedule,
+                            json_escape(&v.message)
+                        )
+                    });
+                    format!(
+                        "{{\"name\":{},\"kind\":\"interleaving\",\"schedules\":{},\
+                         \"caught\":{},\"replayed\":{},\"counterexample\":{ce}}}",
+                        json_escape(m.variant.name()),
+                        m.schedules,
+                        m.caught,
+                        m.replayed
+                    )
+                })
+                .collect();
+            mutation_items.extend(fs_mutations.iter().map(|m| {
+                let ce = m.counterexample.as_ref().map_or("null".to_string(), |v| {
+                    format!(
+                        "{{\"script\":{},\"crash_after\":{},\"choice\":{:?},\"message\":{}}}",
+                        json_escape(v.script),
+                        v.crash_after,
+                        v.choice,
+                        json_escape(&v.message)
+                    )
+                });
+                format!(
+                    "{{\"name\":{},\"kind\":\"crash\",\"cases\":{},\
+                     \"caught\":{},\"replayed\":{},\"counterexample\":{ce}}}",
+                    json_escape(m.variant.name()),
+                    m.cases,
+                    m.caught,
+                    m.replayed
+                )
+            }));
+            json_sections.push(format!(
+                "\"model_check_shard\":{{\"total_schedules\":{total},\
+                 \"total_violations\":{total_violations},\"fs_cases\":{fs_cases},\
+                 \"scenarios\":[{}],\"fs\":[{}],\"mutations\":[{}]}}",
+                scenario_items.join(","),
+                fs_items.join(","),
+                mutation_items.join(",")
+            ));
+        } else {
+            println!("== model-check-shard (lease/steal protocol + fs crash consistency) ==");
+            for r in &scenarios {
+                println!(
+                    "  {:<24} {:>7} schedules, {:>8} states, depth {:>2}, {} violations{}",
+                    r.name,
+                    r.report.schedules,
+                    r.report.states,
+                    r.report.max_depth_seen,
+                    r.report.violations.len(),
+                    if r.report.truncated { " (TRUNCATED)" } else { "" }
+                );
+                for v in r.report.violations.iter().take(3) {
+                    println!("       {} via {:?}", v.message, v.schedule);
+                }
+            }
+            for r in &fs_scripts {
+                println!(
+                    "  fs {:<21} {:>7} crash images over {} crash points, {} violations",
+                    r.script,
+                    r.cases,
+                    r.crash_points,
+                    r.violations.len()
+                );
+                for v in r.violations.iter().take(3) {
+                    println!(
+                        "       {} (crash after step {}, choice {:?})",
+                        v.message, v.crash_after, v.choice
+                    );
+                }
+            }
+            for m in &mutations {
+                let verdict = match (m.caught, m.replayed) {
+                    (true, true) => "caught, replayed".to_string(),
+                    (true, false) => "caught, REPLAY FAILED".to_string(),
+                    _ => "ESCAPED".to_string(),
+                };
+                println!(
+                    "  mutation {:<18} {:>7} schedules: {verdict}",
+                    m.variant.name(),
+                    m.schedules
+                );
+                if let Some(v) = &m.counterexample {
+                    println!("       counterexample schedule {:?}: {}", v.schedule, v.message);
+                }
+            }
+            for m in &fs_mutations {
+                let verdict = match (m.caught, m.replayed) {
+                    (true, true) => "caught, replayed".to_string(),
+                    (true, false) => "caught, REPLAY FAILED".to_string(),
+                    _ => "ESCAPED".to_string(),
+                };
+                println!(
+                    "  mutation {:<18} {:>7} crash images: {verdict}",
+                    m.variant.name(),
+                    m.cases
+                );
+                if let Some(v) = &m.counterexample {
+                    println!(
+                        "       counterexample {} crash after step {} choice {:?}: {}",
+                        v.script, v.crash_after, v.choice, v.message
+                    );
+                }
+            }
+            println!(
+                "  {total} schedules + {fs_cases} crash images total (minimum {}), \
+                 {total_violations} violations, {} mutation(s) seeded",
+                o.min_schedules,
+                mutations.len() + fs_mutations.len()
+            );
+        }
+        if total < o.min_schedules {
+            eprintln!("model-check-shard: only {total} schedules explored (< {})", o.min_schedules);
+        }
+        ok &= clean;
+    }
+
     if o.crosscheck {
         let grid = warp_grid_disagreements(o.warp);
         let cells = crosscheck_fig4(o.doublings);
@@ -370,7 +546,7 @@ fn main() -> ExitCode {
                         }
                     }
                     for s in &report.stale_allowlist {
-                        println!("  warning: stale allowlist entry: {s}");
+                        println!("  STALE allowlist entry (fails the gate — delete it): {s}");
                     }
                     for m in &report.malformed_allowlist {
                         println!("  malformed allowlist entry: {m}");

@@ -5,7 +5,7 @@
 //! (preserving byte offsets and newlines), tracks `#[cfg(test)] mod`
 //! regions by brace depth, and then matches *whole identifiers* — so
 //! `.unwrap_or(..)` is never confused with `.unwrap()` the way a naive
-//! regex would. Five rules:
+//! regex would. Seven rules:
 //!
 //! * `panic-path` — `.unwrap()` / `.expect()` (and the `_err` duals) and
 //!   the `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros
@@ -31,10 +31,25 @@
 //!   deadlines lets one stalled peer pin a blocking worker forever —
 //!   the failure mode `wcms-serve` is built to exclude. File-scoped:
 //!   the first socket token is flagged once per file.
+//! * `wall-clock-in-protocol` — `Instant::now` *or* `SystemTime::now`
+//!   inside the scale-out protocol files ([`PROTOCOL_PATHS`]). Lease
+//!   expiry is a cross-process contract whose decisions the model
+//!   checker explores under virtual time; a raw clock read at a
+//!   protocol decision site is a state the checker cannot reach. Time
+//!   enters the protocol through an injected `wcms_obs::Clock` only.
+//! * `rename-without-fsync` — a file that calls `fs::rename` outside
+//!   tests but never forces data (`sync_all` / `sync_data`).
+//!   Publishing a name whose bytes were never fsynced is exactly the
+//!   torn-commit window the `ModelFs` crash explorer demonstrates;
+//!   like the socket rule this is file-scoped (the satisfier may live
+//!   in a helper) and the first rename is flagged once per file.
 //!
 //! Findings can be allowed by an explicit allowlist file: one entry per
-//! line, `rule path reason…`, the reason mandatory. Unused entries are
-//! reported as stale (warning), malformed entries fail the gate.
+//! line, `rule path reason…`, the reason mandatory. Malformed entries
+//! fail the gate, and so do **stale** entries (matching nothing): an
+//! allowlist row that outlives its finding is a lie about the codebase
+//! and rots into cover for a future regression — deleting it is the
+//! fix.
 //! Diagnostics render as text or machine-readable JSON (hand-rolled —
 //! the workspace has no JSON dependency).
 
@@ -46,6 +61,17 @@ use wcms_error::WcmsError;
 const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
 /// The macro names that are panic paths.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// The scale-out protocol files: every clock read in these must go
+/// through an injected `wcms_obs::Clock` (see `wall-clock-in-protocol`
+/// in the module docs).
+pub const PROTOCOL_PATHS: [&str; 5] = [
+    "crates/bench/src/protocol.rs",
+    "crates/bench/src/shard.rs",
+    "crates/bench/src/checkpoint.rs",
+    "crates/bench/src/resilient.rs",
+    "crates/bench/src/supervisor.rs",
+];
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,10 +123,14 @@ impl LintReport {
     }
 
     /// True iff the gate passes: no denied finding, no malformed
-    /// allowlist entry (stale entries only warn).
+    /// allowlist entry, and no stale allowlist entry — an allow row
+    /// matching nothing documents a finding that no longer exists and
+    /// must be deleted, not carried.
     #[must_use]
     pub fn gate_ok(&self) -> bool {
-        self.denied().next().is_none() && self.malformed_allowlist.is_empty()
+        self.denied().next().is_none()
+            && self.malformed_allowlist.is_empty()
+            && self.stale_allowlist.is_empty()
     }
 
     /// Machine-readable JSON rendering.
@@ -473,6 +503,11 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
     // dedicated function, so the satisfier is file-wide).
     let mut first_socket: Option<(usize, &'static str)> = None;
     let mut arms_deadline = false;
+    // Same shape for the rename rule: first `fs::rename` outside
+    // tests, satisfied by any data-forcing identifier in the file.
+    let mut first_rename: Option<usize> = None;
+    let mut syncs_data = false;
+    let is_protocol_file = PROTOCOL_PATHS.contains(&path);
 
     let mut i = 0;
     while i < masked.len() {
@@ -485,6 +520,9 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
         let ident = std::str::from_utf8(&masked[i..end]).unwrap_or("");
         if matches!(ident, "set_read_timeout" | "set_write_timeout" | "apply_deadlines") {
             arms_deadline = true;
+        }
+        if matches!(ident, "sync_all" | "sync_data") {
+            syncs_data = true;
         }
         if !in_test(i) {
             if first_socket.is_none() {
@@ -505,7 +543,22 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
                 push("thread-spawn", i, "thread::spawn".to_string());
             } else if ident == "now" && path_qualifier(&masked, i).as_deref() == Some("SystemTime")
             {
-                push("wall-clock", i, "SystemTime::now".to_string());
+                // In a protocol file the sharper rule subsumes the
+                // general one (one finding per token, one allow row).
+                if is_protocol_file {
+                    push("wall-clock-in-protocol", i, "SystemTime::now".to_string());
+                } else {
+                    push("wall-clock", i, "SystemTime::now".to_string());
+                }
+            } else if is_protocol_file
+                && ident == "now"
+                && path_qualifier(&masked, i).as_deref() == Some("Instant")
+            {
+                push("wall-clock-in-protocol", i, "Instant::now".to_string());
+            } else if ident == "rename" && path_qualifier(&masked, i).as_deref() == Some("fs") {
+                if first_rename.is_none() {
+                    first_rename = Some(i);
+                }
             } else if ident == "eprintln"
                 && next_nonspace(&masked, end) == Some(b'!')
                 && !path.starts_with("crates/obs/")
@@ -519,6 +572,11 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
     if let Some((off, name)) = first_socket {
         if !arms_deadline {
             push("socket-without-deadline", off, name.to_string());
+        }
+    }
+    if let Some(off) = first_rename {
+        if !syncs_data {
+            push("rename-without-fsync", off, "fs::rename".to_string());
         }
     }
     findings
@@ -726,6 +784,74 @@ mod tests {
             "#[cfg(test)]\nmod tests { fn t() { let _ = super::f; } }\n",
         );
         assert!(lint_source("a.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn protocol_files_ban_every_raw_clock() {
+        let src = concat!(
+            "fn a() { let _ = std::time::Instant::now(); }\n",
+            "fn b() { let _ = std::time::SystemTime::now(); }\n",
+            "fn c(clock: &wcms_obs::Clock) { let _ = clock.now_us(); }\n",
+        );
+        // Inside a protocol file both raw clocks hit the sharper rule
+        // (and SystemTime is not double-reported under `wall-clock`).
+        let fs = lint_source("crates/bench/src/shard.rs", src, false);
+        let rules: Vec<_> = fs.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["wall-clock-in-protocol", "wall-clock-in-protocol"], "{fs:?}");
+        assert_eq!(fs[0].snippet, "Instant::now");
+        assert_eq!(fs[1].snippet, "SystemTime::now");
+        // Outside the protocol set, `Instant` stays fine and
+        // `SystemTime` hits the general rule as before.
+        let fs = lint_source("crates/bench/src/series.rs", src, false);
+        let rules: Vec<_> = fs.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["wall-clock"], "{fs:?}");
+        // Protocol test modules are exempt like every other rule.
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint_source("crates/bench/src/shard.rs", &test_src, false).is_empty());
+    }
+
+    #[test]
+    fn rename_without_fsync_is_file_scoped() {
+        let src = "fn f() { std::fs::rename(\"a\", \"b\").ok(); fs::rename(\"c\", \"d\").ok(); }\n";
+        let fs = lint_source("a.rs", src, false);
+        assert_eq!(fs.len(), 1, "first rename only: {fs:?}");
+        assert_eq!(fs[0].rule, "rename-without-fsync");
+        assert_eq!(fs[0].snippet, "fs::rename");
+
+        // Forcing data anywhere in the file satisfies the rule — the
+        // temp-file fsync lives a few lines above the rename.
+        let synced = format!("fn s(f: &std::fs::File) {{ f.sync_all().ok(); }}\n{src}");
+        assert!(lint_source("a.rs", &synced, false).is_empty());
+        let synced = format!("fn s(f: &std::fs::File) {{ f.sync_data().ok(); }}\n{src}");
+        assert!(lint_source("a.rs", &synced, false).is_empty());
+
+        // Test files and #[cfg(test)] modules are exempt.
+        assert!(lint_source("crates/bench/tests/t.rs", src, true).is_empty());
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint_source("a.rs", &test_src, false).is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entries_fail_the_gate() {
+        // A deliberately-stale fixture: a tiny on-disk workspace whose
+        // one source file is clean, plus an allowlist row for a
+        // finding that does not exist. The row must be reported stale
+        // AND fail the gate — a stale allow is cover for a future
+        // regression, not a warning.
+        let root =
+            std::env::temp_dir().join(format!("wcms-lint-stale-fixture-{}", std::process::id()));
+        let src_dir = root.join("src");
+        std::fs::create_dir_all(&src_dir).expect("fixture dir");
+        std::fs::write(src_dir.join("lib.rs"), "pub fn clean() -> u32 { 7 }\n")
+            .expect("fixture file");
+        let report =
+            lint_workspace(&root, "wall-clock src/lib.rs this finding was fixed long ago\n")
+                .expect("fixture lints");
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(report.files_scanned, 1);
+        assert!(report.denied().next().is_none(), "{:?}", report.findings);
+        assert_eq!(report.stale_allowlist.len(), 1, "{:?}", report.stale_allowlist);
+        assert!(!report.gate_ok(), "a stale allowlist entry must fail the gate");
     }
 
     #[test]

@@ -180,9 +180,17 @@ fn join_dir(target: &Path, src: &Path, report: &mut JoinReport) -> Result<(), Wc
                 )));
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                // Atomic import: temp + rename, like every store write.
+                // Atomic import: temp + fsync + rename, like every
+                // store write — publishing a name whose data was never
+                // forced is exactly the torn-commit window the
+                // rename-without-fsync lint exists to close.
                 let tmp = target.join(format!("{name}.{}.tmp", std::process::id()));
-                fs::write(&tmp, &bytes)?;
+                {
+                    use std::io::Write as _;
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&bytes)?;
+                    f.sync_all()?;
+                }
                 fs::rename(&tmp, &dest)?;
                 if is_cell {
                     report.imported += 1;

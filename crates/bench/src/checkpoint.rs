@@ -469,16 +469,39 @@ impl CheckpointStore {
 
 /// Atomic file write shared by cells, manifests, aux artifacts and
 /// lease temp files: unique temp name (stealing workers may write the
-/// same target concurrently), fsync, rename.
+/// same target concurrently), fsync, rename. The step order is not
+/// ad hoc — it executes [`crate::protocol::ATOMIC_WRITE_STEPS`], the
+/// same plan the `wcms-analyzer` crash-consistency explorer enumerates
+/// machine crashes through, and records each step on the conformance
+/// probe so a test can assert the two never drift.
 pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<(), WcmsError> {
+    use crate::protocol::{self, CommitStep};
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
     let tmp = path.with_file_name(format!("{name}.{}.tmp", std::process::id()));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(content.as_bytes())?;
-        f.sync_all()?;
+    let mut file: Option<fs::File> = None;
+    for step in protocol::ATOMIC_WRITE_STEPS {
+        protocol::probe::executed("atomic-write", *step);
+        match step {
+            CommitStep::CreateTemp => file = Some(fs::File::create(&tmp)?),
+            CommitStep::WritePayload => {
+                if let Some(f) = file.as_mut() {
+                    f.write_all(content.as_bytes())?;
+                }
+            }
+            CommitStep::SyncTemp => {
+                if let Some(f) = file.as_ref() {
+                    f.sync_all()?;
+                }
+            }
+            CommitStep::Publish => {
+                drop(file.take());
+                fs::rename(&tmp, path)?;
+            }
+            CommitStep::RemoveTemp => {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
     }
-    fs::rename(&tmp, path)?;
     Ok(())
 }
 

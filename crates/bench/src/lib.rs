@@ -40,6 +40,7 @@ pub mod crossval;
 pub mod experiment;
 pub mod figures;
 pub mod panel;
+pub mod protocol;
 pub mod resilient;
 pub mod series;
 pub mod shard;

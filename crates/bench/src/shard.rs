@@ -33,17 +33,33 @@
 //! harmless: measurements are deterministic, and cell commits are
 //! atomic renames of byte-identical content. The merge step
 //! ([`crate::bin` `merge`]) verifies exactly that invariant.
+//!
+//! The state machine itself — what to do with a missing / corrupt /
+//! expired / live lease, what a claim stamps, when a release may
+//! delete — lives in [`crate::protocol`] as pure transition functions.
+//! This module supplies only the filesystem effects around them, so
+//! the `wcms-analyzer` shard model explores *the same* decision logic
+//! production runs (and a conformance test asserts it via
+//! [`crate::protocol::probe`]). Time is read through a
+//! [`wcms_obs::Clock`]: production opens with the epoch-anchored
+//! [`Clock::unix`] (lease deadlines are a cross-process contract), and
+//! tests/models drive expiry with a shared virtual clock instead of
+//! sleeping.
 
 use std::fs;
 use std::path::PathBuf;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::Duration;
 
 use wcms_error::WcmsError;
+use wcms_obs::Clock;
 
 use crate::checkpoint::{
-    decode_file, encode_file, fnv1a64, parse_value, prune_dir, sanitize, write_atomic,
-    CheckpointStore, ObjExt, QUARANTINE_RETAIN,
+    decode_file, encode_file, fnv1a64, prune_dir, sanitize, write_atomic, CheckpointStore,
+    QUARANTINE_RETAIN,
 };
+use crate::protocol::{self, CommitStep, LeaseAction, LeaseView};
+
+pub use crate::protocol::LeaseInfo;
 
 /// Default lease time-to-live: long enough that a healthy cell commits
 /// well inside it, short enough that a SIGKILLed worker's cells are
@@ -173,55 +189,6 @@ pub fn jitter(seed: u64, stream: &str, attempt: u64, max: Duration) -> Duration 
     Duration::from_nanos(x % max_ns)
 }
 
-/// The payload of a lease file.
-///
-/// `pid` and `deadline_ms` are stored as JSON numbers and are exact up
-/// to 2^53 (the codec parses through f64) — far above any real pid or
-/// epoch-millisecond value. The fingerprint is a hex string and covers
-/// the full u64 range.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LeaseInfo {
-    /// Pid of the claiming process (diagnostic only — expiry and
-    /// identity decisions never consult it).
-    pub pid: u64,
-    /// Pid-independent worker id of the claimant.
-    pub worker: String,
-    /// FNV hash of the store's manifest, binding the lease to the
-    /// sweep configuration that wrote it.
-    pub fingerprint: u64,
-    /// Epoch milliseconds after which the lease may be stolen.
-    pub deadline_ms: u64,
-}
-
-impl LeaseInfo {
-    /// Render as the one-line JSON payload (the on-disk file adds the
-    /// checksum footer via [`encode_file`]).
-    #[must_use]
-    pub fn encode(&self) -> String {
-        format!(
-            "{{\"pid\":{},\"worker\":\"{}\",\"fingerprint\":\"{:016x}\",\"deadline_ms\":{}}}",
-            self.pid,
-            crate::checkpoint::escape(&self.worker),
-            self.fingerprint,
-            self.deadline_ms,
-        )
-    }
-
-    /// Parse the output of [`LeaseInfo::encode`]. `None` for anything
-    /// torn or malformed (the lease is then quarantined).
-    #[must_use]
-    pub fn decode(text: &str) -> Option<Self> {
-        let v = parse_value(text)?;
-        let obj = v.as_object()?;
-        Some(Self {
-            pid: obj.get_num("pid")? as u64,
-            worker: obj.get_str("worker")?.to_string(),
-            fingerprint: u64::from_str_radix(obj.get_str("fingerprint")?, 16).ok()?,
-            deadline_ms: obj.get_num("deadline_ms")? as u64,
-        })
-    }
-}
-
 /// What [`LeaseStore::try_acquire`] found.
 #[derive(Debug)]
 pub enum LeaseAttempt {
@@ -238,7 +205,8 @@ pub enum LeaseAttempt {
 
 /// Holding a lease: dropping the guard deletes the lease file iff this
 /// worker still owns it (it may have been stolen meanwhile — then the
-/// stealer's lease must survive).
+/// stealer's lease must survive; [`protocol::release_decision`] is the
+/// arbiter).
 #[derive(Debug)]
 pub struct LeaseGuard {
     path: PathBuf,
@@ -248,12 +216,11 @@ pub struct LeaseGuard {
 
 impl Drop for LeaseGuard {
     fn drop(&mut self) {
-        let still_ours = fs::read_to_string(&self.path)
+        let on_disk = fs::read_to_string(&self.path)
             .ok()
             .and_then(|text| decode_file(&text).ok())
-            .and_then(|payload| LeaseInfo::decode(&payload))
-            .is_some_and(|info| info.pid == self.pid && info.worker == self.worker);
-        if still_ours {
+            .and_then(|payload| LeaseInfo::decode(&payload));
+        if protocol::release_decision(on_disk.as_ref(), self.pid, &self.worker) {
             let _ = fs::remove_file(&self.path);
         }
     }
@@ -267,23 +234,44 @@ pub struct LeaseStore {
     worker: String,
     ttl: Duration,
     fingerprint: u64,
+    clock: Clock,
 }
 
 impl LeaseStore {
     /// Open the lease directory of `store` for worker `worker` with
-    /// lease time-to-live `ttl`. The lease fingerprint is the FNV hash
-    /// of the store's manifest bytes (0 when absent), binding every
-    /// lease to the configuration the store was opened for.
+    /// lease time-to-live `ttl`, stamping deadlines against the
+    /// epoch-anchored [`Clock::unix`] — lease expiry arbitrates
+    /// liveness *between* processes, so it must read the one clock all
+    /// workers share.
     ///
     /// # Errors
     ///
     /// Returns [`WcmsError::Io`] if the directory cannot be created.
     pub fn open(store: &CheckpointStore, worker: &str, ttl: Duration) -> Result<Self, WcmsError> {
+        Self::open_with_clock(store, worker, ttl, Clock::unix())
+    }
+
+    /// [`LeaseStore::open`] with an explicit clock: tests and the
+    /// model checker hand every cooperating store a clone of one
+    /// virtual clock and drive lease expiry deterministically instead
+    /// of sleeping. The lease fingerprint is the FNV hash of the
+    /// store's manifest bytes (0 when absent), binding every lease to
+    /// the configuration the store was opened for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WcmsError::Io`] if the directory cannot be created.
+    pub fn open_with_clock(
+        store: &CheckpointStore,
+        worker: &str,
+        ttl: Duration,
+        clock: Clock,
+    ) -> Result<Self, WcmsError> {
         let dir = store.dir().join("leases");
         fs::create_dir_all(&dir)?;
         let fingerprint =
             fs::read(store.dir().join("manifest.json")).map(|b| fnv1a64(&b)).unwrap_or(0);
-        Ok(Self { store: store.clone(), dir, worker: worker.to_string(), ttl, fingerprint })
+        Ok(Self { store: store.clone(), dir, worker: worker.to_string(), ttl, fingerprint, clock })
     }
 
     /// The worker id this store claims leases as.
@@ -304,10 +292,8 @@ impl LeaseStore {
         self.dir.join(format!("lease-{}.json", sanitize(cell)))
     }
 
-    fn now_ms() -> u64 {
-        SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+    fn now_ms(&self) -> u64 {
+        self.clock.now_us() / 1000
     }
 
     /// A unique scratch path inside the lease directory (claim temp
@@ -316,8 +302,48 @@ impl LeaseStore {
         self.dir.join(format!(".{tag}-{}-{}-{seq}.tmp", sanitize(&self.worker), std::process::id()))
     }
 
-    /// Try to claim `cell`. At most a few protocol rounds: a missing
-    /// lease is claimed by atomic `hard_link`; a corrupt lease is
+    /// Execute [`protocol::LEASE_CLAIM_STEPS`] for `info`: write the
+    /// framed payload to a private temp, fsync, `hard_link` to the
+    /// lease name, unlink the temp. Returns the link result (the
+    /// `AlreadyExists` loser path is the caller's claim race).
+    fn run_claim_steps(
+        &self,
+        info: &LeaseInfo,
+        tmp: &std::path::Path,
+        path: &std::path::Path,
+    ) -> Result<std::io::Result<()>, WcmsError> {
+        let mut file: Option<fs::File> = None;
+        let mut linked: std::io::Result<()> = Ok(());
+        for step in protocol::LEASE_CLAIM_STEPS {
+            protocol::probe::executed("lease-claim", *step);
+            match step {
+                CommitStep::CreateTemp => file = Some(fs::File::create(tmp)?),
+                CommitStep::WritePayload => {
+                    if let Some(f) = file.as_mut() {
+                        use std::io::Write as _;
+                        f.write_all(encode_file(&info.encode()).as_bytes())?;
+                    }
+                }
+                CommitStep::SyncTemp => {
+                    if let Some(f) = file.as_ref() {
+                        f.sync_all()?;
+                    }
+                }
+                CommitStep::Publish => {
+                    drop(file.take());
+                    linked = fs::hard_link(tmp, path);
+                }
+                CommitStep::RemoveTemp => {
+                    let _ = fs::remove_file(tmp);
+                }
+            }
+        }
+        Ok(linked)
+    }
+
+    /// Try to claim `cell`. At most a few protocol rounds, each one a
+    /// read → [`protocol::lease_decision`] → effect: a missing lease
+    /// is claimed by atomic `hard_link`; a corrupt lease is
     /// quarantined and treated as expired; an expired lease is stolen
     /// by atomic rename (one winner). An unexpired foreign lease
     /// returns [`LeaseAttempt::Held`].
@@ -330,26 +356,18 @@ impl LeaseStore {
         let path = self.lease_path(cell);
         let pid = u64::from(std::process::id());
         for round in 0..4u64 {
-            match fs::read_to_string(&path) {
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                    let info = LeaseInfo {
-                        pid,
-                        worker: self.worker.clone(),
-                        fingerprint: self.fingerprint,
-                        deadline_ms: Self::now_ms().saturating_add(
-                            u64::try_from(self.ttl.as_millis()).unwrap_or(u64::MAX),
-                        ),
-                    };
+            let view = match fs::read_to_string(&path) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => LeaseView::Missing,
+                Err(e) => return Err(e.into()),
+                Ok(text) => protocol::classify_lease(Some(&text)),
+            };
+            let now = self.now_ms();
+            match protocol::lease_decision(&view, now) {
+                LeaseAction::Claim => {
+                    let info =
+                        protocol::fresh_lease(pid, &self.worker, self.fingerprint, now, self.ttl);
                     let tmp = self.scratch("claim", round);
-                    {
-                        let mut f = fs::File::create(&tmp)?;
-                        use std::io::Write as _;
-                        f.write_all(encode_file(&info.encode()).as_bytes())?;
-                        f.sync_all()?;
-                    }
-                    let linked = fs::hard_link(&tmp, &path);
-                    let _ = fs::remove_file(&tmp);
-                    match linked {
+                    match self.run_claim_steps(&info, &tmp, &path)? {
                         Ok(()) => {
                             return Ok(LeaseAttempt::Acquired(LeaseGuard {
                                 path,
@@ -361,38 +379,31 @@ impl LeaseStore {
                         Err(e) => return Err(e.into()),
                     }
                 }
-                Err(e) => return Err(e.into()),
-                Ok(text) => {
-                    let info = decode_file(&text).ok().and_then(|p| LeaseInfo::decode(&p));
-                    match info {
-                        None => {
-                            // Corrupt: quarantine (bounded) and treat
-                            // as expired. The rename races benignly
-                            // with other quarantiners and stealers.
-                            let qdir = self.dir.join("quarantine");
-                            let _ = fs::create_dir_all(&qdir);
-                            let dest = qdir.join(path.file_name().unwrap_or_default());
-                            let _ = fs::rename(&path, &dest);
-                            self.store.note_evictions(prune_dir(&qdir, QUARANTINE_RETAIN));
-                            continue;
-                        }
-                        Some(info) => {
-                            let now = Self::now_ms();
-                            if info.deadline_ms <= now {
-                                // Expired: steal by renaming it away —
-                                // exactly one stealer's rename succeeds.
-                                let tomb = self.scratch("steal", round);
-                                if fs::rename(&path, &tomb).is_ok() {
-                                    let _ = fs::remove_file(&tomb);
-                                }
-                                continue;
-                            }
-                            return Ok(LeaseAttempt::Held {
-                                worker: info.worker,
-                                remaining: Duration::from_millis(info.deadline_ms - now),
-                            });
-                        }
+                LeaseAction::Quarantine => {
+                    // Corrupt: quarantine (bounded) and treat as
+                    // expired. The rename races benignly with other
+                    // quarantiners and stealers.
+                    let qdir = self.dir.join("quarantine");
+                    let _ = fs::create_dir_all(&qdir);
+                    let dest = qdir.join(path.file_name().unwrap_or_default());
+                    let _ = fs::rename(&path, &dest);
+                    self.store.note_evictions(prune_dir(&qdir, QUARANTINE_RETAIN));
+                    continue;
+                }
+                LeaseAction::Steal => {
+                    // Expired: steal by renaming it away — exactly one
+                    // stealer's rename succeeds.
+                    let tomb = self.scratch("steal", round);
+                    if fs::rename(&path, &tomb).is_ok() {
+                        let _ = fs::remove_file(&tomb);
                     }
+                    continue;
+                }
+                LeaseAction::Held { worker, remaining_ms } => {
+                    return Ok(LeaseAttempt::Held {
+                        worker,
+                        remaining: Duration::from_millis(remaining_ms),
+                    });
                 }
             }
         }
@@ -461,17 +472,29 @@ mod tests {
     }
 
     #[test]
-    fn expired_lease_is_stolen() {
+    fn expired_lease_is_stolen_under_virtual_time() {
         let store = tmp_store("steal");
-        let dead = LeaseStore::open(&store, "dead", Duration::ZERO).unwrap();
-        let live = LeaseStore::open(&store, "live", Duration::from_secs(60)).unwrap();
-        // A zero-TTL lease is expired the instant it is written — the
-        // moral equivalent of a SIGKILLed owner.
+        // One shared virtual clock drives both workers: no sleeping,
+        // no zero-TTL trickery — the lease expires because time
+        // (deterministically) passes.
+        let clock = Clock::virtual_us(1);
+        let ttl = Duration::from_secs(30);
+        let dead = LeaseStore::open_with_clock(&store, "dead", ttl, clock.clone()).unwrap();
+        let live = LeaseStore::open_with_clock(&store, "live", ttl, clock.clone()).unwrap();
         let g = match dead.try_acquire("cell/2").unwrap() {
             LeaseAttempt::Acquired(g) => g,
             LeaseAttempt::Held { .. } => panic!("claim must win"),
         };
         std::mem::forget(g); // the owner died: no release
+        match live.try_acquire("cell/2").unwrap() {
+            LeaseAttempt::Held { worker, remaining } => {
+                assert_eq!(worker, "dead");
+                assert!(remaining <= ttl);
+            }
+            LeaseAttempt::Acquired(_) => panic!("unexpired lease must hold"),
+        }
+        // SIGKILL the owner's wall time: one tick past the deadline.
+        clock.sleep(ttl + Duration::from_millis(1));
         match live.try_acquire("cell/2").unwrap() {
             LeaseAttempt::Acquired(g) => drop(g),
             LeaseAttempt::Held { worker, .. } => {

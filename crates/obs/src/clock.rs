@@ -3,15 +3,24 @@
 //!
 //! Every timestamp in the observability layer — span begin/end,
 //! sweep wall time, backoff sleeps — is read through a `Clock` instead
-//! of `Instant::now()` (and never `SystemTime::now()`, which the
-//! workspace lint forbids: virtual time must not be spoofable by the
-//! host). That makes deadline/backoff logic testable: a test hands the
-//! code under test [`Clock::virtual_us`], `sleep` becomes an atomic
-//! addition, and elapsed times come out exact and reproducible.
+//! of `Instant::now()`. That makes deadline/backoff logic testable: a
+//! test hands the code under test [`Clock::virtual_us`], `sleep`
+//! becomes an atomic addition, and elapsed times come out exact and
+//! reproducible.
+//!
+//! Three sources exist. [`Clock::wall`] is monotonic and
+//! process-epoch-relative — right for durations, wrong for anything
+//! two processes compare. [`Clock::unix`] is anchored at the Unix
+//! epoch — the *one* sanctioned `SystemTime` read in the workspace
+//! (allowlisted for the `wall-clock` lint), existing exactly so
+//! cross-process contracts like lease deadlines go through an
+//! injectable clock instead of calling `SystemTime::now()` at the
+//! decision site. [`Clock::virtual_us`] is deterministic virtual time
+//! for tests and model checking.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Microseconds since an arbitrary per-clock epoch, or deterministic
 /// virtual ticks. Cloning shares the underlying time source (clones of
@@ -25,6 +34,11 @@ pub struct Clock {
 enum ClockInner {
     /// Monotonic wall time, measured from the clock's creation.
     Wall { epoch: Instant },
+    /// Wall time measured from the Unix epoch: comparable across
+    /// processes (lease deadlines), not monotonic under host clock
+    /// steps — which the lease protocol tolerates by construction
+    /// (skewed expiry only duplicates deterministic work).
+    Unix,
     /// Virtual time: every `now_us` read returns the current value and
     /// advances it by `step_us`, so consecutive reads are strictly
     /// increasing and fully deterministic. `sleep` advances without
@@ -37,6 +51,16 @@ impl Clock {
     #[must_use]
     pub fn wall() -> Self {
         Clock { inner: Arc::new(ClockInner::Wall { epoch: Instant::now() }) }
+    }
+
+    /// The epoch-anchored wall clock: [`Clock::now_us`] reads
+    /// microseconds since the Unix epoch, so readings from different
+    /// processes are comparable. Use this (not [`Clock::wall`]) to
+    /// stamp cross-process deadlines; use it through injection so
+    /// tests can substitute [`Clock::virtual_us`].
+    #[must_use]
+    pub fn unix() -> Self {
+        Clock { inner: Arc::new(ClockInner::Unix) }
     }
 
     /// A deterministic virtual clock starting at 0 that advances by
@@ -67,6 +91,9 @@ impl Clock {
             ClockInner::Wall { epoch } => {
                 u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
             }
+            ClockInner::Unix => SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX)),
             ClockInner::Virtual { now_us, step_us } => now_us.fetch_add(*step_us, Ordering::SeqCst),
         }
     }
@@ -84,7 +111,7 @@ impl Clock {
     /// observing the full virtual delay.
     pub fn sleep(&self, d: Duration) {
         match &*self.inner {
-            ClockInner::Wall { .. } => std::thread::sleep(d),
+            ClockInner::Wall { .. } | ClockInner::Unix => std::thread::sleep(d),
             ClockInner::Virtual { now_us, .. } => {
                 let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
                 now_us.fetch_add(us, Ordering::SeqCst);
@@ -133,6 +160,20 @@ mod tests {
         assert!(real.elapsed() < Duration::from_secs(1), "virtual sleep must not block");
         let dt = c.now_us() - t0;
         assert!(dt >= 3_600_000_000, "the full virtual hour elapsed, got {dt}");
+    }
+
+    #[test]
+    fn unix_clock_is_epoch_anchored_and_comparable_across_instances() {
+        // Two independently-created unix clocks read the same stream —
+        // the property process-crossing lease deadlines depend on,
+        // which Wall (per-clock epoch) deliberately lacks.
+        let a = Clock::unix();
+        let b = Clock::unix();
+        let (ta, tb) = (a.now_us(), b.now_us());
+        assert!(tb.abs_diff(ta) < 60_000_000, "unix clocks must share an epoch: {ta} vs {tb}");
+        // Sanity: the reading is after 2020-01-01 (no default-zero epoch).
+        assert!(ta > 1_577_836_800_000_000, "{ta}");
+        assert!(!a.is_virtual());
     }
 
     #[test]

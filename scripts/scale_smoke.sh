@@ -14,24 +14,32 @@
 #   3. bounded-RSS streaming — generate and verify a 10^8-key v3
 #      dataset, and external-sort a 2*10^7-key one, all under a 256 MiB
 #      address-space ulimit: nothing in the streaming path may
-#      materialize the dataset.
+#      materialize the dataset;
+#   4. protocol proof — wcms-analyze --model-check-shard explores the
+#      lease/steal protocol (workers x crashes x clock skew x expiry)
+#      and the store's crash-consistency scripts exhaustively, writes
+#      model_check_shard.json, and must report 0 violations with every
+#      seeded mutation caught.
 #
 # Run from anywhere inside the repository: ./scripts/scale_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_sweep.json}
+MODEL_OUT=${MODEL_OUT:-model_check_shard.json}
 SEED=${SEED:-51966}
 command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
 
 cargo build --release -p wcms-bench --bin fig4 --bin merge --bin chaos
 cargo build --release --bin wcms
+cargo build --release -p wcms-analyzer --bin wcms-analyze
 
 FIG4=target/release/fig4
 MERGE=target/release/merge
 CHAOS=target/release/chaos
 WCMS=target/release/wcms
-for bin in "$FIG4" "$MERGE" "$CHAOS" "$WCMS"; do
+ANALYZE=target/release/wcms-analyze
+for bin in "$FIG4" "$MERGE" "$CHAOS" "$WCMS" "$ANALYZE"; do
     [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
 done
 
@@ -96,3 +104,15 @@ echo "scale_smoke: wrote $OUT (speedup ${SPEEDUP}x at 3 processes)"
     "$WCMS" verify --file "$SCRATCH/mid.sorted" | grep -q "sorted"
 )
 echo "scale_smoke: 10^8-key generate+verify and 2*10^7-key external sort under 256 MiB"
+
+# --- 4. exhaustive protocol + crash-consistency proof ------------------
+"$ANALYZE" --model-check-shard --json > "$MODEL_OUT"
+grep -q '"total_violations":0' "$MODEL_OUT" || {
+    echo "error: model-check-shard reported violations (see $MODEL_OUT)" >&2; exit 1; }
+grep -q '"ok":true' "$MODEL_OUT" || {
+    echo "error: model-check-shard gate not clean (see $MODEL_OUT)" >&2; exit 1; }
+if grep -q '"caught":false' "$MODEL_OUT"; then
+    echo "error: a seeded protocol mutation escaped the checker (see $MODEL_OUT)" >&2; exit 1
+fi
+SCHEDULES=$(sed -n 's/.*"model_check_shard":{"total_schedules":\([0-9]*\).*/\1/p' "$MODEL_OUT")
+echo "scale_smoke: model-check-shard clean ($SCHEDULES schedules, 0 violations) -> $MODEL_OUT"
