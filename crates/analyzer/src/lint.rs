@@ -5,7 +5,7 @@
 //! (preserving byte offsets and newlines), tracks `#[cfg(test)] mod`
 //! regions by brace depth, and then matches *whole identifiers* — so
 //! `.unwrap_or(..)` is never confused with `.unwrap()` the way a naive
-//! regex would. Seven rules:
+//! regex would. Eight rules:
 //!
 //! * `panic-path` — `.unwrap()` / `.expect()` (and the `_err` duals) and
 //!   the `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros
@@ -43,6 +43,14 @@
 //!   torn-commit window the `ModelFs` crash explorer demonstrates;
 //!   like the socket rule this is file-scoped (the satisfier may live
 //!   in a helper) and the first rename is flagged once per file.
+//! * `span-without-context` — a fleet-observed file (the serve crate's
+//!   library plus the scale-out [`PROTOCOL_PATHS`]) that opens spans
+//!   (`span!` or `.span(`) outside tests but never touches the trace
+//!   context machinery (`TraceContext` / `stamp` / `with_context`).
+//!   Spans in those paths cross process boundaries; one emitted
+//!   without a propagated context becomes an orphan in every joined
+//!   fleet trace. File-scoped like the socket rule. `bin/` entry
+//!   points are exempt by path — their spans are UI-local by design.
 //!
 //! Findings can be allowed by an explicit allowlist file: one entry per
 //! line, `rule path reason…`, the reason mandatory. Malformed entries
@@ -508,6 +516,14 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
     let mut first_rename: Option<usize> = None;
     let mut syncs_data = false;
     let is_protocol_file = PROTOCOL_PATHS.contains(&path);
+    // And again for the span rule: the first span opened in a
+    // fleet-observed file, satisfied by any trace-context identifier
+    // anywhere in the file (stamping usually lives in a field closure).
+    let mut first_span: Option<usize> = None;
+    let mut stamps_context = false;
+    let is_fleet_obs_file = (path.starts_with("crates/serve/src/")
+        || PROTOCOL_PATHS.contains(&path))
+        && !path.split('/').any(|c| c == "bin");
 
     let mut i = 0;
     while i < masked.len() {
@@ -523,6 +539,9 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
         }
         if matches!(ident, "sync_all" | "sync_data") {
             syncs_data = true;
+        }
+        if matches!(ident, "TraceContext" | "stamp" | "with_context") {
+            stamps_context = true;
         }
         if !in_test(i) {
             if first_socket.is_none() {
@@ -559,6 +578,14 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
                 if first_rename.is_none() {
                     first_rename = Some(i);
                 }
+            } else if is_fleet_obs_file
+                && first_span.is_none()
+                && ident == "span"
+                && (next_nonspace(&masked, end) == Some(b'!')
+                    || (prev_nonspace(&masked, i) == Some(b'.')
+                        && next_nonspace(&masked, end) == Some(b'(')))
+            {
+                first_span = Some(i);
             } else if ident == "eprintln"
                 && next_nonspace(&masked, end) == Some(b'!')
                 && !path.starts_with("crates/obs/")
@@ -577,6 +604,11 @@ pub fn lint_source(path: &str, src: &str, is_test_file: bool) -> Vec<Finding> {
     if let Some(off) = first_rename {
         if !syncs_data {
             push("rename-without-fsync", off, "fs::rename".to_string());
+        }
+    }
+    if let Some(off) = first_span {
+        if !stamps_context {
+            push("span-without-context", off, "span".to_string());
         }
     }
     findings
@@ -829,6 +861,44 @@ mod tests {
         assert!(lint_source("crates/bench/tests/t.rs", src, true).is_empty());
         let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
         assert!(lint_source("a.rs", &test_src, false).is_empty());
+    }
+
+    #[test]
+    fn spans_without_context_are_flagged_in_fleet_paths_only() {
+        let src = concat!(
+            "fn f(obs: &Obs) { let _g = obs.span(\"request\", Vec::new); }\n",
+            "fn g(obs: &Obs) { let _g = span!(obs, \"cell\", cell => 1); }\n",
+        );
+        // A fleet-observed file opening spans with no context machinery:
+        // flagged once, on the first span.
+        let fs = lint_source("crates/serve/src/server.rs", src, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "span-without-context");
+        assert_eq!(fs[0].line, 1, "first span only: {fs:?}");
+        let fs = lint_source("crates/bench/src/supervisor.rs", src, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+
+        // Any trace-context identifier anywhere in the file satisfies
+        // the rule — stamping lives inside the field closures.
+        for satisfier in [
+            "fn s(ctx: &TraceContext, f: &mut Vec<Field>) { let _ = (ctx, f); }\n",
+            "fn s(ctx: C, f: &mut Vec<Field>) { ctx.stamp(f); }\n",
+            "fn s(obs: &Obs, ctx: C) -> Obs { obs.with_context(ctx) }\n",
+        ] {
+            let stamped = format!("{src}{satisfier}");
+            let fs = lint_source("crates/serve/src/server.rs", &stamped, false);
+            assert!(fs.is_empty(), "{satisfier:?}: {fs:?}");
+        }
+
+        // Outside the fleet-observed set — other library code, bin/
+        // entry points (UI-local spans), and test files — no finding.
+        assert!(lint_source("crates/bench/src/figures.rs", src, false).is_empty());
+        assert!(lint_source("crates/serve/src/bin/wcms-serve.rs", src, false).is_empty());
+        assert!(lint_source("crates/obs/src/bin/wcms-trace.rs", src, false).is_empty());
+        assert!(lint_source("crates/serve/tests/t.rs", src, true).is_empty());
+        // A field or variable merely *named* span is not a span open.
+        let named = "fn f(r: &R) { let span = r.span; let _ = span; }\n";
+        assert!(lint_source("crates/serve/src/server.rs", named, false).is_empty());
     }
 
     #[test]

@@ -328,7 +328,7 @@ fn cell_payload_new() -> String {
 }
 
 fn claim_info() -> LeaseInfo {
-    LeaseInfo { pid: 42, worker: "w0".into(), fingerprint: 0xBEEF, deadline_ms: 5_000 }
+    LeaseInfo { pid: 42, worker: "w0".into(), fingerprint: 0xBEEF, deadline_ms: 5_000, trace: None }
 }
 
 /// The standard script suite for one variant: every durable publish

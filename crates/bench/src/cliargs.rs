@@ -14,6 +14,7 @@
 //! [--checkpoint-dir <dir>]      override results/.checkpoint/<figure>/<backend>
 //! [--no-checkpoint]             disable checkpointing entirely
 //! [--trace <path>]              write a JSONL span/event journal of the run
+//! [--trace-parent <t/s>]        adopt a caller's trace context (wire form)
 //! [--metrics <path>]            write a Prometheus text metrics snapshot
 //! [--shard-index <i>]           static sharding: run cells i, i+count, …
 //! [--shard-count <n>]           …of an n-way split of the grid
@@ -48,7 +49,7 @@ use std::time::Duration;
 
 use wcms_error::WcmsError;
 use wcms_mergesort::{AlgorithmKind, BackendKind};
-use wcms_obs::{Clock, Obs, RingCollector};
+use wcms_obs::{Clock, Obs, RingCollector, TraceContext};
 
 use crate::checkpoint::{CheckpointStore, SweepFingerprint};
 use crate::experiment::SweepConfig;
@@ -97,6 +98,12 @@ impl FigureArgs {
     pub fn export_observability(&self) -> Result<(), WcmsError> {
         if let (Some(path), Some(ring)) = (&self.trace, &self.ring) {
             let (records, dropped) = ring.drain();
+            if dropped > 0 {
+                // Count the loss *before* the metrics snapshot renders,
+                // so `obs_dropped_spans_total` and the journal's
+                // dropped-records meta line always agree.
+                self.obs().metrics.counter("obs_dropped_spans_total").add(dropped);
+            }
             std::fs::write(path, wcms_obs::journal_jsonl(&records, dropped))?;
         }
         if let Some(path) = &self.metrics {
@@ -161,6 +168,22 @@ pub fn parse_figure_args(figure: &str, args: &[String]) -> Result<FigureArgs, Wc
         resilience.obs = Obs::with_recorder(collector, Clock::wall());
     } else if metrics.is_some() {
         resilience.obs = Obs::enabled(Clock::wall());
+    }
+    if let Some(parent) = value_of("--trace-parent") {
+        // A daemon (or a wrapping script) hands its context to the
+        // worker here; the sweep span then parents to the caller's
+        // span and the whole fleet joins into one causal tree.
+        let ctx = TraceContext::decode(parent)
+            .map_err(|e| bad(format!("--trace-parent {parent}: {e}")))?;
+        resilience.obs = resilience.obs.with_context(ctx);
+    }
+    if ring.is_some() {
+        // The epoch record anchors this journal's monotonic timestamps
+        // to wall time, so `wcms-trace join` can align it with the
+        // other processes' journals.
+        let process =
+            shard.worker_label().map_or_else(|| figure.to_string(), |w| format!("{figure}/{w}"));
+        resilience.obs.emit_epoch(&process);
     }
 
     if !shard.is_off() {
@@ -479,6 +502,33 @@ mod tests {
         assert!(a.obs().is_tracing(), "--trace installs a recorder");
         assert!(a.obs().is_active(), "--trace implies metrics");
         assert!(a.ring.is_some());
+    }
+
+    #[test]
+    fn trace_parent_adopts_the_wire_context_and_rejects_garbage() {
+        let ctx = TraceContext::root(0xC0FFEE, "fleet-obs");
+        let wire = ctx.encode();
+        let a = parse_figure_args(
+            "figX",
+            &strs(&["--no-checkpoint", "--trace", "/tmp/t.jsonl", "--trace-parent", &wire]),
+        )
+        .unwrap();
+        let adopted = a.obs().context().expect("--trace-parent must set a context");
+        assert_eq!(adopted.trace, ctx.trace);
+        assert_eq!(adopted.span, ctx.span);
+
+        // Even without --trace, the context is adopted (a metrics-only
+        // worker still stamps leases it claims).
+        let a = parse_figure_args("figX", &strs(&["--no-checkpoint", "--trace-parent", &wire]))
+            .unwrap();
+        assert!(a.obs().context().is_some());
+
+        let err = parse_figure_args(
+            "figX",
+            &strs(&["--no-checkpoint", "--trace-parent", "not-a-context"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--trace-parent"), "{err}");
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct LeaseInfo {
     pub fingerprint: u64,
     /// Epoch milliseconds after which the lease may be stolen.
     pub deadline_ms: u64,
+    /// The claimant's trace context (`<trace>/<span>` wire form), when
+    /// its sweep runs under one — purely diagnostic provenance linking
+    /// the lease file into the fleet's causal tree. Never consulted by
+    /// any protocol decision, and absent from the encoding when `None`
+    /// so pre-trace lease files and their byte-exact goldens survive.
+    pub trace: Option<String>,
 }
 
 impl LeaseInfo {
@@ -59,8 +65,11 @@ impl LeaseInfo {
     /// checksum footer via [`crate::checkpoint::encode_file`]).
     #[must_use]
     pub fn encode(&self) -> String {
+        let trace = self.trace.as_ref().map_or_else(String::new, |t| {
+            format!(",\"trace\":\"{}\"", crate::checkpoint::escape(t))
+        });
         format!(
-            "{{\"pid\":{},\"worker\":\"{}\",\"fingerprint\":\"{:016x}\",\"deadline_ms\":{}}}",
+            "{{\"pid\":{},\"worker\":\"{}\",\"fingerprint\":\"{:016x}\",\"deadline_ms\":{}{trace}}}",
             self.pid,
             crate::checkpoint::escape(&self.worker),
             self.fingerprint,
@@ -69,7 +78,8 @@ impl LeaseInfo {
     }
 
     /// Parse the output of [`LeaseInfo::encode`]. `None` for anything
-    /// torn or malformed (the lease is then quarantined).
+    /// torn or malformed (the lease is then quarantined). A missing
+    /// `trace` key is an untraced claimant, not corruption.
     #[must_use]
     pub fn decode(text: &str) -> Option<Self> {
         let v = parse_value(text)?;
@@ -79,6 +89,7 @@ impl LeaseInfo {
             worker: obj.get_str("worker")?.to_string(),
             fingerprint: u64::from_str_radix(obj.get_str("fingerprint")?, 16).ok()?,
             deadline_ms: obj.get_num("deadline_ms")? as u64,
+            trace: obj.get_str("trace").map(ToString::to_string),
         })
     }
 }
@@ -166,6 +177,7 @@ pub fn fresh_lease(
         worker: worker.to_string(),
         fingerprint,
         deadline_ms: now_ms.saturating_add(u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX)),
+        trace: None,
     }
 }
 
@@ -308,7 +320,7 @@ mod tests {
     use super::*;
 
     fn info(worker: &str, deadline_ms: u64) -> LeaseInfo {
-        LeaseInfo { pid: 7, worker: worker.into(), fingerprint: 0xfeed, deadline_ms }
+        LeaseInfo { pid: 7, worker: worker.into(), fingerprint: 0xfeed, deadline_ms, trace: None }
     }
 
     #[test]
@@ -330,6 +342,23 @@ mod tests {
         assert_eq!(l.deadline_ms, u64::MAX, "wraparound would make a fresh lease pre-expired");
         let l = fresh_lease(1, "w", 0, 1_000, Duration::from_millis(30_000));
         assert_eq!(l.deadline_ms, 31_000);
+    }
+
+    #[test]
+    fn untraced_lease_encoding_is_byte_identical_to_pre_trace_format() {
+        // A worker without tracing must write the exact payload older
+        // workers wrote — mixed fleets share one lease directory.
+        let l = info("w0", 1_234);
+        assert_eq!(
+            l.encode(),
+            "{\"pid\":7,\"worker\":\"w0\",\"fingerprint\":\"000000000000feed\",\"deadline_ms\":1234}"
+        );
+        // And a pre-trace payload decodes with trace = None.
+        assert_eq!(LeaseInfo::decode(&l.encode()), Some(l));
+        // A traced claimant round-trips its context.
+        let traced =
+            LeaseInfo { trace: Some("00000000000000ab/00000000000000cd".into()), ..info("w1", 9) };
+        assert_eq!(LeaseInfo::decode(&traced.encode()), Some(traced));
     }
 
     #[test]

@@ -119,7 +119,17 @@ impl ResilienceConfig {
     pub fn persist(&self, cell: &str, result: &CellResult) {
         if let Some(store) = &self.checkpoint {
             match store.store(cell, result) {
-                Ok(()) => event!(self.obs, "checkpoint-commit", cell => cell),
+                // The commit event carries the cell's trace context (when
+                // the sweep runs under one): the durable-state timeline in
+                // a joined trace then attributes every committed cell to
+                // the job that caused it, across process boundaries.
+                Ok(()) => self.obs.event("checkpoint-commit", || {
+                    let mut f = fields![cell => cell];
+                    if let Some(ctx) = self.obs.context() {
+                        ctx.stamp(&mut f);
+                    }
+                    f
+                }),
                 Err(e) => self.obs.warn(
                     "checkpoint-write-failed",
                     &format!("checkpoint write failed for {cell}: {e}"),

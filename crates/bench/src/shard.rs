@@ -235,6 +235,7 @@ pub struct LeaseStore {
     ttl: Duration,
     fingerprint: u64,
     clock: Clock,
+    trace: Option<String>,
 }
 
 impl LeaseStore {
@@ -271,7 +272,25 @@ impl LeaseStore {
         fs::create_dir_all(&dir)?;
         let fingerprint =
             fs::read(store.dir().join("manifest.json")).map(|b| fnv1a64(&b)).unwrap_or(0);
-        Ok(Self { store: store.clone(), dir, worker: worker.to_string(), ttl, fingerprint, clock })
+        Ok(Self {
+            store: store.clone(),
+            dir,
+            worker: worker.to_string(),
+            ttl,
+            fingerprint,
+            clock,
+            trace: None,
+        })
+    }
+
+    /// Stamp every lease this store claims with the worker's sweep
+    /// trace context (`<trace>/<span>` wire form). Provenance only:
+    /// nothing in the lease protocol reads it, and `None` keeps the
+    /// lease payload byte-identical to pre-trace workers.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<String>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The worker id this store claims leases as.
@@ -364,8 +383,12 @@ impl LeaseStore {
             let now = self.now_ms();
             match protocol::lease_decision(&view, now) {
                 LeaseAction::Claim => {
-                    let info =
+                    let mut info =
                         protocol::fresh_lease(pid, &self.worker, self.fingerprint, now, self.ttl);
+                    // Stamped after the protocol constructor on purpose:
+                    // the analyzer models fresh_lease and must keep
+                    // seeing the exact production claim logic.
+                    info.trace = self.trace.clone();
                     let tmp = self.scratch("claim", round);
                     match self.run_claim_steps(&info, &tmp, &path)? {
                         Ok(()) => {
@@ -446,6 +469,7 @@ mod tests {
             worker: "w \"quoted\"\n".into(),
             fingerprint: 0xdead_beef_cafe_f00d,
             deadline_ms: 1_700_000_000_123,
+            trace: Some("00000000deadbeef/00000000c0ffee00".into()),
         };
         assert_eq!(LeaseInfo::decode(&info.encode()), Some(info));
     }

@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use wcms_error::{CancelToken, WcmsError};
 use wcms_mergesort::{AlgorithmKind, BackendKind};
-use wcms_obs::{fields, span, MetricsRegistry, LATENCY_BUCKETS_S};
+use wcms_obs::{fields, MetricsRegistry, TraceContext, LATENCY_BUCKETS_S, TRACE_SEED};
 
 use crate::checkpoint::CheckpointStore;
 use crate::checkpoint::{CellResult, LoadOutcome};
@@ -128,18 +128,53 @@ where
 {
     let obs = &opts.resilience.obs;
     let start_us = obs.clock.now_us();
-    let _sweep_span = span!(obs, "sweep", cells => jobs.len(), jobs => opts.jobs.max(1));
+    // The sweep's causal identity. A context on `obs` is the admitting
+    // caller (e.g. a daemon job or `--trace-parent`) — the sweep span
+    // becomes its child, so every cell executed by any worker that
+    // steals from this grid chains back to that root. Tracing without
+    // a parent mints a deterministic local root; tracing off derives
+    // nothing at all (the disabled path must stay free).
+    let sweep_ctx = match (obs.context(), obs.is_tracing()) {
+        (Some(parent), _) => Some(parent.child("sweep")),
+        (None, true) => Some(TraceContext::root(TRACE_SEED, "sweep")),
+        (None, false) => None,
+    };
+    let _sweep_span = obs.span("sweep", || {
+        let mut f = fields![cells => jobs.len(), jobs => opts.jobs.max(1)];
+        if let Some(ctx) = &sweep_ctx {
+            ctx.stamp(&mut f);
+        }
+        f
+    });
     let job_list = jobs.clone();
     // The fully-supervised execution of one owned cell, shared by the
     // plain/static path and the steal scheduler.
     let run_one = |job: J, cell: &str| -> CellOutcome {
         let body = body.clone();
-        let _cell_span = span!(obs, "cell", cell => cell);
+        let cell_ctx = sweep_ctx.map(|sweep| sweep.child(cell));
+        let _cell_span = obs.span("cell", || {
+            let mut f = fields![cell => cell];
+            if let Some(ctx) = &cell_ctx {
+                ctx.stamp(&mut f);
+            }
+            f
+        });
         let t0 = obs.clock.now_us();
-        let outcome =
-            supervise_cell(cell, opts.backend, &opts.resilience, move |backend, token| {
-                body(job.clone(), backend, token)
-            });
+        // Traced cells get a resilience view whose Obs carries the cell
+        // context, so checkpoint-commit events and run_cell spans emit
+        // inside the cell's causal subtree. Untraced sweeps borrow the
+        // shared config — no per-cell clone on the disabled path.
+        let resilience: std::borrow::Cow<'_, ResilienceConfig> = match cell_ctx {
+            Some(ctx) => {
+                let mut r = opts.resilience.clone();
+                r.obs = r.obs.with_context(ctx);
+                std::borrow::Cow::Owned(r)
+            }
+            None => std::borrow::Cow::Borrowed(&opts.resilience),
+        };
+        let outcome = supervise_cell(cell, opts.backend, &resilience, move |backend, token| {
+            body(job.clone(), backend, token)
+        });
         if obs.is_active() {
             obs.metrics
                 .histogram("cell_latency_seconds", &LATENCY_BUCKETS_S)
@@ -150,7 +185,8 @@ where
     let outcomes = match &opts.shard {
         ShardPolicy::Steal { worker, ttl } if opts.resilience.checkpoint.is_some() => {
             let store = opts.resilience.checkpoint.clone().expect("guard checked");
-            steal_schedule(jobs, opts.jobs, &store, worker, *ttl, &name, &run_one)
+            let trace = sweep_ctx.as_ref().map(TraceContext::encode);
+            steal_schedule(jobs, opts.jobs, &store, worker, *ttl, trace, &name, &run_one)
         }
         _ => parallel_map(jobs, opts.jobs, |i, job| {
             let cell = name(&job);
@@ -395,12 +431,14 @@ fn replay_outcome(cell: &str, opts: &SweepOptions) -> CellOutcome {
 /// Each cooperating process starts its scan at a different rotation of
 /// the grid (a stable hash of its worker id), so n processes fan out
 /// across the grid instead of convoying behind cell 0.
+#[allow(clippy::too_many_arguments)]
 fn steal_schedule<J, N, G>(
     jobs: Vec<J>,
     threads: usize,
     store: &CheckpointStore,
     worker: &str,
     ttl: Duration,
+    trace: Option<String>,
     name: &N,
     run_one: &G,
 ) -> Vec<Result<CellOutcome, WcmsError>>
@@ -413,7 +451,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let leases = match LeaseStore::open(store, worker, ttl) {
+    let leases = match LeaseStore::open(store, worker, ttl).map(|l| l.with_trace(trace)) {
         Ok(l) => l,
         Err(e) => {
             let msg = format!("lease store unavailable: {e}");

@@ -168,8 +168,13 @@ fn a_stolen_lease_survives_the_original_owners_release() {
         LeaseAttempt::Held { .. } => panic!("claim must win"),
     };
     // A stealer replaced the lease while we were working.
-    let stealer =
-        LeaseInfo { pid: 999_999, worker: "stealer".into(), fingerprint: 0, deadline_ms: u64::MAX };
+    let stealer = LeaseInfo {
+        pid: 999_999,
+        worker: "stealer".into(),
+        fingerprint: 0,
+        deadline_ms: u64::MAX,
+        trace: None,
+    };
     leases.write_raw("cell/e", &encode_file(&stealer.encode())).expect("plant steal");
     probe::arm();
     drop(guard);

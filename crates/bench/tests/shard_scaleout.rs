@@ -79,6 +79,49 @@ fn steal_workers_share_one_grid_and_replay_matches() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A traced worker stamps its sweep context into every lease it claims
+/// — so the on-disk coordination state itself names the causal ancestor
+/// — while an untraced worker's lease payload stays exactly the
+/// pre-trace format.
+#[test]
+fn claimed_leases_carry_the_claimants_trace_context() {
+    use wcms_bench::shard::{LeaseAttempt, LeaseStore};
+    use wcms_obs::{TraceContext, TRACE_SEED};
+
+    let dir = tmpdir("lease-trace");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let ctx = TraceContext::root(TRACE_SEED, "fleet-obs-test").child("sweep");
+
+    let traced = LeaseStore::open(&store, "wt", Duration::from_secs(60))
+        .unwrap()
+        .with_trace(Some(ctx.encode()));
+    let guard = match traced.try_acquire("cell/traced").unwrap() {
+        LeaseAttempt::Acquired(g) => g,
+        LeaseAttempt::Held { .. } => panic!("fresh claim must win"),
+    };
+    let lease_file = dir.join("leases").join("lease-cell_traced.json");
+    let payload = decode_file(&std::fs::read_to_string(&lease_file).unwrap()).unwrap();
+    let info = LeaseInfo::decode(&payload).expect("claimed lease must decode");
+    assert_eq!(info.worker, "wt");
+    assert_eq!(info.trace.as_deref(), Some(ctx.encode().as_str()));
+    drop(guard);
+
+    let plain = LeaseStore::open(&store, "wp", Duration::from_secs(60)).unwrap();
+    match plain.try_acquire("cell/plain").unwrap() {
+        LeaseAttempt::Acquired(g) => {
+            let lease_file = dir.join("leases").join("lease-cell_plain.json");
+            let payload = decode_file(&std::fs::read_to_string(&lease_file).unwrap()).unwrap();
+            assert!(
+                !payload.contains("trace"),
+                "an untraced lease must stay byte-compatible with pre-trace workers: {payload}"
+            );
+            drop(g);
+        }
+        LeaseAttempt::Held { .. } => panic!("fresh claim must win"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn static_shards_compose_into_the_full_grid() {
     let dir = tmpdir("static");
@@ -150,7 +193,7 @@ proptest! {
         deadline_ms in 0u64..(1 << 53),
     ) {
         let worker = String::from_utf8(worker_bytes).unwrap();
-        let info = LeaseInfo { pid, worker, fingerprint, deadline_ms };
+        let info = LeaseInfo { pid, worker, fingerprint, deadline_ms, trace: None };
         let decoded = LeaseInfo::decode(&info.encode());
         prop_assert_eq!(decoded, Some(info));
     }
@@ -168,7 +211,7 @@ proptest! {
         byte_sel in 0u64..1_000_000,
         bit in 0u8..8,
     ) {
-        let info = LeaseInfo { pid, worker: "w".into(), fingerprint, deadline_ms };
+        let info = LeaseInfo { pid, worker: "w".into(), fingerprint, deadline_ms, trace: None };
         let framed = encode_file(&info.encode());
         let mut bytes = framed.into_bytes();
         let at = (byte_sel % bytes.len() as u64) as usize;

@@ -5,25 +5,34 @@
 //! wcms-trace validate <journal>...          structural check (exit 1 on failure)
 //! wcms-trace summary  <journal>             per-name span/event/time table
 //! wcms-trace chrome   <journal> [-o FILE]   convert to Chrome trace-event JSON
+//! wcms-trace join     [--validate] <journal>... [-o FILE]  merge N per-process journals
 //! wcms-trace diff     <a> <b>               compare span/event counts (exit 1 if they differ)
 //! wcms-trace bench    [label=]<journal>...  [-o FILE]   derive BENCH_obs.json statistics
+//! wcms-trace root     <seed> <stream>       print the deterministic root trace context
 //! ```
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use wcms_obs::journal::{
-    bench_stats, chrome_from_journal, diff, parse_journal, summarize, validate, Journal,
+    bench_stats, chrome_from_journal, diff, join_journals, parse_journal, summarize, validate,
+    Journal,
 };
 use wcms_obs::json::escape_into;
 use wcms_obs::metrics::fmt_f64;
+use wcms_obs::TraceContext;
 
-const USAGE: &str = "usage: wcms-trace <validate|summary|chrome|diff|bench> [args]
+const USAGE: &str = "usage: wcms-trace <validate|summary|chrome|join|diff|bench|root> [args]
   validate <journal>...            exit 1 unless every journal is structurally valid
   summary  <journal>               print a per-name span/event/time table
   chrome   <journal> [-o FILE]     convert to Chrome trace-event JSON (stdout by default)
+  join     [--validate] <journal>... [-o FILE]
+                                   merge per-process journals into one causally-checked
+                                   Chrome trace (clock offsets from journal epoch records);
+                                   --validate exits 1 on orphan/cycle/non-monotonic spans
   diff     <a> <b>                 compare span/event counts; exit 1 if they differ
-  bench    [label=]<journal>... [-o FILE]  emit perf-baseline JSON (BENCH_obs.json shape)";
+  bench    [label=]<journal>... [-o FILE]  emit perf-baseline JSON (BENCH_obs.json shape)
+  root     <seed> <stream>         print the deterministic root context for (seed, stream)";
 
 fn load(path: &str) -> Result<Journal, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
@@ -37,8 +46,10 @@ fn run() -> Result<(), String> {
         "validate" => cmd_validate(rest),
         "summary" => cmd_summary(rest),
         "chrome" => cmd_chrome(rest),
+        "join" => cmd_join(rest),
         "diff" => cmd_diff(rest),
         "bench" => cmd_bench(rest),
+        "root" => cmd_root(rest),
         "-h" | "--help" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -55,6 +66,11 @@ fn cmd_validate(paths: &[String]) -> Result<(), String> {
     for path in paths {
         let journal = load(path)?;
         let report = validate(&journal);
+        if report.dropped > 0 {
+            // Reported by count (the emitter's obs_dropped_spans_total),
+            // not only as a pass/fail verdict.
+            println!("{path}: dropped records: {}", report.dropped);
+        }
         if report.is_ok() {
             println!(
                 "{path}: ok ({} records, {} spans matched)",
@@ -118,6 +134,51 @@ fn cmd_chrome(args: &[String]) -> Result<(), String> {
         return Err(format!("chrome: expected exactly one journal\n{USAGE}"));
     };
     emit(&chrome_from_journal(&load(path)?), out.as_deref())
+}
+
+fn cmd_join(args: &[String]) -> Result<(), String> {
+    let (inputs, out) = split_output(args)?;
+    let (flags, paths): (Vec<&String>, Vec<&String>) =
+        inputs.iter().partition(|a| a.as_str() == "--validate");
+    let strict = !flags.is_empty();
+    if paths.is_empty() {
+        return Err(format!("join: no journals given\n{USAGE}"));
+    }
+    let mut journals = Vec::with_capacity(paths.len());
+    for path in &paths {
+        journals.push(((*path).clone(), load(path)?));
+    }
+    let (chrome, report) = join_journals(&journals)?;
+    eprintln!(
+        "# joined {} journals: {} records, {} spans ({} roots), {} dropped",
+        report.files, report.records, report.spans, report.roots, report.dropped
+    );
+    for err in report.errors() {
+        eprintln!("# {err}");
+    }
+    emit(&chrome, out.as_deref())?;
+    if strict && !report.is_ok() {
+        return Err(format!(
+            "join: causality validation failed ({} orphans, {} cycles, {} non-monotonic)",
+            report.orphans.len(),
+            report.cycles.len(),
+            report.non_monotonic.len()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_root(args: &[String]) -> Result<(), String> {
+    let [seed, stream] = args else {
+        return Err(format!("root: expected <seed> <stream>\n{USAGE}"));
+    };
+    let seed = match seed.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => seed.parse(),
+    }
+    .map_err(|e| format!("root: bad seed '{seed}': {e}"))?;
+    println!("{}", TraceContext::root(seed, stream).encode());
+    Ok(())
 }
 
 fn cmd_diff(paths: &[String]) -> Result<(), String> {

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod context;
 pub mod export;
 pub mod journal;
 pub mod json;
@@ -35,6 +36,7 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 pub use clock::Clock;
+pub use context::{SpanId, TraceContext, TraceId, TRACE_SEED, TRACE_WIRE_LEN};
 pub use export::{chrome_trace, journal_jsonl};
 pub use metrics::{
     parse_prometheus_text, Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_S,
@@ -53,6 +55,7 @@ pub struct Obs {
     /// The time source for every timestamp this bundle emits.
     pub clock: Clock,
     active: bool,
+    context: Option<TraceContext>,
 }
 
 impl fmt::Debug for Obs {
@@ -61,6 +64,7 @@ impl fmt::Debug for Obs {
             .field("tracing", &self.recorder.is_some())
             .field("active", &self.active)
             .field("clock", &self.clock)
+            .field("context", &self.context)
             .finish()
     }
 }
@@ -72,19 +76,49 @@ impl Obs {
     /// in.
     #[must_use]
     pub fn disabled() -> Self {
-        Obs { recorder: None, metrics: MetricsRegistry::new(), clock: Clock::wall(), active: false }
+        Obs {
+            recorder: None,
+            metrics: MetricsRegistry::new(),
+            clock: Clock::wall(),
+            active: false,
+            context: None,
+        }
     }
 
     /// Metrics on, tracing off.
     #[must_use]
     pub fn enabled(clock: Clock) -> Self {
-        Obs { recorder: None, metrics: MetricsRegistry::new(), clock, active: true }
+        Obs { recorder: None, metrics: MetricsRegistry::new(), clock, active: true, context: None }
     }
 
     /// Metrics and tracing on, records going to `recorder`.
     #[must_use]
     pub fn with_recorder(recorder: Arc<dyn Recorder>, clock: Clock) -> Self {
-        Obs { recorder: Some(recorder), metrics: MetricsRegistry::new(), clock, active: true }
+        Obs {
+            recorder: Some(recorder),
+            metrics: MetricsRegistry::new(),
+            clock,
+            active: true,
+            context: None,
+        }
+    }
+
+    /// A clone of this bundle carrying `context` as the current trace
+    /// position. Instrumented layers derive child contexts from it and
+    /// stamp them onto their spans; the recorder, metrics, and clock
+    /// stay shared.
+    #[must_use]
+    pub fn with_context(&self, context: TraceContext) -> Self {
+        let mut obs = self.clone();
+        obs.context = Some(context);
+        obs
+    }
+
+    /// The trace context this bundle carries, if any. `None` means the
+    /// next instrumented layer starts a fresh root when tracing.
+    #[must_use]
+    pub fn context(&self) -> Option<TraceContext> {
+        self.context
     }
 
     /// The process-wide disabled instance, for call sites that need a
@@ -153,6 +187,27 @@ impl Obs {
             let mut all = vec![Field::new("message", message)];
             all.extend(fields());
             self.emit(Phase::Event, name, all);
+        }
+    }
+
+    /// Emit this process's journal epoch record: a `Meta` record whose
+    /// `ts_us` is on this bundle's clock and whose `unix_us` field is
+    /// the epoch-anchored wall time at the same instant. The pair is
+    /// what lets `wcms-trace join` normalize per-process clocks —
+    /// `offset = unix_us - ts_us` maps any record onto the shared unix
+    /// timeline. Call once per journal, at collector installation.
+    /// No-op when not tracing.
+    pub fn emit_epoch(&self, process: &str) {
+        if self.recorder.is_some() {
+            self.emit(
+                Phase::Meta,
+                "epoch",
+                vec![
+                    Field::new("process", process),
+                    Field::new("pid", u64::from(std::process::id())),
+                    Field::new("unix_us", Clock::unix().now_us()),
+                ],
+            );
         }
     }
 }
@@ -297,6 +352,40 @@ mod tests {
         assert!(!obs.is_tracing());
         obs.metrics.counter("sweep_cells_total").add(2);
         assert_eq!(obs.metrics.counter("sweep_cells_total").get(), 2);
+    }
+
+    #[test]
+    fn context_rides_the_bundle_and_shares_the_recorder() {
+        let (obs, ring) = traced();
+        assert!(obs.context().is_none());
+        let ctx = TraceContext::root(1, "r");
+        let contextual = obs.with_context(ctx);
+        assert_eq!(contextual.context(), Some(ctx));
+        assert!(obs.context().is_none(), "with_context clones, never mutates");
+        {
+            let _span = span!(contextual, "s");
+        }
+        let (records, _) = ring.drain();
+        assert_eq!(records.len(), 2, "the clone records into the shared ring");
+    }
+
+    #[test]
+    fn epoch_records_carry_process_pid_and_unix_time() {
+        let (obs, ring) = traced();
+        obs.emit_epoch("w0");
+        let (records, _) = ring.drain();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].phase, Phase::Meta);
+        assert_eq!(records[0].name, "epoch");
+        assert_eq!(records[0].fields[0], Field::new("process", "w0"));
+        assert_eq!(records[0].fields[1].key, "pid");
+        assert_eq!(records[0].fields[2].key, "unix_us");
+        match records[0].fields[2].value {
+            FieldValue::U64(us) => assert!(us > 0, "unix time is epoch-anchored"),
+            ref other => panic!("unix_us must be U64, got {other:?}"),
+        }
+        // Not tracing: no record, no panic.
+        Obs::noop().emit_epoch("quiet");
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! prints the raw response payload to stdout — the chaos harness uses
 //! this for byte-identity comparisons across daemon restarts.
 //!
+//! Scrape mode: `--scrape` asks the daemon for its metrics frame and
+//! prints the Prometheus text rendering to stdout.
+//!
 //! Usage: `wcms-load --addr <host:port> [--rps <r>] [--duration-s <s>]
 //!   [--connections <n>] [--distinct <k>] [--w <w>] [--e <e>] [--b <b>]
 //!   [--n <len>] [--deadline-ms <ms>] [--seed <s>] [--out <path>]
-//!   [--probe <json>]`
+//!   [--probe <json>] [--scrape]`
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
@@ -21,7 +24,7 @@ use std::time::Duration;
 
 use wcms_error::WcmsError;
 use wcms_obs::MetricsRegistry;
-use wcms_serve::load::{run_load, Client, LoadOptions};
+use wcms_serve::load::{run_load, scrape_metrics, Client, LoadOptions};
 use wcms_serve::wire::Tuning;
 
 fn main() -> ExitCode {
@@ -65,6 +68,11 @@ fn run() -> Result<(), WcmsError> {
     if let Some(request) = flag_value(&args, "--probe")? {
         let mut client = Client::connect(addr, deadline)?;
         println!("{}", client.call_text(&request)?);
+        return Ok(());
+    }
+
+    if args.iter().any(|a| a == "--scrape") {
+        print!("{}", scrape_metrics(addr, deadline)?);
         return Ok(());
     }
 

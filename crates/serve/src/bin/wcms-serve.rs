@@ -12,16 +12,24 @@
 //!   [--conn-workers <n>] [--queue-cap <n>] [--conn-backlog <n>]
 //!   [--cache-dir <dir>] [--journal-dir <dir>] [--max-budget-ms <ms>]
 //!   [--read-deadline-ms <ms>] [--write-deadline-ms <ms>]
-//!   [--est-job-ms <ms>]`
+//!   [--est-job-ms <ms>] [--trace <journal.jsonl>]`
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; the daemon prints
 //! `listening on <resolved addr>` on stdout so scripts can scrape it.
+//!
+//! `--trace` appends span records to a JSONL journal *incrementally*
+//! (a flusher thread drains the ring every 200 ms) — a crash-only
+//! process has no exit hook, so whatever was flushed before SIGKILL is
+//! the journal, and `wcms-trace join` reads it as-is.
 
+use std::io::Write as _;
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use wcms_error::{CancelToken, WcmsError};
+use wcms_obs::{journal_jsonl, Clock, Obs, RingCollector};
 use wcms_serve::server::{serve, ServerConfig};
 
 fn main() -> ExitCode {
@@ -80,6 +88,30 @@ fn run() -> Result<(), WcmsError> {
         "--write-deadline-ms",
         cfg.write_deadline.as_millis() as u64,
     )?);
+
+    if let Some(path) = flag_value(&args, "--trace")? {
+        let ring = Arc::new(RingCollector::new());
+        cfg.obs = Obs::with_recorder(ring.clone(), Clock::wall());
+        // The epoch record is what lets `wcms-trace join` put this
+        // journal on the same timeline as the workers'.
+        cfg.obs.emit_epoch("serve");
+        let mut file = std::fs::File::create(&path)?;
+        let obs = cfg.obs.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(200));
+            let (records, dropped) = ring.drain();
+            if dropped > 0 {
+                obs.metrics.counter("obs_dropped_spans_total").add(dropped);
+            }
+            if !records.is_empty() || dropped > 0 {
+                // Each batch is self-describing JSONL; a dropped-records
+                // meta line per lossy batch sums on parse.
+                if file.write_all(journal_jsonl(&records, dropped).as_bytes()).is_err() {
+                    break; // disk gone: stop flushing, keep serving
+                }
+            }
+        });
+    }
 
     let listener = TcpListener::bind(&addr)?;
     println!("listening on {}", listener.local_addr()?);

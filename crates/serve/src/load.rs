@@ -211,6 +211,26 @@ fn load_request(opts: &LoadOptions, i: u64) -> Request {
             seed: (opts.run_seed << 16) | (i % opts.distinct.max(1)),
         },
         include_data: false,
+        // Untraced on purpose: load documents stay byte-identical to
+        // pre-trace clients, so the bench exercises the absent-context
+        // fast path the overhead gate measures.
+        trace: None,
+    }
+}
+
+/// Ask the daemon for its Prometheus rendering (`metrics` frame).
+///
+/// # Errors
+///
+/// Client I/O errors; [`WcmsError::WireMalformed`] if the daemon
+/// answers with anything but a metrics document.
+pub fn scrape_metrics(addr: SocketAddr, deadline: Duration) -> Result<String, WcmsError> {
+    let mut client = Client::connect(addr, deadline)?;
+    match client.call(&Request::Metrics)? {
+        Response::Metrics { text } => Ok(text),
+        other => Err(WcmsError::WireMalformed {
+            reason: format!("metrics scrape was not answered with metrics: {other:?}"),
+        }),
     }
 }
 
@@ -233,6 +253,7 @@ pub fn probe_cache_speedup(
         n: opts.n,
         family: WorkloadSpec::WorstCaseFamily { seed: (opts.run_seed << 16) | 0xFFFF },
         include_data: false,
+        trace: None,
     };
     let timed = |client: &mut Client| -> Result<(f64, String), WcmsError> {
         let t0 = clock.now_us();

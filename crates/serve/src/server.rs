@@ -39,7 +39,7 @@ use wcms_bench::supervisor::{run_sweep, supervise_cell, SweepOptions};
 use wcms_error::{CancelToken, WcmsError};
 use wcms_gpu_sim::DeviceSpec;
 use wcms_mergesort::SortParams;
-use wcms_obs::Obs;
+use wcms_obs::{fields, Obs, TraceContext, LATENCY_BUCKETS_S, TRACE_SEED};
 
 use crate::admission::AdmissionQueue;
 use crate::cache::{CacheOutcome, ResultCache};
@@ -66,6 +66,10 @@ pub const MAX_REQUEST_N: usize = 1 << 27;
 /// Ceiling on `runs` for `measure`/`grid` — averaging buys nothing
 /// past this, and an unbounded count pins a compute worker.
 pub const MAX_RUNS: u64 = 256;
+
+/// Histogram bounds for queue-depth observations (jobs waiting). The
+/// default queue capacity is 64, so the top bucket is "at capacity".
+const QUEUE_DEPTH_BUCKETS: [f64; 8] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// The per-request input-length ceiling: the grid ceiling for this
 /// tuning (`bE << MAX_DOUBLINGS`), clamped by [`MAX_REQUEST_N`].
@@ -106,7 +110,7 @@ fn validate_limits(req: &Request) -> Result<(), String> {
             check_runs(*runs)
         }
         Request::Grid { runs, .. } => check_runs(*runs),
-        Request::Status | Request::Health => Ok(()),
+        Request::Status | Request::Health | Request::Metrics => Ok(()),
     }
 }
 
@@ -179,6 +183,9 @@ struct Job {
     req_text: String,
     key: String,
     budget: Duration,
+    /// The request's trace identity: the client's propagated context,
+    /// or a fresh root derived from the job id.
+    ctx: TraceContext,
     /// Carries the encoded response plus whether it was a success —
     /// dispatch owns the ok/error counters, the worker just reports.
     reply: mpsc::SyncSender<(String, bool)>,
@@ -226,12 +233,27 @@ impl Server {
     /// Pure given the request — everything nondeterministic (wall
     /// time, attempt counts under timeouts) is kept out of cacheable
     /// payloads by [`cacheable`].
-    fn execute(&self, req: &Request, budget: Duration, client: &CancelToken) -> Response {
+    fn execute(
+        &self,
+        req: &Request,
+        budget: Duration,
+        client: &CancelToken,
+        ctx: TraceContext,
+    ) -> Response {
         if let Err(msg) = validate_limits(req) {
             return error_response("bad-request", msg);
         }
+        // The request span carries the propagated identity verbatim: a
+        // client-supplied context makes this daemon's work a child of
+        // the client's causal tree, and every cell the request fans out
+        // into parents back to this span.
+        let _request = self.cfg.obs.span("request", || {
+            let mut f = fields![op => req.op()];
+            ctx.stamp(&mut f);
+            f
+        });
         match req {
-            Request::Generate { tuning, n, family, include_data } => {
+            Request::Generate { tuning, n, family, include_data, .. } => {
                 if client.check().is_err() {
                     return error_response("deadline", "client went away before generation".into());
                 }
@@ -253,21 +275,14 @@ impl Server {
                     Err(e) => return error_response("bad-request", e.to_string()),
                 };
                 let cell = format!("serve/measure/{n}");
-                let resilience = self.request_resilience(budget);
+                let resilience = self.request_resilience(budget, ctx);
+                let cell_obs = resilience.obs.clone();
                 let (family, n, runs, algorithm, outer) =
                     (*family, *n, *runs, *algorithm, client.clone());
                 let outcome = supervise_cell(&cell, *backend, &resilience, move |rung, token| {
                     outer.check()?;
                     measure_algo_traced(
-                        &device,
-                        &params,
-                        family,
-                        n,
-                        runs,
-                        algorithm,
-                        rung,
-                        token,
-                        Obs::noop(),
+                        &device, &params, family, n, runs, algorithm, rung, token, &cell_obs,
                     )
                 });
                 Response::Measure { cell: outcome.result }
@@ -301,7 +316,8 @@ impl Server {
                 let tile = tuning.b * tuning.e;
                 let sizes: Vec<usize> =
                     (*min_doublings..=*max_doublings).filter_map(|m| tile.checked_shl(m)).collect();
-                let mut resilience = self.request_resilience(budget);
+                let mut resilience = self.request_resilience(budget, ctx);
+                let cell_obs = resilience.obs.clone();
                 // Per-request grid checkpoints: the directory is keyed
                 // by the canonical request key, so the key *is* the
                 // configuration fingerprint and a bare store suffices.
@@ -345,15 +361,7 @@ impl Server {
                     move |n, rung, token| {
                         outer.check()?;
                         measure_algo_traced(
-                            &device,
-                            &params,
-                            family,
-                            n,
-                            runs,
-                            algorithm,
-                            rung,
-                            token,
-                            Obs::noop(),
+                            &device, &params, family, n, runs, algorithm, rung, token, &cell_obs,
                         )
                     },
                 );
@@ -373,7 +381,7 @@ impl Server {
                     cells: swept.cells.into_iter().map(|(n, o)| (n, o.result)).collect(),
                 }
             }
-            Request::Status | Request::Health => {
+            Request::Status | Request::Health | Request::Metrics => {
                 error_response("bad-request", "not a compute request".into())
             }
         }
@@ -381,14 +389,15 @@ impl Server {
 
     /// Per-request supervision policy: the whole client budget bounds
     /// each attempt, one retry, fast backoff, no checkpointing (the
-    /// cache is the durable layer here).
-    fn request_resilience(&self, budget: Duration) -> ResilienceConfig {
+    /// cache is the durable layer here). The request's trace context
+    /// rides the obs bundle, so supervisor cells parent to it.
+    fn request_resilience(&self, budget: Duration, ctx: TraceContext) -> ResilienceConfig {
         ResilienceConfig {
             timeout: Some(budget),
             retries: 1,
             backoff: Duration::from_millis(50),
             checkpoint: None,
-            obs: self.cfg.obs.clone(),
+            obs: self.cfg.obs.with_context(ctx),
             ..ResilienceConfig::none()
         }
     }
@@ -414,8 +423,26 @@ impl Server {
     }
 
     /// Handle one request document end-to-end; returns the response
-    /// payload to frame back.
+    /// payload to frame back. This wrapper owns the per-request
+    /// histograms so every path through [`Server::dispatch_inner`] —
+    /// typed errors, sheds, cache hits, computes — lands in them.
     fn dispatch(&self, req_text: &str) -> String {
+        let t0 = self.cfg.obs.clock.now_us();
+        self.cfg
+            .obs
+            .metrics
+            .histogram("serve_queue_depth", &QUEUE_DEPTH_BUCKETS)
+            .observe(self.queue.depth() as f64);
+        let payload = self.dispatch_inner(req_text);
+        self.cfg
+            .obs
+            .metrics
+            .histogram("serve_request_latency_seconds", &LATENCY_BUCKETS_S)
+            .observe(self.cfg.obs.clock.elapsed_s(t0));
+        payload
+    }
+
+    fn dispatch_inner(&self, req_text: &str) -> String {
         self.count("serve_requests_total");
         let req = match Request::decode(req_text) {
             Ok(req) => req,
@@ -434,6 +461,13 @@ impl Server {
             Request::Health => {
                 self.count("serve_ok_total");
                 return Response::Health { version: PROTOCOL_VERSION }.encode();
+            }
+            Request::Metrics => {
+                // Scrapes are control-plane too: answered inline even
+                // at saturation, so the overloaded daemon can still be
+                // diagnosed from its own numbers.
+                self.count("serve_ok_total");
+                return Response::Metrics { text: self.cfg.obs.metrics.prometheus_text() }.encode();
             }
             _ => {}
         }
@@ -479,6 +513,13 @@ impl Server {
             }
         };
         let token = CancelToken::new(format!("serve/job-{id:016x}"));
+        // Adopt the client's propagated context verbatim — the daemon's
+        // request span then *is* the span the client named, and remote
+        // workers see one causal tree. An untraced client gets a fresh
+        // deterministic root derived from the job id.
+        let ctx = req
+            .trace()
+            .unwrap_or_else(|| TraceContext::root(TRACE_SEED, &format!("serve/job-{id:016x}")));
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let job = Job {
             id,
@@ -486,6 +527,7 @@ impl Server {
             req_text: req_text.to_string(),
             key,
             budget,
+            ctx,
             reply: reply_tx,
             token: token.clone(),
         };
@@ -499,6 +541,13 @@ impl Server {
                 return match e {
                     WcmsError::Overloaded { queue_depth, retry_after_ms } => {
                         self.count("serve_overloaded_total");
+                        // The shed-time depth distribution answers "how
+                        // deep does the queue get before we shed?".
+                        self.cfg
+                            .obs
+                            .metrics
+                            .histogram("serve_shed_queue_depth", &QUEUE_DEPTH_BUCKETS)
+                            .observe(queue_depth as f64);
                         Response::Overloaded { retry_after_ms, queue_depth: queue_depth as u64 }
                             .encode()
                     }
@@ -538,7 +587,7 @@ impl Server {
             // guard catches bugs in the serve layer itself, because a
             // daemon worker must never die with jobs queued.
             let response = catch_unwind(AssertUnwindSafe(|| {
-                self.execute(&job.request, job.budget, &job.token)
+                self.execute(&job.request, job.budget, &job.token, job.ctx)
             }))
             .unwrap_or_else(|_| error_response("compute", "job handler panicked".into()));
             let payload = response.encode();
@@ -628,7 +677,13 @@ impl Server {
             if let Some(key) = req.canonical_key() {
                 if matches!(self.cache.lookup(&key), CacheOutcome::Miss) {
                     let budget = self.cfg.max_budget;
-                    let response = self.execute(&req, budget, &CancelToken::never());
+                    // Recovered jobs replay under the same job-id root a
+                    // fresh admission would have derived; the client's
+                    // original context died with the old incarnation.
+                    let ctx = req.trace().unwrap_or_else(|| {
+                        TraceContext::root(TRACE_SEED, &format!("serve/job-{:016x}", job.id))
+                    });
+                    let response = self.execute(&req, budget, &CancelToken::never(), ctx);
                     if cacheable(&response) {
                         let _ = self.cache.store(&key, &response.encode());
                     }
@@ -817,6 +872,7 @@ mod tests {
             n: 16 * 3 * 32 * 2,
             family: WorkloadSpec::WorstCase,
             include_data: false,
+            trace: None,
         }
     }
 
@@ -845,6 +901,7 @@ mod tests {
                 algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
                 device: "test".into(),
                 budget_ms: Some(5_000),
+                trace: None,
             };
             match roundtrip(addr, &measure) {
                 Response::Measure { cell } => {
@@ -865,6 +922,7 @@ mod tests {
                 algorithm: wcms_mergesort::AlgorithmKind::Multiway,
                 device: "test".into(),
                 budget_ms: Some(5_000),
+                trace: None,
             };
             match roundtrip(addr, &grid) {
                 Response::Grid { cells } => {
@@ -901,6 +959,7 @@ mod tests {
             algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
             device: "test".into(),
             budget_ms: Some(5_000),
+            trace: None,
         };
         // Seed the per-key grid checkpoint dir exactly as a daemon
         // killed mid-grid would have left it: the first cell committed,
@@ -957,6 +1016,7 @@ mod tests {
                 n: MAX_REQUEST_N + 1,
                 family: WorkloadSpec::Sorted,
                 include_data: false,
+                trace: None,
             };
             match roundtrip(addr, &huge) {
                 Response::Error { kind, message } => {
@@ -975,6 +1035,7 @@ mod tests {
                 algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
                 device: "test".into(),
                 budget_ms: Some(1_000),
+                trace: None,
             };
             match roundtrip(addr, &spun) {
                 Response::Error { kind, .. } => assert_eq!(kind, "bad-request"),
@@ -1112,6 +1173,7 @@ mod tests {
                     algorithm: wcms_mergesort::AlgorithmKind::Pairwise,
                     device: "test".into(),
                     budget_ms: Some(8_000),
+                    trace: None,
                 };
                 let mut w = &stream;
                 write_frame(&mut w, req.encode().as_bytes(), MAX_REQUEST_FRAME).unwrap();
@@ -1182,6 +1244,7 @@ mod tests {
             n: MAX_REQUEST_N + 1,
             family: WorkloadSpec::Sorted,
             include_data: false,
+            trace: None,
         };
         let journal = JobJournal::open(&journal_dir).unwrap();
         journal.record_queued(&hostile.encode()).unwrap();
@@ -1198,5 +1261,79 @@ mod tests {
         // claimed and completed, not re-run forever.
         let journal = JobJournal::open(&journal_dir).unwrap();
         assert_eq!(journal.recover().unwrap(), crate::journal::Recovery::default());
+    }
+
+    #[test]
+    fn metrics_frame_returns_consistent_prometheus_text() {
+        let root = scratch("metrics-frame");
+        with_server(quick_cfg(&root), |addr| {
+            let _ = roundtrip(addr, &generate_req());
+            let _ = roundtrip(addr, &Request::Health);
+            match roundtrip(addr, &Request::Metrics) {
+                Response::Metrics { text } => {
+                    let registry = wcms_obs::parse_prometheus_text(&text).unwrap();
+                    let ok = registry.counter("serve_ok_total").get();
+                    let err = registry.counter("serve_error_total").get();
+                    let total = registry.counter("serve_requests_total").get();
+                    // The scrape itself is counted ok *before* the text
+                    // renders, so the scraped numbers already balance.
+                    assert_eq!(ok + err, total, "{text}");
+                    assert_eq!(total, 3, "{text}");
+                    assert!(text.contains("serve_request_latency_seconds"), "{text}");
+                    assert!(text.contains("serve_queue_depth"), "{text}");
+                }
+                other => unreachable!("{other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn traced_requests_adopt_the_wire_context_as_the_request_span() {
+        use std::sync::Arc;
+        use wcms_obs::{Clock, FieldValue, Phase, RingCollector};
+        let root = scratch("traced-request");
+        let ring = Arc::new(RingCollector::new());
+        let mut cfg = quick_cfg(&root);
+        cfg.obs = Obs::with_recorder(ring.clone(), Clock::wall());
+        let ctx = TraceContext::root(0xC0FFEE, "test-client");
+        with_server(cfg, |addr| {
+            let req = Request::Generate {
+                tuning: Tuning { w: 16, e: 3, b: 32 },
+                n: 16 * 3 * 32 * 2,
+                family: WorkloadSpec::WorstCase,
+                include_data: false,
+                trace: Some(ctx),
+            };
+            match roundtrip(addr, &req) {
+                Response::Generate { .. } => {}
+                other => unreachable!("{other:?}"),
+            }
+        });
+        let (records, _) = ring.drain();
+        let request = records
+            .iter()
+            .find(|r| r.phase == Phase::Begin && r.name == "request")
+            .expect("a traced daemon must emit the request span");
+        let field = |key: &str| {
+            request.fields.iter().find(|f| f.key == key).map(|f| match &f.value {
+                FieldValue::Str(s) => s.clone(),
+                other => unreachable!("{other:?}"),
+            })
+        };
+        // The span *is* the identity the client named — adopted, not
+        // derived — so the client's journal and this one join on it.
+        assert_eq!(field("trace").as_deref(), Some(TraceContext::hex(ctx.trace.0).as_str()));
+        assert_eq!(field("span").as_deref(), Some(TraceContext::hex(ctx.span.0).as_str()));
+    }
+
+    #[test]
+    fn untraced_requests_get_a_deterministic_job_id_root() {
+        // The fallback root is pure in the job id: two daemons that
+        // admit the same id derive the same root, so replayed journals
+        // agree without any wall-clock or entropy input.
+        let a = TraceContext::root(TRACE_SEED, "serve/job-0000000000000001");
+        let b = TraceContext::root(TRACE_SEED, "serve/job-0000000000000001");
+        assert_eq!(a, b);
+        assert_ne!(a.trace, TraceContext::root(TRACE_SEED, "serve/job-0000000000000002").trace);
     }
 }

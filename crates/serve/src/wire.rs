@@ -23,6 +23,7 @@ use wcms_bench::checkpoint::{self, CellResult};
 use wcms_error::WcmsError;
 use wcms_mergesort::{AlgorithmKind, BackendKind};
 use wcms_obs::json::{self, Value};
+use wcms_obs::TraceContext;
 use wcms_workloads::WorkloadSpec;
 
 /// Protocol version, carried in `health` responses and folded into
@@ -273,6 +274,10 @@ pub enum Request {
         /// Inline the keys into the response (capped at
         /// [`MAX_INLINE_KEYS`]); the fingerprint is always returned.
         include_data: bool,
+        /// Root trace identity for the work this request causes; absent
+        /// means the daemon starts a fresh root. Never part of the
+        /// cache key — tracing identifies causality, not results.
+        trace: Option<TraceContext>,
     },
     /// Measure one cell on a chosen backend.
     Measure {
@@ -294,6 +299,9 @@ pub enum Request {
         device: String,
         /// Client deadline budget; `None` accepts the server default.
         budget_ms: Option<u64>,
+        /// Root trace identity; absent means a fresh root (see
+        /// [`Request::Generate`]).
+        trace: Option<TraceContext>,
     },
     /// A size sweep batched through the sweep supervisor.
     Grid {
@@ -315,11 +323,17 @@ pub enum Request {
         device: String,
         /// Per-cell deadline budget; `None` accepts the server default.
         budget_ms: Option<u64>,
+        /// Root trace identity; absent means a fresh root (see
+        /// [`Request::Generate`]).
+        trace: Option<TraceContext>,
     },
     /// Daemon status snapshot (queue depth, counters, recovery counts).
     Status,
     /// Liveness probe.
     Health,
+    /// Prometheus text rendering of the daemon's metrics registry (the
+    /// operational scrape surface).
+    Metrics,
 }
 
 fn encode_backend(b: BackendKind) -> &'static str {
@@ -356,6 +370,24 @@ fn decode_algorithm(v: &Value) -> Result<AlgorithmKind, WcmsError> {
     }
 }
 
+/// Render the trace context as an optional wire suffix: an untraced
+/// request emits nothing, so pre-trace request documents stay
+/// byte-identical (the same back-compat discipline as `algorithm`).
+fn encode_trace(t: Option<&TraceContext>) -> String {
+    t.map_or(String::new(), |ctx| format!(",\"trace\":\"{}\"", ctx.encode()))
+}
+
+/// An absent `trace` field means the daemon starts a fresh root. The
+/// value is validated by [`TraceContext::decode`], whose length gate
+/// rejects hostile/oversized ids before any further work.
+fn decode_trace(v: &Value) -> Result<Option<TraceContext>, WcmsError> {
+    match v.get("trace") {
+        None => Ok(None),
+        Some(Value::Str(s)) => TraceContext::decode(s).map(Some).map_err(malformed),
+        Some(_) => Err(malformed("field `trace` must be a string")),
+    }
+}
+
 impl Request {
     /// The operation name (used in logs, metrics and journal records).
     #[must_use]
@@ -366,6 +398,18 @@ impl Request {
             Request::Grid { .. } => "grid",
             Request::Status => "status",
             Request::Health => "health",
+            Request::Metrics => "metrics",
+        }
+    }
+
+    /// The trace identity this request propagates, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<TraceContext> {
+        match self {
+            Request::Generate { trace, .. }
+            | Request::Measure { trace, .. }
+            | Request::Grid { trace, .. } => *trace,
+            Request::Status | Request::Health | Request::Metrics => None,
         }
     }
 
@@ -380,19 +424,30 @@ impl Request {
     #[must_use]
     pub fn encode(&self) -> String {
         match self {
-            Request::Generate { tuning, n, family, include_data } => format!(
+            Request::Generate { tuning, n, family, include_data, trace } => format!(
                 "{{\"op\":\"generate\",\"w\":{},\"e\":{},\"b\":{},\"n\":{n},\"family\":{},\
-                 \"include_data\":{include_data}}}",
+                 \"include_data\":{include_data}{}}}",
                 tuning.w,
                 tuning.e,
                 tuning.b,
                 encode_family(family),
+                encode_trace(trace.as_ref()),
             ),
-            Request::Measure { tuning, n, family, runs, backend, algorithm, device, budget_ms } => {
+            Request::Measure {
+                tuning,
+                n,
+                family,
+                runs,
+                backend,
+                algorithm,
+                device,
+                budget_ms,
+                trace,
+            } => {
                 let budget = budget_ms.map_or(String::new(), |ms| format!(",\"budget_ms\":{ms}"));
                 format!(
                     "{{\"op\":\"measure\",\"w\":{},\"e\":{},\"b\":{},\"n\":{n},\"family\":{},\
-                     \"runs\":{runs},\"backend\":\"{}\"{},\"device\":{}{budget}}}",
+                     \"runs\":{runs},\"backend\":\"{}\"{},\"device\":{}{budget}{}}}",
                     tuning.w,
                     tuning.e,
                     tuning.b,
@@ -400,6 +455,7 @@ impl Request {
                     encode_backend(*backend),
                     encode_algorithm(*algorithm),
                     jstr(device),
+                    encode_trace(trace.as_ref()),
                 )
             }
             Request::Grid {
@@ -412,12 +468,13 @@ impl Request {
                 algorithm,
                 device,
                 budget_ms,
+                trace,
             } => {
                 let budget = budget_ms.map_or(String::new(), |ms| format!(",\"budget_ms\":{ms}"));
                 format!(
                     "{{\"op\":\"grid\",\"w\":{},\"e\":{},\"b\":{},\"family\":{},\
                      \"min_doublings\":{min_doublings},\"max_doublings\":{max_doublings},\
-                     \"runs\":{runs},\"backend\":\"{}\"{},\"device\":{}{budget}}}",
+                     \"runs\":{runs},\"backend\":\"{}\"{},\"device\":{}{budget}{}}}",
                     tuning.w,
                     tuning.e,
                     tuning.b,
@@ -425,10 +482,12 @@ impl Request {
                     encode_backend(*backend),
                     encode_algorithm(*algorithm),
                     jstr(device),
+                    encode_trace(trace.as_ref()),
                 )
             }
             Request::Status => "{\"op\":\"status\"}".into(),
             Request::Health => "{\"op\":\"health\"}".into(),
+            Request::Metrics => "{\"op\":\"metrics\"}".into(),
         }
     }
 
@@ -461,6 +520,7 @@ impl Request {
                 n: get_usize(&v, "n")?,
                 family: family(&v)?,
                 include_data: get_bool(&v, "include_data", false)?,
+                trace: decode_trace(&v)?,
             },
             "measure" => Request::Measure {
                 tuning: tuning(&v)?,
@@ -471,6 +531,7 @@ impl Request {
                 algorithm: decode_algorithm(&v)?,
                 device: get_str(&v, "device")?.to_string(),
                 budget_ms: budget(&v)?,
+                trace: decode_trace(&v)?,
             },
             "grid" => Request::Grid {
                 tuning: tuning(&v)?,
@@ -484,9 +545,11 @@ impl Request {
                 algorithm: decode_algorithm(&v)?,
                 device: get_str(&v, "device")?.to_string(),
                 budget_ms: budget(&v)?,
+                trace: decode_trace(&v)?,
             },
             "status" => Request::Status,
             "health" => Request::Health,
+            "metrics" => Request::Metrics,
             other => return Err(malformed(format!("unknown op `{other}`"))),
         })
     }
@@ -498,9 +561,12 @@ impl Request {
     /// the codec schema). `None` for `status`/`health`.
     ///
     /// The deadline budget is deliberately *excluded*: it bounds how
-    /// long we wait, not what the answer is. The algorithm is included
-    /// only when it is not pairwise, so every cache entry written
-    /// before the field existed keeps its key.
+    /// long we wait, not what the answer is. The trace context is
+    /// excluded for the same reason — it names who asked, not what the
+    /// answer is, and a traced request must hit the same cache entry as
+    /// an untraced one. The algorithm is included only when it is not
+    /// pairwise, so every cache entry written before the field existed
+    /// keeps its key.
     #[must_use]
     pub fn canonical_key(&self) -> Option<String> {
         let schema = crate::cache::CACHE_SCHEMA;
@@ -512,7 +578,7 @@ impl Request {
             }
         };
         match self {
-            Request::Generate { tuning, n, family, include_data } => Some(format!(
+            Request::Generate { tuning, n, family, include_data, .. } => Some(format!(
                 "wcms/v{PROTOCOL_VERSION}/s{schema} generate w={} e={} b={} n={n} family={} data={}",
                 tuning.w,
                 tuning.e,
@@ -552,7 +618,7 @@ impl Request {
                 backend.name(),
                 algo_tag(algorithm),
             )),
-            Request::Status | Request::Health => None,
+            Request::Status | Request::Health | Request::Metrics => None,
         }
     }
 }
@@ -623,6 +689,11 @@ pub enum Response {
     Health {
         /// Protocol version.
         version: u64,
+    },
+    /// Prometheus text rendering of the daemon's metrics registry.
+    Metrics {
+        /// The registry in Prometheus exposition format.
+        text: String,
     },
     /// Load shed: the admission queue (or connection backlog) is full.
     Overloaded {
@@ -705,6 +776,9 @@ impl Response {
             ),
             Response::Health { version } => {
                 format!("{{\"ok\":true,\"op\":\"health\",\"version\":{version}}}")
+            }
+            Response::Metrics { text } => {
+                format!("{{\"ok\":true,\"op\":\"metrics\",\"text\":{}}}", jstr(text))
             }
             Response::Overloaded { retry_after_ms, queue_depth } => format!(
                 "{{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\
@@ -799,6 +873,7 @@ impl Response {
                     .ok_or_else(|| malformed("missing number field `uptime_s`"))?,
             }),
             "health" => Response::Health { version: get_u64(&v, "version")? },
+            "metrics" => Response::Metrics { text: get_str(&v, "text")?.to_string() },
             other => return Err(malformed(format!("unknown response op `{other}`"))),
         })
     }
@@ -835,6 +910,14 @@ mod tests {
                 n: 3584,
                 family: WorkloadSpec::WorstCase,
                 include_data: true,
+                trace: None,
+            },
+            Request::Generate {
+                tuning: tuning(),
+                n: 3584,
+                family: WorkloadSpec::WorstCase,
+                include_data: false,
+                trace: Some(TraceContext::root(7, "load/gen")),
             },
             Request::Measure {
                 tuning: tuning(),
@@ -845,6 +928,7 @@ mod tests {
                 algorithm: AlgorithmKind::Pairwise,
                 device: "test".into(),
                 budget_ms: Some(750),
+                trace: None,
             },
             Request::Measure {
                 tuning: tuning(),
@@ -855,6 +939,7 @@ mod tests {
                 algorithm: AlgorithmKind::Multiway,
                 device: "test".into(),
                 budget_ms: None,
+                trace: Some(TraceContext::root(0xC0FFEE, "load/measure")),
             },
             Request::Grid {
                 tuning: tuning(),
@@ -866,9 +951,11 @@ mod tests {
                 algorithm: AlgorithmKind::Multiway,
                 device: "rtx_2080_ti".into(),
                 budget_ms: None,
+                trace: Some(TraceContext::root(1, "fleet")),
             },
             Request::Status,
             Request::Health,
+            Request::Metrics,
         ]
     }
 
@@ -988,6 +1075,7 @@ mod tests {
             algorithm: AlgorithmKind::Pairwise,
             device: "test".into(),
             budget_ms: None,
+            trace: None,
         };
         let key = base.canonical_key().unwrap();
         let tweak = |f: &dyn Fn(&mut Request)| {
@@ -1037,8 +1125,16 @@ mod tests {
             }
         });
         assert_eq!(budgeted, key);
+        // The trace context names who asked, not what the answer is.
+        let traced = tweak(&|r| {
+            if let Request::Measure { trace, .. } = r {
+                *trace = Some(TraceContext::root(1, "x"));
+            }
+        });
+        assert_eq!(traced, key);
         assert_eq!(Request::Status.canonical_key(), None);
         assert_eq!(Request::Health.canonical_key(), None);
+        assert_eq!(Request::Metrics.canonical_key(), None);
     }
 
     #[test]
@@ -1055,6 +1151,7 @@ mod tests {
             algorithm: AlgorithmKind::Pairwise,
             device: "test".into(),
             budget_ms: None,
+            trace: None,
         };
         let doc = pairwise.encode();
         assert!(!doc.contains("algorithm"), "{doc}");
@@ -1080,6 +1177,65 @@ mod tests {
             doc.replace("\"op\":\"measure\"", "\"op\":\"measure\",\"algorithm\":\"bitonic\"");
         let err = Request::decode(&hostile).unwrap_err();
         assert!(err.to_string().contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn untraced_requests_predate_the_trace_field() {
+        // An untraced request must encode WITHOUT a `trace` field and
+        // keep the exact pre-trace document and cache key — a traced
+        // request must hit the same cache entry as an untraced one.
+        let untraced = Request::Measure {
+            tuning: tuning(),
+            n: 3584,
+            family: WorkloadSpec::WorstCase,
+            runs: 2,
+            backend: BackendKind::Sim,
+            algorithm: AlgorithmKind::Pairwise,
+            device: "test".into(),
+            budget_ms: None,
+            trace: None,
+        };
+        let doc = untraced.encode();
+        assert!(!doc.contains("trace"), "{doc}");
+        let mut traced = untraced.clone();
+        let ctx = TraceContext::root(0xC0FFEE, "fleet-obs");
+        if let Request::Measure { trace, .. } = &mut traced {
+            *trace = Some(ctx);
+        }
+        // Byte-identical cache keys with and without `trace`.
+        assert_eq!(traced.canonical_key(), untraced.canonical_key());
+        let traced_doc = traced.encode();
+        assert!(traced_doc.contains(&format!("\"trace\":\"{}\"", ctx.encode())), "{traced_doc}");
+        assert_eq!(Request::decode(&traced_doc).unwrap(), traced);
+        // A pre-trace client document (no `trace` key) decodes as None.
+        assert_eq!(Request::decode(&doc).unwrap(), untraced);
+        assert_eq!(Request::decode(&doc).unwrap().trace(), None);
+    }
+
+    #[test]
+    fn hostile_trace_values_are_typed_rejections() {
+        let doc = Request::Metrics.encode();
+        assert_eq!(Request::decode(&doc).unwrap(), Request::Metrics);
+        let base = all_requests()[0].encode();
+        for bad in [
+            "\"trace\":\"junk\"",
+            "\"trace\":\"0000000000000000/0000000000000000\"",
+            "\"trace\":42",
+            &format!("\"trace\":\"{}\"", "f".repeat(4096)),
+        ] {
+            let hostile =
+                base.replacen("\"op\":\"generate\"", &format!("\"op\":\"generate\",{bad}"), 1);
+            let err = Request::decode(&hostile).unwrap_err();
+            assert!(matches!(err, WcmsError::WireMalformed { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let text = "# TYPE serve_ok_total counter\nserve_ok_total 3\n";
+        let r = Response::Metrics { text: text.into() };
+        let doc = r.encode();
+        assert_eq!(Response::decode(&doc).unwrap(), r, "{doc}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::io::Read;
 
 use proptest::prelude::*;
 use wcms_mergesort::{AlgorithmKind, BackendKind};
+use wcms_obs::TraceContext;
 use wcms_serve::cache::fingerprint;
 use wcms_serve::wire::{
     read_frame, write_frame, Request, Tuning, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
@@ -56,22 +57,39 @@ fn any_device() -> impl Strategy<Value = String> {
     ])
 }
 
+/// An optional propagated trace context, as a client might attach: any
+/// nonzero trace/span pair (the wire form never carries a parent).
+fn any_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    proptest::option::of((1u64..u64::MAX, 1u64..u64::MAX).prop_map(|(trace, span)| TraceContext {
+        trace: wcms_obs::TraceId(trace),
+        span: wcms_obs::SpanId(span),
+        parent: None,
+    }))
+}
+
 fn any_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (any_tuning(), 0usize..1 << 30, any_family(), proptest::bool::ANY).prop_map(
-            |(tuning, n, family, include_data)| Request::Generate {
+        (any_tuning(), 0usize..1 << 30, any_family(), proptest::bool::ANY, any_trace()).prop_map(
+            |(tuning, n, family, include_data, trace)| Request::Generate {
                 tuning,
                 n,
                 family,
-                include_data
+                include_data,
+                trace
             }
         ),
         (
             (any_tuning(), 0usize..1 << 30, any_family(), 1u64..64),
-            (any_backend(), any_algorithm(), any_device(), proptest::option::of(0u64..1 << 40)),
+            (
+                any_backend(),
+                any_algorithm(),
+                any_device(),
+                proptest::option::of(0u64..1 << 40),
+                any_trace()
+            ),
         )
             .prop_map(
-                |((tuning, n, family, runs), (backend, algorithm, device, budget_ms))| {
+                |((tuning, n, family, runs), (backend, algorithm, device, budget_ms, trace))| {
                     Request::Measure {
                         tuning,
                         n,
@@ -81,6 +99,7 @@ fn any_request() -> impl Strategy<Value = Request> {
                         algorithm,
                         device,
                         budget_ms,
+                        trace,
                     }
                 }
             ),
@@ -92,12 +111,13 @@ fn any_request() -> impl Strategy<Value = Request> {
                 any_algorithm(),
                 any_device(),
                 proptest::option::of(0u64..1 << 40),
+                any_trace(),
             ),
         )
             .prop_map(
                 |(
                     (tuning, family, min_doublings, max_doublings),
-                    (runs, backend, algorithm, device, budget_ms),
+                    (runs, backend, algorithm, device, budget_ms, trace),
                 )| {
                     Request::Grid {
                         tuning,
@@ -109,11 +129,13 @@ fn any_request() -> impl Strategy<Value = Request> {
                         algorithm,
                         device,
                         budget_ms,
+                        trace,
                     }
                 }
             ),
         Just(Request::Status),
         Just(Request::Health),
+        Just(Request::Metrics),
     ]
 }
 
@@ -151,8 +173,23 @@ proptest! {
             algorithm: AlgorithmKind::Pairwise,
             device: "test".into(),
             budget_ms,
+            trace: None,
         };
         prop_assert_eq!(req(budget_a).canonical_key(), req(budget_b).canonical_key());
+    }
+
+    #[test]
+    fn trace_contexts_never_reach_the_cache_key(trace in any_trace()) {
+        // A trace names who asked, not what the answer is — attaching
+        // one must alias the same cache entry as an untraced request.
+        let req = |trace| Request::Generate {
+            tuning: Tuning { w: 16, e: 3, b: 32 },
+            n: 3072,
+            family: WorkloadSpec::WorstCase,
+            include_data: false,
+            trace,
+        };
+        prop_assert_eq!(req(trace).canonical_key(), req(None).canonical_key());
     }
 
     #[test]
@@ -259,6 +296,7 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
         n: 3072,
         family: WorkloadSpec::WorstCase,
         include_data: false,
+        trace: None,
     };
     let key = generate.canonical_key().unwrap();
     assert_eq!(key, "wcms/v1/s1 generate w=16 e=3 b=32 n=3072 family=worst-case data=0");
@@ -273,6 +311,7 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
         algorithm: AlgorithmKind::Pairwise,
         device: "test".into(),
         budget_ms: Some(1_000),
+        trace: None,
     };
     let key = measure.canonical_key().unwrap();
     assert_eq!(
@@ -305,6 +344,7 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
         algorithm: AlgorithmKind::Pairwise,
         device: "rtx_2080_ti".into(),
         budget_ms: None,
+        trace: None,
     };
     let key = grid.canonical_key().unwrap();
     assert_eq!(
@@ -317,4 +357,5 @@ fn canonical_keys_and_fingerprints_match_the_golden_contract() {
     // Non-compute operations must never acquire a cache identity.
     assert_eq!(Request::Status.canonical_key(), None);
     assert_eq!(Request::Health.canonical_key(), None);
+    assert_eq!(Request::Metrics.canonical_key(), None);
 }

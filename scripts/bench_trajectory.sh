@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Bench trajectory: re-run the three perf-baseline emitters, append a
+# dated entry to the trajectory log, and gate on regressions against
+# the *committed* baselines.
+#
+#   emitters (each writes its fresh report to a scratch file):
+#     perf_baseline.sh  -> BENCH_obs.json    (traced-sweep span stats + overhead gate)
+#     serve_smoke.sh    -> BENCH_serve.json  (daemon jobs/sec + cache speedup)
+#     scale_smoke.sh    -> BENCH_sweep.json  (1- vs 3-process cells/sec)
+#
+#   gates (>20% regression fails, i.e. fresh < 0.8x committed):
+#     jobs/sec   — achieved_rps in BENCH_serve.json
+#     cells/sec  — cells_per_s_1 in BENCH_sweep.json
+#
+# Every run appends one dated JSONL entry to BENCH_TRAJECTORY.jsonl so
+# the perf history of the repo is a file you can plot, not a pile of
+# expired CI artifacts. Pass --refresh to also overwrite the committed
+# baselines with the fresh numbers (use after an intentional perf
+# change, then commit the diff).
+#
+# Run from anywhere inside the repository: ./scripts/bench_trajectory.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REFRESH=0
+[[ "${1:-}" == "--refresh" ]] && REFRESH=1
+TRAJECTORY=BENCH_TRAJECTORY.jsonl
+
+for baseline in BENCH_obs.json BENCH_serve.json BENCH_sweep.json; do
+    [[ -s "$baseline" ]] || {
+        echo "error: committed baseline $baseline missing; run the emitters once and commit it" >&2
+        exit 1
+    }
+done
+
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+./scripts/perf_baseline.sh "$SCRATCH/BENCH_obs.json"
+./scripts/serve_smoke.sh "$SCRATCH/BENCH_serve.json"
+./scripts/scale_smoke.sh "$SCRATCH/BENCH_sweep.json"
+
+field() { # field <file> <key> — first numeric value of "key": in a JSON doc
+    sed -n 's/.*"'"$2"'":\([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
+}
+
+FRESH_RPS=$(field "$SCRATCH/BENCH_serve.json" achieved_rps)
+BASE_RPS=$(field BENCH_serve.json achieved_rps)
+FRESH_CPS=$(field "$SCRATCH/BENCH_sweep.json" cells_per_s_1)
+BASE_CPS=$(field BENCH_sweep.json cells_per_s_1)
+FRESH_P95=$(field "$SCRATCH/BENCH_obs.json" cell_latency_p95_s)
+[[ -n "$FRESH_RPS" && -n "$BASE_RPS" && -n "$FRESH_CPS" && -n "$BASE_CPS" ]] || {
+    echo "error: could not extract achieved_rps/cells_per_s_1 from fresh+committed baselines" >&2
+    exit 1
+}
+
+STATUS=ok
+awk -v fresh="$FRESH_RPS" -v base="$BASE_RPS" 'BEGIN { exit !(fresh >= 0.8 * base) }' || {
+    echo "error: jobs/sec regressed >20%: $FRESH_RPS vs committed $BASE_RPS" >&2
+    STATUS=regressed
+}
+awk -v fresh="$FRESH_CPS" -v base="$BASE_CPS" 'BEGIN { exit !(fresh >= 0.8 * base) }' || {
+    echo "error: cells/sec regressed >20%: $FRESH_CPS vs committed $BASE_CPS" >&2
+    STATUS=regressed
+}
+
+printf '{"date":"%s","jobs_per_s":%s,"jobs_per_s_baseline":%s,"cells_per_s":%s,"cells_per_s_baseline":%s,"cell_latency_p95_s":%s,"status":"%s"}\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    "$FRESH_RPS" "$BASE_RPS" "$FRESH_CPS" "$BASE_CPS" "${FRESH_P95:-null}" "$STATUS" \
+    >> "$TRAJECTORY"
+echo "bench_trajectory: appended $STATUS entry to $TRAJECTORY"
+
+if [[ "$REFRESH" == 1 ]]; then
+    cp "$SCRATCH/BENCH_obs.json" BENCH_obs.json
+    cp "$SCRATCH/BENCH_serve.json" BENCH_serve.json
+    cp "$SCRATCH/BENCH_sweep.json" BENCH_sweep.json
+    echo "bench_trajectory: refreshed committed baselines (review and commit the diff)"
+fi
+
+[[ "$STATUS" == ok ]] || exit 1
+echo "bench_trajectory passed: jobs/sec $FRESH_RPS (>= 0.8x $BASE_RPS), cells/sec $FRESH_CPS (>= 0.8x $BASE_CPS)"

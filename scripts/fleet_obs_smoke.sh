@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Fleet observability smoke: the CI gate for end-to-end trace
+# propagation across every process boundary the repo has.
+#
+#   1. traced serve request — a grid request carrying the deterministic
+#      fleet root context (`wcms-trace root 0xC0FFEE fleet-obs`) is
+#      admitted by a `--trace`d daemon; the daemon's request span
+#      adopts that exact context, so the admitting job is the causal
+#      root of everything below;
+#   2. 3-process stealing sweep — three fig4 workers share one
+#      checkpoint store under `--trace-parent <root>`, one is
+#      SIGKILLed mid-sweep and relaunched (the chaos drill in
+#      miniature); every worker writes its own journal;
+#   3. causal join — `wcms-trace join --validate` merges the daemon's
+#      journal with every worker journal into one Chrome trace and
+#      must find zero orphans / cycles / non-monotonic parents: the
+#      stolen cells chain to the admitting request span across process
+#      and machine-clock boundaries;
+#   4. metrics conservation — a `--scrape` of the daemon must show
+#      serve_ok_total + serve_error_total equal to the number of
+#      requests this script sent (nothing double-counted, nothing
+#      lost), including the scrape itself.
+#
+# Writes the joined Chrome trace to $1 (default joined_trace.json) —
+# the artifact CI uploads for chrome://tracing inspection.
+#
+# Run from anywhere inside the repository: ./scripts/fleet_obs_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-joined_trace.json}
+command -v cargo >/dev/null 2>&1 || { echo "error: cargo not on PATH" >&2; exit 1; }
+
+cargo build --release -p wcms-serve --bin wcms-serve --bin wcms-load
+cargo build --release -p wcms-bench --bin fig4
+cargo build --release -p wcms-obs --bin wcms-trace
+
+SERVE=target/release/wcms-serve
+LOAD=target/release/wcms-load
+FIG4=target/release/fig4
+TRACE=target/release/wcms-trace
+for bin in "$SERVE" "$LOAD" "$FIG4" "$TRACE"; do
+    [[ -x "$bin" ]] || { echo "error: missing binary after build: $bin" >&2; exit 1; }
+done
+
+SCRATCH=$(mktemp -d)
+SERVE_PID=""
+trap '[[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$SCRATCH"' EXIT
+
+# The deterministic fleet root: pure in (seed, stream), so CI and a
+# laptop agree on the exact trace/span ids this run will produce.
+ROOT=$("$TRACE" root 0xC0FFEE fleet-obs)
+echo "fleet_obs: root context $ROOT"
+
+# --- 1. traced grid request through the daemon ------------------------
+"$SERVE" --addr 127.0.0.1:0 --cache-dir "$SCRATCH/cache" \
+    --journal-dir "$SCRATCH/journal" --trace "$SCRATCH/serve.jsonl" \
+    > "$SCRATCH/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SCRATCH/serve.log" | head -n 1)
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "error: daemon never reported its address" >&2; exit 1; }
+
+REQUESTS=0
+"$LOAD" --addr "$ADDR" --probe '{"op":"health"}' | grep -q '"op":"health"'
+REQUESTS=$((REQUESTS + 1))
+
+GRID='{"op":"grid","w":16,"e":3,"b":32,"family":{"kind":"sorted"},"min_doublings":1,"max_doublings":3,"runs":1,"backend":"reference","device":"test","budget_ms":10000,"trace":"'$ROOT'"}'
+"$LOAD" --addr "$ADDR" --probe "$GRID" > "$SCRATCH/grid.cold"
+REQUESTS=$((REQUESTS + 1))
+# The warm replay must hit the cache: the trace field is provenance,
+# not identity, so a traced request replays an untraced computation.
+"$LOAD" --addr "$ADDR" --probe "$GRID" > "$SCRATCH/grid.warm"
+REQUESTS=$((REQUESTS + 1))
+cmp "$SCRATCH/grid.cold" "$SCRATCH/grid.warm"
+grep -q '"op":"grid"' "$SCRATCH/grid.cold"
+
+# One deliberately malformed request exercises the error tally — the
+# conservation check below then covers both buckets, and the scrape
+# renders serve_error_total (untouched counters are omitted).
+"$LOAD" --addr "$ADDR" --probe '{"op":"no-such-op"}' | grep -q '"error":"bad-request"'
+REQUESTS=$((REQUESTS + 1))
+
+# --- 2. 3-process stealing sweep, one worker SIGKILLed ----------------
+CK="$SCRATCH/steal-ckpt"
+worker() {
+    "$FIG4" --quick --checkpoint-dir "$CK" --steal --worker-id "$1" \
+        --lease-ttl 2 --trace "$SCRATCH/$1.jsonl" --trace-parent "$ROOT" \
+        > /dev/null 2> "$SCRATCH/$1.err"
+}
+worker w0 &
+W0=$!
+worker w1 &
+W1=$!
+worker w2 &
+W2=$!
+# SIGKILL w1 early: its journal (written at exit) never lands, its
+# leases expire after the 2 s TTL, and the survivors steal the cells.
+sleep 0.2
+kill -9 "$W1" 2>/dev/null || true
+wait "$W0" "$W2"
+wait "$W1" 2>/dev/null || true
+# The relaunched incarnation replays the committed cells and finishes
+# whatever the kill orphaned — crash-only recovery, now with a journal.
+worker w1
+echo "fleet_obs: 3-worker steal fleet done (w1 SIGKILLed and relaunched)"
+
+# --- 3. join every journal into one causally-validated trace ----------
+sleep 0.5 # let the daemon's 200 ms flusher drain the request span
+JOURNALS=("$SCRATCH/serve.jsonl")
+for w in w0 w1 w2; do
+    [[ -s "$SCRATCH/$w.jsonl" ]] && JOURNALS+=("$SCRATCH/$w.jsonl")
+done
+[[ ${#JOURNALS[@]} -ge 3 ]] || {
+    echo "error: expected the daemon + at least 2 worker journals, got: ${JOURNALS[*]}" >&2
+    exit 1
+}
+"$TRACE" join --validate "${JOURNALS[@]}" -o "$OUT" 2> "$SCRATCH/join.err" || {
+    echo "error: causal join failed:" >&2
+    cat "$SCRATCH/join.err" >&2
+    exit 1
+}
+cat "$SCRATCH/join.err"
+grep -q '"traceEvents"' "$OUT"
+echo "fleet_obs: joined ${#JOURNALS[@]} journals into $OUT with zero orphans"
+
+# --- 4. metrics conservation via the scrape frame ---------------------
+# The scrape itself is a request and is counted before rendering, so
+# the scraped totals include it.
+REQUESTS=$((REQUESTS + 1))
+"$LOAD" --addr "$ADDR" --scrape > "$SCRATCH/metrics.prom"
+grep -q '^# TYPE serve_request_latency_seconds histogram' "$SCRATCH/metrics.prom"
+OK=$(sed -n 's/^serve_ok_total \([0-9][0-9]*\)$/\1/p' "$SCRATCH/metrics.prom")
+ERR=$(sed -n 's/^serve_error_total \([0-9][0-9]*\)$/\1/p' "$SCRATCH/metrics.prom")
+[[ -n "$OK" && -n "$ERR" ]] || {
+    echo "error: scrape missing serve_ok_total/serve_error_total:" >&2
+    cat "$SCRATCH/metrics.prom" >&2
+    exit 1
+}
+if grep -q '^obs_dropped_spans_total ' "$SCRATCH/metrics.prom"; then
+    echo "error: the daemon dropped span records under this light load:" >&2
+    grep '^obs_dropped' "$SCRATCH/metrics.prom" >&2
+    exit 1
+fi
+if [[ $((OK + ERR)) -ne "$REQUESTS" ]]; then
+    echo "error: ok=$OK + err=$ERR != $REQUESTS requests sent" >&2
+    cat "$SCRATCH/metrics.prom" >&2
+    exit 1
+fi
+
+echo "fleet_obs smoke passed: $REQUESTS requests conserved (ok=$OK err=$ERR), trace -> $OUT"
